@@ -1,0 +1,110 @@
+// E5 — compact data types and adaptively triggered pre-aggregation (§I,
+// following [12]).
+//
+// Expected shape: (a) Q1 with i32 arithmetic + FOR-narrow decode beats the
+// 64-bit vectorized baseline; (b) array-direct aggregation crushes hash
+// aggregation while the key domain is small, and the adaptive aggregator
+// follows whichever side wins as the domain grows.
+#include <benchmark/benchmark.h>
+
+#include "relational/q1.h"
+#include "storage/datagen.h"
+#include "vm/preagg.h"
+
+namespace {
+
+using namespace avm;
+
+
+const Table& SharedLineitem() {
+  static std::unique_ptr<Table> table = [] {
+    LineitemSpec spec;
+    spec.num_rows = 600'000;
+    return MakeLineitem(spec);
+  }();
+  return *table;
+}
+
+void BM_Q1_Wide64(benchmark::State& state) {
+  const Table& t = SharedLineitem();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relational::RunQ1Vectorized(t).ValueOrDie());
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(t.num_rows()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Q1_Wide64)->Unit(benchmark::kMillisecond);
+
+void BM_Q1_CompactTypes(benchmark::State& state) {
+  const Table& t = SharedLineitem();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        relational::RunQ1VectorizedCompact(t).ValueOrDie());
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(t.num_rows()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Q1_CompactTypes)->Unit(benchmark::kMillisecond);
+
+// ---- aggregation paths across group-domain sizes --------------------------
+
+constexpr uint32_t kAggRows = 1 << 20;
+
+struct AggData {
+  std::vector<int64_t> keys;
+  std::vector<int64_t> values;
+};
+
+AggData MakeAggData(int64_t domain) {
+  DataGen gen(13);
+  AggData d;
+  d.keys = gen.UniformI64(kAggRows, 0, domain - 1);
+  d.values = gen.UniformI64(kAggRows, 0, 100);
+  return d;
+}
+
+void ConsumeAll(vm::AdaptiveSumAggregator& agg, const AggData& d) {
+  for (uint32_t off = 0; off < kAggRows; off += 1024) {
+    uint32_t n = std::min<uint32_t>(1024, kAggRows - off);
+    agg.Consume(d.keys.data() + off, d.values.data() + off, n).Abort();
+  }
+}
+
+void BM_Agg_Adaptive(benchmark::State& state) {
+  AggData d = MakeAggData(state.range(0));
+  bool array_path = false;
+  for (auto _ : state) {
+    vm::AdaptiveSumAggregator agg;
+    ConsumeAll(agg, d);
+    array_path = agg.using_array_path();
+    benchmark::DoNotOptimize(agg.Result());
+  }
+  state.counters["array_path"] = array_path ? 1 : 0;
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(kAggRows) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Agg_Adaptive)
+    ->Arg(6)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Agg_HashOnly(benchmark::State& state) {
+  AggData d = MakeAggData(state.range(0));
+  for (auto _ : state) {
+    vm::PreAggConfig cfg;
+    cfg.max_direct_key = 0;  // never use the array path
+    vm::AdaptiveSumAggregator agg(cfg);
+    ConsumeAll(agg, d);
+    benchmark::DoNotOptimize(agg.Result());
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(kAggRows) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Agg_HashOnly)
+    ->Arg(6)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

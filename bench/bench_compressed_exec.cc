@@ -1,0 +1,108 @@
+// E3 — compressed execution and scheme-change fallback (§I, §III-C).
+//
+// Expected shape: (a) FOR-specialized execution (operate on narrow deltas +
+// reference) beats decode-to-64-bit-then-execute; (b) as the fraction of
+// blocks whose scheme differs from the specialized one grows, the adaptive
+// VM falls back more often and its advantage shrinks — but correctness and
+// graceful degradation hold (the trace cache stops recompilation).
+#include <benchmark/benchmark.h>
+
+#include "dsl/builder.h"
+#include "dsl/typecheck.h"
+#include "jit/source_jit.h"
+#include "storage/datagen.h"
+#include "vm/adaptive_vm.h"
+
+namespace {
+
+using namespace avm;
+using interp::DataBinding;
+
+constexpr uint32_t kRows = 1 << 20;
+constexpr uint32_t kBlock = 16 * 1024;
+
+// Column where `plain_per_8` of every 8 blocks are Plain (scheme changes),
+// the rest FOR.
+std::unique_ptr<Column> MakeMixedColumn(int plain_per_8) {
+  auto col = std::make_unique<Column>(TypeId::kI64, kBlock);
+  DataGen gen(11);
+  int block = 0;
+  for (uint32_t off = 0; off < kRows; off += kBlock, ++block) {
+    auto narrow = gen.UniformI64(kBlock, 100000, 100000 + 4096);
+    if (block % 8 < plain_per_8) {
+      col->AppendBlockWithScheme(Scheme::kPlain, narrow.data(), kBlock)
+          .Abort();
+    } else {
+      col->AppendBlockWithScheme(Scheme::kFor, narrow.data(), kBlock).Abort();
+    }
+  }
+  return col;
+}
+
+void RunVm(benchmark::State& state, const Column& col, bool jit,
+           bool specialize) {
+  dsl::Program p = dsl::MakeMapPipeline(
+      TypeId::kI64,
+      dsl::Lambda({"x"}, dsl::Var("x") * dsl::ConstI(3) + dsl::ConstI(1)),
+      kRows);
+  dsl::TypeCheck(&p).Abort();
+  std::vector<int64_t> out(kRows);
+  uint64_t fallbacks = 0, runs = 0, compiled = 0;
+  for (auto _ : state) {
+    vm::VmOptions opts;
+    opts.enable_jit = jit;
+    opts.specialize_compression = specialize;
+    opts.optimize_after_iterations = 4;
+    opts.recheck_interval = 16;
+    vm::AdaptiveVm vmach(&p, opts);
+    vmach.interpreter().BindData("src", DataBinding::FromColumn(&col)).Abort();
+    vmach.interpreter()
+        .BindData("out",
+                  DataBinding::Raw(TypeId::kI64, out.data(), kRows, true))
+        .Abort();
+    vmach.Run().Abort();
+    auto rep = vmach.Report();
+    fallbacks = rep.injection_fallbacks;
+    runs = rep.injection_runs;
+    compiled = rep.traces_compiled;
+  }
+  state.counters["fallbacks"] = static_cast<double>(fallbacks);
+  state.counters["inj_runs"] = static_cast<double>(runs);
+  state.counters["traces"] = static_cast<double>(compiled);
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(kRows) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+// Sweep: number of Plain blocks per 8 (0 = pure FOR ... 8 = pure Plain).
+void BM_CompressedExec_Interpreted(benchmark::State& state) {
+  auto col = MakeMixedColumn(static_cast<int>(state.range(0)));
+  RunVm(state, *col, /*jit=*/false, /*specialize=*/false);
+}
+BENCHMARK(BM_CompressedExec_Interpreted)
+    ->Arg(0)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_CompressedExec_JitPlainDecode(benchmark::State& state) {
+  if (!jit::SourceJit::Available()) {
+    state.SkipWithError("no host compiler");
+    return;
+  }
+  auto col = MakeMixedColumn(static_cast<int>(state.range(0)));
+  RunVm(state, *col, /*jit=*/true, /*specialize=*/false);
+}
+BENCHMARK(BM_CompressedExec_JitPlainDecode)
+    ->Arg(0)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_CompressedExec_JitForSpecialized(benchmark::State& state) {
+  if (!jit::SourceJit::Available()) {
+    state.SkipWithError("no host compiler");
+    return;
+  }
+  auto col = MakeMixedColumn(static_cast<int>(state.range(0)));
+  RunVm(state, *col, /*jit=*/true, /*specialize=*/true);
+}
+BENCHMARK(BM_CompressedExec_JitForSpecialized)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

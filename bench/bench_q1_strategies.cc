@@ -1,0 +1,118 @@
+// E1 — TPC-H Q1 analogue across execution strategies (DESIGN.md).
+//
+// Paper claims (§I, citing [12] vs [17]): tuple-at-a-time compiled code is
+// CPU-efficient, but vectorized execution *with adaptive optimizations*
+// (compact data types, pre-aggregation) can beat it; plain DSL
+// interpretation sits in between after the adaptive VM JITs its hot traces.
+#include <benchmark/benchmark.h>
+
+#include "jit/source_jit.h"
+#include "relational/q1.h"
+
+namespace {
+
+using namespace avm;
+using namespace avm::relational;
+
+const Table& SharedLineitem() {
+  static std::unique_ptr<Table> table = [] {
+    LineitemSpec spec;
+    spec.num_rows = 600'000;  // ~SF 0.1
+    return MakeLineitem(spec);
+  }();
+  return *table;
+}
+
+void ReportRows(benchmark::State& state, uint64_t rows) {
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(rows) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Q1_Scalar(benchmark::State& state) {
+  const Table& t = SharedLineitem();
+  for (auto _ : state) {
+    auto r = RunQ1Scalar(t);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r.value());
+  }
+  ReportRows(state, t.num_rows());
+}
+BENCHMARK(BM_Q1_Scalar)->Unit(benchmark::kMillisecond);
+
+void BM_Q1_Vectorized(benchmark::State& state) {
+  const Table& t = SharedLineitem();
+  for (auto _ : state) {
+    auto r = RunQ1Vectorized(t, static_cast<uint32_t>(state.range(0)));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r.value());
+  }
+  ReportRows(state, t.num_rows());
+}
+BENCHMARK(BM_Q1_Vectorized)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_Q1_VectorizedCompact(benchmark::State& state) {
+  const Table& t = SharedLineitem();
+  for (auto _ : state) {
+    auto r = RunQ1VectorizedCompact(t, static_cast<uint32_t>(state.range(0)));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r.value());
+  }
+  ReportRows(state, t.num_rows());
+}
+BENCHMARK(BM_Q1_VectorizedCompact)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_Q1_CompiledWholeQuery(benchmark::State& state) {
+  if (!jit::SourceJit::Available()) {
+    state.SkipWithError("no host compiler");
+    return;
+  }
+  const Table& t = SharedLineitem();
+  // Warm the JIT cache so steady-state per-query time is measured (the
+  // compile-cost story is E6).
+  RunQ1CompiledWholeQuery(t).ValueOrDie();
+  for (auto _ : state) {
+    auto r = RunQ1CompiledWholeQuery(t);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r.value());
+  }
+  ReportRows(state, t.num_rows());
+}
+BENCHMARK(BM_Q1_CompiledWholeQuery)->Unit(benchmark::kMillisecond);
+
+void BM_Q1_DslInterpreted(benchmark::State& state) {
+  const Table& t = SharedLineitem();
+  vm::VmOptions opts;
+  opts.enable_jit = false;
+  for (auto _ : state) {
+    auto r = RunQ1AdaptiveVm(t, opts);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r.value().result);
+  }
+  ReportRows(state, t.num_rows());
+}
+BENCHMARK(BM_Q1_DslInterpreted)->Unit(benchmark::kMillisecond);
+
+void BM_Q1_DslAdaptiveVm(benchmark::State& state) {
+  if (!jit::SourceJit::Available()) {
+    state.SkipWithError("no host compiler");
+    return;
+  }
+  const Table& t = SharedLineitem();
+  vm::VmOptions opts;
+  opts.optimize_after_iterations = 8;
+  uint64_t traces = 0, injections = 0;
+  for (auto _ : state) {
+    auto r = RunQ1AdaptiveVm(t, opts);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    traces = r.value().report.traces_compiled;
+    injections = r.value().report.injection_runs;
+    benchmark::DoNotOptimize(r.value().result);
+  }
+  state.counters["traces"] = static_cast<double>(traces);
+  state.counters["injection_runs"] = static_cast<double>(injections);
+  ReportRows(state, t.num_rows());
+}
+BENCHMARK(BM_Q1_DslAdaptiveVm)->Unit(benchmark::kMillisecond);
+
+}  // namespace

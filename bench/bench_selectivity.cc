@@ -1,0 +1,135 @@
+// E2 — selectivity-adaptive filter flavors (§III-C, micro-adaptivity [24]).
+//
+// Expected shape: the branching flavor wins at very low and very high
+// selectivity (predictable branch), the branchless selection-vector flavor
+// wins in the middle, full-compute is competitive near 100%; the adaptive
+// chooser tracks the winner within a few percent everywhere.
+#include <benchmark/benchmark.h>
+
+#include "interp/kernels.h"
+#include "interp/micro_adaptive.h"
+#include "storage/datagen.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace avm;
+using interp::FilterVariant;
+using interp::KernelRegistry;
+
+constexpr uint32_t kN = 64 * 1024;
+
+const std::vector<int32_t>& Data() {
+  static auto* data = [] {
+    DataGen gen(7);
+    auto v = new std::vector<int32_t>(kN);
+    for (auto& x : *v) {
+      x = static_cast<int32_t>(gen.rng().NextBounded(1000));
+    }
+    return v;
+  }();
+  return *data;
+}
+
+// selectivity expressed in permille via the predicate constant.
+int32_t CutoffFor(int64_t permille) {
+  return static_cast<int32_t>(permille);  // values uniform in [0, 1000)
+}
+
+void RunFilter(benchmark::State& state, FilterVariant variant) {
+  const auto& data = Data();
+  const int32_t cutoff = CutoffFor(state.range(0));
+  std::vector<sel_t> sel(kN);
+  auto fn = KernelRegistry::Get().Filter(dsl::ScalarOp::kLt, TypeId::kI32,
+                                         true, false, variant);
+  uint32_t count = 0;
+  for (auto _ : state) {
+    count = fn(data.data(), &cutoff, nullptr, kN, sel.data());
+    benchmark::DoNotOptimize(sel.data());
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["selectivity"] = static_cast<double>(count) / kN;
+  state.counters["tuples/s"] = benchmark::Counter(
+      static_cast<double>(kN) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Filter_Branchless(benchmark::State& state) {
+  RunFilter(state, FilterVariant::kBranchless);
+}
+void BM_Filter_Branching(benchmark::State& state) {
+  RunFilter(state, FilterVariant::kBranching);
+}
+
+void BM_Filter_FullCompute(benchmark::State& state) {
+  // bool-map + bool->selvec (two passes over all rows).
+  const auto& data = Data();
+  const int32_t cutoff = CutoffFor(state.range(0));
+  std::vector<uint8_t> bools(kN);
+  std::vector<sel_t> sel(kN);
+  auto cmp = KernelRegistry::Get().Binary(
+      dsl::ScalarOp::kLt, TypeId::kI32, interp::OperandMode::kVecScalar,
+      false);
+  auto to_sel = KernelRegistry::Get().BoolToSel(false);
+  uint32_t count = 0;
+  for (auto _ : state) {
+    cmp(data.data(), &cutoff, bools.data(), nullptr, kN);
+    count = to_sel(bools.data(), nullptr, nullptr, kN, sel.data());
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["selectivity"] = static_cast<double>(count) / kN;
+  state.counters["tuples/s"] = benchmark::Counter(
+      static_cast<double>(kN) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Filter_MicroAdaptive(benchmark::State& state) {
+  // The adaptive chooser flips between the three flavors online.
+  const auto& data = Data();
+  const int32_t cutoff = CutoffFor(state.range(0));
+  std::vector<uint8_t> bools(kN);
+  std::vector<sel_t> sel(kN);
+  const auto& reg = KernelRegistry::Get();
+  auto branchless = reg.Filter(dsl::ScalarOp::kLt, TypeId::kI32, true, false,
+                               FilterVariant::kBranchless);
+  auto branching = reg.Filter(dsl::ScalarOp::kLt, TypeId::kI32, true, false,
+                              FilterVariant::kBranching);
+  auto cmp = reg.Binary(dsl::ScalarOp::kLt, TypeId::kI32,
+                        interp::OperandMode::kVecScalar, false);
+  auto to_sel = reg.BoolToSel(false);
+  interp::MicroAdaptiveChooser chooser(3);
+  uint32_t count = 0;
+  for (auto _ : state) {
+    size_t arm = chooser.Choose();
+    uint64_t t0 = ReadCycleCounter();
+    switch (arm) {
+      case 0:
+        count = branchless(data.data(), &cutoff, nullptr, kN, sel.data());
+        break;
+      case 1:
+        count = branching(data.data(), &cutoff, nullptr, kN, sel.data());
+        break;
+      default:
+        cmp(data.data(), &cutoff, bools.data(), nullptr, kN);
+        count = to_sel(bools.data(), nullptr, nullptr, kN, sel.data());
+    }
+    chooser.Observe(arm, static_cast<double>(ReadCycleCounter() - t0) / kN);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["selectivity"] = static_cast<double>(count) / kN;
+  state.counters["best_arm"] = static_cast<double>(chooser.Best());
+  state.counters["tuples/s"] = benchmark::Counter(
+      static_cast<double>(kN) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+#define SELECTIVITY_SWEEP()                                            \
+  Arg(10)->Arg(50)->Arg(100)->Arg(250)->Arg(500)->Arg(750)->Arg(900)-> \
+      Arg(990)
+
+BENCHMARK(BM_Filter_Branchless)->SELECTIVITY_SWEEP();
+BENCHMARK(BM_Filter_Branching)->SELECTIVITY_SWEEP();
+BENCHMARK(BM_Filter_FullCompute)->SELECTIVITY_SWEEP();
+BENCHMARK(BM_Filter_MicroAdaptive)->SELECTIVITY_SWEEP();
+
+}  // namespace

@@ -1,0 +1,156 @@
+// T1 — per-tuple cost of every Table I skeleton's kernel implementation
+// (the pre-compiled primitive catalogue the interpreter dispatches to).
+#include <benchmark/benchmark.h>
+
+#include "interp/kernels.h"
+#include "storage/datagen.h"
+
+namespace {
+
+using namespace avm;
+using interp::KernelRegistry;
+using interp::OperandMode;
+
+constexpr uint32_t kN = 16 * 1024;
+
+struct Buffers {
+  std::vector<int64_t> a, b, out, base, idx;
+  std::vector<sel_t> sel;
+  std::vector<uint8_t> bools;
+  Buffers() {
+    DataGen gen(3);
+    a = gen.UniformI64(kN, -1000, 1000);
+    b = gen.UniformI64(kN, 1, 1000);
+    out.assign(kN, 0);
+    base = gen.UniformI64(kN, 0, 99);
+    idx = gen.UniformI64(kN, 0, kN - 1);
+    sel.resize(kN);
+    bools.resize(kN);
+  }
+};
+
+Buffers& B() {
+  static Buffers* b = new Buffers();
+  return *b;
+}
+
+void Throughput(benchmark::State& state) {
+  state.counters["tuples/s"] = benchmark::Counter(
+      static_cast<double>(kN) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Skeleton_Map(benchmark::State& state) {
+  auto fn = KernelRegistry::Get().Binary(dsl::ScalarOp::kAdd, TypeId::kI64,
+                                         OperandMode::kVecVec, false);
+  for (auto _ : state) {
+    fn(B().a.data(), B().b.data(), B().out.data(), nullptr, kN);
+    benchmark::DoNotOptimize(B().out.data());
+  }
+  Throughput(state);
+}
+BENCHMARK(BM_Skeleton_Map);
+
+void BM_Skeleton_Filter(benchmark::State& state) {
+  const int64_t c = 0;
+  auto fn = KernelRegistry::Get().Filter(dsl::ScalarOp::kGt, TypeId::kI64,
+                                         true, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fn(B().a.data(), &c, nullptr, kN, B().sel.data()));
+  }
+  Throughput(state);
+}
+BENCHMARK(BM_Skeleton_Filter);
+
+void BM_Skeleton_Fold(benchmark::State& state) {
+  auto fn = KernelRegistry::Get().Fold(dsl::ScalarOp::kAdd, TypeId::kI64);
+  for (auto _ : state) {
+    int64_t acc = 0;
+    fn(B().a.data(), nullptr, kN, &acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  Throughput(state);
+}
+BENCHMARK(BM_Skeleton_Fold);
+
+void BM_Skeleton_Gather(benchmark::State& state) {
+  auto fn = KernelRegistry::Get().GatherI64Idx(TypeId::kI64, false);
+  for (auto _ : state) {
+    fn(B().base.data(), B().idx.data(), B().out.data(), nullptr, kN);
+    benchmark::DoNotOptimize(B().out.data());
+  }
+  Throughput(state);
+}
+BENCHMARK(BM_Skeleton_Gather);
+
+void BM_Skeleton_ScatterAdd(benchmark::State& state) {
+  std::vector<int64_t> acc(kN, 0);
+  auto fn = KernelRegistry::Get().Scatter(dsl::ScalarOp::kAdd, TypeId::kI64);
+  for (auto _ : state) {
+    fn(B().idx.data(), B().a.data(), acc.data(), nullptr, kN);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  Throughput(state);
+}
+BENCHMARK(BM_Skeleton_ScatterAdd);
+
+void BM_Skeleton_Condense(benchmark::State& state) {
+  // Selection of every other element.
+  for (uint32_t i = 0; i < kN / 2; ++i) B().sel[i] = i * 2;
+  auto fn = KernelRegistry::Get().Condense(TypeId::kI64);
+  for (auto _ : state) {
+    fn(B().a.data(), nullptr, B().out.data(), B().sel.data(), kN / 2);
+    benchmark::DoNotOptimize(B().out.data());
+  }
+  Throughput(state);
+}
+BENCHMARK(BM_Skeleton_Condense);
+
+void BM_Skeleton_BoolToSel(benchmark::State& state) {
+  for (uint32_t i = 0; i < kN; ++i) B().bools[i] = (i % 3) == 0;
+  auto fn = KernelRegistry::Get().BoolToSel(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fn(B().bools.data(), nullptr, nullptr, kN, B().sel.data()));
+  }
+  Throughput(state);
+}
+BENCHMARK(BM_Skeleton_BoolToSel);
+
+void BM_Skeleton_Cast(benchmark::State& state) {
+  std::vector<int32_t> narrow(kN);
+  auto fn = KernelRegistry::Get().Cast(TypeId::kI64, TypeId::kI32, false);
+  for (auto _ : state) {
+    fn(B().a.data(), nullptr, narrow.data(), nullptr, kN);
+    benchmark::DoNotOptimize(narrow.data());
+  }
+  Throughput(state);
+}
+BENCHMARK(BM_Skeleton_Cast);
+
+void BM_Skeleton_SelectiveMap(benchmark::State& state) {
+  // Selective execution over a 50% selection (X100-style).
+  for (uint32_t i = 0; i < kN / 2; ++i) B().sel[i] = i * 2;
+  auto fn = KernelRegistry::Get().Binary(dsl::ScalarOp::kMul, TypeId::kI64,
+                                         OperandMode::kVecVec, true);
+  for (auto _ : state) {
+    fn(B().a.data(), B().b.data(), B().out.data(), B().sel.data(), kN / 2);
+    benchmark::DoNotOptimize(B().out.data());
+  }
+  Throughput(state);
+}
+BENCHMARK(BM_Skeleton_SelectiveMap);
+
+void BM_Skeleton_Hash(benchmark::State& state) {
+  auto fn = KernelRegistry::Get().Unary(dsl::ScalarOp::kHash, TypeId::kI64,
+                                        false);
+  for (auto _ : state) {
+    fn(B().a.data(), nullptr, B().out.data(), nullptr, kN);
+    benchmark::DoNotOptimize(B().out.data());
+  }
+  Throughput(state);
+}
+BENCHMARK(BM_Skeleton_Hash);
+
+}  // namespace

@@ -1,0 +1,92 @@
+// TPC-H Q1 analogue under every execution strategy the framework provides
+// (the paper's Plan step 1: X100-style vectorized and HyPer-style compiled
+// execution inside the same system, plus the adaptive VM).
+//
+//   $ ./tpch_q1 [num_rows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "jit/source_jit.h"
+#include "relational/q1.h"
+#include "util/timer.h"
+
+using namespace avm;
+using namespace avm::relational;
+
+namespace {
+
+void PrintResult(const char* name, const Q1Result& r, double ms,
+                 uint64_t rows) {
+  std::printf("%-28s %8.2f ms  %7.1f Mrows/s\n", name, ms,
+              rows / ms / 1e3);
+  (void)r;
+}
+
+template <typename Fn>
+Q1Result Timed(const char* name, uint64_t rows, Fn&& fn) {
+  Stopwatch sw;
+  auto r = fn();
+  double ms = sw.ElapsedMillis();
+  Q1Result value = std::move(r).ValueOrDie();
+  PrintResult(name, value, ms, rows);
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LineitemSpec spec;
+  spec.num_rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 600'000;
+  std::printf("generating lineitem with %llu rows...\n",
+              (unsigned long long)spec.num_rows);
+  auto table = MakeLineitem(spec);
+  std::printf("compressed to %.1f MiB (%.2fx)\n\n",
+              table->EncodedBytes() / 1048576.0,
+              static_cast<double>(spec.num_rows) * 42 /
+                  table->EncodedBytes());
+
+  const uint64_t n = table->num_rows();
+  Q1Result oracle = Timed("scalar reference", n,
+                          [&] { return RunQ1Scalar(*table); });
+  Q1Result vec = Timed("vectorized (X100-style)", n,
+                       [&] { return RunQ1Vectorized(*table); });
+  Q1Result compact = Timed("vectorized + compact types", n,
+                           [&] { return RunQ1VectorizedCompact(*table); });
+  if (jit::SourceJit::Available()) {
+    // First run includes the JIT compile; second shows steady state.
+    Timed("compiled tuple-at-a-time*", n,
+          [&] { return RunQ1CompiledWholeQuery(*table); });
+    Q1Result comp = Timed("compiled tuple-at-a-time", n,
+                          [&] { return RunQ1CompiledWholeQuery(*table); });
+    if (!(comp == oracle)) std::printf("!! compiled result mismatch\n");
+  }
+  {
+    vm::VmOptions opts;
+    opts.enable_jit = jit::SourceJit::Available();
+    Stopwatch sw;
+    Q1DslRun run = RunQ1AdaptiveVm(*table, opts).ValueOrDie();
+    double ms = sw.ElapsedMillis();
+    PrintResult("adaptive VM (DSL)", run.result, ms, n);
+    std::printf("  -> traces compiled: %llu, injected chunk runs: %llu\n",
+                (unsigned long long)run.report.traces_compiled,
+                (unsigned long long)run.report.injection_runs);
+    if (!(run.result == oracle)) {
+      std::printf("!! adaptive result mismatch\n");
+    }
+  }
+  if (!(vec == oracle) || !(compact == oracle)) {
+    std::printf("!! vectorized result mismatch\n");
+    return 1;
+  }
+
+  std::printf("\ngroup        count      sum_qty    avg_disc_price\n");
+  for (int g = 0; g < 8; ++g) {
+    const Q1Group& grp = oracle.groups[g];
+    if (grp.count == 0) continue;
+    std::printf("rf=%d ls=%d %9lld %12lld %15.2f\n", g / 2, g % 2,
+                (long long)grp.count, (long long)grp.sum_qty,
+                static_cast<double>(grp.sum_disc_price) / grp.count / 100.0);
+  }
+  std::printf("\n* first compiled run includes JIT compilation time\n");
+  return 0;
+}

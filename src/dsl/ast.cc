@@ -1,0 +1,312 @@
+#include "dsl/ast.h"
+
+namespace avm::dsl {
+
+const char* ScalarOpName(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kAdd: return "add";
+    case ScalarOp::kSub: return "sub";
+    case ScalarOp::kMul: return "mul";
+    case ScalarOp::kDiv: return "div";
+    case ScalarOp::kMod: return "mod";
+    case ScalarOp::kMin: return "min";
+    case ScalarOp::kMax: return "max";
+    case ScalarOp::kEq: return "eq";
+    case ScalarOp::kNe: return "ne";
+    case ScalarOp::kLt: return "lt";
+    case ScalarOp::kLe: return "le";
+    case ScalarOp::kGt: return "gt";
+    case ScalarOp::kGe: return "ge";
+    case ScalarOp::kAnd: return "and";
+    case ScalarOp::kOr: return "or";
+    case ScalarOp::kNot: return "not";
+    case ScalarOp::kNeg: return "neg";
+    case ScalarOp::kAbs: return "abs";
+    case ScalarOp::kSqrt: return "sqrt";
+    case ScalarOp::kCast: return "cast";
+    case ScalarOp::kHash: return "hash";
+  }
+  return "?";
+}
+
+int ScalarOpArity(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kNot:
+    case ScalarOp::kNeg:
+    case ScalarOp::kAbs:
+    case ScalarOp::kSqrt:
+    case ScalarOp::kCast:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+bool ScalarOpIsComparison(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kEq:
+    case ScalarOp::kNe:
+    case ScalarOp::kLt:
+    case ScalarOp::kLe:
+    case ScalarOp::kGt:
+    case ScalarOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* SkeletonName(SkeletonKind k) {
+  switch (k) {
+    case SkeletonKind::kMap: return "map";
+    case SkeletonKind::kFilter: return "filter";
+    case SkeletonKind::kFold: return "fold";
+    case SkeletonKind::kRead: return "read";
+    case SkeletonKind::kWrite: return "write";
+    case SkeletonKind::kGather: return "gather";
+    case SkeletonKind::kScatter: return "scatter";
+    case SkeletonKind::kGen: return "gen";
+    case SkeletonKind::kCondense: return "condense";
+    case SkeletonKind::kMerge: return "merge";
+    case SkeletonKind::kLen: return "len";
+  }
+  return "?";
+}
+
+ExprPtr ConstI(int64_t v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConst;
+  e->const_i = v;
+  return e;
+}
+
+ExprPtr ConstF(double v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConst;
+  e->const_f = v;
+  e->const_is_float = true;
+  return e;
+}
+
+ExprPtr Var(const std::string& name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kVarRef;
+  e->var = name;
+  return e;
+}
+
+ExprPtr Call(ScalarOp op, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kScalarCall;
+  e->op = op;
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Cast(TypeId to, ExprPtr arg) {
+  auto e = Call(ScalarOp::kCast, {std::move(arg)});
+  e->cast_to = to;
+  return e;
+}
+
+ExprPtr Lambda(std::vector<std::string> params, ExprPtr body) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLambda;
+  e->params = std::move(params);
+  e->body = std::move(body);
+  return e;
+}
+
+ExprPtr Skeleton(SkeletonKind k, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kSkeleton;
+  e->skeleton = k;
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Merge(MergeKind mk, std::vector<ExprPtr> args) {
+  auto e = Skeleton(SkeletonKind::kMerge, std::move(args));
+  e->merge_kind = mk;
+  return e;
+}
+
+StmtPtr MutDef(const std::string& name) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kMutDef;
+  s->var = name;
+  return s;
+}
+
+StmtPtr Assign(const std::string& name, ExprPtr e) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kAssign;
+  s->var = name;
+  s->expr = std::move(e);
+  return s;
+}
+
+StmtPtr Let(const std::string& name, ExprPtr e) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kLet;
+  s->var = name;
+  s->expr = std::move(e);
+  return s;
+}
+
+StmtPtr Loop(std::vector<StmtPtr> body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kLoop;
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr Break() {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kBreak;
+  return s;
+}
+
+StmtPtr If(ExprPtr cond, std::vector<StmtPtr> then_body,
+           std::vector<StmtPtr> else_body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kIf;
+  s->expr = std::move(cond);
+  s->body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr ExprStmt(ExprPtr e) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kExpr;
+  s->expr = std::move(e);
+  return s;
+}
+
+namespace {
+
+void AssignExprIds(const ExprPtr& e, uint32_t* next) {
+  if (e == nullptr) return;
+  e->id = (*next)++;
+  if (e->body) AssignExprIds(e->body, next);
+  for (const auto& a : e->args) AssignExprIds(a, next);
+}
+
+void AssignStmtIds(const StmtPtr& s, uint32_t* next) {
+  if (s == nullptr) return;
+  s->id = (*next)++;
+  if (s->expr) AssignExprIds(s->expr, next);
+  for (const auto& c : s->body) AssignStmtIds(c, next);
+  for (const auto& c : s->else_body) AssignStmtIds(c, next);
+}
+
+void VisitExpr(const ExprPtr& e, const std::function<void(const ExprPtr&)>& fn) {
+  if (e == nullptr) return;
+  fn(e);
+  if (e->body) VisitExpr(e->body, fn);
+  for (const auto& a : e->args) VisitExpr(a, fn);
+}
+
+void VisitStmt(const StmtPtr& s, const std::function<void(const StmtPtr&)>& sfn,
+               const std::function<void(const ExprPtr&)>& efn) {
+  if (s == nullptr) return;
+  if (sfn) sfn(s);
+  if (s->expr && efn) VisitExpr(s->expr, efn);
+  for (const auto& c : s->body) VisitStmt(c, sfn, efn);
+  for (const auto& c : s->else_body) VisitStmt(c, sfn, efn);
+}
+
+}  // namespace
+
+uint32_t Program::AssignIds() {
+  uint32_t next = 1;
+  for (const auto& s : stmts) AssignStmtIds(s, &next);
+  return next;
+}
+
+DataDecl* Program::FindData(const std::string& name) {
+  for (auto& d : data) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+const DataDecl* Program::FindData(const std::string& name) const {
+  return const_cast<Program*>(this)->FindData(name);
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::kConst:
+      if (a.const_is_float != b.const_is_float) return false;
+      return a.const_is_float ? a.const_f == b.const_f
+                              : a.const_i == b.const_i;
+    case ExprKind::kVarRef:
+      return a.var == b.var;
+    case ExprKind::kScalarCall:
+      if (a.op != b.op) return false;
+      if (a.op == ScalarOp::kCast && a.cast_to != b.cast_to) return false;
+      break;
+    case ExprKind::kLambda:
+      if (a.params != b.params) return false;
+      if ((a.body == nullptr) != (b.body == nullptr)) return false;
+      if (a.body && !ExprEquals(*a.body, *b.body)) return false;
+      return true;
+    case ExprKind::kSkeleton:
+      if (a.skeleton != b.skeleton) return false;
+      if (a.skeleton == SkeletonKind::kMerge && a.merge_kind != b.merge_kind) {
+        return false;
+      }
+      break;
+  }
+  if (a.args.size() != b.args.size()) return false;
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (!ExprEquals(*a.args[i], *b.args[i])) return false;
+  }
+  return true;
+}
+
+bool StmtEquals(const Stmt& a, const Stmt& b) {
+  if (a.kind != b.kind || a.var != b.var) return false;
+  if ((a.expr == nullptr) != (b.expr == nullptr)) return false;
+  if (a.expr && !ExprEquals(*a.expr, *b.expr)) return false;
+  auto blocks_equal = [](const std::vector<StmtPtr>& x,
+                         const std::vector<StmtPtr>& y) {
+    if (x.size() != y.size()) return false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (!StmtEquals(*x[i], *y[i])) return false;
+    }
+    return true;
+  };
+  return blocks_equal(a.body, b.body) &&
+         blocks_equal(a.else_body, b.else_body);
+}
+
+bool ProgramEquals(const Program& a, const Program& b) {
+  if (a.data.size() != b.data.size()) return false;
+  for (size_t i = 0; i < a.data.size(); ++i) {
+    if (a.data[i].name != b.data[i].name || a.data[i].type != b.data[i].type ||
+        a.data[i].writable != b.data[i].writable) {
+      return false;
+    }
+  }
+  if (a.stmts.size() != b.stmts.size()) return false;
+  for (size_t i = 0; i < a.stmts.size(); ++i) {
+    if (!StmtEquals(*a.stmts[i], *b.stmts[i])) return false;
+  }
+  return true;
+}
+
+void VisitExprs(const Program& p,
+                const std::function<void(const ExprPtr&)>& fn) {
+  for (const auto& s : p.stmts) VisitStmt(s, nullptr, fn);
+}
+
+void VisitStmts(const Program& p,
+                const std::function<void(const StmtPtr&)>& fn) {
+  for (const auto& s : p.stmts) VisitStmt(s, fn, nullptr);
+}
+
+}  // namespace avm::dsl

@@ -1,0 +1,45 @@
+// Convenience builders for common DSL program shapes, including the paper's
+// Fig. 2 example. Front-ends (the relational layer, tests, examples) use
+// these instead of hand-assembling ASTs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsl/ast.h"
+
+namespace avm::dsl {
+
+/// The exact program of the paper's Figure 2:
+///
+///   mut i; mut k; i := 0; k := 0
+///   loop
+///     let input = read i some_data in
+///     let a = map (\x -> 2*x) input in
+///     let t = filter (\x -> x > 0) a in
+///     let b = condense t
+///     write v i a
+///     write w k b
+///     i := i + len(a)
+///     k := k + len(b)
+///     if i >= limit then break
+///
+/// Reads `some_data : i64`, writes doubled values to `v` and the positive
+/// doubled values (condensed) to `w`.
+Program MakeFigure2Program(int64_t limit = 4096);
+
+/// A scan→map→write pipeline: out[i] = f(in[i]) where f is the given lambda
+/// over one variable, processing `limit` input values.
+Program MakeMapPipeline(TypeId type, ExprPtr lambda, int64_t limit);
+
+/// A scan→filter→condense→write pipeline with predicate `pred` (lambda).
+Program MakeFilterPipeline(TypeId type, ExprPtr pred, int64_t limit);
+
+/// A scan→fold (sum) reduction into mutable `total`, written to out[0].
+Program MakeSumPipeline(TypeId type, int64_t limit);
+
+/// The paper's Section III-A normalization example as a pipeline:
+/// out[i] = sqrt(a[i]^2 + b[i]^2).
+Program MakeHypotPipeline(int64_t limit);
+
+}  // namespace avm::dsl

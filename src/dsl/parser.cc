@@ -1,0 +1,659 @@
+#include "dsl/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace avm::dsl {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok : uint8_t {
+  kName, kInt, kFloat,
+  kAssign,   // :=
+  kEquals,   // =
+  kArrow,    // ->
+  kBackslash,
+  kLParen, kRParen, kComma, kColon,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEqEq, kNe, kLt, kLe, kGt, kGe,
+  kNewline, kIndent, kDedent, kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int64_t int_val = 0;
+  double float_val = 0;
+  int line = 0;
+  int col = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    indents_.push_back(0);
+    size_t pos = 0;
+    int line_no = 0;
+    while (pos < src_.size()) {
+      size_t eol = src_.find('\n', pos);
+      if (eol == std::string::npos) eol = src_.size();
+      std::string line = src_.substr(pos, eol - pos);
+      ++line_no;
+      AVM_RETURN_NOT_OK(LexLine(line, line_no, &out));
+      pos = eol + 1;
+    }
+    // Close all open blocks.
+    while (indents_.back() > 0) {
+      indents_.pop_back();
+      out.push_back({Tok::kDedent, "", 0, 0, line_no, 0});
+    }
+    out.push_back({Tok::kEnd, "", 0, 0, line_no, 0});
+    return out;
+  }
+
+ private:
+  Status LexLine(const std::string& line, int line_no,
+                 std::vector<Token>* out) {
+    // Measure indentation; skip blank/comment-only lines entirely.
+    int indent = 0;
+    size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) {
+      indent += line[i] == '\t' ? 8 : 1;
+      ++i;
+    }
+    bool blank = true;
+    for (size_t j = i; j < line.size(); ++j) {
+      if (line[j] == '#') break;
+      if (!std::isspace(static_cast<unsigned char>(line[j]))) {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) return Status::OK();
+
+    if (indent > indents_.back()) {
+      indents_.push_back(indent);
+      out->push_back({Tok::kIndent, "", 0, 0, line_no, 0});
+    } else {
+      while (indent < indents_.back()) {
+        indents_.pop_back();
+        out->push_back({Tok::kDedent, "", 0, 0, line_no, 0});
+      }
+      if (indent != indents_.back()) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: inconsistent indentation", line_no));
+      }
+    }
+
+    while (i < line.size()) {
+      char c = line[i];
+      if (c == ' ' || c == '\t') {
+        ++i;
+        continue;
+      }
+      if (c == '#') break;
+      int col = static_cast<int>(i) + 1;
+      auto push = [&](Tok k, std::string text, size_t adv) {
+        out->push_back({k, std::move(text), 0, 0, line_no, col});
+        i += adv;
+      };
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i;
+        bool is_float = false;
+        while (j < line.size() &&
+               (std::isdigit(static_cast<unsigned char>(line[j])) ||
+                line[j] == '.' || line[j] == 'e' || line[j] == 'E' ||
+                ((line[j] == '+' || line[j] == '-') && j > i &&
+                 (line[j - 1] == 'e' || line[j - 1] == 'E')))) {
+          if (line[j] == '.' || line[j] == 'e' || line[j] == 'E') {
+            is_float = true;
+          }
+          ++j;
+        }
+        std::string text = line.substr(i, j - i);
+        Token t{is_float ? Tok::kFloat : Tok::kInt, text, 0, 0, line_no, col};
+        if (is_float) {
+          t.float_val = std::strtod(text.c_str(), nullptr);
+        } else {
+          t.int_val = std::strtoll(text.c_str(), nullptr, 10);
+        }
+        out->push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[j])) ||
+                line[j] == '_')) {
+          ++j;
+        }
+        out->push_back(
+            {Tok::kName, line.substr(i, j - i), 0, 0, line_no, col});
+        i = j;
+        continue;
+      }
+      switch (c) {
+        case '(': push(Tok::kLParen, "(", 1); continue;
+        case ')': push(Tok::kRParen, ")", 1); continue;
+        case ',': push(Tok::kComma, ",", 1); continue;
+        case '\\': push(Tok::kBackslash, "\\", 1); continue;
+        case '+': push(Tok::kPlus, "+", 1); continue;
+        case '*': push(Tok::kStar, "*", 1); continue;
+        case '/': push(Tok::kSlash, "/", 1); continue;
+        case '%': push(Tok::kPercent, "%", 1); continue;
+        case '-':
+          if (i + 1 < line.size() && line[i + 1] == '>') {
+            push(Tok::kArrow, "->", 2);
+          } else {
+            push(Tok::kMinus, "-", 1);
+          }
+          continue;
+        case ':':
+          if (i + 1 < line.size() && line[i + 1] == '=') {
+            push(Tok::kAssign, ":=", 2);
+          } else {
+            push(Tok::kColon, ":", 1);
+          }
+          continue;
+        case '=':
+          if (i + 1 < line.size() && line[i + 1] == '=') {
+            push(Tok::kEqEq, "==", 2);
+          } else {
+            push(Tok::kEquals, "=", 1);
+          }
+          continue;
+        case '!':
+          if (i + 1 < line.size() && line[i + 1] == '=') {
+            push(Tok::kNe, "!=", 2);
+            continue;
+          }
+          return Status::InvalidArgument(
+              StrFormat("line %d col %d: unexpected '!'", line_no, col));
+        case '<':
+          if (i + 1 < line.size() && line[i + 1] == '=') {
+            push(Tok::kLe, "<=", 2);
+          } else {
+            push(Tok::kLt, "<", 1);
+          }
+          continue;
+        case '>':
+          if (i + 1 < line.size() && line[i + 1] == '=') {
+            push(Tok::kGe, ">=", 2);
+          } else {
+            push(Tok::kGt, ">", 1);
+          }
+          continue;
+        default:
+          return Status::InvalidArgument(
+              StrFormat("line %d col %d: unexpected character '%c'", line_no,
+                        col, c));
+      }
+    }
+    out->push_back({Tok::kNewline, "", 0, 0, line_no, 0});
+    return Status::OK();
+  }
+
+  const std::string& src_;
+  std::vector<int> indents_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const std::unordered_map<std::string, SkeletonKind>& SkeletonNames() {
+  static const auto* m = new std::unordered_map<std::string, SkeletonKind>{
+      {"map", SkeletonKind::kMap},         {"filter", SkeletonKind::kFilter},
+      {"fold", SkeletonKind::kFold},       {"read", SkeletonKind::kRead},
+      {"write", SkeletonKind::kWrite},     {"gather", SkeletonKind::kGather},
+      {"scatter", SkeletonKind::kScatter}, {"gen", SkeletonKind::kGen},
+      {"condense", SkeletonKind::kCondense}, {"len", SkeletonKind::kLen},
+  };
+  return *m;
+}
+
+const std::unordered_map<std::string, ScalarOp>& BuiltinNames() {
+  static const auto* m = new std::unordered_map<std::string, ScalarOp>{
+      {"add", ScalarOp::kAdd}, {"sub", ScalarOp::kSub},
+      {"mul", ScalarOp::kMul}, {"div", ScalarOp::kDiv},
+      {"mod", ScalarOp::kMod}, {"min", ScalarOp::kMin},
+      {"max", ScalarOp::kMax}, {"abs", ScalarOp::kAbs},
+      {"sqrt", ScalarOp::kSqrt}, {"hash", ScalarOp::kHash},
+      {"not", ScalarOp::kNot}, {"neg", ScalarOp::kNeg},
+  };
+  return *m;
+}
+
+std::optional<TypeId> ParseTypeName(const std::string& s) {
+  if (s == "bool") return TypeId::kBool;
+  if (s == "i8") return TypeId::kI8;
+  if (s == "i16") return TypeId::kI16;
+  if (s == "i32") return TypeId::kI32;
+  if (s == "i64") return TypeId::kI64;
+  if (s == "f32") return TypeId::kF32;
+  if (s == "f64") return TypeId::kF64;
+  return std::nullopt;
+}
+
+bool IsKeyword(const std::string& s) {
+  return s == "mut" || s == "let" || s == "in" || s == "loop" ||
+         s == "break" || s == "if" || s == "then" || s == "else" ||
+         s == "data" || s == "writable" || s == "and" || s == "or";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<Program> ParseProgram() {
+    Program p;
+    while (!At(Tok::kEnd)) {
+      if (At(Tok::kNewline)) {
+        Advance();
+        continue;
+      }
+      if (AtName("data")) {
+        AVM_RETURN_NOT_OK(ParseDataDecl(&p));
+        continue;
+      }
+      AVM_ASSIGN_OR_RETURN(StmtPtr s, ParseStmt());
+      p.stmts.push_back(std::move(s));
+    }
+    p.AssignIds();
+    return p;
+  }
+
+  Result<ExprPtr> ParseSingleExpr() {
+    AVM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  bool At(Tok k) const { return Peek().kind == k; }
+  bool AtName(const char* n) const {
+    return At(Tok::kName) && Peek().text == n;
+  }
+  const Token& Advance() { return toks_[pos_++]; }
+
+  Status Expect(Tok k, const char* what) {
+    if (!At(k)) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected %s, got '%s'", Peek().line, what,
+                    Peek().text.c_str()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AtName(kw)) {
+      return Status::InvalidArgument(StrFormat(
+          "line %d: expected '%s'", Peek().line, kw));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseDataDecl(Program* p) {
+    Advance();  // data
+    if (!At(Tok::kName)) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected data name", Peek().line));
+    }
+    DataDecl d;
+    d.name = Advance().text;
+    AVM_RETURN_NOT_OK(Expect(Tok::kColon, "':'"));
+    if (!At(Tok::kName)) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected type name", Peek().line));
+    }
+    auto ty = ParseTypeName(Peek().text);
+    if (!ty.has_value()) {
+      return Status::InvalidArgument(StrFormat(
+          "line %d: unknown type '%s'", Peek().line, Peek().text.c_str()));
+    }
+    Advance();
+    d.type = *ty;
+    if (AtName("writable")) {
+      d.writable = true;
+      Advance();
+    }
+    AVM_RETURN_NOT_OK(Expect(Tok::kNewline, "end of line"));
+    p->data.push_back(std::move(d));
+    return Status::OK();
+  }
+
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    AVM_RETURN_NOT_OK(Expect(Tok::kNewline, "end of line"));
+    AVM_RETURN_NOT_OK(Expect(Tok::kIndent, "indented block"));
+    std::vector<StmtPtr> body;
+    while (!At(Tok::kDedent) && !At(Tok::kEnd)) {
+      if (At(Tok::kNewline)) {
+        Advance();
+        continue;
+      }
+      AVM_ASSIGN_OR_RETURN(StmtPtr s, ParseStmt());
+      body.push_back(std::move(s));
+    }
+    if (At(Tok::kDedent)) Advance();
+    return body;
+  }
+
+  Result<StmtPtr> ParseStmt() {
+    if (AtName("mut")) {
+      Advance();
+      if (!At(Tok::kName)) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: expected variable after 'mut'", Peek().line));
+      }
+      std::string name = Advance().text;
+      AVM_RETURN_NOT_OK(Expect(Tok::kNewline, "end of line"));
+      return MutDef(name);
+    }
+    if (AtName("let")) {
+      Advance();
+      if (!At(Tok::kName)) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: expected variable after 'let'", Peek().line));
+      }
+      std::string name = Advance().text;
+      AVM_RETURN_NOT_OK(Expect(Tok::kEquals, "'='"));
+      AVM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      if (AtName("in")) Advance();
+      AVM_RETURN_NOT_OK(Expect(Tok::kNewline, "end of line"));
+      return Let(name, std::move(e));
+    }
+    if (AtName("loop")) {
+      Advance();
+      AVM_ASSIGN_OR_RETURN(std::vector<StmtPtr> body, ParseBlock());
+      return Loop(std::move(body));
+    }
+    if (AtName("break")) {
+      Advance();
+      AVM_RETURN_NOT_OK(Expect(Tok::kNewline, "end of line"));
+      return Break();
+    }
+    if (AtName("if")) {
+      Advance();
+      AVM_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      AVM_RETURN_NOT_OK(ExpectKeyword("then"));
+      AVM_ASSIGN_OR_RETURN(std::vector<StmtPtr> then_body, ParseBlock());
+      std::vector<StmtPtr> else_body;
+      if (AtName("else")) {
+        Advance();
+        AVM_ASSIGN_OR_RETURN(else_body, ParseBlock());
+      }
+      return If(std::move(cond), std::move(then_body), std::move(else_body));
+    }
+    // Assignment `x := e` or expression statement.
+    if (At(Tok::kName) && pos_ + 1 < toks_.size() &&
+        toks_[pos_ + 1].kind == Tok::kAssign && !IsKeyword(Peek().text)) {
+      std::string name = Advance().text;
+      Advance();  // :=
+      AVM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      AVM_RETURN_NOT_OK(Expect(Tok::kNewline, "end of line"));
+      return Assign(name, std::move(e));
+    }
+    AVM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    AVM_RETURN_NOT_OK(Expect(Tok::kNewline, "end of line"));
+    return ExprStmt(std::move(e));
+  }
+
+  // expr := or-chain of and-chains of comparisons of additive of
+  //         multiplicative of application of atoms.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    AVM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AtName("or")) {
+      Advance();
+      AVM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Call(ScalarOp::kOr, {lhs, rhs});
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    AVM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCmp());
+    while (AtName("and")) {
+      Advance();
+      AVM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCmp());
+      lhs = Call(ScalarOp::kAnd, {lhs, rhs});
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseCmp() {
+    AVM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd());
+    ScalarOp op;
+    switch (Peek().kind) {
+      case Tok::kEqEq: op = ScalarOp::kEq; break;
+      case Tok::kNe: op = ScalarOp::kNe; break;
+      case Tok::kLt: op = ScalarOp::kLt; break;
+      case Tok::kLe: op = ScalarOp::kLe; break;
+      case Tok::kGt: op = ScalarOp::kGt; break;
+      case Tok::kGe: op = ScalarOp::kGe; break;
+      default: return lhs;
+    }
+    Advance();
+    AVM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd());
+    return Call(op, {lhs, rhs});
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    AVM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul());
+    while (At(Tok::kPlus) || At(Tok::kMinus)) {
+      ScalarOp op = At(Tok::kPlus) ? ScalarOp::kAdd : ScalarOp::kSub;
+      Advance();
+      AVM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul());
+      lhs = Call(op, {lhs, rhs});
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMul() {
+    AVM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseApp());
+    while (At(Tok::kStar) || At(Tok::kSlash) || At(Tok::kPercent)) {
+      ScalarOp op = At(Tok::kStar) ? ScalarOp::kMul
+                    : At(Tok::kSlash) ? ScalarOp::kDiv
+                                      : ScalarOp::kMod;
+      Advance();
+      AVM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseApp());
+      lhs = Call(op, {lhs, rhs});
+    }
+    return lhs;
+  }
+
+  bool AtAtomStart() const {
+    switch (Peek().kind) {
+      case Tok::kInt:
+      case Tok::kFloat:
+      case Tok::kLParen:
+      case Tok::kBackslash:
+        return true;
+      case Tok::kName:
+        return !IsKeyword(Peek().text) || Peek().text == "not";
+      default:
+        return false;
+    }
+  }
+
+  // Application by juxtaposition: `head a1 a2 ...` where head is a skeleton
+  // or scalar builtin name. A bare atom is returned unchanged.
+  Result<ExprPtr> ParseApp() {
+    // Head may be a skeleton/builtin name.
+    if (At(Tok::kName) && !IsKeyword(Peek().text)) {
+      const std::string& name = Peek().text;
+      auto sk = SkeletonNames().find(name);
+      auto bi = BuiltinNames().find(name);
+      std::optional<TypeId> cast_ty;
+      if (StartsWith(name, "cast_")) cast_ty = ParseTypeName(name.substr(5));
+      std::optional<MergeKind> merge;
+      if (name == "merge_join") merge = MergeKind::kJoin;
+      if (name == "merge_union") merge = MergeKind::kUnion;
+      if (name == "merge_diff") merge = MergeKind::kDiff;
+
+      if (sk != SkeletonNames().end() || bi != BuiltinNames().end() ||
+          cast_ty.has_value() || merge.has_value()) {
+        Advance();
+        std::vector<ExprPtr> args;
+        bool comma_call = false;
+        // `f (...)` is ambiguous between call syntax `f(a, b)` and a
+        // parenthesized first atom `f (\x -> e) v`. Parse the parenthesized
+        // expression; a following comma disambiguates to call syntax,
+        // otherwise it is the first atom of a juxtaposition application.
+        if (At(Tok::kLParen)) {
+          Advance();
+          if (At(Tok::kRParen)) {
+            Advance();
+            comma_call = true;  // `f()`: zero-argument call syntax
+          } else {
+            AVM_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
+            args.push_back(std::move(first));
+            if (At(Tok::kComma)) {
+              comma_call = true;
+              while (At(Tok::kComma)) {
+                Advance();
+                AVM_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+                args.push_back(std::move(a));
+              }
+            }
+            AVM_RETURN_NOT_OK(Expect(Tok::kRParen, "')'"));
+          }
+        }
+        if (!comma_call) {
+          while (AtAtomStart()) {
+            AVM_ASSIGN_OR_RETURN(ExprPtr a, ParseAtom());
+            args.push_back(std::move(a));
+          }
+        }
+        if (merge.has_value()) return Merge(*merge, std::move(args));
+        if (sk != SkeletonNames().end()) {
+          return Skeleton(sk->second, std::move(args));
+        }
+        if (cast_ty.has_value()) {
+          if (args.size() != 1) {
+            return Status::InvalidArgument(StrFormat(
+                "line %d: cast expects one argument", Peek().line));
+          }
+          return Cast(*cast_ty, args[0]);
+        }
+        if (static_cast<int>(args.size()) != ScalarOpArity(bi->second)) {
+          return Status::InvalidArgument(
+              StrFormat("line %d: %s expects %d argument(s), got %zu",
+                        Peek().line, name.c_str(), ScalarOpArity(bi->second),
+                        args.size()));
+        }
+        return Call(bi->second, std::move(args));
+      }
+    }
+    return ParseAtom();
+  }
+
+  Result<ExprPtr> ParseAtom() {
+    switch (Peek().kind) {
+      case Tok::kInt: {
+        const Token& t = Advance();
+        return ConstI(t.int_val);
+      }
+      case Tok::kFloat: {
+        const Token& t = Advance();
+        return ConstF(t.float_val);
+      }
+      case Tok::kName: {
+        if (IsKeyword(Peek().text) && Peek().text != "not") {
+          return Status::InvalidArgument(StrFormat(
+              "line %d: unexpected keyword '%s' in expression", Peek().line,
+              Peek().text.c_str()));
+        }
+        if (Peek().text == "not") {
+          Advance();
+          AVM_ASSIGN_OR_RETURN(ExprPtr a, ParseAtom());
+          return Call(ScalarOp::kNot, {std::move(a)});
+        }
+        const Token& t = Advance();
+        return Var(t.text);
+      }
+      case Tok::kMinus: {
+        Advance();
+        AVM_ASSIGN_OR_RETURN(ExprPtr a, ParseAtom());
+        if (a->kind == ExprKind::kConst) {
+          if (a->const_is_float) {
+            a->const_f = -a->const_f;
+          } else {
+            a->const_i = -a->const_i;
+          }
+          return a;
+        }
+        return Call(ScalarOp::kNeg, {std::move(a)});
+      }
+      case Tok::kBackslash:
+        return ParseLambda();
+      case Tok::kLParen: {
+        Advance();
+        if (At(Tok::kBackslash)) {
+          AVM_ASSIGN_OR_RETURN(ExprPtr l, ParseLambda());
+          AVM_RETURN_NOT_OK(Expect(Tok::kRParen, "')'"));
+          return l;
+        }
+        AVM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        AVM_RETURN_NOT_OK(Expect(Tok::kRParen, "')'"));
+        return e;
+      }
+      default:
+        return Status::InvalidArgument(
+            StrFormat("line %d: unexpected token '%s' in expression",
+                      Peek().line, Peek().text.c_str()));
+    }
+  }
+
+  Result<ExprPtr> ParseLambda() {
+    AVM_RETURN_NOT_OK(Expect(Tok::kBackslash, "'\\'"));
+    std::vector<std::string> params;
+    while (At(Tok::kName) && !IsKeyword(Peek().text)) {
+      params.push_back(Advance().text);
+    }
+    if (params.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: lambda needs at least one parameter",
+                    Peek().line));
+    }
+    AVM_RETURN_NOT_OK(Expect(Tok::kArrow, "'->'"));
+    AVM_ASSIGN_OR_RETURN(ExprPtr body, ParseExpr());
+    return Lambda(std::move(params), std::move(body));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& source) {
+  Lexer lexer(source);
+  AVM_ASSIGN_OR_RETURN(std::vector<Token> toks, lexer.Run());
+  Parser parser(std::move(toks));
+  return parser.ParseProgram();
+}
+
+Result<ExprPtr> ParseExpr(const std::string& source) {
+  Lexer lexer(source);
+  AVM_ASSIGN_OR_RETURN(std::vector<Token> toks, lexer.Run());
+  Parser parser(std::move(toks));
+  return parser.ParseSingleExpr();
+}
+
+}  // namespace avm::dsl

@@ -1,0 +1,176 @@
+#include "dsl/printer.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace avm::dsl {
+
+namespace {
+
+const char* InfixSymbol(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kAdd: return "+";
+    case ScalarOp::kSub: return "-";
+    case ScalarOp::kMul: return "*";
+    case ScalarOp::kDiv: return "/";
+    case ScalarOp::kMod: return "%";
+    case ScalarOp::kEq: return "==";
+    case ScalarOp::kNe: return "!=";
+    case ScalarOp::kLt: return "<";
+    case ScalarOp::kLe: return "<=";
+    case ScalarOp::kGt: return ">";
+    case ScalarOp::kGe: return ">=";
+    case ScalarOp::kAnd: return "and";
+    case ScalarOp::kOr: return "or";
+    default: return nullptr;
+  }
+}
+
+void PrintExprTo(const Expr& e, std::ostream& os);
+
+void PrintAtom(const Expr& e, std::ostream& os) {
+  // Parenthesize anything that is not a leaf, keeping output unambiguous.
+  bool leaf = e.kind == ExprKind::kConst || e.kind == ExprKind::kVarRef;
+  if (leaf) {
+    PrintExprTo(e, os);
+  } else {
+    os << "(";
+    PrintExprTo(e, os);
+    os << ")";
+  }
+}
+
+void PrintExprTo(const Expr& e, std::ostream& os) {
+  switch (e.kind) {
+    case ExprKind::kConst:
+      if (e.const_is_float) {
+        std::string s = StrFormat("%.17g", e.const_f);
+        // Ensure it re-parses as a float literal.
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos) {
+          s += ".0";
+        }
+        os << s;
+      } else {
+        os << e.const_i;
+      }
+      break;
+    case ExprKind::kVarRef:
+      os << e.var;
+      break;
+    case ExprKind::kScalarCall: {
+      const char* sym = InfixSymbol(e.op);
+      if (sym != nullptr && e.args.size() == 2) {
+        PrintAtom(*e.args[0], os);
+        os << " " << sym << " ";
+        PrintAtom(*e.args[1], os);
+        break;
+      }
+      if (e.op == ScalarOp::kCast) {
+        os << "cast_" << TypeName(e.cast_to);
+      } else {
+        os << ScalarOpName(e.op);
+      }
+      for (const auto& a : e.args) {
+        os << " ";
+        PrintAtom(*a, os);
+      }
+      break;
+    }
+    case ExprKind::kLambda: {
+      os << "\\";
+      for (size_t i = 0; i < e.params.size(); ++i) {
+        if (i != 0) os << " ";
+        os << e.params[i];
+      }
+      os << " -> ";
+      PrintExprTo(*e.body, os);
+      break;
+    }
+    case ExprKind::kSkeleton: {
+      if (e.skeleton == SkeletonKind::kMerge) {
+        switch (e.merge_kind) {
+          case MergeKind::kJoin: os << "merge_join"; break;
+          case MergeKind::kUnion: os << "merge_union"; break;
+          case MergeKind::kDiff: os << "merge_diff"; break;
+        }
+      } else {
+        os << SkeletonName(e.skeleton);
+      }
+      for (const auto& a : e.args) {
+        os << " ";
+        PrintAtom(*a, os);
+      }
+      break;
+    }
+  }
+}
+
+void PrintStmtTo(const Stmt& s, int indent, std::ostream& os) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::kMutDef:
+      os << pad << "mut " << s.var << "\n";
+      break;
+    case StmtKind::kAssign:
+      os << pad << s.var << " := ";
+      PrintExprTo(*s.expr, os);
+      os << "\n";
+      break;
+    case StmtKind::kLet:
+      os << pad << "let " << s.var << " = ";
+      PrintExprTo(*s.expr, os);
+      os << " in\n";
+      break;
+    case StmtKind::kLoop:
+      os << pad << "loop\n";
+      for (const auto& c : s.body) PrintStmtTo(*c, indent + 1, os);
+      break;
+    case StmtKind::kBreak:
+      os << pad << "break\n";
+      break;
+    case StmtKind::kIf:
+      os << pad << "if ";
+      PrintExprTo(*s.expr, os);
+      os << " then\n";
+      for (const auto& c : s.body) PrintStmtTo(*c, indent + 1, os);
+      if (!s.else_body.empty()) {
+        os << pad << "else\n";
+        for (const auto& c : s.else_body) PrintStmtTo(*c, indent + 1, os);
+      }
+      break;
+    case StmtKind::kExpr:
+      os << pad;
+      PrintExprTo(*s.expr, os);
+      os << "\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& e) {
+  std::ostringstream os;
+  PrintExprTo(e, os);
+  return os.str();
+}
+
+std::string PrintStmt(const Stmt& s, int indent) {
+  std::ostringstream os;
+  PrintStmtTo(s, indent, os);
+  return os.str();
+}
+
+std::string PrintProgram(const Program& p) {
+  std::ostringstream os;
+  for (const auto& d : p.data) {
+    os << "data " << d.name << " : " << TypeName(d.type);
+    if (d.writable) os << " writable";
+    os << "\n";
+  }
+  for (const auto& s : p.stmts) PrintStmtTo(*s, 0, os);
+  return os.str();
+}
+
+}  // namespace avm::dsl

@@ -1,0 +1,15 @@
+// Pretty-printer for DSL programs, emitting the paper's Fig. 2 surface
+// syntax. Round-trips with the parser.
+#pragma once
+
+#include <string>
+
+#include "dsl/ast.h"
+
+namespace avm::dsl {
+
+std::string PrintExpr(const Expr& e);
+std::string PrintStmt(const Stmt& s, int indent = 0);
+std::string PrintProgram(const Program& p);
+
+}  // namespace avm::dsl

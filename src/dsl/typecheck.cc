@@ -1,0 +1,453 @@
+#include "dsl/typecheck.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace avm::dsl {
+
+TypeId PromoteTypes(TypeId a, TypeId b) {
+  if (a == b) return a;
+  if (a == TypeId::kF64 || b == TypeId::kF64) return TypeId::kF64;
+  if (a == TypeId::kF32 || b == TypeId::kF32) {
+    // f32 with wide ints promotes to f64 to avoid precision surprises.
+    TypeId other = a == TypeId::kF32 ? b : a;
+    if (other == TypeId::kI64 || other == TypeId::kI32) return TypeId::kF64;
+    return TypeId::kF32;
+  }
+  return TypeWidth(a) >= TypeWidth(b) ? a : b;
+}
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(Program* p) : program_(p) {}
+
+  Status Run() {
+    scopes_.emplace_back();
+    for (const auto& d : program_->data) {
+      if (Lookup(d.name) != nullptr) {
+        return Status::InvalidArgument("duplicate data declaration: " +
+                                       d.name);
+      }
+      scopes_.back()[d.name] =
+          VarInfo{VarClass::kData, Shape::kArray, d.type, d.writable};
+    }
+    for (const auto& s : program_->stmts) AVM_RETURN_NOT_OK(CheckStmt(s));
+    return Status::OK();
+  }
+
+ private:
+  VarInfo* Lookup(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  Status CheckStmt(const StmtPtr& s) {
+    switch (s->kind) {
+      case StmtKind::kMutDef: {
+        scopes_.back()[s->var] =
+            VarInfo{VarClass::kMutable, Shape::kScalar, TypeId::kI64, false};
+        return Status::OK();
+      }
+      case StmtKind::kAssign: {
+        VarInfo* vi = Lookup(s->var);
+        if (vi == nullptr) {
+          return Status::InvalidArgument("assignment to undefined variable " +
+                                         s->var);
+        }
+        if (vi->var_class != VarClass::kMutable) {
+          return Status::InvalidArgument(
+              "assignment to non-mutable variable " + s->var);
+        }
+        AVM_RETURN_NOT_OK(CheckExpr(s->expr));
+        if (s->expr->shape != Shape::kScalar) {
+          return Status::TypeError(
+              "mutable variables hold scalars; cannot assign an array to " +
+              s->var);
+        }
+        if (!mut_assigned_.contains(s->var)) {
+          vi->type = s->expr->type;
+          mut_assigned_.insert(s->var);
+        }
+        return Status::OK();
+      }
+      case StmtKind::kLet: {
+        AVM_RETURN_NOT_OK(CheckExpr(s->expr));
+        scopes_.back()[s->var] = VarInfo{VarClass::kLet, s->expr->shape,
+                                         s->expr->type, false};
+        return Status::OK();
+      }
+      case StmtKind::kLoop: {
+        ++loop_depth_;
+        scopes_.emplace_back();
+        for (const auto& c : s->body) AVM_RETURN_NOT_OK(CheckStmt(c));
+        scopes_.pop_back();
+        --loop_depth_;
+        return Status::OK();
+      }
+      case StmtKind::kBreak:
+        if (loop_depth_ == 0) {
+          return Status::InvalidArgument("break outside of loop");
+        }
+        return Status::OK();
+      case StmtKind::kIf: {
+        AVM_RETURN_NOT_OK(CheckExpr(s->expr));
+        if (s->expr->shape != Shape::kScalar) {
+          return Status::TypeError("if condition must be scalar");
+        }
+        scopes_.emplace_back();
+        for (const auto& c : s->body) AVM_RETURN_NOT_OK(CheckStmt(c));
+        scopes_.pop_back();
+        scopes_.emplace_back();
+        for (const auto& c : s->else_body) AVM_RETURN_NOT_OK(CheckStmt(c));
+        scopes_.pop_back();
+        return Status::OK();
+      }
+      case StmtKind::kExpr:
+        return CheckExpr(s->expr);
+    }
+    return Status::Internal("unhandled statement kind");
+  }
+
+  Status CheckLambdaBody(const ExprPtr& lambda,
+                         const std::vector<TypeId>& param_types) {
+    if (lambda->kind != ExprKind::kLambda) {
+      return Status::TypeError("expected a lambda argument");
+    }
+    if (lambda->params.size() != param_types.size()) {
+      return Status::TypeError(StrFormat(
+          "lambda expects %zu parameters, got %zu bound", lambda->params.size(),
+          param_types.size()));
+    }
+    scopes_.emplace_back();
+    for (size_t i = 0; i < lambda->params.size(); ++i) {
+      scopes_.back()[lambda->params[i]] = VarInfo{
+          VarClass::kLambdaParam, Shape::kScalar, param_types[i], false};
+    }
+    Status st = CheckExpr(lambda->body);
+    scopes_.pop_back();
+    if (st.ok()) {
+      lambda->shape = Shape::kScalar;
+      lambda->type = lambda->body->type;
+    }
+    return st;
+  }
+
+  Status CheckExpr(const ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::kConst:
+        e->shape = Shape::kScalar;
+        e->type = e->const_is_float ? TypeId::kF64 : TypeId::kI64;
+        return Status::OK();
+      case ExprKind::kVarRef: {
+        VarInfo* vi = Lookup(e->var);
+        if (vi == nullptr) {
+          return Status::InvalidArgument("undefined variable " + e->var);
+        }
+        e->shape = vi->shape;
+        e->type = vi->type;
+        return Status::OK();
+      }
+      case ExprKind::kLambda:
+        return Status::TypeError(
+            "lambda only allowed as a skeleton argument");
+      case ExprKind::kScalarCall:
+        return CheckScalarCall(e);
+      case ExprKind::kSkeleton:
+        return CheckSkeleton(e);
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  Status CheckScalarCall(const ExprPtr& e) {
+    const int arity = ScalarOpArity(e->op);
+    if (static_cast<int>(e->args.size()) != arity) {
+      return Status::TypeError(StrFormat("%s expects %d argument(s), got %zu",
+                                         ScalarOpName(e->op), arity,
+                                         e->args.size()));
+    }
+    for (const auto& a : e->args) {
+      AVM_RETURN_NOT_OK(CheckExpr(a));
+      if (a->shape != Shape::kScalar) {
+        return Status::TypeError(
+            StrFormat("scalar builtin %s applied to an array; use map",
+                      ScalarOpName(e->op)));
+      }
+    }
+    e->shape = Shape::kScalar;
+    switch (e->op) {
+      case ScalarOp::kAdd:
+      case ScalarOp::kSub:
+      case ScalarOp::kMul:
+      case ScalarOp::kDiv:
+      case ScalarOp::kMin:
+      case ScalarOp::kMax:
+        e->type = PromoteTypes(e->args[0]->type, e->args[1]->type);
+        break;
+      case ScalarOp::kMod:
+        if (!IsIntegerType(e->args[0]->type) ||
+            !IsIntegerType(e->args[1]->type)) {
+          return Status::TypeError("mod requires integer operands");
+        }
+        e->type = PromoteTypes(e->args[0]->type, e->args[1]->type);
+        break;
+      case ScalarOp::kEq:
+      case ScalarOp::kNe:
+      case ScalarOp::kLt:
+      case ScalarOp::kLe:
+      case ScalarOp::kGt:
+      case ScalarOp::kGe:
+        e->type = TypeId::kBool;
+        break;
+      case ScalarOp::kAnd:
+      case ScalarOp::kOr:
+        if (e->args[0]->type != TypeId::kBool ||
+            e->args[1]->type != TypeId::kBool) {
+          return Status::TypeError("and/or require bool operands");
+        }
+        e->type = TypeId::kBool;
+        break;
+      case ScalarOp::kNot:
+        if (e->args[0]->type != TypeId::kBool) {
+          return Status::TypeError("not requires a bool operand");
+        }
+        e->type = TypeId::kBool;
+        break;
+      case ScalarOp::kNeg:
+      case ScalarOp::kAbs:
+        e->type = e->args[0]->type;
+        break;
+      case ScalarOp::kSqrt:
+        e->type = e->args[0]->type == TypeId::kF32 ? TypeId::kF32
+                                                   : TypeId::kF64;
+        break;
+      case ScalarOp::kCast:
+        e->type = e->cast_to;
+        break;
+      case ScalarOp::kHash:
+        if (!IsIntegerType(e->args[0]->type)) {
+          return Status::TypeError("hash requires an integer operand");
+        }
+        e->type = TypeId::kI64;
+        break;
+    }
+    return Status::OK();
+  }
+
+  Status CheckSkeleton(const ExprPtr& e) {
+    auto& args = e->args;
+    auto expect_args = [&](size_t n) -> Status {
+      if (args.size() != n) {
+        return Status::TypeError(StrFormat("%s expects %zu argument(s), got %zu",
+                                           SkeletonName(e->skeleton), n,
+                                           args.size()));
+      }
+      return Status::OK();
+    };
+    switch (e->skeleton) {
+      case SkeletonKind::kMap: {
+        if (args.size() < 2) {
+          return Status::TypeError("map expects a lambda and >= 1 vector");
+        }
+        std::vector<TypeId> param_types;
+        for (size_t i = 1; i < args.size(); ++i) {
+          AVM_RETURN_NOT_OK(CheckExpr(args[i]));
+          // Scalars broadcast across the chunk.
+          param_types.push_back(args[i]->type);
+        }
+        AVM_RETURN_NOT_OK(CheckLambdaBody(args[0], param_types));
+        e->shape = Shape::kArray;
+        e->type = args[0]->type;
+        return Status::OK();
+      }
+      case SkeletonKind::kFilter: {
+        AVM_RETURN_NOT_OK(expect_args(2));
+        AVM_RETURN_NOT_OK(CheckExpr(args[1]));
+        if (args[1]->shape != Shape::kArray) {
+          return Status::TypeError("filter requires an array input");
+        }
+        AVM_RETURN_NOT_OK(CheckLambdaBody(args[0], {args[1]->type}));
+        if (args[0]->type != TypeId::kBool) {
+          return Status::TypeError("filter predicate must return bool");
+        }
+        e->shape = Shape::kArray;
+        e->type = args[1]->type;
+        return Status::OK();
+      }
+      case SkeletonKind::kFold: {
+        AVM_RETURN_NOT_OK(expect_args(3));
+        AVM_RETURN_NOT_OK(CheckExpr(args[1]));  // init
+        AVM_RETURN_NOT_OK(CheckExpr(args[2]));  // vector
+        if (args[1]->shape != Shape::kScalar) {
+          return Status::TypeError("fold init must be scalar");
+        }
+        if (args[2]->shape != Shape::kArray) {
+          return Status::TypeError("fold input must be an array");
+        }
+        TypeId acc = PromoteTypes(args[1]->type, args[2]->type);
+        AVM_RETURN_NOT_OK(CheckLambdaBody(args[0], {acc, args[2]->type}));
+        e->shape = Shape::kScalar;
+        e->type = acc;
+        return Status::OK();
+      }
+      case SkeletonKind::kRead: {
+        AVM_RETURN_NOT_OK(expect_args(2));
+        AVM_RETURN_NOT_OK(CheckExpr(args[0]));  // position
+        if (args[0]->shape != Shape::kScalar ||
+            !IsIntegerType(args[0]->type)) {
+          return Status::TypeError("read position must be an integer scalar");
+        }
+        AVM_RETURN_NOT_OK(CheckExpr(args[1]));
+        if (args[1]->kind != ExprKind::kVarRef ||
+            LookupClass(args[1]->var) != VarClass::kData) {
+          return Status::TypeError("read source must be a data array");
+        }
+        e->shape = Shape::kArray;
+        e->type = args[1]->type;
+        return Status::OK();
+      }
+      case SkeletonKind::kWrite: {
+        AVM_RETURN_NOT_OK(expect_args(3));
+        AVM_RETURN_NOT_OK(CheckExpr(args[0]));  // destination
+        if (args[0]->kind != ExprKind::kVarRef ||
+            LookupClass(args[0]->var) != VarClass::kData) {
+          return Status::TypeError("write destination must be a data array");
+        }
+        VarInfo* vi = Lookup(args[0]->var);
+        if (!vi->writable) {
+          return Status::TypeError("write to non-writable data array " +
+                                   args[0]->var);
+        }
+        AVM_RETURN_NOT_OK(CheckExpr(args[1]));  // position
+        if (args[1]->shape != Shape::kScalar ||
+            !IsIntegerType(args[1]->type)) {
+          return Status::TypeError("write position must be an integer scalar");
+        }
+        AVM_RETURN_NOT_OK(CheckExpr(args[2]));  // values
+        if (args[2]->shape != Shape::kArray) {
+          return Status::TypeError("write value must be an array");
+        }
+        e->shape = Shape::kScalar;  // number of values written
+        e->type = TypeId::kI64;
+        return Status::OK();
+      }
+      case SkeletonKind::kGather: {
+        AVM_RETURN_NOT_OK(expect_args(2));
+        AVM_RETURN_NOT_OK(CheckExpr(args[0]));  // source
+        AVM_RETURN_NOT_OK(CheckExpr(args[1]));  // indices
+        if (args[0]->shape != Shape::kArray) {
+          return Status::TypeError("gather source must be an array");
+        }
+        if (args[1]->shape != Shape::kArray ||
+            !IsIntegerType(args[1]->type)) {
+          return Status::TypeError("gather indices must be an integer array");
+        }
+        e->shape = Shape::kArray;
+        e->type = args[0]->type;
+        return Status::OK();
+      }
+      case SkeletonKind::kScatter: {
+        // scatter dest indices values [conflict-lambda]
+        if (args.size() != 3 && args.size() != 4) {
+          return Status::TypeError("scatter expects 3 or 4 arguments");
+        }
+        size_t lambda_at = args.size() == 4 ? 3 : SIZE_MAX;
+        AVM_RETURN_NOT_OK(CheckExpr(args[0]));
+        if (args[0]->kind != ExprKind::kVarRef ||
+            LookupClass(args[0]->var) != VarClass::kData) {
+          return Status::TypeError("scatter destination must be a data array");
+        }
+        if (!Lookup(args[0]->var)->writable) {
+          return Status::TypeError("scatter to non-writable data array");
+        }
+        AVM_RETURN_NOT_OK(CheckExpr(args[1]));
+        if (args[1]->shape != Shape::kArray ||
+            !IsIntegerType(args[1]->type)) {
+          return Status::TypeError("scatter indices must be an integer array");
+        }
+        AVM_RETURN_NOT_OK(CheckExpr(args[2]));
+        if (args[2]->shape != Shape::kArray) {
+          return Status::TypeError("scatter values must be an array");
+        }
+        TypeId dest_t = Lookup(args[0]->var)->type;
+        if (lambda_at != SIZE_MAX) {
+          AVM_RETURN_NOT_OK(
+              CheckLambdaBody(args[3], {dest_t, args[2]->type}));
+        }
+        e->shape = Shape::kScalar;
+        e->type = TypeId::kI64;
+        return Status::OK();
+      }
+      case SkeletonKind::kGen: {
+        AVM_RETURN_NOT_OK(expect_args(2));
+        AVM_RETURN_NOT_OK(CheckExpr(args[1]));  // length
+        if (args[1]->shape != Shape::kScalar ||
+            !IsIntegerType(args[1]->type)) {
+          return Status::TypeError("gen length must be an integer scalar");
+        }
+        AVM_RETURN_NOT_OK(CheckLambdaBody(args[0], {TypeId::kI64}));
+        e->shape = Shape::kArray;
+        e->type = args[0]->type;
+        return Status::OK();
+      }
+      case SkeletonKind::kCondense: {
+        AVM_RETURN_NOT_OK(expect_args(1));
+        AVM_RETURN_NOT_OK(CheckExpr(args[0]));
+        if (args[0]->shape != Shape::kArray) {
+          return Status::TypeError("condense input must be an array");
+        }
+        e->shape = Shape::kArray;
+        e->type = args[0]->type;
+        return Status::OK();
+      }
+      case SkeletonKind::kMerge: {
+        AVM_RETURN_NOT_OK(expect_args(2));
+        AVM_RETURN_NOT_OK(CheckExpr(args[0]));
+        AVM_RETURN_NOT_OK(CheckExpr(args[1]));
+        if (args[0]->shape != Shape::kArray ||
+            args[1]->shape != Shape::kArray) {
+          return Status::TypeError("merge inputs must be arrays");
+        }
+        if (args[0]->type != args[1]->type) {
+          return Status::TypeError("merge inputs must have the same type");
+        }
+        e->shape = Shape::kArray;
+        e->type = args[0]->type;
+        return Status::OK();
+      }
+      case SkeletonKind::kLen: {
+        AVM_RETURN_NOT_OK(expect_args(1));
+        AVM_RETURN_NOT_OK(CheckExpr(args[0]));
+        if (args[0]->shape != Shape::kArray) {
+          return Status::TypeError("len input must be an array");
+        }
+        e->shape = Shape::kScalar;
+        e->type = TypeId::kI64;
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled skeleton");
+  }
+
+  VarClass LookupClass(const std::string& name) {
+    VarInfo* vi = Lookup(name);
+    return vi == nullptr ? VarClass::kLet : vi->var_class;
+  }
+
+  Program* program_;
+  std::vector<std::unordered_map<std::string, VarInfo>> scopes_;
+  std::unordered_set<std::string> mut_assigned_;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+Status TypeCheck(Program* program) { return Checker(program).Run(); }
+
+}  // namespace avm::dsl

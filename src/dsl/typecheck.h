@@ -1,0 +1,36 @@
+// Type and shape checking for DSL programs.
+//
+// Annotates every expression with a Shape (scalar vs array) and element
+// TypeId, and rejects ill-formed programs (unknown variables, assignment to
+// non-mutable variables, break outside loop, arity errors, ...).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "dsl/ast.h"
+#include "util/status.h"
+
+namespace avm::dsl {
+
+/// What a name refers to at a given point of the program.
+enum class VarClass : uint8_t { kMutable, kLet, kData, kLambdaParam };
+
+struct VarInfo {
+  VarClass var_class = VarClass::kLet;
+  Shape shape = Shape::kUnknown;
+  TypeId type = TypeId::kI64;
+  bool writable = false;  // data arrays only
+};
+
+/// Check `program`, annotating shapes/types in place.
+///
+/// Mutable variables are scalars (paper: "state maintenance (define & update
+/// a mutable variable)"); their type is fixed by the first assignment.
+Status TypeCheck(Program* program);
+
+/// Result type of a binary arithmetic application given operand types
+/// (numeric promotion: wider wins, float beats int).
+TypeId PromoteTypes(TypeId a, TypeId b);
+
+}  // namespace avm::dsl

@@ -1,0 +1,248 @@
+#include "gpu/gpu_backend.h"
+
+#include <cstring>
+
+#include "interp/kernels.h"
+#include "interp/value.h"
+#include "util/string_util.h"
+
+namespace avm::gpu {
+
+using interp::KernelRegistry;
+using interp::OperandMode;
+using interp::PrimKernelFn;
+using interp::ScalarValue;
+
+Result<SimGpuDevice::BufferId> GpuBackend::EnsureResident(
+    const void* host_data, size_t bytes) {
+  auto it = resident_.find(host_data);
+  if (it != resident_.end()) return it->second;
+  AVM_ASSIGN_OR_RETURN(SimGpuDevice::BufferId id, device_->Alloc(bytes));
+  AVM_RETURN_NOT_OK(device_->CopyToDevice(id, host_data, bytes));
+  resident_[host_data] = id;
+  return id;
+}
+
+Status GpuBackend::Evict(const void* host_data) {
+  auto it = resident_.find(host_data);
+  if (it == resident_.end()) return Status::NotFound("not resident");
+  AVM_RETURN_NOT_OK(device_->Free(it->second));
+  resident_.erase(it);
+  return Status::OK();
+}
+
+Result<SimGpuDevice::BufferId> GpuBackend::RunMap(
+    const ir::PrimProgram& prog,
+    const std::vector<SimGpuDevice::BufferId>& inputs,
+    const std::vector<TypeId>& input_types, uint32_t n) {
+  if (inputs.size() != prog.input_types.size()) {
+    return Status::InvalidArgument("input count mismatch");
+  }
+  const KernelRegistry& reg = KernelRegistry::Get();
+
+  // Resolve input pointers.
+  std::vector<const uint8_t*> in_ptrs(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    AVM_ASSIGN_OR_RETURN(void* p, device_->Ptr(inputs[i]));
+    in_ptrs[i] = static_cast<const uint8_t*>(p);
+  }
+
+  // Register temporaries live in device memory too (as they would on a GPU).
+  struct Temp {
+    SimGpuDevice::BufferId id;
+    uint8_t* ptr;
+    TypeId type;
+  };
+  std::vector<Temp> regs(static_cast<size_t>(prog.num_regs));
+  std::vector<SimGpuDevice::BufferId> to_free;
+  auto cleanup = [&](Status st) -> Status {
+    for (auto id : to_free) (void)device_->Free(id);
+    return st;
+  };
+
+  if (prog.result_is_input >= 0) {
+    // Identity: copy the input buffer (device-to-device modeled as launch).
+    const size_t w = TypeWidth(prog.result_type);
+    AVM_ASSIGN_OR_RETURN(SimGpuDevice::BufferId out,
+                         device_->Alloc(static_cast<size_t>(n) * w));
+    AVM_ASSIGN_OR_RETURN(void* op, device_->Ptr(out));
+    const uint8_t* src = in_ptrs[static_cast<size_t>(prog.result_is_input)];
+    AVM_RETURN_NOT_OK(device_->Launch(
+        n, 2 * static_cast<size_t>(n) * w, 0.5,
+        [&](uint32_t b, uint32_t e) {
+          std::memcpy(static_cast<uint8_t*>(op) + static_cast<size_t>(b) * w,
+                      src + static_cast<size_t>(b) * w,
+                      static_cast<size_t>(e - b) * w);
+        }));
+    return out;
+  }
+
+  size_t bytes_per_item = 0;
+  for (TypeId t : prog.input_types) bytes_per_item += TypeWidth(t);
+
+  for (const auto& instr : prog.instrs) {
+    // Allocate the destination register buffer.
+    const size_t w = TypeWidth(instr.out_type);
+    auto alloc = device_->Alloc(static_cast<size_t>(n) * w);
+    if (!alloc.ok()) return cleanup(alloc.status());
+    Temp dst{alloc.value(), nullptr, instr.out_type};
+    auto ptr = device_->Ptr(dst.id);
+    if (!ptr.ok()) return cleanup(ptr.status());
+    dst.ptr = static_cast<uint8_t*>(ptr.value());
+    regs[static_cast<size_t>(instr.out_reg)] = dst;
+    to_free.push_back(dst.id);
+
+    // Resolve operands (broadcast scalars stored inline).
+    struct Op {
+      const uint8_t* ptr = nullptr;
+      bool vec = false;
+      uint8_t buf[8] = {0};
+      size_t width = 8;
+    };
+    Op ops[2];
+    for (int a = 0; a < instr.num_args; ++a) {
+      const ir::PrimArg& arg = instr.args[a];
+      Op& o = ops[a];
+      o.width = TypeWidth(instr.in_type);
+      switch (arg.kind) {
+        case ir::ArgKind::kInput:
+          o.ptr = in_ptrs[static_cast<size_t>(arg.index)];
+          o.vec = true;
+          o.width = TypeWidth(input_types[static_cast<size_t>(arg.index)]);
+          break;
+        case ir::ArgKind::kReg: {
+          const Temp& r = regs[static_cast<size_t>(arg.index)];
+          o.ptr = r.ptr;
+          o.vec = true;
+          o.width = TypeWidth(r.type);
+          break;
+        }
+        case ir::ArgKind::kConstI:
+          ScalarValue::I(arg.const_i).CastTo(instr.in_type).Store(o.buf);
+          o.ptr = o.buf;
+          break;
+        case ir::ArgKind::kConstF:
+          ScalarValue::F(arg.const_f).CastTo(instr.in_type).Store(o.buf);
+          o.ptr = o.buf;
+          break;
+        case ir::ArgKind::kCapture:
+          return cleanup(Status::NotImplemented(
+              "captures unsupported on the GPU backend"));
+      }
+    }
+
+    PrimKernelFn fn = nullptr;
+    if (instr.op == dsl::ScalarOp::kCast) {
+      fn = reg.Cast(instr.in_type, instr.out_type, false);
+    } else if (instr.num_args == 1) {
+      fn = reg.Unary(instr.op, instr.in_type, false);
+    } else {
+      OperandMode mode = OperandMode::kVecVec;
+      if (ops[0].vec && !ops[1].vec) mode = OperandMode::kVecScalar;
+      if (!ops[0].vec && ops[1].vec) mode = OperandMode::kScalarVec;
+      fn = reg.Binary(instr.op, instr.in_type, mode, false);
+    }
+    if (fn == nullptr) {
+      return cleanup(Status::NotImplemented(
+          StrFormat("no kernel for %s on %s", dsl::ScalarOpName(instr.op),
+                    TypeName(instr.in_type))));
+    }
+
+    const Op o0 = ops[0];
+    const Op o1 = ops[1];
+    uint8_t* out_ptr = dst.ptr;
+    const size_t wout = w;
+    Status st = device_->Launch(
+        n,
+        static_cast<size_t>(n) * (o0.width * (o0.vec ? 1 : 0) +
+                                  o1.width * (o1.vec ? 1 : 0) + wout),
+        1.0,
+        [&, o0, o1, out_ptr](uint32_t b, uint32_t e) {
+          const uint8_t* a = o0.vec ? o0.ptr + static_cast<size_t>(b) * o0.width
+                                    : o0.ptr;
+          const uint8_t* bb = o1.ptr == nullptr ? nullptr
+                              : o1.vec
+                                  ? o1.ptr + static_cast<size_t>(b) * o1.width
+                                  : o1.ptr;
+          fn(a, bb, out_ptr + static_cast<size_t>(b) * wout, nullptr, e - b);
+        });
+    if (!st.ok()) return cleanup(st);
+  }
+
+  // The result register's buffer is the output; keep it, free the rest.
+  const SimGpuDevice::BufferId result =
+      regs[static_cast<size_t>(prog.result_reg)].id;
+  for (auto id : to_free) {
+    if (id != result) (void)device_->Free(id);
+  }
+  return result;
+}
+
+Result<double> GpuBackend::RunSumF64(SimGpuDevice::BufferId buf, TypeId type,
+                                     uint32_t n) {
+  AVM_ASSIGN_OR_RETURN(void* p, device_->Ptr(buf));
+  const unsigned slices = device_->params().num_sms;
+  std::vector<double> partials(slices, 0.0);
+  Status st = DispatchType(type, [&]<typename Raw>() -> Status {
+    if constexpr (std::is_same_v<Raw, bool>) {
+      return Status::NotImplemented("sum of bool");
+    } else {
+      const Raw* v = static_cast<const Raw*>(p);
+      const uint32_t per = (n + slices - 1) / slices;
+      return device_->Launch(
+          n, static_cast<size_t>(n) * sizeof(Raw), 1.0,
+          [&](uint32_t b, uint32_t e) {
+            double acc = 0;
+            for (uint32_t i = b; i < e; ++i) acc += static_cast<double>(v[i]);
+            partials[b / per] += acc;
+          });
+    }
+  });
+  AVM_RETURN_NOT_OK(st);
+  double total = 0;
+  for (double x : partials) total += x;
+  return total;
+}
+
+Result<uint64_t> GpuBackend::RunFilterCount(SimGpuDevice::BufferId buf,
+                                            TypeId type, uint32_t n,
+                                            dsl::ScalarOp cmp,
+                                            int64_t constant) {
+  AVM_ASSIGN_OR_RETURN(void* p, device_->Ptr(buf));
+  const unsigned slices = device_->params().num_sms;
+  std::vector<uint64_t> partials(slices, 0);
+  Status st = DispatchType(type, [&]<typename Raw>() -> Status {
+    if constexpr (std::is_same_v<Raw, bool>) {
+      return Status::NotImplemented("filter-count of bool");
+    } else {
+      const Raw* v = static_cast<const Raw*>(p);
+      const Raw c = static_cast<Raw>(constant);
+      const uint32_t per = (n + slices - 1) / slices;
+      return device_->Launch(
+          n, static_cast<size_t>(n) * sizeof(Raw), 1.0,
+          [&](uint32_t b, uint32_t e) {
+            uint64_t count = 0;
+            for (uint32_t i = b; i < e; ++i) {
+              bool hit = false;
+              switch (cmp) {
+                case dsl::ScalarOp::kLt: hit = v[i] < c; break;
+                case dsl::ScalarOp::kLe: hit = v[i] <= c; break;
+                case dsl::ScalarOp::kGt: hit = v[i] > c; break;
+                case dsl::ScalarOp::kGe: hit = v[i] >= c; break;
+                case dsl::ScalarOp::kEq: hit = v[i] == c; break;
+                case dsl::ScalarOp::kNe: hit = v[i] != c; break;
+                default: break;
+              }
+              count += hit ? 1 : 0;
+            }
+            partials[b / per] += count;
+          });
+    }
+  });
+  AVM_RETURN_NOT_OK(st);
+  uint64_t total = 0;
+  for (uint64_t x : partials) total += x;
+  return total;
+}
+
+}  // namespace avm::gpu

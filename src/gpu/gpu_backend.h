@@ -1,0 +1,56 @@
+// GPU execution backend for data-parallel pipeline fragments.
+//
+// The paper (Plan step 3): "we might concentrate their use around certain
+// operations where their capabilities best come to light" — streaming map /
+// filter-count / reduction fragments. This backend runs a normalized
+// PrimProgram over whole columns on the simulated device, managing
+// transfers and residency.
+#pragma once
+
+#include <unordered_map>
+
+#include "gpu/sim_device.h"
+#include "interp/prim_exec.h"
+#include "ir/prim.h"
+
+namespace avm::gpu {
+
+/// Executes primitive programs on the simulated GPU, caching column
+/// residency so repeated queries amortize PCIe transfers.
+class GpuBackend {
+ public:
+  explicit GpuBackend(SimGpuDevice* device) : device_(device) {}
+
+  /// Make `n` elements of `host_data` resident; returns the device buffer.
+  /// Cached by pointer identity: a second call with the same pointer is
+  /// free (no transfer).
+  Result<SimGpuDevice::BufferId> EnsureResident(const void* host_data,
+                                                size_t bytes);
+
+  /// Evict a cached column.
+  Status Evict(const void* host_data);
+
+  /// out[i] = prog(inputs...[i]) over n elements. Inputs must be resident
+  /// device buffers; output stays on device (returned buffer).
+  Result<SimGpuDevice::BufferId> RunMap(const ir::PrimProgram& prog,
+                                        const std::vector<SimGpuDevice::BufferId>& inputs,
+                                        const std::vector<TypeId>& input_types,
+                                        uint32_t n);
+
+  /// Sum-reduce a device buffer of int64/f64 (per-SM partials + host merge).
+  Result<double> RunSumF64(SimGpuDevice::BufferId buf, TypeId type,
+                           uint32_t n);
+
+  /// Count elements matching `cmp` against a constant.
+  Result<uint64_t> RunFilterCount(SimGpuDevice::BufferId buf, TypeId type,
+                                  uint32_t n, dsl::ScalarOp cmp,
+                                  int64_t constant);
+
+  SimGpuDevice& device() { return *device_; }
+
+ private:
+  SimGpuDevice* device_;
+  std::unordered_map<const void*, SimGpuDevice::BufferId> resident_;
+};
+
+}  // namespace avm::gpu

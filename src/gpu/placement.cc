@@ -1,0 +1,52 @@
+#include "gpu/placement.h"
+
+#include <algorithm>
+
+namespace avm::gpu {
+
+const char* DeviceName(Device d) {
+  return d == Device::kCpu ? "cpu" : "gpu";
+}
+
+double AdaptivePlacer::EstimateCpuSeconds(const FragmentProfile& p) const {
+  const double mem_s =
+      static_cast<double>(p.bytes_in + p.bytes_out) / cpu_.bytes_per_s;
+  const double compute_s =
+      static_cast<double>(p.rows) * p.ops_per_row / cpu_.ops_per_s;
+  return std::max(mem_s, compute_s);
+}
+
+double AdaptivePlacer::EstimateGpuSeconds(const FragmentProfile& p) const {
+  double transfer_s = 0;
+  if (!p.inputs_resident) {
+    transfer_s += gpu_.launch_overhead_s +
+                  static_cast<double>(p.bytes_in) / gpu_.pcie_bytes_per_s;
+  }
+  // Results come back over PCIe.
+  transfer_s += static_cast<double>(p.bytes_out) / gpu_.pcie_bytes_per_s;
+  const double mem_s =
+      static_cast<double>(p.bytes_in + p.bytes_out) / gpu_.mem_bytes_per_s;
+  const double compute_s =
+      static_cast<double>(p.rows) * p.ops_per_row / gpu_.ops_per_s;
+  return gpu_.launch_overhead_s + transfer_s + std::max(mem_s, compute_s);
+}
+
+PlacementDecision AdaptivePlacer::Decide(const FragmentProfile& p) const {
+  PlacementDecision d;
+  d.est_cpu_s = EstimateCpuSeconds(p) * cpu_correction_;
+  d.est_gpu_s = EstimateGpuSeconds(p) * gpu_correction_;
+  d.device = d.est_gpu_s < d.est_cpu_s ? Device::kGpu : Device::kCpu;
+  return d;
+}
+
+void AdaptivePlacer::Observe(Device d, const FragmentProfile& p,
+                             double measured_s) {
+  const double est = d == Device::kCpu ? EstimateCpuSeconds(p)
+                                       : EstimateGpuSeconds(p);
+  if (est <= 0 || measured_s <= 0) return;
+  const double ratio = measured_s / est;
+  double& corr = d == Device::kCpu ? cpu_correction_ : gpu_correction_;
+  corr = kAlpha * ratio + (1 - kAlpha) * corr;
+}
+
+}  // namespace avm::gpu

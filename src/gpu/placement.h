@@ -1,0 +1,67 @@
+// Adaptive device placement (Plan step 3): "making adaptive decisions which
+// strategy to use … but also on which hardware".
+//
+// The placer combines an analytic cost model (CPU streaming rate vs. GPU
+// launch+transfer+bandwidth) with online calibration: observed runs update
+// per-device correction factors, so a mis-calibrated model converges to the
+// truth and the crossover point self-adjusts.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/sim_device.h"
+
+namespace avm::gpu {
+
+enum class Device : uint8_t { kCpu = 0, kGpu = 1 };
+const char* DeviceName(Device d);
+
+/// Static description of a pipeline fragment for costing.
+struct FragmentProfile {
+  uint64_t rows = 0;
+  size_t bytes_in = 0;      ///< input bytes streamed
+  size_t bytes_out = 0;     ///< output bytes produced
+  double ops_per_row = 1;   ///< scalar operations per row
+  bool inputs_resident = false;  ///< already in device memory
+};
+
+struct CpuModel {
+  double bytes_per_s = 20e9;  ///< single-core streaming bandwidth
+  double ops_per_s = 3e9;     ///< scalar op throughput
+};
+
+struct PlacementDecision {
+  Device device = Device::kCpu;
+  double est_cpu_s = 0;
+  double est_gpu_s = 0;
+};
+
+class AdaptivePlacer {
+ public:
+  AdaptivePlacer(const GpuDeviceParams& gpu, CpuModel cpu = {})
+      : gpu_(gpu), cpu_(cpu) {}
+
+  /// Model-based estimate for a fragment on each device.
+  double EstimateCpuSeconds(const FragmentProfile& p) const;
+  double EstimateGpuSeconds(const FragmentProfile& p) const;
+
+  /// Decide where to run the fragment (applies learned corrections).
+  PlacementDecision Decide(const FragmentProfile& p) const;
+
+  /// Feed back a measured execution to calibrate the model.
+  void Observe(Device d, const FragmentProfile& p, double measured_s);
+
+  double correction(Device d) const {
+    return d == Device::kCpu ? cpu_correction_ : gpu_correction_;
+  }
+
+ private:
+  GpuDeviceParams gpu_;
+  CpuModel cpu_;
+  // EMA of measured/estimated per device; 1.0 = model is exact.
+  double cpu_correction_ = 1.0;
+  double gpu_correction_ = 1.0;
+  static constexpr double kAlpha = 0.3;
+};
+
+}  // namespace avm::gpu

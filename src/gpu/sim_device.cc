@@ -1,0 +1,114 @@
+#include "gpu/sim_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace avm::gpu {
+
+SimGpuDevice::SimGpuDevice(GpuDeviceParams params, ThreadPool* pool)
+    : params_(params), pool_(pool) {}
+
+Result<SimGpuDevice::BufferId> SimGpuDevice::Alloc(size_t bytes) {
+  if (allocated_ + bytes > params_.memory_bytes) {
+    return Status::ResourceExhausted(
+        StrFormat("device OOM: %zu + %zu > %zu", allocated_, bytes,
+                  params_.memory_bytes));
+  }
+  BufferId id = next_id_++;
+  buffers_[id] = std::vector<uint8_t>(bytes);
+  allocated_ += bytes;
+  return id;
+}
+
+Status SimGpuDevice::Free(BufferId id) {
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) return Status::NotFound("no such device buffer");
+  allocated_ -= it->second.size();
+  buffers_.erase(it);
+  return Status::OK();
+}
+
+Result<void*> SimGpuDevice::Ptr(BufferId id) {
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) return Status::NotFound("no such device buffer");
+  return static_cast<void*>(it->second.data());
+}
+
+Result<size_t> SimGpuDevice::SizeOf(BufferId id) const {
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) return Status::NotFound("no such device buffer");
+  return it->second.size();
+}
+
+double SimGpuDevice::PredictTransferSeconds(size_t bytes) const {
+  return params_.launch_overhead_s +
+         static_cast<double>(bytes) / params_.pcie_bytes_per_s;
+}
+
+double SimGpuDevice::PredictLaunchSeconds(uint32_t n, size_t bytes_touched,
+                                          double ops_per_item) const {
+  const double mem_s =
+      static_cast<double>(bytes_touched) / params_.mem_bytes_per_s;
+  const double compute_s =
+      static_cast<double>(n) * ops_per_item / params_.ops_per_s;
+  return params_.launch_overhead_s + std::max(mem_s, compute_s);
+}
+
+Status SimGpuDevice::CopyToDevice(BufferId dst, const void* src,
+                                  size_t bytes) {
+  auto it = buffers_.find(dst);
+  if (it == buffers_.end()) return Status::NotFound("no such device buffer");
+  if (bytes > it->second.size()) {
+    return Status::OutOfRange("transfer larger than device buffer");
+  }
+  std::memcpy(it->second.data(), src, bytes);
+  const double t = PredictTransferSeconds(bytes);
+  clock_s_ += t;
+  timing_.transfer_s += t;
+  return Status::OK();
+}
+
+Status SimGpuDevice::CopyToHost(void* dst, BufferId src, size_t bytes) {
+  auto it = buffers_.find(src);
+  if (it == buffers_.end()) return Status::NotFound("no such device buffer");
+  if (bytes > it->second.size()) {
+    return Status::OutOfRange("transfer larger than device buffer");
+  }
+  std::memcpy(dst, it->second.data(), bytes);
+  const double t = PredictTransferSeconds(bytes);
+  clock_s_ += t;
+  timing_.transfer_s += t;
+  return Status::OK();
+}
+
+Status SimGpuDevice::Launch(uint32_t n, size_t bytes_touched,
+                            double ops_per_item,
+                            const std::function<void(uint32_t, uint32_t)>& body) {
+  // Really execute (on host threads, one slice per simulated SM).
+  if (n > 0) {
+    const unsigned slices = std::max(1u, std::min<unsigned>(params_.num_sms,
+                                                            n));
+    const uint32_t per = (n + slices - 1) / slices;
+    if (pool_ != nullptr && slices > 1) {
+      pool_->ParallelFor(slices, [&](size_t s) {
+        const uint32_t begin = static_cast<uint32_t>(s) * per;
+        const uint32_t end = std::min(n, begin + per);
+        if (begin < end) body(begin, end);
+      });
+    } else {
+      body(0, n);
+    }
+  }
+  // Account simulated time.
+  const double launch = params_.launch_overhead_s;
+  const double work = PredictLaunchSeconds(n, bytes_touched, ops_per_item) -
+                      params_.launch_overhead_s;
+  clock_s_ += launch + work;
+  timing_.launch_s += launch;
+  timing_.compute_s += work;
+  return Status::OK();
+}
+
+}  // namespace avm::gpu

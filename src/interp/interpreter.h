@@ -1,0 +1,174 @@
+// The vectorized DSL interpreter (Section III-A).
+//
+// Programs are executed chunk-at-a-time: `read` produces chunk-sized arrays,
+// skeletons dispatch to pre-compiled kernels, filters attach selection
+// vectors, and profiling information (cycles, calls, tuples, selectivities)
+// is collected per operation so the VM can decide what to compile.
+//
+// Compiled traces are *injected* through AddInjection(): before executing a
+// covered statement the interpreter calls the trace instead — this is the
+// "Inject functions" edge of the Fig. 1 state machine.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dsl/ast.h"
+#include "interp/micro_adaptive.h"
+#include "interp/prim_exec.h"
+#include "interp/profiler.h"
+#include "interp/value.h"
+#include "ir/prim.h"
+#include "storage/column.h"
+#include "util/status.h"
+
+namespace avm::interp {
+
+/// Host storage bound to a program's `data` declaration: either a raw
+/// in-memory array or a (compressed, read-only) column.
+struct DataBinding {
+  TypeId type = TypeId::kI64;
+  bool writable = false;
+  // Raw array binding:
+  void* raw = nullptr;
+  uint64_t len = 0;
+  // Column binding (read-only):
+  const Column* column = nullptr;
+
+  static DataBinding Raw(TypeId t, void* data, uint64_t n,
+                         bool writable = false) {
+    DataBinding b;
+    b.type = t;
+    b.writable = writable;
+    b.raw = data;
+    b.len = n;
+    return b;
+  }
+  static DataBinding FromColumn(const Column* col) {
+    DataBinding b;
+    b.type = col->type();
+    b.writable = false;
+    b.column = col;
+    b.len = col->num_rows();
+    return b;
+  }
+};
+
+class Interpreter;
+
+/// A compiled trace injected into the interpreter. When the interpreter is
+/// about to execute the statement with id `anchor_stmt_id` and `applicable`
+/// holds, it calls `run` (which computes the bindings the covered statements
+/// would have produced) and skips all statements in `covered_stmt_ids`.
+struct InjectedTrace {
+  std::string name;
+  uint32_t anchor_stmt_id = 0;
+  std::unordered_set<uint32_t> covered_stmt_ids;
+  std::function<Status(Interpreter&)> run;
+  std::function<bool(Interpreter&)> applicable;  // null = always
+  uint64_t invocations = 0;
+  uint64_t cycles = 0;
+  /// Times the anchor was reached but `applicable` said no (the VM's
+  /// fallback-to-interpretation counter).
+  uint64_t fallbacks = 0;
+};
+
+/// Implementation flavor of the filter skeleton (micro-adaptivity, §III-C).
+enum class FilterFlavor : uint8_t {
+  kBranchless = 0,  ///< branch-free selection-vector append
+  kBranching,       ///< branching append (predictable predicates)
+  kFullCompute,     ///< bool map over all rows, then bool→selvec
+  kAdaptive,        ///< per-filter-node micro-adaptive choice among the above
+};
+
+struct InterpreterOptions {
+  uint32_t chunk_size = kDefaultChunkSize;
+  bool enable_profiling = true;
+  FilterFlavor filter_flavor = FilterFlavor::kAdaptive;
+  /// Safety valve for the infinite `loop` construct.
+  uint64_t max_loop_iterations = 1ull << 32;
+};
+
+class Interpreter {
+ public:
+  /// `program` must be type-checked and outlive the interpreter.
+  Interpreter(const dsl::Program* program, InterpreterOptions options = {});
+
+  /// Bind host storage to a `data` declaration.
+  Status BindData(const std::string& name, DataBinding binding);
+
+  /// Execute the whole program.
+  Status Run();
+
+  // --- environment access (also used by injected traces) -------------------
+  Result<Value> GetVar(const std::string& name) const;
+  void SetVar(const std::string& name, Value v);
+  Result<ScalarValue> GetScalar(const std::string& name) const;
+  DataBinding* FindBinding(const std::string& name);
+
+  /// Allocate a chunk-sized array of `type` (len set by caller).
+  ArrayPtr NewArray(TypeId type, uint32_t capacity = 0);
+
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
+  uint32_t chunk_size() const { return options_.chunk_size; }
+  uint64_t loop_iterations() const { return loop_iterations_; }
+
+  /// Compression scheme observed by the most recent `read` of `name`
+  /// (kPlain for raw bindings).
+  Scheme LastSchemeOf(const std::string& name) const;
+
+  // --- adaptivity hooks -----------------------------------------------------
+  void AddInjection(InjectedTrace trace);
+  void ClearInjections();
+  const std::vector<InjectedTrace>& injections() const { return injections_; }
+
+  /// Called after every loop iteration — the VM state machine's heartbeat.
+  std::function<Status(Interpreter&, uint64_t iteration)> iteration_hook;
+
+  /// Normalized lambda cache (shared with trace codegen).
+  Result<const ir::PrimProgram*> PreparedLambda(
+      const dsl::Expr& lambda, const std::vector<TypeId>& input_types);
+
+  /// Flavor the adaptive chooser currently prefers for a filter node
+  /// (observability for tests/benchmarks).
+  FilterFlavor PreferredFilterFlavor(uint32_t filter_expr_id) const;
+
+ private:
+  enum class Control : uint8_t { kNext, kBreak };
+
+  Status ExecBlock(const std::vector<dsl::StmtPtr>& stmts, Control* ctl);
+  Status ExecStmt(const dsl::Stmt& s, Control* ctl);
+  Result<Value> EvalExpr(const dsl::Expr& e);
+  Result<ScalarValue> EvalScalarExpr(const dsl::Expr& e);
+  Result<Value> EvalSkeleton(const dsl::Expr& e);
+
+  Result<Value> EvalRead(const dsl::Expr& e);
+  Result<Value> EvalWrite(const dsl::Expr& e);
+  Result<Value> EvalMap(const dsl::Expr& e);
+  Result<Value> EvalFilter(const dsl::Expr& e);
+  Result<Value> EvalFold(const dsl::Expr& e);
+  Result<Value> EvalCondense(const dsl::Expr& e);
+  Result<Value> EvalGather(const dsl::Expr& e);
+  Result<Value> EvalScatter(const dsl::Expr& e);
+  Result<Value> EvalGen(const dsl::Expr& e);
+  Result<Value> EvalMerge(const dsl::Expr& e);
+
+  CaptureResolver MakeCaptureResolver();
+
+  const dsl::Program* program_;
+  InterpreterOptions options_;
+  std::unordered_map<std::string, Value> env_;
+  std::unordered_map<std::string, DataBinding> bindings_;
+  std::unordered_map<std::string, Scheme> last_scheme_;
+  std::unordered_map<uint32_t, ir::PrimProgram> lambda_cache_;
+  std::vector<InjectedTrace> injections_;
+  std::unordered_map<uint32_t, MicroAdaptiveChooser> filter_choosers_;
+  PrimExecutor prim_exec_;
+  Profiler profiler_;
+  uint64_t loop_iterations_ = 0;
+};
+
+}  // namespace avm::interp

@@ -1,0 +1,515 @@
+#include "interp/kernels.h"
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+#include "util/hash.h"
+#include "util/macros.h"
+
+namespace avm::interp {
+
+namespace {
+
+using dsl::ScalarOp;
+
+// ---------------------------------------------------------------------------
+// Scalar operation functors. Integer arithmetic wraps (performed unsigned) so
+// kernels never exhibit UB; integer division by zero yields 0 by convention.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+T WrapAdd(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+  } else {
+    return a + b;
+  }
+}
+template <typename T>
+T WrapSub(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) - static_cast<U>(b));
+  } else {
+    return a - b;
+  }
+}
+template <typename T>
+T WrapMul(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
+  } else {
+    return a * b;
+  }
+}
+
+struct OpAdd { template <typename T> static T Apply(T a, T b) { return WrapAdd(a, b); } };
+struct OpSub { template <typename T> static T Apply(T a, T b) { return WrapSub(a, b); } };
+struct OpMul { template <typename T> static T Apply(T a, T b) { return WrapMul(a, b); } };
+struct OpDiv {
+  template <typename T> static T Apply(T a, T b) {
+    if constexpr (std::is_integral_v<T>) {
+      if (b == 0) return 0;
+      if constexpr (std::is_signed_v<T>) {
+        // INT_MIN / -1 overflows; define it as INT_MIN.
+        if (b == T(-1) && a == std::numeric_limits<T>::min()) return a;
+      }
+      return static_cast<T>(a / b);
+    } else {
+      return a / b;
+    }
+  }
+};
+struct OpMod {
+  template <typename T> static T Apply(T a, T b) {
+    if constexpr (std::is_integral_v<T>) {
+      if (b == 0) return 0;
+      if constexpr (std::is_signed_v<T>) {
+        if (b == T(-1)) return 0;
+      }
+      return static_cast<T>(a % b);
+    } else {
+      return std::fmod(a, b);
+    }
+  }
+};
+struct OpMin { template <typename T> static T Apply(T a, T b) { return a < b ? a : b; } };
+struct OpMax { template <typename T> static T Apply(T a, T b) { return a > b ? a : b; } };
+struct OpAnd { template <typename T> static T Apply(T a, T b) { return a && b; } };
+struct OpOr  { template <typename T> static T Apply(T a, T b) { return a || b; } };
+
+struct CmpEq { template <typename T> static bool Apply(T a, T b) { return a == b; } };
+struct CmpNe { template <typename T> static bool Apply(T a, T b) { return a != b; } };
+struct CmpLt { template <typename T> static bool Apply(T a, T b) { return a < b; } };
+struct CmpLe { template <typename T> static bool Apply(T a, T b) { return a <= b; } };
+struct CmpGt { template <typename T> static bool Apply(T a, T b) { return a > b; } };
+struct CmpGe { template <typename T> static bool Apply(T a, T b) { return a >= b; } };
+
+// ---------------------------------------------------------------------------
+// Kernel templates
+// ---------------------------------------------------------------------------
+
+template <typename T, typename OUT, typename OP, OperandMode MODE, bool SEL>
+void BinaryKernel(const void* a, const void* b, void* out, const sel_t* sel,
+                  uint32_t n) {
+  const T* AVM_RESTRICT pa = static_cast<const T*>(a);
+  const T* AVM_RESTRICT pb = static_cast<const T*>(b);
+  OUT* AVM_RESTRICT po = static_cast<OUT*>(out);
+  auto val_a = [&](uint32_t i) {
+    return MODE == OperandMode::kScalarVec ? pa[0] : pa[i];
+  };
+  auto val_b = [&](uint32_t i) {
+    return MODE == OperandMode::kVecScalar ? pb[0] : pb[i];
+  };
+  if constexpr (SEL) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const uint32_t i = sel[j];
+      po[i] = static_cast<OUT>(OP::Apply(val_a(i), val_b(i)));
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      po[i] = static_cast<OUT>(OP::Apply(val_a(i), val_b(i)));
+    }
+  }
+}
+
+struct UnNeg  { template <typename T> static T Apply(T a) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(U(0) - static_cast<U>(a));
+  } else { return -a; }
+} };
+struct UnAbs  { template <typename T> static T Apply(T a) {
+  if constexpr (std::is_integral_v<T>) {
+    return a < 0 ? UnNeg::Apply(a) : a;
+  } else { return std::abs(a); }
+} };
+struct UnNot  { template <typename T> static T Apply(T a) { return !a; } };
+struct UnSqrt {
+  template <typename T> static auto Apply(T a) {
+    if constexpr (std::is_same_v<T, float>) { return std::sqrt(a); }
+    else { return std::sqrt(static_cast<double>(a)); }
+  }
+};
+struct UnHash {
+  template <typename T> static int64_t Apply(T a) {
+    return static_cast<int64_t>(HashInt64(static_cast<uint64_t>(
+        static_cast<int64_t>(a))));
+  }
+};
+
+template <typename T, typename OUT, typename OP, bool SEL>
+void UnaryKernel(const void* a, const void* /*b*/, void* out, const sel_t* sel,
+                 uint32_t n) {
+  const T* AVM_RESTRICT pa = static_cast<const T*>(a);
+  OUT* AVM_RESTRICT po = static_cast<OUT*>(out);
+  if constexpr (SEL) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const uint32_t i = sel[j];
+      po[i] = static_cast<OUT>(OP::Apply(pa[i]));
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) po[i] = static_cast<OUT>(OP::Apply(pa[i]));
+  }
+}
+
+template <typename FROM, typename TO, bool SEL>
+void CastKernel(const void* a, const void* /*b*/, void* out, const sel_t* sel,
+                uint32_t n) {
+  const FROM* AVM_RESTRICT pa = static_cast<const FROM*>(a);
+  TO* AVM_RESTRICT po = static_cast<TO*>(out);
+  if constexpr (SEL) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const uint32_t i = sel[j];
+      po[i] = static_cast<TO>(pa[i]);
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) po[i] = static_cast<TO>(pa[i]);
+  }
+}
+
+template <typename T, typename CMP, bool RHS_SCALAR, bool SEL, bool BRANCH>
+uint32_t FilterKernel(const void* a, const void* b, const sel_t* sel,
+                      uint32_t n, sel_t* out_sel) {
+  const T* AVM_RESTRICT pa = static_cast<const T*>(a);
+  const T* AVM_RESTRICT pb = static_cast<const T*>(b);
+  uint32_t count = 0;
+  if constexpr (SEL) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const uint32_t i = sel[j];
+      if constexpr (BRANCH) {
+        // Branching append: cheap when the predicate is predictable.
+        if (CMP::Apply(pa[i], RHS_SCALAR ? pb[0] : pb[i])) {
+          out_sel[count++] = i;
+        }
+      } else {
+        // Branch-free append (the X100 selection-vector idiom).
+        out_sel[count] = i;
+        count += CMP::Apply(pa[i], RHS_SCALAR ? pb[0] : pb[i]) ? 1u : 0u;
+      }
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      if constexpr (BRANCH) {
+        if (CMP::Apply(pa[i], RHS_SCALAR ? pb[0] : pb[i])) {
+          out_sel[count++] = i;
+        }
+      } else {
+        out_sel[count] = i;
+        count += CMP::Apply(pa[i], RHS_SCALAR ? pb[0] : pb[i]) ? 1u : 0u;
+      }
+    }
+  }
+  return count;
+}
+
+template <bool SEL>
+uint32_t BoolToSelKernel(const void* a, const void* /*b*/, const sel_t* sel,
+                         uint32_t n, sel_t* out_sel) {
+  const uint8_t* AVM_RESTRICT pa = static_cast<const uint8_t*>(a);
+  uint32_t count = 0;
+  if constexpr (SEL) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const uint32_t i = sel[j];
+      out_sel[count] = i;
+      count += pa[i] ? 1u : 0u;
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      out_sel[count] = i;
+      count += pa[i] ? 1u : 0u;
+    }
+  }
+  return count;
+}
+
+template <typename T, typename OP>
+void FoldKernel(const void* v, const sel_t* sel, uint32_t n, void* acc) {
+  const T* AVM_RESTRICT pv = static_cast<const T*>(v);
+  T a = *static_cast<T*>(acc);
+  if (sel != nullptr) {
+    for (uint32_t j = 0; j < n; ++j) a = OP::Apply(a, pv[sel[j]]);
+  } else {
+    for (uint32_t i = 0; i < n; ++i) a = OP::Apply(a, pv[i]);
+  }
+  *static_cast<T*>(acc) = a;
+}
+
+template <typename T, bool SEL>
+void GatherKernel(const void* base, const void* idx, void* out,
+                  const sel_t* sel, uint32_t n) {
+  const T* AVM_RESTRICT pb = static_cast<const T*>(base);
+  const int64_t* AVM_RESTRICT pi = static_cast<const int64_t*>(idx);
+  T* AVM_RESTRICT po = static_cast<T*>(out);
+  if constexpr (SEL) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const uint32_t i = sel[j];
+      po[i] = pb[pi[i]];
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) po[i] = pb[pi[i]];
+  }
+}
+
+struct CombineOverwrite {
+  template <typename T> static T Apply(T /*old_v*/, T new_v) { return new_v; }
+};
+
+template <typename T, typename COMBINE>
+void ScatterKernel(const void* idx, const void* values, void* base,
+                   const sel_t* sel, uint32_t n) {
+  const int64_t* AVM_RESTRICT pi = static_cast<const int64_t*>(idx);
+  const T* AVM_RESTRICT pv = static_cast<const T*>(values);
+  T* AVM_RESTRICT pb = static_cast<T*>(base);
+  if (sel != nullptr) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const uint32_t i = sel[j];
+      pb[pi[i]] = COMBINE::Apply(pb[pi[i]], pv[i]);
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      pb[pi[i]] = COMBINE::Apply(pb[pi[i]], pv[i]);
+    }
+  }
+}
+
+template <typename T>
+void CondenseKernel(const void* v, const void* /*b*/, void* out,
+                    const sel_t* sel, uint32_t n) {
+  const T* AVM_RESTRICT pv = static_cast<const T*>(v);
+  T* AVM_RESTRICT po = static_cast<T*>(out);
+  for (uint32_t j = 0; j < n; ++j) po[j] = pv[sel[j]];
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry construction
+// ---------------------------------------------------------------------------
+
+const KernelRegistry& KernelRegistry::Get() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+namespace {
+template <typename T>
+constexpr bool kIsBool = std::is_same_v<T, bool>;
+// We store bools as uint8_t buffers; kernels use uint8_t for kBool.
+template <typename T>
+using Stored = std::conditional_t<kIsBool<T>, uint8_t, T>;
+}  // namespace
+
+KernelRegistry::KernelRegistry() {
+  auto op_i = [](ScalarOp op) { return static_cast<size_t>(op); };
+  auto ty_i = [](TypeId t) { return static_cast<size_t>(t); };
+
+  auto for_each_type = [&](auto&& fn) {
+    fn.template operator()<bool>(TypeId::kBool);
+    fn.template operator()<int8_t>(TypeId::kI8);
+    fn.template operator()<int16_t>(TypeId::kI16);
+    fn.template operator()<int32_t>(TypeId::kI32);
+    fn.template operator()<int64_t>(TypeId::kI64);
+    fn.template operator()<float>(TypeId::kF32);
+    fn.template operator()<double>(TypeId::kF64);
+  };
+
+  // --- binary arithmetic / comparison / logic -----------------------------
+  for_each_type([&]<typename Raw>(TypeId t) {
+    using T = Stored<Raw>;
+    auto reg_bin = [&]<typename OP, typename OUT>(ScalarOp op) {
+      binary_[op_i(op)][ty_i(t)][0][0] =
+          &BinaryKernel<T, OUT, OP, OperandMode::kVecVec, false>;
+      binary_[op_i(op)][ty_i(t)][0][1] =
+          &BinaryKernel<T, OUT, OP, OperandMode::kVecVec, true>;
+      binary_[op_i(op)][ty_i(t)][1][0] =
+          &BinaryKernel<T, OUT, OP, OperandMode::kVecScalar, false>;
+      binary_[op_i(op)][ty_i(t)][1][1] =
+          &BinaryKernel<T, OUT, OP, OperandMode::kVecScalar, true>;
+      binary_[op_i(op)][ty_i(t)][2][0] =
+          &BinaryKernel<T, OUT, OP, OperandMode::kScalarVec, false>;
+      binary_[op_i(op)][ty_i(t)][2][1] =
+          &BinaryKernel<T, OUT, OP, OperandMode::kScalarVec, true>;
+      num_registered_ += 6;
+    };
+    if constexpr (!kIsBool<Raw>) {
+      reg_bin.template operator()<OpAdd, T>(ScalarOp::kAdd);
+      reg_bin.template operator()<OpSub, T>(ScalarOp::kSub);
+      reg_bin.template operator()<OpMul, T>(ScalarOp::kMul);
+      reg_bin.template operator()<OpDiv, T>(ScalarOp::kDiv);
+      reg_bin.template operator()<OpMin, T>(ScalarOp::kMin);
+      reg_bin.template operator()<OpMax, T>(ScalarOp::kMax);
+      if constexpr (std::is_integral_v<T>) {
+        reg_bin.template operator()<OpMod, T>(ScalarOp::kMod);
+      }
+    } else {
+      reg_bin.template operator()<OpAnd, uint8_t>(ScalarOp::kAnd);
+      reg_bin.template operator()<OpOr, uint8_t>(ScalarOp::kOr);
+    }
+    // Comparisons produce uint8 bools, for any input type.
+    reg_bin.template operator()<CmpEq, uint8_t>(ScalarOp::kEq);
+    reg_bin.template operator()<CmpNe, uint8_t>(ScalarOp::kNe);
+    reg_bin.template operator()<CmpLt, uint8_t>(ScalarOp::kLt);
+    reg_bin.template operator()<CmpLe, uint8_t>(ScalarOp::kLe);
+    reg_bin.template operator()<CmpGt, uint8_t>(ScalarOp::kGt);
+    reg_bin.template operator()<CmpGe, uint8_t>(ScalarOp::kGe);
+  });
+
+  // --- unary ---------------------------------------------------------------
+  for_each_type([&]<typename Raw>(TypeId t) {
+    using T = Stored<Raw>;
+    auto reg_un = [&]<typename OP, typename OUT>(ScalarOp op) {
+      unary_[op_i(op)][ty_i(t)][0] = &UnaryKernel<T, OUT, OP, false>;
+      unary_[op_i(op)][ty_i(t)][1] = &UnaryKernel<T, OUT, OP, true>;
+      num_registered_ += 2;
+    };
+    if constexpr (kIsBool<Raw>) {
+      reg_un.template operator()<UnNot, uint8_t>(ScalarOp::kNot);
+    } else {
+      if constexpr (std::is_signed_v<T> || std::is_floating_point_v<T>) {
+        reg_un.template operator()<UnNeg, T>(ScalarOp::kNeg);
+        reg_un.template operator()<UnAbs, T>(ScalarOp::kAbs);
+      }
+      if constexpr (std::is_same_v<T, float>) {
+        reg_un.template operator()<UnSqrt, float>(ScalarOp::kSqrt);
+      } else {
+        reg_un.template operator()<UnSqrt, double>(ScalarOp::kSqrt);
+      }
+      if constexpr (std::is_integral_v<T>) {
+        reg_un.template operator()<UnHash, int64_t>(ScalarOp::kHash);
+      }
+    }
+  });
+
+  // --- casts ---------------------------------------------------------------
+  for_each_type([&]<typename RawFrom>(TypeId from) {
+    using F = Stored<RawFrom>;
+    for_each_type([&]<typename RawTo>(TypeId to) {
+      using TO = Stored<RawTo>;
+      cast_[ty_i(from)][ty_i(to)][0] = &CastKernel<F, TO, false>;
+      cast_[ty_i(from)][ty_i(to)][1] = &CastKernel<F, TO, true>;
+      num_registered_ += 2;
+    });
+  });
+
+  // --- filters -------------------------------------------------------------
+  for_each_type([&]<typename Raw>(TypeId t) {
+    using T = Stored<Raw>;
+    auto reg_f = [&]<typename CMP>(ScalarOp op) {
+      filter_[op_i(op)][ty_i(t)][0][0][0] =
+          &FilterKernel<T, CMP, false, false, false>;
+      filter_[op_i(op)][ty_i(t)][0][1][0] =
+          &FilterKernel<T, CMP, false, true, false>;
+      filter_[op_i(op)][ty_i(t)][1][0][0] =
+          &FilterKernel<T, CMP, true, false, false>;
+      filter_[op_i(op)][ty_i(t)][1][1][0] =
+          &FilterKernel<T, CMP, true, true, false>;
+      filter_[op_i(op)][ty_i(t)][0][0][1] =
+          &FilterKernel<T, CMP, false, false, true>;
+      filter_[op_i(op)][ty_i(t)][0][1][1] =
+          &FilterKernel<T, CMP, false, true, true>;
+      filter_[op_i(op)][ty_i(t)][1][0][1] =
+          &FilterKernel<T, CMP, true, false, true>;
+      filter_[op_i(op)][ty_i(t)][1][1][1] =
+          &FilterKernel<T, CMP, true, true, true>;
+      num_registered_ += 8;
+    };
+    reg_f.template operator()<CmpEq>(ScalarOp::kEq);
+    reg_f.template operator()<CmpNe>(ScalarOp::kNe);
+    reg_f.template operator()<CmpLt>(ScalarOp::kLt);
+    reg_f.template operator()<CmpLe>(ScalarOp::kLe);
+    reg_f.template operator()<CmpGt>(ScalarOp::kGt);
+    reg_f.template operator()<CmpGe>(ScalarOp::kGe);
+  });
+  bool_to_sel_[0] = &BoolToSelKernel<false>;
+  bool_to_sel_[1] = &BoolToSelKernel<true>;
+  num_registered_ += 2;
+
+  // --- folds ---------------------------------------------------------------
+  for_each_type([&]<typename Raw>(TypeId t) {
+    using T = Stored<Raw>;
+    if constexpr (kIsBool<Raw>) {
+      fold_[op_i(ScalarOp::kAnd)][ty_i(t)] = &FoldKernel<uint8_t, OpAnd>;
+      fold_[op_i(ScalarOp::kOr)][ty_i(t)] = &FoldKernel<uint8_t, OpOr>;
+      num_registered_ += 2;
+    } else {
+      fold_[op_i(ScalarOp::kAdd)][ty_i(t)] = &FoldKernel<T, OpAdd>;
+      fold_[op_i(ScalarOp::kMul)][ty_i(t)] = &FoldKernel<T, OpMul>;
+      fold_[op_i(ScalarOp::kMin)][ty_i(t)] = &FoldKernel<T, OpMin>;
+      fold_[op_i(ScalarOp::kMax)][ty_i(t)] = &FoldKernel<T, OpMax>;
+      num_registered_ += 4;
+    }
+  });
+
+  // --- data movement ---------------------------------------------------------
+  for_each_type([&]<typename Raw>(TypeId t) {
+    using T = Stored<Raw>;
+    gather_[ty_i(t)][0] = &GatherKernel<T, false>;
+    gather_[ty_i(t)][1] = &GatherKernel<T, true>;
+    condense_[ty_i(t)] = &CondenseKernel<T>;
+    num_registered_ += 3;
+    if constexpr (!kIsBool<Raw>) {
+      scatter_[op_i(ScalarOp::kAdd)][ty_i(t)] = &ScatterKernel<T, OpAdd>;
+      scatter_[op_i(ScalarOp::kMin)][ty_i(t)] = &ScatterKernel<T, OpMin>;
+      scatter_[op_i(ScalarOp::kMax)][ty_i(t)] = &ScatterKernel<T, OpMax>;
+      num_registered_ += 3;
+    }
+    scatter_[op_i(ScalarOp::kCast)][ty_i(t)] =
+        &ScatterKernel<T, CombineOverwrite>;
+    num_registered_ += 1;
+  });
+}
+
+PrimKernelFn KernelRegistry::Binary(dsl::ScalarOp op, TypeId in_type,
+                                    OperandMode mode, bool selective) const {
+  return binary_[static_cast<size_t>(op)][static_cast<size_t>(in_type)]
+                [static_cast<size_t>(mode)][selective ? 1 : 0];
+}
+
+PrimKernelFn KernelRegistry::Unary(dsl::ScalarOp op, TypeId in_type,
+                                   bool selective) const {
+  return unary_[static_cast<size_t>(op)][static_cast<size_t>(in_type)]
+               [selective ? 1 : 0];
+}
+
+PrimKernelFn KernelRegistry::Cast(TypeId from, TypeId to,
+                                  bool selective) const {
+  return cast_[static_cast<size_t>(from)][static_cast<size_t>(to)]
+              [selective ? 1 : 0];
+}
+
+FilterKernelFn KernelRegistry::Filter(dsl::ScalarOp cmp, TypeId in_type,
+                                      bool rhs_scalar, bool selective,
+                                      FilterVariant variant) const {
+  return filter_[static_cast<size_t>(cmp)][static_cast<size_t>(in_type)]
+                [rhs_scalar ? 1 : 0][selective ? 1 : 0]
+                [static_cast<size_t>(variant)];
+}
+
+FilterKernelFn KernelRegistry::BoolToSel(bool selective) const {
+  return bool_to_sel_[selective ? 1 : 0];
+}
+
+FoldKernelFn KernelRegistry::Fold(dsl::ScalarOp op, TypeId in_type) const {
+  return fold_[static_cast<size_t>(op)][static_cast<size_t>(in_type)];
+}
+
+PrimKernelFn KernelRegistry::GatherI64Idx(TypeId value_type,
+                                          bool selective) const {
+  return gather_[static_cast<size_t>(value_type)][selective ? 1 : 0];
+}
+
+PrimKernelFn KernelRegistry::Scatter(dsl::ScalarOp combine,
+                                     TypeId value_type) const {
+  return scatter_[static_cast<size_t>(combine)]
+                 [static_cast<size_t>(value_type)];
+}
+
+PrimKernelFn KernelRegistry::Condense(TypeId value_type) const {
+  return condense_[static_cast<size_t>(value_type)];
+}
+
+}  // namespace avm::interp

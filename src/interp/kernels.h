@@ -1,0 +1,109 @@
+// Pre-compiled vectorized primitive kernels (MonetDB/X100 style).
+//
+// Section III-A: "specialized functions that operate on a chunk of data in a
+// tight loop are needed. We can generate and compile these functions during
+// startup through our compilation infrastructure, such that they will be
+// available during runtime with near to zero compilation effort."
+//
+// Here the full cross product (op × type × operand-vecness × selectivity
+// variant) is instantiated from templates at build time and registered in a
+// flat-array registry; run-time lookup is an array index.
+#pragma once
+
+#include <cstdint>
+
+#include "dsl/ast.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace avm::interp {
+
+/// Uniform kernel ABI. `a`, `b` point to vector data or a single scalar
+/// (broadcast), `out` to the destination vector. If `sel` is non-null, only
+/// positions sel[0..n) are processed and n is the selection count; otherwise
+/// positions 0..n.
+using PrimKernelFn = void (*)(const void* a, const void* b, void* out,
+                              const sel_t* sel, uint32_t n);
+
+/// Comparison kernels that directly produce a selection vector
+/// (the "selection-vector" filter flavor). Returns qualifying count.
+using FilterKernelFn = uint32_t (*)(const void* a, const void* b,
+                                    const sel_t* sel, uint32_t n,
+                                    sel_t* out_sel);
+
+/// Fold kernels reduce a (possibly selected) vector into *acc.
+using FoldKernelFn = void (*)(const void* v, const sel_t* sel, uint32_t n,
+                              void* acc);
+
+/// Operand shape of a binary kernel.
+enum class OperandMode : uint8_t {
+  kVecVec = 0,
+  kVecScalar = 1,
+  kScalarVec = 2,
+};
+
+/// Implementation flavor of selection-vector filters (micro-adaptivity,
+/// paper §III-C / [24]): branchless append wins at mid selectivities,
+/// branching wins when the branch is predictable (very low/high
+/// selectivity).
+enum class FilterVariant : uint8_t {
+  kBranchless = 0,
+  kBranching = 1,
+};
+
+/// Registry of every pre-compiled kernel. Process-wide singleton; cheap
+/// lookups (flat arrays indexed by enums).
+class KernelRegistry {
+ public:
+  static const KernelRegistry& Get();
+
+  /// Element-wise kernel for op over in_type operands.
+  /// Comparisons write uint8 (bool) outputs. Null if unsupported combo.
+  PrimKernelFn Binary(dsl::ScalarOp op, TypeId in_type, OperandMode mode,
+                      bool selective) const;
+  PrimKernelFn Unary(dsl::ScalarOp op, TypeId in_type, bool selective) const;
+  PrimKernelFn Cast(TypeId from, TypeId to, bool selective) const;
+
+  /// Comparison producing a selection vector (rhs scalar or vector).
+  FilterKernelFn Filter(dsl::ScalarOp cmp, TypeId in_type, bool rhs_scalar,
+                        bool selective,
+                        FilterVariant variant = FilterVariant::kBranchless)
+      const;
+
+  /// Selection vector from a uint8 bool vector (the bitmap→selvec step of
+  /// the full-compute filter flavor).
+  FilterKernelFn BoolToSel(bool selective) const;
+
+  /// fold with op in {add, min, max, mul, and, or}.
+  FoldKernelFn Fold(dsl::ScalarOp op, TypeId in_type) const;
+
+  /// data-movement kernels
+  PrimKernelFn GatherI64Idx(TypeId value_type, bool selective) const;
+  /// scatter value v[i] to base[idx[i]] combining with op
+  /// (op == kCast means plain overwrite).
+  PrimKernelFn Scatter(dsl::ScalarOp combine, TypeId value_type) const;
+  /// condense: out[j] = v[sel[j]]
+  PrimKernelFn Condense(TypeId value_type) const;
+
+  /// Total number of registered kernel entry points (reporting/tests).
+  size_t NumRegistered() const { return num_registered_; }
+
+ private:
+  KernelRegistry();
+
+  static constexpr size_t kOps = 21;     // ScalarOp cardinality
+  static constexpr size_t kTypes = kNumTypes;
+
+  PrimKernelFn binary_[kOps][kTypes][3][2] = {};
+  PrimKernelFn unary_[kOps][kTypes][2] = {};
+  PrimKernelFn cast_[kTypes][kTypes][2] = {};
+  FilterKernelFn filter_[kOps][kTypes][2][2][2] = {};
+  FilterKernelFn bool_to_sel_[2] = {};
+  FoldKernelFn fold_[kOps][kTypes] = {};
+  PrimKernelFn gather_[kTypes][2] = {};
+  PrimKernelFn scatter_[kOps][kTypes] = {};
+  PrimKernelFn condense_[kTypes] = {};
+  size_t num_registered_ = 0;
+};
+
+}  // namespace avm::interp

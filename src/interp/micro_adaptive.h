@@ -1,0 +1,72 @@
+// Generic micro-adaptive flavor chooser (Ra˘ducanu et al., SIGMOD'13 —
+// reference [24] of the paper). The VM uses it to pick among implementation
+// flavors of one operation: epsilon-greedy exploration with an exponential
+// moving average of per-tuple cost per arm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace avm::interp {
+
+class MicroAdaptiveChooser {
+ public:
+  explicit MicroAdaptiveChooser(size_t num_arms, double explore_every = 64,
+                                double ema_alpha = 0.2)
+      : arms_(num_arms), explore_every_(explore_every),
+        ema_alpha_(ema_alpha) {}
+
+  /// Arm to use for the next call.
+  size_t Choose() {
+    ++calls_;
+    // Round-robin warmup: measure every arm once before exploiting.
+    for (size_t i = 0; i < arms_.size(); ++i) {
+      if (arms_[i].samples == 0) return i;
+    }
+    // Periodic exploration keeps stale arms re-evaluated so the chooser
+    // adapts when the workload drifts (e.g. selectivity changes).
+    if (explore_every_ > 0 &&
+        calls_ % static_cast<uint64_t>(explore_every_) == 0) {
+      explore_cursor_ = (explore_cursor_ + 1) % arms_.size();
+      return explore_cursor_;
+    }
+    return Best();
+  }
+
+  /// Report the measured cost (e.g. cycles per tuple) of using `arm`.
+  void Observe(size_t arm, double cost) {
+    Arm& a = arms_[arm];
+    if (a.samples == 0) {
+      a.ema_cost = cost;
+    } else {
+      a.ema_cost = ema_alpha_ * cost + (1 - ema_alpha_) * a.ema_cost;
+    }
+    ++a.samples;
+  }
+
+  size_t Best() const {
+    size_t best = 0;
+    for (size_t i = 1; i < arms_.size(); ++i) {
+      if (arms_[i].ema_cost < arms_[best].ema_cost) best = i;
+    }
+    return best;
+  }
+
+  double CostOf(size_t arm) const { return arms_[arm].ema_cost; }
+  uint64_t SamplesOf(size_t arm) const { return arms_[arm].samples; }
+  size_t num_arms() const { return arms_.size(); }
+
+ private:
+  struct Arm {
+    double ema_cost = 0;
+    uint64_t samples = 0;
+  };
+  std::vector<Arm> arms_;
+  double explore_every_;
+  double ema_alpha_;
+  uint64_t calls_ = 0;
+  size_t explore_cursor_ = 0;
+};
+
+}  // namespace avm::interp

@@ -1,0 +1,290 @@
+#include "interp/prim_exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace avm::interp {
+
+namespace {
+
+using dsl::ScalarOp;
+using ir::ArgKind;
+using ir::PrimArg;
+using ir::PrimInstr;
+using ir::PrimProgram;
+
+// Scalar evaluation of one primitive (used when every operand is scalar and
+// for the generic fold fallback).
+Result<ScalarValue> ApplyScalar(const PrimInstr& instr, const ScalarValue& a,
+                                const ScalarValue& b) {
+  ScalarValue x = a.CastTo(instr.in_type);
+  ScalarValue y = instr.num_args == 2 ? b.CastTo(instr.in_type) : b;
+  const bool flt = IsFloatType(instr.in_type);
+  auto out_i = [&](int64_t v) {
+    return ScalarValue::I(v, TypeId::kI64).CastTo(instr.out_type);
+  };
+  auto out_f = [&](double v) { return ScalarValue::F(v, instr.out_type); };
+  switch (instr.op) {
+    case ScalarOp::kAdd: return flt ? out_f(x.AsF64() + y.AsF64()) : out_i(x.v.i + y.v.i);
+    case ScalarOp::kSub: return flt ? out_f(x.AsF64() - y.AsF64()) : out_i(x.v.i - y.v.i);
+    case ScalarOp::kMul: return flt ? out_f(x.AsF64() * y.AsF64()) : out_i(x.v.i * y.v.i);
+    case ScalarOp::kDiv:
+      if (flt) return out_f(x.AsF64() / y.AsF64());
+      return out_i(y.v.i == 0 ? 0 : x.v.i / y.v.i);
+    case ScalarOp::kMod:
+      return out_i(y.v.i == 0 ? 0 : x.v.i % y.v.i);
+    case ScalarOp::kMin:
+      return flt ? out_f(std::min(x.AsF64(), y.AsF64()))
+                 : out_i(std::min(x.v.i, y.v.i));
+    case ScalarOp::kMax:
+      return flt ? out_f(std::max(x.AsF64(), y.AsF64()))
+                 : out_i(std::max(x.v.i, y.v.i));
+    case ScalarOp::kEq: return ScalarValue::I(flt ? x.AsF64() == y.AsF64() : x.v.i == y.v.i, TypeId::kBool);
+    case ScalarOp::kNe: return ScalarValue::I(flt ? x.AsF64() != y.AsF64() : x.v.i != y.v.i, TypeId::kBool);
+    case ScalarOp::kLt: return ScalarValue::I(flt ? x.AsF64() < y.AsF64() : x.v.i < y.v.i, TypeId::kBool);
+    case ScalarOp::kLe: return ScalarValue::I(flt ? x.AsF64() <= y.AsF64() : x.v.i <= y.v.i, TypeId::kBool);
+    case ScalarOp::kGt: return ScalarValue::I(flt ? x.AsF64() > y.AsF64() : x.v.i > y.v.i, TypeId::kBool);
+    case ScalarOp::kGe: return ScalarValue::I(flt ? x.AsF64() >= y.AsF64() : x.v.i >= y.v.i, TypeId::kBool);
+    case ScalarOp::kAnd: return ScalarValue::I(x.AsBool() && y.AsBool(), TypeId::kBool);
+    case ScalarOp::kOr: return ScalarValue::I(x.AsBool() || y.AsBool(), TypeId::kBool);
+    case ScalarOp::kNot: return ScalarValue::I(!x.AsBool(), TypeId::kBool);
+    case ScalarOp::kNeg: return flt ? out_f(-x.AsF64()) : out_i(-x.v.i);
+    case ScalarOp::kAbs:
+      return flt ? out_f(std::abs(x.AsF64()))
+                 : out_i(x.v.i < 0 ? -x.v.i : x.v.i);
+    case ScalarOp::kSqrt: return out_f(std::sqrt(x.AsF64()));
+    case ScalarOp::kCast: return a.CastTo(instr.out_type);
+    case ScalarOp::kHash:
+      return ScalarValue::I(
+          static_cast<int64_t>(
+              HashInt64(static_cast<uint64_t>(x.AsI64()))),
+          TypeId::kI64);
+  }
+  return Status::Internal("unhandled scalar op");
+}
+
+}  // namespace
+
+Status PrimExecutor::Resolve(const PrimArg& arg, TypeId want_type,
+                             const std::vector<Value>& inputs,
+                             const CaptureResolver& captures, Operand* out) {
+  Operand& op = *out;
+  switch (arg.kind) {
+    case ArgKind::kInput: {
+      const Value& v = inputs[static_cast<size_t>(arg.index)];
+      if (v.is_array()) {
+        op.data = v.array->vec.RawData();
+        op.is_vector = true;
+        return Status::OK();
+      }
+      v.scalar.CastTo(want_type).Store(op.scalar_buf);
+      op.data = op.scalar_buf;
+      return Status::OK();
+    }
+    case ArgKind::kReg: {
+      Reg& r = regs_[static_cast<size_t>(arg.index)];
+      if (!r.valid) return Status::Internal("read of unwritten register");
+      if (r.is_scalar) {
+        r.scalar.CastTo(want_type).Store(op.scalar_buf);
+        op.data = op.scalar_buf;
+        return Status::OK();
+      }
+      op.data = r.vec.RawData();
+      op.is_vector = true;
+      return Status::OK();
+    }
+    case ArgKind::kConstI:
+      ScalarValue::I(arg.const_i, TypeId::kI64)
+          .CastTo(want_type)
+          .Store(op.scalar_buf);
+      op.data = op.scalar_buf;
+      return Status::OK();
+    case ArgKind::kConstF:
+      ScalarValue::F(arg.const_f, TypeId::kF64)
+          .CastTo(want_type)
+          .Store(op.scalar_buf);
+      op.data = op.scalar_buf;
+      return Status::OK();
+    case ArgKind::kCapture: {
+      if (!captures) {
+        return Status::InvalidArgument("capture without resolver: " +
+                                       arg.name);
+      }
+      AVM_ASSIGN_OR_RETURN(ScalarValue sv, captures(arg.name));
+      sv.CastTo(want_type).Store(op.scalar_buf);
+      op.data = op.scalar_buf;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled arg kind");
+}
+
+Status PrimExecutor::Run(const ir::PrimProgram& prog,
+                         const std::vector<Value>& inputs, const sel_t* sel,
+                         uint32_t sel_n, uint32_t n, Vector* out,
+                         const CaptureResolver& captures) {
+  const KernelRegistry& reg = KernelRegistry::Get();
+  if (regs_.size() < static_cast<size_t>(prog.num_regs)) {
+    regs_.resize(static_cast<size_t>(prog.num_regs));
+  }
+  for (auto& r : regs_) r.valid = false;
+
+  const uint32_t kernel_n = sel != nullptr ? sel_n : n;
+
+  // Identity / projection lambdas copy the input through.
+  if (prog.result_is_input >= 0) {
+    const Value& v = inputs[static_cast<size_t>(prog.result_is_input)];
+    out->Reset(prog.result_type, n);
+    if (v.is_array()) {
+      std::memcpy(out->RawData(), v.array->vec.RawData(),
+                  static_cast<size_t>(n) * TypeWidth(prog.result_type));
+    } else {
+      // Broadcast the scalar.
+      DispatchType(prog.result_type, [&]<typename T>() {
+        ScalarValue sv = v.scalar.CastTo(prog.result_type);
+        uint8_t buf[8];
+        sv.Store(buf);
+        T tv;
+        std::memcpy(&tv, buf, sizeof(T));
+        T* p = out->Data<T>();
+        for (uint32_t i = 0; i < n; ++i) p[i] = tv;
+      });
+    }
+    return Status::OK();
+  }
+
+  for (const auto& instr : prog.instrs) {
+    Reg& dst = regs_[static_cast<size_t>(instr.out_reg)];
+
+    // All-scalar instructions evaluate once.
+    bool all_scalar = true;
+    for (int i = 0; i < instr.num_args; ++i) {
+      const PrimArg& a = instr.args[i];
+      if (a.kind == ArgKind::kInput &&
+          inputs[static_cast<size_t>(a.index)].is_array()) {
+        all_scalar = false;
+      }
+      if (a.kind == ArgKind::kReg &&
+          !regs_[static_cast<size_t>(a.index)].is_scalar) {
+        all_scalar = false;
+      }
+    }
+    if (all_scalar) {
+      auto load_scalar = [&](const PrimArg& a) -> Result<ScalarValue> {
+        switch (a.kind) {
+          case ArgKind::kInput:
+            return inputs[static_cast<size_t>(a.index)].scalar;
+          case ArgKind::kReg:
+            return regs_[static_cast<size_t>(a.index)].scalar;
+          case ArgKind::kConstI: return ScalarValue::I(a.const_i);
+          case ArgKind::kConstF: return ScalarValue::F(a.const_f);
+          case ArgKind::kCapture: {
+            if (!captures) {
+              return Status::InvalidArgument("capture without resolver");
+            }
+            return captures(a.name);
+          }
+        }
+        return Status::Internal("bad arg");
+      };
+      AVM_ASSIGN_OR_RETURN(ScalarValue a, load_scalar(instr.args[0]));
+      ScalarValue b = ScalarValue::I(0);
+      if (instr.num_args == 2) {
+        AVM_ASSIGN_OR_RETURN(b, load_scalar(instr.args[1]));
+      }
+      AVM_ASSIGN_OR_RETURN(ScalarValue r, ApplyScalar(instr, a, b));
+      dst.is_scalar = true;
+      dst.scalar = r;
+      dst.valid = true;
+      continue;
+    }
+
+    Operand a, b;
+    AVM_RETURN_NOT_OK(
+        Resolve(instr.args[0], instr.in_type, inputs, captures, &a));
+    if (instr.num_args == 2) {
+      AVM_RETURN_NOT_OK(
+          Resolve(instr.args[1], instr.in_type, inputs, captures, &b));
+    }
+
+    dst.is_scalar = false;
+    dst.vec.Reset(instr.out_type, n);
+    dst.valid = true;
+
+    PrimKernelFn fn = nullptr;
+    const bool selective = sel != nullptr;
+    if (instr.op == ScalarOp::kCast) {
+      fn = reg.Cast(instr.in_type, instr.out_type, selective);
+    } else if (instr.num_args == 1) {
+      fn = reg.Unary(instr.op, instr.in_type, selective);
+    } else {
+      OperandMode mode = OperandMode::kVecVec;
+      if (a.is_vector && !b.is_vector) mode = OperandMode::kVecScalar;
+      if (!a.is_vector && b.is_vector) mode = OperandMode::kScalarVec;
+      fn = reg.Binary(instr.op, instr.in_type, mode, selective);
+    }
+    if (fn == nullptr) {
+      return Status::NotImplemented(
+          StrFormat("no kernel for %s over %s", dsl::ScalarOpName(instr.op),
+                    TypeName(instr.in_type)));
+    }
+    fn(a.data, b.data, dst.vec.RawData(), sel, kernel_n);
+  }
+
+  // Move the result register into `out`.
+  Reg& res = regs_[static_cast<size_t>(prog.result_reg)];
+  if (res.is_scalar) {
+    out->Reset(prog.result_type, n);
+    DispatchType(prog.result_type, [&]<typename T>() {
+      uint8_t buf[8];
+      res.scalar.CastTo(prog.result_type).Store(buf);
+      T tv;
+      std::memcpy(&tv, buf, sizeof(T));
+      T* p = out->Data<T>();
+      for (uint32_t i = 0; i < n; ++i) p[i] = tv;
+    });
+    return Status::OK();
+  }
+  *out = std::move(res.vec);
+  res.valid = false;
+  return Status::OK();
+}
+
+Result<ScalarValue> PrimExecutor::RunScalar(
+    const ir::PrimProgram& prog, const std::vector<ScalarValue>& inputs,
+    const CaptureResolver& captures) {
+  if (prog.result_is_input >= 0) {
+    return inputs[static_cast<size_t>(prog.result_is_input)];
+  }
+  std::vector<ScalarValue> regs(static_cast<size_t>(prog.num_regs));
+  for (const auto& instr : prog.instrs) {
+    auto load = [&](const ir::PrimArg& a) -> Result<ScalarValue> {
+      switch (a.kind) {
+        case ArgKind::kInput: return inputs[static_cast<size_t>(a.index)];
+        case ArgKind::kReg: return regs[static_cast<size_t>(a.index)];
+        case ArgKind::kConstI: return ScalarValue::I(a.const_i);
+        case ArgKind::kConstF: return ScalarValue::F(a.const_f);
+        case ArgKind::kCapture:
+          if (!captures) {
+            return Status::InvalidArgument("capture without resolver");
+          }
+          return captures(a.name);
+      }
+      return Status::Internal("bad arg");
+    };
+    AVM_ASSIGN_OR_RETURN(ScalarValue a, load(instr.args[0]));
+    ScalarValue b = ScalarValue::I(0);
+    if (instr.num_args == 2) {
+      AVM_ASSIGN_OR_RETURN(b, load(instr.args[1]));
+    }
+    AVM_ASSIGN_OR_RETURN(regs[static_cast<size_t>(instr.out_reg)],
+                         ApplyScalar(instr, a, b));
+  }
+  return regs[static_cast<size_t>(prog.result_reg)];
+}
+
+}  // namespace avm::interp

@@ -1,0 +1,60 @@
+// Executes a normalized PrimProgram chunk-at-a-time by dispatching each
+// primitive instruction to a pre-compiled kernel — the heart of vectorized
+// interpretation (Section III-A).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "interp/kernels.h"
+#include "interp/value.h"
+#include "ir/prim.h"
+#include "util/status.h"
+
+namespace avm::interp {
+
+/// Resolves captured free variables to scalar values at execution time.
+using CaptureResolver =
+    std::function<Result<ScalarValue>(const std::string&)>;
+
+/// Reusable executor; owns scratch register vectors so repeated execution
+/// does not allocate.
+class PrimExecutor {
+ public:
+  /// Execute `prog` over `inputs` (one Value per lambda parameter; scalar
+  /// inputs broadcast). `n` is the physical chunk length; if `sel` is
+  /// non-null only the `sel_n` selected positions are computed (X100-style
+  /// selective execution). The result is written into `out` (resized to the
+  /// result type, capacity >= n).
+  Status Run(const ir::PrimProgram& prog, const std::vector<Value>& inputs,
+             const sel_t* sel, uint32_t sel_n, uint32_t n, Vector* out,
+             const CaptureResolver& captures);
+
+  /// Evaluate `prog` on scalar inputs only (generic fold fallback etc.).
+  Result<ScalarValue> RunScalar(const ir::PrimProgram& prog,
+                                const std::vector<ScalarValue>& inputs,
+                                const CaptureResolver& captures);
+
+ private:
+  struct Operand {
+    const void* data = nullptr;
+    bool is_vector = false;
+    uint8_t scalar_buf[8] = {0};
+  };
+
+  // Fills `*out` in place: `out->data` may alias `out->scalar_buf`, so the
+  // operand must not be copied afterwards.
+  Status Resolve(const ir::PrimArg& arg, TypeId want_type,
+                 const std::vector<Value>& inputs,
+                 const CaptureResolver& captures, Operand* out);
+
+  struct Reg {
+    Vector vec;
+    bool is_scalar = false;
+    ScalarValue scalar;
+    bool valid = false;
+  };
+  std::vector<Reg> regs_;
+};
+
+}  // namespace avm::interp

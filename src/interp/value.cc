@@ -1,0 +1,95 @@
+#include "interp/value.h"
+
+#include <cstring>
+
+namespace avm::interp {
+
+void ScalarValue::Store(void* dst) const {
+  switch (type) {
+    case TypeId::kBool: {
+      uint8_t b = AsBool() ? 1 : 0;
+      std::memcpy(dst, &b, 1);
+      return;
+    }
+    case TypeId::kI8: {
+      int8_t x = static_cast<int8_t>(v.i);
+      std::memcpy(dst, &x, 1);
+      return;
+    }
+    case TypeId::kI16: {
+      int16_t x = static_cast<int16_t>(v.i);
+      std::memcpy(dst, &x, 2);
+      return;
+    }
+    case TypeId::kI32: {
+      int32_t x = static_cast<int32_t>(v.i);
+      std::memcpy(dst, &x, 4);
+      return;
+    }
+    case TypeId::kI64:
+      std::memcpy(dst, &v.i, 8);
+      return;
+    case TypeId::kF32: {
+      float x = static_cast<float>(v.f);
+      std::memcpy(dst, &x, 4);
+      return;
+    }
+    case TypeId::kF64:
+      std::memcpy(dst, &v.f, 8);
+      return;
+  }
+}
+
+ScalarValue ScalarValue::Load(TypeId t, const void* src) {
+  switch (t) {
+    case TypeId::kBool:
+      return I(*static_cast<const uint8_t*>(src) != 0 ? 1 : 0, t);
+    case TypeId::kI8:
+      return I(*static_cast<const int8_t*>(src), t);
+    case TypeId::kI16: {
+      int16_t x;
+      std::memcpy(&x, src, 2);
+      return I(x, t);
+    }
+    case TypeId::kI32: {
+      int32_t x;
+      std::memcpy(&x, src, 4);
+      return I(x, t);
+    }
+    case TypeId::kI64: {
+      int64_t x;
+      std::memcpy(&x, src, 8);
+      return I(x, t);
+    }
+    case TypeId::kF32: {
+      float x;
+      std::memcpy(&x, src, 4);
+      return F(x, t);
+    }
+    case TypeId::kF64: {
+      double x;
+      std::memcpy(&x, src, 8);
+      return F(x, t);
+    }
+  }
+  return I(0);
+}
+
+ScalarValue ScalarValue::CastTo(TypeId t) const {
+  if (t == type) return *this;
+  if (IsFloatType(t)) {
+    double d = AsF64();
+    if (t == TypeId::kF32) d = static_cast<float>(d);
+    return F(d, t);
+  }
+  int64_t x = is_float() ? static_cast<int64_t>(v.f) : v.i;
+  switch (t) {
+    case TypeId::kBool: return I(x != 0 ? 1 : 0, t);
+    case TypeId::kI8: return I(static_cast<int8_t>(x), t);
+    case TypeId::kI16: return I(static_cast<int16_t>(x), t);
+    case TypeId::kI32: return I(static_cast<int32_t>(x), t);
+    default: return I(x, t);
+  }
+}
+
+}  // namespace avm::interp

@@ -1,0 +1,82 @@
+// Runtime values of the vectorized interpreter: scalars and chunk arrays.
+#pragma once
+
+#include <memory>
+
+#include "storage/vector.h"
+
+namespace avm::interp {
+
+/// A scalar runtime value.
+struct ScalarValue {
+  TypeId type = TypeId::kI64;
+  union {
+    int64_t i;
+    double f;
+  } v{0};
+
+  static ScalarValue I(int64_t x, TypeId t = TypeId::kI64) {
+    ScalarValue s;
+    s.type = t;
+    s.v.i = x;
+    return s;
+  }
+  static ScalarValue F(double x, TypeId t = TypeId::kF64) {
+    ScalarValue s;
+    s.type = t;
+    s.v.f = x;
+    return s;
+  }
+
+  bool is_float() const { return IsFloatType(type); }
+  int64_t AsI64() const { return is_float() ? static_cast<int64_t>(v.f) : v.i; }
+  double AsF64() const { return is_float() ? v.f : static_cast<double>(v.i); }
+  bool AsBool() const { return AsI64() != 0; }
+
+  /// Write this scalar into `dst` using the in-memory representation of
+  /// `type` (so kernels can broadcast it).
+  void Store(void* dst) const;
+  /// Read a scalar of type `t` from memory.
+  static ScalarValue Load(TypeId t, const void* src);
+  /// Convert to another type (C++ conversion semantics).
+  ScalarValue CastTo(TypeId t) const;
+};
+
+/// A chunk-sized array value with an optional selection vector.
+/// Filters attach a selection instead of moving data (Table I: "filters do
+/// not physically modify the flow"); condense materializes it away.
+struct ArrayValue {
+  Vector vec;
+  uint32_t len = 0;  ///< physical length
+  SelectionVector sel;
+
+  TypeId type() const { return vec.type(); }
+  bool has_sel() const { return sel.enabled(); }
+  uint32_t active_count() const { return has_sel() ? sel.count() : len; }
+};
+
+using ArrayPtr = std::shared_ptr<ArrayValue>;
+
+/// A runtime value: scalar or array.
+struct Value {
+  enum class Kind : uint8_t { kScalar, kArray } kind = Kind::kScalar;
+  ScalarValue scalar;
+  ArrayPtr array;
+
+  static Value S(ScalarValue s) {
+    Value v;
+    v.kind = Kind::kScalar;
+    v.scalar = s;
+    return v;
+  }
+  static Value A(ArrayPtr a) {
+    Value v;
+    v.kind = Kind::kArray;
+    v.array = std::move(a);
+    return v;
+  }
+  bool is_scalar() const { return kind == Kind::kScalar; }
+  bool is_array() const { return kind == Kind::kArray; }
+};
+
+}  // namespace avm::interp

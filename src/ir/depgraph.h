@@ -1,0 +1,102 @@
+// Dependency graph over the data-parallel operations of a loop body (Fig. 3)
+// and trace extraction via greedy partitioning (Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.h"
+#include "util/status.h"
+
+namespace avm::ir {
+
+/// A node is one data-parallel skeleton application in the loop body.
+struct DepNode {
+  uint32_t id = 0;                    ///< index in DepGraph::nodes
+  const dsl::Expr* expr = nullptr;    ///< the skeleton call it represents
+  dsl::SkeletonKind kind = dsl::SkeletonKind::kMap;
+  std::string label;                  ///< human-readable ("map *2")
+
+  std::vector<uint32_t> inputs;       ///< producing nodes
+  std::vector<uint32_t> consumers;    ///< consuming nodes
+
+  /// External arrays touched (data arrays read/written).
+  std::vector<std::string> external_reads;
+  std::vector<std::string> external_writes;
+
+  /// Estimated (or profiled) cost per tuple — the partitioner's priority.
+  double cost = 1.0;
+  /// Number of primitive instructions (maps/filters after normalization).
+  uint32_t num_prims = 1;
+};
+
+class DepGraph {
+ public:
+  /// Build the graph for the (first) loop body of a type-checked program.
+  /// Nodes are created for every skeleton expression reachable from the loop
+  /// body, with def-use edges through `let` bindings.
+  static Result<DepGraph> Build(const dsl::Program& program);
+
+  const std::vector<DepNode>& nodes() const { return nodes_; }
+  std::vector<DepNode>& nodes() { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Node producing the value bound to `name`, or -1.
+  int ProducerOf(const std::string& name) const;
+
+  /// Name of the value a node produces ("a", "tmp3", ...).
+  std::string OutputNameOf(uint32_t node) const;
+
+  /// Record that `node` produces the value named `name` (used by Build).
+  void RegisterProducer(const std::string& name, uint32_t node);
+
+  /// Topological order (inputs before consumers).
+  std::vector<uint32_t> TopoOrder() const;
+
+  std::string ToDot() const;  ///< graphviz, for documentation/debugging
+
+ private:
+  std::vector<DepNode> nodes_;
+  std::vector<std::pair<std::string, uint32_t>> producers_;
+};
+
+/// Heuristic constraints of the greedy partitioner (paper §III-B):
+///  - `max_streams`: no more than n inputs+intermediates per function,
+///    derived from the TLB size (prevents TLB thrashing);
+///  - `allow_filter`: when false, filter ops are not merged into functions
+///    (restricting branch-misprediction impact / selection-vector data
+///    dependencies to dedicated functions);
+///  - `min_trace_cost`: traces cheaper than this are not worth compiling.
+struct PartitionConstraints {
+  size_t max_streams = 12;
+  bool allow_filter = false;
+  bool allow_condense = true;
+  bool allow_scatter_gather = true;
+  double min_trace_cost = 0.0;
+  size_t max_nodes = 64;
+};
+
+/// A trace: a connected set of graph nodes compiled as one function.
+struct Trace {
+  std::vector<uint32_t> node_ids;      ///< in topological order
+  std::vector<std::string> inputs;     ///< value names entering the trace
+  std::vector<std::string> outputs;    ///< value names leaving the trace
+  double total_cost = 0;
+
+  bool Contains(uint32_t id) const {
+    for (uint32_t n : node_ids) {
+      if (n == id) return true;
+    }
+    return false;
+  }
+};
+
+/// Greedy partitioning: repeatedly seed with the most expensive unvisited
+/// node and grow along edges while constraints hold. Returns traces sorted
+/// by descending total cost. Traces may not cover the whole graph (remaining
+/// nodes stay interpreted) — exactly as the paper allows.
+std::vector<Trace> GreedyPartition(const DepGraph& graph,
+                                   const PartitionConstraints& constraints);
+
+}  // namespace avm::ir

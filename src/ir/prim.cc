@@ -1,0 +1,201 @@
+#include "ir/prim.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "dsl/printer.h"
+#include "dsl/typecheck.h"
+#include "util/string_util.h"
+
+namespace avm::ir {
+
+namespace {
+
+using dsl::Expr;
+using dsl::ExprKind;
+using dsl::ScalarOp;
+
+class NormalizeCtx {
+ public:
+  NormalizeCtx(const Expr& lambda, const std::vector<TypeId>& input_types)
+      : lambda_(lambda) {
+    prog_.input_types = input_types;
+  }
+
+  Result<PrimProgram> Run() {
+    if (lambda_.kind != ExprKind::kLambda) {
+      return Status::InvalidArgument("Normalize expects a lambda");
+    }
+    if (lambda_.params.size() != prog_.input_types.size()) {
+      return Status::InvalidArgument("lambda arity mismatch");
+    }
+    AVM_ASSIGN_OR_RETURN(PrimArg result, Emit(*lambda_.body));
+    // Surface the result position.
+    switch (result.kind) {
+      case ArgKind::kReg:
+        prog_.result_reg = result.index;
+        break;
+      case ArgKind::kInput:
+        prog_.result_is_input = result.index;
+        break;
+      case ArgKind::kConstI:
+      case ArgKind::kConstF:
+      case ArgKind::kCapture: {
+        // Materialize via a copy (cast to own type acts as mov).
+        PrimInstr instr;
+        instr.op = ScalarOp::kCast;
+        instr.in_type = result.type;
+        instr.out_type = result.type;
+        instr.num_args = 1;
+        instr.args[0] = result;
+        instr.out_reg = prog_.num_regs++;
+        prog_.instrs.push_back(instr);
+        prog_.result_reg = instr.out_reg;
+        break;
+      }
+    }
+    prog_.result_type = lambda_.body->type;
+    return std::move(prog_);
+  }
+
+ private:
+  // Emit code for `e`; returns the operand that holds its value.
+  Result<PrimArg> Emit(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kConst:
+        return e.const_is_float ? PrimArg::ConstF(e.const_f, e.type)
+                                : PrimArg::ConstI(e.const_i, e.type);
+      case ExprKind::kVarRef: {
+        for (size_t i = 0; i < lambda_.params.size(); ++i) {
+          if (lambda_.params[i] == e.var) {
+            return PrimArg::Input(static_cast<int>(i), prog_.input_types[i]);
+          }
+        }
+        // Free variable: captured scalar from the enclosing environment.
+        return PrimArg::Capture(e.var, e.type);
+      }
+      case ExprKind::kScalarCall: {
+        // CSE: identical subtrees normalize to the same register.
+        std::string key = dsl::PrintExpr(e);
+        auto it = cse_.find(key);
+        if (it != cse_.end()) return it->second;
+
+        PrimInstr instr;
+        instr.op = e.op;
+        instr.num_args = static_cast<int>(e.args.size());
+        if (instr.num_args > 2) {
+          return Status::InvalidArgument("primitive arity > 2");
+        }
+        for (int i = 0; i < instr.num_args; ++i) {
+          AVM_ASSIGN_OR_RETURN(PrimArg a, Emit(*e.args[i]));
+          instr.args[i] = a;
+        }
+        // For binary ops with mixed operand types, unify the input type.
+        // Constants and captured scalars are materialized at the kernel's
+        // input type by the executor, so they coerce for free; when a
+        // constant fits the other operand's (narrower) type we compare in
+        // the narrow type — compact-data-types thinking applied to
+        // predicates like `x <= 10471` over i32 columns.
+        TypeId in_type = e.args[0]->type;
+        if (instr.num_args == 2 && e.args[0]->type != e.args[1]->type) {
+          TypeId common =
+              dsl::PromoteTypes(e.args[0]->type, e.args[1]->type);
+          auto const_fits = [&](int ci, TypeId target) {
+            const Expr& c = *e.args[ci];
+            if (c.kind != ExprKind::kConst) return false;
+            if (IsFloatType(target)) return true;
+            if (c.const_is_float) return false;
+            return TypeWidth(SmallestIntTypeFor(c.const_i, c.const_i)) <=
+                   TypeWidth(target);
+          };
+          if (const_fits(1, e.args[0]->type) &&
+              e.args[1]->kind == ExprKind::kConst) {
+            common = e.args[0]->type;
+          } else if (const_fits(0, e.args[1]->type) &&
+                     e.args[0]->kind == ExprKind::kConst) {
+            common = e.args[1]->type;
+          }
+          for (int i = 0; i < 2; ++i) {
+            if (e.args[i]->type == common) continue;
+            ArgKind k = instr.args[i].kind;
+            if (k == ArgKind::kConstI || k == ArgKind::kConstF ||
+                k == ArgKind::kCapture) {
+              instr.args[i].type = common;  // coerced at materialization
+            } else {
+              instr.args[i] = EmitCast(instr.args[i], common);
+            }
+          }
+          in_type = common;
+        }
+        instr.in_type = in_type;
+        instr.out_type = e.type;
+        if (e.op == ScalarOp::kCast) {
+          instr.out_type = e.cast_to;
+        }
+        instr.out_reg = prog_.num_regs++;
+        prog_.instrs.push_back(instr);
+        PrimArg out = PrimArg::Reg(instr.out_reg, instr.out_type);
+        cse_.emplace(std::move(key), out);
+        return out;
+      }
+      default:
+        return Status::InvalidArgument(
+            "lambda bodies may only contain scalar expressions");
+    }
+  }
+
+  PrimArg EmitCast(const PrimArg& a, TypeId to) {
+    PrimInstr instr;
+    instr.op = ScalarOp::kCast;
+    instr.in_type = a.type;
+    instr.out_type = to;
+    instr.num_args = 1;
+    instr.args[0] = a;
+    instr.out_reg = prog_.num_regs++;
+    prog_.instrs.push_back(instr);
+    return PrimArg::Reg(instr.out_reg, to);
+  }
+
+  const Expr& lambda_;
+  PrimProgram prog_;
+  std::unordered_map<std::string, PrimArg> cse_;
+};
+
+std::string ArgToString(const PrimArg& a) {
+  switch (a.kind) {
+    case ArgKind::kInput: return StrFormat("in%d", a.index);
+    case ArgKind::kReg: return StrFormat("r%d", a.index);
+    case ArgKind::kConstI: return StrFormat("%lld", (long long)a.const_i);
+    case ArgKind::kConstF: return StrFormat("%g", a.const_f);
+    case ArgKind::kCapture: return "$" + a.name;
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PrimProgram::ToString() const {
+  std::ostringstream os;
+  for (const auto& in : instrs) {
+    os << StrFormat("r%d = %s_%s(", in.out_reg, dsl::ScalarOpName(in.op),
+                    TypeName(in.in_type));
+    for (int i = 0; i < in.num_args; ++i) {
+      if (i != 0) os << ", ";
+      os << ArgToString(in.args[i]);
+    }
+    os << ")\n";
+  }
+  if (result_is_input >= 0) {
+    os << StrFormat("result = in%d\n", result_is_input);
+  } else {
+    os << StrFormat("result = r%d\n", result_reg);
+  }
+  return os.str();
+}
+
+Result<PrimProgram> Normalize(const dsl::Expr& lambda,
+                              const std::vector<TypeId>& input_types) {
+  return NormalizeCtx(lambda, input_types).Run();
+}
+
+}  // namespace avm::ir

@@ -1,0 +1,81 @@
+// Normalization of lambda expressions into primitive-operation programs.
+//
+// Section III-A: "functions … have to be normalized, which means, breaking
+// them into simpler operations" — e.g. f(a,b) = sqrt(a²+b²) becomes
+// f1(a)=a², f2(b)=b², f3(x,y)=x+y, f4(x)=√x. Each primitive maps 1:1 to a
+// pre-compiled vectorized kernel the interpreter can look up at run time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsl/ast.h"
+#include "util/status.h"
+
+namespace avm::ir {
+
+/// Operand of a primitive instruction.
+enum class ArgKind : uint8_t {
+  kInput,    ///< lambda parameter (vector or broadcast scalar)
+  kReg,      ///< result of an earlier instruction
+  kConstI,   ///< integer literal
+  kConstF,   ///< float literal
+  kCapture,  ///< free variable captured from the enclosing scalar scope
+};
+
+struct PrimArg {
+  ArgKind kind = ArgKind::kConstI;
+  int index = 0;        // kInput / kReg
+  int64_t const_i = 0;  // kConstI
+  double const_f = 0;   // kConstF
+  std::string name;     // kCapture
+  TypeId type = TypeId::kI64;
+
+  static PrimArg Input(int i, TypeId t) {
+    return {ArgKind::kInput, i, 0, 0, {}, t};
+  }
+  static PrimArg Reg(int r, TypeId t) { return {ArgKind::kReg, r, 0, 0, {}, t}; }
+  static PrimArg ConstI(int64_t v, TypeId t) {
+    return {ArgKind::kConstI, 0, v, 0, {}, t};
+  }
+  static PrimArg ConstF(double v, TypeId t) {
+    return {ArgKind::kConstF, 0, 0, v, {}, t};
+  }
+  static PrimArg Capture(std::string n, TypeId t) {
+    return {ArgKind::kCapture, 0, 0, 0, std::move(n), t};
+  }
+};
+
+/// One primitive: out_reg := op(args...), element-wise over a chunk.
+struct PrimInstr {
+  dsl::ScalarOp op = dsl::ScalarOp::kAdd;
+  TypeId in_type = TypeId::kI64;   ///< operand element type (kernel key)
+  TypeId out_type = TypeId::kI64;  ///< result element type
+  int num_args = 2;
+  PrimArg args[2];
+  int out_reg = 0;
+};
+
+/// A normalized lambda: a register machine over chunk-sized vectors.
+struct PrimProgram {
+  std::vector<TypeId> input_types;   ///< one per lambda parameter
+  std::vector<PrimInstr> instrs;     ///< topologically ordered
+  int num_regs = 0;
+  /// Where the result lives. If result_is_input >= 0 the lambda is an
+  /// identity/projection of that input and instrs may be empty.
+  int result_reg = -1;
+  int result_is_input = -1;
+  TypeId result_type = TypeId::kI64;
+
+  size_t NumInstrs() const { return instrs.size(); }
+  std::string ToString() const;
+};
+
+/// Normalize `lambda` (type-checked, params bound to `input_types`).
+/// Performs common-subexpression elimination across the lambda body: the
+/// paper's deforestation-friendly representation never materializes a
+/// sub-expression twice.
+Result<PrimProgram> Normalize(const dsl::Expr& lambda,
+                              const std::vector<TypeId>& input_types);
+
+}  // namespace avm::ir

@@ -1,0 +1,795 @@
+#include "jit/codegen.h"
+
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dsl/printer.h"
+#include "ir/prim.h"
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace avm::jit {
+
+namespace {
+
+using dsl::Expr;
+using dsl::ExprKind;
+using dsl::ScalarOp;
+using dsl::SkeletonKind;
+using dsl::StmtKind;
+using dsl::StmtPtr;
+using ir::ArgKind;
+using ir::DepGraph;
+using ir::DepNode;
+using ir::PrimArg;
+using ir::PrimProgram;
+using ir::Trace;
+
+// C type used in generated code (bool buffers are uint8).
+const char* CType(TypeId t) {
+  return t == TypeId::kBool ? "unsigned char" : TypeCName(t);
+}
+
+const char* kPreamble = R"(#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+namespace {
+template <class T> inline T avm_addw(T a, T b) {
+  if constexpr (std::is_integral<T>::value) {
+    using U = typename std::make_unsigned<T>::type;
+    return T(U(a) + U(b));
+  } else { return a + b; }
+}
+template <class T> inline T avm_subw(T a, T b) {
+  if constexpr (std::is_integral<T>::value) {
+    using U = typename std::make_unsigned<T>::type;
+    return T(U(a) - U(b));
+  } else { return a - b; }
+}
+template <class T> inline T avm_mulw(T a, T b) {
+  if constexpr (std::is_integral<T>::value) {
+    using U = typename std::make_unsigned<T>::type;
+    return T(U(a) * U(b));
+  } else { return a * b; }
+}
+template <class T> inline T avm_div(T a, T b) {
+  if constexpr (std::is_integral<T>::value) {
+    if (b == 0) return T(0);
+    if constexpr (std::is_signed<T>::value) {
+      if (b == T(-1)) {
+        return a == std::numeric_limits<T>::min() ? a : T(-a);
+      }
+    }
+    return T(a / b);
+  } else { return a / b; }
+}
+template <class T> inline T avm_mod(T a, T b) {
+  if constexpr (std::is_integral<T>::value) {
+    if (b == 0) return T(0);
+    if constexpr (std::is_signed<T>::value) { if (b == T(-1)) return T(0); }
+    return T(a % b);
+  } else { return T(std::fmod(a, b)); }
+}
+template <class T> inline T avm_neg(T a) {
+  if constexpr (std::is_integral<T>::value) {
+    using U = typename std::make_unsigned<T>::type;
+    return T(U(0) - U(a));
+  } else { return -a; }
+}
+template <class T> inline T avm_abs(T a) { return a < T(0) ? avm_neg(a) : a; }
+inline long long avm_hash(long long k0) {
+  unsigned long long k = (unsigned long long)k0;
+  k ^= k >> 33; k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33; k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return (long long)k;
+}
+}  // namespace
+)";
+
+// ---------------------------------------------------------------------------
+// Emission context
+// ---------------------------------------------------------------------------
+
+class TraceEmitter {
+ public:
+  TraceEmitter(const dsl::Program& program, const DepGraph& graph,
+               const Trace& trace, const CodegenOptions& options)
+      : program_(program), graph_(graph), trace_(trace), options_(options) {}
+
+  Result<GeneratedTrace> Run();
+
+ private:
+  // --- analysis -------------------------------------------------------------
+  Status AnalyzeStatements();
+  Status Validate();
+  Status AssignInputsOutputs();
+
+  // --- emission --------------------------------------------------------------
+  Status EmitNodes();
+  Result<std::string> EmitNodeValue(const DepNode& node);
+  Result<std::string> ResolveValueArg(const Expr& arg);
+  Result<std::string> EmitPrim(const PrimProgram& prog,
+                               const std::vector<std::string>& input_exprs);
+  Result<std::string> EmitCaptureRef(const std::string& name, TypeId t);
+  std::string NewTemp() { return StrFormat("t%d", temp_counter_++); }
+
+  bool InTrace(uint32_t node_id) const {
+    return trace_node_set_.contains(node_id);
+  }
+  bool DependsOnFilter(uint32_t node_id) const;
+
+  std::ostringstream& Body() { return post_filter_mode_ ? post_ : pre_; }
+
+  const dsl::Program& program_;
+  const DepGraph& graph_;
+  const Trace& trace_;
+  const CodegenOptions& options_;
+
+  GeneratedTrace out_;
+  std::unordered_set<uint32_t> trace_node_set_;
+  std::unordered_map<const Expr*, uint32_t> expr_to_node_;
+  std::unordered_map<std::string, TypeId> let_types_;  // name -> element type
+  std::unordered_map<std::string, size_t> input_slot_;  // spec name key -> idx
+  std::unordered_map<uint32_t, std::string> node_value_;  // node -> C expr
+  std::unordered_map<std::string, size_t> cap_i_slot_, cap_f_slot_;
+  int filter_node_ = -1;
+  bool has_condensed_output_ = false;
+  bool post_filter_mode_ = false;
+  std::ostringstream decls_;  // pre-loop declarations
+  std::ostringstream pre_;    // loop body before the filter guard
+  std::ostringstream guard_;  // the filter guard
+  std::ostringstream post_;   // loop body after the guard
+  std::ostringstream tail_;   // post-loop stores
+  int temp_counter_ = 0;
+};
+
+Status TraceEmitter::AnalyzeStatements() {
+  for (uint32_t id : trace_.node_ids) trace_node_set_.insert(id);
+  for (const auto& n : graph_.nodes()) expr_to_node_[n.expr] = n.id;
+
+  // Locate the loop body (the graph was built from it).
+  const std::vector<StmtPtr>* body = &program_.stmts;
+  for (const auto& s : program_.stmts) {
+    if (s->kind == StmtKind::kLoop) {
+      body = &s->body;
+      break;
+    }
+  }
+
+  // Element types of let-bound values (for chunk-var inputs).
+  std::function<void(const std::vector<StmtPtr>&)> collect =
+      [&](const std::vector<StmtPtr>& stmts) {
+        for (const auto& s : stmts) {
+          if (s->kind == StmtKind::kLet && s->expr) {
+            let_types_[s->var] = s->expr->type;
+          }
+          collect(s->body);
+          collect(s->else_body);
+        }
+      };
+  collect(program_.stmts);
+
+  // Statement coverage: every stmt whose skeleton nodes are all in the
+  // trace is covered; partially covered statements are rejected.
+  bool found_anchor = false;
+  for (const auto& s : *body) {
+    if (s->expr == nullptr) continue;
+    std::vector<uint32_t> stmt_nodes;
+    std::function<void(const Expr&)> walk = [&](const Expr& e) {
+      auto it = expr_to_node_.find(&e);
+      if (it != expr_to_node_.end()) stmt_nodes.push_back(it->second);
+      for (const auto& a : e.args) walk(*a);
+      if (e.body) walk(*e.body);
+    };
+    walk(*s->expr);
+    if (stmt_nodes.empty()) continue;
+    size_t inside = 0;
+    for (uint32_t id : stmt_nodes) {
+      if (InTrace(id)) ++inside;
+    }
+    if (inside == 0) continue;
+    if (inside != stmt_nodes.size()) {
+      return Status::InvalidArgument(
+          "trace does not align with statement boundaries");
+    }
+    out_.covered_stmt_ids.push_back(s->id);
+    if (!found_anchor) {
+      out_.anchor_stmt_id = s->id;
+      found_anchor = true;
+    }
+  }
+  if (!found_anchor) {
+    return Status::InvalidArgument("trace covers no statements");
+  }
+  return Status::OK();
+}
+
+bool TraceEmitter::DependsOnFilter(uint32_t node_id) const {
+  if (filter_node_ < 0) return false;
+  if (node_id == static_cast<uint32_t>(filter_node_)) return false;
+  // DFS towards inputs.
+  std::vector<uint32_t> stack{node_id};
+  std::set<uint32_t> seen;
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    for (uint32_t in : graph_.nodes()[id].inputs) {
+      if (in == static_cast<uint32_t>(filter_node_)) return true;
+      if (seen.insert(in).second && InTrace(in)) stack.push_back(in);
+    }
+  }
+  return false;
+}
+
+Status TraceEmitter::Validate() {
+  int filters = 0;
+  for (uint32_t id : trace_.node_ids) {
+    const DepNode& n = graph_.nodes()[id];
+    switch (n.kind) {
+      case SkeletonKind::kRead:
+      case SkeletonKind::kMap:
+      case SkeletonKind::kWrite:
+      case SkeletonKind::kFold:
+      case SkeletonKind::kGather:
+        break;
+      case SkeletonKind::kFilter:
+        ++filters;
+        filter_node_ = static_cast<int>(id);
+        // Every consumer must be in-trace (selection vectors do not cross
+        // the compiled-code boundary).
+        for (uint32_t c : n.consumers) {
+          if (!InTrace(c)) {
+            return Status::InvalidArgument(
+                "filter output escapes the trace");
+          }
+        }
+        break;
+      case SkeletonKind::kCondense: {
+        // Input must be the in-trace filter.
+        if (n.inputs.size() != 1 || !InTrace(n.inputs[0]) ||
+            graph_.nodes()[n.inputs[0]].kind != SkeletonKind::kFilter) {
+          return Status::InvalidArgument(
+              "condense without its filter in the same trace");
+        }
+        break;
+      }
+      default:
+        return Status::NotImplemented(
+            StrFormat("skeleton %s not supported in compiled traces",
+                      dsl::SkeletonName(n.kind)));
+    }
+  }
+  if (filters > 1) {
+    return Status::NotImplemented("more than one filter per trace");
+  }
+  // Escaping post-filter values must be condense nodes.
+  for (uint32_t id : trace_.node_ids) {
+    const DepNode& n = graph_.nodes()[id];
+    bool escapes = false;
+    for (uint32_t c : n.consumers) {
+      if (!InTrace(c)) escapes = true;
+    }
+    std::string name = graph_.OutputNameOf(id);
+    for (const auto& o : trace_.outputs) {
+      if (o == name && n.kind != SkeletonKind::kWrite &&
+          n.kind != SkeletonKind::kScatter) {
+        escapes = true;
+      }
+    }
+    if (escapes && DependsOnFilter(id) && n.kind != SkeletonKind::kCondense) {
+      return Status::InvalidArgument(
+          "post-filter value escapes the trace without condense");
+    }
+  }
+  return Status::OK();
+}
+
+Status TraceEmitter::AssignInputsOutputs() {
+  auto add_input = [&](TraceInputSpec spec) -> size_t {
+    std::string key = StrFormat("%d:%s", static_cast<int>(spec.kind),
+                                spec.name.c_str());
+    if (spec.pos_expr != nullptr) {
+      key += ":" + dsl::PrintExpr(*spec.pos_expr);
+    }
+    auto it = input_slot_.find(key);
+    if (it != input_slot_.end()) return it->second;
+    out_.inputs.push_back(std::move(spec));
+    input_slot_[key] = out_.inputs.size() - 1;
+    return out_.inputs.size() - 1;
+  };
+
+  // Chunk-variable inputs: names in trace_.inputs that are not data arrays
+  // (those become read windows below).
+  for (const auto& name : trace_.inputs) {
+    if (program_.FindData(name) != nullptr) continue;
+    auto it = let_types_.find(name);
+    if (it == let_types_.end()) {
+      return Status::InvalidArgument("unknown trace input " + name);
+    }
+    add_input({TraceInputSpec::Kind::kChunkVar, name, it->second, nullptr});
+  }
+
+  // Read/gather inputs.
+  for (uint32_t id : trace_.node_ids) {
+    const DepNode& n = graph_.nodes()[id];
+    if (n.kind == SkeletonKind::kRead) {
+      const Expr& pos = *n.expr->args[0];
+      if (pos.kind != ExprKind::kVarRef && pos.kind != ExprKind::kConst) {
+        return Status::NotImplemented(
+            "read position must be a variable or constant for compilation");
+      }
+      const std::string& data = n.expr->args[1]->var;
+      auto spec_it = options_.scheme_specialization.find(data);
+      if (spec_it != options_.scheme_specialization.end() &&
+          spec_it->second == Scheme::kFor) {
+        add_input({TraceInputSpec::Kind::kForDeltas, data, TypeId::kI32,
+                   &pos});
+        out_.scheme_requirements[data] = Scheme::kFor;
+      } else {
+        add_input({TraceInputSpec::Kind::kDataRead, data,
+                   program_.FindData(data)->type, &pos});
+      }
+    } else if (n.kind == SkeletonKind::kGather) {
+      const Expr& base = *n.expr->args[0];
+      if (base.kind == ExprKind::kVarRef &&
+          program_.FindData(base.var) != nullptr) {
+        add_input({TraceInputSpec::Kind::kDataWhole, base.var,
+                   program_.FindData(base.var)->type, nullptr});
+      }
+    }
+  }
+
+  // Outputs: data writes + escaping values + fold scalars.
+  for (uint32_t id : trace_.node_ids) {
+    const DepNode& n = graph_.nodes()[id];
+    if (n.kind == SkeletonKind::kWrite) {
+      const Expr& pos = *n.expr->args[1];
+      if (pos.kind != ExprKind::kVarRef && pos.kind != ExprKind::kConst) {
+        return Status::NotImplemented(
+            "write position must be a variable or constant for compilation");
+      }
+      bool condensed = false;
+      if (!n.inputs.empty() && DependsOnFilter(n.inputs[0])) condensed = true;
+      if (!n.inputs.empty() &&
+          graph_.nodes()[n.inputs[0]].kind == SkeletonKind::kCondense) {
+        condensed = true;
+      }
+      out_.outputs.push_back({TraceOutputSpec::Kind::kDataWrite,
+                              n.expr->args[0]->var,
+                              program_.FindData(n.expr->args[0]->var)->type,
+                              condensed, &pos});
+      continue;
+    }
+    if (n.kind == SkeletonKind::kFold) {
+      std::string name = graph_.OutputNameOf(id);
+      out_.outputs.push_back({TraceOutputSpec::Kind::kFoldScalar, name,
+                              n.expr->type, false, nullptr});
+      continue;
+    }
+    // Escaping array value?
+    std::string name = graph_.OutputNameOf(id);
+    bool is_traced_output = false;
+    for (const auto& o : trace_.outputs) {
+      if (o == name) is_traced_output = true;
+    }
+    bool consumed_outside = false;
+    for (uint32_t c : n.consumers) {
+      if (!InTrace(c)) consumed_outside = true;
+    }
+    // A value also escapes when scalar statements outside the graph use it
+    // (e.g. len(a)) — conservatively, every let-bound trace value escapes so
+    // the environment stays consistent after injection.
+    bool let_bound = let_types_.contains(name);
+    if (is_traced_output || consumed_outside || let_bound) {
+      bool condensed = n.kind == SkeletonKind::kCondense;
+      out_.outputs.push_back({TraceOutputSpec::Kind::kArrayVar, name,
+                              n.expr->type, condensed, nullptr});
+      if (condensed) has_condensed_output_ = true;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> TraceEmitter::EmitCaptureRef(const std::string& name,
+                                                 TypeId t) {
+  if (IsFloatType(t)) {
+    auto it = cap_f_slot_.find(name);
+    size_t slot;
+    if (it == cap_f_slot_.end()) {
+      out_.captures_f.emplace_back(name, t);
+      slot = out_.captures_f.size() - 1;
+      cap_f_slot_[name] = slot;
+    } else {
+      slot = it->second;
+    }
+    return StrFormat("((%s)cf[%zu])", CType(t), slot);
+  }
+  auto it = cap_i_slot_.find(name);
+  size_t slot;
+  if (it == cap_i_slot_.end()) {
+    out_.captures_i.emplace_back(name, t);
+    slot = out_.captures_i.size() - 1;
+    cap_i_slot_[name] = slot;
+  } else {
+    slot = it->second;
+  }
+  return StrFormat("((%s)ci[%zu])", CType(t), slot);
+}
+
+Result<std::string> TraceEmitter::EmitPrim(
+    const PrimProgram& prog, const std::vector<std::string>& input_exprs) {
+  if (prog.result_is_input >= 0) {
+    return input_exprs[static_cast<size_t>(prog.result_is_input)];
+  }
+  std::vector<std::string> reg_names(static_cast<size_t>(prog.num_regs));
+  for (const auto& instr : prog.instrs) {
+    auto operand = [&](const PrimArg& a) -> Result<std::string> {
+      switch (a.kind) {
+        case ArgKind::kInput:
+          return StrFormat("((%s)(%s))", CType(instr.in_type),
+                           input_exprs[static_cast<size_t>(a.index)].c_str());
+        case ArgKind::kReg:
+          return StrFormat("((%s)%s)", CType(instr.in_type),
+                           reg_names[static_cast<size_t>(a.index)].c_str());
+        case ArgKind::kConstI:
+          return StrFormat("((%s)%lldLL)", CType(instr.in_type),
+                           (long long)a.const_i);
+        case ArgKind::kConstF:
+          return StrFormat("((%s)%.17g)", CType(instr.in_type), a.const_f);
+        case ArgKind::kCapture: {
+          AVM_ASSIGN_OR_RETURN(std::string ref,
+                               EmitCaptureRef(a.name, a.type));
+          return StrFormat("((%s)%s)", CType(instr.in_type), ref.c_str());
+        }
+      }
+      return Status::Internal("bad arg");
+    };
+    AVM_ASSIGN_OR_RETURN(std::string a, operand(instr.args[0]));
+    std::string b;
+    if (instr.num_args == 2) {
+      AVM_ASSIGN_OR_RETURN(b, operand(instr.args[1]));
+    }
+    const char* it = CType(instr.in_type);
+    const char* ot = CType(instr.out_type);
+    std::string expr;
+    switch (instr.op) {
+      case ScalarOp::kAdd: expr = StrFormat("avm_addw<%s>(%s, %s)", it, a.c_str(), b.c_str()); break;
+      case ScalarOp::kSub: expr = StrFormat("avm_subw<%s>(%s, %s)", it, a.c_str(), b.c_str()); break;
+      case ScalarOp::kMul: expr = StrFormat("avm_mulw<%s>(%s, %s)", it, a.c_str(), b.c_str()); break;
+      case ScalarOp::kDiv: expr = StrFormat("avm_div<%s>(%s, %s)", it, a.c_str(), b.c_str()); break;
+      case ScalarOp::kMod: expr = StrFormat("avm_mod<%s>(%s, %s)", it, a.c_str(), b.c_str()); break;
+      case ScalarOp::kMin: expr = StrFormat("(%s < %s ? %s : %s)", a.c_str(), b.c_str(), a.c_str(), b.c_str()); break;
+      case ScalarOp::kMax: expr = StrFormat("(%s > %s ? %s : %s)", a.c_str(), b.c_str(), a.c_str(), b.c_str()); break;
+      case ScalarOp::kEq: expr = StrFormat("(%s == %s)", a.c_str(), b.c_str()); break;
+      case ScalarOp::kNe: expr = StrFormat("(%s != %s)", a.c_str(), b.c_str()); break;
+      case ScalarOp::kLt: expr = StrFormat("(%s < %s)", a.c_str(), b.c_str()); break;
+      case ScalarOp::kLe: expr = StrFormat("(%s <= %s)", a.c_str(), b.c_str()); break;
+      case ScalarOp::kGt: expr = StrFormat("(%s > %s)", a.c_str(), b.c_str()); break;
+      case ScalarOp::kGe: expr = StrFormat("(%s >= %s)", a.c_str(), b.c_str()); break;
+      case ScalarOp::kAnd: expr = StrFormat("(%s && %s)", a.c_str(), b.c_str()); break;
+      case ScalarOp::kOr: expr = StrFormat("(%s || %s)", a.c_str(), b.c_str()); break;
+      case ScalarOp::kNot: expr = StrFormat("(!%s)", a.c_str()); break;
+      case ScalarOp::kNeg: expr = StrFormat("avm_neg<%s>(%s)", it, a.c_str()); break;
+      case ScalarOp::kAbs: expr = StrFormat("avm_abs<%s>(%s)", it, a.c_str()); break;
+      case ScalarOp::kSqrt:
+        expr = instr.out_type == TypeId::kF32
+                   ? StrFormat("std::sqrt((float)%s)", a.c_str())
+                   : StrFormat("std::sqrt((double)%s)", a.c_str());
+        break;
+      case ScalarOp::kCast: expr = a; break;
+      case ScalarOp::kHash:
+        expr = StrFormat("avm_hash((long long)%s)", a.c_str());
+        break;
+    }
+    std::string tmp = NewTemp();
+    Body() << StrFormat("      const %s %s = (%s)(%s);\n", ot, tmp.c_str(), ot,
+                        expr.c_str());
+    reg_names[static_cast<size_t>(instr.out_reg)] = tmp;
+  }
+  return reg_names[static_cast<size_t>(prog.result_reg)];
+}
+
+Result<std::string> TraceEmitter::ResolveValueArg(const Expr& arg) {
+  if (arg.kind == ExprKind::kConst) {
+    return arg.const_is_float
+               ? StrFormat("%.17g", arg.const_f)
+               : StrFormat("%lldLL", (long long)arg.const_i);
+  }
+  if (arg.kind == ExprKind::kSkeleton) {
+    auto it = expr_to_node_.find(&arg);
+    if (it != expr_to_node_.end() && InTrace(it->second)) {
+      return node_value_.at(it->second);
+    }
+    return Status::InvalidArgument("nested skeleton outside trace");
+  }
+  if (arg.kind == ExprKind::kVarRef) {
+    if (arg.shape == dsl::Shape::kScalar) {
+      return EmitCaptureRef(arg.var, arg.type);
+    }
+    // Array variable: produced in-trace or a chunk input.
+    int prod = graph_.ProducerOf(arg.var);
+    if (prod >= 0 && InTrace(static_cast<uint32_t>(prod))) {
+      auto it = node_value_.find(static_cast<uint32_t>(prod));
+      if (it != node_value_.end()) return it->second;
+    }
+    std::string key = StrFormat("%d:%s",
+                                static_cast<int>(TraceInputSpec::Kind::kChunkVar),
+                                arg.var.c_str());
+    auto slot = input_slot_.find(key);
+    if (slot == input_slot_.end()) {
+      return Status::InvalidArgument("unresolved trace value " + arg.var);
+    }
+    return StrFormat("((const %s*)in[%zu])[i]", CType(arg.type),
+                     slot->second);
+  }
+  return Status::InvalidArgument("unsupported argument expression");
+}
+
+Result<std::string> TraceEmitter::EmitNodeValue(const DepNode& node) {
+  const Expr& e = *node.expr;
+  switch (node.kind) {
+    case SkeletonKind::kRead: {
+      const std::string& data = e.args[1]->var;
+      auto spec_it = options_.scheme_specialization.find(data);
+      if (spec_it != options_.scheme_specialization.end() &&
+          spec_it->second == Scheme::kFor) {
+        std::string key =
+            StrFormat("%d:%s:%s",
+                      static_cast<int>(TraceInputSpec::Kind::kForDeltas),
+                      data.c_str(), dsl::PrintExpr(*e.args[0]).c_str());
+        size_t slot = input_slot_.at(key);
+        AVM_ASSIGN_OR_RETURN(std::string ref,
+                             EmitCaptureRef("__for_ref_" + data, TypeId::kI64));
+        // value = reference + narrow delta (compressed execution).
+        std::string tmp = NewTemp();
+        Body() << StrFormat(
+            "      const %s %s = (%s)(%s + (int64_t)((const uint32_t*)in[%zu])[i]);\n",
+            CType(e.type), tmp.c_str(), CType(e.type), ref.c_str(), slot);
+        return tmp;
+      }
+      std::string key = StrFormat(
+          "%d:%s:%s", static_cast<int>(TraceInputSpec::Kind::kDataRead),
+          data.c_str(), dsl::PrintExpr(*e.args[0]).c_str());
+      size_t slot = input_slot_.at(key);
+      return StrFormat("((const %s*)in[%zu])[i]", CType(e.type), slot);
+    }
+    case SkeletonKind::kMap: {
+      std::vector<std::string> inputs;
+      std::vector<TypeId> input_types;
+      for (size_t i = 1; i < e.args.size(); ++i) {
+        AVM_ASSIGN_OR_RETURN(std::string v, ResolveValueArg(*e.args[i]));
+        inputs.push_back(std::move(v));
+        input_types.push_back(e.args[i]->type);
+      }
+      AVM_ASSIGN_OR_RETURN(PrimProgram prog,
+                           ir::Normalize(*e.args[0], input_types));
+      return EmitPrim(prog, inputs);
+    }
+    case SkeletonKind::kFilter: {
+      AVM_ASSIGN_OR_RETURN(std::string in_v, ResolveValueArg(*e.args[1]));
+      AVM_ASSIGN_OR_RETURN(PrimProgram prog,
+                           ir::Normalize(*e.args[0], {e.args[1]->type}));
+      // The predicate's temporaries belong before the guard.
+      post_filter_mode_ = false;
+      AVM_ASSIGN_OR_RETURN(std::string p, EmitPrim(prog, {in_v}));
+      guard_ << StrFormat("      if (!(%s)) continue;\n", p.c_str());
+      // The filter's value is its input's value (selection semantics).
+      return in_v;
+    }
+    case SkeletonKind::kCondense:
+      return node_value_.at(node.inputs[0]);
+    case SkeletonKind::kGather: {
+      const Expr& base = *e.args[0];
+      AVM_ASSIGN_OR_RETURN(std::string idx, ResolveValueArg(*e.args[1]));
+      std::string base_expr;
+      if (base.kind == ExprKind::kVarRef &&
+          program_.FindData(base.var) != nullptr) {
+        std::string key = StrFormat(
+            "%d:%s", static_cast<int>(TraceInputSpec::Kind::kDataWhole),
+            base.var.c_str());
+        base_expr = StrFormat("((const %s*)in[%zu])", CType(e.type),
+                              input_slot_.at(key));
+      } else {
+        return Status::NotImplemented("gather base must be a data array");
+      }
+      std::string tmp = NewTemp();
+      Body() << StrFormat("      const %s %s = %s[(int64_t)(%s)];\n",
+                          CType(e.type), tmp.c_str(), base_expr.c_str(),
+                          idx.c_str());
+      return tmp;
+    }
+    case SkeletonKind::kWrite:
+    case SkeletonKind::kFold:
+      return Status::Internal("handled by EmitNodes");
+    default:
+      return Status::NotImplemented("unsupported node in trace");
+  }
+}
+
+Status TraceEmitter::EmitNodes() {
+  // Find output slot by (kind, name).
+  auto out_slot = [&](TraceOutputSpec::Kind k,
+                      const std::string& name) -> int {
+    for (size_t i = 0; i < out_.outputs.size(); ++i) {
+      if (out_.outputs[i].kind == k && out_.outputs[i].name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  if (has_condensed_output_ ||
+      [&] {
+        for (const auto& o : out_.outputs) {
+          if (o.condensed) return true;
+        }
+        return false;
+      }()) {
+    decls_ << "  uint32_t cnt = 0;\n";
+  }
+
+  // Order: pre-filter nodes, then filter, then the rest (topologically).
+  std::vector<uint32_t> order;
+  for (uint32_t id : trace_.node_ids) {
+    if (!DependsOnFilter(id) && static_cast<int>(id) != filter_node_) {
+      order.push_back(id);
+    }
+  }
+  if (filter_node_ >= 0) order.push_back(static_cast<uint32_t>(filter_node_));
+  for (uint32_t id : trace_.node_ids) {
+    if (DependsOnFilter(id)) order.push_back(id);
+  }
+
+  int fold_counter = 0;
+  for (uint32_t id : order) {
+    const DepNode& node = graph_.nodes()[id];
+    post_filter_mode_ =
+        DependsOnFilter(id) || static_cast<int>(id) == filter_node_;
+
+    if (node.kind == SkeletonKind::kWrite) {
+      const Expr& e = *node.expr;
+      AVM_ASSIGN_OR_RETURN(std::string v, ResolveValueArg(*e.args[2]));
+      int slot = out_slot(TraceOutputSpec::Kind::kDataWrite, e.args[0]->var);
+      const TraceOutputSpec& spec = out_.outputs[static_cast<size_t>(slot)];
+      post_filter_mode_ = spec.condensed || post_filter_mode_;
+      Body() << StrFormat("      ((%s*)out[%d])[%s] = (%s)(%s);\n",
+                          CType(spec.type), slot,
+                          spec.condensed ? "cnt" : "i", CType(spec.type),
+                          v.c_str());
+      continue;
+    }
+    if (node.kind == SkeletonKind::kFold) {
+      const Expr& e = *node.expr;
+      // init
+      const Expr& init = *e.args[1];
+      std::string init_expr;
+      if (init.kind == ExprKind::kConst) {
+        init_expr = init.const_is_float
+                        ? StrFormat("%.17g", init.const_f)
+                        : StrFormat("%lldLL", (long long)init.const_i);
+      } else if (init.kind == ExprKind::kVarRef) {
+        AVM_ASSIGN_OR_RETURN(init_expr, EmitCaptureRef(init.var, init.type));
+      } else {
+        return Status::NotImplemented("fold init must be const or variable");
+      }
+      AVM_ASSIGN_OR_RETURN(std::string v, ResolveValueArg(*e.args[2]));
+      std::string acc = StrFormat("acc%d", fold_counter++);
+      decls_ << StrFormat("  %s %s = (%s)(%s);\n", CType(e.type), acc.c_str(),
+                          CType(e.type), init_expr.c_str());
+      AVM_ASSIGN_OR_RETURN(
+          PrimProgram prog,
+          ir::Normalize(*e.args[0], {e.type, e.args[2]->type}));
+      AVM_ASSIGN_OR_RETURN(std::string r, EmitPrim(prog, {acc, v}));
+      Body() << StrFormat("      %s = (%s)(%s);\n", acc.c_str(),
+                          CType(e.type), r.c_str());
+      int slot = out_slot(TraceOutputSpec::Kind::kFoldScalar,
+                          graph_.OutputNameOf(id));
+      tail_ << StrFormat("  *(%s*)out[%d] = %s;\n", CType(e.type), slot,
+                         acc.c_str());
+      tail_ << StrFormat("  out_counts[%d] = 1;\n", slot);
+      continue;
+    }
+
+    AVM_ASSIGN_OR_RETURN(std::string v, EmitNodeValue(node));
+    node_value_[id] = v;
+
+    // Escaping value store.
+    int slot = out_slot(TraceOutputSpec::Kind::kArrayVar,
+                        graph_.OutputNameOf(id));
+    if (slot >= 0) {
+      const TraceOutputSpec& spec = out_.outputs[static_cast<size_t>(slot)];
+      post_filter_mode_ =
+          DependsOnFilter(id) || node.kind == SkeletonKind::kCondense;
+      Body() << StrFormat("      ((%s*)out[%d])[%s] = (%s)(%s);\n",
+                          CType(spec.type), slot,
+                          spec.condensed ? "cnt" : "i", CType(spec.type),
+                          v.c_str());
+    }
+  }
+
+  // Count bump at the very end of the selected path.
+  bool any_condensed = false;
+  for (const auto& o : out_.outputs) any_condensed |= o.condensed;
+  if (any_condensed) post_ << "      ++cnt;\n";
+  return Status::OK();
+}
+
+Result<GeneratedTrace> TraceEmitter::Run() {
+  AVM_RETURN_NOT_OK(AnalyzeStatements());
+  AVM_RETURN_NOT_OK(Validate());
+  AVM_RETURN_NOT_OK(AssignInputsOutputs());
+  AVM_RETURN_NOT_OK(EmitNodes());
+
+  // Derive the symbol from the generated content: identical traces (same
+  // nodes, same specialization) produce identical translation units, so the
+  // source-JIT cache deduplicates compilations across VM instances.
+  uint64_t h = HashString(decls_.str());
+  h = HashCombine(h, HashString(pre_.str()));
+  h = HashCombine(h, HashString(guard_.str()));
+  h = HashCombine(h, HashString(post_.str()));
+  h = HashCombine(h, HashString(tail_.str()));
+  for (const auto& in : out_.inputs) {
+    h = HashCombine(h, HashString(in.name));
+    h = HashCombine(h, static_cast<uint64_t>(in.kind));
+  }
+  for (const auto& o : out_.outputs) {
+    h = HashCombine(h, HashString(o.name));
+    h = HashCombine(h, static_cast<uint64_t>(o.kind));
+  }
+  out_.symbol = StrFormat("avm_trace_%016llx", (unsigned long long)h);
+  out_.name = StrFormat("trace_%llx[", (unsigned long long)(h >> 40));
+  for (uint32_t id : trace_.node_ids) {
+    out_.name += graph_.nodes()[id].label + ";";
+  }
+  out_.name += "]";
+
+  std::ostringstream src;
+  src << kPreamble;
+  if (options_.emit_debug_comments) {
+    src << "// trace: " << out_.name << "\n";
+  }
+  src << "extern \"C\" int32_t " << out_.symbol
+      << "(const void* const* in, void* const* out, const int64_t* ci,\n"
+      << "    const double* cf, uint32_t n, const uint32_t* sel,\n"
+      << "    uint32_t sel_n, uint32_t* out_counts) {\n"
+      << "  (void)in; (void)out; (void)ci; (void)cf; (void)out_counts;\n"
+      << decls_.str();
+  const std::string body = pre_.str() + guard_.str() + post_.str();
+  src << "  if (sel != nullptr) {\n"
+      << "    for (uint32_t j = 0; j < sel_n; ++j) {\n"
+      << "      const uint32_t i = sel[j]; (void)i;\n"
+      << body
+      << "    }\n"
+      << "  } else {\n"
+      << "    for (uint32_t i = 0; i < n; ++i) {\n"
+      << body
+      << "    }\n"
+      << "  }\n";
+  // Aligned output counts.
+  for (size_t k = 0; k < out_.outputs.size(); ++k) {
+    const auto& o = out_.outputs[k];
+    if (o.kind == TraceOutputSpec::Kind::kFoldScalar) continue;
+    src << StrFormat("  out_counts[%zu] = %s;\n", k,
+                     o.condensed ? "cnt" : "n");
+  }
+  src << tail_.str();
+  src << "  return 0;\n}\n";
+  out_.source = src.str();
+  return std::move(out_);
+}
+
+}  // namespace
+
+Result<GeneratedTrace> GenerateTrace(const dsl::Program& program,
+                                     const ir::DepGraph& graph,
+                                     const ir::Trace& trace,
+                                     const CodegenOptions& options) {
+  return TraceEmitter(program, graph, trace, options).Run();
+}
+
+}  // namespace avm::jit

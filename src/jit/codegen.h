@@ -1,0 +1,98 @@
+// C++ code generation for traces (Section III-B "partial compilation").
+//
+// A trace — a connected region of the dependency graph selected by the
+// greedy partitioner — is compiled into one fused loop: reads become pointer
+// dereferences, maps become inlined scalar expressions (deforestation: no
+// intermediate arrays), at most one filter becomes a branch, condensed
+// outputs append under a running count, folds become loop-carried
+// accumulators. The generated function uses a stable C ABI so the VM can
+// inject it into the interpreter ("Inject functions" in Fig. 1).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.h"
+#include "ir/depgraph.h"
+#include "storage/compression.h"
+#include "util/status.h"
+
+namespace avm::jit {
+
+/// C ABI of every generated trace function.
+///
+/// in        : one pointer per input (chunk vectors, data-read windows, ...)
+/// out       : one pointer per output buffer
+/// caps_i/f  : captured scalars (integers widened to int64, floats to double)
+/// n         : physical chunk length
+/// sel/sel_n : optional incoming selection vector
+/// out_counts: produced tuple count per output
+/// Returns 0 on success.
+using TraceFn = int32_t (*)(const void* const* in, void* const* out,
+                            const int64_t* caps_i, const double* caps_f,
+                            uint32_t n, const uint32_t* sel, uint32_t sel_n,
+                            uint32_t* out_counts);
+
+/// How an input pointer must be produced by the run-time harness.
+struct TraceInputSpec {
+  enum class Kind : uint8_t {
+    kChunkVar,   ///< a let-bound chunk array from the environment
+    kDataRead,   ///< window of a data array at a read node's position
+    kForDeltas,  ///< FOR-compressed deltas (uint32) of a data array window
+    kDataWhole,  ///< entire raw data array (gather base)
+  };
+  Kind kind = Kind::kChunkVar;
+  std::string name;                      ///< variable or data array name
+  TypeId type = TypeId::kI64;            ///< element type seen by the code
+  const dsl::Expr* pos_expr = nullptr;   ///< position (kDataRead/kForDeltas)
+};
+
+/// How an output buffer must be interpreted after the call.
+struct TraceOutputSpec {
+  enum class Kind : uint8_t {
+    kArrayVar,    ///< escaping chunk value: bind `name` to the buffer
+    kDataWrite,   ///< window of a writable data array at a position
+    kFoldScalar,  ///< 8-byte scalar accumulator: bind `name`
+  };
+  Kind kind = Kind::kArrayVar;
+  std::string name;                      ///< produced variable / data array
+  TypeId type = TypeId::kI64;
+  bool condensed = false;                ///< count comes from out_counts
+  const dsl::Expr* pos_expr = nullptr;   ///< kDataWrite position
+};
+
+struct GeneratedTrace {
+  std::string source;   ///< complete C++ translation unit
+  std::string symbol;   ///< extern "C" entry point
+  std::vector<TraceInputSpec> inputs;
+  std::vector<TraceOutputSpec> outputs;
+  /// Captured scalar environment variables, with their widened slot.
+  std::vector<std::pair<std::string, TypeId>> captures_i;
+  std::vector<std::pair<std::string, TypeId>> captures_f;
+  /// FOR-specialized reads: data name -> expected scheme (applicability).
+  std::map<std::string, Scheme> scheme_requirements;
+  /// Statement ids of the loop body this trace covers.
+  std::vector<uint32_t> covered_stmt_ids;
+  uint32_t anchor_stmt_id = 0;
+  std::string name;  ///< diagnostic label
+};
+
+struct CodegenOptions {
+  /// Specialize reads of these data arrays for a compression scheme
+  /// (currently kFor: operate on narrow deltas + reference; paper §III-C
+  /// compressed execution). Missing entries decode to plain values.
+  std::map<std::string, Scheme> scheme_specialization;
+  /// Emit a bounds comment header with the trace's dependency info.
+  bool emit_debug_comments = true;
+};
+
+/// Validate that `trace` is compilable (statement-aligned, ≤ 1 filter,
+/// condense only over an in-trace filter, no merge/gen/scatter) and
+/// generate its source. The program must be type-checked.
+Result<GeneratedTrace> GenerateTrace(const dsl::Program& program,
+                                     const ir::DepGraph& graph,
+                                     const ir::Trace& trace,
+                                     const CodegenOptions& options = {});
+
+}  // namespace avm::jit

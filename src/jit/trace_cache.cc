@@ -1,0 +1,68 @@
+#include "jit/trace_cache.h"
+
+#include <sstream>
+
+#include "util/hash.h"
+
+namespace avm::jit {
+
+SelectivityBucket BucketOf(double selectivity) {
+  if (selectivity < 0.25) return SelectivityBucket::kLow;
+  if (selectivity > 0.75) return SelectivityBucket::kHigh;
+  return SelectivityBucket::kMid;
+}
+
+const char* BucketName(SelectivityBucket b) {
+  switch (b) {
+    case SelectivityBucket::kAny: return "any";
+    case SelectivityBucket::kLow: return "low";
+    case SelectivityBucket::kMid: return "mid";
+    case SelectivityBucket::kHigh: return "high";
+  }
+  return "?";
+}
+
+uint64_t Situation::Key() const {
+  uint64_t h = trace_fingerprint;
+  for (const auto& [name, scheme] : schemes) {
+    h = HashCombine(h, HashString(name));
+    h = HashCombine(h, static_cast<uint64_t>(scheme));
+  }
+  h = HashCombine(h, static_cast<uint64_t>(selectivity));
+  return h;
+}
+
+std::string Situation::ToString() const {
+  std::ostringstream os;
+  os << "situation{fp=" << trace_fingerprint;
+  for (const auto& [name, scheme] : schemes) {
+    os << " " << name << "=" << SchemeName(scheme);
+  }
+  os << " sel=" << BucketName(selectivity) << "}";
+  return os.str();
+}
+
+uint64_t TraceFingerprint(const ir::DepGraph& graph, const ir::Trace& trace) {
+  uint64_t h = 0xabcdef12345678ull;
+  for (uint32_t id : trace.node_ids) {
+    h = HashCombine(h, HashString(graph.nodes()[id].label));
+    h = HashCombine(h, id);
+  }
+  return h;
+}
+
+const CompiledTrace* TraceCache::Find(const Situation& s) const {
+  auto it = entries_.find(s.Key());
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void TraceCache::Insert(const Situation& s, CompiledTrace trace) {
+  entries_[s.Key()] = std::move(trace);
+}
+
+}  // namespace avm::jit

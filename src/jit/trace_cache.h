@@ -1,0 +1,66 @@
+// Cache of compiled traces keyed by workload situation.
+//
+// Section III-B: "The repetition of this algorithm will eventually lead to
+// many of these traces, each optimized for a specific situation. The VM
+// then chooses — based on the current situation — a trace, if it already
+// learned about that situation, or falls back to interpretation."
+//
+// A situation is: the trace's node set, the compression schemes its reads
+// are specialized for, and a coarse selectivity bucket.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "jit/trace_compiler.h"
+#include "storage/compression.h"
+
+namespace avm::jit {
+
+/// Coarse selectivity classes the VM specializes for (Section III-C:
+/// bitmap/full-compute when nearly nothing is filtered, selection vectors
+/// when selective).
+enum class SelectivityBucket : uint8_t {
+  kAny = 0,
+  kLow,    ///< < 25% survive
+  kMid,
+  kHigh,   ///< > 75% survive
+};
+
+SelectivityBucket BucketOf(double selectivity);
+const char* BucketName(SelectivityBucket b);
+
+struct Situation {
+  uint64_t trace_fingerprint = 0;  ///< hash of node ids/labels
+  std::map<std::string, Scheme> schemes;  ///< per read data array
+  SelectivityBucket selectivity = SelectivityBucket::kAny;
+
+  uint64_t Key() const;
+  std::string ToString() const;
+};
+
+/// Fingerprint helper for ir::Trace.
+uint64_t TraceFingerprint(const ir::DepGraph& graph, const ir::Trace& trace);
+
+class TraceCache {
+ public:
+  /// Find a trace compiled for exactly this situation.
+  const CompiledTrace* Find(const Situation& s) const;
+
+  /// Insert (overwrites an existing entry for the same situation).
+  void Insert(const Situation& s, CompiledTrace trace);
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<uint64_t, CompiledTrace> entries_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace avm::jit

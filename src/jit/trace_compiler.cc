@@ -1,0 +1,311 @@
+#include "jit/trace_compiler.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace avm::jit {
+
+namespace {
+
+using interp::ArrayPtr;
+using interp::ArrayValue;
+using interp::DataBinding;
+using interp::InjectedTrace;
+using interp::Interpreter;
+using interp::ScalarValue;
+using interp::Value;
+
+// Evaluate a read/write position expression (restricted to variables and
+// constants by the code generator).
+Result<int64_t> EvalPos(Interpreter& in, const dsl::Expr* e) {
+  if (e == nullptr) return Status::Internal("missing position expression");
+  if (e->kind == dsl::ExprKind::kConst) return e->const_i;
+  if (e->kind == dsl::ExprKind::kVarRef) {
+    AVM_ASSIGN_OR_RETURN(ScalarValue s, in.GetScalar(e->var));
+    return s.AsI64();
+  }
+  return Status::Internal("unsupported position expression");
+}
+
+// Mutable per-injection state shared by `run`/`applicable` closures.
+struct RunState {
+  std::vector<const void*> in_ptrs;
+  std::vector<void*> out_ptrs;
+  std::vector<int64_t> caps_i;
+  std::vector<double> caps_f;
+  std::vector<uint32_t> out_counts;
+  // Scratch buffers for decompressed read windows / delta windows.
+  std::vector<std::vector<uint8_t>> scratch;
+  // FOR references discovered while preparing inputs (by data name).
+  std::unordered_map<std::string, int64_t> for_refs;
+  // Output arrays pending publication.
+  std::vector<ArrayPtr> out_arrays;
+  std::vector<std::array<uint8_t, 8>> fold_bufs;
+};
+
+}  // namespace
+
+Result<CompiledTrace> CompileTrace(const dsl::Program& program,
+                                   const ir::DepGraph& graph,
+                                   const ir::Trace& trace, SourceJit& jit,
+                                   const CodegenOptions& options) {
+  AVM_ASSIGN_OR_RETURN(GeneratedTrace gen,
+                       GenerateTrace(program, graph, trace, options));
+  AVM_ASSIGN_OR_RETURN(void* sym, jit.CompileAndLoad(gen.source, gen.symbol));
+  CompiledTrace out;
+  out.meta = std::move(gen);
+  out.fn = reinterpret_cast<TraceFn>(sym);
+  return out;
+}
+
+interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
+                                    uint32_t chunk_size) {
+  auto state = std::make_shared<RunState>();
+  const GeneratedTrace& meta = trace.meta;
+  TraceFn fn = trace.fn;
+
+  InjectedTrace inj;
+  inj.name = meta.name;
+  inj.anchor_stmt_id = meta.anchor_stmt_id;
+  inj.covered_stmt_ids.insert(meta.covered_stmt_ids.begin(),
+                              meta.covered_stmt_ids.end());
+
+  inj.applicable = [meta, chunk_size](Interpreter& in) -> bool {
+    for (const auto& spec : meta.inputs) {
+      switch (spec.kind) {
+        case TraceInputSpec::Kind::kChunkVar:
+          // Produced by an earlier statement in the same iteration; if it is
+          // missing the trace cannot run.
+          if (!in.GetVar(spec.name).ok()) return false;
+          break;
+        case TraceInputSpec::Kind::kDataRead:
+        case TraceInputSpec::Kind::kForDeltas: {
+          DataBinding* b = in.FindBinding(spec.name);
+          if (b == nullptr) return false;
+          auto pos = EvalPos(in, spec.pos_expr);
+          if (!pos.ok() || pos.value() < 0) return false;
+          const uint64_t p = static_cast<uint64_t>(pos.value());
+          if (p >= b->len) return false;
+          if (spec.kind == TraceInputSpec::Kind::kForDeltas) {
+            if (b->column == nullptr) return false;
+            auto blk = b->column->BlockAt(p);
+            if (!blk.ok()) return false;
+            if (blk.value().first->scheme != Scheme::kFor) return false;
+            if (blk.value().first->bit_width > 32) return false;
+          } else if (b->raw == nullptr && b->column == nullptr) {
+            return false;
+          }
+          break;
+        }
+        case TraceInputSpec::Kind::kDataWhole: {
+          DataBinding* b = in.FindBinding(spec.name);
+          if (b == nullptr || b->raw == nullptr) return false;
+          break;
+        }
+      }
+    }
+    for (const auto& spec : meta.outputs) {
+      if (spec.kind == TraceOutputSpec::Kind::kDataWrite) {
+        DataBinding* b = in.FindBinding(spec.name);
+        if (b == nullptr || b->raw == nullptr || !b->writable) return false;
+        auto pos = EvalPos(in, spec.pos_expr);
+        if (!pos.ok() || pos.value() < 0) return false;
+      }
+    }
+    return true;
+  };
+
+  inj.run = [meta, fn, state, chunk_size](Interpreter& in) -> Status {
+    RunState& st = *state;
+    st.in_ptrs.assign(meta.inputs.size(), nullptr);
+    st.out_ptrs.assign(meta.outputs.size(), nullptr);
+    st.out_counts.assign(meta.outputs.size(), 0);
+    st.scratch.resize(meta.inputs.size());
+    st.for_refs.clear();
+    st.out_arrays.assign(meta.outputs.size(), nullptr);
+    st.fold_bufs.resize(meta.outputs.size());
+
+    // Pass 1: determine n (and the incoming selection).
+    uint32_t n = chunk_size;
+    const sel_t* sel = nullptr;
+    uint32_t sel_n = 0;
+    ArrayPtr sel_owner;
+    for (const auto& spec : meta.inputs) {
+      switch (spec.kind) {
+        case TraceInputSpec::Kind::kChunkVar: {
+          AVM_ASSIGN_OR_RETURN(Value v, in.GetVar(spec.name));
+          if (!v.is_array()) {
+            return Status::TypeError(spec.name + " is not an array");
+          }
+          n = std::min(n, v.array->len);
+          if (v.array->has_sel()) {
+            sel = v.array->sel.Data();
+            sel_n = v.array->sel.count();
+            sel_owner = v.array;
+          }
+          break;
+        }
+        case TraceInputSpec::Kind::kDataRead: {
+          DataBinding* b = in.FindBinding(spec.name);
+          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos_expr));
+          const uint64_t avail =
+              b->len - std::min<uint64_t>(b->len, static_cast<uint64_t>(pos));
+          n = std::min<uint32_t>(n, static_cast<uint32_t>(std::min<uint64_t>(
+                                        avail, chunk_size)));
+          break;
+        }
+        case TraceInputSpec::Kind::kForDeltas: {
+          DataBinding* b = in.FindBinding(spec.name);
+          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos_expr));
+          AVM_ASSIGN_OR_RETURN(auto blk,
+                               b->column->BlockAt(static_cast<uint64_t>(pos)));
+          // Clamp to the block so one scheme covers the whole window.
+          const uint32_t block_remaining = blk.first->count - blk.second;
+          const uint64_t avail =
+              std::min<uint64_t>(block_remaining,
+                                 b->len - static_cast<uint64_t>(pos));
+          n = std::min<uint32_t>(n, static_cast<uint32_t>(std::min<uint64_t>(
+                                        avail, chunk_size)));
+          break;
+        }
+        case TraceInputSpec::Kind::kDataWhole:
+          break;
+      }
+    }
+
+    // Pass 2: input pointers.
+    for (size_t k = 0; k < meta.inputs.size(); ++k) {
+      const auto& spec = meta.inputs[k];
+      switch (spec.kind) {
+        case TraceInputSpec::Kind::kChunkVar: {
+          AVM_ASSIGN_OR_RETURN(Value v, in.GetVar(spec.name));
+          st.in_ptrs[k] = v.array->vec.RawData();
+          break;
+        }
+        case TraceInputSpec::Kind::kDataRead: {
+          DataBinding* b = in.FindBinding(spec.name);
+          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos_expr));
+          const size_t w = TypeWidth(b->type);
+          if (b->raw != nullptr) {
+            st.in_ptrs[k] = static_cast<const uint8_t*>(b->raw) +
+                            static_cast<uint64_t>(pos) * w;
+          } else {
+            st.scratch[k].resize(static_cast<size_t>(n) * w);
+            AVM_RETURN_NOT_OK(b->column->Read(static_cast<uint64_t>(pos), n,
+                                              st.scratch[k].data()));
+            st.in_ptrs[k] = st.scratch[k].data();
+          }
+          break;
+        }
+        case TraceInputSpec::Kind::kForDeltas: {
+          DataBinding* b = in.FindBinding(spec.name);
+          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos_expr));
+          AVM_ASSIGN_OR_RETURN(auto blk,
+                               b->column->BlockAt(static_cast<uint64_t>(pos)));
+          st.scratch[k].resize(static_cast<size_t>(n) * sizeof(uint32_t));
+          AVM_RETURN_NOT_OK(DecodeForDeltasRange32(
+              *blk.first, blk.second, n,
+              reinterpret_cast<uint32_t*>(st.scratch[k].data())));
+          st.for_refs["__for_ref_" + spec.name] = blk.first->for_ref;
+          st.in_ptrs[k] = st.scratch[k].data();
+          break;
+        }
+        case TraceInputSpec::Kind::kDataWhole: {
+          DataBinding* b = in.FindBinding(spec.name);
+          st.in_ptrs[k] = b->raw;
+          break;
+        }
+      }
+    }
+
+    // Captures.
+    st.caps_i.clear();
+    for (const auto& [name, type] : meta.captures_i) {
+      auto ref = st.for_refs.find(name);
+      if (ref != st.for_refs.end()) {
+        st.caps_i.push_back(ref->second);
+        continue;
+      }
+      AVM_ASSIGN_OR_RETURN(ScalarValue s, in.GetScalar(name));
+      st.caps_i.push_back(s.AsI64());
+    }
+    st.caps_f.clear();
+    for (const auto& [name, type] : meta.captures_f) {
+      AVM_ASSIGN_OR_RETURN(ScalarValue s, in.GetScalar(name));
+      st.caps_f.push_back(s.AsF64());
+    }
+
+    // Outputs.
+    for (size_t k = 0; k < meta.outputs.size(); ++k) {
+      const auto& spec = meta.outputs[k];
+      switch (spec.kind) {
+        case TraceOutputSpec::Kind::kArrayVar: {
+          ArrayPtr arr = in.NewArray(spec.type, std::max(n, chunk_size));
+          st.out_arrays[k] = arr;
+          st.out_ptrs[k] = arr->vec.RawData();
+          break;
+        }
+        case TraceOutputSpec::Kind::kDataWrite: {
+          DataBinding* b = in.FindBinding(spec.name);
+          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos_expr));
+          if (static_cast<uint64_t>(pos) + n > b->len) {
+            return Status::OutOfRange(
+                StrFormat("compiled write past end of %s", spec.name.c_str()));
+          }
+          st.out_ptrs[k] = static_cast<uint8_t*>(b->raw) +
+                           static_cast<uint64_t>(pos) * TypeWidth(b->type);
+          break;
+        }
+        case TraceOutputSpec::Kind::kFoldScalar:
+          std::memset(st.fold_bufs[k].data(), 0, 8);
+          st.out_ptrs[k] = st.fold_bufs[k].data();
+          break;
+      }
+    }
+
+    const int32_t rc =
+        fn(st.in_ptrs.data(), st.out_ptrs.data(), st.caps_i.data(),
+           st.caps_f.data(), n, sel, sel_n, st.out_counts.data());
+    if (rc != 0) {
+      return Status::RuntimeError(
+          StrFormat("compiled trace returned %d", rc));
+    }
+
+    // Publish results.
+    for (size_t k = 0; k < meta.outputs.size(); ++k) {
+      const auto& spec = meta.outputs[k];
+      switch (spec.kind) {
+        case TraceOutputSpec::Kind::kArrayVar: {
+          ArrayPtr arr = st.out_arrays[k];
+          if (spec.condensed) {
+            arr->len = st.out_counts[k];
+          } else {
+            arr->len = n;
+            if (sel != nullptr && sel_owner != nullptr) {
+              arr->sel.Reset(std::max(sel_n, uint32_t{1}));
+              std::memcpy(arr->sel.Data(), sel, sizeof(sel_t) * sel_n);
+              arr->sel.set_count(sel_n);
+              arr->sel.set_enabled(true);
+            }
+          }
+          in.SetVar(spec.name, Value::A(arr));
+          break;
+        }
+        case TraceOutputSpec::Kind::kFoldScalar:
+          in.SetVar(spec.name,
+                    Value::S(ScalarValue::Load(spec.type,
+                                               st.fold_bufs[k].data())));
+          break;
+        case TraceOutputSpec::Kind::kDataWrite:
+          break;
+      }
+    }
+    return Status::OK();
+  };
+  return inj;
+}
+
+}  // namespace avm::jit

@@ -1,0 +1,36 @@
+// Turns generated traces into runnable injections for the interpreter —
+// the "Generate code" → "Inject functions" edges of the Fig. 1 state machine.
+#pragma once
+
+#include "interp/interpreter.h"
+#include "jit/codegen.h"
+#include "jit/source_jit.h"
+
+namespace avm::jit {
+
+/// A fully compiled trace: generation metadata plus the machine-code entry.
+struct CompiledTrace {
+  GeneratedTrace meta;
+  TraceFn fn = nullptr;
+};
+
+/// Generate + compile a trace through the source JIT.
+Result<CompiledTrace> CompileTrace(const dsl::Program& program,
+                                   const ir::DepGraph& graph,
+                                   const ir::Trace& trace,
+                                   SourceJit& jit,
+                                   const CodegenOptions& options = {});
+
+/// Build the interpreter injection for a compiled trace. The injection:
+///  - gathers input pointers (chunk variables, data-read windows,
+///    FOR-compressed delta windows, whole-array gather bases),
+///  - resolves captured scalars from the environment,
+///  - allocates output buffers and calls the compiled function,
+///  - publishes escaping values / fold scalars back into the environment.
+/// Its `applicable` check verifies positions are in range and compression
+/// scheme requirements hold; when it fails the interpreter transparently
+/// falls back to vectorized interpretation (paper §III-C).
+interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
+                                    uint32_t chunk_size);
+
+}  // namespace avm::jit

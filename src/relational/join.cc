@@ -1,0 +1,158 @@
+#include "relational/join.h"
+
+#include <cstring>
+
+#include "util/bits.h"
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace avm::relational {
+
+HashSetI64::HashSetI64(size_t expected) {
+  size_t cap = bits::NextPow2(std::max<size_t>(16, expected * 2));
+  keys_.assign(cap, 0);
+  used_.assign(cap, 0);
+  mask_ = cap - 1;
+}
+
+void HashSetI64::Grow() {
+  std::vector<int64_t> old_keys = std::move(keys_);
+  std::vector<uint8_t> old_used = std::move(used_);
+  const size_t cap = old_keys.size() * 2;
+  keys_.assign(cap, 0);
+  used_.assign(cap, 0);
+  mask_ = cap - 1;
+  entries_ = 0;
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_used[i]) Insert(old_keys[i]);
+  }
+}
+
+void HashSetI64::Insert(int64_t key) {
+  if (entries_ * 2 >= keys_.size()) Grow();
+  size_t idx = HashInt64(static_cast<uint64_t>(key)) & mask_;
+  while (used_[idx]) {
+    if (keys_[idx] == key) return;
+    idx = (idx + 1) & mask_;
+  }
+  used_[idx] = 1;
+  keys_[idx] = key;
+  ++entries_;
+}
+
+bool HashSetI64::Contains(int64_t key) const {
+  size_t idx = HashInt64(static_cast<uint64_t>(key)) & mask_;
+  while (used_[idx]) {
+    if (keys_[idx] == key) return true;
+    idx = (idx + 1) & mask_;
+  }
+  return false;
+}
+
+uint32_t HashSetI64::ProbeSel(const int64_t* keys, const sel_t* in_sel,
+                              uint32_t n, sel_t* out_sel) const {
+  uint32_t count = 0;
+  if (in_sel != nullptr) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const uint32_t i = in_sel[j];
+      out_sel[count] = i;
+      count += Contains(keys[i]) ? 1u : 0u;
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      out_sel[count] = i;
+      count += Contains(keys[i]) ? 1u : 0u;
+    }
+  }
+  return count;
+}
+
+HashJoinI64::HashJoinI64(size_t expected) {
+  size_t cap = bits::NextPow2(std::max<size_t>(16, expected * 2));
+  slots_.assign(cap, Slot{0, 0, 0});
+  mask_ = cap - 1;
+}
+
+void HashJoinI64::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  const size_t cap = old.size() * 2;
+  slots_.assign(cap, Slot{0, 0, 0});
+  mask_ = cap - 1;
+  entries_ = 0;
+  for (const auto& s : old) {
+    if (s.used) Insert(s.key, s.row);
+  }
+}
+
+void HashJoinI64::Insert(int64_t key, uint32_t row) {
+  if (entries_ * 2 >= slots_.size()) Grow();
+  size_t idx = HashInt64(static_cast<uint64_t>(key)) & mask_;
+  while (slots_[idx].used) {
+    if (slots_[idx].key == key) {
+      slots_[idx].row = row;  // unique-key join: last write wins
+      return;
+    }
+    idx = (idx + 1) & mask_;
+  }
+  slots_[idx] = {key, row, 1};
+  ++entries_;
+}
+
+uint32_t HashJoinI64::Probe(const int64_t* keys, const sel_t* in_sel,
+                            uint32_t n, sel_t* out_positions,
+                            uint32_t* out_rows) const {
+  uint32_t count = 0;
+  auto probe_one = [&](uint32_t i) {
+    size_t idx = HashInt64(static_cast<uint64_t>(keys[i])) & mask_;
+    while (slots_[idx].used) {
+      if (slots_[idx].key == keys[i]) {
+        out_positions[count] = i;
+        out_rows[count] = slots_[idx].row;
+        ++count;
+        return;
+      }
+      idx = (idx + 1) & mask_;
+    }
+  };
+  if (in_sel != nullptr) {
+    for (uint32_t j = 0; j < n; ++j) probe_one(in_sel[j]);
+  } else {
+    for (uint32_t i = 0; i < n; ++i) probe_one(i);
+  }
+  return count;
+}
+
+AdaptiveSemijoinChain::AdaptiveSemijoinChain(
+    std::vector<const HashSetI64*> filters, OrderPolicy policy)
+    : filters_(std::move(filters)), policy_(policy),
+      reorderer_(filters_.size()) {}
+
+uint32_t AdaptiveSemijoinChain::FilterChunk(
+    const std::vector<const int64_t*>& keys, uint32_t n, sel_t* out_sel,
+    sel_t* scratch) {
+  const std::vector<size_t>& order = reorderer_.Order();
+  const sel_t* cur_sel = nullptr;
+  uint32_t cur_n = n;
+  sel_t* bufs[2] = {out_sel, scratch};
+  int flip = 0;
+  for (size_t f : order) {
+    const uint64_t t0 = ReadCycleCounter();
+    const uint32_t out_n =
+        filters_[f]->ProbeSel(keys[f], cur_sel, cur_n, bufs[flip]);
+    const uint64_t dt = ReadCycleCounter() - t0;
+    if (policy_ == OrderPolicy::kAdaptive) {
+      reorderer_.Observe(f, cur_n, out_n, dt);
+    }
+    cur_sel = bufs[flip];
+    cur_n = out_n;
+    flip ^= 1;
+    if (cur_n == 0) break;
+  }
+  // Ensure survivors end up in out_sel.
+  if (cur_sel != out_sel && cur_n > 0) {
+    std::memcpy(out_sel, cur_sel, sizeof(sel_t) * cur_n);
+  }
+  return cur_n;
+}
+
+}  // namespace avm::relational

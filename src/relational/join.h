@@ -1,0 +1,93 @@
+// Hash-join substrate and the adaptive semijoin chain (experiment E4).
+//
+// Section III-C: with a chain of selective HashJoins the VM can execute the
+// more selective semijoin first and reorder on the fly when observed
+// selectivities drift.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/status.h"
+#include "vm/reorder.h"
+
+namespace avm::relational {
+
+/// Open-addressing hash set over int64 keys (linear probing, pow2 size).
+/// This is the build side of a semijoin filter.
+class HashSetI64 {
+ public:
+  explicit HashSetI64(size_t expected = 16);
+
+  void Insert(int64_t key);
+  bool Contains(int64_t key) const;
+  size_t size() const { return entries_; }
+
+  /// Probe a chunk: out_sel receives qualifying positions. `in_sel`
+  /// optionally restricts the probed positions.
+  uint32_t ProbeSel(const int64_t* keys, const sel_t* in_sel, uint32_t n,
+                    sel_t* out_sel) const;
+
+ private:
+  void Grow();
+  std::vector<int64_t> keys_;
+  std::vector<uint8_t> used_;
+  size_t entries_ = 0;
+  size_t mask_ = 0;
+};
+
+/// Full hash join (build: key -> payload row id; probe returns matches).
+class HashJoinI64 {
+ public:
+  explicit HashJoinI64(size_t expected = 16);
+  void Insert(int64_t key, uint32_t row);
+  /// Probe a chunk of keys; for each qualifying position appends
+  /// (probe position, build row) to the outputs. Returns match count
+  /// (first match per key only — unique build keys assumed).
+  uint32_t Probe(const int64_t* keys, const sel_t* in_sel, uint32_t n,
+                 sel_t* out_positions, uint32_t* out_rows) const;
+  size_t size() const { return entries_; }
+
+ private:
+  void Grow();
+  struct Slot {
+    int64_t key;
+    uint32_t row;
+    uint8_t used;
+  };
+  std::vector<Slot> slots_;
+  size_t entries_ = 0;
+  size_t mask_ = 0;
+};
+
+/// A chain of semijoin filters applied to chunks, with on-the-fly adaptive
+/// reordering by observed selectivity/cost.
+class AdaptiveSemijoinChain {
+ public:
+  enum class OrderPolicy : uint8_t {
+    kFixed,     ///< keep the given order
+    kAdaptive,  ///< reorder via SelectiveOpReorderer
+  };
+
+  AdaptiveSemijoinChain(std::vector<const HashSetI64*> filters,
+                        OrderPolicy policy);
+
+  /// Apply all filters to a chunk of column values (one key column per
+  /// filter). keys[f] is filter f's probe column. Returns surviving count;
+  /// survivors' positions land in out_sel.
+  uint32_t FilterChunk(const std::vector<const int64_t*>& keys, uint32_t n,
+                       sel_t* out_sel, sel_t* scratch);
+
+  const std::vector<size_t>& CurrentOrder() const {
+    return reorderer_.Order();
+  }
+  uint64_t resorts() const { return reorderer_.resorts(); }
+
+ private:
+  std::vector<const HashSetI64*> filters_;
+  OrderPolicy policy_;
+  vm::SelectiveOpReorderer reorderer_;
+};
+
+}  // namespace avm::relational

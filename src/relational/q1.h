@@ -1,0 +1,72 @@
+// TPC-H Q1 analogue in multiple execution strategies (experiment E1).
+//
+// The paper's Plan step 1: "the same system [should] be able to either use
+// vectorized execution, or tuple-at-a-time JIT compilation, as such
+// mimicking the MonetDB/X100 and HyPer approaches inside the same
+// framework" — and §I claims vectorized execution with adaptive
+// optimizations (smaller data types, adaptively triggered pre-aggregation)
+// can beat statically generated tuple-at-a-time code on Q1 [12].
+//
+// All strategies compute bit-identical integer results, which the test
+// suite verifies differentially.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "storage/datagen.h"
+#include "storage/table.h"
+#include "util/status.h"
+#include "vm/adaptive_vm.h"
+
+namespace avm::relational {
+
+/// shipdate predicate: l_shipdate <= kQ1Cutoff keeps ~98% of rows
+/// (mirroring TPC-H Q1's DATE '1998-12-01' - 90 days).
+constexpr int32_t kQ1Cutoff = 10510;
+
+struct Q1Group {
+  int64_t sum_qty = 0;
+  int64_t sum_base_price = 0;
+  int64_t sum_disc_price = 0;  ///< sum price*(100-disc)   (fixed-point %)
+  int64_t sum_charge = 0;      ///< sum price*(100-disc)*(100+tax)
+  int64_t count = 0;
+
+  bool operator==(const Q1Group&) const = default;
+};
+
+/// Result by group id = returnflag*2 + linestatus (6 live groups).
+struct Q1Result {
+  std::array<Q1Group, 8> groups{};
+  bool operator==(const Q1Result&) const = default;
+};
+
+/// Naive row-at-a-time reference (correctness oracle).
+Result<Q1Result> RunQ1Scalar(const Table& lineitem);
+
+/// MonetDB/X100-style vectorized execution: chunk-at-a-time kernels,
+/// selection vectors, 64-bit arithmetic, direct array aggregation.
+Result<Q1Result> RunQ1Vectorized(const Table& lineitem,
+                                 uint32_t chunk_size = kDefaultChunkSize);
+
+/// Vectorized + the paper's adaptive optimizations: compact data types
+/// (i32 arithmetic where statistics prove safety) and per-chunk
+/// pre-aggregation into cache-resident partials.
+Result<Q1Result> RunQ1VectorizedCompact(
+    const Table& lineitem, uint32_t chunk_size = kDefaultChunkSize);
+
+/// HyPer-style whole-query tuple-at-a-time compilation through the source
+/// JIT. Fails with CompilationError when no host compiler exists.
+Result<Q1Result> RunQ1CompiledWholeQuery(const Table& lineitem);
+
+struct Q1DslRun {
+  Q1Result result;
+  vm::VmReport report;
+};
+
+/// Q1 expressed as a DSL program executed by the adaptive VM (traces get
+/// JIT-compiled and injected mid-run when options.enable_jit).
+Result<Q1DslRun> RunQ1AdaptiveVm(const Table& lineitem,
+                                 vm::VmOptions options = {});
+
+}  // namespace avm::relational

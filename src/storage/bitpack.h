@@ -1,0 +1,84 @@
+// Bit-packing of unsigned values at arbitrary widths (0..64 bits).
+// Used by the FOR, Dict and Delta compression schemes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace avm {
+
+/// Write `width` low bits of `v` at bit offset `bitpos` of `dst`.
+/// `dst` must be zero-initialized over the touched range.
+inline void WriteBits(uint8_t* dst, size_t bitpos, uint64_t v, uint32_t width) {
+  if (width == 0) return;
+  if (width < 64) v &= (uint64_t{1} << width) - 1;
+  size_t byte = bitpos >> 3;
+  unsigned shift = static_cast<unsigned>(bitpos & 7);
+  dst[byte] |= static_cast<uint8_t>(v << shift);
+  unsigned written = 8 - shift;
+  while (written < width) {
+    dst[++byte] |= static_cast<uint8_t>(v >> written);
+    written += 8;
+  }
+}
+
+/// Read `width` bits at bit offset `bitpos` of `src`.
+inline uint64_t ReadBits(const uint8_t* src, size_t bitpos, uint32_t width) {
+  if (width == 0) return 0;
+  size_t byte = bitpos >> 3;
+  unsigned shift = static_cast<unsigned>(bitpos & 7);
+  uint64_t v = src[byte] >> shift;
+  unsigned got = 8 - shift;
+  while (got < width) {
+    v |= static_cast<uint64_t>(src[++byte]) << got;
+    got += 8;
+  }
+  return width == 64 ? v : v & ((uint64_t{1} << width) - 1);
+}
+
+/// Bytes needed to bit-pack n values at `width` bits (+1 slack byte so the
+/// last ReadBits never reads past the buffer).
+inline size_t BitPackedBytes(size_t n, uint32_t width) {
+  return (n * width + 7) / 8 + 1;
+}
+
+/// Append `n` values of `width` bits each to `out`.
+inline void BitPack(const uint64_t* values, size_t n, uint32_t width,
+                    std::vector<uint8_t>* out) {
+  if (width == 0) return;  // all zeros: nothing stored
+  const size_t base = out->size();
+  out->resize(base + BitPackedBytes(n, width), 0);
+  uint8_t* dst = out->data() + base;
+  for (size_t i = 0; i < n; ++i) WriteBits(dst, i * width, values[i], width);
+}
+
+/// Decode `n` values of `width` bits from `src`, starting at value `first`.
+inline void BitUnpackAt(const uint8_t* src, size_t first, size_t n,
+                        uint32_t width, uint64_t* out) {
+  if (width == 0) {
+    std::memset(out, 0, n * sizeof(uint64_t));
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = ReadBits(src, (first + i) * width, width);
+  }
+}
+
+inline void BitUnpack(const uint8_t* src, size_t n, uint32_t width,
+                      uint64_t* out) {
+  BitUnpackAt(src, 0, n, width, out);
+}
+
+/// Zigzag-encode a signed value into unsigned (small magnitudes → small).
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace avm

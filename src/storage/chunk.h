@@ -1,0 +1,59 @@
+// Chunk: the chunk-at-a-time unit of work (MonetDB/X100 style).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/vector.h"
+
+namespace avm {
+
+/// A horizontal slice of `count` tuples across several typed vectors,
+/// with an optional selection vector marking qualifying rows.
+class Chunk {
+ public:
+  Chunk() = default;
+
+  /// Create a chunk with the given column types and per-vector capacity.
+  Chunk(const std::vector<TypeId>& types, uint32_t capacity) {
+    Reset(types, capacity);
+  }
+
+  void Reset(const std::vector<TypeId>& types, uint32_t capacity) {
+    columns_.clear();
+    columns_.reserve(types.size());
+    for (TypeId t : types) columns_.emplace_back(t, capacity);
+    sel_.Reset(capacity);
+    capacity_ = capacity;
+    count_ = 0;
+  }
+
+  uint32_t count() const { return count_; }
+  void set_count(uint32_t n) { count_ = n; }
+  uint32_t capacity() const { return capacity_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  Vector& column(size_t i) { return columns_[i]; }
+  const Vector& column(size_t i) const { return columns_[i]; }
+
+  SelectionVector& sel() { return sel_; }
+  const SelectionVector& sel() const { return sel_; }
+
+  /// Number of *qualifying* rows (selection-aware).
+  uint32_t ActiveCount() const { return sel_.enabled() ? sel_.count() : count_; }
+
+  /// Add a column of type `t` (capacity matches the chunk).
+  Vector& AddColumn(TypeId t) {
+    columns_.emplace_back(t, capacity_);
+    return columns_.back();
+  }
+
+ private:
+  std::vector<Vector> columns_;
+  SelectionVector sel_;
+  uint32_t capacity_ = 0;
+  uint32_t count_ = 0;
+};
+
+}  // namespace avm

@@ -1,0 +1,149 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace avm {
+
+Status Column::AppendValues(const void* values, uint32_t n) {
+  const auto* bytes = static_cast<const uint8_t*>(values);
+  const size_t w = TypeWidth(type_);
+  uint32_t done = 0;
+  // Fill the partial tail block is not supported: blocks are immutable, so
+  // writers should append in block-sized batches; smaller appends simply
+  // create smaller blocks.
+  while (done < n) {
+    uint32_t take = std::min(block_size_, n - done);
+    AVM_ASSIGN_OR_RETURN(Block b,
+                         EncodeBlockAuto(type_, bytes + size_t(done) * w, take));
+    blocks_.push_back(std::move(b));
+    num_rows_ += take;
+    done += take;
+  }
+  return Status::OK();
+}
+
+Status Column::AppendBlockWithScheme(Scheme scheme, const void* values,
+                                     uint32_t n) {
+  if (n > block_size_) {
+    return Status::InvalidArgument("block larger than column block size");
+  }
+  AVM_ASSIGN_OR_RETURN(Block b, EncodeBlock(scheme, type_, values, n));
+  blocks_.push_back(std::move(b));
+  num_rows_ += n;
+  return Status::OK();
+}
+
+Status Column::Read(uint64_t row, uint32_t len, void* out) const {
+  if (row + len > num_rows_) {
+    return Status::OutOfRange(StrFormat("read [%llu, %llu) of %llu rows",
+                                        (unsigned long long)row,
+                                        (unsigned long long)(row + len),
+                                        (unsigned long long)num_rows_));
+  }
+  auto* dst = static_cast<uint8_t*>(out);
+  const size_t w = TypeWidth(type_);
+  // Blocks created by AppendValues are block_size_-aligned except possibly
+  // the last of each append call; walk blocks by cumulative count instead of
+  // assuming alignment.
+  uint64_t pos = 0;
+  size_t bi = 0;
+  while (bi < blocks_.size() && pos + blocks_[bi].count <= row) {
+    pos += blocks_[bi].count;
+    ++bi;
+  }
+  uint32_t remaining = len;
+  uint64_t cur = row;
+  while (remaining > 0) {
+    if (bi >= blocks_.size()) return Status::Internal("row walk out of blocks");
+    const Block& b = blocks_[bi];
+    uint32_t off = static_cast<uint32_t>(cur - pos);
+    uint32_t take = std::min(remaining, b.count - off);
+    AVM_RETURN_NOT_OK(DecodeBlockRange(b, off, take, dst));
+    dst += static_cast<size_t>(take) * w;
+    cur += take;
+    remaining -= take;
+    pos += b.count;
+    ++bi;
+  }
+  return Status::OK();
+}
+
+Result<std::pair<const Block*, uint32_t>> Column::BlockAt(uint64_t row) const {
+  if (row >= num_rows_) return Status::OutOfRange("BlockAt past end");
+  uint64_t pos = 0;
+  for (const auto& b : blocks_) {
+    if (row < pos + b.count) {
+      return std::make_pair(&b, static_cast<uint32_t>(row - pos));
+    }
+    pos += b.count;
+  }
+  return Status::Internal("block walk failed");
+}
+
+Result<Scheme> Column::SchemeAt(uint64_t row) const {
+  if (row >= num_rows_) return Status::OutOfRange("SchemeAt past end");
+  uint64_t pos = 0;
+  for (const auto& b : blocks_) {
+    if (row < pos + b.count) return b.scheme;
+    pos += b.count;
+  }
+  return Status::Internal("block walk failed");
+}
+
+size_t Column::EncodedBytes() const {
+  size_t total = 0;
+  for (const auto& b : blocks_) total += b.data.size();
+  return total;
+}
+
+double Column::CompressionRatio() const {
+  size_t raw = static_cast<size_t>(num_rows_) * TypeWidth(type_);
+  size_t enc = EncodedBytes();
+  return enc == 0 ? 1.0 : static_cast<double>(raw) / static_cast<double>(enc);
+}
+
+ColumnScanner::ColumnScanner(const Column* column) : column_(column) {}
+
+Status ColumnScanner::EnsureBlockDecoded(size_t block_idx) {
+  if (cached_block_ == block_idx) return Status::OK();
+  const Block& b = column_->block(block_idx);
+  cache_.resize(static_cast<size_t>(b.count) * TypeWidth(b.type));
+  AVM_RETURN_NOT_OK(DecodeBlock(b, cache_.data()));
+  cached_block_ = block_idx;
+  return Status::OK();
+}
+
+Result<uint32_t> ColumnScanner::Next(uint32_t len, void* out, Scheme* scheme) {
+  const size_t w = TypeWidth(column_->type());
+  auto* dst = static_cast<uint8_t*>(out);
+  uint32_t produced = 0;
+  bool first = true;
+  while (produced < len && row_ < column_->num_rows()) {
+    // Locate the block containing row_ by cumulative walk from the cached
+    // position (blocks can have heterogeneous counts).
+    uint64_t pos = 0;
+    size_t bi = 0;
+    while (bi < column_->num_blocks() &&
+           pos + column_->block(bi).count <= row_) {
+      pos += column_->block(bi).count;
+      ++bi;
+    }
+    const Block& b = column_->block(bi);
+    if (first && scheme != nullptr) *scheme = b.scheme;
+    first = false;
+    AVM_RETURN_NOT_OK(EnsureBlockDecoded(bi));
+    uint32_t off = static_cast<uint32_t>(row_ - pos);
+    uint32_t take = std::min(len - produced, b.count - off);
+    std::memcpy(dst + static_cast<size_t>(produced) * w,
+                cache_.data() + static_cast<size_t>(off) * w,
+                static_cast<size_t>(take) * w);
+    produced += take;
+    row_ += take;
+  }
+  return produced;
+}
+
+}  // namespace avm

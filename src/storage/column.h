@@ -1,0 +1,88 @@
+// Block-partitioned columns. Compression schemes may differ block-to-block,
+// which is exactly the situation the paper's adaptive VM must handle
+// (specialized code is valid only while the scheme combination holds).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/compression.h"
+#include "storage/vector.h"
+#include "util/status.h"
+
+namespace avm {
+
+/// Default number of values per block.
+constexpr uint32_t kDefaultBlockSize = 64 * 1024;
+
+/// A compressed, block-partitioned column.
+class Column {
+ public:
+  explicit Column(TypeId type, uint32_t block_size = kDefaultBlockSize)
+      : type_(type), block_size_(block_size) {}
+
+  TypeId type() const { return type_; }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_blocks() const { return blocks_.size(); }
+  uint32_t block_size() const { return block_size_; }
+  const Block& block(size_t i) const { return blocks_[i]; }
+
+  /// Append `n` raw values, splitting into blocks and choosing a scheme per
+  /// block automatically.
+  Status AppendValues(const void* values, uint32_t n);
+
+  /// Append `n` raw values as a single block with a forced scheme.
+  Status AppendBlockWithScheme(Scheme scheme, const void* values, uint32_t n);
+
+  /// Decode `len` values starting at global row `row` into `out`.
+  Status Read(uint64_t row, uint32_t len, void* out) const;
+
+  /// Compression scheme of the block containing global row `row`.
+  Result<Scheme> SchemeAt(uint64_t row) const;
+
+  /// Block containing `row`, plus the row's offset within it.
+  Result<std::pair<const Block*, uint32_t>> BlockAt(uint64_t row) const;
+
+  /// Global row -> (block index, offset inside block).
+  std::pair<size_t, uint32_t> Locate(uint64_t row) const {
+    return {static_cast<size_t>(row / block_size_),
+            static_cast<uint32_t>(row % block_size_)};
+  }
+
+  /// Total encoded payload bytes across blocks.
+  size_t EncodedBytes() const;
+  double CompressionRatio() const;
+
+ private:
+  TypeId type_;
+  uint32_t block_size_;
+  uint64_t num_rows_ = 0;
+  std::vector<Block> blocks_;
+};
+
+/// Sequential reader that decompresses block-at-a-time into an internal
+/// buffer and serves chunk-sized slices; the common scan access path.
+class ColumnScanner {
+ public:
+  explicit ColumnScanner(const Column* column);
+
+  /// Copy the next `len` values into `out`; returns values produced
+  /// (< len at end of column). Also reports the scheme of the block the
+  /// read started in, so the VM can detect scheme changes.
+  Result<uint32_t> Next(uint32_t len, void* out, Scheme* scheme = nullptr);
+
+  void SeekToStart() { row_ = 0; cached_block_ = SIZE_MAX; }
+  uint64_t position() const { return row_; }
+  bool AtEnd() const { return row_ >= column_->num_rows(); }
+
+ private:
+  Status EnsureBlockDecoded(size_t block_idx);
+
+  const Column* column_;
+  uint64_t row_ = 0;
+  size_t cached_block_ = SIZE_MAX;
+  std::vector<uint8_t> cache_;  // decoded current block
+};
+
+}  // namespace avm

@@ -1,0 +1,492 @@
+#include "storage/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/bitpack.h"
+#include "util/string_util.h"
+
+namespace avm {
+
+const char* SchemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kPlain: return "plain";
+    case Scheme::kRle: return "rle";
+    case Scheme::kDict: return "dict";
+    case Scheme::kFor: return "for";
+    case Scheme::kDelta: return "delta";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr uint32_t kDistinctCap = 4096;
+
+template <typename T>
+BlockStats ComputeStatsTyped(const T* v, uint32_t n) {
+  BlockStats s;
+  if (n == 0) return s;
+  T mn = v[0], mx = v[0];
+  bool sorted = true;
+  uint64_t runs = 1;
+  std::unordered_set<int64_t> distinct;
+  bool track_distinct = true;
+  for (uint32_t i = 0; i < n; ++i) {
+    mn = std::min(mn, v[i]);
+    mx = std::max(mx, v[i]);
+    if (i > 0) {
+      if (v[i] < v[i - 1]) sorted = false;
+      if (v[i] != v[i - 1]) ++runs;
+    }
+    if (track_distinct) {
+      distinct.insert(static_cast<int64_t>(v[i]));
+      if (distinct.size() > kDistinctCap) track_distinct = false;
+    }
+  }
+  if constexpr (std::is_floating_point_v<T>) {
+    s.min_f = mn;
+    s.max_f = mx;
+    // Integer stats left 0 for float blocks.
+  } else {
+    s.min_i = static_cast<int64_t>(mn);
+    s.max_i = static_cast<int64_t>(mx);
+  }
+  s.distinct = track_distinct ? static_cast<uint32_t>(distinct.size())
+                              : kDistinctCap + 1;
+  s.avg_run_len = static_cast<double>(n) / static_cast<double>(runs);
+  s.sorted = sorted;
+  return s;
+}
+
+// ---------- integer codecs (operate on int64-widened values) ----------
+
+template <typename T>
+void Widen(const T* in, uint32_t n, int64_t* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = static_cast<int64_t>(in[i]);
+}
+
+template <typename T>
+void Narrow(const int64_t* in, uint32_t n, T* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = static_cast<T>(in[i]);
+}
+
+Status EncodeRleInt(const int64_t* v, uint32_t n, Block* b) {
+  std::vector<int64_t> values;
+  std::vector<uint32_t> lengths;
+  uint32_t i = 0;
+  while (i < n) {
+    uint32_t j = i + 1;
+    while (j < n && v[j] == v[i]) ++j;
+    values.push_back(v[i]);
+    lengths.push_back(j - i);
+    i = j;
+  }
+  b->run_count = static_cast<uint32_t>(values.size());
+  b->data.resize(values.size() * (sizeof(int64_t) + sizeof(uint32_t)));
+  std::memcpy(b->data.data(), values.data(), values.size() * sizeof(int64_t));
+  std::memcpy(b->data.data() + values.size() * sizeof(int64_t), lengths.data(),
+              lengths.size() * sizeof(uint32_t));
+  return Status::OK();
+}
+
+Status EncodeDictInt(const int64_t* v, uint32_t n, Block* b) {
+  std::vector<int64_t> dict;
+  std::unordered_map<int64_t, uint32_t> index;
+  std::vector<uint64_t> codes(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto [it, inserted] = index.try_emplace(v[i], dict.size());
+    if (inserted) dict.push_back(v[i]);
+    codes[i] = it->second;
+  }
+  if (dict.size() > (uint32_t{1} << 20)) {
+    return Status::InvalidArgument("dictionary too large");
+  }
+  b->dict_size = static_cast<uint32_t>(dict.size());
+  b->bit_width = bits::BitWidth(dict.empty() ? 0 : dict.size() - 1);
+  b->data.resize(dict.size() * sizeof(int64_t));
+  std::memcpy(b->data.data(), dict.data(), dict.size() * sizeof(int64_t));
+  BitPack(codes.data(), n, b->bit_width, &b->data);
+  return Status::OK();
+}
+
+Status EncodeForInt(const int64_t* v, uint32_t n, const BlockStats& stats,
+                    Block* b) {
+  const uint64_t range =
+      static_cast<uint64_t>(stats.max_i) - static_cast<uint64_t>(stats.min_i);
+  b->for_ref = stats.min_i;
+  b->bit_width = bits::BitWidth(range);
+  std::vector<uint64_t> deltas(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    deltas[i] = static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(b->for_ref);
+  }
+  BitPack(deltas.data(), n, b->bit_width, &b->data);
+  return Status::OK();
+}
+
+Status EncodeDeltaInt(const int64_t* v, uint32_t n, Block* b) {
+  b->delta_first = n > 0 ? v[0] : 0;
+  if (n <= 1) {
+    b->bit_width = 0;
+    return Status::OK();
+  }
+  std::vector<uint64_t> zz(n - 1);
+  uint64_t maxzz = 0;
+  for (uint32_t i = 1; i < n; ++i) {
+    zz[i - 1] = ZigzagEncode(v[i] - v[i - 1]);
+    maxzz = std::max(maxzz, zz[i - 1]);
+  }
+  b->bit_width = bits::BitWidth(maxzz);
+  BitPack(zz.data(), n - 1, b->bit_width, &b->data);
+  return Status::OK();
+}
+
+// ---------- float codecs ----------
+
+template <typename T>
+Status EncodeRleFloat(const T* v, uint32_t n, Block* b) {
+  std::vector<T> values;
+  std::vector<uint32_t> lengths;
+  uint32_t i = 0;
+  while (i < n) {
+    uint32_t j = i + 1;
+    while (j < n && v[j] == v[i]) ++j;
+    values.push_back(v[i]);
+    lengths.push_back(j - i);
+    i = j;
+  }
+  b->run_count = static_cast<uint32_t>(values.size());
+  b->data.resize(values.size() * (sizeof(T) + sizeof(uint32_t)));
+  std::memcpy(b->data.data(), values.data(), values.size() * sizeof(T));
+  std::memcpy(b->data.data() + values.size() * sizeof(T), lengths.data(),
+              lengths.size() * sizeof(uint32_t));
+  return Status::OK();
+}
+
+template <typename T>
+Status EncodeDictFloat(const T* v, uint32_t n, Block* b) {
+  std::vector<T> dict;
+  std::unordered_map<T, uint32_t> index;
+  std::vector<uint64_t> codes(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto [it, inserted] = index.try_emplace(v[i], dict.size());
+    if (inserted) dict.push_back(v[i]);
+    codes[i] = it->second;
+  }
+  b->dict_size = static_cast<uint32_t>(dict.size());
+  b->bit_width = bits::BitWidth(dict.empty() ? 0 : dict.size() - 1);
+  b->data.resize(dict.size() * sizeof(T));
+  std::memcpy(b->data.data(), dict.data(), dict.size() * sizeof(T));
+  BitPack(codes.data(), n, b->bit_width, &b->data);
+  return Status::OK();
+}
+
+}  // namespace
+
+BlockStats ComputeStats(TypeId t, const void* values, uint32_t n) {
+  return DispatchType(t, [&]<typename T>() -> BlockStats {
+    if constexpr (std::is_same_v<T, bool>) {
+      return ComputeStatsTyped(static_cast<const int8_t*>(values), n);
+    } else {
+      return ComputeStatsTyped(static_cast<const T*>(values), n);
+    }
+  });
+}
+
+Scheme ChooseScheme(TypeId t, const BlockStats& stats, uint32_t n) {
+  if (n == 0) return Scheme::kPlain;
+  if (stats.avg_run_len >= 4.0) return Scheme::kRle;
+  const size_t raw_bits = TypeWidth(t) * 8;
+  if (IsIntegerType(t)) {
+    const uint64_t range = static_cast<uint64_t>(stats.max_i) -
+                           static_cast<uint64_t>(stats.min_i);
+    const uint32_t for_width = bits::BitWidth(range);
+    if (stats.sorted && n > 1) {
+      // Sorted data usually has tiny per-step deltas.
+      return Scheme::kDelta;
+    }
+    if (for_width + 2 < raw_bits) return Scheme::kFor;
+    if (stats.distinct <= kDistinctCap &&
+        bits::BitWidth(stats.distinct) + 2 < raw_bits &&
+        stats.distinct < n / 2) {
+      return Scheme::kDict;
+    }
+    return Scheme::kPlain;
+  }
+  // Floats: only dictionary helps when few distinct values.
+  if (stats.distinct <= kDistinctCap && stats.distinct < n / 2) {
+    return Scheme::kDict;
+  }
+  return Scheme::kPlain;
+}
+
+Result<Block> EncodeBlock(Scheme scheme, TypeId t, const void* values,
+                          uint32_t n) {
+  Block b;
+  b.scheme = scheme;
+  b.type = t;
+  b.count = n;
+  b.stats = ComputeStats(t, values, n);
+
+  if (scheme == Scheme::kPlain) {
+    b.data.resize(static_cast<size_t>(n) * TypeWidth(t));
+    std::memcpy(b.data.data(), values, b.data.size());
+    return b;
+  }
+
+  if (IsFloatType(t)) {
+    Status st = DispatchType(t, [&]<typename T>() -> Status {
+      if constexpr (std::is_floating_point_v<T>) {
+        const T* v = static_cast<const T*>(values);
+        switch (scheme) {
+          case Scheme::kRle: return EncodeRleFloat(v, n, &b);
+          case Scheme::kDict: return EncodeDictFloat(v, n, &b);
+          default:
+            return Status::InvalidArgument(
+                StrFormat("scheme %s unsupported for %s", SchemeName(scheme),
+                          TypeName(t)));
+        }
+      }
+      return Status::Internal("unreachable");
+    });
+    if (!st.ok()) return st;
+    return b;
+  }
+
+  // Integers (and bool, treated as i8): widen to int64 and encode.
+  std::vector<int64_t> wide(n);
+  DispatchType(t, [&]<typename T>() {
+    if constexpr (!std::is_floating_point_v<T>) {
+      if constexpr (std::is_same_v<T, bool>) {
+        Widen(static_cast<const int8_t*>(values), n, wide.data());
+      } else {
+        Widen(static_cast<const T*>(values), n, wide.data());
+      }
+    }
+  });
+  Status st;
+  switch (scheme) {
+    case Scheme::kRle:
+      st = EncodeRleInt(wide.data(), n, &b);
+      break;
+    case Scheme::kDict:
+      st = EncodeDictInt(wide.data(), n, &b);
+      break;
+    case Scheme::kFor:
+      st = EncodeForInt(wide.data(), n, b.stats, &b);
+      break;
+    case Scheme::kDelta:
+      st = EncodeDeltaInt(wide.data(), n, &b);
+      break;
+    default:
+      st = Status::Internal("unhandled scheme");
+  }
+  if (!st.ok()) return st;
+  return b;
+}
+
+Result<Block> EncodeBlockAuto(TypeId t, const void* values, uint32_t n) {
+  BlockStats stats = ComputeStats(t, values, n);
+  Scheme s = ChooseScheme(t, stats, n);
+  return EncodeBlock(s, t, values, n);
+}
+
+namespace {
+
+// Decode [offset, offset+len) of an integer-family block into int64.
+Status DecodeIntRange(const Block& b, uint32_t offset, uint32_t len,
+                      int64_t* out) {
+  switch (b.scheme) {
+    case Scheme::kRle: {
+      const auto* values = reinterpret_cast<const int64_t*>(b.data.data());
+      const auto* lengths = reinterpret_cast<const uint32_t*>(
+          b.data.data() + b.run_count * sizeof(int64_t));
+      uint32_t pos = 0, o = 0;
+      for (uint32_t r = 0; r < b.run_count && o < len; ++r) {
+        uint32_t run_end = pos + lengths[r];
+        // Emit the overlap of [pos, run_end) with [offset, offset+len).
+        uint32_t lo = std::max(pos, offset);
+        uint32_t hi = std::min(run_end, offset + len);
+        for (uint32_t i = lo; i < hi; ++i) out[o++] = values[r];
+        pos = run_end;
+      }
+      return Status::OK();
+    }
+    case Scheme::kDict: {
+      const auto* dict = reinterpret_cast<const int64_t*>(b.data.data());
+      const uint8_t* packed = b.data.data() + b.dict_size * sizeof(int64_t);
+      for (uint32_t i = 0; i < len; ++i) {
+        uint64_t code = ReadBits(packed,
+                                 static_cast<size_t>(offset + i) * b.bit_width,
+                                 b.bit_width);
+        out[i] = dict[code];
+      }
+      return Status::OK();
+    }
+    case Scheme::kFor: {
+      for (uint32_t i = 0; i < len; ++i) {
+        uint64_t d = ReadBits(b.data.data(),
+                              static_cast<size_t>(offset + i) * b.bit_width,
+                              b.bit_width);
+        out[i] = b.for_ref + static_cast<int64_t>(d);
+      }
+      return Status::OK();
+    }
+    case Scheme::kDelta: {
+      // Sequential dependency: reconstruct the prefix up to offset+len.
+      int64_t cur = b.delta_first;
+      uint32_t o = 0;
+      if (offset == 0 && len > 0) out[o++] = cur;
+      for (uint32_t i = 1; i < b.count && o < len; ++i) {
+        uint64_t zz = ReadBits(b.data.data(),
+                               static_cast<size_t>(i - 1) * b.bit_width,
+                               b.bit_width);
+        cur += ZigzagDecode(zz);
+        if (i >= offset) out[o++] = cur;
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("unhandled integer scheme");
+  }
+}
+
+}  // namespace
+
+Status DecodeBlockRange(const Block& b, uint32_t offset, uint32_t len,
+                        void* out) {
+  if (offset + len > b.count) {
+    return Status::OutOfRange(
+        StrFormat("decode [%u, %u) of block with %u values", offset,
+                  offset + len, b.count));
+  }
+  if (b.scheme == Scheme::kPlain) {
+    const size_t w = TypeWidth(b.type);
+    std::memcpy(out, b.data.data() + static_cast<size_t>(offset) * w,
+                static_cast<size_t>(len) * w);
+    return Status::OK();
+  }
+  if (IsFloatType(b.type)) {
+    return DispatchType(b.type, [&]<typename T>() -> Status {
+      if constexpr (std::is_floating_point_v<T>) {
+        T* o = static_cast<T*>(out);
+        if (b.scheme == Scheme::kRle) {
+          const T* values = reinterpret_cast<const T*>(b.data.data());
+          const auto* lengths = reinterpret_cast<const uint32_t*>(
+              b.data.data() + b.run_count * sizeof(T));
+          uint32_t pos = 0, emitted = 0;
+          for (uint32_t r = 0; r < b.run_count && emitted < len; ++r) {
+            uint32_t run_end = pos + lengths[r];
+            uint32_t lo = std::max(pos, offset);
+            uint32_t hi = std::min(run_end, offset + len);
+            for (uint32_t i = lo; i < hi; ++i) o[emitted++] = values[r];
+            pos = run_end;
+          }
+          return Status::OK();
+        }
+        if (b.scheme == Scheme::kDict) {
+          const T* dict = reinterpret_cast<const T*>(b.data.data());
+          const uint8_t* packed = b.data.data() + b.dict_size * sizeof(T);
+          for (uint32_t i = 0; i < len; ++i) {
+            uint64_t code =
+                ReadBits(packed, static_cast<size_t>(offset + i) * b.bit_width,
+                         b.bit_width);
+            o[i] = dict[code];
+          }
+          return Status::OK();
+        }
+        return Status::Internal("unhandled float scheme");
+      }
+      return Status::Internal("unreachable");
+    });
+  }
+  // Integer family: decode via int64 then narrow.
+  std::vector<int64_t> wide(len);
+  AVM_RETURN_NOT_OK(DecodeIntRange(b, offset, len, wide.data()));
+  DispatchType(b.type, [&]<typename T>() {
+    if constexpr (!std::is_floating_point_v<T>) {
+      if constexpr (std::is_same_v<T, bool>) {
+        Narrow(wide.data(), len, static_cast<int8_t*>(out));
+      } else {
+        Narrow(wide.data(), len, static_cast<T*>(out));
+      }
+    }
+  });
+  return Status::OK();
+}
+
+Status DecodeBlock(const Block& b, void* out) {
+  return DecodeBlockRange(b, 0, b.count, out);
+}
+
+Status DecodeForDeltas(const Block& b, uint64_t* out) {
+  if (b.scheme != Scheme::kFor) {
+    return Status::InvalidArgument("DecodeForDeltas on non-FOR block");
+  }
+  BitUnpack(b.data.data(), b.count, b.bit_width, out);
+  return Status::OK();
+}
+
+Status DecodeForDeltasRange32(const Block& b, uint32_t offset, uint32_t len,
+                              uint32_t* out) {
+  if (b.scheme != Scheme::kFor) {
+    return Status::InvalidArgument("DecodeForDeltasRange32 on non-FOR block");
+  }
+  if (b.bit_width > 32) {
+    return Status::InvalidArgument("FOR deltas wider than 32 bits");
+  }
+  if (offset + len > b.count) return Status::OutOfRange("delta range");
+  for (uint32_t i = 0; i < len; ++i) {
+    out[i] = static_cast<uint32_t>(
+        ReadBits(b.data.data(),
+                 static_cast<size_t>(offset + i) * b.bit_width, b.bit_width));
+  }
+  return Status::OK();
+}
+
+Status DecodeRleRuns(const Block& b, std::vector<int64_t>* values,
+                     std::vector<uint32_t>* lengths) {
+  if (b.scheme != Scheme::kRle) {
+    return Status::InvalidArgument("DecodeRleRuns on non-RLE block");
+  }
+  if (IsFloatType(b.type)) {
+    return Status::InvalidArgument("DecodeRleRuns on float block");
+  }
+  values->assign(reinterpret_cast<const int64_t*>(b.data.data()),
+                 reinterpret_cast<const int64_t*>(b.data.data()) + b.run_count);
+  const auto* len_ptr = reinterpret_cast<const uint32_t*>(
+      b.data.data() + b.run_count * sizeof(int64_t));
+  lengths->assign(len_ptr, len_ptr + b.run_count);
+  return Status::OK();
+}
+
+Status DecodeDictionary(const Block& b, std::vector<int64_t>* dict) {
+  if (b.scheme != Scheme::kDict) {
+    return Status::InvalidArgument("DecodeDictionary on non-dict block");
+  }
+  if (IsFloatType(b.type)) {
+    return Status::InvalidArgument("DecodeDictionary on float block");
+  }
+  dict->assign(reinterpret_cast<const int64_t*>(b.data.data()),
+               reinterpret_cast<const int64_t*>(b.data.data()) + b.dict_size);
+  return Status::OK();
+}
+
+Status DecodeDictCodes(const Block& b, uint32_t* codes) {
+  if (b.scheme != Scheme::kDict) {
+    return Status::InvalidArgument("DecodeDictCodes on non-dict block");
+  }
+  const size_t value_width =
+      IsFloatType(b.type) ? TypeWidth(b.type) : sizeof(int64_t);
+  const uint8_t* packed = b.data.data() + b.dict_size * value_width;
+  for (uint32_t i = 0; i < b.count; ++i) {
+    codes[i] = static_cast<uint32_t>(
+        ReadBits(packed, static_cast<size_t>(i) * b.bit_width, b.bit_width));
+  }
+  return Status::OK();
+}
+
+}  // namespace avm

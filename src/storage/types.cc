@@ -1,0 +1,38 @@
+#include "storage/types.h"
+
+namespace avm {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kBool: return "bool";
+    case TypeId::kI8: return "i8";
+    case TypeId::kI16: return "i16";
+    case TypeId::kI32: return "i32";
+    case TypeId::kI64: return "i64";
+    case TypeId::kF32: return "f32";
+    case TypeId::kF64: return "f64";
+  }
+  return "?";
+}
+
+const char* TypeCName(TypeId t) {
+  switch (t) {
+    case TypeId::kBool: return "bool";
+    case TypeId::kI8: return "int8_t";
+    case TypeId::kI16: return "int16_t";
+    case TypeId::kI32: return "int32_t";
+    case TypeId::kI64: return "int64_t";
+    case TypeId::kF32: return "float";
+    case TypeId::kF64: return "double";
+  }
+  return "?";
+}
+
+TypeId SmallestIntTypeFor(int64_t lo, int64_t hi) {
+  if (lo >= INT8_MIN && hi <= INT8_MAX) return TypeId::kI8;
+  if (lo >= INT16_MIN && hi <= INT16_MAX) return TypeId::kI16;
+  if (lo >= INT32_MIN && hi <= INT32_MAX) return TypeId::kI32;
+  return TypeId::kI64;
+}
+
+}  // namespace avm

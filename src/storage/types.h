@@ -1,0 +1,93 @@
+// Scalar type system shared by storage, DSL, interpreter and JIT.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace avm {
+
+/// Index type of selection vectors (X100-style).
+using sel_t = uint32_t;
+
+/// Scalar types the engine processes. Strings are deliberately absent from
+/// the hot path (the paper excludes non-trivial string ops from fused
+/// functions); dictionary-encoded i32 codes represent them upstream.
+enum class TypeId : uint8_t {
+  kBool = 0,
+  kI8,
+  kI16,
+  kI32,
+  kI64,
+  kF32,
+  kF64,
+};
+
+constexpr size_t kNumTypes = 7;
+
+/// Byte width of a scalar of type `t`.
+constexpr size_t TypeWidth(TypeId t) {
+  switch (t) {
+    case TypeId::kBool:
+    case TypeId::kI8:
+      return 1;
+    case TypeId::kI16:
+      return 2;
+    case TypeId::kI32:
+    case TypeId::kF32:
+      return 4;
+    case TypeId::kI64:
+    case TypeId::kF64:
+      return 8;
+  }
+  return 0;
+}
+
+constexpr bool IsIntegerType(TypeId t) {
+  return t == TypeId::kI8 || t == TypeId::kI16 || t == TypeId::kI32 ||
+         t == TypeId::kI64;
+}
+
+constexpr bool IsFloatType(TypeId t) {
+  return t == TypeId::kF32 || t == TypeId::kF64;
+}
+
+const char* TypeName(TypeId t);
+
+/// C type name used by the JIT code generator ("int32_t", "double", ...).
+const char* TypeCName(TypeId t);
+
+/// Map C++ types to TypeId at compile time.
+template <typename T>
+struct TypeIdOf;
+template <> struct TypeIdOf<bool> { static constexpr TypeId value = TypeId::kBool; };
+template <> struct TypeIdOf<int8_t> { static constexpr TypeId value = TypeId::kI8; };
+template <> struct TypeIdOf<int16_t> { static constexpr TypeId value = TypeId::kI16; };
+template <> struct TypeIdOf<int32_t> { static constexpr TypeId value = TypeId::kI32; };
+template <> struct TypeIdOf<int64_t> { static constexpr TypeId value = TypeId::kI64; };
+template <> struct TypeIdOf<float> { static constexpr TypeId value = TypeId::kF32; };
+template <> struct TypeIdOf<double> { static constexpr TypeId value = TypeId::kF64; };
+
+/// Invoke `fn.template operator()<T>()` with the C type for `t`.
+template <typename Fn>
+auto DispatchType(TypeId t, Fn&& fn) {
+  switch (t) {
+    case TypeId::kBool: return fn.template operator()<bool>();
+    case TypeId::kI8: return fn.template operator()<int8_t>();
+    case TypeId::kI16: return fn.template operator()<int16_t>();
+    case TypeId::kI32: return fn.template operator()<int32_t>();
+    case TypeId::kI64: return fn.template operator()<int64_t>();
+    case TypeId::kF32: return fn.template operator()<float>();
+    case TypeId::kF64: return fn.template operator()<double>();
+  }
+  __builtin_unreachable();
+}
+
+/// Smallest signed integer type that can represent [lo, hi].
+/// Used by the compact-data-types adaptation (paper §I, [12]).
+TypeId SmallestIntTypeFor(int64_t lo, int64_t hi);
+
+/// Default chunk size (tuples per chunk) for vectorized execution.
+constexpr uint32_t kDefaultChunkSize = 1024;
+
+}  // namespace avm

@@ -1,0 +1,143 @@
+// Typed vectors and selection vectors — the unit of vectorized execution.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/macros.h"
+
+namespace avm {
+
+/// Cache-line aligned, fixed-capacity byte buffer.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t bytes) { Resize(bytes); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::move(other.data_)), capacity_(other.capacity_) {
+    other.capacity_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    data_ = std::move(other.data_);
+    capacity_ = other.capacity_;
+    other.capacity_ = 0;
+    return *this;
+  }
+
+  void Resize(size_t bytes) {
+    if (bytes <= capacity_ && data_ != nullptr) return;
+    size_t cap = ((bytes | 63) + 1) & ~size_t{63};
+    void* mem = std::aligned_alloc(64, cap);
+    data_.reset(static_cast<uint8_t*>(mem));
+    capacity_ = cap;
+  }
+
+  uint8_t* data() { return data_.get(); }
+  const uint8_t* data() const { return data_.get(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(uint8_t* p) const { std::free(p); }
+  };
+  std::unique_ptr<uint8_t, FreeDeleter> data_;
+  size_t capacity_ = 0;
+};
+
+/// A typed, fixed-capacity array of scalars. The interpreter and JIT operate
+/// on raw pointers obtained from Data<T>().
+class Vector {
+ public:
+  Vector() = default;
+  Vector(TypeId type, uint32_t capacity) { Reset(type, capacity); }
+
+  void Reset(TypeId type, uint32_t capacity) {
+    type_ = type;
+    capacity_ = capacity;
+    buf_.Resize(static_cast<size_t>(capacity) * TypeWidth(type));
+  }
+
+  TypeId type() const { return type_; }
+  uint32_t capacity() const { return capacity_; }
+
+  void* RawData() { return buf_.data(); }
+  const void* RawData() const { return buf_.data(); }
+
+  template <typename T>
+  T* Data() {
+    return reinterpret_cast<T*>(buf_.data());
+  }
+  template <typename T>
+  const T* Data() const {
+    return reinterpret_cast<const T*>(buf_.data());
+  }
+
+  template <typename T>
+  T Get(uint32_t i) const {
+    return Data<T>()[i];
+  }
+  template <typename T>
+  void Set(uint32_t i, T v) {
+    Data<T>()[i] = v;
+  }
+
+  /// Copy `n` values from `src` (same type assumed).
+  void CopyFrom(const void* src, uint32_t n) {
+    std::memcpy(buf_.data(), src, static_cast<size_t>(n) * TypeWidth(type_));
+  }
+
+ private:
+  TypeId type_ = TypeId::kI64;
+  uint32_t capacity_ = 0;
+  AlignedBuffer buf_;
+};
+
+/// X100-style selection vector: indices of qualifying tuples in a chunk.
+/// Filters produce selection vectors instead of physically moving data;
+/// `condense` materializes the selection away (Table I).
+class SelectionVector {
+ public:
+  SelectionVector() = default;
+  explicit SelectionVector(uint32_t capacity) { Reset(capacity); }
+
+  void Reset(uint32_t capacity) {
+    capacity_ = capacity;
+    buf_.Resize(static_cast<size_t>(capacity) * sizeof(sel_t));
+    count_ = 0;
+    enabled_ = false;
+  }
+
+  sel_t* Data() { return reinterpret_cast<sel_t*>(buf_.data()); }
+  const sel_t* Data() const {
+    return reinterpret_cast<const sel_t*>(buf_.data());
+  }
+
+  uint32_t count() const { return count_; }
+  void set_count(uint32_t n) { count_ = n; }
+  uint32_t capacity() const { return capacity_; }
+
+  /// Whether the selection is active. Inactive means "all rows selected".
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool e) { enabled_ = e; }
+
+  /// Make this the identity selection over n rows (all selected, enabled).
+  void MakeIdentity(uint32_t n) {
+    Reset(std::max(n, capacity_));
+    sel_t* d = Data();
+    for (uint32_t i = 0; i < n; ++i) d[i] = i;
+    count_ = n;
+    enabled_ = true;
+  }
+
+ private:
+  AlignedBuffer buf_;
+  uint32_t capacity_ = 0;
+  uint32_t count_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace avm

@@ -1,0 +1,79 @@
+// Bump-pointer arena allocator.
+//
+// Query execution allocates many short-lived intermediates (chunk vectors,
+// selection vectors, IR nodes). Arena allocation makes these allocations
+// nearly free and frees them all at once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace avm {
+
+class Arena {
+ public:
+  explicit Arena(size_t initial_block_bytes = 64 * 1024)
+      : next_block_bytes_(initial_block_bytes) {}
+  AVM_DISALLOW_COPY_AND_ASSIGN(Arena);
+
+  /// Allocate `bytes` with the given alignment (power of two).
+  void* Allocate(size_t bytes, size_t alignment = 16) {
+    uintptr_t cur = reinterpret_cast<uintptr_t>(ptr_);
+    uintptr_t aligned = (cur + alignment - 1) & ~(alignment - 1);
+    size_t pad = aligned - cur;
+    if (AVM_PREDICT_FALSE(pad + bytes > remaining_)) {
+      NewBlock(bytes + alignment);
+      return Allocate(bytes, alignment);
+    }
+    ptr_ = reinterpret_cast<uint8_t*>(aligned + bytes);
+    remaining_ -= pad + bytes;
+    total_allocated_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Construct a T inside the arena. T's destructor is NOT run.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Allocate an uninitialized array of `n` T.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Drop all blocks; invalidates every pointer handed out.
+  void Reset() {
+    blocks_.clear();
+    ptr_ = nullptr;
+    remaining_ = 0;
+    total_allocated_ = 0;
+  }
+
+  size_t total_allocated() const { return total_allocated_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  void NewBlock(size_t min_bytes) {
+    size_t bytes = next_block_bytes_;
+    while (bytes < min_bytes) bytes *= 2;
+    next_block_bytes_ = bytes * 2;  // geometric growth
+    blocks_.push_back(std::make_unique<uint8_t[]>(bytes));
+    ptr_ = blocks_.back().get();
+    remaining_ = bytes;
+  }
+
+  std::vector<std::unique_ptr<uint8_t[]>> blocks_;
+  uint8_t* ptr_ = nullptr;
+  size_t remaining_ = 0;
+  size_t next_block_bytes_;
+  size_t total_allocated_ = 0;
+};
+
+}  // namespace avm

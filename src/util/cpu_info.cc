@@ -1,0 +1,54 @@
+#include "util/cpu_info.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace avm {
+
+namespace {
+
+size_t ReadSysfsBytes(const char* path, size_t fallback) {
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return fallback;
+  char buf[64] = {0};
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf, &end, 10);
+  if (end == buf || v == 0) return fallback;
+  if (end != nullptr && *end == 'K') v *= 1024;
+  if (end != nullptr && *end == 'M') v *= 1024 * 1024;
+  return static_cast<size_t>(v);
+}
+
+CpuInfo Probe() {
+  CpuInfo info;
+  info.num_cores = std::thread::hardware_concurrency();
+  if (info.num_cores == 0) info.num_cores = 1;
+  info.l1_data_bytes = ReadSysfsBytes(
+      "/sys/devices/system/cpu/cpu0/cache/index0/size", info.l1_data_bytes);
+  info.l2_bytes = ReadSysfsBytes(
+      "/sys/devices/system/cpu/cpu0/cache/index2/size", info.l2_bytes);
+  info.l3_bytes = ReadSysfsBytes(
+      "/sys/devices/system/cpu/cpu0/cache/index3/size", info.l3_bytes);
+#if defined(__AVX512F__)
+  info.simd_width_bytes = 64;
+#elif defined(__AVX2__)
+  info.simd_width_bytes = 32;
+#elif defined(__SSE2__)
+  info.simd_width_bytes = 16;
+#endif
+  return info;
+}
+
+}  // namespace
+
+const CpuInfo& CpuInfo::Host() {
+  static CpuInfo info = Probe();
+  return info;
+}
+
+}  // namespace avm

@@ -1,0 +1,32 @@
+// Host CPU parameters consulted by the partitioning heuristics and the cost
+// model (cache sizes, dTLB entries, SIMD width).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace avm {
+
+struct CpuInfo {
+  size_t l1_data_bytes = 32 * 1024;
+  size_t l2_bytes = 1024 * 1024;
+  size_t l3_bytes = 32 * 1024 * 1024;
+  /// L1 dTLB entries for 4K pages; the paper caps fused-function fan-in by it.
+  size_t l1_dtlb_entries = 64;
+  size_t cache_line_bytes = 64;
+  size_t simd_width_bytes = 32;  // AVX2 default
+  unsigned num_cores = 1;
+
+  /// Probe the host (sysfs/sysconf); falls back to the defaults above.
+  static const CpuInfo& Host();
+
+  /// Paper heuristic: maximum inputs+intermediates per fused function.
+  /// Derived from the dTLB size with a safety factor so a fused function's
+  /// streams cannot thrash the TLB.
+  size_t MaxFusedStreams() const {
+    size_t n = l1_dtlb_entries / 4;
+    return n < 4 ? 4 : n;
+  }
+};
+
+}  // namespace avm

@@ -1,0 +1,40 @@
+// Hashing used by hash joins, hash aggregation and trace-cache keys.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace avm {
+
+/// 64-bit finalizer (MurmurHash3 fmix64). Good avalanche for integer keys.
+inline uint64_t HashInt64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Combine two hashes (boost-style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4));
+}
+
+/// FNV-1a over arbitrary bytes; used for trace-signature keys.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace avm

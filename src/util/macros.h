@@ -1,0 +1,45 @@
+// Common macros used across the AdaptiveVM code base.
+#pragma once
+
+#define AVM_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+#define AVM_DISALLOW_MOVE(TypeName)   \
+  TypeName(TypeName&&) = delete;      \
+  TypeName& operator=(TypeName&&) = delete
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AVM_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define AVM_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#define AVM_ALWAYS_INLINE inline __attribute__((always_inline))
+#define AVM_NOINLINE __attribute__((noinline))
+#define AVM_RESTRICT __restrict__
+#else
+#define AVM_PREDICT_TRUE(x) (x)
+#define AVM_PREDICT_FALSE(x) (x)
+#define AVM_ALWAYS_INLINE inline
+#define AVM_NOINLINE
+#define AVM_RESTRICT
+#endif
+
+// Propagate a non-OK Status out of the current function.
+#define AVM_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::avm::Status _st = (expr);                 \
+    if (AVM_PREDICT_FALSE(!_st.ok())) return _st; \
+  } while (0)
+
+// Evaluate a Result<T> expression; on error propagate the Status, otherwise
+// bind the value to `lhs`.
+#define AVM_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                              \
+  if (AVM_PREDICT_FALSE(!var.ok())) return var.status(); \
+  lhs = std::move(var).value();
+
+#define AVM_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define AVM_ASSIGN_OR_RETURN_CONCAT(x, y) AVM_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define AVM_ASSIGN_OR_RETURN(lhs, expr) \
+  AVM_ASSIGN_OR_RETURN_IMPL(            \
+      AVM_ASSIGN_OR_RETURN_CONCAT(_result_, __LINE__), lhs, expr)

@@ -1,0 +1,62 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace avm {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kCompilationError:
+      return "Compilation error";
+    case StatusCode::kRuntimeError:
+      return "Runtime error";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<State>(State{code, std::move(msg)})) {}
+
+const std::string& Status::message() const {
+  return ok() ? kEmptyString : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort(const char* context) const {
+  if (ok()) return;
+  std::fprintf(stderr, "avm fatal%s%s: %s\n", context ? " in " : "",
+               context ? context : "", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace avm

@@ -1,0 +1,127 @@
+// Status / Result<T> error model.
+//
+// Following Arrow/Google practice, errors never cross public API boundaries
+// as exceptions; functions that can fail return Status or Result<T>.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace avm {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kTypeError,
+  kOutOfRange,
+  kNotFound,
+  kNotImplemented,
+  kCompilationError,
+  kRuntimeError,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// The OK state is represented by a null internal pointer, so returning OK
+/// is free of allocation.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string msg);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status CompilationError(std::string msg) {
+    return Status(StatusCode::kCompilationError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsCompilationError() const { return code() == StatusCode::kCompilationError; }
+  bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Abort the process if this status is not OK (for use in tests/examples).
+  void Abort(const char* context = nullptr) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T value() && { return std::move(value_); }
+
+  /// Return the value, aborting the process if this Result holds an error.
+  T ValueOrDie() && {
+    status_.Abort("Result::ValueOrDie");
+    return std::move(value_);
+  }
+  const T& ValueOrDie() const& {
+    status_.Abort("Result::ValueOrDie");
+    return value_;
+  }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace avm

@@ -1,0 +1,45 @@
+// Fixed-size thread pool used by the simulated GPU backend (SM-level
+// parallelism) and by morsel-style parallel scans.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace avm {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  AVM_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace avm

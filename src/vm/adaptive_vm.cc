@@ -1,0 +1,154 @@
+#include "vm/adaptive_vm.h"
+
+#include <algorithm>
+
+#include "jit/source_jit.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace avm::vm {
+
+using interp::Interpreter;
+
+AdaptiveVm::AdaptiveVm(const dsl::Program* program, VmOptions options)
+    : program_(program), options_(std::move(options)) {
+  interp_ = std::make_unique<Interpreter>(program_, options_.interp);
+  interp_->iteration_hook = [this](Interpreter& in, uint64_t iteration) {
+    return OnIteration(in, iteration);
+  };
+}
+
+Status AdaptiveVm::Run() {
+  Status st = interp_->Run();
+  report_.iterations = interp_->loop_iterations();
+  report_.state_timeline = sm_.Timeline();
+  report_.profile = interp_->profiler().ToString();
+  report_.injection_runs = 0;
+  report_.injection_fallbacks = 0;
+  for (const auto& tr : interp_->injections()) {
+    report_.injection_runs += tr.invocations;
+    report_.injection_fallbacks += tr.fallbacks;
+  }
+  return st;
+}
+
+VmReport AdaptiveVm::Report() const { return report_; }
+
+Status AdaptiveVm::OnIteration(Interpreter& in, uint64_t iteration) {
+  if (!options_.enable_jit) return Status::OK();
+  if (!jit::SourceJit::Available()) return Status::OK();
+  if (!optimized_once_ && iteration >= options_.optimize_after_iterations) {
+    return OptimizePass(in, iteration);
+  }
+  if (optimized_once_ && options_.recheck_interval > 0 &&
+      iteration % options_.recheck_interval == 0) {
+    // Situation drift check: when the compression scheme under a trace's
+    // reads changed, compile (or fetch from cache) a variant for the new
+    // situation. Injections for stale situations stay installed; their
+    // applicability checks simply stop matching.
+    return OptimizePass(in, iteration);
+  }
+  return Status::OK();
+}
+
+std::map<std::string, Scheme> AdaptiveVm::ObserveSchemes(
+    Interpreter& in, const ir::Trace& trace) const {
+  std::map<std::string, Scheme> schemes;
+  if (!options_.specialize_compression) return schemes;
+  for (uint32_t id : trace.node_ids) {
+    const ir::DepNode& n = graph_.nodes()[id];
+    if (n.kind != dsl::SkeletonKind::kRead) continue;
+    const std::string& data = n.expr->args[1]->var;
+    Scheme s = in.LastSchemeOf(data);
+    // Only FOR has a specialized compressed-execution code path; other
+    // schemes decode to plain values before entering the trace.
+    if (s == Scheme::kFor) schemes[data] = s;
+  }
+  return schemes;
+}
+
+Status AdaptiveVm::OptimizePass(Interpreter& in, uint64_t iteration) {
+  sm_.Advance(VmState::kOptimize, iteration);
+  if (!graph_built_) {
+    AVM_ASSIGN_OR_RETURN(graph_, ir::DepGraph::Build(*program_));
+    graph_built_ = true;
+  }
+  // Refresh node costs from the profile (hot-path identification).
+  uint64_t total_cycles = 0;
+  for (auto& node : graph_.nodes()) {
+    const interp::OpStats* s = in.profiler().Find(node.expr->id);
+    if (s != nullptr && s->cycles > 0) {
+      node.cost = static_cast<double>(s->cycles);
+      total_cycles += s->cycles;
+    }
+  }
+  traces_ = ir::GreedyPartition(graph_, options_.constraints);
+
+  bool any_compiled = false;
+  size_t installed_this_pass = 0;
+  for (const auto& trace : traces_) {
+    if (installed_this_pass >= options_.max_traces_per_pass) break;
+    if (total_cycles > 0 &&
+        trace.total_cost / static_cast<double>(total_cycles) <
+            options_.min_cost_share) {
+      continue;
+    }
+    Status st = InstallTrace(in, trace, iteration);
+    if (st.ok()) {
+      ++installed_this_pass;
+      any_compiled = true;
+    } else if (!st.IsNotFound()) {
+      AVM_LOG(kDebug) << "trace skipped: " << st.ToString();
+    }
+  }
+  optimized_once_ = true;
+  if (any_compiled) {
+    if (sm_.state() == VmState::kOptimize) {
+      sm_.Advance(VmState::kGenerateCode, iteration);
+    }
+    sm_.Advance(VmState::kInjectFunctions, iteration);
+    sm_.Advance(VmState::kInterpret, iteration);
+  } else {
+    sm_.Advance(VmState::kInterpret, iteration);
+  }
+  return Status::OK();
+}
+
+Status AdaptiveVm::InstallTrace(Interpreter& in, const ir::Trace& trace,
+                                uint64_t iteration) {
+  jit::Situation situation;
+  situation.trace_fingerprint = jit::TraceFingerprint(graph_, trace);
+  situation.schemes = ObserveSchemes(in, trace);
+
+  const uint64_t key = situation.Key();
+  if (installed_.contains(key)) {
+    return Status::NotFound("already installed");  // benign skip
+  }
+
+  const jit::CompiledTrace* compiled = cache_.Find(situation);
+  if (compiled == nullptr) {
+    jit::CodegenOptions cg;
+    cg.scheme_specialization = situation.schemes;
+    Stopwatch sw;
+    AVM_ASSIGN_OR_RETURN(
+        jit::CompiledTrace fresh,
+        jit::CompileTrace(*program_, graph_, trace, jit::SourceJit::Global(),
+                          cg));
+    report_.compile_seconds += sw.ElapsedSeconds();
+    ++report_.traces_compiled;
+    cache_.Insert(situation, std::move(fresh));
+    compiled = cache_.Find(situation);
+  } else {
+    ++report_.traces_reused;
+  }
+
+  interp::InjectedTrace inj =
+      jit::MakeInjection(*compiled, options_.interp.chunk_size);
+  AVM_LOG(kDebug) << "inject " << inj.name << " at iter " << iteration << " "
+                  << situation.ToString();
+  in.AddInjection(std::move(inj));
+  installed_.insert(key);
+  return Status::OK();
+}
+
+}  // namespace avm::vm

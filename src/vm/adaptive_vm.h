@@ -1,0 +1,89 @@
+// The adaptive virtual machine (Section III).
+//
+// Drives the Fig. 1 state machine over a DSL program: interpret with
+// profiling, decide to optimize after a warmup, greedily partition the hot
+// dependency graph into traces (§III-B), JIT-compile them specialized for
+// the current situation (input compression schemes, §III-C), inject them
+// into the interpreter, and keep watching: when a block's compression
+// scheme changes the injected trace's applicability check fails, the VM
+// falls back to interpretation and compiles a new variant for the new
+// situation, reusing the trace cache when the situation recurs.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "interp/interpreter.h"
+#include "ir/depgraph.h"
+#include "jit/trace_cache.h"
+#include "vm/state_machine.h"
+
+namespace avm::vm {
+
+struct VmOptions {
+  interp::InterpreterOptions interp;
+  /// Loop iterations interpreted (with profiling) before the first Optimize.
+  uint64_t optimize_after_iterations = 8;
+  /// Re-examine the situation every this many iterations.
+  uint64_t recheck_interval = 64;
+  /// Compile at most this many traces per Optimize pass.
+  size_t max_traces_per_pass = 4;
+  /// Partitioning heuristics (§III-B).
+  ir::PartitionConstraints constraints;
+  /// Master switch: with JIT off the VM is a pure vectorized interpreter.
+  bool enable_jit = true;
+  /// Specialize reads for FOR-compressed blocks (compressed execution).
+  bool specialize_compression = true;
+  /// Only compile traces whose profiled cost share exceeds this fraction.
+  double min_cost_share = 0.05;
+};
+
+struct VmReport {
+  uint64_t iterations = 0;
+  uint64_t traces_compiled = 0;
+  uint64_t traces_reused = 0;     ///< trace-cache hits on recompile checks
+  uint64_t injection_runs = 0;
+  uint64_t injection_fallbacks = 0;
+  double compile_seconds = 0;
+  std::string state_timeline;
+  std::string profile;
+};
+
+class AdaptiveVm {
+ public:
+  /// `program` must be type-checked and outlive the VM.
+  AdaptiveVm(const dsl::Program* program, VmOptions options = {});
+
+  /// Access the embedded interpreter to bind data (before Run).
+  interp::Interpreter& interpreter() { return *interp_; }
+
+  /// Execute the program to completion under the adaptive policy.
+  Status Run();
+
+  VmReport Report() const;
+  const StateMachine& state_machine() const { return sm_; }
+  const jit::TraceCache& trace_cache() const { return cache_; }
+
+ private:
+  Status OnIteration(interp::Interpreter& in, uint64_t iteration);
+  Status OptimizePass(interp::Interpreter& in, uint64_t iteration);
+  Status InstallTrace(interp::Interpreter& in, const ir::Trace& trace,
+                      uint64_t iteration);
+  /// Current compression situation of the data arrays a trace reads.
+  std::map<std::string, Scheme> ObserveSchemes(interp::Interpreter& in,
+                                               const ir::Trace& trace) const;
+
+  const dsl::Program* program_;
+  VmOptions options_;
+  std::unique_ptr<interp::Interpreter> interp_;
+  ir::DepGraph graph_;
+  bool graph_built_ = false;
+  StateMachine sm_;
+  jit::TraceCache cache_;
+  std::vector<ir::Trace> traces_;
+  std::unordered_set<uint64_t> installed_;
+  bool optimized_once_ = false;
+  VmReport report_;
+};
+
+}  // namespace avm::vm

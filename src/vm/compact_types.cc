@@ -1,0 +1,95 @@
+#include "vm/compact_types.h"
+
+#include <algorithm>
+
+namespace avm::vm {
+
+namespace {
+
+bool AddOverflows(int64_t a, int64_t b, int64_t* out) {
+  return __builtin_add_overflow(a, b, out);
+}
+bool MulOverflows(int64_t a, int64_t b, int64_t* out) {
+  return __builtin_mul_overflow(a, b, out);
+}
+
+}  // namespace
+
+std::optional<ValueBounds> PropagateBounds(dsl::ScalarOp op,
+                                           const ValueBounds& a,
+                                           const ValueBounds& b) {
+  using dsl::ScalarOp;
+  int64_t lo = 0, hi = 0;
+  switch (op) {
+    case ScalarOp::kAdd:
+      if (AddOverflows(a.lo, b.lo, &lo) || AddOverflows(a.hi, b.hi, &hi)) {
+        return std::nullopt;
+      }
+      return ValueBounds{lo, hi};
+    case ScalarOp::kSub: {
+      int64_t nlo, nhi;
+      if (__builtin_sub_overflow(a.lo, b.hi, &nlo) ||
+          __builtin_sub_overflow(a.hi, b.lo, &nhi)) {
+        return std::nullopt;
+      }
+      return ValueBounds{nlo, nhi};
+    }
+    case ScalarOp::kMul: {
+      int64_t c[4];
+      if (MulOverflows(a.lo, b.lo, &c[0]) || MulOverflows(a.lo, b.hi, &c[1]) ||
+          MulOverflows(a.hi, b.lo, &c[2]) || MulOverflows(a.hi, b.hi, &c[3])) {
+        return std::nullopt;
+      }
+      return ValueBounds{*std::min_element(c, c + 4),
+                         *std::max_element(c, c + 4)};
+    }
+    case ScalarOp::kMin:
+      return ValueBounds{std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+    case ScalarOp::kMax:
+      return ValueBounds{std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+    case ScalarOp::kDiv:
+      // Divisor range crossing zero yields 0 by kernel convention, so the
+      // result is bounded by |a| in magnitude.
+      return ValueBounds{std::min<int64_t>({a.lo, -a.hi, 0}),
+                         std::max<int64_t>({a.hi, -a.lo, 0})};
+    case ScalarOp::kMod:
+      return ValueBounds{std::min<int64_t>(0, b.hi == 0 ? 0 : -(b.hi - 1)),
+                         std::max<int64_t>(0, b.hi == 0 ? 0 : b.hi - 1)};
+    case ScalarOp::kAbs:
+      if (a.lo == INT64_MIN) return std::nullopt;
+      return ValueBounds{std::max<int64_t>(0, std::max(a.lo, -a.hi)),
+                         std::max(std::llabs(a.lo), std::llabs(a.hi))};
+    case ScalarOp::kNeg:
+      if (a.lo == INT64_MIN) return std::nullopt;
+      return ValueBounds{-a.hi, -a.lo};
+    case ScalarOp::kEq:
+    case ScalarOp::kNe:
+    case ScalarOp::kLt:
+    case ScalarOp::kLe:
+    case ScalarOp::kGt:
+    case ScalarOp::kGe:
+    case ScalarOp::kAnd:
+    case ScalarOp::kOr:
+    case ScalarOp::kNot:
+      return ValueBounds{0, 1};
+    default:
+      return std::nullopt;  // sqrt/hash/cast: caller handles
+  }
+}
+
+TypeId CompactTypeFor(const ValueBounds& b) {
+  return SmallestIntTypeFor(b.lo, b.hi);
+}
+
+std::optional<TypeId> SumAccumulatorType(const ValueBounds& b,
+                                         uint64_t count) {
+  const int64_t mag = std::max(std::llabs(b.lo), std::llabs(b.hi));
+  if (mag != 0 &&
+      count > static_cast<uint64_t>(INT64_MAX / mag)) {
+    return std::nullopt;
+  }
+  const int64_t worst = mag * static_cast<int64_t>(count);
+  return SmallestIntTypeFor(-worst, worst);
+}
+
+}  // namespace avm::vm

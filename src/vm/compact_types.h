@@ -1,0 +1,37 @@
+// Compact data types (paper §I, following [12] Gubner & Boncz ADMS'17):
+// when column statistics bound value ranges, arithmetic can run in narrower
+// integer types — more values per SIMD lane, less memory traffic. The VM
+// derives safe execution types through interval arithmetic over the
+// expression, falling back to wide types when overflow is possible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dsl/ast.h"
+#include "storage/types.h"
+
+namespace avm::vm {
+
+struct ValueBounds {
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  static ValueBounds Of(int64_t lo, int64_t hi) { return {lo, hi}; }
+  bool Contains(int64_t v) const { return v >= lo && v <= hi; }
+};
+
+/// Interval arithmetic for the integer scalar ops. Returns nullopt when the
+/// result may overflow int64 (the caller must stay wide / bail out).
+std::optional<ValueBounds> PropagateBounds(dsl::ScalarOp op,
+                                           const ValueBounds& a,
+                                           const ValueBounds& b);
+
+/// Narrowest signed type that holds `b`.
+TypeId CompactTypeFor(const ValueBounds& b);
+
+/// Accumulator type for summing up to `count` values within `b`
+/// (nullopt: not even int64 is safe).
+std::optional<TypeId> SumAccumulatorType(const ValueBounds& b, uint64_t count);
+
+}  // namespace avm::vm

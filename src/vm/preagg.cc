@@ -1,0 +1,162 @@
+#include "vm/preagg.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace avm::vm {
+
+AdaptiveSumAggregator::AdaptiveSumAggregator(PreAggConfig config)
+    : config_(config) {
+  slots_.resize(1024);
+}
+
+Status AdaptiveSumAggregator::Consume(const int64_t* keys,
+                                      const int64_t* values, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) {
+    observed_max_key_ = std::max(observed_max_key_, keys[i]);
+    observed_min_key_ = std::min(observed_min_key_, keys[i]);
+  }
+  if (observed_min_key_ < 0) {
+    // Negative keys can never use the array path.
+    if (array_path_) {
+      array_path_ = false;
+      ++path_switches_;
+      // Migrate partials.
+      for (size_t k = 0; k < direct_sums_.size(); ++k) {
+        if (direct_used_[k]) HashUpsert(static_cast<int64_t>(k),
+                                        direct_sums_[k]);
+      }
+      direct_sums_.clear();
+      direct_used_.clear();
+    }
+  }
+  ++chunks_;
+  if (chunks_ % config_.decide_every == 0) MaybeSwitch();
+  if (array_path_) return ConsumeArray(keys, values, n);
+  ConsumeHash(keys, values, n);
+  return Status::OK();
+}
+
+void AdaptiveSumAggregator::MaybeSwitch() {
+  const bool should_array =
+      observed_min_key_ >= 0 && observed_max_key_ < config_.max_direct_key;
+  if (should_array == array_path_) return;
+  ++path_switches_;
+  if (!should_array) {
+    // array -> hash: migrate.
+    for (size_t k = 0; k < direct_sums_.size(); ++k) {
+      if (direct_used_[k]) HashUpsert(static_cast<int64_t>(k),
+                                      direct_sums_[k]);
+    }
+    direct_sums_.clear();
+    direct_used_.clear();
+    array_path_ = false;
+  } else {
+    // hash -> array: migrate entries that fit.
+    direct_sums_.assign(static_cast<size_t>(config_.max_direct_key), 0);
+    direct_used_.assign(static_cast<size_t>(config_.max_direct_key), 0);
+    bool all_fit = true;
+    for (const auto& s : slots_) {
+      if (!s.used) continue;
+      if (s.key < 0 || s.key >= config_.max_direct_key) {
+        all_fit = false;
+        break;
+      }
+    }
+    if (!all_fit) {
+      direct_sums_.clear();
+      direct_used_.clear();
+      --path_switches_;
+      return;
+    }
+    for (const auto& s : slots_) {
+      if (!s.used) continue;
+      direct_sums_[static_cast<size_t>(s.key)] += s.sum;
+      direct_used_[static_cast<size_t>(s.key)] = 1;
+    }
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    hash_entries_ = 0;
+    array_path_ = true;
+  }
+}
+
+Status AdaptiveSumAggregator::ConsumeArray(const int64_t* keys,
+                                           const int64_t* values,
+                                           uint32_t n) {
+  if (direct_sums_.empty()) {
+    direct_sums_.assign(static_cast<size_t>(config_.max_direct_key), 0);
+    direct_used_.assign(static_cast<size_t>(config_.max_direct_key), 0);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    const int64_t k = keys[i];
+    if (k < 0 || k >= config_.max_direct_key) {
+      // Out-of-range key before the next decision point: spill to hash.
+      HashUpsert(k, values[i]);
+      continue;
+    }
+    direct_sums_[static_cast<size_t>(k)] += values[i];
+    direct_used_[static_cast<size_t>(k)] = 1;
+  }
+  return Status::OK();
+}
+
+void AdaptiveSumAggregator::GrowHash() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  hash_entries_ = 0;
+  for (const auto& s : old) {
+    if (s.used) HashUpsert(s.key, s.sum);
+  }
+}
+
+void AdaptiveSumAggregator::HashUpsert(int64_t key, int64_t add) {
+  if (hash_entries_ * 2 >= slots_.size()) GrowHash();
+  const size_t mask = slots_.size() - 1;
+  size_t idx = HashInt64(static_cast<uint64_t>(key)) & mask;
+  while (true) {
+    Slot& s = slots_[idx];
+    if (!s.used) {
+      s.used = true;
+      s.key = key;
+      s.sum = add;
+      ++hash_entries_;
+      return;
+    }
+    if (s.key == key) {
+      s.sum += add;
+      return;
+    }
+    idx = (idx + 1) & mask;
+  }
+}
+
+void AdaptiveSumAggregator::ConsumeHash(const int64_t* keys,
+                                        const int64_t* values, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) HashUpsert(keys[i], values[i]);
+}
+
+std::vector<std::pair<int64_t, int64_t>> AdaptiveSumAggregator::Result()
+    const {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (size_t k = 0; k < direct_sums_.size(); ++k) {
+    if (direct_used_[k]) out.emplace_back(static_cast<int64_t>(k),
+                                          direct_sums_[k]);
+  }
+  for (const auto& s : slots_) {
+    if (s.used) out.emplace_back(s.key, s.sum);
+  }
+  // Entries can exist in both stores around a migration; merge by key.
+  std::sort(out.begin(), out.end());
+  std::vector<std::pair<int64_t, int64_t>> merged;
+  for (const auto& [k, v] : out) {
+    if (!merged.empty() && merged.back().first == k) {
+      merged.back().second += v;
+    } else {
+      merged.emplace_back(k, v);
+    }
+  }
+  return merged;
+}
+
+}  // namespace avm::vm

@@ -1,0 +1,68 @@
+// Adaptively triggered pre-aggregation (paper §I, following [12]).
+//
+// Generic hash aggregation pays a hash-table probe per tuple. When the VM
+// observes that the group-key domain of the current data is small, it
+// switches to a cache-resident array of partial aggregates indexed directly
+// by key, merging into the global table per chunk. When the observed domain
+// grows past the threshold it switches back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace avm::vm {
+
+struct PreAggConfig {
+  /// Use the array path while max observed key < this.
+  int64_t max_direct_key = 4096;
+  /// Re-evaluate the decision every N chunks.
+  uint64_t decide_every = 16;
+};
+
+/// SUM aggregation of int64 values by int64 group key with an adaptive
+/// array-direct fast path.
+class AdaptiveSumAggregator {
+ public:
+  explicit AdaptiveSumAggregator(PreAggConfig config = {});
+
+  /// Aggregate one chunk (keys[i], values[i], i < n).
+  Status Consume(const int64_t* keys, const int64_t* values, uint32_t n);
+
+  /// Final (key, sum) pairs, sorted by key.
+  std::vector<std::pair<int64_t, int64_t>> Result() const;
+
+  bool using_array_path() const { return array_path_; }
+  uint64_t path_switches() const { return path_switches_; }
+
+ private:
+  void MaybeSwitch();
+  Status ConsumeArray(const int64_t* keys, const int64_t* values, uint32_t n);
+  void ConsumeHash(const int64_t* keys, const int64_t* values, uint32_t n);
+  void GrowHash();
+  void HashUpsert(int64_t key, int64_t add);
+
+  PreAggConfig config_;
+  bool array_path_ = true;
+  uint64_t chunks_ = 0;
+  uint64_t path_switches_ = 0;
+  int64_t observed_max_key_ = 0;
+  int64_t observed_min_key_ = 0;
+
+  // Array path: direct-indexed partials.
+  std::vector<int64_t> direct_sums_;
+  std::vector<uint8_t> direct_used_;
+
+  // Hash path: open addressing, power-of-two capacity.
+  struct Slot {
+    int64_t key = 0;
+    int64_t sum = 0;
+    bool used = false;
+  };
+  std::vector<Slot> slots_;
+  size_t hash_entries_ = 0;
+};
+
+}  // namespace avm::vm

@@ -1,0 +1,52 @@
+#include "vm/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace avm::vm {
+
+SelectiveOpReorderer::SelectiveOpReorderer(size_t num_ops,
+                                           uint64_t resort_every,
+                                           double ema_alpha)
+    : stats_(num_ops), order_(num_ops), resort_every_(resort_every),
+      ema_alpha_(ema_alpha) {
+  std::iota(order_.begin(), order_.end(), size_t{0});
+}
+
+void SelectiveOpReorderer::Observe(size_t op, uint64_t tuples_in,
+                                   uint64_t tuples_out, uint64_t cycles) {
+  if (tuples_in == 0) return;
+  OpStats& s = stats_[op];
+  const double sel =
+      static_cast<double>(tuples_out) / static_cast<double>(tuples_in);
+  const double cost =
+      static_cast<double>(cycles) / static_cast<double>(tuples_in);
+  if (s.samples == 0) {
+    s.sel_ema = sel;
+    s.cost_ema = cost;
+  } else {
+    s.sel_ema = ema_alpha_ * sel + (1 - ema_alpha_) * s.sel_ema;
+    s.cost_ema = ema_alpha_ * cost + (1 - ema_alpha_) * s.cost_ema;
+  }
+  ++s.samples;
+  if (++observations_ % resort_every_ == 0) Resort();
+}
+
+double SelectiveOpReorderer::RankOf(size_t op) const {
+  const OpStats& s = stats_[op];
+  const double cost = s.cost_ema <= 0 ? 1e-9 : s.cost_ema;
+  return (1.0 - s.sel_ema) / cost;
+}
+
+void SelectiveOpReorderer::Resort() {
+  std::vector<size_t> next = order_;
+  std::stable_sort(next.begin(), next.end(), [this](size_t a, size_t b) {
+    return RankOf(a) > RankOf(b);
+  });
+  if (next != order_) {
+    order_ = std::move(next);
+    ++resorts_;
+  }
+}
+
+}  // namespace avm::vm

@@ -1,0 +1,56 @@
+// On-the-fly reordering of selective operators (Section III-C).
+//
+// "Consider a chain of two HashJoin operators A and B. We could filter the
+// tuples using A first and later B (essentially executing the SemiJoin
+// first), when A eliminates more tuples from the flow. During runtime the
+// order of these operations could change dynamically based on the observed
+// selectivity."
+//
+// SelectiveOpReorderer tracks per-operator EMA selectivity and per-tuple
+// cost and keeps the chain sorted by filtering power per unit cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace avm::vm {
+
+class SelectiveOpReorderer {
+ public:
+  explicit SelectiveOpReorderer(size_t num_ops, uint64_t resort_every = 16,
+                                double ema_alpha = 0.25);
+
+  /// Current evaluation order (indices into the operator chain).
+  const std::vector<size_t>& Order() const { return order_; }
+
+  /// Report one evaluation of operator `op`: `tuples_in` candidates,
+  /// `tuples_out` survivors, `cycles` spent.
+  void Observe(size_t op, uint64_t tuples_in, uint64_t tuples_out,
+               uint64_t cycles);
+
+  double SelectivityOf(size_t op) const { return stats_[op].sel_ema; }
+  double CostOf(size_t op) const { return stats_[op].cost_ema; }
+  uint64_t resorts() const { return resorts_; }
+
+  /// Rank: operators that drop more tuples per cycle go first. This is the
+  /// classic (1 - selectivity) / cost greedy ordering.
+  double RankOf(size_t op) const;
+
+ private:
+  void Resort();
+
+  struct OpStats {
+    double sel_ema = 0.5;
+    double cost_ema = 1.0;
+    uint64_t samples = 0;
+  };
+  std::vector<OpStats> stats_;
+  std::vector<size_t> order_;
+  uint64_t observations_ = 0;
+  uint64_t resort_every_;
+  uint64_t resorts_ = 0;
+  double ema_alpha_;
+};
+
+}  // namespace avm::vm

@@ -1,0 +1,51 @@
+#include "vm/state_machine.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace avm::vm {
+
+const char* VmStateName(VmState s) {
+  switch (s) {
+    case VmState::kInterpret: return "Interpret";
+    case VmState::kOptimize: return "Optimize";
+    case VmState::kGenerateCode: return "GenerateCode";
+    case VmState::kInjectFunctions: return "InjectFunctions";
+  }
+  return "?";
+}
+
+bool StateMachine::Advance(VmState next, uint64_t iteration) {
+  // Legal edges of Fig. 1 (self-loop on Interpret is implicit, not logged).
+  bool legal = false;
+  switch (state_) {
+    case VmState::kInterpret:
+      legal = next == VmState::kOptimize;
+      break;
+    case VmState::kOptimize:
+      legal = next == VmState::kGenerateCode || next == VmState::kInterpret;
+      break;
+    case VmState::kGenerateCode:
+      legal = next == VmState::kInjectFunctions || next == VmState::kInterpret;
+      break;
+    case VmState::kInjectFunctions:
+      legal = next == VmState::kInterpret;
+      break;
+  }
+  if (!legal) return false;
+  transitions_.push_back({state_, next, iteration});
+  state_ = next;
+  return true;
+}
+
+std::string StateMachine::Timeline() const {
+  std::ostringstream os;
+  for (const auto& t : transitions_) {
+    os << StrFormat("iter %-8llu %s -> %s\n", (unsigned long long)t.iteration,
+                    VmStateName(t.from), VmStateName(t.to));
+  }
+  return os.str();
+}
+
+}  // namespace avm::vm

@@ -1,0 +1,56 @@
+// The VM state machine of Figure 1:
+//
+//        ┌────────────┐  decide to optimize   ┌──────────┐
+//        │ Interpret  │ ────────────────────▶ │ Optimize │
+//        └────────────┘                       └──────────┘
+//              ▲                                    │
+//              │ inject functions                   ▼
+//        ┌────────────────┐  code ready   ┌───────────────┐
+//        │ InjectFunctions│ ◀──────────── │ GenerateCode  │
+//        └────────────────┘               └───────────────┘
+//
+// Execution starts in Interpret; profiling identifies hot paths; Optimize
+// partitions the dependency graph into traces; GenerateCode compiles them;
+// InjectFunctions plugs them into the interpreter; interpretation continues
+// with a partially optimized program.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace avm::vm {
+
+enum class VmState : uint8_t {
+  kInterpret = 0,
+  kOptimize,
+  kGenerateCode,
+  kInjectFunctions,
+};
+
+const char* VmStateName(VmState s);
+
+/// Tracks the state and records every transition (tests assert the Fig. 1
+/// cycle; benchmarks print the timeline).
+class StateMachine {
+ public:
+  struct Transition {
+    VmState from;
+    VmState to;
+    uint64_t iteration;
+  };
+
+  VmState state() const { return state_; }
+
+  /// Transition to `next`; only the Fig. 1 edges are legal.
+  bool Advance(VmState next, uint64_t iteration);
+
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  std::string Timeline() const;
+
+ private:
+  VmState state_ = VmState::kInterpret;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace avm::vm

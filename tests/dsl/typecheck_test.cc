@@ -1,0 +1,237 @@
+#include "dsl/typecheck.h"
+
+#include <gtest/gtest.h>
+
+#include "dsl/builder.h"
+#include "dsl/parser.h"
+
+namespace avm::dsl {
+namespace {
+
+Program MustParse(const std::string& src) {
+  auto p = ParseProgram(src);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+TEST(TypeCheckTest, Figure2Passes) {
+  Program p = MakeFigure2Program();
+  EXPECT_TRUE(TypeCheck(&p).ok());
+}
+
+TEST(TypeCheckTest, AnnotatesShapesAndTypes) {
+  Program p = MustParse(R"(
+data d : i32
+mut i
+i := 0
+loop
+  let v = read i d in
+  let m = map (\x -> x * 2) v in
+  i := i + len(m)
+  if i >= 100 then
+    break
+)");
+  ASSERT_TRUE(TypeCheck(&p).ok());
+  // `let v` holds an i32 array; `let m` promotes to i64 (int literal is
+  // i64 at the type level; the normalizer may still narrow it back when
+  // the constant fits — see NormalizeTest.ConstCoercedToNarrowInputType).
+  const Stmt& loop = *p.stmts[2];
+  EXPECT_EQ(loop.body[0]->expr->shape, Shape::kArray);
+  EXPECT_EQ(loop.body[0]->expr->type, TypeId::kI32);
+  EXPECT_EQ(loop.body[1]->expr->shape, Shape::kArray);
+  EXPECT_EQ(loop.body[1]->expr->type, TypeId::kI64);
+  EXPECT_EQ(loop.body[2]->expr->shape, Shape::kScalar);
+}
+
+TEST(TypeCheckTest, PromoteTypesRules) {
+  EXPECT_EQ(PromoteTypes(TypeId::kI8, TypeId::kI32), TypeId::kI32);
+  EXPECT_EQ(PromoteTypes(TypeId::kI64, TypeId::kF64), TypeId::kF64);
+  EXPECT_EQ(PromoteTypes(TypeId::kF32, TypeId::kI64), TypeId::kF64);
+  EXPECT_EQ(PromoteTypes(TypeId::kF32, TypeId::kI16), TypeId::kF32);
+  EXPECT_EQ(PromoteTypes(TypeId::kI16, TypeId::kI16), TypeId::kI16);
+}
+
+TEST(TypeCheckTest, ComparisonYieldsBool) {
+  Program p = MustParse(R"(
+data d : i64
+mut i
+i := 0
+let v = read i d in
+let f = filter (\x -> x > 3) v
+)");
+  ASSERT_TRUE(TypeCheck(&p).ok());
+}
+
+TEST(TypeCheckErrorTest, UndefinedVariable) {
+  Program p = MustParse("mut i\ni := j + 1\n");
+  EXPECT_TRUE(TypeCheck(&p).IsInvalidArgument());
+}
+
+TEST(TypeCheckErrorTest, AssignToNonMutable) {
+  Program p = MustParse("let x = 3\nx := 4\n");
+  EXPECT_FALSE(TypeCheck(&p).ok());
+}
+
+TEST(TypeCheckErrorTest, AssignArrayToMutable) {
+  Program p = MustParse(R"(
+data d : i64
+mut i
+mut bad
+i := 0
+let v = read i d in
+bad := len(v)
+)");
+  EXPECT_TRUE(TypeCheck(&p).ok());  // len is scalar: fine
+  Program q = MustParse(R"(
+data d : i64
+mut i
+mut bad
+i := 0
+loop
+  break
+)");
+  EXPECT_TRUE(TypeCheck(&q).ok());
+}
+
+TEST(TypeCheckErrorTest, BreakOutsideLoop) {
+  Program p = MustParse("break\n");
+  EXPECT_FALSE(TypeCheck(&p).ok());
+}
+
+TEST(TypeCheckErrorTest, WriteToReadOnlyData) {
+  Program p = MustParse(R"(
+data src : i64
+mut i
+i := 0
+let v = read i src in
+write src i v
+)");
+  EXPECT_TRUE(TypeCheck(&p).IsTypeError());
+}
+
+TEST(TypeCheckErrorTest, ReadFromNonData) {
+  Program p = MustParse(R"(
+data d : i64
+mut i
+i := 0
+let v = read i d in
+let u = read i v
+)");
+  EXPECT_TRUE(TypeCheck(&p).IsTypeError());
+}
+
+TEST(TypeCheckErrorTest, FilterPredicateMustBeBool) {
+  Program p = MustParse(R"(
+data d : i64
+mut i
+i := 0
+let v = read i d in
+let f = filter (\x -> x + 1) v
+)");
+  EXPECT_TRUE(TypeCheck(&p).IsTypeError());
+}
+
+TEST(TypeCheckErrorTest, ScalarOpOnArray) {
+  Program p = MustParse(R"(
+data d : i64
+mut i
+i := 0
+let v = read i d in
+let bad = sqrt v
+)");
+  EXPECT_TRUE(TypeCheck(&p).IsTypeError());
+}
+
+TEST(TypeCheckErrorTest, IfConditionMustBeScalar) {
+  Program p = MustParse(R"(
+data d : i64
+mut i
+i := 0
+loop
+  let v = read i d in
+  if v then
+    break
+)");
+  EXPECT_FALSE(TypeCheck(&p).ok());
+}
+
+TEST(TypeCheckErrorTest, ModRequiresIntegers) {
+  Program p = MustParse("let x = 1.5 % 2.0\n");
+  EXPECT_TRUE(TypeCheck(&p).IsTypeError());
+}
+
+TEST(TypeCheckErrorTest, AndRequiresBools) {
+  Program p = MustParse("let x = 1 and 2\n");
+  EXPECT_TRUE(TypeCheck(&p).IsTypeError());
+}
+
+TEST(TypeCheckErrorTest, ArityMismatch) {
+  Program p = MustParse(R"(
+data d : i64
+mut i
+i := 0
+let v = read i d in
+let m = map (\x y -> x + y) v
+)");
+  EXPECT_TRUE(TypeCheck(&p).IsTypeError());
+}
+
+TEST(TypeCheckErrorTest, DuplicateDataDecl) {
+  Program p;
+  p.data = {{"d", TypeId::kI64, false}, {"d", TypeId::kI32, false}};
+  EXPECT_FALSE(TypeCheck(&p).ok());
+}
+
+TEST(TypeCheckTest, ScatterWithConflictLambda) {
+  Program p = MustParse(R"(
+data keys : i64
+data acc : i64 writable
+mut i
+i := 0
+let k = read i keys in
+scatter acc k k (\o n -> o + n)
+)");
+  Status st = TypeCheck(&p);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(TypeCheckTest, GenAndFold) {
+  Program p = MustParse(R"(
+data out : i64 writable
+let g = gen (\j -> j * j) 16 in
+let s = fold (\acc x -> acc + x) 0 g in
+write out 0 g
+)");
+  Status st = TypeCheck(&p);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(TypeCheckTest, MergeRequiresSameTypes) {
+  Program p = MustParse(R"(
+data a : i64
+data b : i32
+mut i
+i := 0
+let va = read i a in
+let vb = read i b in
+let m = merge_join va vb
+)");
+  EXPECT_TRUE(TypeCheck(&p).IsTypeError());
+}
+
+TEST(TypeCheckTest, LambdaCapturesOuterScalar) {
+  Program p = MustParse(R"(
+data d : i64
+mut i
+mut threshold
+i := 0
+threshold := 10
+let v = read i d in
+let f = filter (\x -> x > threshold) v
+)");
+  Status st = TypeCheck(&p);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace avm::dsl

@@ -1,0 +1,157 @@
+#include "gpu/gpu_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "dsl/builder.h"
+#include "dsl/parser.h"
+#include "dsl/typecheck.h"
+#include "util/rng.h"
+
+namespace avm::gpu {
+namespace {
+
+// Build a normalized PrimProgram from a lambda source string.
+ir::PrimProgram MakeProg(const std::string& lambda_src,
+                         std::vector<TypeId> types) {
+  std::string src = "data d0 : " + std::string(TypeName(types[0])) + "\n";
+  std::string maps = "map (" + lambda_src + ") v0";
+  src += "mut i\ni := 0\nlet v0 = read i d0 in\n";
+  for (size_t k = 1; k < types.size(); ++k) {
+    src += "data d" + std::to_string(k) + " : " + TypeName(types[k]) + "\n";
+  }
+  // Multi-input lambdas need more reads; handle up to 2.
+  if (types.size() == 2) {
+    src = "data d0 : " + std::string(TypeName(types[0])) + "\n" +
+          "data d1 : " + std::string(TypeName(types[1])) + "\n" +
+          "mut i\ni := 0\nlet v0 = read i d0 in\nlet v1 = read i d1 in\n";
+    maps = "map (" + lambda_src + ") v0 v1";
+  }
+  src += "let out = " + maps + "\n";
+  auto p = dsl::ParseProgram(src);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  dsl::Program prog = std::move(p).value();
+  EXPECT_TRUE(dsl::TypeCheck(&prog).ok());
+  const dsl::Expr& lambda = *prog.stmts.back()->expr->args[0];
+  auto norm = ir::Normalize(lambda, types);
+  EXPECT_TRUE(norm.ok()) << norm.status().ToString();
+  return std::move(norm).value();
+}
+
+TEST(GpuBackendTest, ResidencyCachedByPointer) {
+  SimGpuDevice dev;
+  GpuBackend backend(&dev);
+  std::vector<int64_t> col(1000, 3);
+  auto a = backend.EnsureResident(col.data(), 8000);
+  ASSERT_TRUE(a.ok());
+  double clock_after_first = dev.clock_seconds();
+  auto b = backend.EnsureResident(col.data(), 8000);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(dev.clock_seconds(), clock_after_first);  // no second transfer
+  ASSERT_TRUE(backend.Evict(col.data()).ok());
+  EXPECT_TRUE(backend.Evict(col.data()).IsNotFound());
+}
+
+TEST(GpuBackendTest, MapMatchesCpuComputation) {
+  SimGpuDevice dev(GpuDeviceParams{}, &ThreadPool::Global());
+  GpuBackend backend(&dev);
+  const uint32_t n = 50000;
+  Rng rng(9);
+  std::vector<int64_t> col(n);
+  for (auto& x : col) x = rng.NextInRange(-1000, 1000);
+
+  ir::PrimProgram prog = MakeProg(R"(\x -> 3*x + 7)", {TypeId::kI64});
+  auto in_buf = backend.EnsureResident(col.data(), n * sizeof(int64_t));
+  ASSERT_TRUE(in_buf.ok());
+  auto out_buf =
+      backend.RunMap(prog, {in_buf.value()}, {TypeId::kI64}, n);
+  ASSERT_TRUE(out_buf.ok()) << out_buf.status().ToString();
+  std::vector<int64_t> out(n);
+  ASSERT_TRUE(
+      dev.CopyToHost(out.data(), out_buf.value(), n * sizeof(int64_t)).ok());
+  for (uint32_t i = 0; i < n; ++i) ASSERT_EQ(out[i], 3 * col[i] + 7);
+}
+
+TEST(GpuBackendTest, TwoInputMap) {
+  SimGpuDevice dev(GpuDeviceParams{}, &ThreadPool::Global());
+  GpuBackend backend(&dev);
+  const uint32_t n = 10000;
+  std::vector<double> a(n), b(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    a[i] = i * 0.5;
+    b[i] = i * 0.25;
+  }
+  ir::PrimProgram prog =
+      MakeProg(R"(\x y -> x * y + 1.0)", {TypeId::kF64, TypeId::kF64});
+  auto ba = backend.EnsureResident(a.data(), n * 8);
+  auto bb = backend.EnsureResident(b.data(), n * 8);
+  ASSERT_TRUE(ba.ok() && bb.ok());
+  auto out_buf = backend.RunMap(prog, {ba.value(), bb.value()},
+                                {TypeId::kF64, TypeId::kF64}, n);
+  ASSERT_TRUE(out_buf.ok()) << out_buf.status().ToString();
+  std::vector<double> out(n);
+  ASSERT_TRUE(dev.CopyToHost(out.data(), out_buf.value(), n * 8).ok());
+  for (uint32_t i = 0; i < n; ++i) ASSERT_DOUBLE_EQ(out[i], a[i] * b[i] + 1.0);
+}
+
+TEST(GpuBackendTest, SumReduction) {
+  SimGpuDevice dev(GpuDeviceParams{}, &ThreadPool::Global());
+  GpuBackend backend(&dev);
+  const uint32_t n = 100000;
+  std::vector<int64_t> col(n);
+  double expect = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    col[i] = i % 1000;
+    expect += col[i];
+  }
+  auto buf = backend.EnsureResident(col.data(), n * 8);
+  ASSERT_TRUE(buf.ok());
+  auto sum = backend.RunSumF64(buf.value(), TypeId::kI64, n);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum.value(), expect);
+}
+
+TEST(GpuBackendTest, FilterCount) {
+  SimGpuDevice dev(GpuDeviceParams{}, &ThreadPool::Global());
+  GpuBackend backend(&dev);
+  const uint32_t n = 64000;
+  std::vector<int32_t> col(n);
+  uint64_t expect = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    col[i] = static_cast<int32_t>(i % 100);
+    expect += col[i] < 37 ? 1 : 0;
+  }
+  auto buf = backend.EnsureResident(col.data(), n * 4);
+  ASSERT_TRUE(buf.ok());
+  auto count = backend.RunFilterCount(buf.value(), TypeId::kI32, n,
+                                      dsl::ScalarOp::kLt, 37);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), expect);
+}
+
+TEST(GpuBackendTest, MapChargesSimulatedTime) {
+  SimGpuDevice dev(GpuDeviceParams{}, &ThreadPool::Global());
+  GpuBackend backend(&dev);
+  const uint32_t n = 1 << 20;
+  std::vector<int64_t> col(n, 1);
+  auto buf = backend.EnsureResident(col.data(), n * 8);
+  ASSERT_TRUE(buf.ok());
+  dev.ResetClock();
+  ir::PrimProgram prog = MakeProg(R"(\x -> x + 1)", {TypeId::kI64});
+  ASSERT_TRUE(backend.RunMap(prog, {buf.value()}, {TypeId::kI64}, n).ok());
+  // One kernel: at least launch overhead + memory term.
+  EXPECT_GE(dev.clock_seconds(), dev.params().launch_overhead_s);
+  EXPECT_GT(dev.timing().compute_s, 0.0);
+}
+
+TEST(GpuBackendTest, DeviceOomSurfaces) {
+  GpuDeviceParams p;
+  p.memory_bytes = 1 << 16;  // 64 KiB device
+  SimGpuDevice dev(p);
+  GpuBackend backend(&dev);
+  std::vector<int64_t> col(100000, 1);
+  EXPECT_FALSE(backend.EnsureResident(col.data(), 800000).ok());
+}
+
+}  // namespace
+}  // namespace avm::gpu

@@ -1,0 +1,89 @@
+#include "gpu/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace avm::gpu {
+namespace {
+
+FragmentProfile Fragment(uint64_t rows, double ops, bool resident = false) {
+  FragmentProfile p;
+  p.rows = rows;
+  p.bytes_in = rows * 8;
+  p.bytes_out = rows * 8;
+  p.ops_per_row = ops;
+  p.inputs_resident = resident;
+  return p;
+}
+
+TEST(PlacementTest, TinyFragmentsStayOnCpu) {
+  AdaptivePlacer placer(GpuDeviceParams{});
+  // 1k rows: launch overhead dominates any GPU gain.
+  auto d = placer.Decide(Fragment(1000, 2.0));
+  EXPECT_EQ(d.device, Device::kCpu);
+  EXPECT_LT(d.est_cpu_s, d.est_gpu_s);
+}
+
+TEST(PlacementTest, LargeComputeHeavyFragmentsGoToGpu) {
+  AdaptivePlacer placer(GpuDeviceParams{});
+  auto d = placer.Decide(Fragment(100'000'000, 50.0, /*resident=*/true));
+  EXPECT_EQ(d.device, Device::kGpu);
+}
+
+TEST(PlacementTest, CrossoverExistsInSizeSweep) {
+  AdaptivePlacer placer(GpuDeviceParams{});
+  Device first = placer.Decide(Fragment(1000, 8.0, true)).device;
+  Device last = placer.Decide(Fragment(500'000'000, 8.0, true)).device;
+  EXPECT_EQ(first, Device::kCpu);
+  EXPECT_EQ(last, Device::kGpu);
+  // The decision must flip exactly once as size grows.
+  int flips = 0;
+  Device prev = first;
+  for (uint64_t rows = 1000; rows <= 500'000'000; rows *= 4) {
+    Device d = placer.Decide(Fragment(rows, 8.0, true)).device;
+    if (d != prev) {
+      ++flips;
+      prev = d;
+    }
+  }
+  EXPECT_EQ(flips, 1);
+}
+
+TEST(PlacementTest, ResidencyShiftsCrossoverEarlier) {
+  AdaptivePlacer placer(GpuDeviceParams{});
+  // Find smallest size where GPU wins, with and without resident inputs.
+  auto crossover = [&](bool resident) {
+    for (uint64_t rows = 1000; rows <= uint64_t{1} << 34; rows *= 2) {
+      if (placer.Decide(Fragment(rows, 8.0, resident)).device ==
+          Device::kGpu) {
+        return rows;
+      }
+    }
+    return uint64_t{0};
+  };
+  uint64_t with_resident = crossover(true);
+  uint64_t without = crossover(false);
+  ASSERT_NE(with_resident, 0u);
+  ASSERT_NE(without, 0u);
+  EXPECT_LE(with_resident, without);
+}
+
+TEST(PlacementTest, CalibrationCorrectsModel) {
+  AdaptivePlacer placer(GpuDeviceParams{});
+  FragmentProfile p = Fragment(10'000'000, 8.0, true);
+  // Pretend the GPU is consistently 10x slower than modeled.
+  for (int i = 0; i < 20; ++i) {
+    placer.Observe(Device::kGpu, p, placer.EstimateGpuSeconds(p) * 10);
+  }
+  EXPECT_GT(placer.correction(Device::kGpu), 5.0);
+  // A fragment the raw model would place on GPU now goes to CPU.
+  auto d = placer.Decide(p);
+  EXPECT_GT(d.est_gpu_s, placer.EstimateGpuSeconds(p) * 5);
+}
+
+TEST(PlacementTest, DeviceNames) {
+  EXPECT_STREQ(DeviceName(Device::kCpu), "cpu");
+  EXPECT_STREQ(DeviceName(Device::kGpu), "gpu");
+}
+
+}  // namespace
+}  // namespace avm::gpu

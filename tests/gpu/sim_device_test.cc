@@ -1,0 +1,114 @@
+#include "gpu/sim_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace avm::gpu {
+namespace {
+
+TEST(SimDeviceTest, AllocFreeTracksCapacity) {
+  GpuDeviceParams p;
+  p.memory_bytes = 1024;
+  SimGpuDevice dev(p);
+  auto a = dev.Alloc(512);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(dev.allocated_bytes(), 512u);
+  auto b = dev.Alloc(600);
+  EXPECT_TRUE(b.status().code() == StatusCode::kResourceExhausted);
+  ASSERT_TRUE(dev.Free(a.value()).ok());
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  EXPECT_TRUE(dev.Free(a.value()).IsNotFound());
+}
+
+TEST(SimDeviceTest, TransfersMoveDataAndChargeTime) {
+  SimGpuDevice dev;
+  std::vector<int64_t> host(1000);
+  for (int i = 0; i < 1000; ++i) host[i] = i;
+  auto buf = dev.Alloc(1000 * sizeof(int64_t));
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(
+      dev.CopyToDevice(buf.value(), host.data(), 1000 * sizeof(int64_t)).ok());
+  double after_up = dev.clock_seconds();
+  EXPECT_GT(after_up, 0.0);
+  std::vector<int64_t> back(1000, 0);
+  ASSERT_TRUE(
+      dev.CopyToHost(back.data(), buf.value(), 1000 * sizeof(int64_t)).ok());
+  EXPECT_EQ(host, back);
+  EXPECT_GT(dev.clock_seconds(), after_up);
+  EXPECT_GT(dev.timing().transfer_s, 0.0);
+}
+
+TEST(SimDeviceTest, TransferTimeScalesWithBytes) {
+  GpuDeviceParams p;
+  SimGpuDevice dev(p);
+  const double small = dev.PredictTransferSeconds(1 << 10);
+  const double large = dev.PredictTransferSeconds(64 << 20);
+  EXPECT_GT(large, small * 100);
+  // Model: overhead + bytes/bandwidth.
+  EXPECT_NEAR(large,
+              p.launch_overhead_s + (64.0 * (1 << 20)) / p.pcie_bytes_per_s,
+              1e-12);
+}
+
+TEST(SimDeviceTest, LaunchExecutesBodyOverFullRange) {
+  SimGpuDevice dev(GpuDeviceParams{}, &ThreadPool::Global());
+  std::vector<std::atomic<int>> hits(10000);
+  ASSERT_TRUE(dev.Launch(10000, 10000, 1.0,
+                         [&](uint32_t b, uint32_t e) {
+                           for (uint32_t i = b; i < e; ++i) {
+                             hits[i].fetch_add(1);
+                           }
+                         })
+                  .ok());
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(SimDeviceTest, LaunchChargesOverheadEvenForTinyWork) {
+  GpuDeviceParams p;
+  SimGpuDevice dev(p);
+  ASSERT_TRUE(dev.Launch(1, 8, 1.0, [](uint32_t, uint32_t) {}).ok());
+  EXPECT_GE(dev.clock_seconds(), p.launch_overhead_s);
+}
+
+TEST(SimDeviceTest, ComputeBoundVsMemoryBound) {
+  GpuDeviceParams p;
+  SimGpuDevice dev(p);
+  // Memory bound: huge bytes, trivial ops.
+  const double mem = dev.PredictLaunchSeconds(1000, 1 << 30, 0.001);
+  EXPECT_NEAR(mem - p.launch_overhead_s,
+              static_cast<double>(1 << 30) / p.mem_bytes_per_s, 1e-9);
+  // Compute bound: many ops on few bytes.
+  const double comp = dev.PredictLaunchSeconds(1'000'000'000, 8, 100.0);
+  EXPECT_NEAR(comp - p.launch_overhead_s, 1e9 * 100.0 / p.ops_per_s, 1e-6);
+}
+
+TEST(SimDeviceTest, ResetClockZeroes) {
+  SimGpuDevice dev;
+  ASSERT_TRUE(dev.Launch(10, 80, 1.0, [](uint32_t, uint32_t) {}).ok());
+  EXPECT_GT(dev.clock_seconds(), 0.0);
+  dev.ResetClock();
+  EXPECT_EQ(dev.clock_seconds(), 0.0);
+  EXPECT_EQ(dev.timing().Total(), 0.0);
+}
+
+TEST(SimDeviceTest, IntegratedProfileCheaperTransfersSlowerCompute) {
+  GpuDeviceParams discrete;
+  GpuDeviceParams integrated = GpuDeviceParams::Integrated();
+  SimGpuDevice d1(discrete), d2(integrated);
+  EXPECT_LT(d2.PredictTransferSeconds(1 << 20),
+            d1.PredictTransferSeconds(1 << 20));
+  EXPECT_GT(d2.PredictLaunchSeconds(1 << 20, 1 << 23, 4.0),
+            d1.PredictLaunchSeconds(1 << 20, 1 << 23, 4.0));
+}
+
+TEST(SimDeviceTest, OversizeTransferRejected) {
+  SimGpuDevice dev;
+  auto buf = dev.Alloc(16);
+  ASSERT_TRUE(buf.ok());
+  char data[32] = {0};
+  EXPECT_TRUE(dev.CopyToDevice(buf.value(), data, 32).IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace avm::gpu

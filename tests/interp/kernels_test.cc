@@ -1,0 +1,367 @@
+#include "interp/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace avm::interp {
+namespace {
+
+using dsl::ScalarOp;
+
+const KernelRegistry& Reg() { return KernelRegistry::Get(); }
+
+TEST(RegistryTest, ManyKernelsRegistered) {
+  // The "pre-compiled specialized function" cross product must be large —
+  // the paper's point is that engines pre-generate these at build time.
+  EXPECT_GT(Reg().NumRegistered(), 800u);
+}
+
+// ---------------------------------------------------------------------------
+// Binary arithmetic across numeric types, all operand modes, both
+// selectivity variants — differential against scalar C++.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void CheckBinary(ScalarOp op, T (*oracle)(T, T)) {
+  const TypeId t = TypeIdOf<T>::value;
+  Rng rng(static_cast<uint64_t>(op) * 7 + static_cast<uint64_t>(t));
+  const uint32_t n = 333;
+  std::vector<T> a(n), b(n), out(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    a[i] = static_cast<T>(rng.NextInRange(-100, 100));
+    b[i] = static_cast<T>(rng.NextInRange(-100, 100));
+    if (b[i] == 0) b[i] = 1;
+  }
+  // VecVec, non-selective.
+  PrimKernelFn fn = Reg().Binary(op, t, OperandMode::kVecVec, false);
+  ASSERT_NE(fn, nullptr);
+  fn(a.data(), b.data(), out.data(), nullptr, n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], oracle(a[i], b[i])) << "i=" << i;
+  }
+  // VecScalar.
+  fn = Reg().Binary(op, t, OperandMode::kVecScalar, false);
+  fn(a.data(), b.data(), out.data(), nullptr, n);
+  for (uint32_t i = 0; i < n; ++i) ASSERT_EQ(out[i], oracle(a[i], b[0]));
+  // ScalarVec.
+  fn = Reg().Binary(op, t, OperandMode::kScalarVec, false);
+  fn(a.data(), b.data(), out.data(), nullptr, n);
+  for (uint32_t i = 0; i < n; ++i) ASSERT_EQ(out[i], oracle(a[0], b[i]));
+  // Selective: only chosen lanes written.
+  std::vector<sel_t> sel{1, 5, 7, 100, 332};
+  std::vector<T> out2(n, T(99));
+  fn = Reg().Binary(op, t, OperandMode::kVecVec, true);
+  fn(a.data(), b.data(), out2.data(), sel.data(),
+     static_cast<uint32_t>(sel.size()));
+  for (sel_t i : sel) ASSERT_EQ(out2[i], oracle(a[i], b[i]));
+  ASSERT_EQ(out2[0], T(99));  // untouched lane
+}
+
+template <typename T>
+struct Oracles {
+  static T Add(T a, T b) { return static_cast<T>(a + b); }
+  static T Sub(T a, T b) { return static_cast<T>(a - b); }
+  static T Mul(T a, T b) { return static_cast<T>(a * b); }
+  static T Min(T a, T b) { return a < b ? a : b; }
+  static T Max(T a, T b) { return a > b ? a : b; }
+};
+
+template <typename T>
+void CheckAllArith() {
+  CheckBinary<T>(ScalarOp::kAdd, &Oracles<T>::Add);
+  CheckBinary<T>(ScalarOp::kSub, &Oracles<T>::Sub);
+  CheckBinary<T>(ScalarOp::kMul, &Oracles<T>::Mul);
+  CheckBinary<T>(ScalarOp::kMin, &Oracles<T>::Min);
+  CheckBinary<T>(ScalarOp::kMax, &Oracles<T>::Max);
+}
+
+TEST(BinaryKernelTest, I8) { CheckAllArith<int8_t>(); }
+TEST(BinaryKernelTest, I16) { CheckAllArith<int16_t>(); }
+TEST(BinaryKernelTest, I32) { CheckAllArith<int32_t>(); }
+TEST(BinaryKernelTest, I64) { CheckAllArith<int64_t>(); }
+TEST(BinaryKernelTest, F32) { CheckAllArith<float>(); }
+TEST(BinaryKernelTest, F64) { CheckAllArith<double>(); }
+
+TEST(BinaryKernelTest, IntDivisionByZeroYieldsZero) {
+  int64_t a[3] = {10, 7, -4};
+  int64_t b[3] = {2, 0, 0};
+  int64_t out[3];
+  Reg().Binary(ScalarOp::kDiv, TypeId::kI64, OperandMode::kVecVec, false)(
+      a, b, out, nullptr, 3);
+  EXPECT_EQ(out[0], 5);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 0);
+}
+
+TEST(BinaryKernelTest, IntMinDivMinusOneDefined) {
+  int64_t a[1] = {INT64_MIN};
+  int64_t b[1] = {-1};
+  int64_t out[1];
+  Reg().Binary(ScalarOp::kDiv, TypeId::kI64, OperandMode::kVecVec, false)(
+      a, b, out, nullptr, 1);
+  EXPECT_EQ(out[0], INT64_MIN);
+  Reg().Binary(ScalarOp::kMod, TypeId::kI64, OperandMode::kVecVec, false)(
+      a, b, out, nullptr, 1);
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(BinaryKernelTest, OverflowWrapsNotUb) {
+  int32_t a[1] = {INT32_MAX};
+  int32_t b[1] = {1};
+  int32_t out[1];
+  Reg().Binary(ScalarOp::kAdd, TypeId::kI32, OperandMode::kVecVec, false)(
+      a, b, out, nullptr, 1);
+  EXPECT_EQ(out[0], INT32_MIN);
+}
+
+TEST(BinaryKernelTest, ComparisonsProduceBoolBytes) {
+  int64_t a[4] = {1, 5, 5, 9};
+  int64_t b[4] = {5, 5, 5, 5};
+  uint8_t out[4];
+  Reg().Binary(ScalarOp::kLt, TypeId::kI64, OperandMode::kVecVec, false)(
+      a, b, out, nullptr, 4);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 0);
+  Reg().Binary(ScalarOp::kGe, TypeId::kI64, OperandMode::kVecVec, false)(
+      a, b, out, nullptr, 4);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[3], 1);
+}
+
+TEST(BinaryKernelTest, BoolLogic) {
+  uint8_t a[4] = {0, 0, 1, 1};
+  uint8_t b[4] = {0, 1, 0, 1};
+  uint8_t out[4];
+  Reg().Binary(ScalarOp::kAnd, TypeId::kBool, OperandMode::kVecVec, false)(
+      a, b, out, nullptr, 4);
+  EXPECT_EQ(out[3], 1);
+  EXPECT_EQ(out[1], 0);
+  Reg().Binary(ScalarOp::kOr, TypeId::kBool, OperandMode::kVecVec, false)(
+      a, b, out, nullptr, 4);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+}
+
+TEST(BinaryKernelTest, UnsupportedCombosAreNull) {
+  EXPECT_EQ(Reg().Binary(ScalarOp::kAdd, TypeId::kBool,
+                         OperandMode::kVecVec, false),
+            nullptr);
+  EXPECT_EQ(Reg().Binary(ScalarOp::kMod, TypeId::kF64,
+                         OperandMode::kVecVec, false),
+            nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Unary / cast
+// ---------------------------------------------------------------------------
+
+TEST(UnaryKernelTest, NegAbsSqrtHash) {
+  int64_t a[3] = {-5, 0, 7};
+  int64_t out_i[3];
+  Reg().Unary(ScalarOp::kNeg, TypeId::kI64, false)(a, nullptr, out_i, nullptr,
+                                                   3);
+  EXPECT_EQ(out_i[0], 5);
+  EXPECT_EQ(out_i[2], -7);
+  Reg().Unary(ScalarOp::kAbs, TypeId::kI64, false)(a, nullptr, out_i, nullptr,
+                                                   3);
+  EXPECT_EQ(out_i[0], 5);
+  EXPECT_EQ(out_i[2], 7);
+
+  double df[2] = {4.0, 9.0};
+  double out_f[2];
+  Reg().Unary(ScalarOp::kSqrt, TypeId::kF64, false)(df, nullptr, out_f,
+                                                    nullptr, 2);
+  EXPECT_DOUBLE_EQ(out_f[0], 2.0);
+  EXPECT_DOUBLE_EQ(out_f[1], 3.0);
+
+  // sqrt over ints yields doubles.
+  int64_t di[1] = {16};
+  Reg().Unary(ScalarOp::kSqrt, TypeId::kI64, false)(di, nullptr, out_f,
+                                                    nullptr, 1);
+  EXPECT_DOUBLE_EQ(out_f[0], 4.0);
+
+  int64_t h1[2] = {1, 2};
+  int64_t oh[2];
+  Reg().Unary(ScalarOp::kHash, TypeId::kI64, false)(h1, nullptr, oh, nullptr,
+                                                    2);
+  EXPECT_NE(oh[0], oh[1]);
+}
+
+TEST(CastKernelTest, AllPairsRegistered) {
+  for (size_t from = 0; from < kNumTypes; ++from) {
+    for (size_t to = 0; to < kNumTypes; ++to) {
+      EXPECT_NE(Reg().Cast(static_cast<TypeId>(from), static_cast<TypeId>(to),
+                           false),
+                nullptr);
+    }
+  }
+}
+
+TEST(CastKernelTest, NarrowingAndWidening) {
+  int64_t a[3] = {300, -1, 7};
+  int16_t out16[3];
+  Reg().Cast(TypeId::kI64, TypeId::kI16, false)(a, nullptr, out16, nullptr, 3);
+  EXPECT_EQ(out16[0], 300);
+  EXPECT_EQ(out16[1], -1);
+  double outd[3];
+  Reg().Cast(TypeId::kI64, TypeId::kF64, false)(a, nullptr, outd, nullptr, 3);
+  EXPECT_DOUBLE_EQ(outd[0], 300.0);
+}
+
+// ---------------------------------------------------------------------------
+// Filters
+// ---------------------------------------------------------------------------
+
+class FilterVariantTest : public ::testing::TestWithParam<FilterVariant> {};
+
+TEST_P(FilterVariantTest, ScalarRhsSelection) {
+  int64_t v[8] = {5, -1, 7, 0, 9, -3, 2, 10};
+  int64_t c = 2;
+  sel_t sel[8];
+  FilterKernelFn fn =
+      Reg().Filter(ScalarOp::kGt, TypeId::kI64, true, false, GetParam());
+  ASSERT_NE(fn, nullptr);
+  uint32_t count = fn(v, &c, nullptr, 8, sel);
+  ASSERT_EQ(count, 4u);
+  EXPECT_EQ(sel[0], 0u);
+  EXPECT_EQ(sel[1], 2u);
+  EXPECT_EQ(sel[2], 4u);
+  EXPECT_EQ(sel[3], 7u);
+}
+
+TEST_P(FilterVariantTest, ComposesWithInputSelection) {
+  int64_t v[8] = {5, -1, 7, 0, 9, -3, 2, 10};
+  int64_t c = 2;
+  sel_t in_sel[4] = {0, 1, 4, 6};  // candidates
+  sel_t out_sel[8];
+  FilterKernelFn fn =
+      Reg().Filter(ScalarOp::kGt, TypeId::kI64, true, true, GetParam());
+  uint32_t count = fn(v, &c, in_sel, 4, out_sel);
+  ASSERT_EQ(count, 2u);
+  EXPECT_EQ(out_sel[0], 0u);
+  EXPECT_EQ(out_sel[1], 4u);
+}
+
+TEST_P(FilterVariantTest, EmptyAndFull) {
+  int64_t v[4] = {1, 2, 3, 4};
+  int64_t lo = 0, hi = 10;
+  sel_t sel[4];
+  FilterKernelFn fn =
+      Reg().Filter(ScalarOp::kGt, TypeId::kI64, true, false, GetParam());
+  EXPECT_EQ(fn(v, &hi, nullptr, 4, sel), 0u);
+  EXPECT_EQ(fn(v, &lo, nullptr, 4, sel), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, FilterVariantTest,
+                         ::testing::Values(FilterVariant::kBranchless,
+                                           FilterVariant::kBranching));
+
+TEST(FilterTest, VariantsAgreeOnRandomData) {
+  Rng rng(11);
+  std::vector<int32_t> v(2000);
+  for (auto& x : v) x = static_cast<int32_t>(rng.NextInRange(0, 100));
+  int32_t c = 37;
+  std::vector<sel_t> s1(2000), s2(2000);
+  uint32_t c1 = Reg().Filter(ScalarOp::kLe, TypeId::kI32, true, false,
+                             FilterVariant::kBranchless)(v.data(), &c, nullptr,
+                                                         2000, s1.data());
+  uint32_t c2 = Reg().Filter(ScalarOp::kLe, TypeId::kI32, true, false,
+                             FilterVariant::kBranching)(v.data(), &c, nullptr,
+                                                        2000, s2.data());
+  ASSERT_EQ(c1, c2);
+  for (uint32_t i = 0; i < c1; ++i) ASSERT_EQ(s1[i], s2[i]);
+}
+
+TEST(BoolToSelTest, ConvertsBitVector) {
+  uint8_t b[6] = {1, 0, 0, 1, 1, 0};
+  sel_t sel[6];
+  uint32_t count = Reg().BoolToSel(false)(b, nullptr, nullptr, 6, sel);
+  ASSERT_EQ(count, 3u);
+  EXPECT_EQ(sel[0], 0u);
+  EXPECT_EQ(sel[1], 3u);
+  EXPECT_EQ(sel[2], 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Fold / gather / scatter / condense
+// ---------------------------------------------------------------------------
+
+TEST(FoldKernelTest, SumMinMaxMul) {
+  int64_t v[5] = {3, -1, 7, 2, 2};
+  int64_t acc = 0;
+  Reg().Fold(ScalarOp::kAdd, TypeId::kI64)(v, nullptr, 5, &acc);
+  EXPECT_EQ(acc, 13);
+  acc = INT64_MAX;
+  Reg().Fold(ScalarOp::kMin, TypeId::kI64)(v, nullptr, 5, &acc);
+  EXPECT_EQ(acc, -1);
+  acc = INT64_MIN;
+  Reg().Fold(ScalarOp::kMax, TypeId::kI64)(v, nullptr, 5, &acc);
+  EXPECT_EQ(acc, 7);
+  acc = 1;
+  Reg().Fold(ScalarOp::kMul, TypeId::kI64)(v, nullptr, 5, &acc);
+  EXPECT_EQ(acc, 3 * -1 * 7 * 2 * 2);
+}
+
+TEST(FoldKernelTest, SelectiveFold) {
+  int64_t v[5] = {10, 20, 30, 40, 50};
+  sel_t sel[2] = {1, 3};
+  int64_t acc = 0;
+  Reg().Fold(ScalarOp::kAdd, TypeId::kI64)(v, sel, 2, &acc);
+  EXPECT_EQ(acc, 60);
+}
+
+TEST(GatherKernelTest, GathersByIndex) {
+  double base[5] = {0.5, 1.5, 2.5, 3.5, 4.5};
+  int64_t idx[3] = {4, 0, 2};
+  double out[3];
+  Reg().GatherI64Idx(TypeId::kF64, false)(base, idx, out, nullptr, 3);
+  EXPECT_DOUBLE_EQ(out[0], 4.5);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 2.5);
+}
+
+TEST(ScatterKernelTest, CombineModes) {
+  int64_t base[4] = {0, 0, 0, 100};
+  int64_t idx[3] = {1, 1, 3};
+  int64_t vals[3] = {5, 7, 1};
+  Reg().Scatter(ScalarOp::kAdd, TypeId::kI64)(idx, vals, base, nullptr, 3);
+  EXPECT_EQ(base[1], 12);
+  EXPECT_EQ(base[3], 101);
+  int64_t base2[2] = {50, 50};
+  int64_t idx2[2] = {0, 0};
+  int64_t vals2[2] = {10, 99};
+  // Overwrite combine (kCast sentinel): last write wins.
+  Reg().Scatter(ScalarOp::kCast, TypeId::kI64)(idx2, vals2, base2, nullptr, 2);
+  EXPECT_EQ(base2[0], 99);
+  Reg().Scatter(ScalarOp::kMin, TypeId::kI64)(idx2, vals2, base2, nullptr, 2);
+  EXPECT_EQ(base2[0], 10);
+}
+
+TEST(CondenseKernelTest, MaterializesSelection) {
+  int32_t v[6] = {9, 8, 7, 6, 5, 4};
+  sel_t sel[3] = {1, 3, 5};
+  int32_t out[3];
+  Reg().Condense(TypeId::kI32)(v, nullptr, out, sel, 3);
+  EXPECT_EQ(out[0], 8);
+  EXPECT_EQ(out[1], 6);
+  EXPECT_EQ(out[2], 4);
+}
+
+TEST(KernelTest, ZeroLengthIsNoop) {
+  int64_t v[1] = {1};
+  int64_t out[1] = {42};
+  Reg().Binary(ScalarOp::kAdd, TypeId::kI64, OperandMode::kVecVec, false)(
+      v, v, out, nullptr, 0);
+  EXPECT_EQ(out[0], 42);
+  sel_t sel[1];
+  EXPECT_EQ(Reg().Filter(ScalarOp::kGt, TypeId::kI64, true, false)(
+                v, v, nullptr, 0, sel),
+            0u);
+}
+
+}  // namespace
+}  // namespace avm::interp

@@ -1,0 +1,69 @@
+#include "interp/micro_adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace avm::interp {
+namespace {
+
+TEST(MicroAdaptiveTest, WarmupTriesEveryArm) {
+  MicroAdaptiveChooser c(3);
+  std::set<size_t> tried;
+  for (int i = 0; i < 3; ++i) {
+    size_t arm = c.Choose();
+    tried.insert(arm);
+    c.Observe(arm, 1.0);
+  }
+  EXPECT_EQ(tried.size(), 3u);
+}
+
+TEST(MicroAdaptiveTest, ExploitsCheapestArm) {
+  MicroAdaptiveChooser c(3, /*explore_every=*/0);
+  double costs[3] = {5.0, 1.0, 3.0};
+  for (int i = 0; i < 50; ++i) {
+    size_t arm = c.Choose();
+    c.Observe(arm, costs[arm]);
+  }
+  EXPECT_EQ(c.Best(), 1u);
+  // After warmup, all choices go to arm 1.
+  EXPECT_EQ(c.Choose(), 1u);
+}
+
+TEST(MicroAdaptiveTest, AdaptsWhenCostsDrift) {
+  MicroAdaptiveChooser c(2, /*explore_every=*/8, /*ema_alpha=*/0.5);
+  // Phase 1: arm 0 cheap.
+  for (int i = 0; i < 64; ++i) {
+    size_t arm = c.Choose();
+    c.Observe(arm, arm == 0 ? 1.0 : 4.0);
+  }
+  EXPECT_EQ(c.Best(), 0u);
+  // Phase 2: costs flip; periodic exploration must discover it.
+  for (int i = 0; i < 256; ++i) {
+    size_t arm = c.Choose();
+    c.Observe(arm, arm == 0 ? 4.0 : 1.0);
+  }
+  EXPECT_EQ(c.Best(), 1u);
+}
+
+TEST(MicroAdaptiveTest, TracksSampleCounts) {
+  MicroAdaptiveChooser c(2);
+  c.Observe(0, 2.0);
+  c.Observe(0, 4.0);
+  EXPECT_EQ(c.SamplesOf(0), 2u);
+  EXPECT_EQ(c.SamplesOf(1), 0u);
+  // EMA moved toward the later observation.
+  EXPECT_GT(c.CostOf(0), 2.0);
+  EXPECT_LT(c.CostOf(0), 4.0);
+}
+
+TEST(MicroAdaptiveTest, SingleArmDegenerate) {
+  MicroAdaptiveChooser c(1);
+  EXPECT_EQ(c.Choose(), 0u);
+  c.Observe(0, 1.0);
+  EXPECT_EQ(c.Choose(), 0u);
+  EXPECT_EQ(c.Best(), 0u);
+}
+
+}  // namespace
+}  // namespace avm::interp

@@ -1,0 +1,176 @@
+#include "ir/prim.h"
+
+#include <gtest/gtest.h>
+
+#include "dsl/parser.h"
+#include "dsl/typecheck.h"
+
+namespace avm::ir {
+namespace {
+
+using dsl::Lambda;
+using dsl::Program;
+using dsl::Var;
+
+// Parse a tiny program binding one map, type-check it, and return the
+// (annotated) lambda of the map.
+struct LambdaFixture {
+  Program program;
+  const dsl::Expr* lambda;
+  std::vector<TypeId> input_types;
+};
+
+LambdaFixture MakeLambda(const std::string& lambda_src,
+                         const std::vector<std::pair<std::string, TypeId>>&
+                             inputs) {
+  std::string src;
+  std::string maps = "map (" + lambda_src + ")";
+  for (const auto& [name, t] : inputs) {
+    src += "data " + name + " : " + TypeName(t) + "\n";
+  }
+  src += "mut i\ni := 0\n";
+  std::vector<TypeId> types;
+  for (const auto& [name, t] : inputs) {
+    src += "let v_" + name + " = read i " + name + " in\n";
+    maps += " v_" + name;
+    types.push_back(t);
+  }
+  src += "let out = " + maps + "\n";
+  auto parsed = dsl::ParseProgram(src);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << src;
+  LambdaFixture fx;
+  fx.program = std::move(parsed).value();
+  EXPECT_TRUE(dsl::TypeCheck(&fx.program).ok());
+  const dsl::Stmt& let_out = *fx.program.stmts.back();
+  fx.lambda = let_out.expr->args[0].get();
+  fx.input_types = types;
+  return fx;
+}
+
+TEST(NormalizeTest, HypotSplitsIntoFourPrimitives) {
+  // The §III-A example: sqrt(a² + b²) -> f1, f2, f3, f4.
+  auto fx = MakeLambda(R"(\a b -> sqrt (a*a + b*b))",
+                       {{"xa", TypeId::kF64}, {"xb", TypeId::kF64}});
+  auto prog = Normalize(*fx.lambda, fx.input_types);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_EQ(prog.value().NumInstrs(), 4u);
+  EXPECT_EQ(prog.value().result_type, TypeId::kF64);
+  EXPECT_EQ(prog.value().instrs.back().op, dsl::ScalarOp::kSqrt);
+}
+
+TEST(NormalizeTest, CommonSubexpressionEliminated) {
+  // (x*x) + (x*x) must compute the square once.
+  auto fx = MakeLambda(R"(\x -> x*x + x*x)", {{"d", TypeId::kI64}});
+  auto prog = Normalize(*fx.lambda, fx.input_types);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog.value().NumInstrs(), 2u);  // one mul + one add
+}
+
+TEST(NormalizeTest, IdentityLambdaIsInputPassthrough) {
+  auto fx = MakeLambda(R"(\x -> x)", {{"d", TypeId::kI32}});
+  auto prog = Normalize(*fx.lambda, fx.input_types);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog.value().NumInstrs(), 0u);
+  EXPECT_EQ(prog.value().result_is_input, 0);
+}
+
+TEST(NormalizeTest, ConstantBodyMaterializes) {
+  auto fx = MakeLambda(R"(\x -> 7)", {{"d", TypeId::kI64}});
+  auto prog = Normalize(*fx.lambda, fx.input_types);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog.value().NumInstrs(), 1u);  // materializing copy
+  EXPECT_GE(prog.value().result_reg, 0);
+}
+
+TEST(NormalizeTest, ConstCoercedToNarrowInputType) {
+  // Comparing i32 column against a literal that fits i32: the comparison
+  // runs in i32 (no widening cast instruction).
+  auto fx = MakeLambda(R"(\x -> x <= 10510)", {{"d", TypeId::kI32}});
+  auto prog = Normalize(*fx.lambda, fx.input_types);
+  ASSERT_TRUE(prog.ok());
+  ASSERT_EQ(prog.value().NumInstrs(), 1u);
+  EXPECT_EQ(prog.value().instrs[0].in_type, TypeId::kI32);
+  EXPECT_EQ(prog.value().instrs[0].out_type, TypeId::kBool);
+}
+
+TEST(NormalizeTest, WideConstForcesWideCompare) {
+  auto fx = MakeLambda(R"(\x -> x <= 5000000000)", {{"d", TypeId::kI32}});
+  auto prog = Normalize(*fx.lambda, fx.input_types);
+  ASSERT_TRUE(prog.ok());
+  // The input must be cast up to i64 first.
+  ASSERT_EQ(prog.value().NumInstrs(), 2u);
+  EXPECT_EQ(prog.value().instrs[0].op, dsl::ScalarOp::kCast);
+  EXPECT_EQ(prog.value().instrs[1].in_type, TypeId::kI64);
+}
+
+TEST(NormalizeTest, MixedInputTypesInsertCasts) {
+  auto fx = MakeLambda(R"(\a b -> a + b)",
+                       {{"x", TypeId::kI32}, {"y", TypeId::kI64}});
+  auto prog = Normalize(*fx.lambda, fx.input_types);
+  ASSERT_TRUE(prog.ok());
+  ASSERT_EQ(prog.value().NumInstrs(), 2u);
+  EXPECT_EQ(prog.value().instrs[0].op, dsl::ScalarOp::kCast);
+  EXPECT_EQ(prog.value().instrs[1].in_type, TypeId::kI64);
+}
+
+TEST(NormalizeTest, CapturesRecordedByName) {
+  // `threshold` is a free variable of the lambda, captured from the
+  // enclosing scalar environment.
+  auto parsed = dsl::ParseProgram(R"(
+data d : i64
+mut i
+mut threshold
+i := 0
+threshold := 42
+let v = read i d in
+let out = map (\x -> x > threshold) v
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Program program = std::move(parsed).value();
+  ASSERT_TRUE(dsl::TypeCheck(&program).ok());
+  const dsl::Expr& lambda = *program.stmts.back()->expr->args[0];
+  auto prog = Normalize(lambda, {TypeId::kI64});
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  bool has_capture = false;
+  for (const auto& in : prog.value().instrs) {
+    for (int i = 0; i < in.num_args; ++i) {
+      if (in.args[i].kind == ArgKind::kCapture) {
+        has_capture = true;
+        EXPECT_EQ(in.args[i].name, "threshold");
+      }
+    }
+  }
+  EXPECT_TRUE(has_capture);
+}
+
+TEST(NormalizeTest, ToStringListsInstructions) {
+  auto fx = MakeLambda(R"(\x -> 2*x + 1)", {{"d", TypeId::kI64}});
+  auto prog = Normalize(*fx.lambda, fx.input_types);
+  ASSERT_TRUE(prog.ok());
+  std::string s = prog.value().ToString();
+  EXPECT_NE(s.find("mul_i64"), std::string::npos);
+  EXPECT_NE(s.find("add_i64"), std::string::npos);
+  EXPECT_NE(s.find("result = r"), std::string::npos);
+}
+
+TEST(NormalizeTest, RejectsNonLambda) {
+  auto e = dsl::ConstI(5);
+  EXPECT_FALSE(Normalize(*e, {}).ok());
+}
+
+TEST(NormalizeTest, ArityMismatchRejected) {
+  auto fx = MakeLambda(R"(\x -> x)", {{"d", TypeId::kI64}});
+  EXPECT_FALSE(Normalize(*fx.lambda, {TypeId::kI64, TypeId::kI64}).ok());
+}
+
+TEST(NormalizeTest, CastLambda) {
+  auto fx = MakeLambda(R"(\x -> cast_i16 x)", {{"d", TypeId::kI64}});
+  auto prog = Normalize(*fx.lambda, fx.input_types);
+  ASSERT_TRUE(prog.ok());
+  ASSERT_EQ(prog.value().NumInstrs(), 1u);
+  EXPECT_EQ(prog.value().instrs[0].out_type, TypeId::kI16);
+  EXPECT_EQ(prog.value().result_type, TypeId::kI16);
+}
+
+}  // namespace
+}  // namespace avm::ir

@@ -1,0 +1,168 @@
+#include "jit/codegen.h"
+
+#include <gtest/gtest.h>
+
+#include "dsl/builder.h"
+#include "dsl/typecheck.h"
+
+namespace avm::jit {
+namespace {
+
+struct Fixture {
+  dsl::Program program;
+  ir::DepGraph graph;
+  std::vector<ir::Trace> traces;
+};
+
+Fixture MakeFig2Fixture(bool allow_filter) {
+  Fixture fx;
+  fx.program = dsl::MakeFigure2Program(4096);
+  EXPECT_TRUE(dsl::TypeCheck(&fx.program).ok());
+  auto g = ir::DepGraph::Build(fx.program);
+  EXPECT_TRUE(g.ok());
+  fx.graph = std::move(g).value();
+  ir::PartitionConstraints c;
+  c.allow_filter = allow_filter;
+  fx.traces = ir::GreedyPartition(fx.graph, c);
+  return fx;
+}
+
+TEST(CodegenTest, Fig2TopTraceGenerates) {
+  Fixture fx = MakeFig2Fixture(false);
+  ASSERT_FALSE(fx.traces.empty());
+  auto gen = GenerateTrace(fx.program, fx.graph, fx.traces[0]);
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  const GeneratedTrace& t = gen.value();
+  // The fused loop multiplies by two: the constant must be inlined.
+  EXPECT_NE(t.source.find("extern \"C\""), std::string::npos);
+  EXPECT_NE(t.source.find("2LL"), std::string::npos);
+  EXPECT_FALSE(t.symbol.empty());
+  EXPECT_FALSE(t.covered_stmt_ids.empty());
+  // Reads some_data, writes v, and exposes the escaping values.
+  bool reads_some_data = false;
+  for (const auto& in : t.inputs) {
+    if (in.name == "some_data") {
+      reads_some_data = true;
+      EXPECT_EQ(in.kind, TraceInputSpec::Kind::kDataRead);
+      ASSERT_NE(in.pos_expr, nullptr);
+    }
+  }
+  EXPECT_TRUE(reads_some_data);
+  bool writes_v = false, exposes_a = false;
+  for (const auto& out : t.outputs) {
+    if (out.kind == TraceOutputSpec::Kind::kDataWrite && out.name == "v") {
+      writes_v = true;
+      EXPECT_FALSE(out.condensed);
+    }
+    if (out.kind == TraceOutputSpec::Kind::kArrayVar && out.name == "a") {
+      exposes_a = true;
+    }
+  }
+  EXPECT_TRUE(writes_v);
+  EXPECT_TRUE(exposes_a);
+}
+
+TEST(CodegenTest, FilterTraceEmitsGuardAndCount) {
+  Fixture fx = MakeFig2Fixture(true);
+  // Find a trace containing the filter.
+  const ir::Trace* with_filter = nullptr;
+  for (const auto& t : fx.traces) {
+    for (uint32_t id : t.node_ids) {
+      if (fx.graph.nodes()[id].kind == dsl::SkeletonKind::kFilter) {
+        with_filter = &t;
+      }
+    }
+  }
+  ASSERT_NE(with_filter, nullptr);
+  auto gen = GenerateTrace(fx.program, fx.graph, *with_filter);
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  EXPECT_NE(gen.value().source.find("continue;"), std::string::npos);
+  EXPECT_NE(gen.value().source.find("cnt"), std::string::npos);
+  // The condensed output must be flagged.
+  bool condensed_out = false;
+  for (const auto& o : gen.value().outputs) condensed_out |= o.condensed;
+  EXPECT_TRUE(condensed_out);
+}
+
+TEST(CodegenTest, FilterEscapingTraceRejected) {
+  // A trace holding only {filter} must be rejected: its selection vector
+  // cannot cross the compiled-code boundary.
+  Fixture fx = MakeFig2Fixture(true);
+  int filter_node = -1;
+  for (const auto& n : fx.graph.nodes()) {
+    if (n.kind == dsl::SkeletonKind::kFilter) filter_node = n.id;
+  }
+  ASSERT_GE(filter_node, 0);
+  ir::Trace t;
+  t.node_ids = {static_cast<uint32_t>(filter_node)};
+  t.inputs = {"a"};
+  t.outputs = {"t"};
+  EXPECT_FALSE(GenerateTrace(fx.program, fx.graph, t).ok());
+}
+
+TEST(CodegenTest, CondenseWithoutFilterRejected) {
+  Fixture fx = MakeFig2Fixture(true);
+  int condense_node = -1;
+  for (const auto& n : fx.graph.nodes()) {
+    if (n.kind == dsl::SkeletonKind::kCondense) condense_node = n.id;
+  }
+  ASSERT_GE(condense_node, 0);
+  ir::Trace t;
+  t.node_ids = {static_cast<uint32_t>(condense_node)};
+  t.inputs = {"t"};
+  t.outputs = {"b"};
+  EXPECT_FALSE(GenerateTrace(fx.program, fx.graph, t).ok());
+}
+
+TEST(CodegenTest, SchemeSpecializationEmitsDeltaPath) {
+  Fixture fx = MakeFig2Fixture(false);
+  ASSERT_FALSE(fx.traces.empty());
+  CodegenOptions opts;
+  opts.scheme_specialization["some_data"] = Scheme::kFor;
+  auto gen = GenerateTrace(fx.program, fx.graph, fx.traces[0], opts);
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  // The compressed-execution path adds reference + uint32 delta.
+  EXPECT_NE(gen.value().source.find("uint32_t*)in["), std::string::npos);
+  EXPECT_EQ(gen.value().scheme_requirements.at("some_data"), Scheme::kFor);
+  bool has_ref_capture = false;
+  for (const auto& [name, type] : gen.value().captures_i) {
+    if (name == "__for_ref_some_data") has_ref_capture = true;
+  }
+  EXPECT_TRUE(has_ref_capture);
+  // Input spec switched to delta form.
+  bool delta_input = false;
+  for (const auto& in : gen.value().inputs) {
+    if (in.kind == TraceInputSpec::Kind::kForDeltas) delta_input = true;
+  }
+  EXPECT_TRUE(delta_input);
+}
+
+TEST(CodegenTest, SelLoopAndDenseLoopBothEmitted) {
+  Fixture fx = MakeFig2Fixture(false);
+  auto gen = GenerateTrace(fx.program, fx.graph, fx.traces[0]);
+  ASSERT_TRUE(gen.ok());
+  const std::string& src = gen.value().source;
+  EXPECT_NE(src.find("if (sel != nullptr)"), std::string::npos);
+  EXPECT_NE(src.find("i = sel[j]"), std::string::npos);
+  EXPECT_NE(src.find("for (uint32_t i = 0; i < n; ++i)"), std::string::npos);
+}
+
+TEST(CodegenTest, SymbolsAreContentDeterministic) {
+  // Identical traces generate identical symbols (and identical source), so
+  // the source-JIT cache deduplicates compilation work; a differently
+  // specialized variant gets a different symbol.
+  Fixture fx = MakeFig2Fixture(false);
+  auto a = GenerateTrace(fx.program, fx.graph, fx.traces[0]);
+  auto b = GenerateTrace(fx.program, fx.graph, fx.traces[0]);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().symbol, b.value().symbol);
+  EXPECT_EQ(a.value().source, b.value().source);
+  CodegenOptions opts;
+  opts.scheme_specialization["some_data"] = Scheme::kFor;
+  auto c = GenerateTrace(fx.program, fx.graph, fx.traces[0], opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.value().symbol, c.value().symbol);
+}
+
+}  // namespace
+}  // namespace avm::jit

@@ -1,0 +1,281 @@
+// Differential tests: programs executed with JIT-compiled traces injected
+// must produce byte-identical results to pure vectorized interpretation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsl/builder.h"
+#include "util/rng.h"
+#include "dsl/typecheck.h"
+#include "interp/interpreter.h"
+#include "jit/trace_compiler.h"
+
+namespace avm::jit {
+namespace {
+
+using interp::DataBinding;
+using interp::Interpreter;
+
+struct CompiledFixture {
+  dsl::Program program;
+  ir::DepGraph graph;
+  std::vector<CompiledTrace> compiled;
+};
+
+Result<CompiledFixture> Compile(dsl::Program program, bool allow_filter,
+                                const CodegenOptions& cg = {}) {
+  CompiledFixture fx;
+  fx.program = std::move(program);
+  AVM_RETURN_NOT_OK(dsl::TypeCheck(&fx.program));
+  AVM_ASSIGN_OR_RETURN(fx.graph, ir::DepGraph::Build(fx.program));
+  ir::PartitionConstraints c;
+  c.allow_filter = allow_filter;
+  auto traces = ir::GreedyPartition(fx.graph, c);
+  for (const auto& t : traces) {
+    auto compiled =
+        CompileTrace(fx.program, fx.graph, t, SourceJit::Global(), cg);
+    if (compiled.ok()) fx.compiled.push_back(std::move(compiled).value());
+  }
+  return fx;
+}
+
+TEST(JitExecTest, Figure2CompiledMatchesInterpreted) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  const int64_t kN = 8192;
+  std::vector<int64_t> data(kN);
+  for (int64_t i = 0; i < kN; ++i) data[i] = (i % 7) - 3;
+
+  auto run = [&](bool inject, std::vector<int64_t>* v,
+                 std::vector<int64_t>* w) -> uint64_t {
+    auto fx = Compile(dsl::MakeFigure2Program(kN), /*allow_filter=*/true);
+    EXPECT_TRUE(fx.ok()) << fx.status().ToString();
+    EXPECT_FALSE(fx.value().compiled.empty());
+    Interpreter in(&fx.value().program);
+    EXPECT_TRUE(in.BindData("some_data", DataBinding::Raw(TypeId::kI64,
+                                                          data.data(), kN))
+                    .ok());
+    EXPECT_TRUE(in.BindData("v", DataBinding::Raw(TypeId::kI64, v->data(), kN,
+                                                  true))
+                    .ok());
+    EXPECT_TRUE(in.BindData("w", DataBinding::Raw(TypeId::kI64, w->data(), kN,
+                                                  true))
+                    .ok());
+    uint64_t runs = 0;
+    if (inject) {
+      for (const auto& ct : fx.value().compiled) {
+        in.AddInjection(MakeInjection(ct, in.chunk_size()));
+      }
+    }
+    EXPECT_TRUE(in.Run().ok());
+    for (const auto& tr : in.injections()) runs += tr.invocations;
+    return runs;
+  };
+
+  std::vector<int64_t> v1(kN, -1), w1(kN, -1), v2(kN, -1), w2(kN, -1);
+  run(false, &v1, &w1);
+  uint64_t injected_runs = run(true, &v2, &w2);
+  EXPECT_GT(injected_runs, 0u);
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(JitExecTest, MapPipelineCompiled) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  const int64_t kN = 5000;
+  auto program = dsl::MakeMapPipeline(
+      TypeId::kI64,
+      dsl::Lambda({"x"}, (dsl::Var("x") * dsl::ConstI(3)) + dsl::ConstI(11)),
+      kN);
+  auto fx = Compile(std::move(program), false);
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+  ASSERT_FALSE(fx.value().compiled.empty());
+
+  std::vector<int64_t> data(kN), out(kN, 0);
+  for (int64_t i = 0; i < kN; ++i) data[i] = i - 1234;
+  Interpreter in(&fx.value().program);
+  ASSERT_TRUE(
+      in.BindData("src", DataBinding::Raw(TypeId::kI64, data.data(), kN)).ok());
+  ASSERT_TRUE(
+      in.BindData("out", DataBinding::Raw(TypeId::kI64, out.data(), kN, true))
+          .ok());
+  for (const auto& ct : fx.value().compiled) {
+    in.AddInjection(MakeInjection(ct, in.chunk_size()));
+  }
+  ASSERT_TRUE(in.Run().ok());
+  for (int64_t i = 0; i < kN; ++i) ASSERT_EQ(out[i], data[i] * 3 + 11);
+}
+
+TEST(JitExecTest, HypotPipelineCompiledFloats) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  const int64_t kN = 3000;
+  auto fx = Compile(dsl::MakeHypotPipeline(kN), false);
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+  ASSERT_FALSE(fx.value().compiled.empty());
+  std::vector<double> a(kN), b(kN), out(kN);
+  for (int i = 0; i < kN; ++i) {
+    a[i] = i * 0.5;
+    b[i] = (kN - i) * 0.25;
+  }
+  Interpreter in(&fx.value().program);
+  ASSERT_TRUE(
+      in.BindData("a", DataBinding::Raw(TypeId::kF64, a.data(), kN)).ok());
+  ASSERT_TRUE(
+      in.BindData("b", DataBinding::Raw(TypeId::kF64, b.data(), kN)).ok());
+  ASSERT_TRUE(
+      in.BindData("out", DataBinding::Raw(TypeId::kF64, out.data(), kN, true))
+          .ok());
+  for (const auto& ct : fx.value().compiled) {
+    in.AddInjection(MakeInjection(ct, in.chunk_size()));
+  }
+  ASSERT_TRUE(in.Run().ok());
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_NEAR(out[i], std::sqrt(a[i] * a[i] + b[i] * b[i]), 1e-9);
+  }
+}
+
+TEST(JitExecTest, FoldTraceSetsScalarBinding) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  const int64_t kN = 4096;
+  auto fx = Compile(dsl::MakeSumPipeline(TypeId::kI64, kN), false);
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+  std::vector<int64_t> data(kN);
+  int64_t expect = 0;
+  for (int64_t i = 0; i < kN; ++i) {
+    data[i] = i * 7 - 5;
+    expect += data[i];
+  }
+  int64_t out[1] = {0};
+  Interpreter in(&fx.value().program);
+  ASSERT_TRUE(
+      in.BindData("src", DataBinding::Raw(TypeId::kI64, data.data(), kN)).ok());
+  ASSERT_TRUE(
+      in.BindData("out", DataBinding::Raw(TypeId::kI64, out, 1, true)).ok());
+  uint64_t injected = 0;
+  for (const auto& ct : fx.value().compiled) {
+    in.AddInjection(MakeInjection(ct, in.chunk_size()));
+    ++injected;
+  }
+  ASSERT_TRUE(in.Run().ok());
+  EXPECT_EQ(out[0], expect);
+  if (injected > 0) {
+    uint64_t runs = 0;
+    for (const auto& tr : in.injections()) runs += tr.invocations;
+    EXPECT_GT(runs, 0u);
+  }
+}
+
+TEST(JitExecTest, ForSpecializedTraceOnCompressedColumn) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  const uint32_t kN = 65536;  // exactly one FOR block at default block size
+  Column col(TypeId::kI64, kDefaultBlockSize);
+  std::vector<int64_t> data(kN);
+  Rng rng(55);
+  for (auto& x : data) x = 1000 + static_cast<int64_t>(rng.NextBounded(512));
+  ASSERT_TRUE(col.AppendValues(data.data(), kN).ok());
+  ASSERT_EQ(col.block(0).scheme, Scheme::kFor);
+
+  CodegenOptions cg;
+  cg.scheme_specialization["src"] = Scheme::kFor;
+  auto fx = Compile(
+      dsl::MakeMapPipeline(TypeId::kI64,
+                           dsl::Lambda({"x"}, dsl::Var("x") * dsl::ConstI(2)),
+                           kN),
+      false, cg);
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+  ASSERT_FALSE(fx.value().compiled.empty());
+
+  std::vector<int64_t> out(kN, 0);
+  Interpreter in(&fx.value().program);
+  ASSERT_TRUE(in.BindData("src", DataBinding::FromColumn(&col)).ok());
+  ASSERT_TRUE(
+      in.BindData("out", DataBinding::Raw(TypeId::kI64, out.data(), kN, true))
+          .ok());
+  for (const auto& ct : fx.value().compiled) {
+    in.AddInjection(MakeInjection(ct, in.chunk_size()));
+  }
+  ASSERT_TRUE(in.Run().ok());
+  for (uint32_t i = 0; i < kN; ++i) ASSERT_EQ(out[i], data[i] * 2);
+  uint64_t runs = 0;
+  for (const auto& tr : in.injections()) runs += tr.invocations;
+  EXPECT_GT(runs, 0u);
+}
+
+TEST(JitExecTest, SchemeMismatchFallsBackToInterpretation) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  // Column with a PLAIN block: the FOR-specialized trace must not run.
+  const uint32_t kN = 4096;
+  Column col(TypeId::kI64, kN);
+  std::vector<int64_t> data(kN);
+  Rng rng(66);
+  for (auto& x : data) {
+    x = static_cast<int64_t>(rng.Next());  // wide values: Plain
+  }
+  ASSERT_TRUE(
+      col.AppendBlockWithScheme(Scheme::kPlain, data.data(), kN).ok());
+
+  CodegenOptions cg;
+  cg.scheme_specialization["src"] = Scheme::kFor;
+  auto fx = Compile(
+      dsl::MakeMapPipeline(TypeId::kI64,
+                           dsl::Lambda({"x"}, dsl::Var("x") + dsl::ConstI(1)),
+                           kN),
+      false, cg);
+  ASSERT_TRUE(fx.ok());
+  std::vector<int64_t> out(kN, 0);
+  Interpreter in(&fx.value().program);
+  ASSERT_TRUE(in.BindData("src", DataBinding::FromColumn(&col)).ok());
+  ASSERT_TRUE(
+      in.BindData("out", DataBinding::Raw(TypeId::kI64, out.data(), kN, true))
+          .ok());
+  for (const auto& ct : fx.value().compiled) {
+    in.AddInjection(MakeInjection(ct, in.chunk_size()));
+  }
+  ASSERT_TRUE(in.Run().ok());
+  // Results still correct (interpreted), compiled trace never invoked.
+  for (uint32_t i = 0; i < kN; ++i) ASSERT_EQ(out[i], data[i] + 1);
+  for (const auto& tr : in.injections()) {
+    EXPECT_EQ(tr.invocations, 0u);
+    EXPECT_GT(tr.fallbacks, 0u);
+  }
+}
+
+TEST(JitExecTest, FilterPipelineCompiledWithCondense) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  const int64_t kN = 6000;
+  auto fx = Compile(
+      dsl::MakeFilterPipeline(
+          TypeId::kI64,
+          dsl::Lambda({"x"}, dsl::Call(dsl::ScalarOp::kGt,
+                                       {dsl::Var("x"), dsl::ConstI(50)})),
+          kN),
+      /*allow_filter=*/true);
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+  ASSERT_FALSE(fx.value().compiled.empty());
+  std::vector<int64_t> data(kN), out(kN, -7);
+  for (int64_t i = 0; i < kN; ++i) data[i] = i % 100;
+  Interpreter in(&fx.value().program);
+  ASSERT_TRUE(
+      in.BindData("src", DataBinding::Raw(TypeId::kI64, data.data(), kN)).ok());
+  ASSERT_TRUE(
+      in.BindData("out", DataBinding::Raw(TypeId::kI64, out.data(), kN, true))
+          .ok());
+  for (const auto& ct : fx.value().compiled) {
+    in.AddInjection(MakeInjection(ct, in.chunk_size()));
+  }
+  ASSERT_TRUE(in.Run().ok());
+  // Expected: all values > 50, in order.
+  std::vector<int64_t> expect;
+  for (int64_t i = 0; i < kN; ++i) {
+    if (data[i] > 50) expect.push_back(data[i]);
+  }
+  auto k = in.GetScalar("k");
+  ASSERT_TRUE(k.ok());
+  ASSERT_EQ(k.value().AsI64(), static_cast<int64_t>(expect.size()));
+  for (size_t i = 0; i < expect.size(); ++i) ASSERT_EQ(out[i], expect[i]);
+  uint64_t runs = 0;
+  for (const auto& tr : in.injections()) runs += tr.invocations;
+  EXPECT_GT(runs, 0u);
+}
+
+}  // namespace
+}  // namespace avm::jit

@@ -1,0 +1,62 @@
+#include "jit/source_jit.h"
+
+#include <gtest/gtest.h>
+
+namespace avm::jit {
+namespace {
+
+constexpr const char* kAddSource = R"(
+extern "C" long avm_test_add(long a, long b) { return a + b; }
+)";
+
+TEST(SourceJitTest, CompilerAvailableInBuildEnvironment) {
+  // The build environment compiled this test, so a compiler must exist.
+  EXPECT_TRUE(SourceJit::Available());
+}
+
+TEST(SourceJitTest, CompilesAndRuns) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  SourceJit jit;
+  auto sym = jit.CompileAndLoad(kAddSource, "avm_test_add");
+  ASSERT_TRUE(sym.ok()) << sym.status().ToString();
+  auto fn = reinterpret_cast<long (*)(long, long)>(sym.value());
+  EXPECT_EQ(fn(20, 22), 42);
+  EXPECT_EQ(jit.stats().compilations, 1u);
+  EXPECT_GT(jit.stats().total_compile_seconds, 0.0);
+}
+
+TEST(SourceJitTest, CachesIdenticalSource) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  SourceJit jit;
+  auto a = jit.CompileAndLoad(kAddSource, "avm_test_add");
+  auto b = jit.CompileAndLoad(kAddSource, "avm_test_add");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(jit.stats().compilations, 1u);
+  EXPECT_EQ(jit.stats().cache_hits, 1u);
+}
+
+TEST(SourceJitTest, ReportsCompileErrors) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  SourceJit jit;
+  auto r = jit.CompileAndLoad("this is not C++;", "nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCompilationError());
+  EXPECT_FALSE(r.status().message().empty());
+}
+
+TEST(SourceJitTest, MissingSymbolRejected) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  SourceJit jit;
+  auto r = jit.CompileAndLoad("extern \"C\" void something_else() {}\n",
+                              "wrong_name");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCompilationError());
+}
+
+TEST(SourceJitTest, GlobalIsSingleton) {
+  EXPECT_EQ(&SourceJit::Global(), &SourceJit::Global());
+}
+
+}  // namespace
+}  // namespace avm::jit

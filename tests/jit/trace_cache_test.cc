@@ -1,0 +1,85 @@
+#include "jit/trace_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace avm::jit {
+namespace {
+
+TEST(SelectivityBucketTest, Buckets) {
+  EXPECT_EQ(BucketOf(0.01), SelectivityBucket::kLow);
+  EXPECT_EQ(BucketOf(0.5), SelectivityBucket::kMid);
+  EXPECT_EQ(BucketOf(0.99), SelectivityBucket::kHigh);
+  EXPECT_STREQ(BucketName(SelectivityBucket::kLow), "low");
+}
+
+TEST(SituationTest, KeyDependsOnEveryComponent) {
+  Situation base;
+  base.trace_fingerprint = 123;
+  base.schemes["col"] = Scheme::kFor;
+  base.selectivity = SelectivityBucket::kMid;
+
+  Situation other = base;
+  other.trace_fingerprint = 124;
+  EXPECT_NE(base.Key(), other.Key());
+
+  other = base;
+  other.schemes["col"] = Scheme::kPlain;
+  EXPECT_NE(base.Key(), other.Key());
+
+  other = base;
+  other.schemes["col2"] = Scheme::kRle;
+  EXPECT_NE(base.Key(), other.Key());
+
+  other = base;
+  other.selectivity = SelectivityBucket::kHigh;
+  EXPECT_NE(base.Key(), other.Key());
+
+  EXPECT_EQ(base.Key(), base.Key());
+}
+
+TEST(SituationTest, ToStringHumanReadable) {
+  Situation s;
+  s.trace_fingerprint = 42;
+  s.schemes["price"] = Scheme::kFor;
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("price=for"), std::string::npos);
+}
+
+TEST(TraceCacheTest, InsertFindHitMissCounters) {
+  TraceCache cache;
+  Situation a;
+  a.trace_fingerprint = 1;
+  Situation b;
+  b.trace_fingerprint = 2;
+
+  EXPECT_EQ(cache.Find(a), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  CompiledTrace t;
+  t.meta.name = "trace-a";
+  cache.Insert(a, std::move(t));
+  const CompiledTrace* found = cache.Find(a);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->meta.name, "trace-a");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.Find(b), nullptr);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TraceCacheTest, OverwriteSameSituation) {
+  TraceCache cache;
+  Situation s;
+  s.trace_fingerprint = 9;
+  CompiledTrace t1;
+  t1.meta.name = "v1";
+  CompiledTrace t2;
+  t2.meta.name = "v2";
+  cache.Insert(s, std::move(t1));
+  cache.Insert(s, std::move(t2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Find(s)->meta.name, "v2");
+}
+
+}  // namespace
+}  // namespace avm::jit

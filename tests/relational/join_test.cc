@@ -1,0 +1,160 @@
+#include "relational/join.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace avm::relational {
+namespace {
+
+TEST(HashSetTest, InsertContains) {
+  HashSetI64 set;
+  for (int64_t k : {5, -7, 0, 123456789}) set.Insert(k);
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_TRUE(set.Contains(-7));
+  EXPECT_FALSE(set.Contains(6));
+  set.Insert(5);  // duplicate
+  EXPECT_EQ(set.size(), 4u);
+}
+
+TEST(HashSetTest, GrowsUnderLoad) {
+  HashSetI64 set(4);
+  Rng rng(1);
+  std::set<int64_t> oracle;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t k = rng.NextInRange(-100000, 100000);
+    set.Insert(k);
+    oracle.insert(k);
+  }
+  EXPECT_EQ(set.size(), oracle.size());
+  for (int64_t k : oracle) ASSERT_TRUE(set.Contains(k));
+  EXPECT_FALSE(set.Contains(999999));
+}
+
+TEST(HashSetTest, ProbeSelProducesSelectionVector) {
+  HashSetI64 set;
+  set.Insert(10);
+  set.Insert(30);
+  int64_t keys[5] = {10, 20, 30, 40, 10};
+  sel_t out[5];
+  uint32_t n = set.ProbeSel(keys, nullptr, 5, out);
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 2u);
+  EXPECT_EQ(out[2], 4u);
+  // Composed with an input selection.
+  sel_t in_sel[3] = {1, 2, 3};
+  n = set.ProbeSel(keys, in_sel, 3, out);
+  ASSERT_EQ(n, 1u);
+  EXPECT_EQ(out[0], 2u);
+}
+
+TEST(HashJoinTest, ProbeReturnsPayloadRows) {
+  HashJoinI64 join;
+  join.Insert(100, 7);
+  join.Insert(200, 8);
+  int64_t keys[4] = {200, 300, 100, 100};
+  sel_t pos[4];
+  uint32_t rows[4];
+  uint32_t n = join.Probe(keys, nullptr, 4, pos, rows);
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(pos[0], 0u);
+  EXPECT_EQ(rows[0], 8u);
+  EXPECT_EQ(pos[1], 2u);
+  EXPECT_EQ(rows[1], 7u);
+}
+
+TEST(HashJoinTest, GrowKeepsEntries) {
+  HashJoinI64 join(2);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    join.Insert(static_cast<int64_t>(i) * 3, i);
+  }
+  EXPECT_EQ(join.size(), 5000u);
+  int64_t key = 4500 * 3;
+  sel_t pos[1];
+  uint32_t row[1];
+  ASSERT_EQ(join.Probe(&key, nullptr, 1, pos, row), 1u);
+  EXPECT_EQ(row[0], 4500u);
+}
+
+TEST(SemijoinChainTest, FixedOrderCorrectness) {
+  HashSetI64 f0, f1;
+  for (int64_t k = 0; k < 100; k += 2) f0.Insert(k);  // evens
+  for (int64_t k = 0; k < 100; k += 3) f1.Insert(k);  // multiples of 3
+  AdaptiveSemijoinChain chain({&f0, &f1},
+                              AdaptiveSemijoinChain::OrderPolicy::kFixed);
+  std::vector<int64_t> keys(100);
+  for (int i = 0; i < 100; ++i) keys[i] = i;
+  std::vector<sel_t> out(100), scratch(100);
+  // Both filters probe the same column here.
+  uint32_t n = chain.FilterChunk({keys.data(), keys.data()}, 100, out.data(),
+                                 scratch.data());
+  // Survivors: multiples of 6.
+  ASSERT_EQ(n, 17u);
+  for (uint32_t j = 0; j < n; ++j) EXPECT_EQ(out[j] % 6, 0u);
+}
+
+TEST(SemijoinChainTest, AdaptiveReordersBySelectivity) {
+  // Filter 0 keeps nearly everything; filter 1 keeps almost nothing.
+  HashSetI64 keep_most, keep_few;
+  for (int64_t k = 0; k < 1000; ++k) {
+    if (k % 100 != 0) keep_most.Insert(k);  // 99%
+    if (k < 10) keep_few.Insert(k);         // 1%
+  }
+  AdaptiveSemijoinChain chain({&keep_most, &keep_few},
+                              AdaptiveSemijoinChain::OrderPolicy::kAdaptive);
+  Rng rng(3);
+  std::vector<int64_t> keys(1024);
+  std::vector<sel_t> out(1024), scratch(1024);
+  for (int chunk = 0; chunk < 64; ++chunk) {
+    for (auto& k : keys) k = rng.NextInRange(0, 999);
+    chain.FilterChunk({keys.data(), keys.data()}, 1024, out.data(),
+                      scratch.data());
+  }
+  // The selective filter must have moved first.
+  EXPECT_EQ(chain.CurrentOrder()[0], 1u);
+  EXPECT_GT(chain.resorts(), 0u);
+}
+
+TEST(SemijoinChainTest, AdaptiveMatchesFixedResults) {
+  HashSetI64 f0, f1;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) f0.Insert(rng.NextInRange(0, 2000));
+  for (int i = 0; i < 100; ++i) f1.Insert(rng.NextInRange(0, 2000));
+  std::vector<int64_t> keys(4096);
+  for (auto& k : keys) k = rng.NextInRange(0, 2000);
+
+  AdaptiveSemijoinChain fixed({&f0, &f1},
+                              AdaptiveSemijoinChain::OrderPolicy::kFixed);
+  AdaptiveSemijoinChain adaptive(
+      {&f0, &f1}, AdaptiveSemijoinChain::OrderPolicy::kAdaptive);
+  std::vector<sel_t> out1(4096), out2(4096), scratch(4096);
+  for (int rep = 0; rep < 20; ++rep) {
+    uint32_t n1 = fixed.FilterChunk({keys.data(), keys.data()}, 4096,
+                                    out1.data(), scratch.data());
+    uint32_t n2 = adaptive.FilterChunk({keys.data(), keys.data()}, 4096,
+                                       out2.data(), scratch.data());
+    ASSERT_EQ(n1, n2);
+    std::set<sel_t> s1(out1.begin(), out1.begin() + n1);
+    std::set<sel_t> s2(out2.begin(), out2.begin() + n2);
+    ASSERT_EQ(s1, s2);
+  }
+}
+
+TEST(SemijoinChainTest, EarlyExitOnEmptySelection) {
+  HashSetI64 none, all;
+  for (int64_t k = 0; k < 10; ++k) all.Insert(k);
+  AdaptiveSemijoinChain chain({&none, &all},
+                              AdaptiveSemijoinChain::OrderPolicy::kFixed);
+  std::vector<int64_t> keys{1, 2, 3};
+  std::vector<sel_t> out(3), scratch(3);
+  EXPECT_EQ(chain.FilterChunk({keys.data(), keys.data()}, 3, out.data(),
+                              scratch.data()),
+            0u);
+}
+
+}  // namespace
+}  // namespace avm::relational

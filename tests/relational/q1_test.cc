@@ -1,0 +1,119 @@
+// Differential testing of the Q1 execution strategies (experiment E1's
+// correctness backbone): every strategy must produce bit-identical results.
+#include "relational/q1.h"
+
+#include <gtest/gtest.h>
+
+#include "jit/source_jit.h"
+
+namespace avm::relational {
+namespace {
+
+class Q1Differential : public ::testing::TestWithParam<std::tuple<bool, int>> {
+};
+
+TEST_P(Q1Differential, AllStrategiesAgree) {
+  auto [compress, chunk] = GetParam();
+  LineitemSpec spec;
+  spec.num_rows = 60'000;
+  spec.compress = compress;
+  auto table = MakeLineitem(spec);
+
+  auto oracle = RunQ1Scalar(*table);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  auto vec = RunQ1Vectorized(*table, static_cast<uint32_t>(chunk));
+  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+  EXPECT_EQ(vec.value(), oracle.value()) << "vectorized mismatch";
+
+  auto compact = RunQ1VectorizedCompact(*table, static_cast<uint32_t>(chunk));
+  ASSERT_TRUE(compact.ok()) << compact.status().ToString();
+  EXPECT_EQ(compact.value(), oracle.value()) << "compact mismatch";
+
+  if (jit::SourceJit::Available()) {
+    auto compiled = RunQ1CompiledWholeQuery(*table);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    EXPECT_EQ(compiled.value(), oracle.value()) << "whole-query mismatch";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CompressionAndChunks, Q1Differential,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(512, 1024, 4096)));
+
+TEST(Q1AdaptiveVmTest, InterpretedDslMatchesOracle) {
+  LineitemSpec spec;
+  spec.num_rows = 30'000;
+  auto table = MakeLineitem(spec);
+  auto oracle = RunQ1Scalar(*table);
+  ASSERT_TRUE(oracle.ok());
+
+  vm::VmOptions opts;
+  opts.enable_jit = false;
+  auto run = RunQ1AdaptiveVm(*table, opts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().result, oracle.value());
+}
+
+TEST(Q1AdaptiveVmTest, JitCompiledDslMatchesOracle) {
+  if (!jit::SourceJit::Available()) GTEST_SKIP();
+  LineitemSpec spec;
+  spec.num_rows = 120'000;
+  auto table = MakeLineitem(spec);
+  auto oracle = RunQ1Scalar(*table);
+  ASSERT_TRUE(oracle.ok());
+
+  vm::VmOptions opts;
+  opts.enable_jit = true;
+  opts.optimize_after_iterations = 8;
+  auto run = RunQ1AdaptiveVm(*table, opts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().result, oracle.value());
+  EXPECT_GT(run.value().report.traces_compiled, 0u);
+  EXPECT_GT(run.value().report.injection_runs, 0u);
+}
+
+TEST(Q1Test, GroupStructureMatchesGenerator) {
+  LineitemSpec spec;
+  spec.num_rows = 50'000;
+  auto table = MakeLineitem(spec);
+  auto r = RunQ1Scalar(*table);
+  ASSERT_TRUE(r.ok());
+  // Generator produces flags {A=0, N=1, R=2} x status {O=0, F=1}, but N
+  // only pairs with recent dates and F with old dates: at least 3 live
+  // groups, at most 6.
+  int live = 0;
+  int64_t total_count = 0;
+  for (const auto& g : r.value().groups) {
+    if (g.count > 0) ++live;
+    total_count += g.count;
+  }
+  EXPECT_GE(live, 3);
+  EXPECT_LE(live, 6);
+  // ~98% selectivity on shipdate.
+  EXPECT_GT(total_count, static_cast<int64_t>(spec.num_rows * 0.95));
+  EXPECT_LT(total_count, static_cast<int64_t>(spec.num_rows));
+}
+
+TEST(Q1Test, SumsAreConsistent) {
+  LineitemSpec spec;
+  spec.num_rows = 20'000;
+  auto table = MakeLineitem(spec);
+  auto r = RunQ1Scalar(*table);
+  ASSERT_TRUE(r.ok());
+  for (const auto& g : r.value().groups) {
+    if (g.count == 0) continue;
+    // disc_price = price*(100-disc), disc in [0,10] => between 90x and 100x.
+    EXPECT_GE(g.sum_disc_price, g.sum_base_price * 90);
+    EXPECT_LE(g.sum_disc_price, g.sum_base_price * 100);
+    // charge adds tax in [0,8]%.
+    EXPECT_GE(g.sum_charge, g.sum_disc_price * 100);
+    EXPECT_LE(g.sum_charge, g.sum_disc_price * 108);
+    // quantity in [1, 50].
+    EXPECT_GE(g.sum_qty, g.count);
+    EXPECT_LE(g.sum_qty, g.count * 50);
+  }
+}
+
+}  // namespace
+}  // namespace avm::relational

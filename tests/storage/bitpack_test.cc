@@ -1,0 +1,87 @@
+#include "storage/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace avm {
+namespace {
+
+class BitPackWidthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BitPackWidthTest, RoundTripsRandomValues) {
+  const uint32_t width = GetParam();
+  Rng rng(width + 1);
+  const size_t n = 257;  // odd size exercises straddling boundaries
+  std::vector<uint64_t> values(n);
+  const uint64_t mask =
+      width == 64 ? ~uint64_t{0}
+                  : (width == 0 ? 0 : (uint64_t{1} << width) - 1);
+  for (auto& v : values) v = rng.Next() & mask;
+
+  std::vector<uint8_t> packed;
+  BitPack(values.data(), n, width, &packed);
+  std::vector<uint64_t> decoded(n, 0xdeadbeef);
+  BitUnpack(packed.data(), n, width, decoded.data());
+  EXPECT_EQ(values, decoded) << "width=" << width;
+}
+
+TEST_P(BitPackWidthTest, RandomAccessDecode) {
+  const uint32_t width = GetParam();
+  if (width == 0) return;
+  Rng rng(width * 7 + 3);
+  const size_t n = 100;
+  std::vector<uint64_t> values(n);
+  const uint64_t mask =
+      width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  for (auto& v : values) v = rng.Next() & mask;
+  std::vector<uint8_t> packed;
+  BitPack(values.data(), n, width, &packed);
+  // Decode a middle range only.
+  std::vector<uint64_t> part(20);
+  BitUnpackAt(packed.data(), 37, 20, width, part.data());
+  for (size_t i = 0; i < 20; ++i) EXPECT_EQ(part[i], values[37 + i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackWidthTest,
+                         ::testing::Range(0u, 65u));
+
+TEST(BitPackTest, WidthZeroDecodesZeros) {
+  std::vector<uint8_t> packed;
+  uint64_t v[4] = {0, 0, 0, 0};
+  BitPack(v, 4, 0, &packed);
+  EXPECT_TRUE(packed.empty());
+  uint64_t out[4] = {9, 9, 9, 9};
+  BitUnpack(packed.data(), 4, 0, out);
+  for (uint64_t x : out) EXPECT_EQ(x, 0u);
+}
+
+TEST(BitPackTest, AppendsToExistingBuffer) {
+  std::vector<uint8_t> buf{0xff, 0xee};
+  uint64_t v[2] = {5, 6};
+  BitPack(v, 2, 4, &buf);
+  EXPECT_EQ(buf[0], 0xff);
+  EXPECT_EQ(buf[1], 0xee);
+  uint64_t out[2];
+  BitUnpack(buf.data() + 2, 2, 4, out);
+  EXPECT_EQ(out[0], 5u);
+  EXPECT_EQ(out[1], 6u);
+}
+
+TEST(ZigzagTest, RoundTripsSignedValues) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{123456},
+                    int64_t{-123456}, INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+}
+
+TEST(ZigzagTest, SmallMagnitudesStaySmall) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+  EXPECT_EQ(ZigzagEncode(2), 4u);
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,99 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace avm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad thing");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad thing");
+}
+
+TEST(StatusTest, EveryFactoryProducesMatchingCode) {
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::CompilationError("x").IsCompilationError());
+  EXPECT_TRUE(Status::RuntimeError("x").IsRuntimeError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::RuntimeError("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_TRUE(b.IsRuntimeError());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCompilationError),
+               "Compilation error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(std::move(r).ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+namespace helpers {
+Status Fails() { return Status::OutOfRange("deep"); }
+Status Propagates() {
+  AVM_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+Result<int> ProducesValue() { return 5; }
+Result<int> UsesAssign() {
+  AVM_ASSIGN_OR_RETURN(int v, ProducesValue());
+  return v * 2;
+}
+Result<int> PropagatesFromResult() {
+  AVM_ASSIGN_OR_RETURN(int v, Result<int>(Status::TypeError("t")));
+  return v;
+}
+}  // namespace helpers
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(helpers::Propagates().IsOutOfRange());
+}
+
+TEST(StatusMacrosTest, AssignOrReturnBindsValue) {
+  auto r = helpers::UsesAssign();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 10);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesError) {
+  EXPECT_TRUE(helpers::PropagatesFromResult().status().IsTypeError());
+}
+
+}  // namespace
+}  // namespace avm

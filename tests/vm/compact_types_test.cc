@@ -1,0 +1,111 @@
+#include "vm/compact_types.h"
+
+#include <gtest/gtest.h>
+
+namespace avm::vm {
+namespace {
+
+using dsl::ScalarOp;
+
+TEST(BoundsTest, AddSubMul) {
+  auto r = PropagateBounds(ScalarOp::kAdd, {0, 10}, {5, 20});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo, 5);
+  EXPECT_EQ(r->hi, 30);
+
+  r = PropagateBounds(ScalarOp::kSub, {0, 10}, {5, 20});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo, -20);
+  EXPECT_EQ(r->hi, 5);
+
+  r = PropagateBounds(ScalarOp::kMul, {-3, 4}, {-5, 6});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo, -20);  // 4 * -5
+  EXPECT_EQ(r->hi, 24);   // 4 * 6 (and 15 from -3 * -5 is smaller)
+}
+
+TEST(BoundsTest, Q1DiscPriceFitsI32) {
+  // price in [90000, 10500000], (100 - disc) in [90, 100]:
+  // product <= 1.05e9 < 2^31 — the paper's compact-types win on Q1.
+  auto hundred_minus_disc =
+      PropagateBounds(ScalarOp::kSub, {100, 100}, {0, 10});
+  ASSERT_TRUE(hundred_minus_disc.has_value());
+  auto dp = PropagateBounds(ScalarOp::kMul, {90000, 10500000},
+                            *hundred_minus_disc);
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(CompactTypeFor(*dp), TypeId::kI32);
+  // Charge needs the next multiplication and overflows i32:
+  auto charge = PropagateBounds(ScalarOp::kMul, *dp, {100, 108});
+  ASSERT_TRUE(charge.has_value());
+  EXPECT_EQ(CompactTypeFor(*charge), TypeId::kI64);
+}
+
+TEST(BoundsTest, OverflowDetected) {
+  EXPECT_FALSE(PropagateBounds(ScalarOp::kMul, {0, INT64_MAX / 2},
+                               {0, 4})
+                   .has_value());
+  EXPECT_FALSE(PropagateBounds(ScalarOp::kAdd, {0, INT64_MAX},
+                               {1, 1})
+                   .has_value());
+  EXPECT_FALSE(PropagateBounds(ScalarOp::kNeg, {INT64_MIN, 0},
+                               {0, 0})
+                   .has_value());
+}
+
+TEST(BoundsTest, MinMax) {
+  auto r = PropagateBounds(ScalarOp::kMin, {0, 10}, {-5, 3});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo, -5);
+  EXPECT_EQ(r->hi, 3);
+  r = PropagateBounds(ScalarOp::kMax, {0, 10}, {-5, 3});
+  EXPECT_EQ(r->lo, 0);
+  EXPECT_EQ(r->hi, 10);
+}
+
+TEST(BoundsTest, ComparisonsAreBool01) {
+  auto r = PropagateBounds(ScalarOp::kLt, {0, 10}, {0, 10});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo, 0);
+  EXPECT_EQ(r->hi, 1);
+}
+
+TEST(BoundsTest, AbsAndNeg) {
+  auto r = PropagateBounds(ScalarOp::kAbs, {-7, 3}, {0, 0});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo, 0);
+  EXPECT_EQ(r->hi, 7);
+  r = PropagateBounds(ScalarOp::kNeg, {-7, 3}, {0, 0});
+  EXPECT_EQ(r->lo, -3);
+  EXPECT_EQ(r->hi, 7);
+}
+
+TEST(CompactTypeTest, SmallestType) {
+  EXPECT_EQ(CompactTypeFor({0, 100}), TypeId::kI8);
+  EXPECT_EQ(CompactTypeFor({-200, 100}), TypeId::kI16);
+  EXPECT_EQ(CompactTypeFor({0, 100000}), TypeId::kI32);
+  EXPECT_EQ(CompactTypeFor({0, int64_t{1} << 40}), TypeId::kI64);
+}
+
+TEST(SumAccumulatorTest, WidthGrowsWithCount) {
+  // Values in [1, 50] (quantity): 1000 rows fit i32, billions need i64.
+  auto t = SumAccumulatorType({1, 50}, 1000);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, TypeId::kI32);
+  t = SumAccumulatorType({1, 50}, 100'000'000);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, TypeId::kI64);
+}
+
+TEST(SumAccumulatorTest, OverflowImpossibleDetected) {
+  EXPECT_FALSE(
+      SumAccumulatorType({0, INT64_MAX / 2}, 1000).has_value());
+}
+
+TEST(SumAccumulatorTest, ZeroMagnitude) {
+  auto t = SumAccumulatorType({0, 0}, UINT64_MAX);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, TypeId::kI8);
+}
+
+}  // namespace
+}  // namespace avm::vm

@@ -1,0 +1,138 @@
+#include "vm/preagg.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace avm::vm {
+namespace {
+
+std::map<int64_t, int64_t> Oracle(const std::vector<int64_t>& keys,
+                                  const std::vector<int64_t>& values) {
+  std::map<int64_t, int64_t> m;
+  for (size_t i = 0; i < keys.size(); ++i) m[keys[i]] += values[i];
+  return m;
+}
+
+void CheckAgainstOracle(AdaptiveSumAggregator& agg,
+                        const std::vector<int64_t>& keys,
+                        const std::vector<int64_t>& values) {
+  auto expect = Oracle(keys, values);
+  auto got = agg.Result();
+  ASSERT_EQ(got.size(), expect.size());
+  for (const auto& [k, v] : got) {
+    ASSERT_TRUE(expect.contains(k)) << k;
+    ASSERT_EQ(v, expect[k]) << "key " << k;
+  }
+}
+
+TEST(PreAggTest, SmallDomainUsesArrayPath) {
+  AdaptiveSumAggregator agg;
+  Rng rng(1);
+  std::vector<int64_t> keys(10000), values(10000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int64_t>(rng.NextBounded(6));
+    values[i] = rng.NextInRange(-10, 10);
+  }
+  for (size_t off = 0; off < keys.size(); off += 1024) {
+    uint32_t n = std::min<size_t>(1024, keys.size() - off);
+    ASSERT_TRUE(agg.Consume(keys.data() + off, values.data() + off, n).ok());
+  }
+  EXPECT_TRUE(agg.using_array_path());
+  CheckAgainstOracle(agg, keys, values);
+}
+
+TEST(PreAggTest, LargeDomainSwitchesToHash) {
+  PreAggConfig cfg;
+  cfg.max_direct_key = 256;
+  cfg.decide_every = 2;
+  AdaptiveSumAggregator agg(cfg);
+  Rng rng(2);
+  std::vector<int64_t> keys(20000), values(20000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int64_t>(rng.NextBounded(100000));
+    values[i] = rng.NextInRange(0, 5);
+  }
+  for (size_t off = 0; off < keys.size(); off += 1024) {
+    uint32_t n = std::min<size_t>(1024, keys.size() - off);
+    ASSERT_TRUE(agg.Consume(keys.data() + off, values.data() + off, n).ok());
+  }
+  EXPECT_FALSE(agg.using_array_path());
+  EXPECT_GT(agg.path_switches(), 0u);
+  CheckAgainstOracle(agg, keys, values);
+}
+
+TEST(PreAggTest, NegativeKeysForceHashImmediately) {
+  AdaptiveSumAggregator agg;
+  std::vector<int64_t> keys{-5, 2, -5, 7};
+  std::vector<int64_t> values{1, 2, 3, 4};
+  ASSERT_TRUE(agg.Consume(keys.data(), values.data(), 4).ok());
+  EXPECT_FALSE(agg.using_array_path());
+  CheckAgainstOracle(agg, keys, values);
+}
+
+TEST(PreAggTest, DomainDriftMigratesPartialsCorrectly) {
+  PreAggConfig cfg;
+  cfg.max_direct_key = 64;
+  cfg.decide_every = 1;
+  AdaptiveSumAggregator agg(cfg);
+  Rng rng(3);
+  std::vector<int64_t> keys, values;
+  // Phase 1: small keys (array path).
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back(static_cast<int64_t>(rng.NextBounded(32)));
+    values.push_back(1);
+  }
+  // Phase 2: big keys appear (hash path; migrated partials must survive).
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back(static_cast<int64_t>(rng.NextBounded(100000)));
+    values.push_back(1);
+  }
+  for (size_t off = 0; off < keys.size(); off += 256) {
+    uint32_t n = std::min<size_t>(256, keys.size() - off);
+    ASSERT_TRUE(agg.Consume(keys.data() + off, values.data() + off, n).ok());
+  }
+  CheckAgainstOracle(agg, keys, values);
+}
+
+TEST(PreAggTest, EmptyAggregation) {
+  AdaptiveSumAggregator agg;
+  EXPECT_TRUE(agg.Result().empty());
+}
+
+TEST(PreAggTest, ResultSortedByKey) {
+  AdaptiveSumAggregator agg;
+  std::vector<int64_t> keys{5, 1, 3, 1};
+  std::vector<int64_t> values{1, 1, 1, 1};
+  ASSERT_TRUE(agg.Consume(keys.data(), values.data(), 4).ok());
+  auto r = agg.Result();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].first, 1);
+  EXPECT_EQ(r[0].second, 2);
+  EXPECT_EQ(r[2].first, 5);
+}
+
+TEST(PreAggTest, ManyChunksStressHashGrowth) {
+  PreAggConfig cfg;
+  cfg.max_direct_key = 16;
+  cfg.decide_every = 1;
+  AdaptiveSumAggregator agg(cfg);
+  Rng rng(4);
+  std::vector<int64_t> keys(100000), values(100000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int64_t>(rng.NextBounded(50000));
+    values[i] = 1;
+  }
+  for (size_t off = 0; off < keys.size(); off += 4096) {
+    uint32_t n = std::min<size_t>(4096, keys.size() - off);
+    ASSERT_TRUE(agg.Consume(keys.data() + off, values.data() + off, n).ok());
+  }
+  int64_t total = 0;
+  for (const auto& [k, v] : agg.Result()) total += v;
+  EXPECT_EQ(total, 100000);
+}
+
+}  // namespace
+}  // namespace avm::vm

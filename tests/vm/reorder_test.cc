@@ -1,0 +1,65 @@
+#include "vm/reorder.h"
+
+#include <gtest/gtest.h>
+
+namespace avm::vm {
+namespace {
+
+TEST(ReorderTest, InitialOrderIsIdentity) {
+  SelectiveOpReorderer r(3);
+  EXPECT_EQ(r.Order(), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ReorderTest, MoreSelectiveOpMovesFirst) {
+  SelectiveOpReorderer r(2, /*resort_every=*/4);
+  // Op 0 keeps 90%, op 1 keeps 10% at the same cost: op 1 must go first.
+  for (int i = 0; i < 32; ++i) {
+    r.Observe(0, 1000, 900, 1000);
+    r.Observe(1, 1000, 100, 1000);
+  }
+  EXPECT_EQ(r.Order()[0], 1u);
+  EXPECT_GT(r.resorts(), 0u);
+}
+
+TEST(ReorderTest, CostBalancesSelectivity) {
+  SelectiveOpReorderer r(2, 4);
+  // Op 0: keeps 50% at cost 1; op 1: keeps 40% at cost 100.
+  // Rank 0 = 0.5/1 = 0.5; rank 1 = 0.6/100 = 0.006 -> op 0 first.
+  for (int i = 0; i < 32; ++i) {
+    r.Observe(0, 1000, 500, 1000);
+    r.Observe(1, 1000, 400, 100000);
+  }
+  EXPECT_EQ(r.Order()[0], 0u);
+}
+
+TEST(ReorderTest, AdaptsToDriftingSelectivity) {
+  SelectiveOpReorderer r(2, 4, /*ema_alpha=*/0.5);
+  for (int i = 0; i < 32; ++i) {
+    r.Observe(0, 1000, 100, 1000);  // op 0 selective first
+    r.Observe(1, 1000, 900, 1000);
+  }
+  ASSERT_EQ(r.Order()[0], 0u);
+  // Drift: selectivities swap.
+  for (int i = 0; i < 64; ++i) {
+    r.Observe(0, 1000, 900, 1000);
+    r.Observe(1, 1000, 100, 1000);
+  }
+  EXPECT_EQ(r.Order()[0], 1u);
+}
+
+TEST(ReorderTest, ZeroInputObservationsIgnored) {
+  SelectiveOpReorderer r(2, 1);
+  r.Observe(0, 0, 0, 100);
+  EXPECT_EQ(r.Order(), (std::vector<size_t>{0, 1}));
+}
+
+TEST(ReorderTest, SelectivityAndCostExposed) {
+  SelectiveOpReorderer r(1, 100);
+  r.Observe(0, 100, 25, 400);
+  EXPECT_NEAR(r.SelectivityOf(0), 0.25, 1e-9);
+  EXPECT_NEAR(r.CostOf(0), 4.0, 1e-9);
+  EXPECT_GT(r.RankOf(0), 0.0);
+}
+
+}  // namespace
+}  // namespace avm::vm

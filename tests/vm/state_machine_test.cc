@@ -1,0 +1,54 @@
+#include "vm/state_machine.h"
+
+#include <gtest/gtest.h>
+
+namespace avm::vm {
+namespace {
+
+TEST(StateMachineTest, StartsInterpreting) {
+  StateMachine sm;
+  EXPECT_EQ(sm.state(), VmState::kInterpret);
+  EXPECT_TRUE(sm.transitions().empty());
+}
+
+TEST(StateMachineTest, FullFig1Cycle) {
+  StateMachine sm;
+  EXPECT_TRUE(sm.Advance(VmState::kOptimize, 8));
+  EXPECT_TRUE(sm.Advance(VmState::kGenerateCode, 8));
+  EXPECT_TRUE(sm.Advance(VmState::kInjectFunctions, 8));
+  EXPECT_TRUE(sm.Advance(VmState::kInterpret, 9));
+  EXPECT_EQ(sm.state(), VmState::kInterpret);
+  EXPECT_EQ(sm.transitions().size(), 4u);
+}
+
+TEST(StateMachineTest, IllegalEdgesRejected) {
+  StateMachine sm;
+  EXPECT_FALSE(sm.Advance(VmState::kGenerateCode, 0));   // skip Optimize
+  EXPECT_FALSE(sm.Advance(VmState::kInjectFunctions, 0));
+  EXPECT_TRUE(sm.Advance(VmState::kOptimize, 1));
+  EXPECT_FALSE(sm.Advance(VmState::kInjectFunctions, 1));  // skip GenerateCode
+  EXPECT_FALSE(sm.Advance(VmState::kOptimize, 1));         // self loop
+}
+
+TEST(StateMachineTest, OptimizeCanBailToInterpret) {
+  StateMachine sm;
+  ASSERT_TRUE(sm.Advance(VmState::kOptimize, 5));
+  EXPECT_TRUE(sm.Advance(VmState::kInterpret, 5));
+}
+
+TEST(StateMachineTest, TimelineRendersTransitions) {
+  StateMachine sm;
+  sm.Advance(VmState::kOptimize, 8);
+  sm.Advance(VmState::kGenerateCode, 8);
+  std::string tl = sm.Timeline();
+  EXPECT_NE(tl.find("Interpret -> Optimize"), std::string::npos);
+  EXPECT_NE(tl.find("Optimize -> GenerateCode"), std::string::npos);
+}
+
+TEST(StateMachineTest, StateNames) {
+  EXPECT_STREQ(VmStateName(VmState::kInterpret), "Interpret");
+  EXPECT_STREQ(VmStateName(VmState::kInjectFunctions), "InjectFunctions");
+}
+
+}  // namespace
+}  // namespace avm::vm
