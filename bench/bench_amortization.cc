@@ -6,11 +6,12 @@
 // of the two on both ends and wins overall past the crossover.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "dsl/builder.h"
 #include "dsl/typecheck.h"
+#include "engine/exec_engine.h"
 #include "jit/source_jit.h"
 #include "storage/datagen.h"
-#include "vm/adaptive_vm.h"
 
 namespace {
 
@@ -39,24 +40,20 @@ std::unique_ptr<Pipeline> MakePipeline(int64_t rows, uint64_t salt) {
   return p;
 }
 
-void RunOnce(Pipeline& p, const vm::VmOptions& opts, vm::VmReport* report) {
-  vm::AdaptiveVm vmach(&p.program, opts);
+void RunOnce(Pipeline& p, const engine::EngineOptions& opts,
+             engine::ExecReport* report) {
   const uint64_t n = p.data.size();
-  vmach.interpreter()
-      .BindData("src", DataBinding::Raw(TypeId::kI64, p.data.data(), n))
-      .Abort();
-  vmach.interpreter()
-      .BindData("out", DataBinding::Raw(TypeId::kI64, p.out.data(), n, true))
-      .Abort();
-  vmach.Run().Abort();
-  *report = vmach.Report();
+  engine::ExecContext ctx(&p.program);
+  ctx.BindInput("src", DataBinding::Raw(TypeId::kI64, p.data.data(), n));
+  ctx.BindOutput("out", DataBinding::Raw(TypeId::kI64, p.out.data(), n, true));
+  *report = engine::ExecEngine::Execute(ctx, opts).ValueOrDie();
 }
 
 void BM_Amortize_InterpretOnly(benchmark::State& state) {
   auto p = MakePipeline(state.range(0), 0);
-  vm::VmOptions opts;
-  opts.enable_jit = false;
-  vm::VmReport rep;
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kInterpret;
+  engine::ExecReport rep;
   for (auto _ : state) RunOnce(*p, opts, &rep);
   state.counters["rows/s"] = benchmark::Counter(
       static_cast<double>(state.range(0)) * state.iterations(),
@@ -71,9 +68,10 @@ void BM_Amortize_CompileImmediately(benchmark::State& state) {
     state.SkipWithError("no host compiler");
     return;
   }
-  vm::VmOptions opts;
-  opts.optimize_after_iterations = 1;  // compile on the first heartbeat
-  vm::VmReport rep;
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kAdaptiveJit;
+  opts.vm.optimize_after_iterations = 1;  // compile on the first heartbeat
+  engine::ExecReport rep;
   uint64_t salt = 1000;
   double compile_s = 0;
   for (auto _ : state) {
@@ -99,9 +97,10 @@ void BM_Amortize_Adaptive(benchmark::State& state) {
     state.SkipWithError("no host compiler");
     return;
   }
-  vm::VmOptions opts;
-  opts.optimize_after_iterations = 16;  // interpret short runs entirely
-  vm::VmReport rep;
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kAdaptiveJit;
+  opts.vm.optimize_after_iterations = 16;  // interpret short runs entirely
+  engine::ExecReport rep;
   uint64_t salt = 2'000'000;
   for (auto _ : state) {
     state.PauseTiming();

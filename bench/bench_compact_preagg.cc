@@ -7,6 +7,8 @@
 // follows whichever side wins as the domain grows.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "relational/q1.h"
 #include "storage/datagen.h"
 #include "vm/preagg.h"

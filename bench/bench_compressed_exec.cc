@@ -7,11 +7,11 @@
 // graceful degradation hold (the trace cache stops recompilation).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "dsl/builder.h"
-#include "dsl/typecheck.h"
+#include "engine/exec_engine.h"
 #include "jit/source_jit.h"
 #include "storage/datagen.h"
-#include "vm/adaptive_vm.h"
 
 namespace {
 
@@ -41,37 +41,44 @@ std::unique_ptr<Column> MakeMixedColumn(int plain_per_8) {
 
 void RunVm(benchmark::State& state, const Column& col, bool jit,
            bool specialize) {
-  dsl::Program p = dsl::MakeMapPipeline(
-      TypeId::kI64,
-      dsl::Lambda({"x"}, dsl::Var("x") * dsl::ConstI(3) + dsl::ConstI(1)),
-      kRows);
-  dsl::TypeCheck(&p).Abort();
   std::vector<int64_t> out(kRows);
+  engine::EngineOptions opts;
+  opts.strategy = jit ? engine::ExecutionStrategy::kAdaptiveJit
+                      : engine::ExecutionStrategy::kInterpret;
+  opts.vm.specialize_compression = specialize;
+  opts.vm.optimize_after_iterations = 4;
+  opts.vm.recheck_interval = 16;
   uint64_t fallbacks = 0, runs = 0, compiled = 0;
   for (auto _ : state) {
-    vm::VmOptions opts;
-    opts.enable_jit = jit;
-    opts.specialize_compression = specialize;
-    opts.optimize_after_iterations = 4;
-    opts.recheck_interval = 16;
-    vm::AdaptiveVm vmach(&p, opts);
-    vmach.interpreter().BindData("src", DataBinding::FromColumn(&col)).Abort();
-    vmach.interpreter()
-        .BindData("out",
-                  DataBinding::Raw(TypeId::kI64, out.data(), kRows, true))
-        .Abort();
-    vmach.Run().Abort();
-    auto rep = vmach.Report();
-    fallbacks = rep.injection_fallbacks;
-    runs = rep.injection_runs;
-    compiled = rep.traces_compiled;
+    engine::ExecContext ctx(
+        [](int64_t rows) -> Result<dsl::Program> {
+          return dsl::MakeMapPipeline(
+              TypeId::kI64,
+              dsl::Lambda({"x"},
+                          dsl::Var("x") * dsl::ConstI(3) + dsl::ConstI(1)),
+              rows);
+        },
+        kRows);
+    ctx.BindInputColumn("src", &col);
+    ctx.BindOutput("out",
+                   DataBinding::Raw(TypeId::kI64, out.data(), kRows, true));
+    auto r = engine::ExecEngine::Execute(ctx, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    fallbacks = r.value().injection_fallbacks;
+    runs = r.value().injection_runs;
+    compiled = r.value().traces_compiled;
   }
   state.counters["fallbacks"] = static_cast<double>(fallbacks);
   state.counters["inj_runs"] = static_cast<double>(runs);
   state.counters["traces"] = static_cast<double>(compiled);
-  state.counters["rows/s"] = benchmark::Counter(
-      static_cast<double>(kRows) * state.iterations(),
-      benchmark::Counter::kIsRate);
+  benchutil::ReportTuples(
+      state, kRows,
+      !jit ? "engine-interpret"
+           : (specialize ? "engine-jit-for-specialized"
+                         : "engine-jit-plain-decode"));
 }
 
 // Sweep: number of Plain blocks per 8 (0 = pure FOR ... 8 = pure Plain).

@@ -5,13 +5,16 @@
 // one loop with register-resident temporaries. Expected shape: interpreted
 // cost grows ~linearly with depth; fused cost grows much slower (the loads/
 // stores dominate a simple arithmetic chain).
+//
+// Both variants run through the ExecEngine facade; only the strategy
+// differs.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "dsl/ast.h"
-#include "dsl/typecheck.h"
+#include "engine/exec_engine.h"
 #include "jit/source_jit.h"
 #include "storage/datagen.h"
-#include "vm/adaptive_vm.h"
 
 namespace {
 
@@ -22,7 +25,7 @@ using interp::DataBinding;
 constexpr int64_t kRows = 1 << 20;
 
 // depth separate `let mK = map (\x -> x*3+1) m{K-1}` statements.
-Program MakeChain(int depth) {
+Program MakeChain(int depth, int64_t rows) {
   Program p;
   p.data = {{"src", TypeId::kI64, false}, {"out", TypeId::kI64, true}};
   std::vector<StmtPtr> body;
@@ -40,37 +43,40 @@ Program MakeChain(int depth) {
       {Var("out"), Var("i"), Var("m" + std::to_string(depth))})));
   body.push_back(Assign("i", Var("i") + Skeleton(SkeletonKind::kLen,
                                                  {Var("m0")})));
-  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(kRows)}),
+  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(rows)}),
                     {Break()}));
   p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
   p.AssignIds();
-  TypeCheck(&p).Abort();
   return p;
 }
 
 void RunChain(benchmark::State& state, bool jit) {
-  Program p = MakeChain(static_cast<int>(state.range(0)));
+  const int depth = static_cast<int>(state.range(0));
   DataGen gen(37);
   auto data = gen.UniformI64(kRows, -50, 50);
   std::vector<int64_t> out(kRows);
+  engine::EngineOptions opts;
+  opts.strategy = jit ? engine::ExecutionStrategy::kAdaptiveJit
+                      : engine::ExecutionStrategy::kInterpret;
+  opts.vm.optimize_after_iterations = 2;
+  opts.vm.constraints.max_streams = 16;
   for (auto _ : state) {
-    vm::VmOptions opts;
-    opts.enable_jit = jit;
-    opts.optimize_after_iterations = 2;
-    opts.constraints.max_streams = 16;
-    vm::AdaptiveVm vmach(&p, opts);
-    vmach.interpreter()
-        .BindData("src", DataBinding::Raw(TypeId::kI64, data.data(), kRows))
-        .Abort();
-    vmach.interpreter()
-        .BindData("out",
-                  DataBinding::Raw(TypeId::kI64, out.data(), kRows, true))
-        .Abort();
-    vmach.Run().Abort();
+    engine::ExecContext ctx(
+        [depth](int64_t rows) -> Result<Program> {
+          return MakeChain(depth, rows);
+        },
+        kRows);
+    ctx.BindInput("src", DataBinding::Raw(TypeId::kI64, data.data(), kRows));
+    ctx.BindOutput("out",
+                   DataBinding::Raw(TypeId::kI64, out.data(), kRows, true));
+    auto r = engine::ExecEngine::Execute(ctx, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
   }
-  state.counters["rows/s"] = benchmark::Counter(
-      static_cast<double>(kRows) * state.iterations(),
-      benchmark::Counter::kIsRate);
+  benchutil::ReportTuples(state, kRows,
+                          jit ? "engine-adaptive-jit" : "engine-interpret");
 }
 
 void BM_MapChain_Interpreted(benchmark::State& state) {

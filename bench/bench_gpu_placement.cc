@@ -7,6 +7,8 @@
 // crossover correctly — by a growing margin once columns stay resident.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "gpu/gpu_backend.h"
 #include "gpu/placement.h"
 #include "interp/kernels.h"

@@ -3,13 +3,16 @@
 // chunks of simple work (per-op dispatch amortized over the vector), but
 // pays materialization per primitive; tiny chunks re-expose interpretation
 // overhead, huge chunks spill intermediates out of cache.
+//
+// Both variants run through the ExecEngine facade; only the strategy
+// differs.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "dsl/builder.h"
-#include "dsl/typecheck.h"
+#include "engine/exec_engine.h"
 #include "jit/source_jit.h"
 #include "storage/datagen.h"
-#include "vm/adaptive_vm.h"
 
 namespace {
 
@@ -19,33 +22,36 @@ using interp::DataBinding;
 constexpr int64_t kRows = 1 << 21;
 
 void RunPipeline(benchmark::State& state, bool jit, uint32_t chunk) {
-  dsl::Program p = dsl::MakeMapPipeline(
-      TypeId::kI64,
-      dsl::Lambda({"x"}, (dsl::Var("x") * dsl::ConstI(3) + dsl::ConstI(7)) *
-                             dsl::Var("x")),
-      kRows);
-  dsl::TypeCheck(&p).Abort();
   DataGen gen(41);
   auto data = gen.UniformI64(kRows, -100, 100);
   std::vector<int64_t> out(kRows);
+  engine::EngineOptions opts;
+  opts.strategy = jit ? engine::ExecutionStrategy::kAdaptiveJit
+                      : engine::ExecutionStrategy::kInterpret;
+  opts.vm.interp.chunk_size = chunk;
+  opts.vm.optimize_after_iterations = 2;
   for (auto _ : state) {
-    vm::VmOptions opts;
-    opts.enable_jit = jit;
-    opts.interp.chunk_size = chunk;
-    opts.optimize_after_iterations = 2;
-    vm::AdaptiveVm vmach(&p, opts);
-    vmach.interpreter()
-        .BindData("src", DataBinding::Raw(TypeId::kI64, data.data(), kRows))
-        .Abort();
-    vmach.interpreter()
-        .BindData("out",
-                  DataBinding::Raw(TypeId::kI64, out.data(), kRows, true))
-        .Abort();
-    vmach.Run().Abort();
+    engine::ExecContext ctx(
+        [](int64_t rows) -> Result<dsl::Program> {
+          return dsl::MakeMapPipeline(
+              TypeId::kI64,
+              dsl::Lambda({"x"},
+                          (dsl::Var("x") * dsl::ConstI(3) + dsl::ConstI(7)) *
+                              dsl::Var("x")),
+              rows);
+        },
+        kRows);
+    ctx.BindInput("src", DataBinding::Raw(TypeId::kI64, data.data(), kRows));
+    ctx.BindOutput("out",
+                   DataBinding::Raw(TypeId::kI64, out.data(), kRows, true));
+    auto r = engine::ExecEngine::Execute(ctx, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
   }
-  state.counters["rows/s"] = benchmark::Counter(
-      static_cast<double>(kRows) * state.iterations(),
-      benchmark::Counter::kIsRate);
+  benchutil::ReportTuples(state, kRows,
+                          jit ? "engine-adaptive-jit" : "engine-interpret");
 }
 
 void BM_ChunkSweep_Interpreted(benchmark::State& state) {

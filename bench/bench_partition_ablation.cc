@@ -6,7 +6,14 @@
 // cover the graph and the end-to-end adaptive-VM time. Expected shape:
 // tiny budgets fragment the graph into many small functions (more boundary
 // materialization, slower); generous budgets approach one fused function.
+//
+// NOTE: this microbench deliberately constructs AdaptiveVm below the
+// ExecEngine facade — it measures VM internals (state machine, partitioner)
+// the facade intentionally hides. Application-level code goes through
+// engine::ExecEngine.
 #include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
 
 #include "dsl/ast.h"
 #include "dsl/typecheck.h"

@@ -4,8 +4,13 @@
 // CPU-efficient, but vectorized execution *with adaptive optimizations*
 // (compact data types, pre-aggregation) can beat it; plain DSL
 // interpretation sits in between after the adaptive VM JITs its hot traces.
+//
+// All DSL strategies run through the ExecEngine facade; the *Parallel4
+// variants add morsel-driven parallelism (4 workers, shared trace cache,
+// merged aggregates) on top of the same engine entry point.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "jit/source_jit.h"
 #include "relational/q1.h"
 
@@ -13,6 +18,7 @@ namespace {
 
 using namespace avm;
 using namespace avm::relational;
+using benchutil::ReportTuples;
 
 const Table& SharedLineitem() {
   static std::unique_ptr<Table> table = [] {
@@ -23,20 +29,17 @@ const Table& SharedLineitem() {
   return *table;
 }
 
-void ReportRows(benchmark::State& state, uint64_t rows) {
-  state.counters["rows/s"] = benchmark::Counter(
-      static_cast<double>(rows) * state.iterations(),
-      benchmark::Counter::kIsRate);
-}
-
 void BM_Q1_Scalar(benchmark::State& state) {
   const Table& t = SharedLineitem();
   for (auto _ : state) {
     auto r = RunQ1Scalar(t);
-    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
     benchmark::DoNotOptimize(r.value());
   }
-  ReportRows(state, t.num_rows());
+  ReportTuples(state, t.num_rows(), "scalar");
 }
 BENCHMARK(BM_Q1_Scalar)->Unit(benchmark::kMillisecond);
 
@@ -44,10 +47,13 @@ void BM_Q1_Vectorized(benchmark::State& state) {
   const Table& t = SharedLineitem();
   for (auto _ : state) {
     auto r = RunQ1Vectorized(t, static_cast<uint32_t>(state.range(0)));
-    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
     benchmark::DoNotOptimize(r.value());
   }
-  ReportRows(state, t.num_rows());
+  ReportTuples(state, t.num_rows(), "vectorized");
 }
 BENCHMARK(BM_Q1_Vectorized)->Arg(1024)->Unit(benchmark::kMillisecond);
 
@@ -55,10 +61,13 @@ void BM_Q1_VectorizedCompact(benchmark::State& state) {
   const Table& t = SharedLineitem();
   for (auto _ : state) {
     auto r = RunQ1VectorizedCompact(t, static_cast<uint32_t>(state.range(0)));
-    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
     benchmark::DoNotOptimize(r.value());
   }
-  ReportRows(state, t.num_rows());
+  ReportTuples(state, t.num_rows(), "vectorized-compact");
 }
 BENCHMARK(BM_Q1_VectorizedCompact)->Arg(1024)->Unit(benchmark::kMillisecond);
 
@@ -73,46 +82,84 @@ void BM_Q1_CompiledWholeQuery(benchmark::State& state) {
   RunQ1CompiledWholeQuery(t).ValueOrDie();
   for (auto _ : state) {
     auto r = RunQ1CompiledWholeQuery(t);
-    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
     benchmark::DoNotOptimize(r.value());
   }
-  ReportRows(state, t.num_rows());
+  ReportTuples(state, t.num_rows(), "compiled-whole-query");
 }
 BENCHMARK(BM_Q1_CompiledWholeQuery)->Unit(benchmark::kMillisecond);
 
-void BM_Q1_DslInterpreted(benchmark::State& state) {
-  const Table& t = SharedLineitem();
-  vm::VmOptions opts;
-  opts.enable_jit = false;
-  for (auto _ : state) {
-    auto r = RunQ1AdaptiveVm(t, opts);
-    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
-    benchmark::DoNotOptimize(r.value().result);
-  }
-  ReportRows(state, t.num_rows());
-}
-BENCHMARK(BM_Q1_DslInterpreted)->Unit(benchmark::kMillisecond);
+// --- DSL strategies through the ExecEngine facade -------------------------
 
-void BM_Q1_DslAdaptiveVm(benchmark::State& state) {
-  if (!jit::SourceJit::Available()) {
-    state.SkipWithError("no host compiler");
-    return;
-  }
+void RunEngineBench(benchmark::State& state, engine::EngineOptions opts,
+                    const char* strategy_label) {
   const Table& t = SharedLineitem();
-  vm::VmOptions opts;
-  opts.optimize_after_iterations = 8;
   uint64_t traces = 0, injections = 0;
+  size_t morsels = 0;
   for (auto _ : state) {
-    auto r = RunQ1AdaptiveVm(t, opts);
-    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    auto r = RunQ1Engine(t, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
     traces = r.value().report.traces_compiled;
     injections = r.value().report.injection_runs;
+    morsels = r.value().report.morsels;
     benchmark::DoNotOptimize(r.value().result);
   }
   state.counters["traces"] = static_cast<double>(traces);
   state.counters["injection_runs"] = static_cast<double>(injections);
-  ReportRows(state, t.num_rows());
+  if (morsels > 1) {
+    state.counters["morsels"] = static_cast<double>(morsels);
+  }
+  ReportTuples(state, t.num_rows(), strategy_label);
 }
-BENCHMARK(BM_Q1_DslAdaptiveVm)->Unit(benchmark::kMillisecond);
+
+void BM_Q1_EngineInterpreted(benchmark::State& state) {
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kInterpret;
+  RunEngineBench(state, opts, "engine-interpret");
+}
+BENCHMARK(BM_Q1_EngineInterpreted)->Unit(benchmark::kMillisecond);
+
+void BM_Q1_EngineInterpretedParallel4(benchmark::State& state) {
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kInterpret;
+  opts.num_workers = 4;
+  RunEngineBench(state, opts, "engine-interpret-par4");
+}
+BENCHMARK(BM_Q1_EngineInterpretedParallel4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_Q1_EngineAdaptiveJit(benchmark::State& state) {
+  if (!jit::SourceJit::Available()) {
+    state.SkipWithError("no host compiler");
+    return;
+  }
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kAdaptiveJit;
+  opts.vm.optimize_after_iterations = 8;
+  RunEngineBench(state, opts, "engine-adaptive-jit");
+}
+BENCHMARK(BM_Q1_EngineAdaptiveJit)->Unit(benchmark::kMillisecond);
+
+void BM_Q1_EngineAdaptiveJitParallel4(benchmark::State& state) {
+  if (!jit::SourceJit::Available()) {
+    state.SkipWithError("no host compiler");
+    return;
+  }
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kAdaptiveJit;
+  opts.vm.optimize_after_iterations = 8;
+  opts.num_workers = 4;
+  RunEngineBench(state, opts, "engine-adaptive-jit-par4");
+}
+BENCHMARK(BM_Q1_EngineAdaptiveJitParallel4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace

@@ -6,6 +6,8 @@
 // re-converge after mid-run selectivity drift.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "relational/join.h"
 #include "storage/datagen.h"
 

@@ -6,6 +6,8 @@
 // chooser tracks the winner within a few percent everywhere.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "interp/kernels.h"
 #include "interp/micro_adaptive.h"
 #include "storage/datagen.h"

@@ -2,6 +2,8 @@
 // (the pre-compiled primitive catalogue the interpreter dispatches to).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "interp/kernels.h"
 #include "storage/datagen.h"
 

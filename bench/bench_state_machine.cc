@@ -3,7 +3,14 @@
 // Measures the pure-interpretation baseline against the adaptive VM with
 // profiling + heartbeat but JIT disabled (observation overhead must be a
 // few percent), and prints one state-machine timeline for documentation.
+//
+// NOTE: this microbench deliberately constructs AdaptiveVm below the
+// ExecEngine facade — it measures VM internals (state machine, partitioner)
+// the facade intentionally hides. Application-level code goes through
+// engine::ExecEngine.
 #include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
 
 #include <cstdio>
 

@@ -1,0 +1,128 @@
+// Shared benchmark harness: every bench_* binary includes this header once.
+//
+// It supplies the binary's main(), which runs Google Benchmark as usual and
+// additionally appends one JSON line per benchmark run to BENCH_results.json
+// (override the path with AVM_BENCH_RESULTS, disable with
+// AVM_BENCH_RESULTS=off). Each line carries the fields downstream tooling
+// tracks across PRs:
+//
+//   {"bench": <binary>, "name": <benchmark/args>, "strategy": <label>,
+//    "tuples_per_sec": <double|null>, "ns_per_tuple": <double|null>,
+//    "ms_per_iter": <double>}
+//
+// Benchmarks report throughput via ReportTuples(state, tuples, strategy):
+// it sets the "tuples/s" rate counter (shown on the console) and the
+// strategy label the JSON line is tagged with.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace avm::benchutil {
+
+/// Attach the standard throughput counter and strategy label to a run.
+inline void ReportTuples(benchmark::State& state, uint64_t tuples_per_iter,
+                         const std::string& strategy = "") {
+  state.counters["tuples/s"] = benchmark::Counter(
+      static_cast<double>(tuples_per_iter) * state.iterations(),
+      benchmark::Counter::kIsRate);
+  if (!strategy.empty()) state.SetLabel(strategy);
+}
+
+namespace internal {
+
+struct RunRecord {
+  std::string name;
+  std::string strategy;
+  double tuples_per_sec = -1;  // <0 = absent
+  double ms_per_iter = 0;
+};
+
+/// Console reporter that also collects per-run records for the JSON sink.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      RunRecord rec;
+      rec.name = run.benchmark_name();
+      rec.strategy = run.report_label;
+      rec.ms_per_iter =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations) * 1e3
+              : 0;
+      auto it = run.counters.find("tuples/s");
+      if (it == run.counters.end()) it = run.counters.find("rows/s");
+      if (it != run.counters.end()) rec.tuples_per_sec = it->second.value;
+      records.push_back(std::move(rec));
+    }
+  }
+
+  std::vector<RunRecord> records;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+inline void WriteRecords(const char* binary_name,
+                         const std::vector<RunRecord>& records) {
+  const char* path = std::getenv("AVM_BENCH_RESULTS");
+  if (path != nullptr && std::strcmp(path, "off") == 0) return;
+  if (path == nullptr || *path == '\0') path = "BENCH_results.json";
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_util: cannot open %s for append\n", path);
+    return;
+  }
+  for (const RunRecord& r : records) {
+    std::fprintf(f, "{\"bench\":\"%s\",\"name\":\"%s\",\"strategy\":\"%s\",",
+                 JsonEscape(binary_name).c_str(), JsonEscape(r.name).c_str(),
+                 JsonEscape(r.strategy).c_str());
+    if (r.tuples_per_sec >= 0) {
+      std::fprintf(f, "\"tuples_per_sec\":%.1f,\"ns_per_tuple\":%.3f,",
+                   r.tuples_per_sec,
+                   r.tuples_per_sec > 0 ? 1e9 / r.tuples_per_sec : 0.0);
+    } else {
+      std::fprintf(f, "\"tuples_per_sec\":null,\"ns_per_tuple\":null,");
+    }
+    std::fprintf(f, "\"ms_per_iter\":%.4f}\n", r.ms_per_iter);
+  }
+  std::fclose(f);
+}
+
+inline const char* Basename(const char* argv0) {
+  const char* slash = std::strrchr(argv0, '/');
+  return slash != nullptr ? slash + 1 : argv0;
+}
+
+}  // namespace internal
+}  // namespace avm::benchutil
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  avm::benchutil::internal::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  avm::benchutil::internal::WriteRecords(
+      avm::benchutil::internal::Basename(argv[0]), reporter.records);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,17 +1,16 @@
 // Micro-adaptivity demo (§III-C / [24]): a filter over data whose
 // selectivity drifts from ~1% to ~99% mid-stream. The per-node
 // micro-adaptive chooser re-tests its flavors periodically and switches
-// implementation as the workload changes.
+// implementation as the workload changes. Each flavor runs through the
+// ExecEngine facade under the pure-interpretation strategy.
 //
 //   $ ./adaptive_filter
 #include <cstdio>
 #include <vector>
 
 #include "dsl/builder.h"
-#include "dsl/typecheck.h"
-#include "interp/interpreter.h"
+#include "engine/exec_engine.h"
 #include "storage/datagen.h"
-#include "util/timer.h"
 
 using namespace avm;
 
@@ -30,36 +29,42 @@ const char* FlavorName(interp::FilterFlavor f) {
 double RunWith(interp::FilterFlavor flavor, const std::vector<int64_t>& data,
                interp::FilterFlavor* final_choice) {
   const int64_t n = static_cast<int64_t>(data.size());
-  dsl::Program p = dsl::MakeFilterPipeline(
-      TypeId::kI64,
-      dsl::Lambda({"x"}, dsl::Call(dsl::ScalarOp::kLt,
-                                   {dsl::Var("x"), dsl::ConstI(500)})),
-      n);
-  dsl::TypeCheck(&p).Abort("typecheck");
   std::vector<int64_t> out(data.size());
-  interp::InterpreterOptions opts;
-  opts.filter_flavor = flavor;
-  interp::Interpreter in(&p, opts);
-  in.BindData("src", interp::DataBinding::Raw(
-                         TypeId::kI64, const_cast<int64_t*>(data.data()),
-                         data.size()))
-      .Abort("bind");
-  in.BindData("out", interp::DataBinding::Raw(TypeId::kI64, out.data(),
-                                              out.size(), true))
-      .Abort("bind");
-  Stopwatch sw;
-  in.Run().Abort("run");
-  double ms = sw.ElapsedMillis();
+
+  // Filter pipelines condense their output, so the row-partitioned form
+  // does not apply: the engine runs this context serially.
+  engine::ExecContext ctx(
+      [](int64_t rows) -> Result<dsl::Program> {
+        return dsl::MakeFilterPipeline(
+            TypeId::kI64,
+            dsl::Lambda({"x"}, dsl::Call(dsl::ScalarOp::kLt,
+                                         {dsl::Var("x"), dsl::ConstI(500)})),
+            rows);
+      },
+      n);
+  ctx.BindInput("src", interp::DataBinding::Raw(
+                           TypeId::kI64,
+                           const_cast<int64_t*>(data.data()), data.size()))
+      .BindOutput("out", interp::DataBinding::Raw(TypeId::kI64, out.data(),
+                                                  out.size(), true));
   if (final_choice != nullptr) {
-    // Find the filter node to ask what the chooser settled on.
-    dsl::VisitExprs(p, [&](const dsl::ExprPtr& e) {
-      if (e->kind == dsl::ExprKind::kSkeleton &&
-          e->skeleton == dsl::SkeletonKind::kFilter) {
-        *final_choice = in.PreferredFilterFlavor(e->id);
-      }
+    ctx.set_inspector([&](const interp::Interpreter& in) {
+      // Find the filter node and ask what the chooser settled on.
+      dsl::VisitExprs(in.program(), [&](const dsl::ExprPtr& e) {
+        if (e->kind == dsl::ExprKind::kSkeleton &&
+            e->skeleton == dsl::SkeletonKind::kFilter) {
+          *final_choice = in.PreferredFilterFlavor(e->id);
+        }
+      });
     });
   }
-  return ms;
+
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kInterpret;
+  opts.vm.interp.filter_flavor = flavor;
+  engine::ExecReport report =
+      engine::ExecEngine::Execute(ctx, opts).ValueOrDie();
+  return report.wall_seconds * 1e3;
 }
 
 }  // namespace

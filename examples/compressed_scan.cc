@@ -1,19 +1,19 @@
 // Compressed execution demo (§III-C): a column whose per-block compression
-// scheme changes mid-stream. The adaptive VM JIT-compiles a trace
-// specialized for FOR blocks (operating on narrow deltas + the block
-// reference), transparently falls back to interpretation when a block with
-// a different scheme arrives, and installs a second variant for the new
-// situation — the trace cache keeps both.
+// scheme changes mid-stream. Run through the ExecEngine under the adaptive
+// strategy, the VM JIT-compiles a trace specialized for FOR blocks
+// (operating on narrow deltas + the block reference), transparently falls
+// back to interpretation when a block with a different scheme arrives, and
+// installs a second variant for the new situation — the trace cache keeps
+// both.
 //
 //   $ ./compressed_scan
 #include <cstdio>
 #include <vector>
 
 #include "dsl/builder.h"
-#include "dsl/typecheck.h"
+#include "engine/exec_engine.h"
 #include "jit/source_jit.h"
 #include "storage/datagen.h"
-#include "vm/adaptive_vm.h"
 
 using namespace avm;
 
@@ -41,28 +41,28 @@ int main() {
               kBlocks);
   std::printf("compression ratio: %.2fx\n\n", prices.CompressionRatio());
 
-  dsl::Program p = dsl::MakeMapPipeline(
-      TypeId::kI64,
-      dsl::Lambda({"x"}, dsl::Var("x") * dsl::ConstI(110) / dsl::ConstI(100)),
-      static_cast<int64_t>(kRows));
-  dsl::TypeCheck(&p).Abort("typecheck");
-
   std::vector<int64_t> out(kRows);
-  vm::VmOptions opts;
-  opts.optimize_after_iterations = 4;
-  opts.recheck_interval = 8;
-  opts.specialize_compression = true;
-  vm::AdaptiveVm vm(&p, opts);
-  vm.interpreter()
-      .BindData("src", interp::DataBinding::FromColumn(&prices))
-      .Abort("bind");
-  vm.interpreter()
-      .BindData("out", interp::DataBinding::Raw(TypeId::kI64, out.data(),
-                                                kRows, true))
-      .Abort("bind");
-  vm.Run().Abort("run");
+  engine::ExecContext ctx(
+      [](int64_t rows) -> Result<dsl::Program> {
+        return dsl::MakeMapPipeline(
+            TypeId::kI64,
+            dsl::Lambda({"x"}, dsl::Var("x") * dsl::ConstI(110) /
+                                   dsl::ConstI(100)),
+            rows);
+      },
+      kRows);
+  ctx.BindInputColumn("src", &prices)
+      .BindOutput("out", interp::DataBinding::Raw(TypeId::kI64, out.data(),
+                                                  kRows, true));
 
-  vm::VmReport report = vm.Report();
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kAdaptiveJit;
+  opts.vm.optimize_after_iterations = 4;
+  opts.vm.recheck_interval = 8;
+  opts.vm.specialize_compression = true;
+  engine::ExecReport report =
+      engine::ExecEngine::Execute(ctx, opts).ValueOrDie();
+
   std::printf("=== Fig.1 timeline ===\n%s\n", report.state_timeline.c_str());
   std::printf("traces compiled : %llu (one per compression situation)\n",
               (unsigned long long)report.traces_compiled);

@@ -1,111 +1,85 @@
-// Heterogeneous placement demo (Plan step 3): the same map+sum fragment at
-// growing sizes; the adaptive placer decides per size between the measured
-// CPU and the simulated GPU (DESIGN.md substitution), calibrating its cost
-// model from observed runs.
+// Heterogeneous placement demo (Plan step 3): map fragments submitted
+// through the ExecEngine under the kGpuOffload strategy. The engine
+// recognizes offloadable map fragments, asks the adaptive placer to choose
+// between the CPU and the simulated GPU (DESIGN.md substitution), and
+// calibrates the placer's cost model from every observed run.
+//
+// Two fragments show the tradeoff:
+//   light (x*2+x)       — transfer-dominated: PCIe both ways costs more
+//                         than the CPU just doing the work; stays on CPU.
+//   heavy (8-deep chain) — compute-dominated: device throughput wins once
+//                         the fragment carries enough ops per byte.
 //
 //   $ ./gpu_offload
 #include <cstdio>
 #include <vector>
 
-#include "gpu/gpu_backend.h"
-#include "gpu/placement.h"
-#include "interp/kernels.h"
+#include "dsl/builder.h"
+#include "engine/exec_engine.h"
 #include "storage/datagen.h"
-#include "util/timer.h"
 
 using namespace avm;
-using gpu::Device;
 
 namespace {
 
-double RunCpu(const std::vector<int64_t>& col) {
-  const auto& reg = interp::KernelRegistry::Get();
-  static std::vector<int64_t> tmp;
-  tmp.resize(col.size());
-  const int64_t three = 3;
-  auto mul = reg.Binary(dsl::ScalarOp::kMul, TypeId::kI64,
-                        interp::OperandMode::kVecScalar, false);
-  auto fold = reg.Fold(dsl::ScalarOp::kAdd, TypeId::kI64);
-  mul(col.data(), &three, tmp.data(), nullptr,
-      static_cast<uint32_t>(col.size()));
-  int64_t acc = 0;
-  fold(tmp.data(), nullptr, static_cast<uint32_t>(col.size()), &acc);
-  return static_cast<double>(acc);
+engine::ExecContext::ProgramFactory MapFactory(int depth) {
+  return [depth](int64_t rows) -> Result<dsl::Program> {
+    using namespace dsl;
+    ExprPtr body = Var("x");
+    for (int d = 0; d < depth; ++d) body = body * ConstI(3) + Var("x");
+    return MakeMapPipeline(TypeId::kI64, Lambda({"x"}, std::move(body)),
+                           rows);
+  };
+}
+
+int64_t Reference(int depth, int64_t x) {
+  int64_t v = x;
+  for (int d = 0; d < depth; ++d) v = v * 3 + x;
+  return v;
+}
+
+int RunSweep(const char* label, int depth) {
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kGpuOffload;
+  // One engine per fragment shape: its placer calibrates run over run.
+  engine::ExecEngine engine(opts);
+
+  std::printf("%s fragment (%d ops/row):\n", label, 2 * depth);
+  std::printf("%12s %10s %12s %12s\n", "rows", "device", "wall_ms",
+              "gpu_sim_ms");
+  DataGen gen(9);
+  for (uint32_t n : {64u << 10, 1u << 20, 8u << 20}) {
+    auto col = gen.UniformI64(n, -1000, 1000);
+    std::vector<int64_t> out(n);
+    engine::ExecContext ctx(MapFactory(depth), n);
+    ctx.BindInput("src",
+                  interp::DataBinding::Raw(TypeId::kI64, col.data(), n))
+        .BindOutput("out", interp::DataBinding::Raw(TypeId::kI64, out.data(),
+                                                    n, true));
+    engine::ExecReport report = engine.Run(ctx).ValueOrDie();
+    for (uint32_t i = 0; i < n; i += 4097) {
+      if (out[i] != Reference(depth, col[i])) {
+        std::printf("!! result mismatch at %u\n", i);
+        return 1;
+      }
+    }
+    std::printf("%12u %10s %12.3f %12.3f\n", n, report.device.c_str(),
+                report.wall_seconds * 1e3, report.gpu_sim_seconds * 1e3);
+  }
+  std::printf("\n");
+  return 0;
 }
 
 }  // namespace
 
 int main() {
-  gpu::GpuDeviceParams params;  // discrete-GPU-like profile
-  gpu::SimGpuDevice dev(params, &ThreadPool::Global());
-  gpu::GpuBackend backend(&dev);
-  gpu::AdaptivePlacer placer(params);
-
-  std::printf("fragment: sum(x * 3) over an i64 column "
-              "(simulated GPU: %.0f GB/s HBM, %.0f GB/s PCIe, %.0f us "
-              "launch)\n\n",
-              params.mem_bytes_per_s / 1e9, params.pcie_bytes_per_s / 1e9,
-              params.launch_overhead_s * 1e6);
-  std::printf("%12s %12s %12s %10s %9s\n", "rows", "cpu_ms", "sim_gpu_ms",
-              "placer", "resident");
-
-  ir::PrimProgram prog;
-  prog.input_types = {TypeId::kI64};
-  ir::PrimInstr mul;
-  mul.op = dsl::ScalarOp::kMul;
-  mul.in_type = mul.out_type = TypeId::kI64;
-  mul.num_args = 2;
-  mul.args[0] = ir::PrimArg::Input(0, TypeId::kI64);
-  mul.args[1] = ir::PrimArg::ConstI(3, TypeId::kI64);
-  mul.out_reg = 0;
-  prog.instrs = {mul};
-  prog.num_regs = 1;
-  prog.result_reg = 0;
-  prog.result_type = TypeId::kI64;
-
-  DataGen gen(9);
-  for (uint32_t n : {64u << 10, 512u << 10, 4u << 20, 32u << 20}) {
-    auto col = gen.UniformI64(n, -1000, 1000);
-
-    // Measure CPU.
-    Stopwatch sw;
-    double cpu_sum = RunCpu(col);
-    double cpu_ms = sw.ElapsedMillis();
-
-    // Simulated GPU (cold: includes PCIe transfer).
-    dev.ResetClock();
-    auto buf = backend.EnsureResident(col.data(), size_t{n} * 8).ValueOrDie();
-    auto mapped = backend.RunMap(prog, {buf}, {TypeId::kI64}, n).ValueOrDie();
-    double gpu_sum = backend.RunSumF64(mapped, TypeId::kI64, n).ValueOrDie();
-    dev.Free(mapped).Abort("free");
-    double gpu_ms = dev.clock_seconds() * 1e3;
-
-    if (cpu_sum != gpu_sum) {
-      std::printf("!! result mismatch\n");
-      return 1;
-    }
-
-    gpu::FragmentProfile profile;
-    profile.rows = n;
-    profile.bytes_in = size_t{n} * 8;
-    profile.bytes_out = 8;
-    profile.ops_per_row = 2;
-    auto decision = placer.Decide(profile);
-    placer.Observe(Device::kCpu, profile, cpu_ms / 1e3);
-    placer.Observe(Device::kGpu, profile, gpu_ms / 1e3);
-    profile.inputs_resident = true;
-    auto resident_decision = placer.Decide(profile);
-    profile.inputs_resident = false;
-
-    std::printf("%12u %12.3f %12.3f %10s %9s\n", n, cpu_ms, gpu_ms,
-                gpu::DeviceName(decision.device),
-                gpu::DeviceName(resident_decision.device));
-    backend.Evict(col.data()).Abort("evict");
-  }
+  std::printf("strategy=gpu-offload: the engine places each map fragment on\n"
+              "the CPU or the simulated GPU via the adaptive cost model\n\n");
+  if (RunSweep("light", 1) != 0) return 1;
+  if (RunSweep("heavy", 8) != 0) return 1;
   std::printf(
-      "\nSmall fragments stay on the CPU (launch + PCIe dominate); large\n"
-      "ones cross over to the GPU, earlier when the column is already\n"
-      "device-resident. The placer calibrates itself from every observed "
-      "run.\n");
+      "Transfer-dominated fragments stay on the CPU; compute-dominated ones\n"
+      "offload. The engine feeds every observed run back into the placer,\n"
+      "so the crossover self-adjusts to the hardware.\n");
   return 0;
 }

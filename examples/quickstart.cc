@@ -1,6 +1,7 @@
 // Quickstart: the paper's Figure 2 program, parsed from its textual form,
-// type-checked and executed by the adaptive VM — first interpreted, then
-// (when a host compiler is available) JIT-compiled mid-run.
+// type-checked and executed through the ExecEngine facade — first
+// interpreted, then (when a host compiler is available) JIT-compiled
+// mid-run by the adaptive strategy.
 //
 //   $ ./quickstart
 #include <cstdio>
@@ -9,8 +10,8 @@
 #include "dsl/parser.h"
 #include "dsl/printer.h"
 #include "dsl/typecheck.h"
+#include "engine/exec_engine.h"
 #include "jit/source_jit.h"
-#include "vm/adaptive_vm.h"
 
 using namespace avm;
 
@@ -43,42 +44,41 @@ int main() {
   dsl::TypeCheck(&program).Abort("type check");
   std::printf("=== program ===\n%s\n", dsl::PrintProgram(program).c_str());
 
-  // 2. Bind host data.
+  // 2. Describe the run to the engine: the program plus data bindings.
   const int64_t n = 65536;
   std::vector<int64_t> data(n), v(n), w(n);
   for (int64_t i = 0; i < n; ++i) data[i] = (i % 11) - 5;
 
-  vm::VmOptions options;
-  options.optimize_after_iterations = 8;
-  vm::AdaptiveVm vm(&program, options);
-  auto& in = vm.interpreter();
-  in.BindData("some_data",
-              interp::DataBinding::Raw(TypeId::kI64, data.data(), n))
-      .Abort("bind");
-  in.BindData("v", interp::DataBinding::Raw(TypeId::kI64, v.data(), n, true))
-      .Abort("bind");
-  in.BindData("w", interp::DataBinding::Raw(TypeId::kI64, w.data(), n, true))
-      .Abort("bind");
+  int64_t positives = 0;
+  engine::ExecContext ctx(&program);
+  ctx.BindInput("some_data",
+                interp::DataBinding::Raw(TypeId::kI64, data.data(), n))
+      .BindOutput("v", interp::DataBinding::Raw(TypeId::kI64, v.data(), n,
+                                                true))
+      .BindOutput("w", interp::DataBinding::Raw(TypeId::kI64, w.data(), n,
+                                                true))
+      .set_inspector([&](const interp::Interpreter& in) {
+        positives = in.GetScalar("k").ValueOrDie().AsI64();
+      });
 
-  // 3. Run under the adaptive policy.
-  vm.Run().Abort("run");
+  // 3. Run under the adaptive strategy.
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kAdaptiveJit;
+  opts.vm.optimize_after_iterations = 8;
+  engine::ExecReport report =
+      engine::ExecEngine::Execute(ctx, opts).ValueOrDie();
 
-  auto k = in.GetScalar("k").ValueOrDie();
   std::printf("processed %lld values; %lld positive results in w\n",
-              (long long)n, (long long)k.AsI64());
+              (long long)n, (long long)positives);
   std::printf("v[0..5] = %lld %lld %lld %lld %lld %lld\n", (long long)v[0],
               (long long)v[1], (long long)v[2], (long long)v[3],
               (long long)v[4], (long long)v[5]);
 
-  // 4. What did the VM do?
-  vm::VmReport report = vm.Report();
+  // 4. What did the engine do?
+  std::printf("\n=== engine report ===\n%s\n", report.ToString().c_str());
   std::printf("\n=== Fig. 1 state machine timeline ===\n%s",
               report.state_timeline.empty() ? "(interpreted only)\n"
                                             : report.state_timeline.c_str());
-  std::printf("\ntraces compiled: %llu, injected runs: %llu, fallbacks: %llu\n",
-              (unsigned long long)report.traces_compiled,
-              (unsigned long long)report.injection_runs,
-              (unsigned long long)report.injection_fallbacks);
   std::printf("\n=== profile ===\n%s", report.profile.c_str());
   if (!jit::SourceJit::Available()) {
     std::printf("\n(no host compiler found: the VM stayed in vectorized "

@@ -61,17 +61,34 @@ int main(int argc, char** argv) {
     if (!(comp == oracle)) std::printf("!! compiled result mismatch\n");
   }
   {
-    vm::VmOptions opts;
-    opts.enable_jit = jit::SourceJit::Available();
+    engine::EngineOptions opts;
+    opts.strategy = jit::SourceJit::Available()
+                        ? engine::ExecutionStrategy::kAdaptiveJit
+                        : engine::ExecutionStrategy::kInterpret;
     Stopwatch sw;
-    Q1DslRun run = RunQ1AdaptiveVm(*table, opts).ValueOrDie();
+    Q1DslRun run = RunQ1Engine(*table, opts).ValueOrDie();
     double ms = sw.ElapsedMillis();
-    PrintResult("adaptive VM (DSL)", run.result, ms, n);
+    PrintResult("engine serial (DSL)", run.result, ms, n);
     std::printf("  -> traces compiled: %llu, injected chunk runs: %llu\n",
                 (unsigned long long)run.report.traces_compiled,
                 (unsigned long long)run.report.injection_runs);
     if (!(run.result == oracle)) {
       std::printf("!! adaptive result mismatch\n");
+      return 1;
+    }
+
+    // Morsel-driven parallel run: row-range slices, shared trace cache,
+    // aggregates merged at the barrier — bit-identical to the serial run.
+    opts.num_workers = 4;
+    Stopwatch sw4;
+    Q1DslRun par = RunQ1Engine(*table, opts).ValueOrDie();
+    double ms4 = sw4.ElapsedMillis();
+    PrintResult("engine 4 workers (DSL)", par.result, ms4, n);
+    std::printf("  -> %zu morsels on %zu workers, speedup %.2fx\n",
+                par.report.morsels, par.report.workers, ms / ms4);
+    if (!(par.result == oracle)) {
+      std::printf("!! parallel result mismatch\n");
+      return 1;
     }
   }
   if (!(vec == oracle) || !(compact == oracle)) {

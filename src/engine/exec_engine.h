@@ -1,0 +1,218 @@
+// Unified execution facade.
+//
+// Every consumer of the framework (the relational layer, examples,
+// benchmarks) enters through ExecEngine: a type-checked dsl::Program plus
+// data bindings go in, a unified ExecReport comes out. The engine picks the
+// execution machinery from an ExecutionStrategy:
+//
+//   kInterpret    pure vectorized interpretation (paper §III-A, JIT off)
+//   kAdaptiveJit  the Fig. 1 adaptive VM: interpret + profile, partition,
+//                 JIT, inject, re-specialize on situation change
+//   kGpuOffload   adaptive CPU/GPU placement for offloadable map fragments
+//                 (simulated device; falls back to kAdaptiveJit otherwise)
+//
+// On top of the strategy the engine layers morsel-driven parallelism: bound
+// columns are partitioned into row-range morsels, one interpreter / adaptive
+// VM clone runs per worker on the shared ThreadPool, all workers share one
+// thread-safe TraceCache (the first worker to compile a trace for a
+// situation serves every other worker), and per-worker accumulator state is
+// merged at the end-of-run barrier.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/morsel.h"
+#include "jit/trace_cache.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "vm/adaptive_vm.h"
+
+namespace avm::gpu {
+class SimGpuDevice;
+class GpuBackend;
+class AdaptivePlacer;
+}  // namespace avm::gpu
+
+namespace avm::engine {
+
+enum class ExecutionStrategy : uint8_t {
+  kInterpret = 0,
+  kAdaptiveJit,
+  kGpuOffload,
+};
+
+const char* StrategyName(ExecutionStrategy s);
+
+struct EngineOptions {
+  ExecutionStrategy strategy = ExecutionStrategy::kAdaptiveJit;
+  /// Tuning knobs of the underlying VM/interpreter. `vm.enable_jit` is
+  /// overridden by the strategy (kInterpret forces it off).
+  vm::VmOptions vm;
+  /// Number of morsel workers; 1 = serial, 0 = hardware concurrency.
+  size_t num_workers = 1;
+  /// Rows per morsel; 0 = auto (~4 morsels per worker, chunk-aligned).
+  uint64_t morsel_rows = 0;
+  /// Worker pool; nullptr = the process-wide ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+};
+
+/// Unified result of one engine run — the merger of the old ad-hoc
+/// VmReport / profiler-string plumbing, plus parallelism and device info.
+struct ExecReport {
+  ExecutionStrategy strategy = ExecutionStrategy::kAdaptiveJit;
+  std::string device = "cpu";  ///< "cpu" or "gpu-sim"
+  size_t workers = 1;
+  size_t morsels = 1;
+  uint64_t rows = 0;
+  double wall_seconds = 0;
+
+  // Merged adaptive-VM counters (summed across workers).
+  uint64_t iterations = 0;
+  uint64_t traces_compiled = 0;
+  uint64_t traces_reused = 0;
+  uint64_t injection_runs = 0;
+  uint64_t injection_fallbacks = 0;
+  double compile_seconds = 0;
+
+  /// Fig. 1 state-machine timeline and profiler dump of the worker that
+  /// executed the first morsel (representative; per-worker dumps would be
+  /// near-identical).
+  std::string state_timeline;
+  std::string profile;
+
+  /// Simulated device seconds consumed (kGpuOffload only).
+  double gpu_sim_seconds = 0;
+
+  std::string ToString() const;
+};
+
+/// How a bound array participates in a morsel-parallel run.
+enum class BindRole : uint8_t {
+  kInput,        ///< read-only, row-partitioned: worker w sees its slice
+  kShared,       ///< read-only, replicated: every worker sees the whole array
+  kOutput,       ///< writable, row-partitioned: worker w writes its slice
+  kAccumulator,  ///< writable, privatized: zeroed per-worker copy, merged
+};
+
+/// Merges one worker's accumulator partial into the master array.
+using MergeFn = std::function<void(TypeId type, void* master,
+                                   const void* partial, uint64_t len)>;
+
+/// Element-wise sum — correct for additive aggregates (sums, counts), which
+/// is what kScatter/kFold accumulator programs produce.
+void SumMerge(TypeId type, void* master, const void* partial, uint64_t len);
+
+/// A program shape plus data bindings, ready for the engine.
+///
+/// Programs loop over their input with a baked-in row limit, so a parallel
+/// run needs one program instance per morsel: the context is constructed
+/// with a *factory* `make_program(rows)` that the engine invokes per morsel
+/// (and once with the total row count for serial runs). Programs whose row
+/// count is fixed can use the single-program constructor; those contexts
+/// always run serially.
+class ExecContext {
+ public:
+  using ProgramFactory = std::function<Result<dsl::Program>(int64_t rows)>;
+
+  /// Row-parameterized program over `total_rows` input rows; this is the
+  /// parallelizable form. The factory's result is type-checked by the
+  /// engine.
+  ExecContext(ProgramFactory make_program, uint64_t total_rows);
+
+  /// Fixed, already type-checked program (must outlive the context). Runs
+  /// serially regardless of EngineOptions::num_workers.
+  explicit ExecContext(const dsl::Program* program);
+
+  /// Read-only input, partitioned by rows across morsels.
+  ExecContext& BindInput(const std::string& name, interp::DataBinding b);
+  ExecContext& BindInputColumn(const std::string& name, const Column* col);
+  /// Read-only array visible in full to every worker (dimension tables,
+  /// lookup arrays).
+  ExecContext& BindShared(const std::string& name, interp::DataBinding b);
+  /// Writable output, partitioned by rows: each worker writes only its
+  /// slice. Only valid for programs whose output position tracks the input
+  /// position (maps); condensing programs must run serially.
+  ExecContext& BindOutput(const std::string& name, interp::DataBinding b);
+  /// Writable accumulator: each worker aggregates into a private zeroed
+  /// copy; partials are merged into the master at the barrier (default:
+  /// element-wise sum).
+  ExecContext& BindAccumulator(const std::string& name, TypeId type,
+                               void* data, uint64_t len,
+                               MergeFn merge = SumMerge);
+
+  /// Optional observability hook: called (serially) with each worker's
+  /// interpreter after it finishes, before accumulator merge. Tests and
+  /// examples use it to read adaptive state (e.g. preferred filter flavor).
+  /// Not invoked when kGpuOffload executes the fragment on the simulated
+  /// device — there is no interpreter state to observe on that path.
+  ExecContext& set_inspector(
+      std::function<void(const interp::Interpreter&)> fn) {
+    inspector_ = std::move(fn);
+    return *this;
+  }
+
+  uint64_t total_rows() const { return total_rows_; }
+  bool parallelizable() const { return make_program_ != nullptr; }
+
+ private:
+  friend class ExecEngine;
+
+  struct Bound {
+    std::string name;
+    BindRole role;
+    interp::DataBinding binding;  ///< full-extent binding
+    MergeFn merge;                ///< kAccumulator only
+  };
+
+  ProgramFactory make_program_;         // null for fixed-program contexts
+  const dsl::Program* fixed_program_ = nullptr;
+  uint64_t total_rows_ = 0;
+  std::vector<Bound> bound_;
+  std::function<void(const interp::Interpreter&)> inspector_;
+};
+
+/// The facade. One engine instance can run many contexts; its TraceCache
+/// persists across runs, so repeated queries of the same shape reuse
+/// compiled traces instead of recompiling.
+class ExecEngine {
+ public:
+  explicit ExecEngine(EngineOptions options = {});
+  ~ExecEngine();
+
+  /// Execute `ctx` under the configured strategy and worker count.
+  Result<ExecReport> Run(ExecContext& ctx);
+
+  const EngineOptions& options() const { return options_; }
+  const jit::TraceCache& trace_cache() const { return cache_; }
+
+  /// Convenience: run a context once with the given options.
+  static Result<ExecReport> Execute(ExecContext& ctx,
+                                    EngineOptions options = {});
+
+ private:
+  vm::VmOptions EffectiveVmOptions() const;
+  size_t EffectiveWorkers() const;
+  ThreadPool& Pool() const;
+
+  /// `prebuilt` optionally supplies an already-instantiated, type-checked
+  /// program for the full row range (skips the factory call).
+  Result<ExecReport> RunSerial(ExecContext& ctx,
+                               const dsl::Program* prebuilt = nullptr);
+  Result<ExecReport> RunParallel(ExecContext& ctx);
+  /// kGpuOffload for offloadable map fragments; returns NotFound when the
+  /// program shape is not offloadable (caller falls back to the CPU path).
+  Result<ExecReport> RunGpuOffload(ExecContext& ctx);
+
+  EngineOptions options_;
+  jit::TraceCache cache_;
+
+  // Lazily created simulated-GPU machinery (kGpuOffload only).
+  std::unique_ptr<gpu::SimGpuDevice> gpu_device_;
+  std::unique_ptr<gpu::GpuBackend> gpu_backend_;
+  std::unique_ptr<gpu::AdaptivePlacer> gpu_placer_;
+};
+
+}  // namespace avm::engine

@@ -1,0 +1,70 @@
+#include "engine/morsel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <mutex>
+
+namespace avm::engine {
+
+std::vector<Morsel> PartitionRows(uint64_t rows, size_t num_workers,
+                                  uint64_t morsel_rows, uint32_t align) {
+  std::vector<Morsel> morsels;
+  if (rows == 0) return morsels;
+  if (num_workers == 0) num_workers = 1;
+  if (align == 0) align = 1;
+  if (morsel_rows == 0) {
+    morsel_rows = (rows + num_workers * 4 - 1) / (num_workers * 4);
+  }
+  // Round up to the chunk size so every morsel but the tail runs whole
+  // chunks (identical program shapes maximize trace-cache sharing).
+  morsel_rows = ((morsel_rows + align - 1) / align) * align;
+  for (uint64_t begin = 0; begin < rows; begin += morsel_rows) {
+    Morsel m;
+    m.begin = begin;
+    m.end = std::min(rows, begin + morsel_rows);
+    m.index = morsels.size();
+    morsels.push_back(m);
+  }
+  return morsels;
+}
+
+Status RunMorsels(ThreadPool& pool, size_t num_workers,
+                  const std::vector<Morsel>& morsels,
+                  const std::function<Status(const Morsel&)>& fn) {
+  if (morsels.empty()) return Status::OK();
+  num_workers = std::max<size_t>(1, std::min(num_workers, morsels.size()));
+  if (num_workers == 1) {
+    for (const Morsel& m : morsels) {
+      AVM_RETURN_NOT_OK(fn(m));
+    }
+    return Status::OK();
+  }
+
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  Status first_error = Status::OK();
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= morsels.size()) break;
+      Status st = fn(morsels[i]);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error.ok()) first_error = st;
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) futs.push_back(pool.Submit(worker));
+  for (auto& f : futs) f.get();
+  return first_error;
+}
+
+}  // namespace avm::engine

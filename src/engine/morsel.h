@@ -1,0 +1,40 @@
+// Morsel-driven parallelism primitives (Leis et al.-style): the total row
+// range is cut into cache-friendly row-range morsels and a fixed set of
+// workers pulls morsels from a shared queue until it is drained, so skew in
+// per-morsel cost self-balances. Used by ExecEngine for DSL programs and by
+// the relational layer for parallel scans/probes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace avm::engine {
+
+/// A contiguous row range [begin, end) of the input relation.
+struct Morsel {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  size_t index = 0;  ///< position in the schedule (0 = first range)
+
+  uint64_t rows() const { return end - begin; }
+};
+
+/// Cut [0, rows) into morsels. `morsel_rows == 0` picks a size aiming at
+/// ~4 morsels per worker (so stealing can balance skew) and rounds it up to
+/// a multiple of `align` (the execution chunk size, keeping chunk boundaries
+/// morsel-aligned).
+std::vector<Morsel> PartitionRows(uint64_t rows, size_t num_workers,
+                                  uint64_t morsel_rows, uint32_t align);
+
+/// Run `fn` over every morsel using `num_workers` pool workers pulling from
+/// a shared atomic cursor. Blocks until all morsels are processed; returns
+/// the first non-OK status (remaining morsels are skipped on error).
+Status RunMorsels(ThreadPool& pool, size_t num_workers,
+                  const std::vector<Morsel>& morsels,
+                  const std::function<Status(const Morsel&)>& fn);
+
+}  // namespace avm::engine

@@ -311,8 +311,9 @@ Result<Value> Interpreter::EvalRead(const Expr& e) {
   const uint32_t take = static_cast<uint32_t>(
       std::min<uint64_t>(options_.chunk_size, b->len - pos));
   if (b->column != nullptr) {
-    AVM_RETURN_NOT_OK(b->column->Read(pos, take, out->vec.RawData()));
-    AVM_ASSIGN_OR_RETURN(Scheme s, b->column->SchemeAt(pos));
+    AVM_RETURN_NOT_OK(
+        b->column->Read(b->col_offset + pos, take, out->vec.RawData()));
+    AVM_ASSIGN_OR_RETURN(Scheme s, b->column->SchemeAt(b->col_offset + pos));
     last_scheme_[name] = s;
   } else {
     const size_t w = TypeWidth(b->type);

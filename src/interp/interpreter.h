@@ -28,6 +28,11 @@ namespace avm::interp {
 
 /// Host storage bound to a program's `data` declaration: either a raw
 /// in-memory array or a (compressed, read-only) column.
+///
+/// A binding may expose only a row *slice* of its backing storage — this is
+/// how the engine layer hands each morsel worker its own row range. Raw
+/// slices simply pre-offset the pointer; column slices carry `col_offset`,
+/// which every column access adds to the program-visible position.
 struct DataBinding {
   TypeId type = TypeId::kI64;
   bool writable = false;
@@ -36,6 +41,8 @@ struct DataBinding {
   uint64_t len = 0;
   // Column binding (read-only):
   const Column* column = nullptr;
+  /// First backing-column row this binding exposes (column bindings only).
+  uint64_t col_offset = 0;
 
   static DataBinding Raw(TypeId t, void* data, uint64_t n,
                          bool writable = false) {
@@ -52,6 +59,14 @@ struct DataBinding {
     b.writable = false;
     b.column = col;
     b.len = col->num_rows();
+    return b;
+  }
+  /// Rows [offset, offset + n) of `col` as positions [0, n).
+  static DataBinding ColumnSlice(const Column* col, uint64_t offset,
+                                 uint64_t n) {
+    DataBinding b = FromColumn(col);
+    b.col_offset = offset;
+    b.len = n;
     return b;
   }
 };
@@ -113,6 +128,7 @@ class Interpreter {
 
   Profiler& profiler() { return profiler_; }
   const Profiler& profiler() const { return profiler_; }
+  const dsl::Program& program() const { return *program_; }
   uint32_t chunk_size() const { return options_.chunk_size; }
   uint64_t loop_iterations() const { return loop_iterations_; }
 

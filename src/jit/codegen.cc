@@ -12,6 +12,22 @@
 
 namespace avm::jit {
 
+Result<PosRef> PosRef::From(const dsl::Expr& e) {
+  PosRef p;
+  if (e.kind == dsl::ExprKind::kConst) {
+    p.kind = Kind::kConst;
+    p.const_i = e.const_i;
+    return p;
+  }
+  if (e.kind == dsl::ExprKind::kVarRef) {
+    p.kind = Kind::kVar;
+    p.var = e.var;
+    return p;
+  }
+  return Status::NotImplemented(
+      "read/write position must be a variable or constant for compilation");
+}
+
 namespace {
 
 using dsl::Expr;
@@ -293,8 +309,8 @@ Status TraceEmitter::AssignInputsOutputs() {
   auto add_input = [&](TraceInputSpec spec) -> size_t {
     std::string key = StrFormat("%d:%s", static_cast<int>(spec.kind),
                                 spec.name.c_str());
-    if (spec.pos_expr != nullptr) {
-      key += ":" + dsl::PrintExpr(*spec.pos_expr);
+    if (spec.pos.valid()) {
+      key += ":" + spec.pos.ToString();
     }
     auto it = input_slot_.find(key);
     if (it != input_slot_.end()) return it->second;
@@ -311,35 +327,31 @@ Status TraceEmitter::AssignInputsOutputs() {
     if (it == let_types_.end()) {
       return Status::InvalidArgument("unknown trace input " + name);
     }
-    add_input({TraceInputSpec::Kind::kChunkVar, name, it->second, nullptr});
+    add_input({TraceInputSpec::Kind::kChunkVar, name, it->second, PosRef{}});
   }
 
   // Read/gather inputs.
   for (uint32_t id : trace_.node_ids) {
     const DepNode& n = graph_.nodes()[id];
     if (n.kind == SkeletonKind::kRead) {
-      const Expr& pos = *n.expr->args[0];
-      if (pos.kind != ExprKind::kVarRef && pos.kind != ExprKind::kConst) {
-        return Status::NotImplemented(
-            "read position must be a variable or constant for compilation");
-      }
+      AVM_ASSIGN_OR_RETURN(PosRef pos, PosRef::From(*n.expr->args[0]));
       const std::string& data = n.expr->args[1]->var;
       auto spec_it = options_.scheme_specialization.find(data);
       if (spec_it != options_.scheme_specialization.end() &&
           spec_it->second == Scheme::kFor) {
         add_input({TraceInputSpec::Kind::kForDeltas, data, TypeId::kI32,
-                   &pos});
+                   pos});
         out_.scheme_requirements[data] = Scheme::kFor;
       } else {
         add_input({TraceInputSpec::Kind::kDataRead, data,
-                   program_.FindData(data)->type, &pos});
+                   program_.FindData(data)->type, pos});
       }
     } else if (n.kind == SkeletonKind::kGather) {
       const Expr& base = *n.expr->args[0];
       if (base.kind == ExprKind::kVarRef &&
           program_.FindData(base.var) != nullptr) {
         add_input({TraceInputSpec::Kind::kDataWhole, base.var,
-                   program_.FindData(base.var)->type, nullptr});
+                   program_.FindData(base.var)->type, PosRef{}});
       }
     }
   }
@@ -348,11 +360,7 @@ Status TraceEmitter::AssignInputsOutputs() {
   for (uint32_t id : trace_.node_ids) {
     const DepNode& n = graph_.nodes()[id];
     if (n.kind == SkeletonKind::kWrite) {
-      const Expr& pos = *n.expr->args[1];
-      if (pos.kind != ExprKind::kVarRef && pos.kind != ExprKind::kConst) {
-        return Status::NotImplemented(
-            "write position must be a variable or constant for compilation");
-      }
+      AVM_ASSIGN_OR_RETURN(PosRef pos, PosRef::From(*n.expr->args[1]));
       bool condensed = false;
       if (!n.inputs.empty() && DependsOnFilter(n.inputs[0])) condensed = true;
       if (!n.inputs.empty() &&
@@ -362,13 +370,13 @@ Status TraceEmitter::AssignInputsOutputs() {
       out_.outputs.push_back({TraceOutputSpec::Kind::kDataWrite,
                               n.expr->args[0]->var,
                               program_.FindData(n.expr->args[0]->var)->type,
-                              condensed, &pos});
+                              condensed, pos});
       continue;
     }
     if (n.kind == SkeletonKind::kFold) {
       std::string name = graph_.OutputNameOf(id);
       out_.outputs.push_back({TraceOutputSpec::Kind::kFoldScalar, name,
-                              n.expr->type, false, nullptr});
+                              n.expr->type, false, PosRef{}});
       continue;
     }
     // Escaping array value?
@@ -388,7 +396,7 @@ Status TraceEmitter::AssignInputsOutputs() {
     if (is_traced_output || consumed_outside || let_bound) {
       bool condensed = n.kind == SkeletonKind::kCondense;
       out_.outputs.push_back({TraceOutputSpec::Kind::kArrayVar, name,
-                              n.expr->type, condensed, nullptr});
+                              n.expr->type, condensed, PosRef{}});
       if (condensed) has_condensed_output_ = true;
     }
   }

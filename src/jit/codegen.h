@@ -34,6 +34,26 @@ using TraceFn = int32_t (*)(const void* const* in, void* const* out,
                             uint32_t n, const uint32_t* sel, uint32_t sel_n,
                             uint32_t* out_counts);
 
+/// Self-contained read/write position: a scalar variable of the environment
+/// or a constant. Deliberately NOT a pointer into the program AST — compiled
+/// traces outlive the program they were generated from (the shared
+/// TraceCache serves them to other morsel workers and to later runs of the
+/// same query shape).
+struct PosRef {
+  enum class Kind : uint8_t { kNone = 0, kConst, kVar };
+  Kind kind = Kind::kNone;
+  int64_t const_i = 0;
+  std::string var;
+
+  bool valid() const { return kind != Kind::kNone; }
+  std::string ToString() const {
+    if (kind == Kind::kConst) return std::to_string(const_i);
+    return kind == Kind::kVar ? var : "<none>";
+  }
+  /// From a restricted position expression (variable or constant).
+  static Result<PosRef> From(const dsl::Expr& e);
+};
+
 /// How an input pointer must be produced by the run-time harness.
 struct TraceInputSpec {
   enum class Kind : uint8_t {
@@ -45,7 +65,7 @@ struct TraceInputSpec {
   Kind kind = Kind::kChunkVar;
   std::string name;                      ///< variable or data array name
   TypeId type = TypeId::kI64;            ///< element type seen by the code
-  const dsl::Expr* pos_expr = nullptr;   ///< position (kDataRead/kForDeltas)
+  PosRef pos;                            ///< position (kDataRead/kForDeltas)
 };
 
 /// How an output buffer must be interpreted after the call.
@@ -59,7 +79,7 @@ struct TraceOutputSpec {
   std::string name;                      ///< produced variable / data array
   TypeId type = TypeId::kI64;
   bool condensed = false;                ///< count comes from out_counts
-  const dsl::Expr* pos_expr = nullptr;   ///< kDataWrite position
+  PosRef pos;                            ///< kDataWrite position
 };
 
 struct GeneratedTrace {

@@ -9,7 +9,9 @@
 // are specialized for, and a coarse selectivity bucket.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -45,20 +47,44 @@ struct Situation {
 /// Fingerprint helper for ir::Trace.
 uint64_t TraceFingerprint(const ir::DepGraph& graph, const ir::Trace& trace);
 
+/// Thread-safe: a single cache is shared by all workers of a parallel
+/// (morsel-driven) run, so one worker's compiled trace serves every clone.
+/// Entries are immutable once inserted and handed out as shared_ptr so a
+/// reader is never invalidated by a concurrent insert.
 class TraceCache {
  public:
   /// Find a trace compiled for exactly this situation.
-  const CompiledTrace* Find(const Situation& s) const;
+  std::shared_ptr<const CompiledTrace> Find(const Situation& s) const;
 
   /// Insert (overwrites an existing entry for the same situation).
-  void Insert(const Situation& s, CompiledTrace trace);
+  /// Returns the inserted entry.
+  std::shared_ptr<const CompiledTrace> Insert(const Situation& s,
+                                              CompiledTrace trace);
 
-  size_t size() const { return entries_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  /// Single-flight lookup-or-compile: returns the cached trace for `s`, or
+  /// runs `compile` and inserts its result. Compilation is serialized *per
+  /// situation*, so concurrent morsel workers that miss on the same
+  /// situation don't launch duplicate host-compiler invocations (late
+  /// arrivals re-check the cache under the per-key lock and reuse the
+  /// winner's trace), while distinct situations compile concurrently.
+  /// `*compiled_fresh` reports whether this call did the compile.
+  Result<std::shared_ptr<const CompiledTrace>> GetOrCompile(
+      const Situation& s,
+      const std::function<Result<CompiledTrace>()>& compile,
+      bool* compiled_fresh);
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
 
  private:
-  std::unordered_map<uint64_t, CompiledTrace> entries_;
+  /// Find without touching the hit/miss counters (internal re-checks).
+  std::shared_ptr<const CompiledTrace> Lookup(uint64_t key) const;
+
+  /// Per-situation in-flight compile locks (single-flight).
+  std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> compiling_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const CompiledTrace>> entries_;
   mutable uint64_t hits_ = 0;
   mutable uint64_t misses_ = 0;
 };

@@ -18,16 +18,20 @@ using interp::Interpreter;
 using interp::ScalarValue;
 using interp::Value;
 
-// Evaluate a read/write position expression (restricted to variables and
+// Evaluate a read/write position reference (restricted to variables and
 // constants by the code generator).
-Result<int64_t> EvalPos(Interpreter& in, const dsl::Expr* e) {
-  if (e == nullptr) return Status::Internal("missing position expression");
-  if (e->kind == dsl::ExprKind::kConst) return e->const_i;
-  if (e->kind == dsl::ExprKind::kVarRef) {
-    AVM_ASSIGN_OR_RETURN(ScalarValue s, in.GetScalar(e->var));
-    return s.AsI64();
+Result<int64_t> EvalPos(Interpreter& in, const PosRef& pos) {
+  switch (pos.kind) {
+    case PosRef::Kind::kConst:
+      return pos.const_i;
+    case PosRef::Kind::kVar: {
+      AVM_ASSIGN_OR_RETURN(ScalarValue s, in.GetScalar(pos.var));
+      return s.AsI64();
+    }
+    case PosRef::Kind::kNone:
+      break;
   }
-  return Status::Internal("unsupported position expression");
+  return Status::Internal("missing position reference");
 }
 
 // Mutable per-injection state shared by `run`/`applicable` closures.
@@ -85,13 +89,13 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
         case TraceInputSpec::Kind::kForDeltas: {
           DataBinding* b = in.FindBinding(spec.name);
           if (b == nullptr) return false;
-          auto pos = EvalPos(in, spec.pos_expr);
+          auto pos = EvalPos(in, spec.pos);
           if (!pos.ok() || pos.value() < 0) return false;
           const uint64_t p = static_cast<uint64_t>(pos.value());
           if (p >= b->len) return false;
           if (spec.kind == TraceInputSpec::Kind::kForDeltas) {
             if (b->column == nullptr) return false;
-            auto blk = b->column->BlockAt(p);
+            auto blk = b->column->BlockAt(b->col_offset + p);
             if (!blk.ok()) return false;
             if (blk.value().first->scheme != Scheme::kFor) return false;
             if (blk.value().first->bit_width > 32) return false;
@@ -111,7 +115,7 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
       if (spec.kind == TraceOutputSpec::Kind::kDataWrite) {
         DataBinding* b = in.FindBinding(spec.name);
         if (b == nullptr || b->raw == nullptr || !b->writable) return false;
-        auto pos = EvalPos(in, spec.pos_expr);
+        auto pos = EvalPos(in, spec.pos);
         if (!pos.ok() || pos.value() < 0) return false;
       }
     }
@@ -150,7 +154,7 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
         }
         case TraceInputSpec::Kind::kDataRead: {
           DataBinding* b = in.FindBinding(spec.name);
-          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos_expr));
+          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos));
           const uint64_t avail =
               b->len - std::min<uint64_t>(b->len, static_cast<uint64_t>(pos));
           n = std::min<uint32_t>(n, static_cast<uint32_t>(std::min<uint64_t>(
@@ -159,9 +163,10 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
         }
         case TraceInputSpec::Kind::kForDeltas: {
           DataBinding* b = in.FindBinding(spec.name);
-          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos_expr));
-          AVM_ASSIGN_OR_RETURN(auto blk,
-                               b->column->BlockAt(static_cast<uint64_t>(pos)));
+          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos));
+          AVM_ASSIGN_OR_RETURN(
+              auto blk,
+              b->column->BlockAt(b->col_offset + static_cast<uint64_t>(pos)));
           // Clamp to the block so one scheme covers the whole window.
           const uint32_t block_remaining = blk.first->count - blk.second;
           const uint64_t avail =
@@ -187,24 +192,26 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
         }
         case TraceInputSpec::Kind::kDataRead: {
           DataBinding* b = in.FindBinding(spec.name);
-          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos_expr));
+          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos));
           const size_t w = TypeWidth(b->type);
           if (b->raw != nullptr) {
             st.in_ptrs[k] = static_cast<const uint8_t*>(b->raw) +
                             static_cast<uint64_t>(pos) * w;
           } else {
             st.scratch[k].resize(static_cast<size_t>(n) * w);
-            AVM_RETURN_NOT_OK(b->column->Read(static_cast<uint64_t>(pos), n,
-                                              st.scratch[k].data()));
+            AVM_RETURN_NOT_OK(b->column->Read(
+                b->col_offset + static_cast<uint64_t>(pos), n,
+                st.scratch[k].data()));
             st.in_ptrs[k] = st.scratch[k].data();
           }
           break;
         }
         case TraceInputSpec::Kind::kForDeltas: {
           DataBinding* b = in.FindBinding(spec.name);
-          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos_expr));
-          AVM_ASSIGN_OR_RETURN(auto blk,
-                               b->column->BlockAt(static_cast<uint64_t>(pos)));
+          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos));
+          AVM_ASSIGN_OR_RETURN(
+              auto blk,
+              b->column->BlockAt(b->col_offset + static_cast<uint64_t>(pos)));
           st.scratch[k].resize(static_cast<size_t>(n) * sizeof(uint32_t));
           AVM_RETURN_NOT_OK(DecodeForDeltasRange32(
               *blk.first, blk.second, n,
@@ -250,7 +257,7 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
         }
         case TraceOutputSpec::Kind::kDataWrite: {
           DataBinding* b = in.FindBinding(spec.name);
-          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos_expr));
+          AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos));
           if (static_cast<uint64_t>(pos) + n > b->len) {
             return Status::OutOfRange(
                 StrFormat("compiled write past end of %s", spec.name.c_str()));

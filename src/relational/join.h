@@ -6,10 +6,14 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "engine/morsel.h"
+#include "storage/table.h"
 #include "storage/types.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "vm/reorder.h"
 
 namespace avm::relational {
@@ -89,5 +93,26 @@ class AdaptiveSemijoinChain {
   OrderPolicy policy_;
   vm::SelectiveOpReorderer reorderer_;
 };
+
+/// Result of a (possibly parallel) semijoin-chain scan over a probe table.
+struct SemijoinScanResult {
+  uint64_t survivors = 0;
+  size_t morsels = 1;
+  size_t workers = 1;
+  double wall_seconds = 0;
+};
+
+/// Probe `key_columns` of `probe` through the semijoin chain, counting rows
+/// that survive every filter. Runs through the engine layer's morsel
+/// scheduler: with `num_workers > 1` the probe table is cut into row-range
+/// morsels, each worker clones the chain (its adaptive reorderer state is
+/// private, so per-worker selectivity drift is tracked independently) and
+/// survivor counts merge at the barrier. `filters[f]` guards
+/// `key_columns[f]`.
+Result<SemijoinScanResult> RunSemijoinScan(
+    const Table& probe, const std::vector<std::string>& key_columns,
+    const std::vector<const HashSetI64*>& filters,
+    AdaptiveSemijoinChain::OrderPolicy policy, size_t num_workers = 1,
+    ThreadPool* pool = nullptr);
 
 }  // namespace avm::relational

@@ -295,11 +295,8 @@ extern "C" void avm_q1_whole(const int64_t* qty, const int64_t* price,
   return r;
 }
 
-Result<Q1DslRun> RunQ1AdaptiveVm(const Table& lineitem, vm::VmOptions options) {
+dsl::Program MakeQ1Program(int64_t n) {
   using namespace dsl;
-  AVM_ASSIGN_OR_RETURN(Q1Columns c, ResolveColumns(lineitem));
-  const int64_t n = static_cast<int64_t>(lineitem.num_rows());
-
   Program p;
   p.data = {{"l_quantity", TypeId::kI64, false},
             {"l_extendedprice", TypeId::kI64, false},
@@ -369,36 +366,33 @@ Result<Q1DslRun> RunQ1AdaptiveVm(const Table& lineitem, vm::VmOptions options) {
 
   p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
   p.AssignIds();
-  AVM_RETURN_NOT_OK(TypeCheck(&p));
+  return p;
+}
 
-  vm::AdaptiveVm avm(&p, options);
-  interp::Interpreter& in = avm.interpreter();
-  auto bind_col = [&](const char* name, const Column* col) {
-    return in.BindData(name, interp::DataBinding::FromColumn(col));
-  };
-  AVM_RETURN_NOT_OK(bind_col("l_quantity", c.qty));
-  AVM_RETURN_NOT_OK(bind_col("l_extendedprice", c.price));
-  AVM_RETURN_NOT_OK(bind_col("l_discount", c.disc));
-  AVM_RETURN_NOT_OK(bind_col("l_tax", c.tax));
-  AVM_RETURN_NOT_OK(bind_col("l_returnflag", c.rf));
-  AVM_RETURN_NOT_OK(bind_col("l_linestatus", c.ls));
-  AVM_RETURN_NOT_OK(bind_col("l_shipdate", c.sd));
+Result<Q1DslRun> RunQ1Engine(const Table& lineitem,
+                             engine::EngineOptions options) {
+  AVM_ASSIGN_OR_RETURN(Q1Columns c, ResolveColumns(lineitem));
+
+  engine::ExecContext ctx(
+      [](int64_t rows) -> Result<dsl::Program> { return MakeQ1Program(rows); },
+      lineitem.num_rows());
+  ctx.BindInputColumn("l_quantity", c.qty)
+      .BindInputColumn("l_extendedprice", c.price)
+      .BindInputColumn("l_discount", c.disc)
+      .BindInputColumn("l_tax", c.tax)
+      .BindInputColumn("l_returnflag", c.rf)
+      .BindInputColumn("l_linestatus", c.ls)
+      .BindInputColumn("l_shipdate", c.sd);
   int64_t acc_qty[8] = {0}, acc_base[8] = {0}, acc_disc[8] = {0},
           acc_charge[8] = {0}, acc_count[8] = {0};
-  auto bind_acc = [&](const char* name, int64_t* a) {
-    return in.BindData(name,
-                       interp::DataBinding::Raw(TypeId::kI64, a, 8, true));
-  };
-  AVM_RETURN_NOT_OK(bind_acc("acc_qty", acc_qty));
-  AVM_RETURN_NOT_OK(bind_acc("acc_base", acc_base));
-  AVM_RETURN_NOT_OK(bind_acc("acc_disc", acc_disc));
-  AVM_RETURN_NOT_OK(bind_acc("acc_charge", acc_charge));
-  AVM_RETURN_NOT_OK(bind_acc("acc_count", acc_count));
-
-  AVM_RETURN_NOT_OK(avm.Run());
+  ctx.BindAccumulator("acc_qty", TypeId::kI64, acc_qty, 8)
+      .BindAccumulator("acc_base", TypeId::kI64, acc_base, 8)
+      .BindAccumulator("acc_disc", TypeId::kI64, acc_disc, 8)
+      .BindAccumulator("acc_charge", TypeId::kI64, acc_charge, 8)
+      .BindAccumulator("acc_count", TypeId::kI64, acc_count, 8);
 
   Q1DslRun out;
-  out.report = avm.Report();
+  AVM_ASSIGN_OR_RETURN(out.report, engine::ExecEngine::Execute(ctx, options));
   for (int g = 0; g < 8; ++g) {
     out.result.groups[g].sum_qty = acc_qty[g];
     out.result.groups[g].sum_base_price = acc_base[g];
@@ -407,6 +401,15 @@ Result<Q1DslRun> RunQ1AdaptiveVm(const Table& lineitem, vm::VmOptions options) {
     out.result.groups[g].count = acc_count[g];
   }
   return out;
+}
+
+Result<Q1DslRun> RunQ1AdaptiveVm(const Table& lineitem, vm::VmOptions options) {
+  engine::EngineOptions eo;
+  eo.strategy = options.enable_jit ? engine::ExecutionStrategy::kAdaptiveJit
+                                   : engine::ExecutionStrategy::kInterpret;
+  eo.vm = options;
+  eo.num_workers = 1;
+  return RunQ1Engine(lineitem, eo);
 }
 
 }  // namespace avm::relational

@@ -14,10 +14,10 @@
 #include <array>
 #include <cstdint>
 
+#include "engine/exec_engine.h"
 #include "storage/datagen.h"
 #include "storage/table.h"
 #include "util/status.h"
-#include "vm/adaptive_vm.h"
 
 namespace avm::relational {
 
@@ -61,11 +61,23 @@ Result<Q1Result> RunQ1CompiledWholeQuery(const Table& lineitem);
 
 struct Q1DslRun {
   Q1Result result;
-  vm::VmReport report;
+  engine::ExecReport report;
 };
 
-/// Q1 expressed as a DSL program executed by the adaptive VM (traces get
-/// JIT-compiled and injected mid-run when options.enable_jit).
+/// The Q1 DSL program over `rows` input rows (chunked loop; scatter
+/// aggregation into the five acc_* arrays). Exposed so tests and the engine
+/// layer can instantiate per-morsel copies.
+dsl::Program MakeQ1Program(int64_t rows);
+
+/// Q1 expressed as a DSL program executed through the ExecEngine facade.
+/// `options.num_workers > 1` runs morsel-parallel: row-range slices of
+/// lineitem per worker, a shared trace cache, and per-worker aggregate
+/// state merged at the barrier — bit-identical to the serial run.
+Result<Q1DslRun> RunQ1Engine(const Table& lineitem,
+                             engine::EngineOptions options = {});
+
+/// Back-compat wrapper: serial adaptive-VM run with the given VM knobs
+/// (traces get JIT-compiled and injected mid-run when options.enable_jit).
 Result<Q1DslRun> RunQ1AdaptiveVm(const Table& lineitem,
                                  vm::VmOptions options = {});
 

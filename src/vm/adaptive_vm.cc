@@ -10,8 +10,10 @@ namespace avm::vm {
 
 using interp::Interpreter;
 
-AdaptiveVm::AdaptiveVm(const dsl::Program* program, VmOptions options)
+AdaptiveVm::AdaptiveVm(const dsl::Program* program, VmOptions options,
+                       jit::TraceCache* shared_cache)
     : program_(program), options_(std::move(options)) {
+  if (shared_cache != nullptr) cache_ = shared_cache;
   interp_ = std::make_unique<Interpreter>(program_, options_.interp);
   interp_->iteration_hook = [this](Interpreter& in, uint64_t iteration) {
     return OnIteration(in, iteration);
@@ -125,19 +127,27 @@ Status AdaptiveVm::InstallTrace(Interpreter& in, const ir::Trace& trace,
     return Status::NotFound("already installed");  // benign skip
   }
 
-  const jit::CompiledTrace* compiled = cache_.Find(situation);
-  if (compiled == nullptr) {
-    jit::CodegenOptions cg;
-    cg.scheme_specialization = situation.schemes;
-    Stopwatch sw;
-    AVM_ASSIGN_OR_RETURN(
-        jit::CompiledTrace fresh,
-        jit::CompileTrace(*program_, graph_, trace, jit::SourceJit::Global(),
-                          cg));
-    report_.compile_seconds += sw.ElapsedSeconds();
+  bool compiled_fresh = false;
+  double compile_seconds = 0;
+  AVM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const jit::CompiledTrace> compiled,
+      cache_->GetOrCompile(
+          situation,
+          // Timed inside the callback so waiting on the cache's compile
+          // lock is not charged as compilation time.
+          [&]() -> Result<jit::CompiledTrace> {
+            jit::CodegenOptions cg;
+            cg.scheme_specialization = situation.schemes;
+            Stopwatch sw;
+            Result<jit::CompiledTrace> fresh = jit::CompileTrace(
+                *program_, graph_, trace, jit::SourceJit::Global(), cg);
+            compile_seconds = sw.ElapsedSeconds();
+            return fresh;
+          },
+          &compiled_fresh));
+  if (compiled_fresh) {
+    report_.compile_seconds += compile_seconds;
     ++report_.traces_compiled;
-    cache_.Insert(situation, std::move(fresh));
-    compiled = cache_.Find(situation);
   } else {
     ++report_.traces_reused;
   }

@@ -51,8 +51,12 @@ struct VmReport {
 
 class AdaptiveVm {
  public:
-  /// `program` must be type-checked and outlive the VM.
-  AdaptiveVm(const dsl::Program* program, VmOptions options = {});
+  /// `program` must be type-checked and outlive the VM. When `shared_cache`
+  /// is non-null the VM compiles into / reuses that (thread-safe) cache
+  /// instead of a private one — this is how morsel workers of a parallel run
+  /// share each other's compiled traces.
+  AdaptiveVm(const dsl::Program* program, VmOptions options = {},
+             jit::TraceCache* shared_cache = nullptr);
 
   /// Access the embedded interpreter to bind data (before Run).
   interp::Interpreter& interpreter() { return *interp_; }
@@ -62,7 +66,7 @@ class AdaptiveVm {
 
   VmReport Report() const;
   const StateMachine& state_machine() const { return sm_; }
-  const jit::TraceCache& trace_cache() const { return cache_; }
+  const jit::TraceCache& trace_cache() const { return *cache_; }
 
  private:
   Status OnIteration(interp::Interpreter& in, uint64_t iteration);
@@ -79,7 +83,8 @@ class AdaptiveVm {
   ir::DepGraph graph_;
   bool graph_built_ = false;
   StateMachine sm_;
-  jit::TraceCache cache_;
+  jit::TraceCache own_cache_;
+  jit::TraceCache* cache_ = &own_cache_;  ///< points at own_cache_ or shared
   std::vector<ir::Trace> traces_;
   std::unordered_set<uint64_t> installed_;
   bool optimized_once_ = false;

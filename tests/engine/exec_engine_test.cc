@@ -1,0 +1,337 @@
+#include "engine/exec_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dsl/builder.h"
+#include "jit/source_jit.h"
+#include "relational/q1.h"
+#include "storage/datagen.h"
+
+namespace avm::engine {
+namespace {
+
+using relational::Q1DslRun;
+using relational::Q1Result;
+using relational::RunQ1Engine;
+using relational::RunQ1Scalar;
+
+std::unique_ptr<Table> SmallLineitem(uint64_t rows = 120'000) {
+  LineitemSpec spec;
+  spec.num_rows = rows;
+  return MakeLineitem(spec);
+}
+
+ExecContext::ProgramFactory TripleMapFactory() {
+  return [](int64_t rows) -> Result<dsl::Program> {
+    return dsl::MakeMapPipeline(
+        TypeId::kI64,
+        dsl::Lambda({"x"}, dsl::Var("x") * dsl::ConstI(3) + dsl::ConstI(1)),
+        rows);
+  };
+}
+
+TEST(ExecEngineTest, SerialInterpretedMapPipeline) {
+  const int64_t n = 10'000;
+  DataGen gen(3);
+  auto data = gen.UniformI64(n, -100, 100);
+  std::vector<int64_t> out(n);
+
+  ExecContext ctx(TripleMapFactory(), n);
+  ctx.BindInput("src", interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+  ctx.BindOutput("out",
+                 interp::DataBinding::Raw(TypeId::kI64, out.data(), n, true));
+  EngineOptions opts;
+  opts.strategy = ExecutionStrategy::kInterpret;
+  auto report = ExecEngine::Execute(ctx, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().workers, 1u);
+  EXPECT_EQ(report.value().rows, static_cast<uint64_t>(n));
+  EXPECT_EQ(report.value().traces_compiled, 0u);
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], data[i] * 3 + 1) << "row " << i;
+  }
+}
+
+TEST(ExecEngineTest, ParallelMapPipelineMatchesSerial) {
+  const int64_t n = 500'000;
+  DataGen gen(7);
+  auto data = gen.UniformI64(n, -1000, 1000);
+  std::vector<int64_t> serial_out(n), parallel_out(n);
+
+  EngineOptions opts;
+  opts.strategy = ExecutionStrategy::kInterpret;
+  {
+    ExecContext ctx(TripleMapFactory(), n);
+    ctx.BindInput("src",
+                  interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+    ctx.BindOutput("out", interp::DataBinding::Raw(
+                              TypeId::kI64, serial_out.data(), n, true));
+    ASSERT_TRUE(ExecEngine::Execute(ctx, opts).ok());
+  }
+  opts.num_workers = 4;
+  {
+    ExecContext ctx(TripleMapFactory(), n);
+    ctx.BindInput("src",
+                  interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+    ctx.BindOutput("out", interp::DataBinding::Raw(
+                              TypeId::kI64, parallel_out.data(), n, true));
+    auto report = ExecEngine::Execute(ctx, opts);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GT(report.value().morsels, 1u);
+    EXPECT_GT(report.value().workers, 1u);
+  }
+  EXPECT_EQ(serial_out, parallel_out);
+}
+
+TEST(ExecEngineTest, ParallelColumnInputSlicing) {
+  // Column-backed input: morsel slices must decode the right row ranges
+  // even when morsel boundaries disagree with block boundaries.
+  const uint64_t n = 200'000;
+  DataGen gen(11);
+  auto values = gen.UniformI64(n, 0, 1 << 20);
+  Column col(TypeId::kI64, /*block_size=*/8192);
+  ASSERT_TRUE(col.AppendValues(values.data(), static_cast<uint32_t>(n)).ok());
+
+  std::vector<int64_t> out(n);
+  ExecContext ctx(TripleMapFactory(), n);
+  ctx.BindInputColumn("src", &col);
+  ctx.BindOutput("out",
+                 interp::DataBinding::Raw(TypeId::kI64, out.data(), n, true));
+  EngineOptions opts;
+  opts.strategy = ExecutionStrategy::kInterpret;
+  opts.num_workers = 4;
+  opts.morsel_rows = 20'000;  // not block-aligned
+  auto report = ExecEngine::Execute(ctx, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report.value().morsels, 10u);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], values[i] * 3 + 1) << "row " << i;
+  }
+}
+
+TEST(ExecEngineTest, ParallelQ1BitIdenticalToSingleThreaded) {
+  auto table = SmallLineitem();
+  auto oracle = RunQ1Scalar(*table);
+  ASSERT_TRUE(oracle.ok());
+
+  EngineOptions serial;
+  serial.strategy = ExecutionStrategy::kInterpret;
+  auto s = RunQ1Engine(*table, serial);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s.value().result, oracle.value());
+
+  EngineOptions parallel = serial;
+  parallel.num_workers = 4;
+  auto p = RunQ1Engine(*table, parallel);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_GT(p.value().report.morsels, 1u);
+  // Integer aggregates: merge order cannot perturb the result — the
+  // parallel run must be bit-identical to the serial one.
+  EXPECT_EQ(p.value().result, s.value().result);
+  EXPECT_EQ(p.value().result, oracle.value());
+}
+
+TEST(ExecEngineTest, ParallelQ1WithSharedJitCache) {
+  if (!jit::SourceJit::Available()) {
+    GTEST_SKIP() << "no host compiler";
+  }
+  auto table = SmallLineitem();
+  auto oracle = RunQ1Scalar(*table);
+  ASSERT_TRUE(oracle.ok());
+
+  EngineOptions opts;
+  opts.strategy = ExecutionStrategy::kAdaptiveJit;
+  opts.num_workers = 4;
+  opts.vm.optimize_after_iterations = 2;
+  auto run = RunQ1Engine(*table, opts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().result, oracle.value());
+  EXPECT_GT(run.value().report.injection_runs, 0u);
+  // The shared TraceCache means later workers reuse what the first worker
+  // compiled instead of compiling their own copies: far fewer compilations
+  // than workers * traces, and at least one cache reuse.
+  EXPECT_GT(run.value().report.traces_compiled, 0u);
+  EXPECT_GT(run.value().report.traces_reused, 0u);
+}
+
+TEST(ExecEngineTest, RepeatedRunsReuseEngineTraceCache) {
+  if (!jit::SourceJit::Available()) {
+    GTEST_SKIP() << "no host compiler";
+  }
+  // A single-map pipeline partitions into exactly one trace regardless of
+  // profiled costs, so its situation fingerprint is stable run-over-run
+  // (Q1's multi-trace partition can shift with cycle noise).
+  const int64_t n = 64'000;
+  DataGen gen(23);
+  auto data = gen.UniformI64(n, -100, 100);
+  std::vector<int64_t> out(n);
+
+  EngineOptions opts;
+  opts.strategy = ExecutionStrategy::kAdaptiveJit;
+  opts.vm.optimize_after_iterations = 2;
+  ExecEngine engine(opts);
+
+  auto run_once = [&]() -> Result<ExecReport> {
+    // Re-create the context per run, like a repeated query would.
+    ExecContext ctx(TripleMapFactory(), n);
+    ctx.BindInput("src",
+                  interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+    ctx.BindOutput("out", interp::DataBinding::Raw(TypeId::kI64, out.data(),
+                                                   n, true));
+    return engine.Run(ctx);
+  };
+
+  auto first = run_once();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().traces_compiled, 1u);
+  auto second = run_once();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // Second run of the same query shape: the trace comes from the engine's
+  // persistent cache, not a fresh compilation.
+  EXPECT_GT(second.value().traces_reused, 0u);
+  EXPECT_EQ(second.value().traces_compiled, 0u);
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], data[i] * 3 + 1) << "row " << i;
+  }
+}
+
+// Compute-heavy map: enough scalar ops per row that the placer's cost model
+// favors the GPU even with cold PCIe transfers both ways.
+ExecContext::ProgramFactory DeepMapFactory() {
+  return [](int64_t rows) -> Result<dsl::Program> {
+    using namespace dsl;
+    ExprPtr body = Var("x");
+    for (int d = 0; d < 10; ++d) {
+      body = body * ConstI(3) + Var("x");
+    }
+    return MakeMapPipeline(TypeId::kI64, Lambda({"x"}, std::move(body)),
+                           rows);
+  };
+}
+
+int64_t DeepMapReference(int64_t x) {
+  int64_t v = x;
+  for (int d = 0; d < 10; ++d) v = v * 3 + x;
+  return v;
+}
+
+TEST(ExecEngineTest, GpuOffloadRunsMapFragmentOnSimDevice) {
+  const int64_t n = 8 << 20;  // large enough that the placer picks the GPU
+  DataGen gen(13);
+  auto data = gen.UniformI64(n, -500, 500);
+  std::vector<int64_t> out(n);
+
+  ExecContext ctx(DeepMapFactory(), n);
+  ctx.BindInput("src", interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+  ctx.BindOutput("out",
+                 interp::DataBinding::Raw(TypeId::kI64, out.data(), n, true));
+  EngineOptions opts;
+  opts.strategy = ExecutionStrategy::kGpuOffload;
+  auto report = ExecEngine::Execute(ctx, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().device, "gpu-sim");
+  EXPECT_GT(report.value().gpu_sim_seconds, 0.0);
+  for (int64_t i = 0; i < n; i += 997) {
+    ASSERT_EQ(out[i], DeepMapReference(data[i])) << "row " << i;
+  }
+}
+
+TEST(ExecEngineTest, GpuOffloadFallsBackToCpuForUnsupportedShapes) {
+  // Q1 (scatter aggregation) is not an offloadable map fragment: the
+  // engine must transparently fall back to the CPU path.
+  auto table = SmallLineitem(30'000);
+  auto oracle = RunQ1Scalar(*table);
+  ASSERT_TRUE(oracle.ok());
+  EngineOptions opts;
+  opts.strategy = ExecutionStrategy::kGpuOffload;
+  opts.vm.enable_jit = false;
+  auto run = RunQ1Engine(*table, opts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().result, oracle.value());
+  EXPECT_EQ(run.value().report.device, "cpu");
+}
+
+TEST(ExecEngineTest, UndersizedBindingRejectedNotHung) {
+  // The engine chose the loop bound (total_rows); a shorter input binding
+  // would spin the interpreter on empty reads forever. Must error instead.
+  const int64_t n = 1000;
+  std::vector<int64_t> data(500, 1), out(n);
+  ExecContext ctx(TripleMapFactory(), n);
+  ctx.BindInput("src",
+                interp::DataBinding::Raw(TypeId::kI64, data.data(), 500));
+  ctx.BindOutput("out",
+                 interp::DataBinding::Raw(TypeId::kI64, out.data(), n, true));
+  EngineOptions opts;
+  opts.strategy = ExecutionStrategy::kInterpret;
+  auto report = ExecEngine::Execute(ctx, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().ToString().find("src"), std::string::npos);
+}
+
+TEST(ExecEngineTest, CondensingProgramsForcedSerial) {
+  // Condensed outputs land at data-dependent positions, so row-partitioned
+  // parallelism would corrupt them: the engine must detect the condense and
+  // fall back to a serial run even when workers were requested.
+  const int64_t n = 100'000;
+  DataGen gen(29);
+  auto data = gen.UniformI64(n, 0, 1000);
+  std::vector<int64_t> out(n, -1);
+  int64_t survivors = -1;
+
+  ExecContext ctx(
+      [](int64_t rows) -> Result<dsl::Program> {
+        return dsl::MakeFilterPipeline(
+            TypeId::kI64,
+            dsl::Lambda({"x"}, dsl::Call(dsl::ScalarOp::kLt,
+                                         {dsl::Var("x"), dsl::ConstI(500)})),
+            rows);
+      },
+      n);
+  ctx.BindInput("src", interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+  ctx.BindOutput("out",
+                 interp::DataBinding::Raw(TypeId::kI64, out.data(), n, true));
+  ctx.set_inspector([&](const interp::Interpreter& in) {
+    survivors = in.GetScalar("k").ValueOrDie().AsI64();
+  });
+  EngineOptions opts;
+  opts.strategy = ExecutionStrategy::kInterpret;
+  opts.num_workers = 4;
+  auto report = ExecEngine::Execute(ctx, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().morsels, 1u);
+  EXPECT_EQ(report.value().workers, 1u);
+
+  std::vector<int64_t> expect;
+  for (int64_t v : data) {
+    if (v < 500) expect.push_back(v);
+  }
+  ASSERT_EQ(survivors, static_cast<int64_t>(expect.size()));
+  for (size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_EQ(out[i], expect[i]) << "survivor " << i;
+  }
+}
+
+TEST(ExecEngineTest, InspectorSeesEveryWorker) {
+  const int64_t n = 200'000;
+  DataGen gen(17);
+  auto data = gen.UniformI64(n, 0, 100);
+  std::vector<int64_t> out(n);
+  ExecContext ctx(TripleMapFactory(), n);
+  ctx.BindInput("src", interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+  ctx.BindOutput("out",
+                 interp::DataBinding::Raw(TypeId::kI64, out.data(), n, true));
+  int inspections = 0;
+  ctx.set_inspector([&](const interp::Interpreter&) { ++inspections; });
+  EngineOptions opts;
+  opts.strategy = ExecutionStrategy::kInterpret;
+  opts.num_workers = 4;
+  auto report = ExecEngine::Execute(ctx, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(static_cast<size_t>(inspections), report.value().morsels);
+}
+
+}  // namespace
+}  // namespace avm::engine

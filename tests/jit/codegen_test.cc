@@ -44,7 +44,8 @@ TEST(CodegenTest, Fig2TopTraceGenerates) {
     if (in.name == "some_data") {
       reads_some_data = true;
       EXPECT_EQ(in.kind, TraceInputSpec::Kind::kDataRead);
-      ASSERT_NE(in.pos_expr, nullptr);
+      ASSERT_TRUE(in.pos.valid());
+      EXPECT_EQ(in.pos.ToString(), "i");
     }
   }
   EXPECT_TRUE(reads_some_data);

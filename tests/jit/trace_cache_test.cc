@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace avm::jit {
 namespace {
 
@@ -58,7 +62,7 @@ TEST(TraceCacheTest, InsertFindHitMissCounters) {
   CompiledTrace t;
   t.meta.name = "trace-a";
   cache.Insert(a, std::move(t));
-  const CompiledTrace* found = cache.Find(a);
+  std::shared_ptr<const CompiledTrace> found = cache.Find(a);
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->meta.name, "trace-a");
   EXPECT_EQ(cache.hits(), 1u);
@@ -79,6 +83,70 @@ TEST(TraceCacheTest, OverwriteSameSituation) {
   cache.Insert(s, std::move(t2));
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.Find(s)->meta.name, "v2");
+}
+
+TEST(TraceCacheTest, ConcurrentInsertAndFind) {
+  // Morsel workers share one cache: many threads inserting distinct
+  // situations while all threads look up the full key space. Entries handed
+  // out must stay valid even while the map rehashes under inserts.
+  TraceCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kSituationsPerThread = 64;
+  std::atomic<uint64_t> found{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSituationsPerThread; ++i) {
+        Situation s;
+        s.trace_fingerprint =
+            static_cast<uint64_t>(t) * kSituationsPerThread + i;
+        CompiledTrace trace;
+        trace.meta.name = "t" + std::to_string(t) + "-" + std::to_string(i);
+        cache.Insert(s, std::move(trace));
+        // Probe the whole key space, holding entries across further inserts.
+        for (int probe = 0; probe < kThreads * kSituationsPerThread;
+             probe += 17) {
+          Situation q;
+          q.trace_fingerprint = static_cast<uint64_t>(probe);
+          std::shared_ptr<const CompiledTrace> hit = cache.Find(q);
+          if (hit != nullptr) {
+            found.fetch_add(1);
+            ASSERT_FALSE(hit->meta.name.empty());
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.size(),
+            static_cast<size_t>(kThreads) * kSituationsPerThread);
+  EXPECT_GT(found.load(), 0u);
+  // Every insert was preceded by zero Finds of that key from its own
+  // thread, so hits + misses must equal total probes.
+  EXPECT_EQ(cache.hits(), found.load());
+}
+
+TEST(TraceCacheTest, ConcurrentSameSituationOverwrite) {
+  // Two workers racing to compile the same situation: last insert wins and
+  // readers never observe a torn entry.
+  TraceCache cache;
+  Situation s;
+  s.trace_fingerprint = 77;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        CompiledTrace trace;
+        trace.meta.name = "worker" + std::to_string(t);
+        cache.Insert(s, std::move(trace));
+        auto hit = cache.Find(s);
+        ASSERT_NE(hit, nullptr);
+        ASSERT_EQ(hit->meta.name.rfind("worker", 0), 0u);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 }  // namespace

@@ -144,6 +144,46 @@ TEST(SemijoinChainTest, AdaptiveMatchesFixedResults) {
   }
 }
 
+TEST(SemijoinScanTest, ParallelScanMatchesSerial) {
+  // Probe table with two i64 key columns; survivors of the chain must be
+  // identical no matter how many workers scan it.
+  const uint64_t n = 200'000;
+  Schema schema({{"k0", TypeId::kI64}, {"k1", TypeId::kI64}});
+  Table probe(schema);
+  Rng rng(9);
+  std::vector<int64_t> k0(n), k1(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    k0[i] = rng.NextInRange(0, 5000);
+    k1[i] = rng.NextInRange(0, 5000);
+  }
+  ASSERT_TRUE(
+      probe.column(0).AppendValues(k0.data(), static_cast<uint32_t>(n)).ok());
+  ASSERT_TRUE(
+      probe.column(1).AppendValues(k1.data(), static_cast<uint32_t>(n)).ok());
+
+  HashSetI64 f0, f1;
+  for (int i = 0; i < 2500; ++i) f0.Insert(rng.NextInRange(0, 5000));
+  for (int i = 0; i < 400; ++i) f1.Insert(rng.NextInRange(0, 5000));
+
+  auto serial = RunSemijoinScan(probe, {"k0", "k1"}, {&f0, &f1},
+                                AdaptiveSemijoinChain::OrderPolicy::kAdaptive,
+                                /*num_workers=*/1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = RunSemijoinScan(
+      probe, {"k0", "k1"}, {&f0, &f1},
+      AdaptiveSemijoinChain::OrderPolicy::kAdaptive, /*num_workers=*/4);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(parallel.value().survivors, serial.value().survivors);
+  EXPECT_GT(parallel.value().morsels, 1u);
+
+  // Cross-check against a scalar count.
+  uint64_t expect = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (f0.Contains(k0[i]) && f1.Contains(k1[i])) ++expect;
+  }
+  EXPECT_EQ(serial.value().survivors, expect);
+}
+
 TEST(SemijoinChainTest, EarlyExitOnEmptySelection) {
   HashSetI64 none, all;
   for (int64_t k = 0; k < 10; ++k) all.Insert(k);

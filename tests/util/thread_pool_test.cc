@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 
 namespace avm {
 namespace {
@@ -50,6 +51,40 @@ TEST(ThreadPoolTest, GlobalSingleton) {
   ThreadPool& b = ThreadPool::Global();
   EXPECT_EQ(&a, &b);
   EXPECT_GE(a.num_threads(), 1u);
+}
+
+TEST(ThreadPoolStressTest, ManySubmittersManyTasks) {
+  // Morsel execution submits from the caller while workers drain; hammer
+  // the queue from several producer threads at once.
+  ThreadPool pool(8);
+  constexpr int kProducers = 6;
+  constexpr int kTasksPerProducer = 2000;
+  std::atomic<int64_t> sum{0};
+  std::vector<std::thread> producers;
+  std::vector<std::future<void>> futs[kProducers];
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        futs[p].push_back(pool.Submit([&sum, i] { sum.fetch_add(i); }));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& fs : futs) {
+    for (auto& f : fs) f.get();
+  }
+  const int64_t per_producer =
+      int64_t{kTasksPerProducer} * (kTasksPerProducer - 1) / 2;
+  EXPECT_EQ(sum.load(), kProducers * per_producer);
+}
+
+TEST(ThreadPoolStressTest, RepeatedParallelForBursts) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> total{0};
+    pool.ParallelFor(997, [&](size_t i) { total.fetch_add(i + 1); });
+    ASSERT_EQ(total.load(), uint64_t{997} * 998 / 2) << "round " << round;
+  }
 }
 
 }  // namespace
