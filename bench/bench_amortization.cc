@@ -61,7 +61,8 @@ void BM_Amortize_InterpretOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_Amortize_InterpretOnly)
     ->Arg(8 << 10)->Arg(64 << 10)->Arg(512 << 10)->Arg(4 << 20)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_Amortize_CompileImmediately(benchmark::State& state) {
   if (!jit::SourceJit::Available()) {
@@ -90,7 +91,8 @@ void BM_Amortize_CompileImmediately(benchmark::State& state) {
 }
 BENCHMARK(BM_Amortize_CompileImmediately)
     ->Arg(8 << 10)->Arg(64 << 10)->Arg(512 << 10)->Arg(4 << 20)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_Amortize_Adaptive(benchmark::State& state) {
   if (!jit::SourceJit::Available()) {
@@ -115,6 +117,7 @@ void BM_Amortize_Adaptive(benchmark::State& state) {
 }
 BENCHMARK(BM_Amortize_Adaptive)
     ->Arg(8 << 10)->Arg(64 << 10)->Arg(512 << 10)->Arg(4 << 20)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace

@@ -87,7 +87,7 @@ void BM_CompressedExec_Interpreted(benchmark::State& state) {
   RunVm(state, *col, /*jit=*/false, /*specialize=*/false);
 }
 BENCHMARK(BM_CompressedExec_Interpreted)
-    ->Arg(0)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+    ->Arg(0)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_CompressedExec_JitPlainDecode(benchmark::State& state) {
   if (!jit::SourceJit::Available()) {
@@ -98,7 +98,7 @@ void BM_CompressedExec_JitPlainDecode(benchmark::State& state) {
   RunVm(state, *col, /*jit=*/true, /*specialize=*/false);
 }
 BENCHMARK(BM_CompressedExec_JitPlainDecode)
-    ->Arg(0)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+    ->Arg(0)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_CompressedExec_JitForSpecialized(benchmark::State& state) {
   if (!jit::SourceJit::Available()) {
@@ -110,6 +110,7 @@ void BM_CompressedExec_JitForSpecialized(benchmark::State& state) {
 }
 BENCHMARK(BM_CompressedExec_JitForSpecialized)
     ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace

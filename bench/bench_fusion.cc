@@ -83,7 +83,8 @@ void BM_MapChain_Interpreted(benchmark::State& state) {
   RunChain(state, false);
 }
 BENCHMARK(BM_MapChain_Interpreted)
-    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_MapChain_FusedJit(benchmark::State& state) {
   if (!jit::SourceJit::Available()) {
@@ -93,6 +94,7 @@ void BM_MapChain_FusedJit(benchmark::State& state) {
   RunChain(state, true);
 }
 BENCHMARK(BM_MapChain_FusedJit)
-    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace

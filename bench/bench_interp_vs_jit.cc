@@ -59,7 +59,8 @@ void BM_ChunkSweep_Interpreted(benchmark::State& state) {
 }
 BENCHMARK(BM_ChunkSweep_Interpreted)
     ->Arg(128)->Arg(512)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ChunkSweep_Jit(benchmark::State& state) {
   if (!jit::SourceJit::Available()) {
@@ -70,6 +71,7 @@ void BM_ChunkSweep_Jit(benchmark::State& state) {
 }
 BENCHMARK(BM_ChunkSweep_Jit)
     ->Arg(128)->Arg(512)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace

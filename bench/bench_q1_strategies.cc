@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "engine/session.h"
 #include "jit/source_jit.h"
 #include "relational/q1.h"
 
@@ -123,7 +124,9 @@ void BM_Q1_EngineInterpreted(benchmark::State& state) {
   opts.strategy = engine::ExecutionStrategy::kInterpret;
   RunEngineBench(state, opts, "engine-interpret");
 }
-BENCHMARK(BM_Q1_EngineInterpreted)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Q1_EngineInterpreted)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_Q1_EngineInterpretedParallel4(benchmark::State& state) {
   engine::EngineOptions opts;
@@ -145,7 +148,9 @@ void BM_Q1_EngineAdaptiveJit(benchmark::State& state) {
   opts.vm.optimize_after_iterations = 8;
   RunEngineBench(state, opts, "engine-adaptive-jit");
 }
-BENCHMARK(BM_Q1_EngineAdaptiveJit)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Q1_EngineAdaptiveJit)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_Q1_EngineAdaptiveJitParallel4(benchmark::State& state) {
   if (!jit::SourceJit::Available()) {
@@ -159,6 +164,74 @@ void BM_Q1_EngineAdaptiveJitParallel4(benchmark::State& state) {
   RunEngineBench(state, opts, "engine-adaptive-jit-par4");
 }
 BENCHMARK(BM_Q1_EngineAdaptiveJitParallel4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- multi-query concurrency: N Q1 clients on one Session ----------------
+//
+// Each iteration submits `clients` independent Q1 queries to a single
+// 4-worker Session; the fair morsel scheduler interleaves them and they
+// share one TraceCache. Throughput counts every client's rows.
+
+void RunSessionClientsBench(benchmark::State& state, engine::QueryOptions qo,
+                            const char* strategy_label) {
+  const Table& t = SharedLineitem();
+  const size_t clients = static_cast<size_t>(state.range(0));
+  engine::SessionOptions so;
+  so.num_workers = 4;
+  engine::Session session(so);
+  // Build each client's query once; iterations measure execution only
+  // (accumulators reset between submissions).
+  std::vector<engine::Query> queries;
+  queries.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    auto q = MakeQ1Query(t);
+    if (!q.ok()) {
+      state.SkipWithError(q.status().ToString().c_str());
+      return;
+    }
+    queries.push_back(std::move(q).value());
+  }
+  for (auto _ : state) {
+    for (engine::Query& q : queries) q.ResetAggregates();
+    std::vector<engine::QueryHandle> handles;
+    handles.reserve(clients);
+    for (engine::Query& q : queries) {
+      handles.push_back(session.Submit(q.context(), qo));
+    }
+    for (engine::QueryHandle& h : handles) {
+      auto r = h.Wait();
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  ReportTuples(state, t.num_rows() * clients, strategy_label);
+}
+
+void BM_Q1_SessionConcurrentClients(benchmark::State& state) {
+  engine::QueryOptions qo;
+  qo.strategy = engine::ExecutionStrategy::kInterpret;
+  RunSessionClientsBench(state, qo, "engine-session-interp-4clients");
+}
+BENCHMARK(BM_Q1_SessionConcurrentClients)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_Q1_SessionConcurrentClientsJit(benchmark::State& state) {
+  if (!jit::SourceJit::Available()) {
+    state.SkipWithError("no host compiler");
+    return;
+  }
+  engine::QueryOptions qo;
+  qo.strategy = engine::ExecutionStrategy::kAdaptiveJit;
+  qo.vm.optimize_after_iterations = 8;
+  RunSessionClientsBench(state, qo, "engine-session-jit-4clients");
+}
+BENCHMARK(BM_Q1_SessionConcurrentClientsJit)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -82,20 +82,68 @@ inline std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// Identifying prefix of a result line: everything up to the measurements.
+/// Two lines with the same key are the same logical benchmark row.
+inline std::string RecordKey(const std::string& bench, const std::string& name,
+                             const std::string& strategy) {
+  return "{\"bench\":\"" + JsonEscape(bench) + "\",\"name\":\"" +
+         JsonEscape(name) + "\",\"strategy\":\"" + JsonEscape(strategy) +
+         "\",";
+}
+
 inline void WriteRecords(const char* binary_name,
                          const std::vector<RunRecord>& records) {
   const char* path = std::getenv("AVM_BENCH_RESULTS");
   if (path != nullptr && std::strcmp(path, "off") == 0) return;
   if (path == nullptr || *path == '\0') path = "BENCH_results.json";
-  std::FILE* f = std::fopen(path, "a");
+
+  // Reruns REPLACE rows with the same (bench, name, strategy) instead of
+  // appending duplicates, so the tracked results file stays curated: keep
+  // every existing line whose key this run does not produce. (Concurrent
+  // bench binaries writing the same file still race last-writer-wins —
+  // run them sequentially or point AVM_BENCH_RESULTS at distinct files.)
+  std::vector<std::string> run_keys;
+  run_keys.reserve(records.size());
+  for (const RunRecord& r : records) {
+    run_keys.push_back(RecordKey(binary_name, r.name, r.strategy));
+  }
+  auto replaced_by_this_run = [&](const std::string& line) {
+    for (const std::string& key : run_keys) {
+      if (line.rfind(key, 0) == 0) return true;
+    }
+    return false;
+  };
+  std::vector<std::string> retained;
+  if (std::FILE* in = std::fopen(path, "r")) {
+    std::string line;
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), in) != nullptr) {
+      line += buf;
+      if (line.empty() || line.back() != '\n') continue;  // long line: keep reading
+      if (!replaced_by_this_run(line)) retained.push_back(line);
+      line.clear();
+    }
+    // Unterminated trailing line: same key treatment, plus the newline.
+    if (!line.empty() && !replaced_by_this_run(line)) {
+      retained.push_back(line + "\n");
+    }
+    std::fclose(in);
+  }
+
+  // Rewrite via a temp file + rename so a crash mid-write cannot truncate
+  // the curated results file (the rename replaces it atomically).
+  const std::string tmp_path = std::string(path) + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "bench_util: cannot open %s for append\n", path);
+    std::fprintf(stderr, "bench_util: cannot open %s for writing\n",
+                 tmp_path.c_str());
     return;
   }
+  for (const std::string& line : retained) {
+    std::fputs(line.c_str(), f);
+  }
   for (const RunRecord& r : records) {
-    std::fprintf(f, "{\"bench\":\"%s\",\"name\":\"%s\",\"strategy\":\"%s\",",
-                 JsonEscape(binary_name).c_str(), JsonEscape(r.name).c_str(),
-                 JsonEscape(r.strategy).c_str());
+    std::fputs(RecordKey(binary_name, r.name, r.strategy).c_str(), f);
     if (r.tuples_per_sec >= 0) {
       std::fprintf(f, "\"tuples_per_sec\":%.1f,\"ns_per_tuple\":%.3f,",
                    r.tuples_per_sec,
@@ -106,6 +154,10 @@ inline void WriteRecords(const char* binary_name,
     std::fprintf(f, "\"ms_per_iter\":%.4f}\n", r.ms_per_iter);
   }
   std::fclose(f);
+  if (std::rename(tmp_path.c_str(), path) != 0) {
+    std::fprintf(stderr, "bench_util: cannot rename %s to %s\n",
+                 tmp_path.c_str(), path);
+  }
 }
 
 inline const char* Basename(const char* argv0) {

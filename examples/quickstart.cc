@@ -1,23 +1,114 @@
-// Quickstart: the paper's Figure 2 program, parsed from its textual form,
-// type-checked and executed through the ExecEngine facade — first
-// interpreted, then (when a host compiler is available) JIT-compiled
-// mid-run by the adaptive strategy.
+// Quickstart: the Session / QueryBuilder surface.
+//
+// 1. Describe a relational query with engine::QueryBuilder — filters,
+//    projections and aggregates lower to the paper's DSL automatically,
+//    with binding roles (input / shared / accumulator) inferred.
+// 2. Submit it to a long-lived engine::Session and wait on the returned
+//    QueryHandle — several clients can be in flight at once, interleaving
+//    their morsels over the session's shared workers.
+// 3. The classic ExecContext + parsed-DSL path (the paper's Figure 2
+//    program) still runs through the same session via the blocking facade.
 //
 //   $ ./quickstart
 #include <cstdio>
 #include <vector>
 
 #include "dsl/parser.h"
-#include "dsl/printer.h"
 #include "dsl/typecheck.h"
-#include "engine/exec_engine.h"
+#include "engine/query_builder.h"
+#include "engine/session.h"
 #include "jit/source_jit.h"
+#include "storage/datagen.h"
 
 using namespace avm;
 
-constexpr const char* kFigure2 = R"(
-# Figure 2 of the paper: read some_data, write 2*x to v, and the positive
-# doubled values (condensed) to w.
+int main() {
+  // A little "orders" table: amount in cents, a status code 0..3.
+  const uint64_t n = 200'000;
+  Schema schema({{"amount", TypeId::kI64}, {"status", TypeId::kI64}});
+  Table orders(schema);
+  {
+    DataGen gen(42);
+    auto amount = gen.UniformI64(n, 100, 99'999);
+    auto status = gen.UniformI64(n, 0, 3);
+    orders.column(0)
+        .AppendValues(amount.data(), static_cast<uint32_t>(n))
+        .Abort("append");
+    orders.column(1)
+        .AppendValues(status.data(), static_cast<uint32_t>(n))
+        .Abort("append");
+  }
+
+  // 1. A typed relational query: revenue and order count per status, for
+  //    orders of at least $5.
+  engine::QueryBuilder qb(orders);
+  qb.Filter(dsl::Var("amount") >= dsl::ConstI(500))
+      .Aggregate(dsl::Var("status"), /*num_groups=*/4)
+      .Sum("revenue", dsl::Var("amount"))
+      .Count("orders");
+  engine::Query query = qb.Build().ValueOrDie();
+
+  // 2. The engine as a service: one session, many in-flight queries. Here
+  //    a second client runs a different aggregate concurrently.
+  engine::SessionOptions so;
+  so.num_workers = 4;
+  engine::Session session(so);
+  engine::QueryOptions qo;
+  qo.strategy = jit::SourceJit::Available()
+                    ? engine::ExecutionStrategy::kAdaptiveJit
+                    : engine::ExecutionStrategy::kInterpret;
+
+  engine::QueryBuilder qb2(orders);
+  qb2.Filter(dsl::Eq(dsl::Var("status"), dsl::ConstI(2)))
+      .Sum("status2_cents", dsl::Var("amount"));
+  engine::Query other = qb2.Build().ValueOrDie();
+
+  engine::QueryHandle h1 = session.Submit(query.context(), qo);
+  engine::QueryHandle h2 = session.Submit(other.context(), qo);
+  engine::ExecReport report = h1.Wait().ValueOrDie();
+  h2.Wait().ValueOrDie();
+
+  std::printf("status   orders      revenue($)\n");
+  for (size_t g = 0; g < query.num_groups(); ++g) {
+    std::printf("%6zu %8lld %15.2f\n", g,
+                (long long)query.aggregate("orders")[g],
+                query.aggregate("revenue")[g] / 100.0);
+  }
+  std::printf("client 2: status-2 revenue $%.2f\n\n",
+              other.aggregate("status2_cents")[0] / 100.0);
+
+  // Verify against a scalar loop (and that both clients agree).
+  {
+    std::vector<int64_t> amount(n), status(n);
+    orders.column(0).Read(0, n, amount.data()).Abort("read");
+    orders.column(1).Read(0, n, status.data()).Abort("read");
+    int64_t rev[4] = {0}, cnt[4] = {0}, s2 = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (amount[i] >= 500) {
+        rev[status[i]] += amount[i];
+        ++cnt[status[i]];
+      }
+      if (status[i] == 2) s2 += amount[i];
+    }
+    for (int g = 0; g < 4; ++g) {
+      if (rev[g] != query.aggregate("revenue")[g] ||
+          cnt[g] != query.aggregate("orders")[g]) {
+        std::printf("!! aggregate mismatch in group %d\n", g);
+        return 1;
+      }
+    }
+    if (s2 != other.aggregate("status2_cents")[0]) {
+      std::printf("!! client 2 mismatch\n");
+      return 1;
+    }
+  }
+
+  std::printf("=== engine report (client 1) ===\n%s\n\n",
+              report.ToString().c_str());
+
+  // 3. The paper's Figure 2 program, parsed from text and run through the
+  //    blocking facade (a thin Submit+Wait over the same machinery).
+  constexpr const char* kFigure2 = R"(
 data some_data : i64
 data v : i64 writable
 data w : i64 writable
@@ -37,51 +128,31 @@ loop
   if i >= 65536 then
     break
 )";
-
-int main() {
-  // 1. Parse and type-check the DSL program.
   dsl::Program program = dsl::ParseProgram(kFigure2).ValueOrDie();
   dsl::TypeCheck(&program).Abort("type check");
-  std::printf("=== program ===\n%s\n", dsl::PrintProgram(program).c_str());
-
-  // 2. Describe the run to the engine: the program plus data bindings.
-  const int64_t n = 65536;
-  std::vector<int64_t> data(n), v(n), w(n);
-  for (int64_t i = 0; i < n; ++i) data[i] = (i % 11) - 5;
-
+  const int64_t fig_n = 65536;
+  std::vector<int64_t> data(fig_n), v(fig_n), w(fig_n);
+  for (int64_t i = 0; i < fig_n; ++i) data[i] = (i % 11) - 5;
   int64_t positives = 0;
   engine::ExecContext ctx(&program);
   ctx.BindInput("some_data",
-                interp::DataBinding::Raw(TypeId::kI64, data.data(), n))
-      .BindOutput("v", interp::DataBinding::Raw(TypeId::kI64, v.data(), n,
-                                                true))
-      .BindOutput("w", interp::DataBinding::Raw(TypeId::kI64, w.data(), n,
-                                                true))
+                interp::DataBinding::Raw(TypeId::kI64, data.data(), fig_n))
+      .BindOutput("v",
+                  interp::DataBinding::Raw(TypeId::kI64, v.data(), fig_n, true))
+      .BindOutput("w",
+                  interp::DataBinding::Raw(TypeId::kI64, w.data(), fig_n, true))
       .set_inspector([&](const interp::Interpreter& in) {
         positives = in.GetScalar("k").ValueOrDie().AsI64();
       });
-
-  // 3. Run under the adaptive strategy.
-  engine::EngineOptions opts;
-  opts.strategy = engine::ExecutionStrategy::kAdaptiveJit;
-  opts.vm.optimize_after_iterations = 8;
-  engine::ExecReport report =
-      engine::ExecEngine::Execute(ctx, opts).ValueOrDie();
-
+  engine::ExecReport fig2 = session.Run(ctx, qo).ValueOrDie();
+  std::printf("=== Figure 2 through the same session ===\n");
   std::printf("processed %lld values; %lld positive results in w\n",
-              (long long)n, (long long)positives);
-  std::printf("v[0..5] = %lld %lld %lld %lld %lld %lld\n", (long long)v[0],
-              (long long)v[1], (long long)v[2], (long long)v[3],
-              (long long)v[4], (long long)v[5]);
-
-  // 4. What did the engine do?
-  std::printf("\n=== engine report ===\n%s\n", report.ToString().c_str());
-  std::printf("\n=== Fig. 1 state machine timeline ===\n%s",
-              report.state_timeline.empty() ? "(interpreted only)\n"
-                                            : report.state_timeline.c_str());
-  std::printf("\n=== profile ===\n%s", report.profile.c_str());
+              (long long)fig_n, (long long)positives);
+  if (!fig2.ran_serial_reason.empty()) {
+    std::printf("(ran serial: %s)\n", fig2.ran_serial_reason.c_str());
+  }
   if (!jit::SourceJit::Available()) {
-    std::printf("\n(no host compiler found: the VM stayed in vectorized "
+    std::printf("(no host compiler found: the VM stayed in vectorized "
                 "interpretation)\n");
   }
   return 0;

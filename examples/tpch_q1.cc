@@ -5,7 +5,9 @@
 //   $ ./tpch_q1 [num_rows]
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "engine/session.h"
 #include "jit/source_jit.h"
 #include "relational/q1.h"
 #include "util/timer.h"
@@ -94,6 +96,40 @@ int main(int argc, char** argv) {
   if (!(vec == oracle) || !(compact == oracle)) {
     std::printf("!! vectorized result mismatch\n");
     return 1;
+  }
+
+  {
+    // Multi-query concurrency: 4 Q1 clients share one session — their
+    // morsels interleave fairly over 4 workers and they share one trace
+    // cache. Every client must still match the oracle bit-identically.
+    engine::SessionOptions so;
+    so.num_workers = 4;
+    engine::Session session(so);
+    engine::QueryOptions qo;
+    qo.strategy = jit::SourceJit::Available()
+                      ? engine::ExecutionStrategy::kAdaptiveJit
+                      : engine::ExecutionStrategy::kInterpret;
+    constexpr int kClients = 4;
+    std::vector<engine::Query> queries;
+    for (int c = 0; c < kClients; ++c) {
+      queries.push_back(MakeQ1Query(*table).ValueOrDie());
+    }
+    Stopwatch sw;
+    std::vector<engine::QueryHandle> handles;
+    for (engine::Query& q : queries) {
+      handles.push_back(session.Submit(q.context(), qo));
+    }
+    for (engine::QueryHandle& h : handles) h.Wait().ValueOrDie();
+    double ms = sw.ElapsedMillis();
+    std::printf("session, %d concurrent clients %8.2f ms  %7.1f Mrows/s "
+                "aggregate\n",
+                kClients, ms, kClients * n / ms / 1e3);
+    for (engine::Query& q : queries) {
+      if (!(Q1ResultFromQuery(q) == oracle)) {
+        std::printf("!! concurrent client result mismatch\n");
+        return 1;
+      }
+    }
   }
 
   std::printf("\ngroup        count      sum_qty    avg_disc_price\n");

@@ -125,6 +125,20 @@ inline ExprPtr operator+(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kAdd, {a,
 inline ExprPtr operator-(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kSub, {a, b}); }
 inline ExprPtr operator*(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kMul, {a, b}); }
 inline ExprPtr operator/(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kDiv, {a, b}); }
+inline ExprPtr operator<(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kLt, {a, b}); }
+inline ExprPtr operator<=(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kLe, {a, b}); }
+inline ExprPtr operator>(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kGt, {a, b}); }
+inline ExprPtr operator>=(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kGe, {a, b}); }
+// Equality and boolean combination stay NAMED on purpose: overloading
+// ==/!=/&&/|| on a shared_ptr alias would hijack pointer comparisons and
+// null-checks (`if (a && b)`) into silently-true AST construction. The
+// relational operators above accept the same hazard for pointer *ordering*
+// (rare in practice) in exchange for readable predicates — never compare
+// two ExprPtrs with </<=/>/>= expecting pointer order; use .get().
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kEq, {a, b}); }
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kNe, {a, b}); }
+inline ExprPtr And(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kAnd, {a, b}); }
+inline ExprPtr Or(ExprPtr a, ExprPtr b) { return Call(ScalarOp::kOr, {a, b}); }
 
 // ---------------------------------------------------------------------------
 // Statements

@@ -1,17 +1,7 @@
 #include "engine/exec_engine.h"
 
-#include <algorithm>
-#include <cstring>
-#include <map>
-#include <mutex>
-
-#include "dsl/typecheck.h"
-#include "gpu/gpu_backend.h"
-#include "gpu/placement.h"
-#include "gpu/sim_device.h"
-#include "ir/prim.h"
+#include "engine/session.h"
 #include "util/string_util.h"
-#include "util/timer.h"
 
 namespace avm::engine {
 
@@ -38,6 +28,9 @@ std::string ExecReport::ToString() const {
       (unsigned long long)injection_fallbacks, compile_seconds * 1e3);
   if (gpu_sim_seconds > 0) {
     out += StrFormat(" gpu_sim=%.2fms", gpu_sim_seconds * 1e3);
+  }
+  if (!ran_serial_reason.empty()) {
+    out += "\nran serial: " + ran_serial_reason;
   }
   return out;
 }
@@ -128,448 +121,34 @@ ExecContext& ExecContext::BindAccumulator(const std::string& name, TypeId type,
 
 // -------------------------------------------------------------- ExecEngine
 
-ExecEngine::ExecEngine(EngineOptions options) : options_(std::move(options)) {}
+ExecEngine::ExecEngine(EngineOptions options) : options_(std::move(options)) {
+  SessionOptions so;
+  so.num_workers = options_.num_workers;
+  so.defaults.strategy = options_.strategy;
+  so.defaults.vm = options_.vm;
+  so.defaults.morsel_rows = options_.morsel_rows;
+  so.device_pool = options_.device_pool;
+  session_ = std::make_unique<Session>(so);
+}
+
 ExecEngine::~ExecEngine() = default;
+
+Result<ExecReport> ExecEngine::Run(ExecContext& ctx) {
+  return session_->Run(ctx);
+}
+
+const jit::TraceCache& ExecEngine::trace_cache() const {
+  return session_->trace_cache();
+}
 
 Result<ExecReport> ExecEngine::Execute(ExecContext& ctx,
                                        EngineOptions options) {
+  // Spins up (and drains) a fresh session — worker threads and an empty
+  // TraceCache — per call: tens of microseconds against the multi-ms
+  // queries this convenience path serves. Callers that care about either
+  // reuse keep an ExecEngine (or a Session) alive instead.
   ExecEngine engine(std::move(options));
   return engine.Run(ctx);
-}
-
-vm::VmOptions ExecEngine::EffectiveVmOptions() const {
-  vm::VmOptions vmo = options_.vm;
-  if (options_.strategy == ExecutionStrategy::kInterpret) {
-    vmo.enable_jit = false;
-  }
-  return vmo;
-}
-
-size_t ExecEngine::EffectiveWorkers() const {
-  if (options_.num_workers > 0) return options_.num_workers;
-  return std::max<size_t>(1, Pool().num_threads());
-}
-
-ThreadPool& ExecEngine::Pool() const {
-  return options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
-}
-
-namespace {
-
-/// Per-morsel view of a full-extent binding.
-interp::DataBinding SliceBinding(const interp::DataBinding& full,
-                                 uint64_t begin, uint64_t rows) {
-  if (full.column != nullptr) {
-    return interp::DataBinding::ColumnSlice(full.column,
-                                            full.col_offset + begin, rows);
-  }
-  interp::DataBinding s = full;
-  s.len = rows;
-  if (s.raw != nullptr) {
-    s.raw = static_cast<uint8_t*>(s.raw) + begin * TypeWidth(s.type);
-  }
-  return s;
-}
-
-Status ValidatePartitioned(const std::string& name,
-                           const interp::DataBinding& b, uint64_t rows) {
-  if (b.len < rows) {
-    return Status::InvalidArgument(
-        StrFormat("binding %s has %llu rows, context expects %llu",
-                  name.c_str(), (unsigned long long)b.len,
-                  (unsigned long long)rows));
-  }
-  return Status::OK();
-}
-
-void MergeVmReport(const vm::VmReport& in, ExecReport* out) {
-  out->iterations += in.iterations;
-  out->traces_compiled += in.traces_compiled;
-  out->traces_reused += in.traces_reused;
-  out->injection_runs += in.injection_runs;
-  out->injection_fallbacks += in.injection_fallbacks;
-  out->compile_seconds += in.compile_seconds;
-}
-
-}  // namespace
-
-Result<ExecReport> ExecEngine::Run(ExecContext& ctx) {
-  if (ctx.fixed_program_ == nullptr && ctx.make_program_ == nullptr) {
-    return Status::InvalidArgument("ExecContext has no program");
-  }
-  if (options_.strategy == ExecutionStrategy::kGpuOffload) {
-    Result<ExecReport> r = RunGpuOffload(ctx);
-    // NotFound = fragment not offloadable; run it on the CPU path instead.
-    if (r.ok() || !r.status().IsNotFound()) return r;
-  }
-  if (EffectiveWorkers() > 1 && ctx.parallelizable() && ctx.total_rows_ > 0) {
-    return RunParallel(ctx);
-  }
-  return RunSerial(ctx);
-}
-
-Result<ExecReport> ExecEngine::RunSerial(ExecContext& ctx,
-                                         const dsl::Program* prebuilt) {
-  Stopwatch sw;
-  const vm::VmOptions vmo = EffectiveVmOptions();
-
-  dsl::Program local;
-  const dsl::Program* program = ctx.fixed_program_;
-  if (prebuilt != nullptr) {
-    program = prebuilt;
-  } else if (ctx.make_program_ != nullptr) {
-    // The engine chose the loop bound (total_rows_), so undersized
-    // partitioned bindings would make the loop spin on empty reads forever
-    // — reject them up front. (Fixed programs own their loop bound; the
-    // engine cannot second-guess their binding lengths.)
-    for (const ExecContext::Bound& b : ctx.bound_) {
-      if (b.role == BindRole::kInput || b.role == BindRole::kOutput) {
-        AVM_RETURN_NOT_OK(
-            ValidatePartitioned(b.name, b.binding, ctx.total_rows_));
-      }
-    }
-    AVM_ASSIGN_OR_RETURN(
-        local, ctx.make_program_(static_cast<int64_t>(ctx.total_rows_)));
-    AVM_RETURN_NOT_OK(dsl::TypeCheck(&local));
-    program = &local;
-  }
-
-  vm::AdaptiveVm vmach(program, vmo, &cache_);
-  for (const ExecContext::Bound& b : ctx.bound_) {
-    AVM_RETURN_NOT_OK(vmach.interpreter().BindData(b.name, b.binding));
-  }
-  AVM_RETURN_NOT_OK(vmach.Run());
-  if (ctx.inspector_) ctx.inspector_(vmach.interpreter());
-
-  ExecReport report;
-  report.strategy = options_.strategy;
-  report.workers = 1;
-  report.morsels = 1;
-  report.rows = ctx.total_rows_;
-  vm::VmReport vr = vmach.Report();
-  MergeVmReport(vr, &report);
-  report.state_timeline = std::move(vr.state_timeline);
-  report.profile = std::move(vr.profile);
-  report.wall_seconds = sw.ElapsedSeconds();
-  return report;
-}
-
-namespace {
-
-/// Row-partitioning is only sound when every data access tracks the input
-/// row position. Three shapes break that and force a serial run:
-///  - condense: survivors land at data-dependent output positions, so a
-///    row-sliced output would be silently wrong;
-///  - scatter whose target is NOT a privatized accumulator: scatter indices
-///    are absolute, a row-sliced output window would shift them;
-///  - gather whose base is row-sliced (kInput/kOutput): the slice hides
-///    rows the gather may address. Shared and accumulator bases see the
-///    whole array and are fine.
-bool ProgramIsRowPartitionable(const dsl::Program& program,
-                               const std::map<std::string, BindRole>& roles) {
-  auto role_of = [&](const std::string& name) -> const BindRole* {
-    auto it = roles.find(name);
-    return it == roles.end() ? nullptr : &it->second;
-  };
-  bool ok = true;
-  dsl::VisitExprs(program, [&](const dsl::ExprPtr& e) {
-    if (e->kind != dsl::ExprKind::kSkeleton) return;
-    switch (e->skeleton) {
-      case dsl::SkeletonKind::kCondense:
-        ok = false;
-        break;
-      case dsl::SkeletonKind::kScatter: {
-        const BindRole* r =
-            e->args.empty() ? nullptr : role_of(e->args[0]->var);
-        if (r != nullptr && *r != BindRole::kAccumulator) ok = false;
-        break;
-      }
-      case dsl::SkeletonKind::kGather: {
-        const BindRole* r =
-            e->args.empty() ? nullptr : role_of(e->args[0]->var);
-        if (r != nullptr && *r != BindRole::kShared &&
-            *r != BindRole::kAccumulator) {
-          ok = false;
-        }
-        break;
-      }
-      default:
-        break;
-    }
-  });
-  return ok;
-}
-
-}  // namespace
-
-Result<ExecReport> ExecEngine::RunParallel(ExecContext& ctx) {
-  Stopwatch sw;
-  vm::VmOptions vmo = EffectiveVmOptions();
-  const size_t workers = EffectiveWorkers();
-  const uint64_t rows = ctx.total_rows_;
-
-  for (const ExecContext::Bound& b : ctx.bound_) {
-    if (b.role == BindRole::kInput || b.role == BindRole::kOutput) {
-      AVM_RETURN_NOT_OK(ValidatePartitioned(b.name, b.binding, rows));
-    }
-  }
-
-  std::vector<Morsel> morsels = PartitionRows(
-      rows, workers, options_.morsel_rows, vmo.interp.chunk_size);
-  if (morsels.size() <= 1) return RunSerial(ctx);
-
-  // Scale the JIT warmup to the morsel size: each morsel runs its own VM,
-  // and a warmup longer than the morsel would silently downgrade the
-  // adaptive strategy to pure interpretation.
-  if (vmo.enable_jit && vmo.optimize_after_iterations > 0) {
-    const uint64_t morsel_iters =
-        std::max<uint64_t>(1, morsels[0].rows() / vmo.interp.chunk_size);
-    vmo.optimize_after_iterations = std::max<uint64_t>(
-        1, std::min(vmo.optimize_after_iterations, morsel_iters / 4));
-  }
-
-  // Build one type-checked program per distinct morsel size (at most two:
-  // the steady size and the tail) and share it read-only across workers —
-  // interpretation never mutates the program, and per-morsel program
-  // construction would otherwise dominate small morsels.
-  std::map<std::string, BindRole> roles;
-  for (const ExecContext::Bound& b : ctx.bound_) {
-    roles.emplace(b.name, b.role);
-  }
-  std::map<uint64_t, dsl::Program> programs;
-  for (const Morsel& m : morsels) {
-    if (programs.contains(m.rows())) continue;
-    AVM_ASSIGN_OR_RETURN(dsl::Program program,
-                         ctx.make_program_(static_cast<int64_t>(m.rows())));
-    AVM_RETURN_NOT_OK(dsl::TypeCheck(&program));
-    if (!ProgramIsRowPartitionable(program, roles)) return RunSerial(ctx);
-    programs.emplace(m.rows(), std::move(program));
-  }
-
-  ExecReport report;
-  report.strategy = options_.strategy;
-  report.workers = std::min(workers, morsels.size());
-  report.morsels = morsels.size();
-  report.rows = rows;
-  std::mutex merge_mu;
-
-  auto run_morsel = [&](const Morsel& m) -> Status {
-    const dsl::Program& program = programs.at(m.rows());
-    vm::AdaptiveVm vmach(&program, vmo, &cache_);
-    interp::Interpreter& in = vmach.interpreter();
-
-    // Private accumulator copies, merged into the master at the barrier.
-    std::vector<std::vector<uint8_t>> privates;
-    privates.reserve(ctx.bound_.size());
-    for (const ExecContext::Bound& b : ctx.bound_) {
-      switch (b.role) {
-        case BindRole::kInput:
-        case BindRole::kOutput:
-          AVM_RETURN_NOT_OK(
-              in.BindData(b.name, SliceBinding(b.binding, m.begin, m.rows())));
-          break;
-        case BindRole::kShared:
-          AVM_RETURN_NOT_OK(in.BindData(b.name, b.binding));
-          break;
-        case BindRole::kAccumulator: {
-          privates.emplace_back(b.binding.len * TypeWidth(b.binding.type), 0);
-          AVM_RETURN_NOT_OK(in.BindData(
-              b.name, interp::DataBinding::Raw(b.binding.type,
-                                               privates.back().data(),
-                                               b.binding.len, true)));
-          break;
-        }
-      }
-    }
-
-    AVM_RETURN_NOT_OK(vmach.Run());
-
-    std::lock_guard<std::mutex> lock(merge_mu);
-    if (ctx.inspector_) ctx.inspector_(in);
-    size_t pi = 0;
-    for (const ExecContext::Bound& b : ctx.bound_) {
-      if (b.role != BindRole::kAccumulator) continue;
-      const MergeFn& merge = b.merge ? b.merge : SumMerge;
-      merge(b.binding.type, b.binding.raw, privates[pi].data(), b.binding.len);
-      ++pi;
-    }
-    vm::VmReport vr = vmach.Report();
-    MergeVmReport(vr, &report);
-    if (m.index == 0) {
-      report.state_timeline = std::move(vr.state_timeline);
-      report.profile = std::move(vr.profile);
-    }
-    return Status::OK();
-  };
-
-  AVM_RETURN_NOT_OK(RunMorsels(Pool(), workers, morsels, run_morsel));
-  report.wall_seconds = sw.ElapsedSeconds();
-  return report;
-}
-
-// ------------------------------------------------------- GPU offload path
-
-namespace {
-
-/// An offloadable fragment: a single map pipeline `out[i] = f(src[i])`.
-struct MapFragment {
-  std::string src;
-  std::string out;
-  const dsl::Expr* lambda = nullptr;
-};
-
-/// Recognize MakeMapPipeline-shaped programs: exactly one read, one
-/// single-input map, one write, and no other data-parallel skeletons.
-Result<MapFragment> DetectMapFragment(const dsl::Program& program) {
-  MapFragment frag;
-  int reads = 0, maps = 0, writes = 0, others = 0;
-  dsl::VisitExprs(program, [&](const dsl::ExprPtr& e) {
-    if (e->kind != dsl::ExprKind::kSkeleton) return;
-    switch (e->skeleton) {
-      case dsl::SkeletonKind::kRead:
-        ++reads;
-        if (e->args.size() == 2) frag.src = e->args[1]->var;
-        break;
-      case dsl::SkeletonKind::kMap:
-        ++maps;
-        if (e->args.size() == 2 &&
-            e->args[0]->kind == dsl::ExprKind::kLambda) {
-          frag.lambda = e->args[0].get();
-        }
-        break;
-      case dsl::SkeletonKind::kWrite:
-        ++writes;
-        if (!e->args.empty()) frag.out = e->args[0]->var;
-        break;
-      case dsl::SkeletonKind::kLen:
-        break;
-      default:
-        ++others;
-    }
-  });
-  if (reads != 1 || maps != 1 || writes != 1 || others != 0 ||
-      frag.lambda == nullptr || frag.src.empty() || frag.out.empty()) {
-    return Status::NotFound("program is not an offloadable map fragment");
-  }
-  return frag;
-}
-
-}  // namespace
-
-Result<ExecReport> ExecEngine::RunGpuOffload(ExecContext& ctx) {
-  // Instantiate a program to inspect its shape.
-  dsl::Program local;
-  const dsl::Program* program = ctx.fixed_program_;
-  if (ctx.make_program_ != nullptr) {
-    AVM_ASSIGN_OR_RETURN(
-        local, ctx.make_program_(static_cast<int64_t>(ctx.total_rows_)));
-    AVM_RETURN_NOT_OK(dsl::TypeCheck(&local));
-    program = &local;
-  }
-  AVM_ASSIGN_OR_RETURN(MapFragment frag, DetectMapFragment(*program));
-
-  const ExecContext::Bound* src = nullptr;
-  const ExecContext::Bound* out = nullptr;
-  for (const ExecContext::Bound& b : ctx.bound_) {
-    if (b.name == frag.src) src = &b;
-    if (b.name == frag.out) out = &b;
-  }
-  if (src == nullptr || out == nullptr || out->binding.raw == nullptr) {
-    return Status::NotFound("map fragment inputs/outputs not offloadable");
-  }
-  const uint64_t rows = ctx.total_rows_ > 0 ? ctx.total_rows_ : src->binding.len;
-  if (rows == 0 || rows > UINT32_MAX || out->binding.len < rows ||
-      src->binding.len < rows) {
-    return Status::NotFound("row count not offloadable");
-  }
-
-  AVM_ASSIGN_OR_RETURN(
-      ir::PrimProgram prim,
-      ir::Normalize(*frag.lambda, {src->binding.type}));
-  for (const ir::PrimInstr& instr : prim.instrs) {
-    for (int a = 0; a < instr.num_args; ++a) {
-      if (instr.args[a].kind == ir::ArgKind::kCapture) {
-        return Status::NotFound("lambda captures scalars: not offloadable");
-      }
-    }
-  }
-  if (prim.result_type != out->binding.type) {
-    return Status::NotFound("map result type mismatch: not offloadable");
-  }
-
-  if (gpu_device_ == nullptr) {
-    gpu_device_ = std::make_unique<gpu::SimGpuDevice>(gpu::GpuDeviceParams{},
-                                                      &Pool());
-    gpu_backend_ = std::make_unique<gpu::GpuBackend>(gpu_device_.get());
-    gpu_placer_ = std::make_unique<gpu::AdaptivePlacer>(gpu_device_->params());
-  }
-
-  const size_t in_width = TypeWidth(src->binding.type);
-  const size_t out_width = TypeWidth(out->binding.type);
-  gpu::FragmentProfile profile;
-  profile.rows = rows;
-  profile.bytes_in = rows * in_width;
-  profile.bytes_out = rows * out_width;
-  profile.ops_per_row = std::max<double>(1, static_cast<double>(prim.NumInstrs()));
-
-  gpu::PlacementDecision decision = gpu_placer_->Decide(profile);
-  if (decision.device == gpu::Device::kCpu) {
-    // The placer keeps the fragment on the CPU: run it through the normal
-    // CPU path, but calibrate the placer from the run. The serial path
-    // reuses the program already built for fragment detection; the parallel
-    // path needs per-morsel instances anyway.
-    Result<ExecReport> r = (EffectiveWorkers() > 1 && ctx.parallelizable())
-                               ? RunParallel(ctx)
-                               : RunSerial(ctx, program);
-    if (r.ok()) {
-      gpu_placer_->Observe(gpu::Device::kCpu, profile, r.value().wall_seconds);
-      ExecReport report = r.value();
-      report.strategy = ExecutionStrategy::kGpuOffload;
-      report.device = "cpu";
-      return report;
-    }
-    return r;
-  }
-
-  Stopwatch sw;
-  // Materialize the input (a compiled scan would do this inline on device).
-  std::vector<uint8_t> decoded;
-  const void* host_in = src->binding.raw;
-  if (host_in == nullptr) {
-    decoded.resize(rows * in_width);
-    AVM_RETURN_NOT_OK(src->binding.column->Read(src->binding.col_offset, rows,
-                                                decoded.data()));
-    host_in = decoded.data();
-  }
-
-  const double sim_before = gpu_device_->clock_seconds();
-  AVM_ASSIGN_OR_RETURN(gpu::SimGpuDevice::BufferId in_buf,
-                       gpu_backend_->EnsureResident(host_in, rows * in_width));
-  Result<gpu::SimGpuDevice::BufferId> out_buf =
-      gpu_backend_->RunMap(prim, {in_buf}, {src->binding.type},
-                           static_cast<uint32_t>(rows));
-  Status run_st = out_buf.ok() ? Status::OK() : out_buf.status();
-  if (run_st.ok()) {
-    run_st = gpu_device_->CopyToHost(out->binding.raw, out_buf.value(),
-                                     rows * out_width);
-  }
-  // Release device buffers on every path — a long-lived engine must not
-  // leak residency when a launch or copy fails.
-  if (out_buf.ok()) (void)gpu_device_->Free(out_buf.value());
-  (void)gpu_backend_->Evict(host_in);
-  AVM_RETURN_NOT_OK(run_st);
-  const double sim_seconds = gpu_device_->clock_seconds() - sim_before;
-  gpu_placer_->Observe(gpu::Device::kGpu, profile, sim_seconds);
-
-  ExecReport report;
-  report.strategy = ExecutionStrategy::kGpuOffload;
-  report.device = "gpu-sim";
-  report.workers = 1;
-  report.morsels = 1;
-  report.rows = rows;
-  report.gpu_sim_seconds = sim_seconds;
-  report.wall_seconds = sw.ElapsedSeconds();
-  return report;
 }
 
 }  // namespace avm::engine

@@ -1,9 +1,9 @@
 // Unified execution facade.
 //
 // Every consumer of the framework (the relational layer, examples,
-// benchmarks) enters through ExecEngine: a type-checked dsl::Program plus
-// data bindings go in, a unified ExecReport comes out. The engine picks the
-// execution machinery from an ExecutionStrategy:
+// benchmarks) enters through the engine layer: a type-checked dsl::Program
+// plus data bindings go in, a unified ExecReport comes out. The engine picks
+// the execution machinery from an ExecutionStrategy:
 //
 //   kInterpret    pure vectorized interpretation (paper §III-A, JIT off)
 //   kAdaptiveJit  the Fig. 1 adaptive VM: interpret + profile, partition,
@@ -11,12 +11,12 @@
 //   kGpuOffload   adaptive CPU/GPU placement for offloadable map fragments
 //                 (simulated device; falls back to kAdaptiveJit otherwise)
 //
-// On top of the strategy the engine layers morsel-driven parallelism: bound
-// columns are partitioned into row-range morsels, one interpreter / adaptive
-// VM clone runs per worker on the shared ThreadPool, all workers share one
-// thread-safe TraceCache (the first worker to compile a trace for a
-// situation serves every other worker), and per-worker accumulator state is
-// merged at the end-of-run barrier.
+// Since the Session redesign the engine is a *service*, not a function: the
+// primary surface is engine::Session (session.h), whose Submit() returns a
+// future-like QueryHandle and whose fair morsel scheduler interleaves N
+// in-flight queries over M workers sharing one TraceCache. The blocking
+// ExecEngine::Run / ExecEngine::Execute entry points below are thin
+// Submit+Wait wrappers kept so every pre-Session consumer keeps working.
 #pragma once
 
 #include <functional>
@@ -30,13 +30,9 @@
 #include "util/thread_pool.h"
 #include "vm/adaptive_vm.h"
 
-namespace avm::gpu {
-class SimGpuDevice;
-class GpuBackend;
-class AdaptivePlacer;
-}  // namespace avm::gpu
-
 namespace avm::engine {
+
+class Session;
 
 enum class ExecutionStrategy : uint8_t {
   kInterpret = 0,
@@ -46,6 +42,22 @@ enum class ExecutionStrategy : uint8_t {
 
 const char* StrategyName(ExecutionStrategy s);
 
+/// Per-query knobs: how one submitted query executes. Worker count and
+/// pools are session-level concerns (SessionOptions).
+struct QueryOptions {
+  ExecutionStrategy strategy = ExecutionStrategy::kAdaptiveJit;
+  /// Tuning knobs of the underlying VM/interpreter. `vm.enable_jit` is
+  /// overridden by the strategy (kInterpret forces it off).
+  vm::VmOptions vm;
+  /// Rows per morsel; 0 = auto (~4 morsels per worker, chunk-aligned).
+  uint64_t morsel_rows = 0;
+};
+
+/// Options of the compatibility facade: per-query knobs plus the session
+/// parameters ExecEngine forwards to its embedded Session. The first three
+/// fields mirror QueryOptions (kept flat for source compatibility with
+/// pre-Session callers); the ExecEngine constructor is the single mapping
+/// point — a field added to QueryOptions must be forwarded there.
 struct EngineOptions {
   ExecutionStrategy strategy = ExecutionStrategy::kAdaptiveJit;
   /// Tuning knobs of the underlying VM/interpreter. `vm.enable_jit` is
@@ -55,8 +67,12 @@ struct EngineOptions {
   size_t num_workers = 1;
   /// Rows per morsel; 0 = auto (~4 morsels per worker, chunk-aligned).
   uint64_t morsel_rows = 0;
-  /// Worker pool; nullptr = the process-wide ThreadPool::Global().
-  ThreadPool* pool = nullptr;
+  /// Auxiliary pool for the simulated GPU device (SM-level parallelism);
+  /// nullptr = the process-wide ThreadPool::Global(). Morsel workers run on
+  /// the session's own worker pool, not on this one — the old `pool` field
+  /// was renamed so pre-Session code that routed morsel work through it
+  /// fails to compile instead of silently changing thread placement.
+  ThreadPool* device_pool = nullptr;
 };
 
 /// Unified result of one engine run — the merger of the old ad-hoc
@@ -68,6 +84,12 @@ struct ExecReport {
   size_t morsels = 1;
   uint64_t rows = 0;
   double wall_seconds = 0;
+
+  /// Non-empty when parallel execution was requested (workers > 1) but the
+  /// query ran serially anyway; says why (fixed program, condensing
+  /// pipeline, single morsel, ...), instead of silently dropping the
+  /// request on the floor.
+  std::string ran_serial_reason;
 
   // Merged adaptive-VM counters (summed across workers).
   uint64_t iterations = 0;
@@ -113,6 +135,10 @@ void SumMerge(TypeId type, void* master, const void* partial, uint64_t len);
 /// (and once with the total row count for serial runs). Programs whose row
 /// count is fixed can use the single-program constructor; those contexts
 /// always run serially.
+///
+/// A context describes ONE in-flight query: it (and everything it binds)
+/// must stay alive until the query's handle reports completion, and the
+/// same context must not be submitted again while still running.
 class ExecContext {
  public:
   using ProgramFactory = std::function<Result<dsl::Program>(int64_t rows)>;
@@ -123,7 +149,7 @@ class ExecContext {
   ExecContext(ProgramFactory make_program, uint64_t total_rows);
 
   /// Fixed, already type-checked program (must outlive the context). Runs
-  /// serially regardless of EngineOptions::num_workers.
+  /// serially regardless of the session's worker count.
   explicit ExecContext(const dsl::Program* program);
 
   /// Read-only input, partitioned by rows across morsels.
@@ -147,7 +173,10 @@ class ExecContext {
   /// interpreter after it finishes, before accumulator merge. Tests and
   /// examples use it to read adaptive state (e.g. preferred filter flavor).
   /// Not invoked when kGpuOffload executes the fragment on the simulated
-  /// device — there is no interpreter state to observe on that path.
+  /// device — there is no interpreter state to observe on that path. May
+  /// probe this query's handle (done()/TryGetReport()), but must not
+  /// Wait() on it or submit queries back into the engine — the calling
+  /// worker would wait on itself.
   ExecContext& set_inspector(
       std::function<void(const interp::Interpreter&)> fn) {
     inspector_ = std::move(fn);
@@ -158,7 +187,7 @@ class ExecContext {
   bool parallelizable() const { return make_program_ != nullptr; }
 
  private:
-  friend class ExecEngine;
+  friend class Session;
 
   struct Bound {
     std::string name;
@@ -174,7 +203,8 @@ class ExecContext {
   std::function<void(const interp::Interpreter&)> inspector_;
 };
 
-/// The facade. One engine instance can run many contexts; its TraceCache
+/// The blocking compatibility facade over engine::Session. One engine
+/// instance embeds one long-lived Session; the session's TraceCache
 /// persists across runs, so repeated queries of the same shape reuse
 /// compiled traces instead of recompiling.
 class ExecEngine {
@@ -182,37 +212,24 @@ class ExecEngine {
   explicit ExecEngine(EngineOptions options = {});
   ~ExecEngine();
 
-  /// Execute `ctx` under the configured strategy and worker count.
+  /// Execute `ctx` under the configured strategy and worker count. A thin
+  /// Submit + Wait over the embedded session.
   Result<ExecReport> Run(ExecContext& ctx);
 
+  /// The embedded session, for callers that want the async surface
+  /// (Submit returning a QueryHandle) on the same cache and workers.
+  Session& session() { return *session_; }
+
   const EngineOptions& options() const { return options_; }
-  const jit::TraceCache& trace_cache() const { return cache_; }
+  const jit::TraceCache& trace_cache() const;
 
   /// Convenience: run a context once with the given options.
   static Result<ExecReport> Execute(ExecContext& ctx,
                                     EngineOptions options = {});
 
  private:
-  vm::VmOptions EffectiveVmOptions() const;
-  size_t EffectiveWorkers() const;
-  ThreadPool& Pool() const;
-
-  /// `prebuilt` optionally supplies an already-instantiated, type-checked
-  /// program for the full row range (skips the factory call).
-  Result<ExecReport> RunSerial(ExecContext& ctx,
-                               const dsl::Program* prebuilt = nullptr);
-  Result<ExecReport> RunParallel(ExecContext& ctx);
-  /// kGpuOffload for offloadable map fragments; returns NotFound when the
-  /// program shape is not offloadable (caller falls back to the CPU path).
-  Result<ExecReport> RunGpuOffload(ExecContext& ctx);
-
   EngineOptions options_;
-  jit::TraceCache cache_;
-
-  // Lazily created simulated-GPU machinery (kGpuOffload only).
-  std::unique_ptr<gpu::SimGpuDevice> gpu_device_;
-  std::unique_ptr<gpu::GpuBackend> gpu_backend_;
-  std::unique_ptr<gpu::AdaptivePlacer> gpu_placer_;
+  std::unique_ptr<Session> session_;
 };
 
 }  // namespace avm::engine

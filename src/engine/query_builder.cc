@@ -1,0 +1,673 @@
+#include "engine/query_builder.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "dsl/typecheck.h"
+#include "util/string_util.h"
+
+namespace avm::engine {
+
+namespace {
+
+using dsl::ConstI;
+using dsl::ExprPtr;
+using dsl::Lambda;
+using dsl::SkeletonKind;
+using dsl::StmtPtr;
+
+/// Deep clone with variable-reference renaming (column names are let-bound
+/// under a prefix in the lowered loop body, and filter fast paths rebind
+/// the single input to a lambda parameter).
+ExprPtr CloneSubst(const dsl::Expr& e,
+                   const std::map<std::string, std::string>& subst) {
+  auto out = std::make_shared<dsl::Expr>(e);
+  out->id = 0;
+  if (e.kind == dsl::ExprKind::kVarRef) {
+    auto it = subst.find(e.var);
+    if (it != subst.end()) out->var = it->second;
+    return out;
+  }
+  if (e.body != nullptr) out->body = CloneSubst(*e.body, subst);
+  out->args.clear();
+  out->args.reserve(e.args.size());
+  for (const ExprPtr& a : e.args) out->args.push_back(CloneSubst(*a, subst));
+  return out;
+}
+
+/// Names referenced by an expression, in first-appearance (pre-order)
+/// order — this fixes the lambda parameter order of the lowered maps.
+void CollectRefs(const dsl::Expr& e, std::vector<std::string>* out) {
+  if (e.kind == dsl::ExprKind::kVarRef) {
+    if (std::find(out->begin(), out->end(), e.var) == out->end()) {
+      out->push_back(e.var);
+    }
+    return;
+  }
+  if (e.body != nullptr) CollectRefs(*e.body, out);
+  for (const ExprPtr& a : e.args) CollectRefs(*a, out);
+}
+
+/// Builder expressions are scalar formulas; the builder inserts the
+/// skeletons and lambdas itself.
+Status ValidateScalarExpr(const dsl::Expr& e, const char* where) {
+  if (e.kind == dsl::ExprKind::kLambda ||
+      e.kind == dsl::ExprKind::kSkeleton) {
+    return Status::InvalidArgument(
+        StrFormat("%s: lambdas/skeletons are not allowed in builder "
+                  "expressions (use Filter/Project/SemiJoin/Aggregate)",
+                  where));
+  }
+  if (e.body != nullptr) AVM_RETURN_NOT_OK(ValidateScalarExpr(*e.body, where));
+  for (const ExprPtr& a : e.args) {
+    AVM_RETURN_NOT_OK(ValidateScalarExpr(*a, where));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+using Spec = internal::QuerySpec;
+
+// -------------------------------------------------------------------- spec
+
+struct internal::QuerySpec {
+  struct Step {
+    enum class Kind : uint8_t { kFilter, kProject, kSemiJoin };
+    Kind kind;
+    std::string name;   // kProject: projection name; kSemiJoin: key name
+    ExprPtr expr;       // kFilter / kProject
+    size_t dim = 0;     // kSemiJoin: index into dims
+  };
+  struct Agg {
+    std::string name;
+    ExprPtr expr;  // null for Count
+  };
+
+  const Table* table = nullptr;
+  std::vector<Step> steps;
+  std::vector<std::vector<int64_t>> dims;  ///< shared membership arrays
+  ExprPtr group_expr;                      ///< null = single group
+  size_t num_groups = 1;
+  std::vector<Agg> aggs;
+
+  // Derived by Resolve().
+  std::vector<std::string> columns;  ///< referenced, schema order
+  std::vector<const Column*> column_ptrs;
+
+  std::string DimName(size_t i) const { return StrFormat("sj%zu", i); }
+  static std::string ColValue(const std::string& col) { return "col_" + col; }
+  static std::string AccName(const std::string& agg) { return "acc_" + agg; }
+
+  Status Resolve();
+  Result<dsl::Program> Lower(int64_t rows) const;
+};
+
+Status internal::QuerySpec::Resolve() {
+  if (aggs.empty()) {
+    return Status::InvalidArgument(
+        "QueryBuilder needs at least one aggregate (Sum or Count)");
+  }
+  // Re-derive from scratch: the builder may Build() more than once (the
+  // spec is re-resolved after each mutation).
+  columns.clear();
+  column_ptrs.clear();
+  const Schema& schema = table->schema();
+
+  // Names the lowering generates itself: okayN/predN/memN/keyN/sjN
+  // (numbered), cnt_*/sv_* value arrays, and the _sel pass-through param —
+  // plus the static loop counter / group / col_ / acc_ names.
+  auto is_reserved_name = [](const std::string& n) {
+    if (n.empty() || n == "i" || n == "grp" || n == "_sel" ||
+        n.rfind("col_", 0) == 0 || n.rfind("acc_", 0) == 0 ||
+        n.rfind("cnt_", 0) == 0 || n.rfind("sv_", 0) == 0) {
+      return true;
+    }
+    for (const char* p : {"okay", "pred", "mem", "key", "sj"}) {
+      const size_t l = std::strlen(p);
+      if (n.size() > l && n.compare(0, l, p) == 0 &&
+          std::all_of(n.begin() + static_cast<ptrdiff_t>(l), n.end(),
+                      [](unsigned char c) { return std::isdigit(c); })) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Accept a referenced table column, rejecting reserved-named columns
+  // eagerly: their data declarations would collide with generated names
+  // deep in the lowering, surfacing as baffling type errors.
+  std::set<std::string> projections;
+  std::set<std::string> used_columns;
+  auto use_column = [&](const std::string& name) -> Status {
+    if (is_reserved_name(name)) {
+      return Status::InvalidArgument(
+          StrFormat("column name '%s' collides with the lowering's "
+                    "reserved names; rename the column to use it with "
+                    "QueryBuilder",
+                    name.c_str()));
+    }
+    used_columns.insert(name);
+    return Status::OK();
+  };
+  auto resolve_expr = [&](const dsl::Expr& e, const char* where) -> Status {
+    AVM_RETURN_NOT_OK(ValidateScalarExpr(e, where));
+    std::vector<std::string> refs;
+    CollectRefs(e, &refs);
+    for (const std::string& r : refs) {
+      if (projections.contains(r)) continue;
+      if (schema.FieldIndex(r) >= 0) {
+        AVM_RETURN_NOT_OK(use_column(r));
+        continue;
+      }
+      return Status::InvalidArgument(
+          StrFormat("%s references '%s', which is neither a column of the "
+                    "scanned table nor an earlier projection",
+                    where, r.c_str()));
+    }
+    if (refs.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("%s references no column or projection", where));
+    }
+    return Status::OK();
+  };
+  auto check_fresh_name = [&](const std::string& name,
+                              const char* what) -> Status {
+    if (is_reserved_name(name)) {
+      return Status::InvalidArgument(
+          StrFormat("%s name '%s' is reserved", what, name.c_str()));
+    }
+    if (schema.FieldIndex(name) >= 0 || projections.contains(name)) {
+      return Status::InvalidArgument(
+          StrFormat("%s name '%s' collides with a column or projection",
+                    what, name.c_str()));
+    }
+    return Status::OK();
+  };
+
+  for (const Step& s : steps) {
+    switch (s.kind) {
+      case Step::Kind::kFilter:
+        AVM_RETURN_NOT_OK(resolve_expr(*s.expr, "Filter predicate"));
+        break;
+      case Step::Kind::kProject:
+        AVM_RETURN_NOT_OK(check_fresh_name(s.name, "Project"));
+        AVM_RETURN_NOT_OK(resolve_expr(*s.expr, "Project expression"));
+        projections.insert(s.name);
+        break;
+      case Step::Kind::kSemiJoin: {
+        if (dims[s.dim].empty()) {
+          return Status::InvalidArgument(
+              "SemiJoin membership array must not be empty");
+        }
+        if (!projections.contains(s.name) &&
+            schema.FieldIndex(s.name) < 0) {
+          return Status::InvalidArgument(
+              StrFormat("SemiJoin key '%s' is neither a column nor an "
+                        "earlier projection",
+                        s.name.c_str()));
+        }
+        if (schema.FieldIndex(s.name) >= 0) {
+          AVM_RETURN_NOT_OK(use_column(s.name));
+        }
+        break;
+      }
+    }
+  }
+  if (group_expr != nullptr) {
+    AVM_RETURN_NOT_OK(resolve_expr(*group_expr, "Aggregate group"));
+  }
+  std::set<std::string> agg_names;
+  for (const Agg& a : aggs) {
+    AVM_RETURN_NOT_OK(check_fresh_name(a.name, "aggregate"));
+    if (!agg_names.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate aggregate name " + a.name);
+    }
+    if (a.expr != nullptr) {
+      AVM_RETURN_NOT_OK(resolve_expr(*a.expr, "Sum expression"));
+    }
+  }
+  if (used_columns.empty()) {
+    return Status::InvalidArgument(
+        "query references no table column (nothing drives the scan)");
+  }
+
+  // Schema order keeps the lowered program (and its trace fingerprints)
+  // independent of expression-walk order.
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const std::string& name = schema.field(i).name;
+    if (!used_columns.contains(name)) continue;
+    columns.push_back(name);
+    AVM_ASSIGN_OR_RETURN(const Column* col, table->ColumnByName(name));
+    column_ptrs.push_back(col);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- lowering
+
+Result<dsl::Program> internal::QuerySpec::Lower(int64_t rows) const {
+  using namespace dsl;
+  const Schema& schema = table->schema();
+  Program p;
+  for (const std::string& c : columns) {
+    p.data.push_back(
+        {c, schema.field(static_cast<size_t>(schema.FieldIndex(c))).type,
+         false});
+  }
+  for (size_t i = 0; i < dims.size(); ++i) {
+    p.data.push_back({DimName(i), TypeId::kI64, false});
+  }
+  for (const Agg& a : aggs) {
+    p.data.push_back({AccName(a.name), TypeId::kI64, true});
+  }
+
+  std::vector<StmtPtr> body;
+  // Chunk reads; scanned columns are let-bound under the col_ prefix so
+  // user expressions can be spliced in with a rename.
+  std::map<std::string, std::string> value_of;  // user name -> loop value
+  for (const std::string& c : columns) {
+    body.push_back(Let(ColValue(c),
+                       Skeleton(SkeletonKind::kRead, {Var("i"), Var(c)})));
+    value_of[c] = ColValue(c);
+  }
+
+  std::string cur_sel;  // selection-carrying value, "" before any filter
+  // Selection each value carries: "" = positional (all chunk rows).
+  // Chunk arrays with *different* selections cannot be combined (the
+  // interpreter's CommonSelection rule), so the lowering tracks this and
+  // turns impossible combinations into Build-time errors.
+  std::map<std::string, std::string> value_sel;
+  for (const std::string& c : columns) value_sel[ColValue(c)] = "";
+  int gen = 0;  // generated-name counter
+
+  // Lower `expr` as a map over its referenced values; the current
+  // selection (if any) rides along as a trailing pass-through input, the
+  // Q1 idiom for propagating selection vectors through a pipeline.
+  // Returns the map expression; *out_sel reports the selection the map's
+  // output carries.
+  auto lower_map = [&](const dsl::Expr& expr, ExprPtr lowered_body,
+                       std::string* out_sel) -> Result<ExprPtr> {
+    std::vector<std::string> refs;
+    CollectRefs(expr, &refs);
+    std::string have;  // selection carried by the inputs
+    for (const std::string& r : refs) {
+      const std::string& s = value_sel.at(value_of.at(r));
+      if (s.empty()) continue;
+      if (!have.empty() && have != s) {
+        return Status::InvalidArgument(
+            StrFormat("expression combines values filtered at different "
+                      "pipeline positions ('%s' carries %s); re-project "
+                      "after the last filter instead",
+                      r.c_str(), s.c_str()));
+      }
+      have = s;
+    }
+    std::vector<std::string> params;
+    std::vector<ExprPtr> args = {nullptr};  // lambda goes first
+    for (const std::string& r : refs) {
+      params.push_back(value_of.at(r));
+      args.push_back(Var(value_of.at(r)));
+    }
+    if (have.empty() && !cur_sel.empty()) {
+      // Positional inputs: thread the current selection through so the
+      // output computes (and carries) only surviving rows.
+      params.push_back("_sel");
+      args.push_back(Var(cur_sel));
+      have = cur_sel;
+    }
+    args[0] = Lambda(std::move(params), std::move(lowered_body));
+    if (out_sel != nullptr) *out_sel = have;
+    return Skeleton(SkeletonKind::kMap, std::move(args));
+  };
+  auto rename = [&](const dsl::Expr& expr) {
+    return CloneSubst(expr, value_of);
+  };
+  // Maps feeding the aggregation must restrict to the final selection:
+  // an older (wider) selection would aggregate rows later filters removed.
+  auto require_current = [&](const std::string& sel,
+                             const char* where) -> Status {
+    if (sel != cur_sel) {
+      return Status::InvalidArgument(
+          StrFormat("%s uses values filtered before the last filter; "
+                    "re-project after the final filter",
+                    where));
+    }
+    return Status::OK();
+  };
+
+  for (const Step& s : steps) {
+    switch (s.kind) {
+      case Step::Kind::kFilter: {
+        std::vector<std::string> refs;
+        CollectRefs(*s.expr, &refs);
+        const std::string okay = StrFormat("okay%d", gen);
+        if (refs.size() == 1 && cur_sel.empty() &&
+            value_sel.at(value_of.at(refs[0])).empty()) {
+          // Single positional input, no prior selection: direct filter.
+          body.push_back(Let(
+              okay,
+              Skeleton(SkeletonKind::kFilter,
+                       {Lambda({"x"}, CloneSubst(*s.expr, {{refs[0], "x"}})),
+                        Var(value_of.at(refs[0]))})));
+        } else {
+          // Materialize the predicate (0/1), then select the non-zeros.
+          const std::string pred = StrFormat("pred%d", gen);
+          std::string pred_sel;
+          AVM_ASSIGN_OR_RETURN(
+              ExprPtr pred_map,
+              lower_map(*s.expr, Cast(TypeId::kI64, rename(*s.expr)),
+                        &pred_sel));
+          // The predicate must see every row the pipeline still keeps: a
+          // stale selection would silently drop earlier filters from the
+          // conjunction.
+          AVM_RETURN_NOT_OK(require_current(pred_sel, "Filter predicate"));
+          body.push_back(Let(pred, std::move(pred_map)));
+          body.push_back(Let(
+              okay, Skeleton(SkeletonKind::kFilter,
+                             {Lambda({"x"}, Ne(Var("x"), ConstI(0))),
+                              Var(pred)})));
+        }
+        cur_sel = okay;
+        ++gen;
+        break;
+      }
+      case Step::Kind::kProject: {
+        std::string out_sel;
+        AVM_ASSIGN_OR_RETURN(ExprPtr m,
+                             lower_map(*s.expr, rename(*s.expr), &out_sel));
+        body.push_back(Let(s.name, std::move(m)));
+        value_of[s.name] = s.name;
+        value_sel[s.name] = out_sel;
+        break;
+      }
+      case Step::Kind::kSemiJoin: {
+        // membership[key] != 0, with the key threaded through the current
+        // selection; the membership array is shared (whole-array) so the
+        // gather stays row-partitionable.
+        std::string key = value_of.at(s.name);
+        const std::string& key_sel = value_sel.at(key);
+        if (!key_sel.empty() && key_sel != cur_sel) {
+          return Status::InvalidArgument(
+              "SemiJoin key was filtered before the last filter; "
+              "re-project it after the final filter");
+        }
+        if (!cur_sel.empty() && key_sel.empty()) {
+          const std::string keyed = StrFormat("key%d", gen);
+          body.push_back(Let(
+              keyed, Skeleton(SkeletonKind::kMap,
+                              {Lambda({"k", "_sel"}, Var("k")), Var(key),
+                               Var(cur_sel)})));
+          key = keyed;
+        }
+        const std::string mem = StrFormat("mem%d", gen);
+        const std::string okay = StrFormat("okay%d", gen);
+        body.push_back(Let(mem, Skeleton(SkeletonKind::kGather,
+                                         {Var(DimName(s.dim)), Var(key)})));
+        body.push_back(Let(
+            okay, Skeleton(SkeletonKind::kFilter,
+                           {Lambda({"x"}, Ne(Var("x"), ConstI(0))),
+                            Var(mem)})));
+        cur_sel = okay;
+        ++gen;
+        break;
+      }
+    }
+  }
+
+  // Group index per surviving row.
+  const std::string carrier =
+      cur_sel.empty() ? ColValue(columns[0]) : cur_sel;
+  if (group_expr != nullptr) {
+    std::string grp_sel;
+    AVM_ASSIGN_OR_RETURN(
+        ExprPtr grp_map,
+        lower_map(*group_expr, Cast(TypeId::kI64, rename(*group_expr)),
+                  &grp_sel));
+    AVM_RETURN_NOT_OK(require_current(grp_sel, "Aggregate group"));
+    body.push_back(Let("grp", std::move(grp_map)));
+  } else {
+    body.push_back(Let("grp", Skeleton(SkeletonKind::kMap,
+                                       {Lambda({"_s"}, ConstI(0)),
+                                        Var(carrier)})));
+  }
+
+  // Scatter-aggregate each Sum/Count into its accumulator; the group index
+  // array carries the selection, so only surviving rows contribute (the
+  // value arrays are read positionally at the selected positions).
+  for (const Agg& a : aggs) {
+    std::string values;
+    if (a.expr == nullptr) {
+      values = StrFormat("cnt_%s", a.name.c_str());
+      body.push_back(Let(values, Skeleton(SkeletonKind::kMap,
+                                          {Lambda({"_s"}, ConstI(1)),
+                                           Var(carrier)})));
+    } else {
+      std::vector<std::string> refs;
+      CollectRefs(*a.expr, &refs);
+      if (refs.size() == 1 && a.expr->kind == dsl::ExprKind::kVarRef) {
+        values = value_of.at(refs[0]);  // plain column/projection sum
+      } else {
+        values = StrFormat("sv_%s", a.name.c_str());
+        AVM_ASSIGN_OR_RETURN(ExprPtr m,
+                             lower_map(*a.expr, rename(*a.expr), nullptr));
+        body.push_back(Let(values, std::move(m)));
+      }
+    }
+    body.push_back(ExprStmt(Skeleton(
+        SkeletonKind::kScatter,
+        {Var(AccName(a.name)), Var("grp"), Var(values),
+         Lambda({"o", "v"}, Var("o") + Var("v"))})));
+  }
+
+  body.push_back(Assign(
+      "i", Var("i") + Skeleton(SkeletonKind::kLen,
+                               {Var(ColValue(columns[0]))})));
+  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(rows)}), {Break()}));
+
+  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
+  p.AssignIds();
+  return p;
+}
+
+// ------------------------------------------------------------------- query
+
+struct Query::Impl {
+  std::shared_ptr<const internal::QuerySpec> spec;
+  std::vector<std::pair<std::string, std::vector<int64_t>>> accumulators;
+  ExecContext ctx;
+
+  Impl(std::shared_ptr<const internal::QuerySpec> s, uint64_t total_rows)
+      : spec(std::move(s)),
+        ctx([spec = spec](int64_t rows) { return spec->Lower(rows); },
+            total_rows) {}
+};
+
+Query::Query() = default;
+Query::Query(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Query::Query(Query&&) noexcept = default;
+Query& Query::operator=(Query&&) noexcept = default;
+Query::~Query() = default;
+
+namespace {
+/// Empty (default-constructed or moved-from) queries fail loudly instead
+/// of dereferencing null.
+void CheckBuilt(const void* impl) {
+  if (impl == nullptr) {
+    Status::InvalidArgument("Query is empty (not built, or moved-from)")
+        .Abort("Query");
+  }
+}
+}  // namespace
+
+ExecContext& Query::context() {
+  CheckBuilt(impl_.get());
+  return impl_->ctx;
+}
+
+Result<dsl::Program> Query::MakeProgram(int64_t rows) const {
+  if (impl_ == nullptr) {
+    return Status::InvalidArgument("Query is empty (not built)");
+  }
+  return impl_->spec->Lower(rows);
+}
+
+size_t Query::num_groups() const {
+  CheckBuilt(impl_.get());
+  return impl_->spec->num_groups;
+}
+
+const std::vector<int64_t>& Query::aggregate(const std::string& name) const {
+  CheckBuilt(impl_.get());
+  for (const auto& [n, values] : impl_->accumulators) {
+    if (n == name) return values;
+  }
+  Status::InvalidArgument("no aggregate named " + name).Abort("Query");
+  static const std::vector<int64_t> kEmpty;
+  return kEmpty;
+}
+
+Result<int64_t> Query::aggregate_at(const std::string& name,
+                                    size_t group) const {
+  if (impl_ == nullptr) {
+    return Status::InvalidArgument("Query is empty (not built)");
+  }
+  for (const auto& [n, values] : impl_->accumulators) {
+    if (n != name) continue;
+    if (group >= values.size()) {
+      return Status::OutOfRange(
+          StrFormat("group %zu out of %zu", group, values.size()));
+    }
+    return values[group];
+  }
+  return Status::InvalidArgument("no aggregate named " + name);
+}
+
+void Query::ResetAggregates() {
+  CheckBuilt(impl_.get());
+  for (auto& [name, values] : impl_->accumulators) {
+    std::fill(values.begin(), values.end(), 0);
+  }
+}
+
+// ----------------------------------------------------------------- builder
+
+QueryBuilder::QueryBuilder(const Table& table)
+    : spec_(std::make_shared<Spec>()) {
+  spec_->table = &table;
+}
+
+QueryBuilder::~QueryBuilder() = default;
+
+Status QueryBuilder::Fail(Status st) {
+  if (deferred_error_.ok()) deferred_error_ = std::move(st);
+  return deferred_error_;
+}
+
+internal::QuerySpec& QueryBuilder::MutableSpec() {
+  // Copy-on-write: after Build() the spec is shared with the built Query,
+  // so the next mutating call — or the next Build(), whose Resolve()
+  // rewrites derived state — forks it (deep-copying any membership
+  // arrays). The single-Build common case never pays the copy.
+  if (spec_.use_count() > 1) spec_ = std::make_shared<Spec>(*spec_);
+  return *spec_;
+}
+
+QueryBuilder& QueryBuilder::Filter(dsl::ExprPtr predicate) {
+  if (predicate == nullptr) {
+    Fail(Status::InvalidArgument("Filter: null predicate"));
+    return *this;
+  }
+  MutableSpec().steps.push_back(
+      {Spec::Step::Kind::kFilter, "", std::move(predicate), 0});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Project(const std::string& name,
+                                    dsl::ExprPtr expr) {
+  if (expr == nullptr) {
+    Fail(Status::InvalidArgument("Project: null expression"));
+    return *this;
+  }
+  MutableSpec().steps.push_back(
+      {Spec::Step::Kind::kProject, name, std::move(expr), 0});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::SemiJoin(const std::string& key,
+                                     std::vector<int64_t> membership) {
+  Spec& spec = MutableSpec();
+  spec.dims.push_back(std::move(membership));
+  spec.steps.push_back(
+      {Spec::Step::Kind::kSemiJoin, key, nullptr, spec.dims.size() - 1});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Aggregate(dsl::ExprPtr group_expr,
+                                      size_t num_groups) {
+  if (group_expr == nullptr || num_groups == 0) {
+    Fail(Status::InvalidArgument(
+        "Aggregate: need a group expression and num_groups >= 1"));
+    return *this;
+  }
+  Spec& spec = MutableSpec();
+  spec.group_expr = std::move(group_expr);
+  spec.num_groups = num_groups;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Sum(const std::string& name, dsl::ExprPtr expr) {
+  if (expr == nullptr) {
+    Fail(Status::InvalidArgument("Sum: null expression"));
+    return *this;
+  }
+  MutableSpec().aggs.push_back({name, std::move(expr)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Count(const std::string& name) {
+  MutableSpec().aggs.push_back({name, nullptr});
+  return *this;
+}
+
+Result<Query> QueryBuilder::Build() {
+  AVM_RETURN_NOT_OK(deferred_error_);
+  // Resolve() mutates derived state, so it must not touch a spec some
+  // earlier Build() handed out.
+  AVM_RETURN_NOT_OK(MutableSpec().Resolve());
+
+  // Lower once now so shape/type errors surface at Build time instead of
+  // from a worker thread mid-query.
+  {
+    AVM_ASSIGN_OR_RETURN(dsl::Program probe, spec_->Lower(4096));
+    AVM_RETURN_NOT_OK(dsl::TypeCheck(&probe));
+  }
+
+  auto impl = std::make_unique<Query::Impl>(spec_, spec_->table->num_rows());
+  const Spec& spec = *impl->spec;
+  for (size_t i = 0; i < spec.columns.size(); ++i) {
+    impl->ctx.BindInputColumn(spec.columns[i], spec.column_ptrs[i]);
+  }
+  for (size_t i = 0; i < spec.dims.size(); ++i) {
+    impl->ctx.BindShared(
+        spec.DimName(i),
+        interp::DataBinding::Raw(
+            TypeId::kI64,
+            const_cast<int64_t*>(spec.dims[i].data()), spec.dims[i].size()));
+  }
+  impl->accumulators.reserve(spec.aggs.size());
+  for (const Spec::Agg& a : spec.aggs) {
+    impl->accumulators.emplace_back(
+        a.name, std::vector<int64_t>(spec.num_groups, 0));
+    impl->ctx.BindAccumulator(Spec::AccName(a.name), TypeId::kI64,
+                              impl->accumulators.back().second.data(),
+                              spec.num_groups);
+  }
+  // The builder stays reusable: the built query shares this spec, and the
+  // next mutating call (or Build) forks it copy-on-write.
+  return Query(std::move(impl));
+}
+
+}  // namespace avm::engine

@@ -1,0 +1,129 @@
+// engine::QueryBuilder — a typed relational front end for the DSL engine.
+//
+// Hand-wiring a query meant writing a dsl::Program factory (reads, filters,
+// selection-vector threading, scatter aggregation) plus a matching set of
+// BindInput/BindShared/BindAccumulator calls, and keeping both in sync by
+// hand. The builder derives all of it from a relational description:
+//
+//   engine::QueryBuilder qb(lineitem);
+//   qb.Filter(dsl::Var("l_shipdate") <= dsl::ConstI(cutoff))
+//     .Project("dp", dsl::Var("l_extendedprice") *
+//                        (dsl::ConstI(100) - dsl::Var("l_discount")))
+//     .Aggregate(dsl::Cast(TypeId::kI64, dsl::Var("l_returnflag")), 4)
+//     .Sum("sum_disc_price", dsl::Var("dp"))
+//     .Count("count");
+//   engine::Query q = qb.Build().ValueOrDie();
+//   session.Submit(q.context()).Wait();
+//   int64_t total = q.aggregate("count")[0];
+//
+// Lowering infers every binding role from how the name is used:
+//   scanned table columns   -> BindInput   (row-partitioned)
+//   SemiJoin lookup arrays  -> BindShared  (replicated dimension data)
+//   aggregate accumulators  -> BindAccumulator (privatized + merged)
+// so every built query is morsel-parallel by construction (scatter targets
+// are accumulators, gathers read shared arrays, no condense).
+//
+// Expressions are plain dsl::ExprPtr scalar expressions (Var/ConstI/Cast
+// and the infix operators of dsl/ast.h) over column names, earlier
+// projections, and nothing else — lambdas and skeletons are rejected;
+// the builder inserts those itself.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/exec_engine.h"
+#include "storage/table.h"
+
+namespace avm::engine {
+
+namespace internal {
+struct QuerySpec;
+}  // namespace internal
+
+/// A built query: the lowered program factory, its ExecContext with every
+/// binding attached, and owned result storage for the aggregates.
+/// Move-only; must outlive any in-flight submission of its context.
+class Query {
+ public:
+  Query();  ///< empty (for Result<Query>); only a Built query is runnable
+  Query(Query&&) noexcept;
+  Query& operator=(Query&&) noexcept;
+  ~Query();
+
+  /// The context to pass to Session::Submit / ExecEngine::Run. One
+  /// in-flight submission at a time (the accumulators are this query's).
+  ExecContext& context();
+
+  /// Instantiate the lowered program for `rows` input rows (what the
+  /// context's factory runs per morsel). Exposed for tests and for
+  /// below-facade consumers that drive a VM directly.
+  Result<dsl::Program> MakeProgram(int64_t rows) const;
+
+  /// Aggregate results, one slot per group. Aborts on an unknown name.
+  const std::vector<int64_t>& aggregate(const std::string& name) const;
+  Result<int64_t> aggregate_at(const std::string& name,
+                               size_t group = 0) const;
+
+  /// Zero all accumulators so the query can be submitted again.
+  void ResetAggregates();
+
+  size_t num_groups() const;
+
+ private:
+  friend class QueryBuilder;
+  struct Impl;
+  explicit Query(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+class QueryBuilder {
+ public:
+  /// Scan the given table. The table must outlive the built Query.
+  explicit QueryBuilder(const Table& table);
+  ~QueryBuilder();
+  QueryBuilder(const QueryBuilder&) = delete;
+  QueryBuilder& operator=(const QueryBuilder&) = delete;
+
+  /// Keep rows satisfying `predicate` (boolean expression over columns and
+  /// earlier projections). Multiple filters conjoin in call order.
+  QueryBuilder& Filter(dsl::ExprPtr predicate);
+
+  /// Define a computed column usable in later expressions.
+  QueryBuilder& Project(const std::string& name, dsl::ExprPtr expr);
+
+  /// Keep rows whose integer `key` (column or projection) hits the
+  /// dimension membership array: row survives iff membership[key] != 0.
+  /// Every key value must lie in [0, membership.size()) — a stray key
+  /// fails the run with OutOfRange (the gather bounds-checks its indices).
+  /// The membership data is copied into the query and bound as a shared
+  /// (replicated) dimension array.
+  QueryBuilder& SemiJoin(const std::string& key,
+                         std::vector<int64_t> membership);
+
+  /// Group rows by `group_expr` (integer expression; values must lie in
+  /// [0, num_groups)). Without this call, aggregates use a single group.
+  QueryBuilder& Aggregate(dsl::ExprPtr group_expr, size_t num_groups);
+
+  /// SUM(expr) per group into an i64 accumulator named `name`.
+  QueryBuilder& Sum(const std::string& name, dsl::ExprPtr expr);
+
+  /// COUNT(*) per group (counts surviving rows).
+  QueryBuilder& Count(const std::string& name);
+
+  /// Validate, lower once to surface type errors eagerly, and produce the
+  /// runnable Query. At least one Sum/Count is required.
+  Result<Query> Build();
+
+ private:
+  Status Fail(Status st);  // records the first error for Build()
+  /// Copy-on-write: built Queries share the spec; the first mutation (or
+  /// Build) after a Build() forks it so they never see later edits.
+  internal::QuerySpec& MutableSpec();
+
+  std::shared_ptr<internal::QuerySpec> spec_;
+  Status deferred_error_;
+};
+
+}  // namespace avm::engine

@@ -1,0 +1,171 @@
+// engine::Session — the engine as a long-lived, shared service.
+//
+// The adaptive VM amortizes profiling and JIT cost across queries, which
+// only pays off when the engine outlives a single call: a Session owns the
+// shared TraceCache, a crew of M morsel workers, and an admission queue, and
+// serves N concurrent clients:
+//
+//   engine::Session session({.num_workers = 8});
+//   engine::QueryHandle h = session.Submit(ctx);   // returns immediately
+//   ... build and submit more queries ...
+//   Result<ExecReport> r = h.Wait();               // block for this one
+//
+// Scheduling model (the "N clients × M workers" step of the roadmap):
+//
+//  - Submit() classifies the query (serial / morsel-parallel / GPU
+//    fragment), partitions parallel queries into row-range morsels, and
+//    appends it to the run queue; when `max_active_queries` queries are
+//    already in flight it parks in the admission queue instead.
+//  - The session's M workers pull tasks from the run queue ROUND-ROBIN
+//    ACROSS QUERIES (one morsel from query A, one from B, ...), so a long
+//    scan cannot starve a short aggregate: in-flight queries interleave
+//    their morsels fairly over the shared worker pool.
+//  - All queries share the session's TraceCache: the first worker of any
+//    client to compile a trace for a situation serves every later query,
+//    with per-situation single-flight compilation under contention.
+//  - Per-query accumulators are privatized per morsel and merged at the
+//    query's barrier, exactly as in a single-query parallel run — a
+//    concurrent run stays bit-identical to its serial baseline.
+//
+// Cancel() drops a query's unclaimed morsels; tasks already running finish
+// but skip their merge, so a cancelled query's result arrays are undefined
+// (see QueryHandle::Cancel). Destroying the session drains all submitted
+// queries first.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "engine/exec_engine.h"
+
+namespace avm::gpu {
+class SimGpuDevice;
+class GpuBackend;
+class AdaptivePlacer;
+}  // namespace avm::gpu
+
+namespace avm::engine {
+
+namespace internal {
+struct QueryState;
+struct Scheduler;
+}  // namespace internal
+
+struct SessionOptions {
+  /// Morsel workers shared by all in-flight queries; 0 = hardware
+  /// concurrency. The session owns its worker pool.
+  size_t num_workers = 0;
+  /// Queries executing concurrently; later submissions wait in the
+  /// admission queue. 0 = 2 × workers.
+  size_t max_active_queries = 0;
+  /// Per-query defaults used by Submit(ctx) without explicit options.
+  QueryOptions defaults;
+  /// Auxiliary pool for the simulated GPU device; nullptr = Global().
+  ThreadPool* device_pool = nullptr;
+};
+
+/// Future-like handle to one submitted query. Cheap to copy; outlives the
+/// session (a drained session leaves every handle completed).
+class QueryHandle {
+ public:
+  QueryHandle();
+  ~QueryHandle();
+  QueryHandle(const QueryHandle&);
+  QueryHandle& operator=(const QueryHandle&);
+  QueryHandle(QueryHandle&&) noexcept;
+  QueryHandle& operator=(QueryHandle&&) noexcept;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Block until the query completes; returns its report (or error).
+  /// Repeated calls return the same result.
+  Result<ExecReport> Wait();
+
+  /// Non-blocking probe: the result if the query already completed.
+  std::optional<Result<ExecReport>> TryGetReport();
+
+  /// True once the report is available.
+  bool done() const;
+
+  /// Request cancellation: a query still parked in the admission queue
+  /// completes with Cancelled immediately; otherwise its unclaimed work is
+  /// dropped and it completes with Cancelled once in-flight tasks drain
+  /// (a query that already completed stays completed). Morsels running at
+  /// cancel time finish but skip their merge. The caller's bound
+  /// output/accumulator arrays are left in an UNDEFINED, partially-merged
+  /// state after a cancelled (or failed) parallel query — reset them
+  /// (Query::ResetAggregates) before reusing.
+  void Cancel();
+
+ private:
+  friend class Session;
+  explicit QueryHandle(std::shared_ptr<internal::QueryState> state);
+  std::shared_ptr<internal::QueryState> state_;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+  ~Session();  // drains: blocks until every submitted query completed
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Enqueue one query. `ctx` (and everything it binds) must stay alive
+  /// until the handle reports completion; a context describes one in-flight
+  /// query and must not be re-submitted while running. Never blocks on
+  /// execution or admission (back-pressure parks the query; classification
+  /// errors surface through the handle) — classification itself (program
+  /// lowering + typecheck) does run synchronously on the submitting thread.
+  QueryHandle Submit(ExecContext& ctx);
+  QueryHandle Submit(ExecContext& ctx, const QueryOptions& options);
+
+  /// Convenience: Submit + Wait.
+  Result<ExecReport> Run(ExecContext& ctx);
+  Result<ExecReport> Run(ExecContext& ctx, const QueryOptions& options);
+
+  size_t num_workers() const;
+  const SessionOptions& options() const { return options_; }
+  const jit::TraceCache& trace_cache() const { return cache_; }
+
+  /// Lifetime counters (monotonic).
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;  ///< includes failed and cancelled
+    uint64_t cancelled = 0;
+  };
+  Stats stats() const;
+
+ private:
+  Status Classify(internal::QueryState& q);
+  Status ClassifyCpu(internal::QueryState& q);
+  Status ProbeGpuOffload(internal::QueryState& q, bool* offload);
+  void PumpLoop();
+  void SpawnPumpsLocked();
+  void MarkSkipped(const std::shared_ptr<internal::QueryState>& q, size_t n);
+  void RunTask(const std::shared_ptr<internal::QueryState>& q, size_t index);
+  Status RunSerialQuery(internal::QueryState& q, ExecReport* report);
+  Status RunGpuTask(internal::QueryState& q, ExecReport* report);
+  Status RunMorselTask(internal::QueryState& q, const Morsel& m);
+  void FinalizeLocked(internal::QueryState& q);
+  void OnQueryDone(const std::shared_ptr<internal::QueryState>& q);
+  ThreadPool& DevicePool() const;
+
+  SessionOptions options_;
+  jit::TraceCache cache_;
+  /// Shared (not unique): handles hold a weak_ptr so Cancel() can pull a
+  /// still-parked query out of the admission queue promptly.
+  std::shared_ptr<internal::Scheduler> sched_;
+
+  // Lazily created simulated-GPU machinery (kGpuOffload only). gpu_mu_
+  // guards init + placer state (short critical sections — Submit takes it);
+  // gpu_device_mu_ serializes whole device runs (one simulated device for
+  // all concurrent queries) and is never held on the Submit path.
+  std::mutex gpu_mu_;
+  std::mutex gpu_device_mu_;
+  std::unique_ptr<gpu::SimGpuDevice> gpu_device_;
+  std::unique_ptr<gpu::GpuBackend> gpu_backend_;
+  std::unique_ptr<gpu::AdaptivePlacer> gpu_placer_;
+};
+
+}  // namespace avm::engine

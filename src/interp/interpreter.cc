@@ -614,6 +614,7 @@ Result<Value> Interpreter::EvalGather(const Expr& e) {
   DataBinding* binding = e.args[0]->kind == ExprKind::kVarRef
                              ? FindBinding(e.args[0]->var)
                              : nullptr;
+  uint64_t base_len = 0;
   if (binding != nullptr) {
     if (binding->raw == nullptr) {
       return Status::NotImplemented(
@@ -621,6 +622,7 @@ Result<Value> Interpreter::EvalGather(const Expr& e) {
     }
     base = binding->raw;
     base_t = binding->type;
+    base_len = binding->len;
   } else {
     AVM_ASSIGN_OR_RETURN(base_v, EvalExpr(*e.args[0]));
     if (!base_v.is_array()) {
@@ -628,6 +630,7 @@ Result<Value> Interpreter::EvalGather(const Expr& e) {
     }
     base = base_v.array->vec.RawData();
     base_t = base_v.array->type();
+    base_len = base_v.array->len;
   }
 
   // Indices must be i64 for the gather kernels; widen when needed.
@@ -640,6 +643,19 @@ Result<Value> Interpreter::EvalGather(const Expr& e) {
     KernelRegistry::Get().Cast(idx.type(), TypeId::kI64, sel != nullptr)(
         idx.vec.RawData(), nullptr, idx64.RawData(), sel, n);
     idx_ptr = idx64.RawData();
+  }
+  // Bounds check (gather reads host memory; never trust indices — same
+  // policy as scatter).
+  {
+    const int64_t* pi = static_cast<const int64_t*>(idx_ptr);
+    for (uint32_t j = 0; j < n; ++j) {
+      const uint32_t i = sel != nullptr ? sel[j] : j;
+      if (pi[i] < 0 || static_cast<uint64_t>(pi[i]) >= base_len) {
+        return Status::OutOfRange(
+            StrFormat("gather index %lld out of [0, %llu)",
+                      (long long)pi[i], (unsigned long long)base_len));
+      }
+    }
   }
   ArrayPtr out = NewArray(base_t, std::max(idx.len, uint32_t{1}));
   KernelRegistry::Get().GatherI64Idx(base_t, sel != nullptr)(

@@ -251,8 +251,14 @@ Status TraceEmitter::Validate() {
       case SkeletonKind::kMap:
       case SkeletonKind::kWrite:
       case SkeletonKind::kFold:
-      case SkeletonKind::kGather:
         break;
+      case SkeletonKind::kGather:
+        // The interpreter bounds-checks gather indices against the base
+        // array; compiled code has no error path to report a stray index,
+        // so gathers stay interpreted until the trace ABI can carry base
+        // lengths + a failure status.
+        return Status::NotImplemented(
+            "gather traces are interpreted (indices are bounds-checked)");
       case SkeletonKind::kFilter:
         ++filters;
         filter_node_ = static_cast<int>(id);

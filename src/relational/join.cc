@@ -42,6 +42,15 @@ void HashSetI64::Insert(int64_t key) {
   ++entries_;
 }
 
+std::vector<int64_t> HashSetI64::Keys() const {
+  std::vector<int64_t> keys;
+  keys.reserve(entries_);
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (used_[i]) keys.push_back(keys_[i]);
+  }
+  return keys;
+}
+
 bool HashSetI64::Contains(int64_t key) const {
   size_t idx = HashInt64(static_cast<uint64_t>(key)) & mask_;
   while (used_[idx]) {
@@ -215,6 +224,75 @@ Result<SemijoinScanResult> RunSemijoinScan(
   result.workers = std::min(num_workers, morsels.size());
   result.wall_seconds = sw.ElapsedSeconds();
   return result;
+}
+
+Result<engine::Query> MakeSemijoinQuery(
+    const Table& probe, const std::vector<std::string>& key_columns,
+    const std::vector<const HashSetI64*>& filters) {
+  if (key_columns.size() != filters.size() || filters.empty()) {
+    return Status::InvalidArgument(
+        "one key column per semijoin filter required");
+  }
+
+  // The gather-based membership lookup needs a dense domain covering every
+  // key the matching column probes it with: find each column's own key
+  // range with one scan (sizing from a global max would inflate every
+  // array to the widest column's domain).
+  constexpr int64_t kMaxDomain = int64_t{1} << 24;  // 16M slots = 128 MiB
+  std::vector<size_t> domains(key_columns.size());
+  for (size_t f = 0; f < key_columns.size(); ++f) {
+    const std::string& name = key_columns[f];
+    AVM_ASSIGN_OR_RETURN(const Column* col, probe.ColumnByName(name));
+    if (col->type() != TypeId::kI64) {
+      return Status::TypeError("semijoin key column must be i64: " + name);
+    }
+    int64_t max_key = 0;
+    constexpr uint32_t kChunk = 4096;
+    std::vector<int64_t> buf(kChunk);
+    for (uint64_t pos = 0; pos < col->num_rows(); pos += kChunk) {
+      const uint32_t n = static_cast<uint32_t>(
+          std::min<uint64_t>(kChunk, col->num_rows() - pos));
+      AVM_RETURN_NOT_OK(col->Read(pos, n, buf.data()));
+      for (uint32_t i = 0; i < n; ++i) {
+        if (buf[i] < 0) {
+          return Status::InvalidArgument(
+              "engine semijoin requires non-negative keys (column " + name +
+              ")");
+        }
+        max_key = std::max(max_key, buf[i]);
+      }
+    }
+    if (max_key >= kMaxDomain) {  // >= : max_key + 1 must not overflow
+      return Status::ResourceExhausted(
+          "semijoin key domain too large for a dense membership array "
+          "(column " + name + ")");
+    }
+    domains[f] = static_cast<size_t>(max_key + 1);
+  }
+
+  engine::QueryBuilder qb(probe);
+  for (size_t f = 0; f < filters.size(); ++f) {
+    std::vector<int64_t> membership(domains[f], 0);
+    for (int64_t k : filters[f]->Keys()) {
+      if (k >= 0 && static_cast<size_t>(k) < domains[f]) membership[k] = 1;
+    }
+    qb.SemiJoin(key_columns[f], std::move(membership));
+  }
+  qb.Count("survivors");
+  return qb.Build();
+}
+
+Result<SemijoinEngineRun> RunSemijoinEngine(
+    const Table& probe, const std::vector<std::string>& key_columns,
+    const std::vector<const HashSetI64*>& filters,
+    engine::EngineOptions options) {
+  AVM_ASSIGN_OR_RETURN(engine::Query query,
+                       MakeSemijoinQuery(probe, key_columns, filters));
+  SemijoinEngineRun run;
+  AVM_ASSIGN_OR_RETURN(run.report,
+                       engine::ExecEngine::Execute(query.context(), options));
+  run.survivors = static_cast<uint64_t>(query.aggregate("survivors")[0]);
+  return run;
 }
 
 }  // namespace avm::relational

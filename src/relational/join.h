@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/morsel.h"
+#include "engine/query_builder.h"
 #include "storage/table.h"
 #include "storage/types.h"
 #include "util/status.h"
@@ -27,6 +28,10 @@ class HashSetI64 {
   void Insert(int64_t key);
   bool Contains(int64_t key) const;
   size_t size() const { return entries_; }
+
+  /// All keys currently in the set (unordered). Used to densify a filter
+  /// into a membership array for the engine/QueryBuilder semijoin path.
+  std::vector<int64_t> Keys() const;
 
   /// Probe a chunk: out_sel receives qualifying positions. `in_sel`
   /// optionally restricts the probed positions.
@@ -114,5 +119,30 @@ Result<SemijoinScanResult> RunSemijoinScan(
     const std::vector<const HashSetI64*>& filters,
     AdaptiveSemijoinChain::OrderPolicy policy, size_t num_workers = 1,
     ThreadPool* pool = nullptr);
+
+/// The same semijoin count as an engine::QueryBuilder query: each filter is
+/// densified into a shared membership array (`membership[key] != 0`) that
+/// the lowered program gathers from, so the scan runs through the engine's
+/// morsel scheduler and can interleave with other queries on a Session.
+/// Requires non-negative probe keys; each membership array is sized from
+/// its own probe column's largest key (rejected above ~16M to bound
+/// memory). Filter keys beyond that max are dropped — they cannot match
+/// any probe row. Submit `query.context()` and read
+/// `aggregate("survivors")[0]`.
+Result<engine::Query> MakeSemijoinQuery(
+    const Table& probe, const std::vector<std::string>& key_columns,
+    const std::vector<const HashSetI64*>& filters);
+
+struct SemijoinEngineRun {
+  uint64_t survivors = 0;
+  engine::ExecReport report;
+};
+
+/// Convenience: build MakeSemijoinQuery and run it once on the blocking
+/// engine facade with the given options.
+Result<SemijoinEngineRun> RunSemijoinEngine(
+    const Table& probe, const std::vector<std::string>& key_columns,
+    const std::vector<const HashSetI64*>& filters,
+    engine::EngineOptions options = {});
 
 }  // namespace avm::relational

@@ -295,111 +295,50 @@ extern "C" void avm_q1_whole(const int64_t* qty, const int64_t* price,
   return r;
 }
 
-dsl::Program MakeQ1Program(int64_t n) {
-  using namespace dsl;
-  Program p;
-  p.data = {{"l_quantity", TypeId::kI64, false},
-            {"l_extendedprice", TypeId::kI64, false},
-            {"l_discount", TypeId::kI64, false},
-            {"l_tax", TypeId::kI64, false},
-            {"l_returnflag", TypeId::kI8, false},
-            {"l_linestatus", TypeId::kI8, false},
-            {"l_shipdate", TypeId::kI32, false},
-            {"acc_qty", TypeId::kI64, true},
-            {"acc_base", TypeId::kI64, true},
-            {"acc_disc", TypeId::kI64, true},
-            {"acc_charge", TypeId::kI64, true},
-            {"acc_count", TypeId::kI64, true}};
+Result<engine::Query> MakeQ1Query(const Table& lineitem) {
+  using dsl::Cast;
+  using dsl::ConstI;
+  using dsl::Var;
+  engine::QueryBuilder qb(lineitem);
+  qb.Filter(Var("l_shipdate") <= ConstI(kQ1Cutoff))
+      // disc_price = price * (100 - disc); charge = disc_price * (100+tax).
+      .Project("dp", Var("l_extendedprice") * (ConstI(100) - Var("l_discount")))
+      .Project("ch", Var("dp") * (ConstI(100) + Var("l_tax")))
+      .Aggregate(Cast(TypeId::kI64, Var("l_returnflag")) * ConstI(2) +
+                     Cast(TypeId::kI64, Var("l_linestatus")),
+                 /*num_groups=*/8)
+      .Sum("sum_qty", Var("l_quantity"))
+      .Sum("sum_base", Var("l_extendedprice"))
+      .Sum("sum_disc", Var("dp"))
+      .Sum("sum_charge", Var("ch"))
+      .Count("count");
+  return qb.Build();
+}
 
-  auto rd = [](const char* col) {
-    return Skeleton(SkeletonKind::kRead, {Var("i"), Var(col)});
-  };
-  std::vector<StmtPtr> body;
-  body.push_back(Let("qty", rd("l_quantity")));
-  body.push_back(Let("price", rd("l_extendedprice")));
-  body.push_back(Let("disc", rd("l_discount")));
-  body.push_back(Let("tax", rd("l_tax")));
-  body.push_back(Let("rf", rd("l_returnflag")));
-  body.push_back(Let("ls", rd("l_linestatus")));
-  body.push_back(Let("sd", rd("l_shipdate")));
-  body.push_back(Let(
-      "okay", Skeleton(SkeletonKind::kFilter,
-                       {Lambda({"x"}, Call(ScalarOp::kLe,
-                                           {Var("x"), ConstI(kQ1Cutoff)})),
-                        Var("sd")})));
-  // disc_price = price * (100 - disc); the filtered column rides along to
-  // propagate the selection vector.
-  body.push_back(Let(
-      "dp", Skeleton(SkeletonKind::kMap,
-                     {Lambda({"p", "d", "s"},
-                             Var("p") * (ConstI(100) - Var("d"))),
-                      Var("price"), Var("disc"), Var("okay")})));
-  body.push_back(Let(
-      "ch", Skeleton(SkeletonKind::kMap,
-                     {Lambda({"v", "t", "s"},
-                             Var("v") * (ConstI(100) + Var("t"))),
-                      Var("dp"), Var("tax"), Var("okay")})));
-  body.push_back(Let(
-      "grp",
-      Skeleton(SkeletonKind::kMap,
-               {Lambda({"r", "l", "s"},
-                       Cast(TypeId::kI64, Var("r")) * ConstI(2) +
-                           Cast(TypeId::kI64, Var("l"))),
-                Var("rf"), Var("ls"), Var("okay")})));
-  body.push_back(Let(
-      "ones", Skeleton(SkeletonKind::kMap,
-                       {Lambda({"s"}, ConstI(1)), Var("okay")})));
-  auto scat = [](const char* acc, const char* vals) {
-    return ExprStmt(Skeleton(
-        SkeletonKind::kScatter,
-        {Var(acc), Var("grp"), Var(vals),
-         Lambda({"o", "v"}, Var("o") + Var("v"))}));
-  };
-  body.push_back(scat("acc_qty", "qty"));
-  body.push_back(scat("acc_base", "price"));
-  body.push_back(scat("acc_disc", "dp"));
-  body.push_back(scat("acc_charge", "ch"));
-  body.push_back(scat("acc_count", "ones"));
-  body.push_back(
-      Assign("i", Var("i") + Skeleton(SkeletonKind::kLen, {Var("sd")})));
-  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(n)}), {Break()}));
-
-  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
-  p.AssignIds();
-  return p;
+Q1Result Q1ResultFromQuery(const engine::Query& query) {
+  Q1Result r;
+  const std::vector<int64_t>& qty = query.aggregate("sum_qty");
+  const std::vector<int64_t>& base = query.aggregate("sum_base");
+  const std::vector<int64_t>& disc = query.aggregate("sum_disc");
+  const std::vector<int64_t>& charge = query.aggregate("sum_charge");
+  const std::vector<int64_t>& count = query.aggregate("count");
+  for (int g = 0; g < 8; ++g) {
+    r.groups[g].sum_qty = qty[g];
+    r.groups[g].sum_base_price = base[g];
+    r.groups[g].sum_disc_price = disc[g];
+    r.groups[g].sum_charge = charge[g];
+    r.groups[g].count = count[g];
+  }
+  return r;
 }
 
 Result<Q1DslRun> RunQ1Engine(const Table& lineitem,
                              engine::EngineOptions options) {
-  AVM_ASSIGN_OR_RETURN(Q1Columns c, ResolveColumns(lineitem));
-
-  engine::ExecContext ctx(
-      [](int64_t rows) -> Result<dsl::Program> { return MakeQ1Program(rows); },
-      lineitem.num_rows());
-  ctx.BindInputColumn("l_quantity", c.qty)
-      .BindInputColumn("l_extendedprice", c.price)
-      .BindInputColumn("l_discount", c.disc)
-      .BindInputColumn("l_tax", c.tax)
-      .BindInputColumn("l_returnflag", c.rf)
-      .BindInputColumn("l_linestatus", c.ls)
-      .BindInputColumn("l_shipdate", c.sd);
-  int64_t acc_qty[8] = {0}, acc_base[8] = {0}, acc_disc[8] = {0},
-          acc_charge[8] = {0}, acc_count[8] = {0};
-  ctx.BindAccumulator("acc_qty", TypeId::kI64, acc_qty, 8)
-      .BindAccumulator("acc_base", TypeId::kI64, acc_base, 8)
-      .BindAccumulator("acc_disc", TypeId::kI64, acc_disc, 8)
-      .BindAccumulator("acc_charge", TypeId::kI64, acc_charge, 8)
-      .BindAccumulator("acc_count", TypeId::kI64, acc_count, 8);
-
+  AVM_ASSIGN_OR_RETURN(engine::Query query, MakeQ1Query(lineitem));
   Q1DslRun out;
-  AVM_ASSIGN_OR_RETURN(out.report, engine::ExecEngine::Execute(ctx, options));
-  for (int g = 0; g < 8; ++g) {
-    out.result.groups[g].sum_qty = acc_qty[g];
-    out.result.groups[g].sum_base_price = acc_base[g];
-    out.result.groups[g].sum_disc_price = acc_disc[g];
-    out.result.groups[g].sum_charge = acc_charge[g];
-    out.result.groups[g].count = acc_count[g];
-  }
+  AVM_ASSIGN_OR_RETURN(out.report,
+                       engine::ExecEngine::Execute(query.context(), options));
+  out.result = Q1ResultFromQuery(query);
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "engine/exec_engine.h"
+#include "engine/query_builder.h"
 #include "storage/datagen.h"
 #include "storage/table.h"
 #include "util/status.h"
@@ -64,10 +65,18 @@ struct Q1DslRun {
   engine::ExecReport report;
 };
 
-/// The Q1 DSL program over `rows` input rows (chunked loop; scatter
-/// aggregation into the five acc_* arrays). Exposed so tests and the engine
-/// layer can instantiate per-morsel copies.
-dsl::Program MakeQ1Program(int64_t rows);
+/// Q1 as an engine::QueryBuilder query over `lineitem`: filter on shipdate,
+/// dp/ch projections, group by returnflag*2+linestatus, five aggregates
+/// (sum_qty, sum_base, sum_disc, sum_charge, count). The returned Query
+/// owns its accumulators; submit `query.context()` to a Session (any number
+/// of concurrent Q1 clients can each hold their own Query against one
+/// shared session) and read the groups back with `Q1ResultFromQuery`.
+Result<engine::Query> MakeQ1Query(const Table& lineitem);
+
+/// Copy a finished MakeQ1Query run's aggregates into the Q1Result layout.
+/// (Below-facade consumers that want the raw Q1 DSL program instantiate it
+/// via MakeQ1Query(...).ValueOrDie().MakeProgram(rows).)
+Q1Result Q1ResultFromQuery(const engine::Query& query);
 
 /// Q1 expressed as a DSL program executed through the ExecEngine facade.
 /// `options.num_workers > 1` runs morsel-parallel: row-range slices of

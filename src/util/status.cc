@@ -29,6 +29,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Runtime error";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kInternal:
       return "Internal error";
   }

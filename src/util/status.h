@@ -23,6 +23,7 @@ enum class StatusCode : uint8_t {
   kCompilationError,
   kRuntimeError,
   kResourceExhausted,
+  kCancelled,
   kInternal,
 };
 
@@ -63,6 +64,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -78,6 +82,7 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsCompilationError() const { return code() == StatusCode::kCompilationError; }
   bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
 
   /// "OK" or "<code name>: <message>".

@@ -1,6 +1,7 @@
 #include "vm/adaptive_vm.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "jit/source_jit.h"
 #include "util/logging.h"
@@ -69,20 +70,45 @@ std::map<std::string, Scheme> AdaptiveVm::ObserveSchemes(
   return schemes;
 }
 
+namespace {
+
+/// Quantize a node's profiled cost share into a coarse power-of-two bucket
+/// (1, 2, 4, ..., 1024 ≙ the whole loop). The greedy partitioner only needs
+/// the cost *ordering*, and raw cycle counts wobble a few percent run to
+/// run — enough to reseed the partition, change the extracted trace sets,
+/// and miss the cross-run TraceCache on every execution of the same query.
+/// Log-bucketed shares are noise-immune (a flip needs a ~41% swing), so the
+/// partition — and with it every trace fingerprint — is stable run-to-run.
+double BucketCostShare(uint64_t cycles, uint64_t total_cycles) {
+  const double share =
+      static_cast<double>(cycles) / static_cast<double>(total_cycles);
+  const double q = std::clamp(share * 1024.0, 1.0, 1024.0);
+  return std::exp2(std::round(std::log2(q)));
+}
+
+}  // namespace
+
 Status AdaptiveVm::OptimizePass(Interpreter& in, uint64_t iteration) {
   sm_.Advance(VmState::kOptimize, iteration);
   if (!graph_built_) {
     AVM_ASSIGN_OR_RETURN(graph_, ir::DepGraph::Build(*program_));
     graph_built_ = true;
   }
-  // Refresh node costs from the profile (hot-path identification).
+  // Refresh node costs from the profile (hot-path identification), with
+  // cycle counts normalized + bucketed so the partition is deterministic
+  // across runs of the same program shape.
   uint64_t total_cycles = 0;
   for (auto& node : graph_.nodes()) {
     const interp::OpStats* s = in.profiler().Find(node.expr->id);
-    if (s != nullptr && s->cycles > 0) {
-      node.cost = static_cast<double>(s->cycles);
-      total_cycles += s->cycles;
+    if (s != nullptr && s->cycles > 0) total_cycles += s->cycles;
+  }
+  double total_cost = 0;
+  for (auto& node : graph_.nodes()) {
+    const interp::OpStats* s = in.profiler().Find(node.expr->id);
+    if (s != nullptr && s->cycles > 0 && total_cycles > 0) {
+      node.cost = BucketCostShare(s->cycles, total_cycles);
     }
+    total_cost += node.cost;
   }
   traces_ = ir::GreedyPartition(graph_, options_.constraints);
 
@@ -90,9 +116,8 @@ Status AdaptiveVm::OptimizePass(Interpreter& in, uint64_t iteration) {
   size_t installed_this_pass = 0;
   for (const auto& trace : traces_) {
     if (installed_this_pass >= options_.max_traces_per_pass) break;
-    if (total_cycles > 0 &&
-        trace.total_cost / static_cast<double>(total_cycles) <
-            options_.min_cost_share) {
+    if (total_cost > 0 &&
+        trace.total_cost / total_cost < options_.min_cost_share) {
       continue;
     }
     Status st = InstallTrace(in, trace, iteration);

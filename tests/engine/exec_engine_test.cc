@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dsl/builder.h"
+#include "dsl/typecheck.h"
 #include "jit/source_jit.h"
 #include "relational/q1.h"
 #include "storage/datagen.h"
@@ -303,6 +304,10 @@ TEST(ExecEngineTest, CondensingProgramsForcedSerial) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report.value().morsels, 1u);
   EXPECT_EQ(report.value().workers, 1u);
+  // The dropped parallelism request must be surfaced, not silently eaten.
+  EXPECT_NE(report.value().ran_serial_reason.find("row-partitionable"),
+            std::string::npos)
+      << report.value().ran_serial_reason;
 
   std::vector<int64_t> expect;
   for (int64_t v : data) {
@@ -312,6 +317,38 @@ TEST(ExecEngineTest, CondensingProgramsForcedSerial) {
   for (size_t i = 0; i < expect.size(); ++i) {
     ASSERT_EQ(out[i], expect[i]) << "survivor " << i;
   }
+}
+
+TEST(ExecEngineTest, FixedProgramContextReportsSerialReason) {
+  // Fixed-program contexts cannot be morsel-partitioned (no per-morsel
+  // factory): requesting workers must yield a report that says why the run
+  // was serial instead of ignoring num_workers on the floor.
+  const int64_t n = 50'000;
+  DataGen gen(31);
+  auto data = gen.UniformI64(n, 0, 100);
+  std::vector<int64_t> out(n);
+  dsl::Program program = dsl::MakeMapPipeline(
+      TypeId::kI64, dsl::Lambda({"x"}, dsl::Var("x") * dsl::ConstI(2)), n);
+  ASSERT_TRUE(dsl::TypeCheck(&program).ok());
+
+  ExecContext ctx(&program);
+  ctx.BindInput("src", interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+  ctx.BindOutput("out",
+                 interp::DataBinding::Raw(TypeId::kI64, out.data(), n, true));
+  EngineOptions opts;
+  opts.strategy = ExecutionStrategy::kInterpret;
+  opts.num_workers = 4;
+  auto report = ExecEngine::Execute(ctx, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().workers, 1u);
+  EXPECT_NE(report.value().ran_serial_reason.find("fixed-program"),
+            std::string::npos)
+      << "reason: " << report.value().ran_serial_reason;
+  // Serial runs that were never asked to parallelize stay silent.
+  opts.num_workers = 1;
+  auto serial = ExecEngine::Execute(ctx, opts);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_TRUE(serial.value().ran_serial_reason.empty());
 }
 
 TEST(ExecEngineTest, InspectorSeesEveryWorker) {

@@ -1,0 +1,446 @@
+// Multi-query concurrency on engine::Session: N in-flight queries over M
+// shared workers, differentially checked bit-identical against serial
+// baselines; admission, cancellation, and single-flight trace compilation
+// under contention.
+#include "engine/session.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsl/builder.h"
+#include "dsl/typecheck.h"
+#include "engine/query_builder.h"
+#include "jit/source_jit.h"
+#include "relational/join.h"
+#include "relational/q1.h"
+#include "storage/datagen.h"
+#include "util/rng.h"
+
+namespace avm::engine {
+namespace {
+
+using relational::HashSetI64;
+using relational::MakeQ1Query;
+using relational::MakeSemijoinQuery;
+using relational::Q1Result;
+using relational::Q1ResultFromQuery;
+using relational::RunQ1Scalar;
+using relational::RunSemijoinScan;
+
+std::unique_ptr<Table> SmallLineitem(uint64_t rows = 120'000) {
+  LineitemSpec spec;
+  spec.num_rows = rows;
+  return MakeLineitem(spec);
+}
+
+struct SemijoinFixture {
+  std::unique_ptr<Table> probe;
+  HashSetI64 f0, f1;
+  uint64_t expected = 0;
+
+  explicit SemijoinFixture(uint64_t n = 150'000) {
+    Schema schema({{"k0", TypeId::kI64}, {"k1", TypeId::kI64}});
+    probe = std::make_unique<Table>(schema);
+    Rng rng(41);
+    std::vector<int64_t> k0(n), k1(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      k0[i] = rng.NextInRange(0, 4000);
+      k1[i] = rng.NextInRange(0, 4000);
+    }
+    EXPECT_TRUE(probe->column(0)
+                    .AppendValues(k0.data(), static_cast<uint32_t>(n))
+                    .ok());
+    EXPECT_TRUE(probe->column(1)
+                    .AppendValues(k1.data(), static_cast<uint32_t>(n))
+                    .ok());
+    for (int i = 0; i < 1800; ++i) f0.Insert(rng.NextInRange(0, 4000));
+    for (int i = 0; i < 300; ++i) f1.Insert(rng.NextInRange(0, 4000));
+    for (uint64_t i = 0; i < n; ++i) {
+      if (f0.Contains(k0[i]) && f1.Contains(k1[i])) ++expected;
+    }
+  }
+};
+
+// Acceptance: >= 4 concurrent queries on ONE session over a shared worker
+// pool; every handle's result must be bit-identical to its serial baseline.
+TEST(SessionTest, ConcurrentMixedQueriesBitIdenticalToSerial) {
+  auto lineitem = SmallLineitem();
+  SemijoinFixture sj;
+  Q1Result oracle = RunQ1Scalar(*lineitem).ValueOrDie();
+
+  SessionOptions so;
+  so.num_workers = 4;
+  Session session(so);
+  QueryOptions qo;
+  qo.strategy = ExecutionStrategy::kInterpret;
+
+  // 4 Q1 clients + 2 semijoin clients, all in flight at once.
+  std::vector<Query> q1s;
+  std::vector<Query> sjs;
+  for (int c = 0; c < 4; ++c) {
+    q1s.push_back(MakeQ1Query(*lineitem).ValueOrDie());
+  }
+  for (int c = 0; c < 2; ++c) {
+    sjs.push_back(
+        MakeSemijoinQuery(*sj.probe, {"k0", "k1"}, {&sj.f0, &sj.f1})
+            .ValueOrDie());
+  }
+  std::vector<QueryHandle> handles;
+  for (Query& q : q1s) handles.push_back(session.Submit(q.context(), qo));
+  for (Query& q : sjs) handles.push_back(session.Submit(q.context(), qo));
+
+  for (QueryHandle& h : handles) {
+    auto r = h.Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  for (Query& q : q1s) {
+    // Integer aggregates: concurrent morsel interleaving cannot perturb the
+    // result — every client must match the scalar oracle exactly.
+    EXPECT_EQ(Q1ResultFromQuery(q), oracle);
+  }
+  for (Query& q : sjs) {
+    EXPECT_EQ(static_cast<uint64_t>(q.aggregate("survivors")[0]),
+              sj.expected);
+  }
+  Session::Stats stats = session.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.completed, 6u);
+}
+
+// N independent sessions, each with its own workers and cache, serving
+// mixed queries concurrently (clients spread across engines).
+TEST(SessionTest, MultipleSessionsServeConcurrently) {
+  auto lineitem = SmallLineitem(60'000);
+  Q1Result oracle = RunQ1Scalar(*lineitem).ValueOrDie();
+  QueryOptions qo;
+  qo.strategy = ExecutionStrategy::kInterpret;
+
+  constexpr int kSessions = 3;
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    SessionOptions so;
+    so.num_workers = 2;
+    sessions.push_back(std::make_unique<Session>(so));
+  }
+  std::vector<Query> queries;
+  std::vector<QueryHandle> handles;
+  for (int s = 0; s < kSessions; ++s) {
+    for (int c = 0; c < 2; ++c) {
+      queries.push_back(MakeQ1Query(*lineitem).ValueOrDie());
+    }
+  }
+  for (int s = 0; s < kSessions; ++s) {
+    for (int c = 0; c < 2; ++c) {
+      handles.push_back(
+          sessions[s]->Submit(queries[s * 2 + c].context(), qo));
+    }
+  }
+  for (QueryHandle& h : handles) {
+    ASSERT_TRUE(h.Wait().ok());
+  }
+  for (Query& q : queries) {
+    EXPECT_EQ(Q1ResultFromQuery(q), oracle);
+  }
+}
+
+TEST(SessionTest, AdmissionQueueServesEveryQuery) {
+  const int64_t n = 80'000;
+  DataGen gen(5);
+  auto data = gen.UniformI64(n, -50, 50);
+
+  SessionOptions so;
+  so.num_workers = 2;
+  so.max_active_queries = 1;  // force later submissions through admission
+  Session session(so);
+  QueryOptions qo;
+  qo.strategy = ExecutionStrategy::kInterpret;
+
+  constexpr int kQueries = 5;
+  std::vector<std::vector<int64_t>> outs(kQueries,
+                                         std::vector<int64_t>(n));
+  std::vector<std::unique_ptr<ExecContext>> ctxs;
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < kQueries; ++i) {
+    auto ctx = std::make_unique<ExecContext>(
+        [](int64_t rows) -> Result<dsl::Program> {
+          return dsl::MakeMapPipeline(
+              TypeId::kI64,
+              dsl::Lambda({"x"}, dsl::Var("x") * dsl::ConstI(3) +
+                                     dsl::ConstI(1)),
+              rows);
+        },
+        n);
+    ctx->BindInput("src",
+                   interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+    ctx->BindOutput("out", interp::DataBinding::Raw(
+                               TypeId::kI64, outs[i].data(), n, true));
+    handles.push_back(session.Submit(*ctx, qo));
+    ctxs.push_back(std::move(ctx));
+  }
+  for (QueryHandle& h : handles) {
+    auto r = h.Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    for (int64_t row = 0; row < n; ++row) {
+      ASSERT_EQ(outs[i][row], data[row] * 3 + 1)
+          << "query " << i << " row " << row;
+    }
+  }
+  EXPECT_EQ(session.stats().completed, static_cast<uint64_t>(kQueries));
+}
+
+TEST(SessionTest, CancelPendingQuery) {
+  const int64_t n = 2'000'000;
+  DataGen gen(9);
+  auto data = gen.UniformI64(n, -50, 50);
+  std::vector<std::vector<int64_t>> outs(3, std::vector<int64_t>(n));
+
+  SessionOptions so;
+  so.num_workers = 1;
+  so.max_active_queries = 1;
+  Session session(so);
+  QueryOptions qo;
+  qo.strategy = ExecutionStrategy::kInterpret;
+
+  auto make_ctx = [&](int i) {
+    auto ctx = std::make_unique<ExecContext>(
+        [](int64_t rows) -> Result<dsl::Program> {
+          return dsl::MakeMapPipeline(
+              TypeId::kI64, dsl::Lambda({"x"}, dsl::Var("x") * dsl::ConstI(2)),
+              rows);
+        },
+        n);
+    ctx->BindInput("src",
+                   interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+    ctx->BindOutput("out", interp::DataBinding::Raw(
+                               TypeId::kI64, outs[i].data(), n, true));
+    return ctx;
+  };
+  auto a = make_ctx(0);
+  auto b = make_ctx(1);
+  auto c = make_ctx(2);
+  QueryHandle ha = session.Submit(*a, qo);
+  QueryHandle hb = session.Submit(*b, qo);
+  QueryHandle hc = session.Submit(*c, qo);
+  // C sits in the admission queue behind two multi-million-row scans on a
+  // single worker; cancelling drops it before any of its work runs, and
+  // PROMPTLY — its handle must not wait for the active queries to drain.
+  hc.Cancel();
+  auto rc = hc.Wait();
+  ASSERT_FALSE(rc.ok());
+  EXPECT_TRUE(rc.status().IsCancelled()) << rc.status().ToString();
+  EXPECT_GE(session.stats().cancelled, 1u);
+
+  ASSERT_TRUE(ha.Wait().ok());
+  ASSERT_TRUE(hb.Wait().ok());
+}
+
+TEST(SessionTest, ShortQueryNotStarvedByLongRunningQuery) {
+  // A long serial query must not monopolize scheduling: with spare
+  // workers, a short query submitted afterwards completes while the long
+  // one is still running (regression test for the pump-spawn accounting
+  // that counted busy workers as available).
+  // The margin between the two must swamp scheduler noise on a loaded
+  // 1-CPU CI box: ~seconds of work vs ~a millisecond.
+  const int64_t long_n = 16 << 20;
+  const int64_t short_n = 1'000;
+  DataGen gen(55);
+  auto long_data = gen.UniformI64(long_n, -10, 10);
+  auto short_data = gen.UniformI64(short_n, -10, 10);
+  std::vector<int64_t> long_out(long_n), short_out(short_n);
+
+  // Deep lambda so the long scan takes hundreds of milliseconds; a fixed
+  // program pins it to a single serial task occupying one worker.
+  dsl::ExprPtr body = dsl::Var("x");
+  for (int d = 0; d < 12; ++d) body = body * dsl::ConstI(3) + dsl::Var("x");
+  dsl::Program long_program = dsl::MakeMapPipeline(
+      TypeId::kI64, dsl::Lambda({"x"}, std::move(body)), long_n);
+  ASSERT_TRUE(dsl::TypeCheck(&long_program).ok());
+
+  ExecContext long_ctx(&long_program);
+  long_ctx.BindInput("src", interp::DataBinding::Raw(TypeId::kI64,
+                                                     long_data.data(), long_n));
+  long_ctx.BindOutput(
+      "out", interp::DataBinding::Raw(TypeId::kI64, long_out.data(), long_n,
+                                      true));
+  ExecContext short_ctx(
+      [](int64_t rows) -> Result<dsl::Program> {
+        return dsl::MakeMapPipeline(
+            TypeId::kI64, dsl::Lambda({"x"}, dsl::Var("x") + dsl::ConstI(1)),
+            rows);
+      },
+      short_n);
+  short_ctx.BindInput("src", interp::DataBinding::Raw(
+                                 TypeId::kI64, short_data.data(), short_n));
+  short_ctx.BindOutput(
+      "out", interp::DataBinding::Raw(TypeId::kI64, short_out.data(),
+                                      short_n, true));
+
+  Session session({.num_workers = 2});
+  QueryOptions qo;
+  qo.strategy = ExecutionStrategy::kInterpret;
+  QueryHandle hlong = session.Submit(long_ctx, qo);
+  QueryHandle hshort = session.Submit(short_ctx, qo);
+  ASSERT_TRUE(hshort.Wait().ok());
+  EXPECT_FALSE(hlong.done())
+      << "short query was serialized behind the long one";
+  ASSERT_TRUE(hlong.Wait().ok());
+  for (int64_t i = 0; i < short_n; ++i) {
+    ASSERT_EQ(short_out[i], short_data[i] + 1);
+  }
+}
+
+TEST(SessionTest, HandleProbesAndEmptyHandle) {
+  QueryHandle empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.done());
+  EXPECT_FALSE(empty.TryGetReport().has_value());
+
+  const int64_t n = 10'000;
+  DataGen gen(3);
+  auto data = gen.UniformI64(n, 0, 10);
+  std::vector<int64_t> out(n);
+  ExecContext ctx(
+      [](int64_t rows) -> Result<dsl::Program> {
+        return dsl::MakeMapPipeline(
+            TypeId::kI64, dsl::Lambda({"x"}, dsl::Var("x") + dsl::ConstI(7)),
+            rows);
+      },
+      n);
+  ctx.BindInput("src", interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+  ctx.BindOutput("out",
+                 interp::DataBinding::Raw(TypeId::kI64, out.data(), n, true));
+  Session session({.num_workers = 2});
+  QueryOptions qo;
+  qo.strategy = ExecutionStrategy::kInterpret;
+  QueryHandle h = session.Submit(ctx, qo);
+  ASSERT_TRUE(h.valid());
+  ASSERT_TRUE(h.Wait().ok());
+  EXPECT_TRUE(h.done());
+  auto probed = h.TryGetReport();
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_TRUE(probed->ok());
+  // Wait() again returns the same completed result.
+  EXPECT_TRUE(h.Wait().ok());
+}
+
+TEST(SessionTest, SubmitErrorSurfacesThroughHandle) {
+  // Undersized partitioned binding: classification rejects it; the handle
+  // completes immediately with the error instead of hanging.
+  const int64_t n = 1000;
+  std::vector<int64_t> data(500, 1), out(n);
+  ExecContext ctx(
+      [](int64_t rows) -> Result<dsl::Program> {
+        return dsl::MakeMapPipeline(
+            TypeId::kI64, dsl::Lambda({"x"}, dsl::Var("x")), rows);
+      },
+      n);
+  ctx.BindInput("src",
+                interp::DataBinding::Raw(TypeId::kI64, data.data(), 500));
+  ctx.BindOutput("out",
+                 interp::DataBinding::Raw(TypeId::kI64, out.data(), n, true));
+  Session session({.num_workers = 4});
+  QueryOptions qo;
+  qo.strategy = ExecutionStrategy::kInterpret;
+  QueryHandle h = session.Submit(ctx, qo);
+  auto r = h.Wait();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("src"), std::string::npos);
+}
+
+// Many same-shape adaptive-JIT queries racing on one cold cache: the
+// per-situation single-flight in TraceCache must collapse every concurrent
+// miss into ONE host-compiler invocation, with all other workers reusing
+// the winner's trace.
+TEST(SessionTest, SingleFlightTraceCompilationUnderContention) {
+  if (!jit::SourceJit::Available()) {
+    GTEST_SKIP() << "no host compiler";
+  }
+  const int64_t n = 400'000;
+  DataGen gen(21);
+  auto data = gen.UniformI64(n, -100, 100);
+
+  SessionOptions so;
+  so.num_workers = 4;
+  Session session(so);
+  QueryOptions qo;
+  qo.strategy = ExecutionStrategy::kAdaptiveJit;
+  qo.vm.optimize_after_iterations = 2;
+
+  constexpr int kClients = 4;
+  std::vector<std::vector<int64_t>> outs(kClients,
+                                         std::vector<int64_t>(n));
+  std::vector<std::unique_ptr<ExecContext>> ctxs;
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < kClients; ++i) {
+    auto ctx = std::make_unique<ExecContext>(
+        [](int64_t rows) -> Result<dsl::Program> {
+          return dsl::MakeMapPipeline(
+              TypeId::kI64,
+              dsl::Lambda({"x"}, dsl::Var("x") * dsl::ConstI(5) -
+                                     dsl::ConstI(2)),
+              rows);
+        },
+        n);
+    ctx->BindInput("src",
+                   interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+    ctx->BindOutput("out", interp::DataBinding::Raw(
+                               TypeId::kI64, outs[i].data(), n, true));
+    handles.push_back(session.Submit(*ctx, qo));
+    ctxs.push_back(std::move(ctx));
+  }
+  uint64_t compiled = 0, reused = 0;
+  for (QueryHandle& h : handles) {
+    auto r = h.Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    compiled += r.value().traces_compiled;
+    reused += r.value().traces_reused;
+  }
+  // One program shape, one situation: exactly one compilation total across
+  // all clients and all their morsels; everyone else hits the shared cache.
+  EXPECT_EQ(compiled, 1u);
+  EXPECT_GT(reused, 0u);
+  for (int i = 0; i < kClients; ++i) {
+    for (int64_t row = 0; row < n; row += 379) {
+      ASSERT_EQ(outs[i][row], data[row] * 5 - 2)
+          << "client " << i << " row " << row;
+    }
+  }
+}
+
+// Cost bucketing makes Q1's greedy partition (and so its trace
+// fingerprints) stable run-to-run: the second run of the same query shape
+// on one session must be served entirely from the cross-run TraceCache.
+TEST(SessionTest, Q1RepeatedRunsHitCrossRunTraceCache) {
+  if (!jit::SourceJit::Available()) {
+    GTEST_SKIP() << "no host compiler";
+  }
+  auto lineitem = SmallLineitem(200'000);
+  Q1Result oracle = RunQ1Scalar(*lineitem).ValueOrDie();
+
+  SessionOptions so;
+  so.num_workers = 1;
+  Session session(so);
+  QueryOptions qo;
+  qo.strategy = ExecutionStrategy::kAdaptiveJit;
+  qo.vm.optimize_after_iterations = 4;
+
+  Query first = MakeQ1Query(*lineitem).ValueOrDie();
+  auto r1 = session.Run(first.context(), qo);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(Q1ResultFromQuery(first), oracle);
+  EXPECT_GT(r1.value().traces_compiled, 0u);
+
+  Query second = MakeQ1Query(*lineitem).ValueOrDie();
+  auto r2 = session.Run(second.context(), qo);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(Q1ResultFromQuery(second), oracle);
+  EXPECT_EQ(r2.value().traces_compiled, 0u)
+      << "partition drifted between identical runs";
+  EXPECT_GT(r2.value().traces_reused, 0u);
+}
+
+}  // namespace
+}  // namespace avm::engine
