@@ -1,0 +1,180 @@
+// Hash-join probe strategies through the engine facade: the same
+// star-schema join (fact probe against a densified dimension, SUM + COUNT
+// over the matches) under vectorized interpretation, the adaptive JIT, and
+// a 4-worker Session, plus a 4-client × 4-worker concurrent variant.
+// Results land in BENCH_results.json via bench_util's row-replacing sink.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/query_builder.h"
+#include "engine/session.h"
+#include "relational/join.h"
+#include "storage/datagen.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace avm;
+
+constexpr uint64_t kProbeRows = 1'000'000;
+constexpr int64_t kDimRows = 50'000;  // ~5% of probe rows, 80% hit rate
+
+struct JoinFixture {
+  std::unique_ptr<Table> probe;
+  std::unique_ptr<Table> dim;
+
+  JoinFixture() {
+    Schema ps({{"f_key", TypeId::kI64}, {"f_val", TypeId::kI64}});
+    probe = std::make_unique<Table>(ps);
+    Rng rng(1234);
+    std::vector<int64_t> fk(kProbeRows), fv(kProbeRows);
+    for (uint64_t i = 0; i < kProbeRows; ++i) {
+      // 80% of probe keys land inside the dimension's [0, kDimRows) domain.
+      fk[i] = rng.NextInRange(0, (kDimRows * 5) / 4 - 1);
+      fv[i] = rng.NextInRange(1, 999);
+    }
+    probe->column(0)
+        .AppendValues(fk.data(), static_cast<uint32_t>(kProbeRows))
+        .Abort("append");
+    probe->column(1)
+        .AppendValues(fv.data(), static_cast<uint32_t>(kProbeRows))
+        .Abort("append");
+
+    Schema ds({{"d_key", TypeId::kI64}, {"d_weight", TypeId::kI64}});
+    dim = std::make_unique<Table>(ds);
+    std::vector<int64_t> dk(kDimRows), dw(kDimRows);
+    for (int64_t i = 0; i < kDimRows; ++i) {
+      dk[static_cast<size_t>(i)] = i;
+      dw[static_cast<size_t>(i)] = rng.NextInRange(1, 99);
+    }
+    dim->column(0)
+        .AppendValues(dk.data(), static_cast<uint32_t>(kDimRows))
+        .Abort("append");
+    dim->column(1)
+        .AppendValues(dw.data(), static_cast<uint32_t>(kDimRows))
+        .Abort("append");
+  }
+};
+
+JoinFixture& Fixture() {
+  static JoinFixture f;
+  return f;
+}
+
+void RunJoin(benchmark::State& state, engine::ExecutionStrategy strategy,
+             size_t workers, const char* label) {
+  JoinFixture& f = Fixture();
+  engine::EngineOptions eo;
+  eo.strategy = strategy;
+  eo.num_workers = workers;
+  // One engine per benchmark: the trace cache persists across iterations,
+  // so the JIT variant measures steady-state (compiled) probes.
+  engine::ExecEngine engine(eo);
+  engine::Query q =
+      relational::MakeJoinQuery(*f.probe, "f_key", "f_val", *f.dim, "d_key",
+                                "d_weight")
+          .ValueOrDie();
+  for (auto _ : state) {
+    q.ResetAggregates();
+    auto r = engine.Run(q.context());
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(q.aggregate("revenue")[0]);
+  }
+  avm::benchutil::ReportTuples(state, kProbeRows, label);
+}
+
+void BM_JoinProbe_Interp(benchmark::State& state) {
+  RunJoin(state, engine::ExecutionStrategy::kInterpret, 1, "interp");
+}
+BENCHMARK(BM_JoinProbe_Interp)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_JoinProbe_AdaptiveJit(benchmark::State& state) {
+  RunJoin(state, engine::ExecutionStrategy::kAdaptiveJit, 1, "adaptive-jit");
+}
+BENCHMARK(BM_JoinProbe_AdaptiveJit)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_JoinProbe_SessionParallel4(benchmark::State& state) {
+  RunJoin(state, engine::ExecutionStrategy::kAdaptiveJit, 4,
+          "session-4w");
+}
+BENCHMARK(BM_JoinProbe_SessionParallel4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// 4 concurrent clients × 4 workers on ONE session: join probes interleave
+/// morsel-by-morsel over the shared crew.
+void BM_JoinProbe_Session4Clients(benchmark::State& state) {
+  JoinFixture& f = Fixture();
+  engine::SessionOptions so;
+  so.num_workers = 4;
+  engine::Session session(so);
+  engine::QueryOptions qo;
+  qo.strategy = engine::ExecutionStrategy::kAdaptiveJit;
+
+  constexpr int kClients = 4;
+  std::vector<engine::Query> queries;
+  for (int c = 0; c < kClients; ++c) {
+    queries.push_back(relational::MakeJoinQuery(*f.probe, "f_key", "f_val",
+                                                *f.dim, "d_key", "d_weight")
+                          .ValueOrDie());
+  }
+  for (auto _ : state) {
+    std::vector<engine::QueryHandle> handles;
+    for (engine::Query& q : queries) {
+      q.ResetAggregates();
+      handles.push_back(session.Submit(q.context(), qo));
+    }
+    for (engine::QueryHandle& h : handles) {
+      auto r = h.Wait();
+      if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    }
+  }
+  avm::benchutil::ReportTuples(state, kProbeRows * kClients,
+                               "session-4w-4clients");
+}
+BENCHMARK(BM_JoinProbe_Session4Clients)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// ORDER BY + materialization: filtered probe rows joined, materialized,
+/// and merge-sorted at the barrier (row-mode QueryBuilder path).
+void BM_JoinOrderByMaterialize(benchmark::State& state,
+                               engine::ExecutionStrategy strategy,
+                               size_t workers, const char* label) {
+  JoinFixture& f = Fixture();
+  engine::EngineOptions eo;
+  eo.strategy = strategy;
+  eo.num_workers = workers;
+  engine::ExecEngine engine(eo);
+  for (auto _ : state) {
+    engine::QueryBuilder qb(*f.probe);
+    qb.Filter(dsl::Var("f_val") < dsl::ConstI(200))
+        .Join(*f.dim, "f_key", "d_key", {"d_weight"})
+        .Output("f_val")
+        .OrderBy("d_weight", engine::SortDir::kDescending);
+    engine::Query q = qb.Build().ValueOrDie();
+    auto r = engine.Run(q.context());
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(q.num_result_rows());
+  }
+  avm::benchutil::ReportTuples(state, kProbeRows, label);
+}
+
+void BM_JoinOrderBy_Interp(benchmark::State& state) {
+  BM_JoinOrderByMaterialize(state, engine::ExecutionStrategy::kInterpret, 1,
+                            "interp");
+}
+BENCHMARK(BM_JoinOrderBy_Interp)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_JoinOrderBy_Parallel4(benchmark::State& state) {
+  BM_JoinOrderByMaterialize(state, engine::ExecutionStrategy::kInterpret, 4,
+                            "interp-4w");
+}
+BENCHMARK(BM_JoinOrderBy_Parallel4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace

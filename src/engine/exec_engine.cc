@@ -29,6 +29,9 @@ std::string ExecReport::ToString() const {
   if (gpu_sim_seconds > 0) {
     out += StrFormat(" gpu_sim=%.2fms", gpu_sim_seconds * 1e3);
   }
+  if (!jit_declined.empty()) {
+    out += "\njit declined: " + jit_declined;
+  }
   if (!ran_serial_reason.empty()) {
     out += "\nran serial: " + ran_serial_reason;
   }
@@ -107,6 +110,13 @@ ExecContext& ExecContext::BindOutput(const std::string& name,
                                      interp::DataBinding b) {
   b.writable = true;
   bound_.push_back({name, BindRole::kOutput, b, nullptr});
+  return *this;
+}
+
+ExecContext& ExecContext::BindPartialOutput(const std::string& name,
+                                            interp::DataBinding b) {
+  b.writable = true;
+  bound_.push_back({name, BindRole::kPartialOutput, b, nullptr});
   return *this;
 }
 

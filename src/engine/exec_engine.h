@@ -99,6 +99,14 @@ struct ExecReport {
   uint64_t injection_fallbacks = 0;
   double compile_seconds = 0;
 
+  /// Non-empty when the adaptive VM considered a hot trace but declined to
+  /// compile it (first reason observed): e.g. gathers stay interpreted
+  /// because compiled code cannot report a bounds failure. The query still
+  /// completes — uncompiled fragments run vectorized-interpreted — but the
+  /// decline is reported instead of silently looking like "nothing was
+  /// hot".
+  std::string jit_declined;
+
   /// Fig. 1 state-machine timeline and profiler dump of the worker that
   /// executed the first morsel (representative; per-worker dumps would be
   /// near-identical).
@@ -117,6 +125,13 @@ enum class BindRole : uint8_t {
   kShared,       ///< read-only, replicated: every worker sees the whole array
   kOutput,       ///< writable, row-partitioned: worker w writes its slice
   kAccumulator,  ///< writable, privatized: zeroed per-worker copy, merged
+  /// Writable, row-partitioned *window*: each morsel owns its slice but may
+  /// write any data-dependent PREFIX of it (condensing writes). The engine
+  /// does not stitch the prefixes together; the query's task hook records
+  /// each morsel's written count and its finalize hook merges the runs at
+  /// the barrier — this is how condensing/materializing pipelines (ORDER BY,
+  /// row output) run morsel-parallel instead of falling back to serial.
+  kPartialOutput,
 };
 
 /// Merges one worker's accumulator partial into the master array.
@@ -168,6 +183,11 @@ class ExecContext {
   ExecContext& BindAccumulator(const std::string& name, TypeId type,
                                void* data, uint64_t len,
                                MergeFn merge = SumMerge);
+  /// Writable per-morsel window (see BindRole::kPartialOutput): worker w
+  /// writes a data-dependent prefix of its row slice. Pair with a task hook
+  /// that reads the written count and a finalize hook that merges the runs.
+  ExecContext& BindPartialOutput(const std::string& name,
+                                 interp::DataBinding b);
 
   /// Optional observability hook: called (serially) with each worker's
   /// interpreter after it finishes, before accumulator merge. Tests and
@@ -180,6 +200,28 @@ class ExecContext {
   ExecContext& set_inspector(
       std::function<void(const interp::Interpreter&)> fn) {
     inspector_ = std::move(fn);
+    return *this;
+  }
+
+  /// Per-task hook: called after each task's interpreter finishes, with the
+  /// row range the task covered (serial runs see one task spanning every
+  /// row). Parallel runs call it under the query's merge mutex, so bodies
+  /// may mutate query-owned state without extra locking; cancelled or
+  /// failed tasks skip it. Queries with kPartialOutput windows use it to
+  /// read the per-morsel written count and partial-sort their window.
+  ExecContext& set_task_hook(
+      std::function<Status(const interp::Interpreter&, const Morsel&)> fn) {
+    task_hook_ = std::move(fn);
+    return *this;
+  }
+
+  /// Barrier hook: called exactly once, after the last task completed
+  /// successfully (all accumulator merges and task hooks done) and before
+  /// the query's handle reports completion. A returned error fails the
+  /// query. Not called for cancelled or failed queries. Queries with
+  /// ordered/materialized output use it to merge per-morsel sorted runs.
+  ExecContext& set_finalize_hook(std::function<Status()> fn) {
+    finalize_hook_ = std::move(fn);
     return *this;
   }
 
@@ -201,6 +243,8 @@ class ExecContext {
   uint64_t total_rows_ = 0;
   std::vector<Bound> bound_;
   std::function<void(const interp::Interpreter&)> inspector_;
+  std::function<Status(const interp::Interpreter&, const Morsel&)> task_hook_;
+  std::function<Status()> finalize_hook_;
 };
 
 /// The blocking compatibility facade over engine::Session. One engine

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstring>
 #include <map>
+#include <numeric>
 #include <set>
 
 #include "dsl/typecheck.h"
@@ -18,6 +20,10 @@ using dsl::ExprPtr;
 using dsl::Lambda;
 using dsl::SkeletonKind;
 using dsl::StmtPtr;
+
+/// Largest dense join/semijoin key domain the builder will materialize
+/// (16M slots = 128 MiB of i64 per lookup array).
+constexpr int64_t kMaxJoinDomain = int64_t{1} << 24;
 
 /// Deep clone with variable-reference renaming (column names are let-bound
 /// under a prefix in the lowered loop body, and filter fast paths rebind
@@ -58,7 +64,7 @@ Status ValidateScalarExpr(const dsl::Expr& e, const char* where) {
       e.kind == dsl::ExprKind::kSkeleton) {
     return Status::InvalidArgument(
         StrFormat("%s: lambdas/skeletons are not allowed in builder "
-                  "expressions (use Filter/Project/SemiJoin/Aggregate)",
+                  "expressions (use Filter/Project/SemiJoin/Join/Aggregate)",
                   where));
   }
   if (e.body != nullptr) AVM_RETURN_NOT_OK(ValidateScalarExpr(*e.body, where));
@@ -66,6 +72,42 @@ Status ValidateScalarExpr(const dsl::Expr& e, const char* where) {
     AVM_RETURN_NOT_OK(ValidateScalarExpr(*a, where));
   }
   return Status::OK();
+}
+
+/// NaN-aware float ordering: every NaN sorts AFTER every number, and all
+/// NaNs are equivalent — a strict weak ordering even on dirty data (raw
+/// operator< would hand std::stable_sort an intransitive comparator: UB).
+template <typename F>
+bool FloatLess(F a, F b) {
+  if (std::isnan(a)) return false;
+  if (std::isnan(b)) return true;
+  return a < b;
+}
+
+/// Element comparison inside a raw typed column buffer (result-row sorting).
+bool LessAt(TypeId t, const uint8_t* base, uint64_t a, uint64_t b) {
+  switch (t) {
+    case TypeId::kBool:
+    case TypeId::kI8:
+      return reinterpret_cast<const int8_t*>(base)[a] <
+             reinterpret_cast<const int8_t*>(base)[b];
+    case TypeId::kI16:
+      return reinterpret_cast<const int16_t*>(base)[a] <
+             reinterpret_cast<const int16_t*>(base)[b];
+    case TypeId::kI32:
+      return reinterpret_cast<const int32_t*>(base)[a] <
+             reinterpret_cast<const int32_t*>(base)[b];
+    case TypeId::kI64:
+      return reinterpret_cast<const int64_t*>(base)[a] <
+             reinterpret_cast<const int64_t*>(base)[b];
+    case TypeId::kF32:
+      return FloatLess(reinterpret_cast<const float*>(base)[a],
+                       reinterpret_cast<const float*>(base)[b]);
+    case TypeId::kF64:
+      return FloatLess(reinterpret_cast<const double*>(base)[a],
+                       reinterpret_cast<const double*>(base)[b]);
+  }
+  return false;
 }
 
 }  // namespace
@@ -76,73 +118,198 @@ using Spec = internal::QuerySpec;
 
 struct internal::QuerySpec {
   struct Step {
-    enum class Kind : uint8_t { kFilter, kProject, kSemiJoin };
+    enum class Kind : uint8_t { kFilter, kProject, kSemiJoin, kJoin };
     Kind kind;
-    std::string name;   // kProject: projection name; kSemiJoin: key name
+    std::string name;   // kProject: projection; kSemiJoin/kJoin: probe key
     ExprPtr expr;       // kFilter / kProject
-    size_t dim = 0;     // kSemiJoin: index into dims
+    size_t dim = 0;     // kSemiJoin: index into dims; kJoin: into joins
   };
+  enum class AggKind : uint8_t { kSum, kCount, kSumF64, kAvgF64 };
   struct Agg {
     std::string name;
+    AggKind kind = AggKind::kSum;
     ExprPtr expr;  // null for Count
+  };
+  /// One hash equi-join: the build side densified into key-indexed lookup
+  /// arrays (identity-hashed open table: slot == key, plus one guard slot
+  /// that never matches) so the probe is a plain shared-array gather.
+  struct JoinDim {
+    const Table* build = nullptr;
+    std::string build_key;
+    std::vector<std::string> payload;  ///< requested; empty = all non-key
+    // Derived by Resolve():
+    std::vector<std::string> cols;     ///< resolved payload column names
+    int64_t max_key = -1;              ///< guard slot = max_key + 1
+    std::vector<int64_t> match;        ///< 1 where a build key exists
+    struct Pay {
+      TypeId type = TypeId::kI64;
+      std::vector<uint8_t> data;       ///< (max_key + 2) values
+    };
+    std::vector<Pay> pays;             ///< parallel to cols
   };
 
   const Table* table = nullptr;
   std::vector<Step> steps;
   std::vector<std::vector<int64_t>> dims;  ///< shared membership arrays
+  std::vector<JoinDim> joins;
   ExprPtr group_expr;                      ///< null = single group
   size_t num_groups = 1;
   std::vector<Agg> aggs;
+  std::vector<std::string> outputs;        ///< Output() calls, in order
+  bool has_order = false;
+  std::string order_by;
+  SortDir order_dir = SortDir::kAscending;
 
   // Derived by Resolve().
   std::vector<std::string> columns;  ///< referenced, schema order
   std::vector<const Column*> column_ptrs;
+  bool row_mode = false;             ///< materialize rows (no aggregates)
+  std::vector<std::string> out_cols; ///< final output list (order key incl.)
+  std::vector<TypeId> out_types;     ///< parallel; from the probe lowering
+  size_t order_key_index = 0;        ///< row mode: order_by's out_cols slot
 
   std::string DimName(size_t i) const { return StrFormat("sj%zu", i); }
+  std::string JoinMatchName(size_t i) const { return StrFormat("jm_%zu", i); }
+  std::string JoinPayName(size_t i, size_t j) const {
+    return StrFormat("jp_%zu_%zu", i, j);
+  }
   static std::string ColValue(const std::string& col) { return "col_" + col; }
   static std::string AccName(const std::string& agg) { return "acc_" + agg; }
+  static std::string AvgCntName(const std::string& agg) {
+    return "avn_" + agg;
+  }
+  static std::string OutName(const std::string& col) { return "out_" + col; }
 
   Status Resolve();
+  Status BuildJoinDim(JoinDim& jd) const;
   Result<dsl::Program> Lower(int64_t rows) const;
 };
 
+namespace {
+
+// Names the lowering generates itself: numbered okayN/predN/memN/keyN/sjN/
+// jidxN/jpiN/pvN/ovN/owN, the col_/acc_/avn_/cnt_/sv_/out_/jv_/jm_/jp_
+// prefixes, and the static loop counter / group / output-count / pass-
+// through names.
+bool IsReservedName(const std::string& n) {
+  if (n.empty() || n == "i" || n == "grp" || n == "_sel" || n == "onum" ||
+      n == "group") {
+    return true;
+  }
+  for (const char* p :
+       {"col_", "acc_", "avn_", "cnt_", "sv_", "out_", "jv_", "jm_", "jp_"}) {
+    if (n.rfind(p, 0) == 0) return true;
+  }
+  for (const char* p :
+       {"okay", "pred", "mem", "key", "sj", "jidx", "jpi", "pv", "ov", "ow"}) {
+    const size_t l = std::strlen(p);
+    if (n.size() > l && n.compare(0, l, p) == 0 &&
+        std::all_of(n.begin() + static_cast<ptrdiff_t>(l), n.end(),
+                    [](unsigned char c) { return std::isdigit(c); })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status internal::QuerySpec::BuildJoinDim(JoinDim& jd) const {
+  AVM_ASSIGN_OR_RETURN(const Column* key_col,
+                       jd.build->ColumnByName(jd.build_key));
+  if (key_col->type() != TypeId::kI64) {
+    return Status::TypeError("Join build key column must be i64: " +
+                             jd.build_key);
+  }
+  const uint64_t rows = jd.build->num_rows();
+  constexpr uint32_t kChunk = 4096;
+
+  // Pass 1: key domain. The probe gather clamps into [0, max_key + 1], so
+  // only the BUILD keys must fit the dense domain.
+  std::vector<int64_t> keys(rows);
+  jd.max_key = -1;
+  for (uint64_t pos = 0; pos < rows; pos += kChunk) {
+    const uint32_t n =
+        static_cast<uint32_t>(std::min<uint64_t>(kChunk, rows - pos));
+    AVM_RETURN_NOT_OK(key_col->Read(pos, n, keys.data() + pos));
+    for (uint32_t i = 0; i < n; ++i) {
+      const int64_t k = keys[pos + i];
+      if (k < 0) {
+        return Status::InvalidArgument(
+            "Join requires non-negative build keys (column " + jd.build_key +
+            ")");
+      }
+      jd.max_key = std::max(jd.max_key, k);
+    }
+  }
+  if (jd.max_key + 1 >= kMaxJoinDomain) {
+    return Status::ResourceExhausted(
+        "Join key domain too large for dense lookup arrays (column " +
+        jd.build_key + ")");
+  }
+
+  // Pass 2: densify. slot == key (identity hash, collision-free by
+  // construction); the extra guard slot max_key + 1 stays unmatched and
+  // absorbs every clamped out-of-domain probe key. Duplicate build keys:
+  // last build row wins (dimension-table semantics).
+  const size_t size = static_cast<size_t>(jd.max_key + 2);
+  jd.match.assign(size, 0);
+  for (uint64_t r = 0; r < rows; ++r) jd.match[keys[r]] = 1;
+
+  jd.pays.resize(jd.cols.size());
+  std::vector<uint8_t> buf;
+  for (size_t c = 0; c < jd.cols.size(); ++c) {
+    AVM_ASSIGN_OR_RETURN(const Column* col,
+                         jd.build->ColumnByName(jd.cols[c]));
+    JoinDim::Pay& pay = jd.pays[c];
+    pay.type = col->type();
+    const size_t w = TypeWidth(pay.type);
+    pay.data.assign(size * w, 0);
+    buf.resize(kChunk * w);
+    for (uint64_t pos = 0; pos < rows; pos += kChunk) {
+      const uint32_t n =
+          static_cast<uint32_t>(std::min<uint64_t>(kChunk, rows - pos));
+      AVM_RETURN_NOT_OK(col->Read(pos, n, buf.data()));
+      for (uint32_t i = 0; i < n; ++i) {
+        std::memcpy(&pay.data[static_cast<size_t>(keys[pos + i]) * w],
+                    &buf[static_cast<size_t>(i) * w], w);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status internal::QuerySpec::Resolve() {
-  if (aggs.empty()) {
+  row_mode = aggs.empty();
+  if (aggs.empty() && outputs.empty() && !has_order) {
     return Status::InvalidArgument(
-        "QueryBuilder needs at least one aggregate (Sum or Count)");
+        "QueryBuilder needs at least one aggregate (Sum/Count/SumF64/"
+        "AvgF64) or a materialized output (Output/OrderBy)");
+  }
+  if (!aggs.empty() && !outputs.empty()) {
+    return Status::InvalidArgument(
+        "Output() cannot be combined with aggregates; ordered per-group "
+        "rows come from OrderBy on an aggregate query");
+  }
+  if (row_mode && group_expr != nullptr) {
+    return Status::InvalidArgument(
+        "Aggregate(group) requires at least one Sum/Count aggregate");
   }
   // Re-derive from scratch: the builder may Build() more than once (the
   // spec is re-resolved after each mutation).
   columns.clear();
   column_ptrs.clear();
+  out_cols.clear();
+  out_types.clear();
   const Schema& schema = table->schema();
 
-  // Names the lowering generates itself: okayN/predN/memN/keyN/sjN
-  // (numbered), cnt_*/sv_* value arrays, and the _sel pass-through param —
-  // plus the static loop counter / group / col_ / acc_ names.
-  auto is_reserved_name = [](const std::string& n) {
-    if (n.empty() || n == "i" || n == "grp" || n == "_sel" ||
-        n.rfind("col_", 0) == 0 || n.rfind("acc_", 0) == 0 ||
-        n.rfind("cnt_", 0) == 0 || n.rfind("sv_", 0) == 0) {
-      return true;
-    }
-    for (const char* p : {"okay", "pred", "mem", "key", "sj"}) {
-      const size_t l = std::strlen(p);
-      if (n.size() > l && n.compare(0, l, p) == 0 &&
-          std::all_of(n.begin() + static_cast<ptrdiff_t>(l), n.end(),
-                      [](unsigned char c) { return std::isdigit(c); })) {
-        return true;
-      }
-    }
-    return false;
-  };
   // Accept a referenced table column, rejecting reserved-named columns
   // eagerly: their data declarations would collide with generated names
   // deep in the lowering, surfacing as baffling type errors.
-  std::set<std::string> projections;
+  std::set<std::string> projections;  // projections + join payloads
   std::set<std::string> used_columns;
   auto use_column = [&](const std::string& name) -> Status {
-    if (is_reserved_name(name)) {
+    if (IsReservedName(name)) {
       return Status::InvalidArgument(
           StrFormat("column name '%s' collides with the lowering's "
                     "reserved names; rename the column to use it with "
@@ -164,7 +331,8 @@ Status internal::QuerySpec::Resolve() {
       }
       return Status::InvalidArgument(
           StrFormat("%s references '%s', which is neither a column of the "
-                    "scanned table nor an earlier projection",
+                    "scanned table, a join payload, nor an earlier "
+                    "projection",
                     where, r.c_str()));
     }
     if (refs.empty()) {
@@ -175,7 +343,7 @@ Status internal::QuerySpec::Resolve() {
   };
   auto check_fresh_name = [&](const std::string& name,
                               const char* what) -> Status {
-    if (is_reserved_name(name)) {
+    if (IsReservedName(name)) {
       return Status::InvalidArgument(
           StrFormat("%s name '%s' is reserved", what, name.c_str()));
     }
@@ -183,6 +351,18 @@ Status internal::QuerySpec::Resolve() {
       return Status::InvalidArgument(
           StrFormat("%s name '%s' collides with a column or projection",
                     what, name.c_str()));
+    }
+    return Status::OK();
+  };
+  auto check_key = [&](const std::string& key, const char* what) -> Status {
+    if (!projections.contains(key) && schema.FieldIndex(key) < 0) {
+      return Status::InvalidArgument(
+          StrFormat("%s key '%s' is neither a column nor an earlier "
+                    "projection",
+                    what, key.c_str()));
+    }
+    if (schema.FieldIndex(key) >= 0) {
+      AVM_RETURN_NOT_OK(use_column(key));
     }
     return Status::OK();
   };
@@ -202,16 +382,34 @@ Status internal::QuerySpec::Resolve() {
           return Status::InvalidArgument(
               "SemiJoin membership array must not be empty");
         }
-        if (!projections.contains(s.name) &&
-            schema.FieldIndex(s.name) < 0) {
-          return Status::InvalidArgument(
-              StrFormat("SemiJoin key '%s' is neither a column nor an "
-                        "earlier projection",
-                        s.name.c_str()));
+        AVM_RETURN_NOT_OK(check_key(s.name, "SemiJoin"));
+        break;
+      }
+      case Step::Kind::kJoin: {
+        JoinDim& jd = joins[s.dim];
+        AVM_RETURN_NOT_OK(check_key(s.name, "Join"));
+        const Schema& bs = jd.build->schema();
+        jd.cols.clear();
+        if (jd.payload.empty()) {
+          for (size_t i = 0; i < bs.num_fields(); ++i) {
+            if (bs.field(i).name != jd.build_key) {
+              jd.cols.push_back(bs.field(i).name);
+            }
+          }
+        } else {
+          jd.cols = jd.payload;
         }
-        if (schema.FieldIndex(s.name) >= 0) {
-          AVM_RETURN_NOT_OK(use_column(s.name));
+        for (const std::string& c : jd.cols) {
+          if (bs.FieldIndex(c) < 0) {
+            return Status::InvalidArgument(
+                "Join payload '" + c + "' is not a build-side column");
+          }
+          AVM_RETURN_NOT_OK(check_fresh_name(c, "Join payload"));
+          projections.insert(c);
         }
+        // Densify the build side now so Build-time errors (negative keys,
+        // oversized domains) surface before anything is submitted.
+        AVM_RETURN_NOT_OK(BuildJoinDim(jd));
         break;
       }
     }
@@ -229,6 +427,44 @@ Status internal::QuerySpec::Resolve() {
       AVM_RETURN_NOT_OK(resolve_expr(*a.expr, "Sum expression"));
     }
   }
+
+  // Output / OrderBy resolution.
+  if (row_mode) {
+    std::set<std::string> seen;
+    auto add_output = [&](const std::string& name) -> Status {
+      if (!seen.insert(name).second) {
+        return Status::InvalidArgument("duplicate Output name " + name);
+      }
+      if (!projections.contains(name)) {
+        if (schema.FieldIndex(name) < 0) {
+          return Status::InvalidArgument(
+              StrFormat("Output/OrderBy '%s' is neither a column, a join "
+                        "payload, nor a projection",
+                        name.c_str()));
+        }
+        AVM_RETURN_NOT_OK(use_column(name));
+      }
+      out_cols.push_back(name);
+      return Status::OK();
+    };
+    for (const std::string& o : outputs) AVM_RETURN_NOT_OK(add_output(o));
+    if (has_order && !seen.contains(order_by)) {
+      AVM_RETURN_NOT_OK(add_output(order_by));
+    }
+    if (has_order) {
+      for (size_t i = 0; i < out_cols.size(); ++i) {
+        if (out_cols[i] == order_by) order_key_index = i;
+      }
+    }
+  } else if (has_order) {
+    if (order_by != "group" && !agg_names.contains(order_by)) {
+      return Status::InvalidArgument(
+          StrFormat("OrderBy '%s' on an aggregate query must name \"group\" "
+                    "or an aggregate",
+                    order_by.c_str()));
+    }
+  }
+
   if (used_columns.empty()) {
     return Status::InvalidArgument(
         "query references no table column (nothing drives the scan)");
@@ -243,10 +479,211 @@ Status internal::QuerySpec::Resolve() {
     AVM_ASSIGN_OR_RETURN(const Column* col, table->ColumnByName(name));
     column_ptrs.push_back(col);
   }
+
+  // Row mode: the output declarations need the VALUE types, which only the
+  // type checker knows (projection types follow promotion rules). Lower a
+  // probe program with placeholder output types — the write skeleton does
+  // not constrain its destination's type — and read the checked types off
+  // the written value expressions.
+  if (row_mode) {
+    out_types.assign(out_cols.size(), TypeId::kI64);
+    AVM_ASSIGN_OR_RETURN(dsl::Program probe, Lower(4096));
+    AVM_RETURN_NOT_OK(dsl::TypeCheck(&probe));
+    dsl::VisitExprs(probe, [&](const dsl::ExprPtr& e) {
+      if (e->kind != dsl::ExprKind::kSkeleton ||
+          e->skeleton != SkeletonKind::kWrite) {
+        return;
+      }
+      const std::string& dest = e->args[0]->var;
+      for (size_t i = 0; i < out_cols.size(); ++i) {
+        if (OutName(out_cols[i]) == dest) out_types[i] = e->args[2]->type;
+      }
+    });
+  }
   return Status::OK();
 }
 
 // ---------------------------------------------------------------- lowering
+
+namespace {
+
+/// Mutable state of one lowering pass: the loop body being emitted plus the
+/// name/selection bookkeeping that turns impossible selection combinations
+/// into Build-time errors (the interpreter's CommonSelection rule).
+struct Lowering {
+  const Spec& spec;
+  std::vector<StmtPtr> body;
+  /// user name -> loop value currently holding it ("" sel = positional).
+  std::map<std::string, std::string> value_of;
+  /// Selection each loop value carries ("" = positional, all chunk rows).
+  std::map<std::string, std::string> value_sel;
+  /// Projection name -> defining builder expression (for positional
+  /// re-derivation of join keys).
+  std::map<std::string, const dsl::Expr*> proj_expr;
+  /// Join payload -> (positional index value, lookup array name).
+  struct PaySrc {
+    std::string idx;
+    std::string array;
+  };
+  std::map<std::string, PaySrc> payload_src;
+  /// (payload, selection) -> gathered value let (payloads re-gather lazily
+  /// under the CURRENT selection so they compose with post-join values).
+  std::map<std::pair<std::string, std::string>, std::string> pay_cache;
+  /// name -> positional (selection-free) value let.
+  std::map<std::string, std::string> pos_cache;
+  std::string cur_sel;  // selection-carrying value, "" before any filter
+  int gen = 0;          // generated-name counter
+
+  explicit Lowering(const Spec& s) : spec(s) {}
+
+  void Emit(StmtPtr stmt) { body.push_back(std::move(stmt)); }
+
+  /// The loop value for `name` under the current selection, materializing
+  /// join payloads on demand (a gather through the join's positional index
+  /// vector threaded with the current selection).
+  Result<std::string> UseName(const std::string& name) {
+    auto ps = payload_src.find(name);
+    if (ps == payload_src.end()) return value_of.at(name);
+    auto key = std::make_pair(name, cur_sel);
+    auto hit = pay_cache.find(key);
+    if (hit != pay_cache.end()) return hit->second;
+    using namespace dsl;
+    std::string idx = ps->second.idx;
+    if (!cur_sel.empty()) {
+      const std::string sel_idx = StrFormat("jpi%d", gen++);
+      Emit(Let(sel_idx,
+               Skeleton(SkeletonKind::kMap,
+                        {Lambda({"k", "_sel"}, Var("k")), Var(idx),
+                         Var(cur_sel)})));
+      idx = sel_idx;
+    }
+    // One payload may be gathered under several selections as filters
+    // refine; the counter keeps every re-gather's let name unique.
+    const std::string let_name = StrFormat("jv_%s_%d", name.c_str(), gen++);
+    Emit(Let(let_name, Skeleton(SkeletonKind::kGather,
+                                {Var(ps->second.array), Var(idx)})));
+    value_sel[let_name] = cur_sel;
+    pay_cache[key] = let_name;
+    return let_name;
+  }
+
+  Result<std::string> SelOf(const std::string& user_name) {
+    AVM_ASSIGN_OR_RETURN(std::string v, UseName(user_name));
+    return value_sel.at(v);
+  }
+
+  /// A positional (selection-free) value for `name`, valid at EVERY chunk
+  /// position: columns are positional by construction, payloads gather
+  /// through the positional index vector, and post-filter projections are
+  /// re-computed over all rows (safe: every scalar op, including div/mod by
+  /// zero, is total and deterministic).
+  Result<std::string> PosName(const std::string& name) {
+    if (spec.table->schema().FieldIndex(name) >= 0) {
+      return Spec::ColValue(name);
+    }
+    auto hit = pos_cache.find(name);
+    if (hit != pos_cache.end()) return hit->second;
+    using namespace dsl;
+    auto ps = payload_src.find(name);
+    if (ps != payload_src.end()) {
+      const std::string val = StrFormat("pv%d", gen++);
+      Emit(Let(val, Skeleton(SkeletonKind::kGather,
+                             {Var(ps->second.array), Var(ps->second.idx)})));
+      value_sel[val] = "";
+      pos_cache[name] = val;
+      return val;
+    }
+    const std::string& cur = value_of.at(name);
+    if (value_sel.at(cur).empty()) {
+      pos_cache[name] = cur;
+      return cur;
+    }
+    const dsl::Expr* def = proj_expr.at(name);
+    std::vector<std::string> refs;
+    CollectRefs(*def, &refs);
+    std::map<std::string, std::string> subst;
+    std::vector<std::string> params;
+    std::vector<ExprPtr> args = {nullptr};
+    for (const std::string& r : refs) {
+      AVM_ASSIGN_OR_RETURN(std::string p, PosName(r));
+      subst[r] = p;
+      params.push_back(p);
+      args.push_back(Var(p));
+    }
+    args[0] = Lambda(std::move(params), CloneSubst(*def, subst));
+    const std::string val = StrFormat("pv%d", gen++);
+    Emit(Let(val, Skeleton(SkeletonKind::kMap, std::move(args))));
+    value_sel[val] = "";
+    pos_cache[name] = val;
+    return val;
+  }
+
+  /// Lower `expr` as a map over its referenced values; the current
+  /// selection (if any) rides along as a trailing pass-through input, the
+  /// Q1 idiom for propagating selection vectors through a pipeline.
+  /// Returns the map expression; *out_sel reports the selection the map's
+  /// output carries.
+  Result<ExprPtr> LowerMap(const dsl::Expr& expr, ExprPtr lowered_body,
+                           std::string* out_sel) {
+    using namespace dsl;
+    std::vector<std::string> refs;
+    CollectRefs(expr, &refs);
+    std::string have;  // selection carried by the inputs
+    std::vector<std::string> params;
+    std::vector<ExprPtr> args = {nullptr};  // lambda goes first
+    for (const std::string& r : refs) {
+      AVM_ASSIGN_OR_RETURN(std::string v, UseName(r));
+      const std::string& s = value_sel.at(v);
+      if (!s.empty()) {
+        if (!have.empty() && have != s) {
+          return Status::InvalidArgument(
+              StrFormat("expression combines values filtered at different "
+                        "pipeline positions ('%s' carries %s); re-project "
+                        "after the last filter instead",
+                        r.c_str(), s.c_str()));
+        }
+        have = s;
+      }
+      params.push_back(v);
+      args.push_back(Var(v));
+    }
+    if (have.empty() && !cur_sel.empty()) {
+      // Positional inputs: thread the current selection through so the
+      // output computes (and carries) only surviving rows.
+      params.push_back("_sel");
+      args.push_back(Var(cur_sel));
+      have = cur_sel;
+    }
+    args[0] = Lambda(std::move(params), std::move(lowered_body));
+    if (out_sel != nullptr) *out_sel = have;
+    return Skeleton(SkeletonKind::kMap, std::move(args));
+  }
+
+  Result<ExprPtr> Rename(const dsl::Expr& expr) {
+    std::vector<std::string> refs;
+    CollectRefs(expr, &refs);
+    std::map<std::string, std::string> subst;
+    for (const std::string& r : refs) {
+      AVM_ASSIGN_OR_RETURN(subst[r], UseName(r));
+    }
+    return CloneSubst(expr, subst);
+  }
+
+  /// Maps feeding the aggregation/output must restrict to the final
+  /// selection: an older (wider) selection would keep rows later filters
+  /// removed.
+  Status RequireCurrent(const std::string& sel, const char* where) const {
+    if (sel != cur_sel) {
+      return Status::InvalidArgument(
+          StrFormat("%s uses values filtered before the last filter; "
+                    "re-project after the final filter",
+                    where));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
 
 Result<dsl::Program> internal::QuerySpec::Lower(int64_t rows) const {
   using namespace dsl;
@@ -260,214 +697,276 @@ Result<dsl::Program> internal::QuerySpec::Lower(int64_t rows) const {
   for (size_t i = 0; i < dims.size(); ++i) {
     p.data.push_back({DimName(i), TypeId::kI64, false});
   }
+  for (size_t i = 0; i < joins.size(); ++i) {
+    p.data.push_back({JoinMatchName(i), TypeId::kI64, false});
+    for (size_t j = 0; j < joins[i].pays.size(); ++j) {
+      p.data.push_back({JoinPayName(i, j), joins[i].pays[j].type, false});
+    }
+  }
   for (const Agg& a : aggs) {
-    p.data.push_back({AccName(a.name), TypeId::kI64, true});
+    const bool f64 = a.kind == AggKind::kSumF64 || a.kind == AggKind::kAvgF64;
+    p.data.push_back(
+        {AccName(a.name), f64 ? TypeId::kF64 : TypeId::kI64, true});
+    if (a.kind == AggKind::kAvgF64) {
+      p.data.push_back({AvgCntName(a.name), TypeId::kI64, true});
+    }
+  }
+  for (size_t i = 0; i < out_cols.size(); ++i) {
+    p.data.push_back({OutName(out_cols[i]), out_types[i], true});
   }
 
-  std::vector<StmtPtr> body;
+  Lowering lo(*this);
   // Chunk reads; scanned columns are let-bound under the col_ prefix so
   // user expressions can be spliced in with a rename.
-  std::map<std::string, std::string> value_of;  // user name -> loop value
   for (const std::string& c : columns) {
-    body.push_back(Let(ColValue(c),
-                       Skeleton(SkeletonKind::kRead, {Var("i"), Var(c)})));
-    value_of[c] = ColValue(c);
+    lo.Emit(Let(ColValue(c),
+                Skeleton(SkeletonKind::kRead, {Var("i"), Var(c)})));
+    lo.value_of[c] = ColValue(c);
+    lo.value_sel[ColValue(c)] = "";
   }
-
-  std::string cur_sel;  // selection-carrying value, "" before any filter
-  // Selection each value carries: "" = positional (all chunk rows).
-  // Chunk arrays with *different* selections cannot be combined (the
-  // interpreter's CommonSelection rule), so the lowering tracks this and
-  // turns impossible combinations into Build-time errors.
-  std::map<std::string, std::string> value_sel;
-  for (const std::string& c : columns) value_sel[ColValue(c)] = "";
-  int gen = 0;  // generated-name counter
-
-  // Lower `expr` as a map over its referenced values; the current
-  // selection (if any) rides along as a trailing pass-through input, the
-  // Q1 idiom for propagating selection vectors through a pipeline.
-  // Returns the map expression; *out_sel reports the selection the map's
-  // output carries.
-  auto lower_map = [&](const dsl::Expr& expr, ExprPtr lowered_body,
-                       std::string* out_sel) -> Result<ExprPtr> {
-    std::vector<std::string> refs;
-    CollectRefs(expr, &refs);
-    std::string have;  // selection carried by the inputs
-    for (const std::string& r : refs) {
-      const std::string& s = value_sel.at(value_of.at(r));
-      if (s.empty()) continue;
-      if (!have.empty() && have != s) {
-        return Status::InvalidArgument(
-            StrFormat("expression combines values filtered at different "
-                      "pipeline positions ('%s' carries %s); re-project "
-                      "after the last filter instead",
-                      r.c_str(), s.c_str()));
-      }
-      have = s;
-    }
-    std::vector<std::string> params;
-    std::vector<ExprPtr> args = {nullptr};  // lambda goes first
-    for (const std::string& r : refs) {
-      params.push_back(value_of.at(r));
-      args.push_back(Var(value_of.at(r)));
-    }
-    if (have.empty() && !cur_sel.empty()) {
-      // Positional inputs: thread the current selection through so the
-      // output computes (and carries) only surviving rows.
-      params.push_back("_sel");
-      args.push_back(Var(cur_sel));
-      have = cur_sel;
-    }
-    args[0] = Lambda(std::move(params), std::move(lowered_body));
-    if (out_sel != nullptr) *out_sel = have;
-    return Skeleton(SkeletonKind::kMap, std::move(args));
-  };
-  auto rename = [&](const dsl::Expr& expr) {
-    return CloneSubst(expr, value_of);
-  };
-  // Maps feeding the aggregation must restrict to the final selection:
-  // an older (wider) selection would aggregate rows later filters removed.
-  auto require_current = [&](const std::string& sel,
-                             const char* where) -> Status {
-    if (sel != cur_sel) {
-      return Status::InvalidArgument(
-          StrFormat("%s uses values filtered before the last filter; "
-                    "re-project after the final filter",
-                    where));
-    }
-    return Status::OK();
-  };
 
   for (const Step& s : steps) {
     switch (s.kind) {
       case Step::Kind::kFilter: {
         std::vector<std::string> refs;
         CollectRefs(*s.expr, &refs);
-        const std::string okay = StrFormat("okay%d", gen);
-        if (refs.size() == 1 && cur_sel.empty() &&
-            value_sel.at(value_of.at(refs[0])).empty()) {
+        const std::string okay = StrFormat("okay%d", lo.gen);
+        std::string single_sel;
+        if (refs.size() == 1) {
+          AVM_ASSIGN_OR_RETURN(single_sel, lo.SelOf(refs[0]));
+        }
+        if (refs.size() == 1 && lo.cur_sel.empty() && single_sel.empty()) {
           // Single positional input, no prior selection: direct filter.
-          body.push_back(Let(
+          AVM_ASSIGN_OR_RETURN(std::string v, lo.UseName(refs[0]));
+          lo.Emit(Let(
               okay,
               Skeleton(SkeletonKind::kFilter,
                        {Lambda({"x"}, CloneSubst(*s.expr, {{refs[0], "x"}})),
-                        Var(value_of.at(refs[0]))})));
+                        Var(v)})));
         } else {
           // Materialize the predicate (0/1), then select the non-zeros.
-          const std::string pred = StrFormat("pred%d", gen);
+          const std::string pred = StrFormat("pred%d", lo.gen);
           std::string pred_sel;
+          AVM_ASSIGN_OR_RETURN(ExprPtr renamed, lo.Rename(*s.expr));
           AVM_ASSIGN_OR_RETURN(
               ExprPtr pred_map,
-              lower_map(*s.expr, Cast(TypeId::kI64, rename(*s.expr)),
-                        &pred_sel));
+              lo.LowerMap(*s.expr, Cast(TypeId::kI64, std::move(renamed)),
+                          &pred_sel));
           // The predicate must see every row the pipeline still keeps: a
           // stale selection would silently drop earlier filters from the
           // conjunction.
-          AVM_RETURN_NOT_OK(require_current(pred_sel, "Filter predicate"));
-          body.push_back(Let(pred, std::move(pred_map)));
-          body.push_back(Let(
+          AVM_RETURN_NOT_OK(lo.RequireCurrent(pred_sel, "Filter predicate"));
+          lo.Emit(Let(pred, std::move(pred_map)));
+          lo.Emit(Let(
               okay, Skeleton(SkeletonKind::kFilter,
                              {Lambda({"x"}, Ne(Var("x"), ConstI(0))),
                               Var(pred)})));
         }
-        cur_sel = okay;
-        ++gen;
+        lo.cur_sel = okay;
+        ++lo.gen;
         break;
       }
       case Step::Kind::kProject: {
         std::string out_sel;
-        AVM_ASSIGN_OR_RETURN(ExprPtr m,
-                             lower_map(*s.expr, rename(*s.expr), &out_sel));
-        body.push_back(Let(s.name, std::move(m)));
-        value_of[s.name] = s.name;
-        value_sel[s.name] = out_sel;
+        AVM_ASSIGN_OR_RETURN(ExprPtr renamed, lo.Rename(*s.expr));
+        AVM_ASSIGN_OR_RETURN(
+            ExprPtr m, lo.LowerMap(*s.expr, std::move(renamed), &out_sel));
+        lo.Emit(Let(s.name, std::move(m)));
+        lo.value_of[s.name] = s.name;
+        lo.value_sel[s.name] = out_sel;
+        lo.proj_expr[s.name] = s.expr.get();
         break;
       }
       case Step::Kind::kSemiJoin: {
         // membership[key] != 0, with the key threaded through the current
         // selection; the membership array is shared (whole-array) so the
         // gather stays row-partitionable.
-        std::string key = value_of.at(s.name);
-        const std::string& key_sel = value_sel.at(key);
-        if (!key_sel.empty() && key_sel != cur_sel) {
+        AVM_ASSIGN_OR_RETURN(std::string key, lo.UseName(s.name));
+        const std::string key_sel = lo.value_sel.at(key);
+        if (!key_sel.empty() && key_sel != lo.cur_sel) {
           return Status::InvalidArgument(
               "SemiJoin key was filtered before the last filter; "
               "re-project it after the final filter");
         }
-        if (!cur_sel.empty() && key_sel.empty()) {
-          const std::string keyed = StrFormat("key%d", gen);
-          body.push_back(Let(
+        if (!lo.cur_sel.empty() && key_sel.empty()) {
+          const std::string keyed = StrFormat("key%d", lo.gen);
+          lo.Emit(Let(
               keyed, Skeleton(SkeletonKind::kMap,
                               {Lambda({"k", "_sel"}, Var("k")), Var(key),
-                               Var(cur_sel)})));
+                               Var(lo.cur_sel)})));
           key = keyed;
         }
-        const std::string mem = StrFormat("mem%d", gen);
-        const std::string okay = StrFormat("okay%d", gen);
-        body.push_back(Let(mem, Skeleton(SkeletonKind::kGather,
-                                         {Var(DimName(s.dim)), Var(key)})));
-        body.push_back(Let(
+        const std::string mem = StrFormat("mem%d", lo.gen);
+        const std::string okay = StrFormat("okay%d", lo.gen);
+        lo.Emit(Let(mem, Skeleton(SkeletonKind::kGather,
+                                  {Var(DimName(s.dim)), Var(key)})));
+        lo.Emit(Let(
             okay, Skeleton(SkeletonKind::kFilter,
                            {Lambda({"x"}, Ne(Var("x"), ConstI(0))),
                             Var(mem)})));
-        cur_sel = okay;
-        ++gen;
+        lo.cur_sel = okay;
+        ++lo.gen;
+        break;
+      }
+      case Step::Kind::kJoin: {
+        const JoinDim& jd = joins[s.dim];
+        // Clamp the probe key into the dense domain POSITIONALLY (every
+        // chunk row, independent of any selection): out-of-domain and
+        // negative keys map to the guard slot, whose match flag is 0, so
+        // absent keys drop rows instead of failing the bounds-checked
+        // gather. The positional index vector is reused for every payload
+        // gather, under whatever selection is current at use time.
+        AVM_ASSIGN_OR_RETURN(std::string pos_key, lo.PosName(s.name));
+        const int64_t guard = jd.max_key + 1;
+        // guard + inb*(k - guard): the in-domain predicate is evaluated
+        // once per row (this is the hottest expression a join adds).
+        ExprPtr inb = Cast(TypeId::kI64, Var("k") >= ConstI(0)) *
+                      Cast(TypeId::kI64, Var("k") <= ConstI(jd.max_key));
+        ExprPtr clamp =
+            ConstI(guard) + std::move(inb) * (Var("k") - ConstI(guard));
+        const std::string jidx = StrFormat("jidx%d", lo.gen);
+        lo.Emit(Let(jidx,
+                    Skeleton(SkeletonKind::kMap,
+                             {Lambda({"k"}, std::move(clamp)),
+                              Var(pos_key)})));
+        lo.value_sel[jidx] = "";
+
+        // Probe: gather the match flags under the current selection and
+        // keep the hits.
+        std::string midx = jidx;
+        if (!lo.cur_sel.empty()) {
+          const std::string keyed = StrFormat("key%d", lo.gen);
+          lo.Emit(Let(keyed,
+                      Skeleton(SkeletonKind::kMap,
+                               {Lambda({"k", "_sel"}, Var("k")), Var(jidx),
+                                Var(lo.cur_sel)})));
+          midx = keyed;
+        }
+        const std::string mem = StrFormat("mem%d", lo.gen);
+        const std::string okay = StrFormat("okay%d", lo.gen);
+        lo.Emit(Let(mem, Skeleton(SkeletonKind::kGather,
+                                  {Var(JoinMatchName(s.dim)), Var(midx)})));
+        lo.Emit(Let(
+            okay, Skeleton(SkeletonKind::kFilter,
+                           {Lambda({"x"}, Ne(Var("x"), ConstI(0))),
+                            Var(mem)})));
+        lo.cur_sel = okay;
+        ++lo.gen;
+
+        // Payload columns materialize lazily (Lowering::UseName): the
+        // first post-join use gathers them under the then-current
+        // selection, so they compose with later filters and projections.
+        for (size_t j = 0; j < jd.cols.size(); ++j) {
+          lo.payload_src[jd.cols[j]] = {jidx, JoinPayName(s.dim, j)};
+        }
         break;
       }
     }
   }
 
-  // Group index per surviving row.
   const std::string carrier =
-      cur_sel.empty() ? ColValue(columns[0]) : cur_sel;
-  if (group_expr != nullptr) {
-    std::string grp_sel;
-    AVM_ASSIGN_OR_RETURN(
-        ExprPtr grp_map,
-        lower_map(*group_expr, Cast(TypeId::kI64, rename(*group_expr)),
-                  &grp_sel));
-    AVM_RETURN_NOT_OK(require_current(grp_sel, "Aggregate group"));
-    body.push_back(Let("grp", std::move(grp_map)));
-  } else {
-    body.push_back(Let("grp", Skeleton(SkeletonKind::kMap,
-                                       {Lambda({"_s"}, ConstI(0)),
-                                        Var(carrier)})));
-  }
+      lo.cur_sel.empty() ? ColValue(columns[0]) : lo.cur_sel;
 
-  // Scatter-aggregate each Sum/Count into its accumulator; the group index
-  // array carries the selection, so only surviving rows contribute (the
-  // value arrays are read positionally at the selected positions).
-  for (const Agg& a : aggs) {
-    std::string values;
-    if (a.expr == nullptr) {
-      values = StrFormat("cnt_%s", a.name.c_str());
-      body.push_back(Let(values, Skeleton(SkeletonKind::kMap,
-                                          {Lambda({"_s"}, ConstI(1)),
-                                           Var(carrier)})));
+  if (!row_mode) {
+    // Group index per surviving row.
+    if (group_expr != nullptr) {
+      std::string grp_sel;
+      AVM_ASSIGN_OR_RETURN(ExprPtr renamed, lo.Rename(*group_expr));
+      AVM_ASSIGN_OR_RETURN(
+          ExprPtr grp_map,
+          lo.LowerMap(*group_expr, Cast(TypeId::kI64, std::move(renamed)),
+                      &grp_sel));
+      AVM_RETURN_NOT_OK(lo.RequireCurrent(grp_sel, "Aggregate group"));
+      lo.Emit(Let("grp", std::move(grp_map)));
     } else {
-      std::vector<std::string> refs;
-      CollectRefs(*a.expr, &refs);
-      if (refs.size() == 1 && a.expr->kind == dsl::ExprKind::kVarRef) {
-        values = value_of.at(refs[0]);  // plain column/projection sum
+      lo.Emit(Let("grp", Skeleton(SkeletonKind::kMap,
+                                  {Lambda({"_s"}, ConstI(0)),
+                                   Var(carrier)})));
+    }
+
+    // Scatter-aggregate each Sum/Count into its accumulator; the group
+    // index array carries the selection, so only surviving rows contribute
+    // (the value arrays are read positionally at the selected positions).
+    for (const Agg& a : aggs) {
+      const bool f64 =
+          a.kind == AggKind::kSumF64 || a.kind == AggKind::kAvgF64;
+      std::string values;
+      if (a.expr == nullptr) {
+        values = StrFormat("cnt_%s", a.name.c_str());
+        lo.Emit(Let(values, Skeleton(SkeletonKind::kMap,
+                                     {Lambda({"_s"}, ConstI(1)),
+                                      Var(carrier)})));
       } else {
-        values = StrFormat("sv_%s", a.name.c_str());
-        AVM_ASSIGN_OR_RETURN(ExprPtr m,
-                             lower_map(*a.expr, rename(*a.expr), nullptr));
-        body.push_back(Let(values, std::move(m)));
+        std::vector<std::string> refs;
+        CollectRefs(*a.expr, &refs);
+        if (!f64 && refs.size() == 1 &&
+            a.expr->kind == dsl::ExprKind::kVarRef) {
+          AVM_ASSIGN_OR_RETURN(values, lo.UseName(refs[0]));
+        } else {
+          values = StrFormat("sv_%s", a.name.c_str());
+          AVM_ASSIGN_OR_RETURN(ExprPtr renamed, lo.Rename(*a.expr));
+          if (f64) renamed = Cast(TypeId::kF64, std::move(renamed));
+          AVM_ASSIGN_OR_RETURN(
+              ExprPtr m, lo.LowerMap(*a.expr, std::move(renamed), nullptr));
+          lo.Emit(Let(values, std::move(m)));
+        }
+      }
+      lo.Emit(ExprStmt(Skeleton(
+          SkeletonKind::kScatter,
+          {Var(AccName(a.name)), Var("grp"), Var(values),
+           Lambda({"o", "v"}, Var("o") + Var("v"))})));
+      if (a.kind == AggKind::kAvgF64) {
+        const std::string ones = StrFormat("cnt_%s", a.name.c_str());
+        lo.Emit(Let(ones, Skeleton(SkeletonKind::kMap,
+                                   {Lambda({"_s"}, ConstI(1)),
+                                    Var(carrier)})));
+        lo.Emit(ExprStmt(Skeleton(
+            SkeletonKind::kScatter,
+            {Var(AvgCntName(a.name)), Var("grp"), Var(ones),
+             Lambda({"o", "v"}, Var("o") + Var("v"))})));
       }
     }
-    body.push_back(ExprStmt(Skeleton(
-        SkeletonKind::kScatter,
-        {Var(AccName(a.name)), Var("grp"), Var(values),
-         Lambda({"o", "v"}, Var("o") + Var("v"))})));
+  } else {
+    // Row materialization: each output value is restricted to the FINAL
+    // selection and appended to its per-morsel output window at position
+    // `onum` — the write skeleton condenses the selection away, and its
+    // return value advances the cursor. The engine gives every morsel its
+    // own window; the Query's task hook reads `onum` back and partial-sorts
+    // the window, and its finalize hook merges the runs at the barrier.
+    std::string wrote;
+    for (size_t i = 0; i < out_cols.size(); ++i) {
+      const std::string& name = out_cols[i];
+      AVM_ASSIGN_OR_RETURN(std::string v, lo.UseName(name));
+      const std::string vsel = lo.value_sel.at(v);
+      if (vsel.empty() && !lo.cur_sel.empty()) {
+        const std::string ov = StrFormat("ov%d", lo.gen++);
+        lo.Emit(Let(ov, Skeleton(SkeletonKind::kMap,
+                                 {Lambda({"x", "_sel"}, Var("x")), Var(v),
+                                  Var(lo.cur_sel)})));
+        v = ov;
+      } else {
+        AVM_RETURN_NOT_OK(lo.RequireCurrent(
+            vsel, StrFormat("Output '%s'", name.c_str()).c_str()));
+      }
+      const std::string ow = StrFormat("ow%d", lo.gen++);
+      lo.Emit(Let(ow, Skeleton(SkeletonKind::kWrite,
+                               {Var(OutName(name)), Var("onum"), Var(v)})));
+      if (wrote.empty()) wrote = ow;
+    }
+    lo.Emit(Assign("onum", Var("onum") + Var(wrote)));
   }
 
-  body.push_back(Assign(
+  lo.Emit(Assign(
       "i", Var("i") + Skeleton(SkeletonKind::kLen,
                                {Var(ColValue(columns[0]))})));
-  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(rows)}), {Break()}));
+  lo.Emit(If(Call(dsl::ScalarOp::kGe, {Var("i"), ConstI(rows)}), {Break()}));
 
-  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
+  p.stmts = {MutDef("i"), Assign("i", ConstI(0))};
+  if (row_mode) {
+    p.stmts.push_back(MutDef("onum"));
+    p.stmts.push_back(Assign("onum", ConstI(0)));
+  }
+  p.stmts.push_back(Loop(std::move(lo.body)));
   p.AssignIds();
   return p;
 }
@@ -476,14 +975,247 @@ Result<dsl::Program> internal::QuerySpec::Lower(int64_t rows) const {
 
 struct Query::Impl {
   std::shared_ptr<const internal::QuerySpec> spec;
-  std::vector<std::pair<std::string, std::vector<int64_t>>> accumulators;
+
+  /// Result storage per aggregate (parallel to spec->aggs): i64 or f64
+  /// accumulator, the AvgF64 hidden count, and the finalized averages.
+  struct AggSlot {
+    std::vector<int64_t> i64;
+    std::vector<double> f64;
+    std::vector<int64_t> cnt;
+    std::vector<double> fin;
+  };
+  std::vector<AggSlot> aggs;
+
+  /// Row mode: one window buffer per output column (parallel to
+  /// spec->out_cols); morsel m owns rows [m.begin, m.end) of each window.
+  struct OutCol {
+    TypeId type = TypeId::kI64;
+    std::vector<uint8_t> window;
+  };
+  std::vector<OutCol> outs;
+  /// One sorted run per completed morsel (task hook, engine-serialized).
+  struct Run {
+    uint64_t begin = 0;
+    uint64_t rows = 0;
+    size_t morsel = 0;
+  };
+  std::vector<Run> runs;
+
+  /// Barrier-merged result rows.
+  std::vector<Query::ResultColumn> result;
+  uint64_t result_rows = 0;
+
   ExecContext ctx;
 
   Impl(std::shared_ptr<const internal::QuerySpec> s, uint64_t total_rows)
       : spec(std::move(s)),
         ctx([spec = spec](int64_t rows) { return spec->Lower(rows); },
             total_rows) {}
+
+  Status OnTask(const interp::Interpreter& in, const Morsel& m);
+  void SortWindow(uint64_t begin, uint64_t rows);
+  Status Finalize();
+  void FinalizeRowMode();
+  void FinalizeAggMode();
 };
+
+Status Query::Impl::OnTask(const interp::Interpreter& in, const Morsel& m) {
+  if (!spec->row_mode) return Status::OK();
+  AVM_ASSIGN_OR_RETURN(interp::ScalarValue n, in.GetScalar("onum"));
+  const int64_t count = n.AsI64();
+  if (count < 0 || static_cast<uint64_t>(count) > m.rows()) {
+    return Status::Internal(
+        StrFormat("morsel output count %lld out of range [0, %llu]",
+                  (long long)count, (unsigned long long)m.rows()));
+  }
+  runs.push_back({m.begin, static_cast<uint64_t>(count), m.index});
+  if (spec->has_order && count > 1) {
+    SortWindow(m.begin, static_cast<uint64_t>(count));
+  }
+  return Status::OK();
+}
+
+void Query::Impl::SortWindow(uint64_t begin, uint64_t rows) {
+  const OutCol& kc = outs[spec->order_key_index];
+  const uint8_t* kbase = kc.window.data() + begin * TypeWidth(kc.type);
+  std::vector<uint64_t> perm(rows);
+  std::iota(perm.begin(), perm.end(), uint64_t{0});
+  const bool asc = spec->order_dir == SortDir::kAscending;
+  // Stable in both directions: ties keep input-row order, which makes the
+  // merged result identical to a global stable sort regardless of how the
+  // input was cut into morsels.
+  std::stable_sort(perm.begin(), perm.end(), [&](uint64_t a, uint64_t b) {
+    return asc ? LessAt(kc.type, kbase, a, b) : LessAt(kc.type, kbase, b, a);
+  });
+  std::vector<uint8_t> tmp;
+  for (OutCol& oc : outs) {
+    const size_t w = TypeWidth(oc.type);
+    uint8_t* base = oc.window.data() + begin * w;
+    tmp.resize(rows * w);
+    for (uint64_t r = 0; r < rows; ++r) {
+      std::memcpy(&tmp[r * w], base + static_cast<size_t>(perm[r]) * w, w);
+    }
+    std::memcpy(base, tmp.data(), tmp.size());
+  }
+}
+
+Status Query::Impl::Finalize() {
+  if (spec->row_mode) {
+    FinalizeRowMode();
+  } else {
+    FinalizeAggMode();
+  }
+  return Status::OK();
+}
+
+void Query::Impl::FinalizeRowMode() {
+  // Morsel order, not completion order: the merge below breaks ties toward
+  // the earlier run, so the result is deterministic (equal to the serial
+  // stable sort) for any morsel count.
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& a, const Run& b) { return a.morsel < b.morsel; });
+  uint64_t total = 0;
+  for (const Run& r : runs) total += r.rows;
+
+  result.clear();
+  result.reserve(outs.size());
+  for (size_t i = 0; i < outs.size(); ++i) {
+    result.push_back({spec->out_cols[i], outs[i].type,
+                      std::vector<uint8_t>(total * TypeWidth(outs[i].type))});
+  }
+  result_rows = total;
+
+  auto copy_row = [&](uint64_t src, uint64_t dst) {
+    for (size_t c = 0; c < outs.size(); ++c) {
+      const size_t w = TypeWidth(outs[c].type);
+      std::memcpy(&result[c].data[dst * w], &outs[c].window[src * w], w);
+    }
+  };
+
+  if (!spec->has_order) {
+    uint64_t dst = 0;
+    for (const Run& r : runs) {
+      for (uint64_t i = 0; i < r.rows; ++i) copy_row(r.begin + i, dst++);
+    }
+  } else {
+    const OutCol& kc = outs[spec->order_key_index];
+    const uint8_t* kbase = kc.window.data();
+    const bool asc = spec->order_dir == SortDir::kAscending;
+    // Balanced pairwise merge of the sorted runs' window indices:
+    // O(total · log runs), and taking the LEFT (earlier-run) side on ties
+    // keeps the result equal to a global stable sort.
+    std::vector<std::vector<uint64_t>> seqs;
+    seqs.reserve(runs.size());
+    for (const Run& r : runs) {
+      std::vector<uint64_t> s(r.rows);
+      std::iota(s.begin(), s.end(), r.begin);
+      seqs.push_back(std::move(s));
+    }
+    auto right_wins = [&](uint64_t l, uint64_t r) {
+      return asc ? LessAt(kc.type, kbase, r, l) : LessAt(kc.type, kbase, l, r);
+    };
+    while (seqs.size() > 1) {
+      std::vector<std::vector<uint64_t>> next;
+      next.reserve((seqs.size() + 1) / 2);
+      for (size_t p = 0; p + 1 < seqs.size(); p += 2) {
+        const std::vector<uint64_t>& a = seqs[p];
+        const std::vector<uint64_t>& b = seqs[p + 1];
+        std::vector<uint64_t> m;
+        m.reserve(a.size() + b.size());
+        size_t i = 0, j = 0;
+        while (i < a.size() && j < b.size()) {
+          if (right_wins(a[i], b[j])) {
+            m.push_back(b[j++]);
+          } else {
+            m.push_back(a[i++]);
+          }
+        }
+        m.insert(m.end(), a.begin() + static_cast<ptrdiff_t>(i), a.end());
+        m.insert(m.end(), b.begin() + static_cast<ptrdiff_t>(j), b.end());
+        next.push_back(std::move(m));
+      }
+      if (seqs.size() % 2 == 1) next.push_back(std::move(seqs.back()));
+      seqs = std::move(next);
+    }
+    if (!seqs.empty()) {
+      for (uint64_t dst = 0; dst < total; ++dst) {
+        copy_row(seqs[0][dst], dst);
+      }
+    }
+  }
+  runs.clear();
+}
+
+void Query::Impl::FinalizeAggMode() {
+  using AggKind = internal::QuerySpec::AggKind;
+  const size_t groups = spec->num_groups;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (spec->aggs[a].kind != AggKind::kAvgF64) continue;
+    for (size_t g = 0; g < groups; ++g) {
+      aggs[a].fin[g] =
+          aggs[a].cnt[g] != 0
+              ? aggs[a].f64[g] / static_cast<double>(aggs[a].cnt[g])
+              : 0.0;
+    }
+  }
+  if (!spec->has_order) return;
+
+  // Materialize the per-group rows, sorted: "group" plus one column per
+  // aggregate (finalized averages for AvgF64).
+  std::vector<uint32_t> perm(groups);
+  std::iota(perm.begin(), perm.end(), 0u);
+  const bool asc = spec->order_dir == SortDir::kAscending;
+  if (spec->order_by != "group") {
+    size_t key = 0;
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (spec->aggs[a].name == spec->order_by) key = a;
+    }
+    const internal::QuerySpec::Agg& ka = spec->aggs[key];
+    auto key_less = [&](uint32_t x, uint32_t y) {
+      switch (ka.kind) {
+        case AggKind::kSum:
+        case AggKind::kCount:
+          return aggs[key].i64[x] < aggs[key].i64[y];
+        case AggKind::kSumF64:
+          return aggs[key].f64[x] < aggs[key].f64[y];
+        case AggKind::kAvgF64:
+          return aggs[key].fin[x] < aggs[key].fin[y];
+      }
+      return false;
+    };
+    std::stable_sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+      return asc ? key_less(x, y) : key_less(y, x);
+    });
+  } else if (!asc) {
+    std::reverse(perm.begin(), perm.end());
+  }
+
+  result.clear();
+  result_rows = groups;
+  {
+    Query::ResultColumn gc{"group", TypeId::kI64,
+                           std::vector<uint8_t>(groups * sizeof(int64_t))};
+    auto* g64 = reinterpret_cast<int64_t*>(gc.data.data());
+    for (size_t g = 0; g < groups; ++g) g64[g] = perm[g];
+    result.push_back(std::move(gc));
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const internal::QuerySpec::Agg& sa = spec->aggs[a];
+    const bool f64 = sa.kind == AggKind::kSumF64 || sa.kind == AggKind::kAvgF64;
+    Query::ResultColumn rc{sa.name, f64 ? TypeId::kF64 : TypeId::kI64,
+                           std::vector<uint8_t>(groups * 8)};
+    for (size_t g = 0; g < groups; ++g) {
+      if (f64) {
+        reinterpret_cast<double*>(rc.data.data())[g] =
+            sa.kind == AggKind::kAvgF64 ? aggs[a].fin[perm[g]]
+                                        : aggs[a].f64[perm[g]];
+      } else {
+        reinterpret_cast<int64_t*>(rc.data.data())[g] = aggs[a].i64[perm[g]];
+      }
+    }
+    result.push_back(std::move(rc));
+  }
+}
 
 Query::Query() = default;
 Query::Query(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -521,11 +1253,41 @@ size_t Query::num_groups() const {
 
 const std::vector<int64_t>& Query::aggregate(const std::string& name) const {
   CheckBuilt(impl_.get());
-  for (const auto& [n, values] : impl_->accumulators) {
-    if (n == name) return values;
+  using AggKind = internal::QuerySpec::AggKind;
+  for (size_t a = 0; a < impl_->aggs.size(); ++a) {
+    if (impl_->spec->aggs[a].name != name) continue;
+    const AggKind k = impl_->spec->aggs[a].kind;
+    if (k == AggKind::kSumF64 || k == AggKind::kAvgF64) {
+      Status::InvalidArgument("aggregate " + name +
+                              " is floating-point; use aggregate_f64")
+          .Abort("Query");
+    }
+    return impl_->aggs[a].i64;
   }
   Status::InvalidArgument("no aggregate named " + name).Abort("Query");
   static const std::vector<int64_t> kEmpty;
+  return kEmpty;
+}
+
+const std::vector<double>& Query::aggregate_f64(
+    const std::string& name) const {
+  CheckBuilt(impl_.get());
+  using AggKind = internal::QuerySpec::AggKind;
+  for (size_t a = 0; a < impl_->aggs.size(); ++a) {
+    if (impl_->spec->aggs[a].name != name) continue;
+    switch (impl_->spec->aggs[a].kind) {
+      case AggKind::kSumF64:
+        return impl_->aggs[a].f64;
+      case AggKind::kAvgF64:
+        return impl_->aggs[a].fin;
+      default:
+        Status::InvalidArgument("aggregate " + name +
+                                " is integer; use aggregate()")
+            .Abort("Query");
+    }
+  }
+  Status::InvalidArgument("no aggregate named " + name).Abort("Query");
+  static const std::vector<double> kEmpty;
   return kEmpty;
 }
 
@@ -534,22 +1296,55 @@ Result<int64_t> Query::aggregate_at(const std::string& name,
   if (impl_ == nullptr) {
     return Status::InvalidArgument("Query is empty (not built)");
   }
-  for (const auto& [n, values] : impl_->accumulators) {
-    if (n != name) continue;
-    if (group >= values.size()) {
-      return Status::OutOfRange(
-          StrFormat("group %zu out of %zu", group, values.size()));
+  using AggKind = internal::QuerySpec::AggKind;
+  for (size_t a = 0; a < impl_->aggs.size(); ++a) {
+    if (impl_->spec->aggs[a].name != name) continue;
+    const AggKind k = impl_->spec->aggs[a].kind;
+    if (k == AggKind::kSumF64 || k == AggKind::kAvgF64) {
+      return Status::InvalidArgument("aggregate " + name +
+                                     " is floating-point; use aggregate_f64");
     }
-    return values[group];
+    if (group >= impl_->aggs[a].i64.size()) {
+      return Status::OutOfRange(StrFormat("group %zu out of %zu", group,
+                                          impl_->aggs[a].i64.size()));
+    }
+    return impl_->aggs[a].i64[group];
   }
   return Status::InvalidArgument("no aggregate named " + name);
 }
 
+uint64_t Query::num_result_rows() const {
+  CheckBuilt(impl_.get());
+  return impl_->result_rows;
+}
+
+const std::vector<Query::ResultColumn>& Query::result_columns() const {
+  CheckBuilt(impl_.get());
+  return impl_->result;
+}
+
+const Query::ResultColumn& Query::result_column(
+    const std::string& name) const {
+  CheckBuilt(impl_.get());
+  for (const ResultColumn& c : impl_->result) {
+    if (c.name == name) return c;
+  }
+  Status::InvalidArgument("no result column named " + name).Abort("Query");
+  static const ResultColumn kEmpty;
+  return kEmpty;
+}
+
 void Query::ResetAggregates() {
   CheckBuilt(impl_.get());
-  for (auto& [name, values] : impl_->accumulators) {
-    std::fill(values.begin(), values.end(), 0);
+  for (Impl::AggSlot& a : impl_->aggs) {
+    std::fill(a.i64.begin(), a.i64.end(), 0);
+    std::fill(a.f64.begin(), a.f64.end(), 0.0);
+    std::fill(a.cnt.begin(), a.cnt.end(), 0);
+    std::fill(a.fin.begin(), a.fin.end(), 0.0);
   }
+  impl_->runs.clear();
+  impl_->result.clear();
+  impl_->result_rows = 0;
 }
 
 // ----------------------------------------------------------------- builder
@@ -569,9 +1364,19 @@ Status QueryBuilder::Fail(Status st) {
 internal::QuerySpec& QueryBuilder::MutableSpec() {
   // Copy-on-write: after Build() the spec is shared with the built Query,
   // so the next mutating call — or the next Build(), whose Resolve()
-  // rewrites derived state — forks it (deep-copying any membership
-  // arrays). The single-Build common case never pays the copy.
-  if (spec_.use_count() > 1) spec_ = std::make_shared<Spec>(*spec_);
+  // rewrites derived state — forks it. The single-Build common case never
+  // pays the copy.
+  if (spec_.use_count() > 1) {
+    spec_ = std::make_shared<Spec>(*spec_);
+    // Drop the fork's copy of the densified join lookup arrays (they can
+    // be ~128 MiB per join and belong to the built Query's spec); the next
+    // Resolve() re-densifies from the build table — deliberately, since
+    // its contents may have changed between Builds.
+    for (Spec::JoinDim& jd : spec_->joins) {
+      jd.match = {};
+      jd.pays = {};
+    }
+  }
   return *spec_;
 }
 
@@ -605,6 +1410,21 @@ QueryBuilder& QueryBuilder::SemiJoin(const std::string& key,
   return *this;
 }
 
+QueryBuilder& QueryBuilder::Join(const Table& build,
+                                 const std::string& probe_key,
+                                 const std::string& build_key,
+                                 std::vector<std::string> payload) {
+  Spec& spec = MutableSpec();
+  Spec::JoinDim jd;
+  jd.build = &build;
+  jd.build_key = build_key;
+  jd.payload = std::move(payload);
+  spec.joins.push_back(std::move(jd));
+  spec.steps.push_back(
+      {Spec::Step::Kind::kJoin, probe_key, nullptr, spec.joins.size() - 1});
+  return *this;
+}
+
 QueryBuilder& QueryBuilder::Aggregate(dsl::ExprPtr group_expr,
                                       size_t num_groups) {
   if (group_expr == nullptr || num_groups == 0) {
@@ -623,12 +1443,52 @@ QueryBuilder& QueryBuilder::Sum(const std::string& name, dsl::ExprPtr expr) {
     Fail(Status::InvalidArgument("Sum: null expression"));
     return *this;
   }
-  MutableSpec().aggs.push_back({name, std::move(expr)});
+  MutableSpec().aggs.push_back(
+      {name, Spec::AggKind::kSum, std::move(expr)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::SumF64(const std::string& name,
+                                   dsl::ExprPtr expr) {
+  if (expr == nullptr) {
+    Fail(Status::InvalidArgument("SumF64: null expression"));
+    return *this;
+  }
+  MutableSpec().aggs.push_back(
+      {name, Spec::AggKind::kSumF64, std::move(expr)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AvgF64(const std::string& name,
+                                   dsl::ExprPtr expr) {
+  if (expr == nullptr) {
+    Fail(Status::InvalidArgument("AvgF64: null expression"));
+    return *this;
+  }
+  MutableSpec().aggs.push_back(
+      {name, Spec::AggKind::kAvgF64, std::move(expr)});
   return *this;
 }
 
 QueryBuilder& QueryBuilder::Count(const std::string& name) {
-  MutableSpec().aggs.push_back({name, nullptr});
+  MutableSpec().aggs.push_back({name, Spec::AggKind::kCount, nullptr});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Output(const std::string& name) {
+  MutableSpec().outputs.push_back(name);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::OrderBy(const std::string& key, SortDir dir) {
+  Spec& spec = MutableSpec();
+  if (spec.has_order) {
+    Fail(Status::InvalidArgument("OrderBy may only be called once"));
+    return *this;
+  }
+  spec.has_order = true;
+  spec.order_by = key;
+  spec.order_dir = dir;
   return *this;
 }
 
@@ -639,8 +1499,9 @@ Result<Query> QueryBuilder::Build() {
   AVM_RETURN_NOT_OK(MutableSpec().Resolve());
 
   // Lower once now so shape/type errors surface at Build time instead of
-  // from a worker thread mid-query.
-  {
+  // from a worker thread mid-query. (Row-mode Resolve() already lowered and
+  // type-checked a probe to infer the output types — don't pay it twice.)
+  if (!spec_->row_mode) {
     AVM_ASSIGN_OR_RETURN(dsl::Program probe, spec_->Lower(4096));
     AVM_RETURN_NOT_OK(dsl::TypeCheck(&probe));
   }
@@ -657,14 +1518,76 @@ Result<Query> QueryBuilder::Build() {
             TypeId::kI64,
             const_cast<int64_t*>(spec.dims[i].data()), spec.dims[i].size()));
   }
-  impl->accumulators.reserve(spec.aggs.size());
-  for (const Spec::Agg& a : spec.aggs) {
-    impl->accumulators.emplace_back(
-        a.name, std::vector<int64_t>(spec.num_groups, 0));
-    impl->ctx.BindAccumulator(Spec::AccName(a.name), TypeId::kI64,
-                              impl->accumulators.back().second.data(),
-                              spec.num_groups);
+  for (size_t i = 0; i < spec.joins.size(); ++i) {
+    const Spec::JoinDim& jd = spec.joins[i];
+    impl->ctx.BindShared(
+        spec.JoinMatchName(i),
+        interp::DataBinding::Raw(TypeId::kI64,
+                                 const_cast<int64_t*>(jd.match.data()),
+                                 jd.match.size()));
+    for (size_t j = 0; j < jd.pays.size(); ++j) {
+      impl->ctx.BindShared(
+          spec.JoinPayName(i, j),
+          interp::DataBinding::Raw(
+              jd.pays[j].type, const_cast<uint8_t*>(jd.pays[j].data.data()),
+              jd.pays[j].data.size() / TypeWidth(jd.pays[j].type)));
+    }
   }
+  impl->aggs.resize(spec.aggs.size());
+  for (size_t a = 0; a < spec.aggs.size(); ++a) {
+    const Spec::Agg& sa = spec.aggs[a];
+    Query::Impl::AggSlot& slot = impl->aggs[a];
+    switch (sa.kind) {
+      case Spec::AggKind::kSum:
+      case Spec::AggKind::kCount:
+        slot.i64.assign(spec.num_groups, 0);
+        impl->ctx.BindAccumulator(Spec::AccName(sa.name), TypeId::kI64,
+                                  slot.i64.data(), spec.num_groups);
+        break;
+      case Spec::AggKind::kSumF64:
+        slot.f64.assign(spec.num_groups, 0.0);
+        impl->ctx.BindAccumulator(Spec::AccName(sa.name), TypeId::kF64,
+                                  slot.f64.data(), spec.num_groups);
+        break;
+      case Spec::AggKind::kAvgF64:
+        slot.f64.assign(spec.num_groups, 0.0);
+        slot.cnt.assign(spec.num_groups, 0);
+        slot.fin.assign(spec.num_groups, 0.0);
+        impl->ctx.BindAccumulator(Spec::AccName(sa.name), TypeId::kF64,
+                                  slot.f64.data(), spec.num_groups);
+        impl->ctx.BindAccumulator(Spec::AvgCntName(sa.name), TypeId::kI64,
+                                  slot.cnt.data(), spec.num_groups);
+        break;
+    }
+  }
+  if (spec.row_mode) {
+    const uint64_t rows = spec.table->num_rows();
+    impl->outs.resize(spec.out_cols.size());
+    for (size_t i = 0; i < spec.out_cols.size(); ++i) {
+      Query::Impl::OutCol& oc = impl->outs[i];
+      oc.type = spec.out_types[i];
+      // At least one element: an empty table still binds a non-null window
+      // (zero-count writes are no-ops, but need a valid writable array).
+      oc.window.assign(std::max<uint64_t>(rows, 1) * TypeWidth(oc.type), 0);
+      impl->ctx.BindPartialOutput(
+          Spec::OutName(spec.out_cols[i]),
+          interp::DataBinding::Raw(oc.type, oc.window.data(), rows, true));
+    }
+  }
+
+  // Task + barrier hooks give the query its materialization: per-morsel
+  // output counts and partial sorts, and the run merge / average division
+  // at the Session barrier. The Impl outlives the ctx embedded in it, so a
+  // raw pointer capture is safe.
+  Query::Impl* self = impl.get();
+  if (spec.row_mode) {
+    impl->ctx.set_task_hook(
+        [self](const interp::Interpreter& in, const Morsel& m) {
+          return self->OnTask(in, m);
+        });
+  }
+  impl->ctx.set_finalize_hook([self] { return self->Finalize(); });
+
   // The builder stays reusable: the built query shares this spec, and the
   // next mutating call (or Build) forks it copy-on-write.
   return Query(std::move(impl));

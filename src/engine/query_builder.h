@@ -7,26 +7,38 @@
 //
 //   engine::QueryBuilder qb(lineitem);
 //   qb.Filter(dsl::Var("l_shipdate") <= dsl::ConstI(cutoff))
+//     .Join(part, "l_partkey", "p_partkey", {"p_retail"})
 //     .Project("dp", dsl::Var("l_extendedprice") *
 //                        (dsl::ConstI(100) - dsl::Var("l_discount")))
 //     .Aggregate(dsl::Cast(TypeId::kI64, dsl::Var("l_returnflag")), 4)
 //     .Sum("sum_disc_price", dsl::Var("dp"))
+//     .AvgF64("avg_retail", dsl::Var("p_retail"))
 //     .Count("count");
 //   engine::Query q = qb.Build().ValueOrDie();
 //   session.Submit(q.context()).Wait();
 //   int64_t total = q.aggregate("count")[0];
 //
 // Lowering infers every binding role from how the name is used:
-//   scanned table columns   -> BindInput   (row-partitioned)
-//   SemiJoin lookup arrays  -> BindShared  (replicated dimension data)
-//   aggregate accumulators  -> BindAccumulator (privatized + merged)
-// so every built query is morsel-parallel by construction (scatter targets
-// are accumulators, gathers read shared arrays, no condense).
+//   scanned table columns     -> BindInput  (row-partitioned)
+//   SemiJoin/Join lookups     -> BindShared (replicated dimension data)
+//   aggregate accumulators    -> BindAccumulator (privatized + merged)
+//   materialized output rows  -> BindPartialOutput (per-morsel windows)
+// so every built query is morsel-parallel by construction.
+//
+// Two result shapes:
+//  - Aggregate queries (Sum/Count/SumF64/AvgF64, optionally grouped): read
+//    results with aggregate()/aggregate_f64(); with OrderBy() the per-group
+//    rows are additionally materialized, sorted, into rows()/result_column()
+//    at the query barrier.
+//  - Row queries (Output()/OrderBy(), no aggregates): every surviving row's
+//    selected columns are materialized — each morsel compacts and
+//    partial-sorts its own output window, and the sorted runs are merged at
+//    the Session barrier — and exposed via rows()/result_column().
 //
 // Expressions are plain dsl::ExprPtr scalar expressions (Var/ConstI/Cast
-// and the infix operators of dsl/ast.h) over column names, earlier
-// projections, and nothing else — lambdas and skeletons are rejected;
-// the builder inserts those itself.
+// and the infix operators of dsl/ast.h) over column names, join payloads,
+// earlier projections, and nothing else — lambdas and skeletons are
+// rejected; the builder inserts those itself.
 #pragma once
 
 #include <memory>
@@ -42,11 +54,32 @@ namespace internal {
 struct QuerySpec;
 }  // namespace internal
 
+/// Sort direction of QueryBuilder::OrderBy.
+enum class SortDir : uint8_t { kAscending = 0, kDescending };
+
 /// A built query: the lowered program factory, its ExecContext with every
-/// binding attached, and owned result storage for the aggregates.
-/// Move-only; must outlive any in-flight submission of its context.
+/// binding attached, and owned result storage for aggregates and
+/// materialized rows. Move-only; must outlive any in-flight submission of
+/// its context.
 class Query {
  public:
+  /// One materialized output column: `rows * TypeWidth(type)` raw bytes in
+  /// result order. Row-query columns are bit-exact across execution
+  /// strategies and worker counts (per-row values, stable order). Ordered
+  /// AGGREGATE queries carry accumulator values: f64 columns — and the row
+  /// order, when sorting BY an f64 aggregate — are deterministic only up
+  /// to f64 merge-order rounding under parallel execution.
+  struct ResultColumn {
+    std::string name;
+    TypeId type = TypeId::kI64;
+    std::vector<uint8_t> data;
+
+    template <typename T>
+    const T* As() const {
+      return reinterpret_cast<const T*>(data.data());
+    }
+  };
+
   Query();  ///< empty (for Result<Query>); only a Built query is runnable
   Query(Query&&) noexcept;
   Query& operator=(Query&&) noexcept;
@@ -61,12 +94,30 @@ class Query {
   /// below-facade consumers that drive a VM directly.
   Result<dsl::Program> MakeProgram(int64_t rows) const;
 
-  /// Aggregate results, one slot per group. Aborts on an unknown name.
+  /// Integer aggregate results (Sum/Count), one slot per group. Aborts on
+  /// an unknown name or a floating-point aggregate (use aggregate_f64).
   const std::vector<int64_t>& aggregate(const std::string& name) const;
   Result<int64_t> aggregate_at(const std::string& name,
                                size_t group = 0) const;
 
-  /// Zero all accumulators so the query can be submitted again.
+  /// Floating-point aggregate results, one slot per group: raw sums for
+  /// SumF64; finalized averages for AvgF64 (0.0 for empty groups, computed
+  /// at the query barrier — valid after the submission completed).
+  const std::vector<double>& aggregate_f64(const std::string& name) const;
+
+  /// Materialized result rows, populated at the query barrier: surviving
+  /// input rows for Output()/OrderBy() row queries, per-group rows for
+  /// ordered aggregate queries, 0 otherwise. Valid after the submission
+  /// completed.
+  uint64_t num_result_rows() const;
+  /// A materialized output column by name; aborts on an unknown name.
+  const ResultColumn& result_column(const std::string& name) const;
+  /// All materialized output columns, in declaration order (row queries)
+  /// or "group" followed by the aggregates (ordered aggregate queries).
+  const std::vector<ResultColumn>& result_columns() const;
+
+  /// Zero all accumulators and drop materialized rows so the query can be
+  /// submitted again (also required after a cancelled/failed submission).
   void ResetAggregates();
 
   size_t num_groups() const;
@@ -102,6 +153,23 @@ class QueryBuilder {
   QueryBuilder& SemiJoin(const std::string& key,
                          std::vector<int64_t> membership);
 
+  /// Hash equi-join against `build` (the dimension side): keep probe rows
+  /// whose integer `probe_key` (column or projection) matches a value of
+  /// `build.build_key`, and bring the named `payload` columns of the
+  /// matching build row into scope for later expressions (all non-key
+  /// build columns when `payload` is empty).
+  ///
+  /// Build() scans the build side once through a hash table into dense
+  /// key-indexed lookup arrays (bound shared, so the morsel-parallel probe
+  /// is a bounds-safe gather; build keys must be non-negative and below
+  /// ~16M). Duplicate build keys keep the LAST build row (dimension-table
+  /// semantics); probe keys absent from the build side — including
+  /// negative or out-of-domain keys — simply drop the row. `build` must
+  /// outlive the built Query.
+  QueryBuilder& Join(const Table& build, const std::string& probe_key,
+                     const std::string& build_key,
+                     std::vector<std::string> payload = {});
+
   /// Group rows by `group_expr` (integer expression; values must lie in
   /// [0, num_groups)). Without this call, aggregates use a single group.
   QueryBuilder& Aggregate(dsl::ExprPtr group_expr, size_t num_groups);
@@ -109,11 +177,40 @@ class QueryBuilder {
   /// SUM(expr) per group into an i64 accumulator named `name`.
   QueryBuilder& Sum(const std::string& name, dsl::ExprPtr expr);
 
+  /// SUM(expr) per group into an f64 accumulator (expr is cast to f64).
+  /// NOTE: floating-point addition is not associative, so unlike the
+  /// integer aggregates an f64 sum is only bit-reproducible for a fixed
+  /// morsel merge order; parallel runs may differ from serial ones in the
+  /// last ulps.
+  QueryBuilder& SumF64(const std::string& name, dsl::ExprPtr expr);
+
+  /// AVG(expr) per group: an f64 sum plus a hidden count, divided at the
+  /// query barrier. Read with aggregate_f64(); empty groups average 0.0.
+  QueryBuilder& AvgF64(const std::string& name, dsl::ExprPtr expr);
+
   /// COUNT(*) per group (counts surviving rows).
   QueryBuilder& Count(const std::string& name);
 
+  /// Materialize `name` (column, payload, or projection) for every
+  /// surviving row into the query's result rows. Row queries only (cannot
+  /// be combined with aggregates).
+  QueryBuilder& Output(const std::string& name);
+
+  /// Order the materialized result. Row queries: `key` is a column,
+  /// payload, or projection (added to the outputs if not already listed);
+  /// each morsel partial-sorts its output window and the sorted runs merge
+  /// at the Session barrier. Aggregate queries: `key` is "group" or an
+  /// aggregate name, and the per-group rows are materialized sorted.
+  /// Ties keep input-row (or group) order, so results are deterministic —
+  /// except that sorting by an f64 aggregate (SumF64/AvgF64) inherits the
+  /// merge-order sensitivity of f64 addition: near-tie groups may swap
+  /// between serial and parallel runs.
+  QueryBuilder& OrderBy(const std::string& key,
+                        SortDir dir = SortDir::kAscending);
+
   /// Validate, lower once to surface type errors eagerly, and produce the
-  /// runnable Query. At least one Sum/Count is required.
+  /// runnable Query. At least one aggregate or one Output/OrderBy is
+  /// required.
   Result<Query> Build();
 
  private:

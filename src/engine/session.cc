@@ -312,52 +312,54 @@ void Session::RunTask(const std::shared_ptr<QueryState>& q, size_t index) {
     }
   }
 
+  Status st;
+  ExecReport serial_report;
   if (q->single_task) {
-    ExecReport report;
-    Status st = q->gpu_task ? RunGpuTask(*q, &report)
-                            : RunSerialQuery(*q, &report);
-    bool done = false;
-    {
-      std::lock_guard<std::mutex> lock(q->mu);
-      if (!st.ok() && q->status.ok()) q->status = st;
-      if (st.ok()) q->report = std::move(report);
-      ++q->completed;
-      if (q->completed + q->skipped == q->total_tasks) {
-        // Same contract as the morsel path: a cancel that landed while the
-        // task ran still surfaces as Cancelled (result arrays undefined).
-        if (q->status.ok() && q->cancel.load(std::memory_order_relaxed)) {
-          q->status = Status::Cancelled("query cancelled");
-        }
-        FinalizeLocked(*q);
-        done = true;
-      }
-    }
-    if (done) OnQueryDone(q);
-    return;
+    st = q->gpu_task ? RunGpuTask(*q, &serial_report)
+                     : RunSerialQuery(*q, &serial_report);
+  } else {
+    st = RunMorselTask(*q, q->morsels[index]);
   }
 
-  Status st = RunMorselTask(*q, q->morsels[index]);
-  bool done = false;
+  bool last = false;
   {
     std::lock_guard<std::mutex> lock(q->mu);
     if (!st.ok() && q->status.ok()) {
       q->status = st;
       // Drop this query's unclaimed morsels at the next claim.
-      q->cancel.store(true, std::memory_order_relaxed);
+      if (!q->single_task) q->cancel.store(true, std::memory_order_relaxed);
     }
+    if (st.ok() && q->single_task) q->report = std::move(serial_report);
     ++q->completed;
-    if (q->completed + q->skipped == q->total_tasks) {
-      // A cancel raised mid-run (user request, or a sibling morsel's
-      // failure) means some morsels never merged: the query must not report
-      // success over partial results.
-      if (q->status.ok() && q->cancel.load(std::memory_order_relaxed)) {
-        q->status = Status::Cancelled("query cancelled");
-      }
-      FinalizeLocked(*q);
-      done = true;
+    last = q->completed + q->skipped == q->total_tasks;
+  }
+  if (!last) return;
+
+  // The last finisher is unique, so the barrier hook runs outside q->mu
+  // (it may be arbitrarily expensive: merging sorted output runs). It only
+  // runs for a query whose every task merged — a cancel raised mid-run
+  // (user request, or a sibling morsel's failure) means partial results,
+  // which must surface as Cancelled, not be merged into an output.
+  bool run_finalize = false;
+  {
+    std::lock_guard<std::mutex> lock(q->mu);
+    if (q->status.ok() && q->cancel.load(std::memory_order_relaxed)) {
+      q->status = Status::Cancelled("query cancelled");
+    }
+    run_finalize = q->status.ok() && q->ctx->finalize_hook_ != nullptr;
+  }
+  if (run_finalize) {
+    Status fst = q->ctx->finalize_hook_();
+    if (!fst.ok()) {
+      std::lock_guard<std::mutex> lock(q->mu);
+      if (q->status.ok()) q->status = fst;
     }
   }
-  if (done) OnQueryDone(q);
+  {
+    std::lock_guard<std::mutex> lock(q->mu);
+    FinalizeLocked(*q);
+  }
+  OnQueryDone(q);
 }
 
 void Session::FinalizeLocked(QueryState& q) {
@@ -439,6 +441,7 @@ void MergeVmReport(const vm::VmReport& in, ExecReport* out) {
   out->injection_runs += in.injection_runs;
   out->injection_fallbacks += in.injection_fallbacks;
   out->compile_seconds += in.compile_seconds;
+  if (out->jit_declined.empty()) out->jit_declined = in.jit_declined;
 }
 
 /// Row-partitioning is only sound when every data access tracks the input
@@ -540,7 +543,8 @@ Status Session::ClassifyCpu(QueryState& q) {
   if (!want_parallel) return serial("");
 
   for (const ExecContext::Bound& b : ctx.bound_) {
-    if (b.role == BindRole::kInput || b.role == BindRole::kOutput) {
+    if (b.role == BindRole::kInput || b.role == BindRole::kOutput ||
+        b.role == BindRole::kPartialOutput) {
       AVM_RETURN_NOT_OK(ValidatePartitioned(b.name, b.binding,
                                             ctx.total_rows_));
     }
@@ -601,7 +605,8 @@ Status Session::RunSerialQuery(QueryState& q, ExecReport* report) {
     // — reject them up front. (Fixed programs own their loop bound; the
     // engine cannot second-guess their binding lengths.)
     for (const ExecContext::Bound& b : ctx.bound_) {
-      if (b.role == BindRole::kInput || b.role == BindRole::kOutput) {
+      if (b.role == BindRole::kInput || b.role == BindRole::kOutput ||
+          b.role == BindRole::kPartialOutput) {
         AVM_RETURN_NOT_OK(
             ValidatePartitioned(b.name, b.binding, ctx.total_rows_));
       }
@@ -624,6 +629,10 @@ Status Session::RunSerialQuery(QueryState& q, ExecReport* report) {
   }
   AVM_RETURN_NOT_OK(vmach.Run());
   if (ctx.inspector_) ctx.inspector_(vmach.interpreter());
+  if (ctx.task_hook_) {
+    AVM_RETURN_NOT_OK(
+        ctx.task_hook_(vmach.interpreter(), Morsel{0, ctx.total_rows_, 0}));
+  }
 
   report->workers = 1;
   report->morsels = 1;
@@ -648,6 +657,7 @@ Status Session::RunMorselTask(QueryState& q, const Morsel& m) {
     switch (b.role) {
       case BindRole::kInput:
       case BindRole::kOutput:
+      case BindRole::kPartialOutput:
         AVM_RETURN_NOT_OK(
             in.BindData(b.name, SliceBinding(b.binding, m.begin, m.rows())));
         break;
@@ -672,6 +682,7 @@ Status Session::RunMorselTask(QueryState& q, const Morsel& m) {
   // merge this morsel's partials into the caller-visible arrays.
   if (q.cancel.load(std::memory_order_relaxed)) return Status::OK();
   if (ctx.inspector_) ctx.inspector_(in);
+  if (ctx.task_hook_) AVM_RETURN_NOT_OK(ctx.task_hook_(in, m));
   size_t pi = 0;
   for (const ExecContext::Bound& b : ctx.bound_) {
     if (b.role != BindRole::kAccumulator) continue;
@@ -741,6 +752,21 @@ Result<MapFragment> DetectMapFragment(const dsl::Program& program) {
 Status Session::ProbeGpuOffload(QueryState& q, bool* offload) {
   *offload = false;
   ExecContext& ctx = *q.ctx;
+
+  // Materializing queries depend on the per-task hook (output counts,
+  // partial sorts) and per-morsel windows, which the device path does not
+  // drive — a GPU run would report success with empty results. Shape
+  // detection alone cannot see this (a row query can look exactly like a
+  // map fragment), so check the context first.
+  if (ctx.task_hook_ != nullptr) {
+    return Status::NotFound("query has a per-task hook: not offloadable");
+  }
+  for (const ExecContext::Bound& b : ctx.bound_) {
+    if (b.role == BindRole::kPartialOutput) {
+      return Status::NotFound(
+          "query has per-morsel output windows: not offloadable");
+    }
+  }
 
   // Instantiate a program to inspect its shape.
   auto owned = std::make_shared<dsl::Program>();

@@ -249,9 +249,20 @@ Status TraceEmitter::Validate() {
     switch (n.kind) {
       case SkeletonKind::kRead:
       case SkeletonKind::kMap:
-      case SkeletonKind::kWrite:
       case SkeletonKind::kFold:
         break;
+      case SkeletonKind::kWrite: {
+        // A let-bound write means the program consumes the written COUNT
+        // (the cursor advance of a condensing output pipeline). The trace
+        // ABI publishes no scalar result for data writes, so the
+        // interpreter would keep reading a stale count and corrupt the
+        // output cursor — decline and leave the pipeline interpreted.
+        if (let_types_.contains(graph_.OutputNameOf(id))) {
+          return Status::NotImplemented(
+              "let-bound write (condensing output cursor) is interpreted");
+        }
+        break;
+      }
       case SkeletonKind::kGather:
         // The interpreter bounds-checks gather indices against the base
         // array; compiled code has no error path to report a stray index,

@@ -77,14 +77,25 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
   inj.covered_stmt_ids.insert(meta.covered_stmt_ids.begin(),
                               meta.covered_stmt_ids.end());
 
-  inj.applicable = [meta, chunk_size](Interpreter& in) -> bool {
+  inj.applicable = [meta](Interpreter& in) -> bool {
     for (const auto& spec : meta.inputs) {
       switch (spec.kind) {
-        case TraceInputSpec::Kind::kChunkVar:
+        case TraceInputSpec::Kind::kChunkVar: {
           // Produced by an earlier statement in the same iteration; if it is
           // missing the trace cannot run.
-          if (!in.GetVar(spec.name).ok()) return false;
+          Result<Value> v = in.GetVar(spec.name);
+          if (!v.ok() || !v.value().is_array()) return false;
+          // The compiled loop models ONE positional iteration: filters and
+          // their selections live INSIDE a trace (condensed outputs), never
+          // across its boundary. Multi-stage pipelines (joins, chained
+          // filters, threaded projections) can reach the anchor with a
+          // chunk value that already carries a selection — running the
+          // trace there would compute at the wrong positions and republish
+          // the selection onto values interpretation leaves positional
+          // (e.g. reads), so such iterations fall back to interpretation.
+          if (v.value().array->has_sel()) return false;
           break;
+        }
         case TraceInputSpec::Kind::kDataRead:
         case TraceInputSpec::Kind::kForDeltas: {
           DataBinding* b = in.FindBinding(spec.name);

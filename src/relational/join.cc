@@ -282,6 +282,51 @@ Result<engine::Query> MakeSemijoinQuery(
   return qb.Build();
 }
 
+Result<engine::Query> MakeJoinQuery(const Table& probe,
+                                    const std::string& probe_key,
+                                    const std::string& probe_value,
+                                    const Table& build,
+                                    const std::string& build_key,
+                                    const std::string& build_value,
+                                    size_t num_groups) {
+  engine::QueryBuilder qb(probe);
+  qb.Join(build, probe_key, build_key, {build_value});
+  if (num_groups > 1) {
+    using dsl::ConstI;
+    using dsl::Var;
+    const auto g = static_cast<int64_t>(num_groups);
+    // ((v % G) + G) % G keeps any integer value column in-range.
+    dsl::ExprPtr grp = dsl::Call(
+        dsl::ScalarOp::kMod,
+        {dsl::Call(dsl::ScalarOp::kMod, {Var(probe_value), ConstI(g)}) +
+             ConstI(g),
+         ConstI(g)});
+    qb.Aggregate(std::move(grp), num_groups);
+  }
+  qb.Sum("revenue", dsl::Var(probe_value) * dsl::Var(build_value))
+      .Count("matches");
+  return qb.Build();
+}
+
+Result<JoinEngineRun> RunJoinEngine(const Table& probe,
+                                    const std::string& probe_key,
+                                    const std::string& probe_value,
+                                    const Table& build,
+                                    const std::string& build_key,
+                                    const std::string& build_value,
+                                    engine::EngineOptions options) {
+  AVM_ASSIGN_OR_RETURN(
+      engine::Query query,
+      MakeJoinQuery(probe, probe_key, probe_value, build, build_key,
+                    build_value));
+  JoinEngineRun run;
+  AVM_ASSIGN_OR_RETURN(run.report,
+                       engine::ExecEngine::Execute(query.context(), options));
+  run.revenue = query.aggregate("revenue")[0];
+  run.matches = static_cast<uint64_t>(query.aggregate("matches")[0]);
+  return run;
+}
+
 Result<SemijoinEngineRun> RunSemijoinEngine(
     const Table& probe, const std::vector<std::string>& key_columns,
     const std::vector<const HashSetI64*>& filters,

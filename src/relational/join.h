@@ -138,6 +138,42 @@ struct SemijoinEngineRun {
   engine::ExecReport report;
 };
 
+/// The star-schema probe workload as a QueryBuilder query: hash-join
+/// `probe` against the `build` dimension on
+/// `probe[probe_key] == build[build_key]` (unique-key/dimension semantics —
+/// duplicate build keys keep the last row), then aggregate over the
+/// matches:
+///   "revenue"  = SUM(probe[probe_value] * build[build_value])   (i64)
+///   "matches"  = COUNT(*)
+/// grouped by `probe[probe_value] % num_groups` when `num_groups > 1`.
+/// The build side is densified through a hash pass at Build() time into
+/// shared lookup arrays, so the probe is a morsel-parallel gather that
+/// interleaves with other queries on a Session. Both tables must outlive
+/// the Query.
+Result<engine::Query> MakeJoinQuery(const Table& probe,
+                                    const std::string& probe_key,
+                                    const std::string& probe_value,
+                                    const Table& build,
+                                    const std::string& build_key,
+                                    const std::string& build_value,
+                                    size_t num_groups = 1);
+
+struct JoinEngineRun {
+  int64_t revenue = 0;
+  uint64_t matches = 0;
+  engine::ExecReport report;
+};
+
+/// Convenience: build MakeJoinQuery (single group) and run it once on the
+/// blocking engine facade with the given options.
+Result<JoinEngineRun> RunJoinEngine(const Table& probe,
+                                    const std::string& probe_key,
+                                    const std::string& probe_value,
+                                    const Table& build,
+                                    const std::string& build_key,
+                                    const std::string& build_value,
+                                    engine::EngineOptions options = {});
+
 /// Convenience: build MakeSemijoinQuery and run it once on the blocking
 /// engine facade with the given options.
 Result<SemijoinEngineRun> RunSemijoinEngine(

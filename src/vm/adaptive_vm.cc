@@ -125,6 +125,12 @@ Status AdaptiveVm::OptimizePass(Interpreter& in, uint64_t iteration) {
       ++installed_this_pass;
       any_compiled = true;
     } else if (!st.IsNotFound()) {
+      // Surface the first decline through the report: consumers asking for
+      // kAdaptiveJit should see WHY a hot fragment stayed interpreted
+      // instead of inferring it from a zero compile count.
+      if (report_.jit_declined.empty()) {
+        report_.jit_declined = st.ToString();
+      }
       AVM_LOG(kDebug) << "trace skipped: " << st.ToString();
     }
   }

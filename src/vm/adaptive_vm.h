@@ -45,6 +45,9 @@ struct VmReport {
   uint64_t injection_runs = 0;
   uint64_t injection_fallbacks = 0;
   double compile_seconds = 0;
+  /// First reason a candidate trace was declined (not compiled) this run,
+  /// e.g. unsupported skeletons; empty when every considered trace compiled.
+  std::string jit_declined;
   std::string state_timeline;
   std::string profile;
 };

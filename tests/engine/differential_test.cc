@@ -1,0 +1,435 @@
+// Differential query testing: a seeded random plan generator over
+// Scan/Filter/Project/Join/SemiJoin/Aggregate/OrderBy runs every plan under
+// kInterpret (serial), kAdaptiveJit (serial), and a 4-worker Session, and
+// asserts identical results — BIT-identical for integer aggregates and all
+// materialized rows; tight-tolerance for f64 SUM/AVG accumulators, whose
+// addition order legitimately differs across morsel merges.
+//
+// Every failure message leads with the plan seed and the plan description:
+//   AVM_DIFF_SEED=<seed> ./engine_differential_test   reruns just that plan.
+//   AVM_DIFF_PLANS=<n>                                overrides the count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/query_builder.h"
+#include "engine/session.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace avm::engine {
+namespace {
+
+using dsl::Call;
+using dsl::Cast;
+using dsl::ConstI;
+using dsl::Eq;
+using dsl::ExprPtr;
+using dsl::Ne;
+using dsl::Var;
+
+constexpr uint64_t kProbeRows = 6'000;
+constexpr int64_t kKeyDomain = 600;  // probe keys in [0, 600]
+constexpr int64_t kBuildKeys = 500;  // build side covers [0, 500)
+
+/// Shared fixture tables: a probe side (i64 key/a/b plus an f64 w) and a
+/// dimension side (dense keys with a duplicated tail, i64 + f64 payloads).
+struct Tables {
+  std::unique_ptr<Table> probe;
+  std::unique_ptr<Table> build;
+
+  Tables() {
+    Schema ps({{"k", TypeId::kI64},
+               {"a", TypeId::kI64},
+               {"b", TypeId::kI64},
+               {"w", TypeId::kF64}});
+    probe = std::make_unique<Table>(ps);
+    Rng rng(2024);
+    std::vector<int64_t> k(kProbeRows), a(kProbeRows), b(kProbeRows);
+    std::vector<double> w(kProbeRows);
+    for (uint64_t i = 0; i < kProbeRows; ++i) {
+      k[i] = rng.NextInRange(0, kKeyDomain);
+      a[i] = rng.NextInRange(0, 999);
+      b[i] = rng.NextInRange(0, 999);
+      w[i] = static_cast<double>(rng.NextInRange(-500, 500)) / 16.0;
+    }
+    EXPECT_TRUE(probe->column(0).AppendValues(k.data(), kProbeRows).ok());
+    EXPECT_TRUE(probe->column(1).AppendValues(a.data(), kProbeRows).ok());
+    EXPECT_TRUE(probe->column(2).AppendValues(b.data(), kProbeRows).ok());
+    EXPECT_TRUE(probe->column(3).AppendValues(w.data(), kProbeRows).ok());
+
+    Schema bs({{"d_key", TypeId::kI64},
+               {"d_val", TypeId::kI64},
+               {"d_rate", TypeId::kF64}});
+    build = std::make_unique<Table>(bs);
+    const size_t n = static_cast<size_t>(kBuildKeys) + 50;  // 50 duplicates
+    std::vector<int64_t> dk(n), dv(n);
+    std::vector<double> dr(n);
+    for (size_t i = 0; i < n; ++i) {
+      dk[i] = i < static_cast<size_t>(kBuildKeys)
+                  ? static_cast<int64_t>(i)
+                  : rng.NextInRange(0, kBuildKeys - 1);
+      dv[i] = rng.NextInRange(1, 400);
+      dr[i] = static_cast<double>(rng.NextInRange(1, 999)) / 32.0;
+    }
+    EXPECT_TRUE(
+        build->column(0).AppendValues(dk.data(), static_cast<uint32_t>(n)).ok());
+    EXPECT_TRUE(
+        build->column(1).AppendValues(dv.data(), static_cast<uint32_t>(n)).ok());
+    EXPECT_TRUE(
+        build->column(2).AppendValues(dr.data(), static_cast<uint32_t>(n)).ok());
+  }
+};
+
+/// What the generator decided, so the comparator knows each aggregate's
+/// representation and failures reproduce readably.
+struct PlanInfo {
+  std::string desc;
+  bool row_mode = false;
+  std::vector<std::pair<std::string, bool>> aggs;  ///< name, is_f64
+};
+
+/// Deterministically generates the plan for `seed` onto a fresh builder.
+/// Called once per execution config with the same seed, so all three
+/// queries are the same plan.
+Result<Query> GeneratePlan(uint64_t seed, const Tables& t, PlanInfo* info) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  QueryBuilder qb(*t.probe);
+  info->desc.clear();
+  info->aggs.clear();
+
+  // Name pools. `fresh` names compose in multi-input expressions (columns
+  // always do; join payloads re-gather lazily; projections only until the
+  // next selection change). `stale` projections stay usable as single-ref
+  // aggregates.
+  std::vector<std::string> i64_fresh = {"k", "a", "b"};
+  std::vector<std::string> f64_names = {"w"};
+  std::vector<std::string> stale;
+  int proj_n = 0;
+  bool joined = false;
+
+  auto pick = [&](const std::vector<std::string>& pool) {
+    return pool[static_cast<size_t>(
+        rng.NextInRange(0, static_cast<int64_t>(pool.size()) - 1))];
+  };
+  auto chance = [&](int pct) { return rng.NextInRange(0, 99) < pct; };
+
+  // Random i64 scalar expression over fresh names; the leftmost leaf is
+  // always a name so the expression references at least one column.
+  std::function<ExprPtr(int, bool)> rand_expr = [&](int depth,
+                                                    bool must_ref) -> ExprPtr {
+    if (depth == 0 || (!must_ref && chance(40))) {
+      if (must_ref || chance(70)) return Var(pick(i64_fresh));
+      return ConstI(rng.NextInRange(1, 100));
+    }
+    ExprPtr l = rand_expr(depth - 1, must_ref);
+    ExprPtr r = rand_expr(depth - 1, false);
+    switch (rng.NextInRange(0, 3)) {
+      case 0: return l + r;
+      case 1: return l - r;
+      case 2: return l * r;
+      default: return l / r;  // div by zero is a defined 0 in this engine
+    }
+  };
+  auto rand_pred = [&]() -> ExprPtr {
+    ExprPtr l = rand_expr(1, true);
+    ExprPtr r = chance(60) ? ConstI(rng.NextInRange(0, 900))
+                           : rand_expr(1, true);
+    switch (rng.NextInRange(0, 5)) {
+      case 0: return l < r;
+      case 1: return l <= r;
+      case 2: return l > r;
+      case 3: return l >= r;
+      case 4: return Eq(l, r);
+      default: return Ne(l, r);
+    }
+  };
+  auto invalidate_projections = [&] {
+    // A selection change makes earlier projections single-ref-only.
+    for (auto it = i64_fresh.begin(); it != i64_fresh.end();) {
+      if (it->rfind("p", 0) == 0) {
+        stale.push_back(*it);
+        it = i64_fresh.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  const int steps = static_cast<int>(rng.NextInRange(0, 4));
+  for (int s = 0; s < steps; ++s) {
+    switch (rng.NextInRange(0, 9)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // Filter
+        info->desc += "Filter ";
+        qb.Filter(rand_pred());
+        invalidate_projections();
+        break;
+      }
+      case 4:
+      case 5:
+      case 6: {  // Project
+        const std::string name = StrFormat("p%d", proj_n++);
+        info->desc += "Project(" + name + ") ";
+        qb.Project(name, rand_expr(2, true));
+        i64_fresh.push_back(name);
+        break;
+      }
+      case 7: {  // SemiJoin on the bounded key column
+        info->desc += "SemiJoin ";
+        std::vector<int64_t> membership(kKeyDomain + 1);
+        for (int64_t& m : membership) m = chance(55) ? 1 : 0;
+        qb.SemiJoin("k", std::move(membership));
+        invalidate_projections();
+        break;
+      }
+      default: {  // Join (at most one; payload names must stay fresh)
+        if (joined) {
+          info->desc += "Filter ";
+          qb.Filter(rand_pred());
+          invalidate_projections();
+          break;
+        }
+        joined = true;
+        info->desc += "Join ";
+        qb.Join(*t.build, "k", "d_key", {"d_val", "d_rate"});
+        invalidate_projections();
+        i64_fresh.push_back("d_val");
+        f64_names.push_back("d_rate");
+        break;
+      }
+    }
+  }
+
+  info->row_mode = chance(50);
+  if (info->row_mode) {
+    std::vector<std::string> all = i64_fresh;
+    all.insert(all.end(), f64_names.begin(), f64_names.end());
+    const int outs = static_cast<int>(rng.NextInRange(1, 3));
+    std::vector<std::string> chosen;
+    for (int o = 0; o < outs; ++o) {
+      std::string c = pick(all);
+      if (std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
+        chosen.push_back(c);
+        info->desc += "Output(" + c + ") ";
+        qb.Output(c);
+      }
+    }
+    if (chance(70)) {
+      const std::string key = chance(30) ? pick(f64_names) : pick(all);
+      const bool desc = chance(50);
+      info->desc += StrFormat("OrderBy(%s,%s)", key.c_str(),
+                              desc ? "desc" : "asc");
+      qb.OrderBy(key, desc ? SortDir::kDescending : SortDir::kAscending);
+    }
+  } else {
+    size_t groups = 1;
+    if (chance(60)) {
+      groups = static_cast<size_t>(rng.NextInRange(2, 8));
+      // ((expr % G) + G) % G keeps any integer expression in-range.
+      ExprPtr g = rand_expr(1, true);
+      ExprPtr G = ConstI(static_cast<int64_t>(groups));
+      g = Call(dsl::ScalarOp::kMod,
+               {Call(dsl::ScalarOp::kMod, {std::move(g), G}) + G, G});
+      info->desc += StrFormat("Aggregate(%zu) ", groups);
+      qb.Aggregate(std::move(g), groups);
+    }
+    const int naggs = static_cast<int>(rng.NextInRange(1, 3));
+    std::vector<std::string> i64_aggs;
+    for (int a = 0; a < naggs; ++a) {
+      const std::string name = StrFormat("agg%d", a);
+      switch (rng.NextInRange(0, 3)) {
+        case 0:
+          info->desc += "Count ";
+          qb.Count(name);
+          info->aggs.emplace_back(name, false);
+          i64_aggs.push_back(name);
+          break;
+        case 1: {
+          // Single-ref sums may also draw from stale projections.
+          if (!stale.empty() && chance(30)) {
+            info->desc += "Sum(stale) ";
+            qb.Sum(name, Var(pick(stale)));
+          } else {
+            info->desc += "Sum ";
+            qb.Sum(name, rand_expr(2, true));
+          }
+          info->aggs.emplace_back(name, false);
+          i64_aggs.push_back(name);
+          break;
+        }
+        case 2:
+          info->desc += "SumF64 ";
+          qb.SumF64(name, chance(50)
+                              ? Var(pick(f64_names))
+                              : Cast(TypeId::kF64, rand_expr(1, true)));
+          info->aggs.emplace_back(name, true);
+          break;
+        default:
+          info->desc += "AvgF64 ";
+          qb.AvgF64(name, Var(pick(f64_names)));
+          info->aggs.emplace_back(name, true);
+          break;
+      }
+    }
+    if (chance(40)) {
+      // f64 sort keys would make tie order depend on accumulation order;
+      // order aggregate rows by "group" or an integer aggregate only.
+      std::string key = "group";
+      if (!i64_aggs.empty() && chance(60)) key = pick(i64_aggs);
+      const bool desc = chance(50);
+      info->desc += StrFormat("OrderBy(%s,%s)", key.c_str(),
+                              desc ? "desc" : "asc");
+      qb.OrderBy(key, desc ? SortDir::kDescending : SortDir::kAscending);
+    }
+  }
+  return qb.Build();
+}
+
+void CompareQueries(Query& base, Query& other, const PlanInfo& info,
+                    const std::string& label) {
+  for (const auto& [name, is_f64] : info.aggs) {
+    if (is_f64) {
+      const auto& bv = base.aggregate_f64(name);
+      const auto& ov = other.aggregate_f64(name);
+      ASSERT_EQ(bv.size(), ov.size()) << label;
+      for (size_t g = 0; g < bv.size(); ++g) {
+        ASSERT_NEAR(ov[g], bv[g], std::abs(bv[g]) * 1e-9 + 1e-9)
+            << label << " f64 aggregate " << name << " group " << g;
+      }
+    } else {
+      ASSERT_EQ(other.aggregate(name), base.aggregate(name))
+          << label << " aggregate " << name;
+    }
+  }
+  ASSERT_EQ(other.num_result_rows(), base.num_result_rows()) << label;
+  const auto& bcols = base.result_columns();
+  const auto& ocols = other.result_columns();
+  ASSERT_EQ(bcols.size(), ocols.size()) << label;
+  for (size_t c = 0; c < bcols.size(); ++c) {
+    ASSERT_EQ(ocols[c].name, bcols[c].name) << label;
+    ASSERT_EQ(ocols[c].type, bcols[c].type) << label;
+    if (IsFloatType(bcols[c].type) && !info.row_mode) {
+      // Ordered-aggregate rows: f64 columns carry accumulator values.
+      const auto* bd = bcols[c].As<double>();
+      const auto* od = ocols[c].As<double>();
+      for (uint64_t r = 0; r < base.num_result_rows(); ++r) {
+        ASSERT_NEAR(od[r], bd[r], std::abs(bd[r]) * 1e-9 + 1e-9)
+            << label << " column " << bcols[c].name << " row " << r;
+      }
+    } else {
+      // Row outputs are per-row computed values: BIT-identical, f64
+      // included.
+      ASSERT_EQ(ocols[c].data, bcols[c].data)
+          << label << " column " << bcols[c].name;
+    }
+  }
+}
+
+TEST(DifferentialTest, RandomPlansAgreeAcrossStrategiesAndWorkers) {
+  Tables t;
+
+  uint64_t first_seed = 1;
+  int plans = 200;
+  if (const char* s = std::getenv("AVM_DIFF_SEED")) {
+    first_seed = std::strtoull(s, nullptr, 10);
+    plans = 1;
+  }
+  if (const char* p = std::getenv("AVM_DIFF_PLANS")) {
+    plans = std::atoi(p);
+  }
+
+  // One long-lived 4-worker session serves every parallel run — plans
+  // interleave with each other's trace-cache entries like production
+  // clients would.
+  SessionOptions so;
+  so.num_workers = 4;
+  Session parallel_session(so);
+
+  int built = 0, skipped = 0;
+  for (int p = 0; p < plans; ++p) {
+    const uint64_t seed = first_seed + static_cast<uint64_t>(p);
+    const std::string repro =
+        StrFormat("[plan seed %llu: rerun with AVM_DIFF_SEED=%llu] ",
+                  (unsigned long long)seed, (unsigned long long)seed);
+
+    PlanInfo info;
+    Result<Query> base_q = GeneratePlan(seed, t, &info);
+    const bool verbose = std::getenv("AVM_DIFF_VERBOSE") != nullptr;
+    if (verbose) SetLogLevel(LogLevel::kDebug);
+    if (verbose) {
+      std::fprintf(stderr, "plan %llu: %s -> %s\n", (unsigned long long)seed,
+                   info.desc.c_str(),
+                   base_q.ok() ? "built" : base_q.status().ToString().c_str());
+    }
+    if (!base_q.ok()) {
+      // A generated plan the builder rejects (e.g. residual selection
+      // conflicts) must be rejected IDENTICALLY on every config.
+      PlanInfo i2, i3;
+      Result<Query> q2 = GeneratePlan(seed, t, &i2);
+      Result<Query> q3 = GeneratePlan(seed, t, &i3);
+      ASSERT_FALSE(q2.ok()) << repro << info.desc;
+      ASSERT_FALSE(q3.ok()) << repro << info.desc;
+      ASSERT_EQ(base_q.status().ToString(), q2.status().ToString())
+          << repro << info.desc;
+      ++skipped;
+      continue;
+    }
+    ++built;
+    Query base = std::move(base_q.value());
+
+    // Baseline: serial vectorized interpretation.
+    {
+      EngineOptions eo;
+      eo.strategy = ExecutionStrategy::kInterpret;
+      eo.num_workers = 1;
+      auto r = ExecEngine::Execute(base.context(), eo);
+      ASSERT_TRUE(r.ok()) << repro << info.desc << ": " << r.status().ToString();
+      if (verbose) std::fprintf(stderr, "  interp-serial ok\n");
+    }
+
+    // Serial adaptive JIT (falls back to interpretation without a host
+    // compiler — the comparison holds either way).
+    {
+      PlanInfo i2;
+      Query q = GeneratePlan(seed, t, &i2).ValueOrDie();
+      EngineOptions eo;
+      eo.strategy = ExecutionStrategy::kAdaptiveJit;
+      eo.num_workers = 1;
+      eo.vm.optimize_after_iterations = 2;
+      auto r = ExecEngine::Execute(q.context(), eo);
+      ASSERT_TRUE(r.ok()) << repro << info.desc << ": " << r.status().ToString();
+      CompareQueries(base, q, info, repro + info.desc + " [jit-serial]");
+      if (verbose) std::fprintf(stderr, "  jit-serial ok\n");
+    }
+
+    // 4-worker session, morsel-parallel adaptive JIT.
+    {
+      PlanInfo i3;
+      Query q = GeneratePlan(seed, t, &i3).ValueOrDie();
+      QueryOptions qo;
+      qo.strategy = ExecutionStrategy::kAdaptiveJit;
+      qo.vm.optimize_after_iterations = 2;
+      auto r = parallel_session.Submit(q.context(), qo).Wait();
+      ASSERT_TRUE(r.ok()) << repro << info.desc << ": " << r.status().ToString();
+      CompareQueries(base, q, info, repro + info.desc + " [session-4w]");
+    }
+  }
+  // The generator is tuned to produce mostly-buildable plans; if that
+  // drifts, the differential coverage silently evaporates — fail loudly
+  // instead.
+  EXPECT_GE(built, plans * 3 / 4)
+      << "generator built only " << built << "/" << plans << " plans";
+  std::printf("differential: %d plans built, %d rejected identically\n",
+              built, skipped);
+}
+
+}  // namespace
+}  // namespace avm::engine

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "dsl/builder.h"
@@ -408,6 +409,158 @@ TEST(SessionTest, SingleFlightTraceCompilationUnderContention) {
           << "client " << i << " row " << row;
     }
   }
+}
+
+// Hash-join queries under cancellation + admission back-pressure: a small
+// session is saturated with morsel-parallel join probes; some are cancelled
+// while parked in the admission queue, some mid-probe. Every handle must
+// complete (no deadlocked barrier), surviving queries must produce exact
+// results, cancelled ones must be cleanly re-runnable after a reset, and
+// the build-side lookup arrays must not leak (they are owned by the Query;
+// this test runs under the CI ThreadSanitizer job).
+TEST(SessionTest, JoinQueriesUnderCancellationAndBackPressure) {
+  const uint64_t n = 400'000;
+  Schema pschema({{"f_key", TypeId::kI64}, {"f_v", TypeId::kI64}});
+  Table probe(pschema);
+  Rng rng(77);
+  std::vector<int64_t> fkey(n), fv(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    fkey[i] = rng.NextInRange(0, 2'000);
+    fv[i] = rng.NextInRange(0, 99);
+  }
+  ASSERT_TRUE(
+      probe.column(0).AppendValues(fkey.data(), static_cast<uint32_t>(n)).ok());
+  ASSERT_TRUE(
+      probe.column(1).AppendValues(fv.data(), static_cast<uint32_t>(n)).ok());
+
+  Schema bschema({{"d_key", TypeId::kI64}, {"d_w", TypeId::kI64}});
+  Table build(bschema);
+  const uint32_t bn = 1'000;  // build side covers half the probe key domain
+  std::vector<int64_t> dkey(bn), dw(bn);
+  for (uint32_t i = 0; i < bn; ++i) {
+    dkey[i] = i * 2;
+    dw[i] = rng.NextInRange(1, 9);
+  }
+  ASSERT_TRUE(build.column(0).AppendValues(dkey.data(), bn).ok());
+  ASSERT_TRUE(build.column(1).AppendValues(dw.data(), bn).ok());
+
+  int64_t expect = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (fkey[i] <= 2'000 - 2 && fkey[i] % 2 == 0) {
+      expect += fv[i] * dw[static_cast<size_t>(fkey[i] / 2)];
+    }
+  }
+
+  auto make_query = [&] {
+    QueryBuilder qb(probe);
+    qb.Join(build, "f_key", "d_key", {"d_w"})
+        .Sum("wsum", dsl::Var("f_v") * dsl::Var("d_w"))
+        .Count("matches");
+    return qb.Build().ValueOrDie();
+  };
+
+  SessionOptions so;
+  so.num_workers = 2;
+  so.max_active_queries = 2;  // force admission back-pressure
+  QueryOptions qo;
+  qo.strategy = ExecutionStrategy::kInterpret;
+
+  constexpr int kQueries = 6;
+  std::vector<Query> queries;
+  for (int i = 0; i < kQueries; ++i) queries.push_back(make_query());
+  {
+    Session session(so);
+    std::vector<QueryHandle> handles;
+    for (Query& q : queries) handles.push_back(session.Submit(q.context(), qo));
+    // Cancel the last three: one parked behind back-pressure (promptly
+    // completes Cancelled without waiting for the active probes), two that
+    // may be anywhere between admission and mid-probe.
+    handles[5].Cancel();
+    handles[4].Cancel();
+    handles[3].Cancel();
+    for (int i = 0; i < kQueries; ++i) {
+      auto r = handles[i].Wait();  // every handle completes: no deadlock
+      if (i < 3) {
+        ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+        EXPECT_EQ(queries[i].aggregate("wsum")[0], expect) << i;
+      } else if (!r.ok()) {
+        EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+      }
+    }
+    Session::Stats stats = session.stats();
+    EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kQueries));
+    EXPECT_EQ(stats.completed, static_cast<uint64_t>(kQueries));
+  }  // session drains before the queries (and their build arrays) die
+
+  // A cancelled join query's accumulators are undefined; after a reset it
+  // must run again and produce exact results.
+  Session session2({.num_workers = 2});
+  for (int i = 3; i < kQueries; ++i) {
+    queries[i].ResetAggregates();
+    auto r = session2.Submit(queries[i].context(), qo).Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(queries[i].aggregate("wsum")[0], expect) << i;
+  }
+}
+
+// Join builds racing submission from another thread while cancels land:
+// Build() densifies the build side on the submitting thread, so a session
+// shutting down or cancelling concurrently must never touch a half-built
+// query.
+TEST(SessionTest, ConcurrentJoinBuildSubmitCancel) {
+  const uint64_t n = 150'000;
+  Schema pschema({{"f_key", TypeId::kI64}});
+  Table probe(pschema);
+  Rng rng(99);
+  std::vector<int64_t> fkey(n);
+  for (uint64_t i = 0; i < n; ++i) fkey[i] = rng.NextInRange(0, 999);
+  ASSERT_TRUE(
+      probe.column(0).AppendValues(fkey.data(), static_cast<uint32_t>(n)).ok());
+  Schema bschema({{"d_key", TypeId::kI64}});
+  Table build(bschema);
+  std::vector<int64_t> dkey(500);
+  for (size_t i = 0; i < dkey.size(); ++i) dkey[i] = static_cast<int64_t>(i);
+  ASSERT_TRUE(build.column(0)
+                  .AppendValues(dkey.data(),
+                                static_cast<uint32_t>(dkey.size()))
+                  .ok());
+  int64_t expect = 0;
+  for (uint64_t i = 0; i < n; ++i) expect += fkey[i] < 500 ? 1 : 0;
+
+  SessionOptions so;
+  so.num_workers = 2;
+  so.max_active_queries = 1;
+  Session session(so);
+  QueryOptions qo;
+  qo.strategy = ExecutionStrategy::kInterpret;
+
+  constexpr int kPerThread = 4;
+  std::vector<std::vector<Query>> queries(2);
+  std::vector<std::vector<QueryHandle>> handles(2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        QueryBuilder qb(probe);
+        qb.Join(build, "f_key", "d_key").Count("matches");
+        queries[t].push_back(qb.Build().ValueOrDie());
+        handles[t].push_back(session.Submit(queries[t].back().context(), qo));
+      }
+      handles[t].back().Cancel();  // cancel this thread's last submission
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < 2; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      auto r = handles[t][i].Wait();
+      if (r.ok()) {
+        EXPECT_EQ(queries[t][i].aggregate("matches")[0], expect);
+      } else {
+        EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+      }
+    }
+  }
+  EXPECT_EQ(session.stats().completed, static_cast<uint64_t>(2 * kPerThread));
 }
 
 // Cost bucketing makes Q1's greedy partition (and so its trace

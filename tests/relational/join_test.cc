@@ -184,6 +184,85 @@ TEST(SemijoinScanTest, ParallelScanMatchesSerial) {
   EXPECT_EQ(serial.value().survivors, expect);
 }
 
+TEST(JoinQueryTest, MakeJoinQueryMatchesHashJoinOracle) {
+  // The engine-side dense-gather join must agree with the classic
+  // HashJoinI64 probe (same last-build-row-wins duplicate semantics).
+  const uint64_t n = 80'000;
+  Schema ps({{"f_key", TypeId::kI64}, {"f_val", TypeId::kI64}});
+  Table probe(ps);
+  Rng rng(31);
+  std::vector<int64_t> fk(n), fv(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    fk[i] = rng.NextInRange(0, 2'000);
+    fv[i] = rng.NextInRange(1, 99);
+  }
+  ASSERT_TRUE(
+      probe.column(0).AppendValues(fk.data(), static_cast<uint32_t>(n)).ok());
+  ASSERT_TRUE(
+      probe.column(1).AppendValues(fv.data(), static_cast<uint32_t>(n)).ok());
+
+  Schema ds({{"d_key", TypeId::kI64}, {"d_w", TypeId::kI64}});
+  Table dim(ds);
+  const uint32_t dn = 1'500;  // sparse coverage + duplicate tail
+  std::vector<int64_t> dk(dn), dw(dn);
+  for (uint32_t i = 0; i < dn; ++i) {
+    dk[i] = i < 1'200 ? rng.NextInRange(0, 2'000) : dk[i - 1'200];
+    dw[i] = rng.NextInRange(1, 50);
+  }
+  ASSERT_TRUE(dim.column(0).AppendValues(dk.data(), dn).ok());
+  ASSERT_TRUE(dim.column(1).AppendValues(dw.data(), dn).ok());
+
+  HashJoinI64 ht;
+  for (uint32_t i = 0; i < dn; ++i) {
+    ht.Insert(dk[i], i);  // last insert wins, as in the dense build
+  }
+  int64_t expect_rev = 0;
+  uint64_t expect_matches = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::vector<sel_t> pos(1);
+    std::vector<uint32_t> row(1);
+    if (ht.Probe(&fk[i], nullptr, 1, pos.data(), row.data()) == 1) {
+      ++expect_matches;
+      expect_rev += fv[i] * dw[row[0]];
+    }
+  }
+
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    engine::EngineOptions eo;
+    eo.strategy = engine::ExecutionStrategy::kInterpret;
+    eo.num_workers = workers;
+    auto run = RunJoinEngine(probe, "f_key", "f_val", dim, "d_key", "d_w", eo);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run.value().matches, expect_matches) << "workers=" << workers;
+    EXPECT_EQ(run.value().revenue, expect_rev) << "workers=" << workers;
+    if (workers > 1) {
+      EXPECT_GT(run.value().report.morsels, 1u);
+      EXPECT_TRUE(run.value().report.ran_serial_reason.empty())
+          << run.value().report.ran_serial_reason;
+    }
+  }
+
+  // Grouped variant agrees with a scalar group-by oracle.
+  engine::Query grouped =
+      MakeJoinQuery(probe, "f_key", "f_val", dim, "d_key", "d_w", 4)
+          .ValueOrDie();
+  engine::EngineOptions eo;
+  eo.strategy = engine::ExecutionStrategy::kInterpret;
+  eo.num_workers = 4;
+  ASSERT_TRUE(engine::ExecEngine::Execute(grouped.context(), eo).ok());
+  std::vector<int64_t> expect_g(4, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::vector<sel_t> pos(1);
+    std::vector<uint32_t> row(1);
+    if (ht.Probe(&fk[i], nullptr, 1, pos.data(), row.data()) == 1) {
+      expect_g[static_cast<size_t>(fv[i] % 4)] += fv[i] * dw[row[0]];
+    }
+  }
+  for (size_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(grouped.aggregate("revenue")[g], expect_g[g]) << "group " << g;
+  }
+}
+
 TEST(SemijoinChainTest, EarlyExitOnEmptySelection) {
   HashSetI64 none, all;
   for (int64_t k = 0; k < 10; ++k) all.Insert(k);
