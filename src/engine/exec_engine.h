@@ -34,12 +34,16 @@ namespace avm::engine {
 
 class Session;
 
+/// Which execution machinery serves a query (see the file comment):
+/// pure vectorized interpretation, the adaptive interpret+profile+JIT
+/// loop, or adaptive CPU/GPU placement for offloadable fragments.
 enum class ExecutionStrategy : uint8_t {
   kInterpret = 0,
   kAdaptiveJit,
   kGpuOffload,
 };
 
+/// Human-readable strategy name ("interpret", "adaptive-jit", ...).
 const char* StrategyName(ExecutionStrategy s);
 
 /// Per-query knobs: how one submitted query executes. Worker count and
@@ -100,11 +104,15 @@ struct ExecReport {
   double compile_seconds = 0;
 
   /// Non-empty when the adaptive VM considered a hot trace but declined to
-  /// compile it (first reason observed): e.g. gathers stay interpreted
-  /// because compiled code cannot report a bounds failure. The query still
-  /// completes — uncompiled fragments run vectorized-interpreted — but the
-  /// decline is reported instead of silently looking like "nothing was
-  /// hot".
+  /// compile it (first reason observed). The trace ABI passes selections
+  /// in, scalar state out, and a bounds status (docs/TRACE_ABI.md), so
+  /// gather/scatter traces, let-bound write counts, and selection-carrying
+  /// inputs all compile; what remains declined are the genuinely
+  /// unsupported shapes the ABI spec enumerates (merge/gen skeletons,
+  /// chunk-array gather bases, multi-filter traces, exotic scatter
+  /// conflict functions, non-affine positions). The query still completes
+  /// — uncompiled fragments run vectorized-interpreted — but the decline
+  /// is reported instead of silently looking like "nothing was hot".
   std::string jit_declined;
 
   /// Fig. 1 state-machine timeline and profiler dump of the worker that

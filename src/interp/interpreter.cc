@@ -126,7 +126,16 @@ Status Interpreter::ExecBlock(const std::vector<dsl::StmtPtr>& stmts,
         continue;
       }
       uint64_t t0 = ReadCycleCounter();
-      AVM_RETURN_NOT_OK(tr.run(*this));
+      Status st = tr.run(*this);
+      if (st.IsUnavailable()) {
+        // The trace discovered (side-effect-free) that its preconditions
+        // do not hold for this iteration — e.g. a selection reaching past
+        // the clamped chunk window. Fall back to interpretation, exactly
+        // like a failed `applicable` check.
+        ++tr.fallbacks;
+        continue;
+      }
+      AVM_RETURN_NOT_OK(st);
       tr.cycles += ReadCycleCounter() - t0;
       ++tr.invocations;
       for (uint32_t id : tr.covered_stmt_ids) skip.insert(id);

@@ -77,6 +77,11 @@ class Interpreter;
 /// about to execute the statement with id `anchor_stmt_id` and `applicable`
 /// holds, it calls `run` (which computes the bindings the covered statements
 /// would have produced) and skips all statements in `covered_stmt_ids`.
+/// `run` may return StatusCode::kUnavailable *before producing any side
+/// effect* to signal that a precondition only discoverable mid-preparation
+/// (e.g. a selection index past the clamped window) does not hold: the
+/// interpreter counts a fallback and executes the covered statements
+/// normally, as if `applicable` had said no.
 struct InjectedTrace {
   std::string name;
   uint32_t anchor_stmt_id = 0;

@@ -73,7 +73,10 @@ class GraphBuilder {
         break;
       }
     }
-    for (const auto& s : *body) AVM_RETURN_NOT_OK(VisitStmt(*s));
+    for (const auto& s : *body) {
+      AVM_RETURN_NOT_OK(VisitStmt(*s));
+      ++cur_stmt_index_;
+    }
     return std::move(graph_);
   }
 
@@ -130,6 +133,7 @@ class GraphBuilder {
     node.num_prims = std::max<uint32_t>(1, CountPrims(e));
     node.label = ShortLabel(e);
     node.cost = BaseCost(e.skeleton, node.num_prims);
+    node.stmt_index = cur_stmt_index_;
     graph_.nodes().push_back(node);
     const uint32_t id = node.id;
 
@@ -181,6 +185,7 @@ class GraphBuilder {
 
   const dsl::Program& program_;
   DepGraph graph_;
+  uint32_t cur_stmt_index_ = 0;  ///< top-level body statement ordinal
 };
 
 }  // namespace
@@ -284,6 +289,70 @@ size_t CountStreams(const DepGraph& g, const std::set<uint32_t>& region) {
 
 }  // namespace
 
+int StmtConvexityViolation(const DepGraph& graph,
+                           const std::set<uint32_t>& region) {
+  uint32_t anchor = UINT32_MAX, last = 0;
+  for (uint32_t id : region) {
+    anchor = std::min(anchor, graph.nodes()[id].stmt_index);
+    last = std::max(last, graph.nodes()[id].stmt_index);
+  }
+  // Value edges: inputs must predate the anchor.
+  for (uint32_t id : region) {
+    for (uint32_t in : graph.nodes()[id].inputs) {
+      if (!region.contains(in) &&
+          graph.nodes()[in].stmt_index >= anchor) {
+        return static_cast<int>(in);
+      }
+    }
+  }
+  // Data arrays the region touches.
+  std::set<std::string> reads, writes;
+  for (uint32_t id : region) {
+    const DepNode& n = graph.nodes()[id];
+    reads.insert(n.external_reads.begin(), n.external_reads.end());
+    writes.insert(n.external_writes.begin(), n.external_writes.end());
+  }
+  // A fused read-after-write of one array would see pre-write data
+  // (compiled data writes publish after the call).
+  for (uint32_t id : region) {
+    for (const auto& r : graph.nodes()[id].external_reads) {
+      if (writes.contains(r)) return static_cast<int>(id);
+    }
+  }
+  // Outside accessors inside the statement span: an interpreted write to
+  // an array the region reads (or writes), or an interpreted read of an
+  // array the region writes, would observe/produce a different order than
+  // statement-by-statement interpretation.
+  for (const DepNode& n : graph.nodes()) {
+    if (region.contains(n.id)) continue;
+    if (n.stmt_index < anchor || n.stmt_index > last) continue;
+    for (const auto& w : n.external_writes) {
+      if (reads.contains(w) || writes.contains(w)) {
+        return static_cast<int>(n.id);
+      }
+    }
+    for (const auto& r : n.external_reads) {
+      if (writes.contains(r)) return static_cast<int>(n.id);
+    }
+  }
+  return -1;
+}
+
+int StmtConvexityViolation(const DepGraph& graph,
+                           const std::vector<uint32_t>& region) {
+  return StmtConvexityViolation(
+      graph, std::set<uint32_t>(region.begin(), region.end()));
+}
+
+std::vector<std::string> Trace::ChunkVarInputs(
+    const dsl::Program& program) const {
+  std::vector<std::string> out;
+  for (const auto& name : inputs) {
+    if (program.FindData(name) == nullptr) out.push_back(name);
+  }
+  return out;
+}
+
 std::vector<Trace> GreedyPartition(const DepGraph& graph,
                                    const PartitionConstraints& constraints) {
   const auto& nodes = graph.nodes();
@@ -317,6 +386,7 @@ std::vector<Trace> GreedyPartition(const DepGraph& graph,
           std::set<uint32_t> tentative = region;
           tentative.insert(cand);
           if (CountStreams(graph, tentative) > constraints.max_streams) return;
+          if (StmtConvexityViolation(graph, tentative) >= 0) return;
           if (best < 0 ||
               nodes[cand].cost > nodes[static_cast<size_t>(best)].cost) {
             best = static_cast<int>(cand);

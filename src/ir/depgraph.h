@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,14 @@ struct DepNode {
   const dsl::Expr* expr = nullptr;    ///< the skeleton call it represents
   dsl::SkeletonKind kind = dsl::SkeletonKind::kMap;
   std::string label;                  ///< human-readable ("map *2")
+  /// Ordinal of the top-level loop-body statement this node belongs to.
+  /// A trace executes at its anchor (first covered) statement, so every
+  /// value it consumes must be produced BEFORE that ordinal — the
+  /// partitioner keeps regions statement-convex with it (see
+  /// GreedyPartition), or a trace spanning an interpreted statement (e.g.
+  /// a filter between its reads and its consumers) would read the
+  /// previous iteration's value.
+  uint32_t stmt_index = 0;
 
   std::vector<uint32_t> inputs;       ///< producing nodes
   std::vector<uint32_t> consumers;    ///< consuming nodes
@@ -90,11 +99,41 @@ struct Trace {
     }
     return false;
   }
+
+  /// The boundary inputs that are chunk *values* of the environment (as
+  /// opposed to `data` arrays accessed through read windows): the inputs
+  /// that may carry a selection vector at run time. The VM observes their
+  /// selection state to pick the trace variant to compile (the
+  /// selection-carrying part of a jit::Situation).
+  std::vector<std::string> ChunkVarInputs(const dsl::Program& program) const;
 };
 
+/// Statement-convexity check shared by the partitioner and the trace code
+/// generator: a trace executes all-at-once at its anchor (earliest)
+/// statement, so its effects must commute with every statement it spans.
+/// A region is convex when
+///  - every value entering it is produced BEFORE its anchor statement (an
+///    input produced by an interpreted statement between the covered ones
+///    — e.g. a filter the constraints exclude — would still hold the
+///    previous iteration's value),
+///  - no node OUTSIDE the region but inside its statement span touches a
+///    data array the region accesses conflictingly (outside write to an
+///    array the region reads or writes; outside read of an array the
+///    region writes), and
+///  - the region itself never reads a data array it also writes (compiled
+///    writes publish after the call, so a fused read-after-write would see
+///    pre-write data).
+/// Returns the id of a violating node, or -1 when the region is convex.
+int StmtConvexityViolation(const DepGraph& graph,
+                           const std::set<uint32_t>& region);
+/// Convenience overload for callers holding the region as an id vector.
+int StmtConvexityViolation(const DepGraph& graph,
+                           const std::vector<uint32_t>& region);
+
 /// Greedy partitioning: repeatedly seed with the most expensive unvisited
-/// node and grow along edges while constraints hold. Returns traces sorted
-/// by descending total cost. Traces may not cover the whole graph (remaining
+/// node and grow along edges while constraints hold. Regions are kept
+/// statement-convex (StmtConvexityViolation). Returns traces sorted by
+/// descending total cost. Traces may not cover the whole graph (remaining
 /// nodes stay interpreted) — exactly as the paper allows.
 std::vector<Trace> GreedyPartition(const DepGraph& graph,
                                    const PartitionConstraints& constraints);

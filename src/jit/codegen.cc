@@ -48,6 +48,10 @@ const char* CType(TypeId t) {
   return t == TypeId::kBool ? "unsigned char" : TypeCName(t);
 }
 
+// The scalar helper library every generated translation unit carries,
+// followed by a textual copy of the trace ABI structs. The struct
+// definitions MUST stay layout-identical to src/jit/trace_abi.h — the
+// generated code is compiled standalone and cannot include it.
 const char* kPreamble = R"(#include <cstdint>
 #include <cmath>
 #include <limits>
@@ -104,6 +108,23 @@ inline long long avm_hash(long long k0) {
   k ^= k >> 33;
   return (long long)k;
 }
+
+// Mirror of avm::jit::TraceFault / TraceCallArgs (src/jit/trace_abi.h).
+struct TraceFault { int64_t index; uint64_t bound; };
+struct TraceCallArgs {
+  const void* const* in;
+  const uint64_t* in_lens;
+  void* const* out;
+  const uint64_t* out_lens;
+  const int64_t* ci;
+  const double* cf;
+  uint32_t n;
+  const uint32_t* sel;
+  uint32_t sel_n;
+  uint32_t* out_counts;
+  int64_t* scalars;
+  TraceFault* fault;
+};
 }  // namespace
 )";
 
@@ -122,11 +143,14 @@ class TraceEmitter {
  private:
   // --- analysis -------------------------------------------------------------
   Status AnalyzeStatements();
+  void ComputeSelDependence();
   Status Validate();
+  Status ValidateCaptureFreshness();
   Status AssignInputsOutputs();
 
-  // --- emission --------------------------------------------------------------
+  // --- emission -------------------------------------------------------------
   Status EmitNodes();
+  Result<std::string> ValueOf(uint32_t node_id);
   Result<std::string> EmitNodeValue(const DepNode& node);
   Result<std::string> ResolveValueArg(const Expr& arg);
   Result<std::string> EmitPrim(const PrimProgram& prog,
@@ -138,8 +162,28 @@ class TraceEmitter {
     return trace_node_set_.contains(node_id);
   }
   bool DependsOnFilter(uint32_t node_id) const;
+  bool SelDependent(uint32_t node_id) const {
+    return sel_dependent_.contains(node_id);
+  }
+  /// True when `node_id`'s work belongs in the positional pass: the trace is
+  /// selection-specialized but the node is independent of every
+  /// selection-carrying input, so interpretation computes it over ALL rows.
+  bool InPositionalPass(uint32_t node_id) const {
+    return sel_mode_ && !SelDependent(node_id);
+  }
 
-  std::ostringstream& Body() { return post_filter_mode_ ? post_ : pre_; }
+  /// Stream new statements go to: the positional pass, or the pre/post
+  /// guard section of the main (guarded / selected) loop.
+  std::ostringstream& Body() {
+    if (in_pos_loop_) return posloop_;
+    return post_filter_mode_ ? post_ : pre_;
+  }
+  /// Per-loop cache of node id -> emitted C value expression. Values are
+  /// re-emitted (recomputed) when a selected-pass node consumes a
+  /// positional-pass value — scalar recomputation is cheaper than spilling.
+  std::unordered_map<uint32_t, std::string>& Values() {
+    return in_pos_loop_ ? node_value_pos_ : node_value_;
+  }
 
   const dsl::Program& program_;
   const DepGraph& graph_;
@@ -150,17 +194,28 @@ class TraceEmitter {
   std::unordered_set<uint32_t> trace_node_set_;
   std::unordered_map<const Expr*, uint32_t> expr_to_node_;
   std::unordered_map<std::string, TypeId> let_types_;  // name -> element type
+  /// (body-statement ordinal, var) of every scalar assignment in the loop
+  /// body — capture-freshness analysis (see ValidateCaptureFreshness).
+  std::vector<std::pair<uint32_t, std::string>> body_assigns_;
   std::unordered_map<std::string, size_t> input_slot_;  // spec name key -> idx
-  std::unordered_map<uint32_t, std::string> node_value_;  // node -> C expr
+  std::unordered_map<uint32_t, size_t> node_out_slot_;  // write/scatter node
+  std::unordered_map<uint32_t, ScalarOp> scatter_combine_;  // from Validate
+  std::unordered_map<uint32_t, std::string> node_value_;      // guarded loop
+  std::unordered_map<uint32_t, std::string> node_value_pos_;  // positional
   std::unordered_map<std::string, size_t> cap_i_slot_, cap_f_slot_;
+  std::unordered_set<uint32_t> sel_dependent_;
+  std::set<std::string> active_sel_inputs_;  // chunk inputs carrying a sel
+  bool sel_mode_ = false;
   int filter_node_ = -1;
-  bool has_condensed_output_ = false;
   bool post_filter_mode_ = false;
-  std::ostringstream decls_;  // pre-loop declarations
-  std::ostringstream pre_;    // loop body before the filter guard
-  std::ostringstream guard_;  // the filter guard
-  std::ostringstream post_;   // loop body after the guard
-  std::ostringstream tail_;   // post-loop stores
+  bool in_pos_loop_ = false;
+  std::ostringstream decls_;    // pre-loop declarations
+  std::ostringstream posloop_;  // positional pass body (sel mode only)
+  std::ostringstream pre_;      // main loop body before the filter guard
+  std::ostringstream guard_;    // the filter guard
+  std::ostringstream post_;     // main loop body after the guard
+  std::ostringstream counts_;   // out_counts / scalars assignments
+  std::ostringstream tail_;     // post-loop stores
   int temp_counter_ = 0;
 };
 
@@ -189,6 +244,22 @@ Status TraceEmitter::AnalyzeStatements() {
         }
       };
   collect(program_.stmts);
+
+  // Scalar assignments per body-statement ordinal (the same ordinals
+  // DepGraph::Build stamps into DepNode::stmt_index), including those
+  // nested in if-bodies.
+  uint32_t ord = 0;
+  for (const auto& s : *body) {
+    std::function<void(const dsl::Stmt&)> scan = [&](const dsl::Stmt& st) {
+      if (st.kind == StmtKind::kAssign || st.kind == StmtKind::kMutDef) {
+        body_assigns_.emplace_back(ord, st.var);
+      }
+      for (const auto& c : st.body) scan(*c);
+      for (const auto& c : st.else_body) scan(*c);
+    };
+    scan(*s);
+    ++ord;
+  }
 
   // Statement coverage: every stmt whose skeleton nodes are all in the
   // trace is covered; partially covered statements are rejected.
@@ -225,6 +296,105 @@ Status TraceEmitter::AnalyzeStatements() {
   return Status::OK();
 }
 
+void TraceEmitter::ComputeSelDependence() {
+  // The selection-carrying inputs this trace actually consumes: chunk-var
+  // inputs (non-data boundary names) the VM observed a selection on.
+  for (const auto& name : trace_.inputs) {
+    if (program_.FindData(name) != nullptr) continue;
+    if (options_.sel_inputs.contains(name)) active_sel_inputs_.insert(name);
+  }
+  sel_mode_ = !active_sel_inputs_.empty();
+  if (!sel_mode_) return;
+  out_.sel_inputs.assign(active_sel_inputs_.begin(),
+                         active_sel_inputs_.end());
+
+  // A node is selection-dependent when it references a selection-carrying
+  // chunk input or consumes an in-trace node that is. trace_.node_ids is in
+  // topological order, so one pass suffices.
+  for (uint32_t id : trace_.node_ids) {
+    const DepNode& n = graph_.nodes()[id];
+    bool dep = false;
+    std::function<void(const Expr&)> walk = [&](const Expr& e) {
+      if (e.kind == ExprKind::kVarRef &&
+          active_sel_inputs_.contains(e.var)) {
+        dep = true;
+      }
+      for (const auto& a : e.args) {
+        if (a->kind != ExprKind::kLambda) walk(*a);
+      }
+    };
+    walk(*n.expr);
+    for (uint32_t in : n.inputs) {
+      if (InTrace(in) && SelDependent(in)) dep = true;
+    }
+    if (dep) sel_dependent_.insert(id);
+  }
+}
+
+Status TraceEmitter::ValidateCaptureFreshness() {
+  // The harness resolves captured scalars from the environment BEFORE the
+  // call, so a capture whose value is produced or reassigned inside the
+  // trace's statement span would feed the PREVIOUS iteration's value into
+  // the compiled code while interpretation uses the fresh one — the
+  // scalar sibling of the statement-convexity hazard. (Assignments AFTER
+  // the last covered statement are fine: interpretation also reads the
+  // pre-assignment value at the covered statements.)
+  uint32_t anchor = UINT32_MAX, last = 0;
+  for (uint32_t id : trace_.node_ids) {
+    anchor = std::min(anchor, graph_.nodes()[id].stmt_index);
+    last = std::max(last, graph_.nodes()[id].stmt_index);
+  }
+
+  // Free scalar references of the covered expressions (lambda parameters
+  // are bound, not captured).
+  std::set<std::string> captures;
+  std::function<void(const Expr&, std::set<std::string>&)> walk =
+      [&](const Expr& e, std::set<std::string>& bound) {
+        if (e.kind == ExprKind::kVarRef) {
+          if (e.shape == dsl::Shape::kScalar && !bound.contains(e.var)) {
+            captures.insert(e.var);
+          }
+          return;
+        }
+        if (e.kind == ExprKind::kLambda) {
+          std::set<std::string> inner = bound;
+          for (const auto& p : e.params) inner.insert(p);
+          if (e.body) walk(*e.body, inner);
+          return;
+        }
+        for (const auto& a : e.args) walk(*a, bound);
+        if (e.body) walk(*e.body, bound);
+      };
+  std::set<std::string> no_bound;
+  for (uint32_t id : trace_.node_ids) {
+    walk(*graph_.nodes()[id].expr, no_bound);
+  }
+
+  for (const std::string& name : captures) {
+    // A producer strictly AFTER the span is loop-carried: interpretation
+    // reads the previous iteration's value at the covered statements too,
+    // so the pre-call capture is consistent and may compile.
+    const int prod = graph_.ProducerOf(name);
+    if (prod >= 0 &&
+        graph_.nodes()[static_cast<size_t>(prod)].stmt_index >= anchor &&
+        graph_.nodes()[static_cast<size_t>(prod)].stmt_index <= last) {
+      return Status::NotImplemented(StrFormat(
+          "captured scalar '%s' is produced inside the trace's statement "
+          "span (the capture would be one iteration stale)",
+          name.c_str()));
+    }
+    for (const auto& [ord, var] : body_assigns_) {
+      if (var == name && ord >= anchor && ord <= last) {
+        return Status::NotImplemented(StrFormat(
+            "captured scalar '%s' is reassigned inside the trace's "
+            "statement span (the capture would be stale)",
+            name.c_str()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 bool TraceEmitter::DependsOnFilter(uint32_t node_id) const {
   if (filter_node_ < 0) return false;
   if (node_id == static_cast<uint32_t>(filter_node_)) return false;
@@ -243,6 +413,24 @@ bool TraceEmitter::DependsOnFilter(uint32_t node_id) const {
 }
 
 Status TraceEmitter::Validate() {
+  // Statement convexity: the trace executes all-at-once at its anchor
+  // statement, so every value entering it must be produced BEFORE that
+  // statement. An input produced by an interpreted statement between the
+  // covered ones (e.g. a filter the partition excluded) would still hold
+  // the previous iteration's value — the stale-selection miscompile the
+  // differential harness caught. The partitioner keeps regions convex
+  // with the same helper (ir::GreedyPartition); this is the decline-side
+  // guarantee.
+  const int violation = ir::StmtConvexityViolation(graph_, trace_.node_ids);
+  if (violation >= 0) {
+    return Status::InvalidArgument(
+        StrFormat("the trace is not statement-convex: it conflicts with "
+                  "'%s' across its statement span (stale-value hazard)",
+                  graph_.nodes()[static_cast<size_t>(violation)]
+                      .label.c_str()));
+  }
+  AVM_RETURN_NOT_OK(ValidateCaptureFreshness());
+
   int filters = 0;
   for (uint32_t id : trace_.node_ids) {
     const DepNode& n = graph_.nodes()[id];
@@ -250,26 +438,87 @@ Status TraceEmitter::Validate() {
       case SkeletonKind::kRead:
       case SkeletonKind::kMap:
       case SkeletonKind::kFold:
+      case SkeletonKind::kWrite:
         break;
-      case SkeletonKind::kWrite: {
-        // A let-bound write means the program consumes the written COUNT
-        // (the cursor advance of a condensing output pipeline). The trace
-        // ABI publishes no scalar result for data writes, so the
-        // interpreter would keep reading a stale count and corrupt the
-        // output cursor — decline and leave the pipeline interpreted.
-        if (let_types_.contains(graph_.OutputNameOf(id))) {
+      case SkeletonKind::kGather: {
+        // The generated code bounds-checks every index against the base
+        // length (TraceCallArgs::in_lens) and reports a TraceFault, so the
+        // compiled path fails exactly like the interpreter's check. Only
+        // whole data arrays can be bases: a chunk-array base would need the
+        // producing chunk's dynamic length in the frame.
+        const Expr& base = *n.expr->args[0];
+        if (base.kind != ExprKind::kVarRef ||
+            program_.FindData(base.var) == nullptr) {
           return Status::NotImplemented(
-              "let-bound write (condensing output cursor) is interpreted");
+              "gather base must be a data array (chunk-array bases stay "
+              "interpreted)");
         }
         break;
       }
-      case SkeletonKind::kGather:
-        // The interpreter bounds-checks gather indices against the base
-        // array; compiled code has no error path to report a stray index,
-        // so gathers stay interpreted until the trace ABI can carry base
-        // lengths + a failure status.
-        return Status::NotImplemented(
-            "gather traces are interpreted (indices are bounds-checked)");
+      case SkeletonKind::kScatter: {
+        const Expr& dest = *n.expr->args[0];
+        if (dest.kind != ExprKind::kVarRef ||
+            program_.FindData(dest.var) == nullptr) {
+          return Status::NotImplemented(
+              "scatter destination must be a data array");
+        }
+        ScalarOp combine = ScalarOp::kCast;  // sentinel: overwrite
+        if (n.expr->args.size() == 4) {
+          // Mirror the interpreter's restriction: the conflict function
+          // must normalize to one add/min/max of (old, new).
+          AVM_ASSIGN_OR_RETURN(
+              PrimProgram prog,
+              ir::Normalize(*n.expr->args[3],
+                            {program_.FindData(dest.var)->type,
+                             n.expr->args[2]->type}));
+          const bool ok =
+              prog.instrs.size() == 1 && prog.result_is_input < 0 &&
+              (prog.instrs[0].op == ScalarOp::kAdd ||
+               prog.instrs[0].op == ScalarOp::kMin ||
+               prog.instrs[0].op == ScalarOp::kMax) &&
+              prog.instrs[0].num_args == 2 &&
+              prog.instrs[0].args[0].kind == ArgKind::kInput &&
+              prog.instrs[0].args[0].index == 0 &&
+              prog.instrs[0].args[1].kind == ArgKind::kInput &&
+              prog.instrs[0].args[1].index == 1;
+          if (!ok) {
+            return Status::NotImplemented(
+                "scatter conflict function must be a single add/min/max of "
+                "(old, new)");
+          }
+          combine = prog.instrs[0].op;
+        }
+        scatter_combine_[id] = combine;
+        // The interpreter iterates a scatter over the INDEX array's
+        // selection; the compiled loop iterates the node's overall
+        // restriction (guard survivors / selected rows / all rows). The
+        // two only agree when the index carries the node's restriction —
+        // e.g. a positional index with selection-carrying values would
+        // scatter all rows interpreted but only selected rows compiled.
+        auto restriction = [&](const Expr& a) -> int {
+          int prod = -1;
+          if (a.kind == ExprKind::kVarRef) {
+            if (active_sel_inputs_.contains(a.var)) return 1;
+            prod = graph_.ProducerOf(a.var);
+          } else if (a.kind == ExprKind::kSkeleton) {
+            auto it = expr_to_node_.find(&a);
+            if (it != expr_to_node_.end()) prod = static_cast<int>(it->second);
+          }
+          if (prod < 0 || !InTrace(static_cast<uint32_t>(prod))) return 0;
+          const uint32_t p = static_cast<uint32_t>(prod);
+          if (DependsOnFilter(p)) return 2;
+          return SelDependent(p) ? 1 : 0;
+        };
+        const int node_level = DependsOnFilter(id) ? 2
+                               : SelDependent(id) ? 1
+                                                  : 0;
+        if (restriction(*n.expr->args[1]) != node_level) {
+          return Status::NotImplemented(
+              "scatter index selection must match the scatter's iteration "
+              "domain (the interpreter iterates the index's selection)");
+        }
+        break;
+      }
       case SkeletonKind::kFilter:
         ++filters;
         filter_node_ = static_cast<int>(id);
@@ -281,13 +530,25 @@ Status TraceEmitter::Validate() {
                 "filter output escapes the trace");
           }
         }
+        // In a selection-specialized trace a positional-input filter would
+        // mint a selection unrelated to the incoming one; interpretation
+        // rejects combining those, so the trace declines the shape.
+        if (sel_mode_ && !SelDependent(id)) {
+          return Status::NotImplemented(
+              "filter over a positional input cannot join a "
+              "selection-carrying trace");
+        }
         break;
       case SkeletonKind::kCondense: {
-        // Input must be the in-trace filter.
-        if (n.inputs.size() != 1 || !InTrace(n.inputs[0]) ||
-            graph_.nodes()[n.inputs[0]].kind != SkeletonKind::kFilter) {
+        // Input must be the in-trace filter, or (in a selection-carrying
+        // trace) any selection-dependent value — both append under `cnt`.
+        const bool from_filter =
+            n.inputs.size() == 1 && InTrace(n.inputs[0]) &&
+            graph_.nodes()[n.inputs[0]].kind == SkeletonKind::kFilter;
+        if (!from_filter && !(sel_mode_ && SelDependent(id))) {
           return Status::InvalidArgument(
-              "condense without its filter in the same trace");
+              "condense without its filter (or a selection-carrying input) "
+              "in the same trace");
         }
         break;
       }
@@ -300,19 +561,35 @@ Status TraceEmitter::Validate() {
   if (filters > 1) {
     return Status::NotImplemented("more than one filter per trace");
   }
+  if (sel_mode_ && filter_node_ >= 0) {
+    // With an in-trace filter, condensed stores share the guard and the
+    // `cnt` counter — a write/condense of a selection-carrying value that
+    // does NOT flow through the filter must not (interpretation writes
+    // every selected row of it, not just the guard survivors).
+    for (uint32_t id : trace_.node_ids) {
+      const DepNode& n = graph_.nodes()[id];
+      if ((n.kind == SkeletonKind::kWrite ||
+           n.kind == SkeletonKind::kCondense) &&
+          SelDependent(id) && !DependsOnFilter(id)) {
+        return Status::NotImplemented(
+            "write/condense of a selection-carrying value that bypasses "
+            "the in-trace filter");
+      }
+    }
+  }
   // Escaping post-filter values must be condense nodes.
   for (uint32_t id : trace_.node_ids) {
     const DepNode& n = graph_.nodes()[id];
+    if (n.kind == SkeletonKind::kWrite || n.kind == SkeletonKind::kScatter) {
+      continue;
+    }
     bool escapes = false;
     for (uint32_t c : n.consumers) {
       if (!InTrace(c)) escapes = true;
     }
     std::string name = graph_.OutputNameOf(id);
     for (const auto& o : trace_.outputs) {
-      if (o == name && n.kind != SkeletonKind::kWrite &&
-          n.kind != SkeletonKind::kScatter) {
-        escapes = true;
-      }
+      if (o == name) escapes = true;
     }
     if (escapes && DependsOnFilter(id) && n.kind != SkeletonKind::kCondense) {
       return Status::InvalidArgument(
@@ -365,35 +642,66 @@ Status TraceEmitter::AssignInputsOutputs() {
       }
     } else if (n.kind == SkeletonKind::kGather) {
       const Expr& base = *n.expr->args[0];
-      if (base.kind == ExprKind::kVarRef &&
-          program_.FindData(base.var) != nullptr) {
-        add_input({TraceInputSpec::Kind::kDataWhole, base.var,
-                   program_.FindData(base.var)->type, PosRef{}});
-      }
+      add_input({TraceInputSpec::Kind::kDataWhole, base.var,
+                 program_.FindData(base.var)->type, PosRef{}});
     }
   }
 
-  // Outputs: data writes + escaping values + fold scalars.
+  // The scalar result of a let-bound write/scatter (the program consumes
+  // the written count — condensing-output cursors).
+  auto result_var_of = [&](uint32_t id) -> std::string {
+    std::string name = graph_.OutputNameOf(id);
+    return let_types_.contains(name) ? name : std::string();
+  };
+
+  // Outputs: data writes/scatters + escaping values + fold scalars.
   for (uint32_t id : trace_.node_ids) {
     const DepNode& n = graph_.nodes()[id];
     if (n.kind == SkeletonKind::kWrite) {
       AVM_ASSIGN_OR_RETURN(PosRef pos, PosRef::From(*n.expr->args[1]));
+      // A write condenses when its value carries a selection: from the
+      // in-trace filter, from an explicit condense, or from a
+      // selection-carrying input (the interpreter's write condenses
+      // selection-carrying values on the fly).
       bool condensed = false;
       if (!n.inputs.empty() && DependsOnFilter(n.inputs[0])) condensed = true;
       if (!n.inputs.empty() &&
           graph_.nodes()[n.inputs[0]].kind == SkeletonKind::kCondense) {
         condensed = true;
       }
-      out_.outputs.push_back({TraceOutputSpec::Kind::kDataWrite,
-                              n.expr->args[0]->var,
-                              program_.FindData(n.expr->args[0]->var)->type,
-                              condensed, pos});
+      if (SelDependent(id)) condensed = true;
+      TraceOutputSpec spec;
+      spec.kind = TraceOutputSpec::Kind::kDataWrite;
+      spec.name = n.expr->args[0]->var;
+      spec.type = program_.FindData(n.expr->args[0]->var)->type;
+      spec.condensed = condensed;
+      spec.pos = pos;
+      spec.sel_dependent = SelDependent(id);
+      spec.result_var = result_var_of(id);
+      node_out_slot_[id] = out_.outputs.size();
+      out_.outputs.push_back(std::move(spec));
+      continue;
+    }
+    if (n.kind == SkeletonKind::kScatter) {
+      TraceOutputSpec spec;
+      spec.kind = TraceOutputSpec::Kind::kDataScatter;
+      spec.name = n.expr->args[0]->var;
+      spec.type = program_.FindData(n.expr->args[0]->var)->type;
+      spec.sel_dependent = SelDependent(id);
+      spec.result_var = result_var_of(id);
+      node_out_slot_[id] = out_.outputs.size();
+      out_.outputs.push_back(std::move(spec));
       continue;
     }
     if (n.kind == SkeletonKind::kFold) {
       std::string name = graph_.OutputNameOf(id);
-      out_.outputs.push_back({TraceOutputSpec::Kind::kFoldScalar, name,
-                              n.expr->type, false, PosRef{}});
+      TraceOutputSpec spec;
+      spec.kind = TraceOutputSpec::Kind::kFoldScalar;
+      spec.name = name;
+      spec.type = n.expr->type;
+      spec.sel_dependent = SelDependent(id);
+      node_out_slot_[id] = out_.outputs.size();
+      out_.outputs.push_back(std::move(spec));
       continue;
     }
     // Escaping array value?
@@ -412,9 +720,14 @@ Status TraceEmitter::AssignInputsOutputs() {
     bool let_bound = let_types_.contains(name);
     if (is_traced_output || consumed_outside || let_bound) {
       bool condensed = n.kind == SkeletonKind::kCondense;
-      out_.outputs.push_back({TraceOutputSpec::Kind::kArrayVar, name,
-                              n.expr->type, condensed, PosRef{}});
-      if (condensed) has_condensed_output_ = true;
+      TraceOutputSpec spec;
+      spec.kind = TraceOutputSpec::Kind::kArrayVar;
+      spec.name = name;
+      spec.type = n.expr->type;
+      spec.condensed = condensed;
+      spec.sel_dependent = SelDependent(id);
+      node_out_slot_[id] = out_.outputs.size();
+      out_.outputs.push_back(std::move(spec));
     }
   }
   return Status::OK();
@@ -528,7 +841,7 @@ Result<std::string> TraceEmitter::ResolveValueArg(const Expr& arg) {
   if (arg.kind == ExprKind::kSkeleton) {
     auto it = expr_to_node_.find(&arg);
     if (it != expr_to_node_.end() && InTrace(it->second)) {
-      return node_value_.at(it->second);
+      return ValueOf(it->second);
     }
     return Status::InvalidArgument("nested skeleton outside trace");
   }
@@ -539,8 +852,7 @@ Result<std::string> TraceEmitter::ResolveValueArg(const Expr& arg) {
     // Array variable: produced in-trace or a chunk input.
     int prod = graph_.ProducerOf(arg.var);
     if (prod >= 0 && InTrace(static_cast<uint32_t>(prod))) {
-      auto it = node_value_.find(static_cast<uint32_t>(prod));
-      if (it != node_value_.end()) return it->second;
+      return ValueOf(static_cast<uint32_t>(prod));
     }
     std::string key = StrFormat("%d:%s",
                                 static_cast<int>(TraceInputSpec::Kind::kChunkVar),
@@ -553,6 +865,14 @@ Result<std::string> TraceEmitter::ResolveValueArg(const Expr& arg) {
                      slot->second);
   }
   return Status::InvalidArgument("unsupported argument expression");
+}
+
+Result<std::string> TraceEmitter::ValueOf(uint32_t node_id) {
+  auto it = Values().find(node_id);
+  if (it != Values().end()) return it->second;
+  AVM_ASSIGN_OR_RETURN(std::string v, EmitNodeValue(graph_.nodes()[node_id]));
+  Values()[node_id] = v;
+  return v;
 }
 
 Result<std::string> TraceEmitter::EmitNodeValue(const DepNode& node) {
@@ -596,6 +916,9 @@ Result<std::string> TraceEmitter::EmitNodeValue(const DepNode& node) {
       return EmitPrim(prog, inputs);
     }
     case SkeletonKind::kFilter: {
+      if (in_pos_loop_) {
+        return Status::Internal("filter emitted in the positional pass");
+      }
       AVM_ASSIGN_OR_RETURN(std::string in_v, ResolveValueArg(*e.args[1]));
       AVM_ASSIGN_OR_RETURN(PrimProgram prog,
                            ir::Normalize(*e.args[0], {e.args[1]->type}));
@@ -607,28 +930,37 @@ Result<std::string> TraceEmitter::EmitNodeValue(const DepNode& node) {
       return in_v;
     }
     case SkeletonKind::kCondense:
-      return node_value_.at(node.inputs[0]);
+      // Resolve through the argument expression, not the graph edge: the
+      // input may be a boundary chunk var (selection-carrying condense
+      // whose producer stayed outside the trace) — walking the edge would
+      // emit out-of-trace nodes.
+      return ResolveValueArg(*e.args[0]);
     case SkeletonKind::kGather: {
       const Expr& base = *e.args[0];
       AVM_ASSIGN_OR_RETURN(std::string idx, ResolveValueArg(*e.args[1]));
-      std::string base_expr;
-      if (base.kind == ExprKind::kVarRef &&
-          program_.FindData(base.var) != nullptr) {
-        std::string key = StrFormat(
-            "%d:%s", static_cast<int>(TraceInputSpec::Kind::kDataWhole),
-            base.var.c_str());
-        base_expr = StrFormat("((const %s*)in[%zu])", CType(e.type),
-                              input_slot_.at(key));
-      } else {
-        return Status::NotImplemented("gather base must be a data array");
-      }
-      std::string tmp = NewTemp();
-      Body() << StrFormat("      const %s %s = %s[(int64_t)(%s)];\n",
-                          CType(e.type), tmp.c_str(), base_expr.c_str(),
-                          idx.c_str());
-      return tmp;
+      std::string key = StrFormat(
+          "%d:%s", static_cast<int>(TraceInputSpec::Kind::kDataWhole),
+          base.var.c_str());
+      size_t slot = input_slot_.at(key);
+      // Bounds-checked gather: a stray index reports a TraceFault with the
+      // same index/bound the interpreter's check would have raised.
+      std::string ti = NewTemp();
+      std::string tv = NewTemp();
+      Body() << StrFormat("      const long long %s = (long long)(%s);\n",
+                          ti.c_str(), idx.c_str());
+      Body() << StrFormat(
+          "      if (%s < 0 || (unsigned long long)%s >= in_lens[%zu]) {\n"
+          "        args->fault->index = %s; args->fault->bound = "
+          "in_lens[%zu];\n"
+          "        return 1;\n      }\n",
+          ti.c_str(), ti.c_str(), slot, ti.c_str(), slot);
+      Body() << StrFormat("      const %s %s = ((const %s*)in[%zu])[%s];\n",
+                          CType(e.type), tv.c_str(), CType(e.type), slot,
+                          ti.c_str());
+      return tv;
     }
     case SkeletonKind::kWrite:
+    case SkeletonKind::kScatter:
     case SkeletonKind::kFold:
       return Status::Internal("handled by EmitNodes");
     default:
@@ -637,26 +969,17 @@ Result<std::string> TraceEmitter::EmitNodeValue(const DepNode& node) {
 }
 
 Status TraceEmitter::EmitNodes() {
-  // Find output slot by (kind, name).
-  auto out_slot = [&](TraceOutputSpec::Kind k,
-                      const std::string& name) -> int {
-    for (size_t i = 0; i < out_.outputs.size(); ++i) {
-      if (out_.outputs[i].kind == k && out_.outputs[i].name == name) {
-        return static_cast<int>(i);
-      }
+  // `cnt` counts guard-surviving rows: condensed outputs append at it, and
+  // filter-dependent scatters report it as their processed count.
+  bool needs_cnt = false;
+  for (const auto& o : out_.outputs) needs_cnt |= o.condensed;
+  for (uint32_t id : trace_.node_ids) {
+    if (graph_.nodes()[id].kind == SkeletonKind::kScatter &&
+        DependsOnFilter(id)) {
+      needs_cnt = true;
     }
-    return -1;
-  };
-
-  if (has_condensed_output_ ||
-      [&] {
-        for (const auto& o : out_.outputs) {
-          if (o.condensed) return true;
-        }
-        return false;
-      }()) {
-    decls_ << "  uint32_t cnt = 0;\n";
   }
+  if (needs_cnt) decls_ << "  uint32_t cnt = 0;\n";
 
   // Order: pre-filter nodes, then filter, then the rest (topologically).
   std::vector<uint32_t> order;
@@ -670,22 +993,85 @@ Status TraceEmitter::EmitNodes() {
     if (DependsOnFilter(id)) order.push_back(id);
   }
 
+  // Tuple count an output produced: appended (cnt), every selected row
+  // (sel_n), or every chunk row (n).
+  auto count_expr = [&](const TraceOutputSpec& spec,
+                        uint32_t node_id) -> const char* {
+    if (spec.condensed || DependsOnFilter(node_id)) return "cnt";
+    if (SelDependent(node_id)) return "sel_n";
+    return "n";
+  };
+
   int fold_counter = 0;
   for (uint32_t id : order) {
     const DepNode& node = graph_.nodes()[id];
-    post_filter_mode_ =
-        DependsOnFilter(id) || static_cast<int>(id) == filter_node_;
+    in_pos_loop_ = InPositionalPass(id);
+    post_filter_mode_ = !in_pos_loop_ && (DependsOnFilter(id) ||
+                                          static_cast<int>(id) == filter_node_);
 
     if (node.kind == SkeletonKind::kWrite) {
       const Expr& e = *node.expr;
       AVM_ASSIGN_OR_RETURN(std::string v, ResolveValueArg(*e.args[2]));
-      int slot = out_slot(TraceOutputSpec::Kind::kDataWrite, e.args[0]->var);
-      const TraceOutputSpec& spec = out_.outputs[static_cast<size_t>(slot)];
-      post_filter_mode_ = spec.condensed || post_filter_mode_;
-      Body() << StrFormat("      ((%s*)out[%d])[%s] = (%s)(%s);\n",
+      const size_t slot = node_out_slot_.at(id);
+      const TraceOutputSpec& spec = out_.outputs[slot];
+      post_filter_mode_ = !in_pos_loop_ && (spec.condensed || post_filter_mode_);
+      Body() << StrFormat("      ((%s*)out[%zu])[%s] = (%s)(%s);\n",
                           CType(spec.type), slot,
                           spec.condensed ? "cnt" : "i", CType(spec.type),
                           v.c_str());
+      counts_ << StrFormat("  out_counts[%zu] = %s;\n", slot,
+                           spec.condensed ? "cnt" : "n");
+      counts_ << StrFormat("  scalars[%zu] = (int64_t)(%s);\n", slot,
+                           spec.condensed ? "cnt" : "n");
+      continue;
+    }
+    if (node.kind == SkeletonKind::kScatter) {
+      const Expr& e = *node.expr;
+      AVM_ASSIGN_OR_RETURN(std::string idx, ResolveValueArg(*e.args[1]));
+      AVM_ASSIGN_OR_RETURN(std::string val, ResolveValueArg(*e.args[2]));
+      const size_t slot = node_out_slot_.at(id);
+      const TraceOutputSpec& spec = out_.outputs[slot];
+      const char* dt = CType(spec.type);
+      // Conflict op: overwrite, or the combine Validate() already vetted.
+      const ScalarOp combine = scatter_combine_.at(id);
+      std::string ti = NewTemp();
+      std::string td = NewTemp();
+      Body() << StrFormat("      const long long %s = (long long)(%s);\n",
+                          ti.c_str(), idx.c_str());
+      Body() << StrFormat(
+          "      if (%s < 0 || (unsigned long long)%s >= out_lens[%zu]) {\n"
+          "        args->fault->index = %s; args->fault->bound = "
+          "out_lens[%zu];\n"
+          "        return 2;\n      }\n",
+          ti.c_str(), ti.c_str(), slot, ti.c_str(), slot);
+      Body() << StrFormat("      %s* %s = (%s*)out[%zu];\n", dt, td.c_str(),
+                          dt, slot);
+      std::string casted = StrFormat("((%s)(%s))", dt, val.c_str());
+      std::string combined;
+      switch (combine) {
+        case ScalarOp::kAdd:
+          combined = StrFormat("avm_addw<%s>(%s[%s], %s)", dt, td.c_str(),
+                               ti.c_str(), casted.c_str());
+          break;
+        case ScalarOp::kMin:
+          combined = StrFormat("(%s[%s] < %s ? %s[%s] : %s)", td.c_str(),
+                               ti.c_str(), casted.c_str(), td.c_str(),
+                               ti.c_str(), casted.c_str());
+          break;
+        case ScalarOp::kMax:
+          combined = StrFormat("(%s[%s] > %s ? %s[%s] : %s)", td.c_str(),
+                               ti.c_str(), casted.c_str(), td.c_str(),
+                               ti.c_str(), casted.c_str());
+          break;
+        default:
+          combined = casted;
+      }
+      Body() << StrFormat("      %s[%s] = %s;\n", td.c_str(), ti.c_str(),
+                          combined.c_str());
+      counts_ << StrFormat("  out_counts[%zu] = %s;\n", slot,
+                           count_expr(spec, id));
+      counts_ << StrFormat("  scalars[%zu] = (int64_t)(%s);\n", slot,
+                           count_expr(spec, id));
       continue;
     }
     if (node.kind == SkeletonKind::kFold) {
@@ -712,40 +1098,41 @@ Status TraceEmitter::EmitNodes() {
       AVM_ASSIGN_OR_RETURN(std::string r, EmitPrim(prog, {acc, v}));
       Body() << StrFormat("      %s = (%s)(%s);\n", acc.c_str(),
                           CType(e.type), r.c_str());
-      int slot = out_slot(TraceOutputSpec::Kind::kFoldScalar,
-                          graph_.OutputNameOf(id));
-      tail_ << StrFormat("  *(%s*)out[%d] = %s;\n", CType(e.type), slot,
+      const size_t slot = node_out_slot_.at(id);
+      tail_ << StrFormat("  *(%s*)out[%zu] = %s;\n", CType(e.type), slot,
                          acc.c_str());
-      tail_ << StrFormat("  out_counts[%d] = 1;\n", slot);
+      tail_ << StrFormat("  out_counts[%zu] = 1;\n", slot);
       continue;
     }
 
-    AVM_ASSIGN_OR_RETURN(std::string v, EmitNodeValue(node));
-    node_value_[id] = v;
+    AVM_ASSIGN_OR_RETURN(std::string v, ValueOf(id));
 
     // Escaping value store.
-    int slot = out_slot(TraceOutputSpec::Kind::kArrayVar,
-                        graph_.OutputNameOf(id));
-    if (slot >= 0) {
-      const TraceOutputSpec& spec = out_.outputs[static_cast<size_t>(slot)];
+    auto slot_it = node_out_slot_.find(id);
+    if (slot_it != node_out_slot_.end()) {
+      const size_t slot = slot_it->second;
+      const TraceOutputSpec& spec = out_.outputs[slot];
       post_filter_mode_ =
-          DependsOnFilter(id) || node.kind == SkeletonKind::kCondense;
-      Body() << StrFormat("      ((%s*)out[%d])[%s] = (%s)(%s);\n",
+          !in_pos_loop_ && (DependsOnFilter(id) ||
+                            node.kind == SkeletonKind::kCondense);
+      Body() << StrFormat("      ((%s*)out[%zu])[%s] = (%s)(%s);\n",
                           CType(spec.type), slot,
                           spec.condensed ? "cnt" : "i", CType(spec.type),
                           v.c_str());
+      counts_ << StrFormat("  out_counts[%zu] = %s;\n", slot,
+                           spec.condensed ? "cnt" : "n");
     }
   }
+  in_pos_loop_ = false;
 
   // Count bump at the very end of the selected path.
-  bool any_condensed = false;
-  for (const auto& o : out_.outputs) any_condensed |= o.condensed;
-  if (any_condensed) post_ << "      ++cnt;\n";
+  if (needs_cnt) post_ << "      ++cnt;\n";
   return Status::OK();
 }
 
 Result<GeneratedTrace> TraceEmitter::Run() {
   AVM_RETURN_NOT_OK(AnalyzeStatements());
+  ComputeSelDependence();
   AVM_RETURN_NOT_OK(Validate());
   AVM_RETURN_NOT_OK(AssignInputsOutputs());
   AVM_RETURN_NOT_OK(EmitNodes());
@@ -754,9 +1141,11 @@ Result<GeneratedTrace> TraceEmitter::Run() {
   // nodes, same specialization) produce identical translation units, so the
   // source-JIT cache deduplicates compilations across VM instances.
   uint64_t h = HashString(decls_.str());
+  h = HashCombine(h, HashString(posloop_.str()));
   h = HashCombine(h, HashString(pre_.str()));
   h = HashCombine(h, HashString(guard_.str()));
   h = HashCombine(h, HashString(post_.str()));
+  h = HashCombine(h, HashString(counts_.str()));
   h = HashCombine(h, HashString(tail_.str()));
   for (const auto& in : out_.inputs) {
     h = HashCombine(h, HashString(in.name));
@@ -765,12 +1154,17 @@ Result<GeneratedTrace> TraceEmitter::Run() {
   for (const auto& o : out_.outputs) {
     h = HashCombine(h, HashString(o.name));
     h = HashCombine(h, static_cast<uint64_t>(o.kind));
+    h = HashCombine(h, static_cast<uint64_t>(o.condensed));
+    h = HashCombine(h, static_cast<uint64_t>(o.sel_dependent));
+    h = HashCombine(h, HashString(o.result_var));
   }
+  for (const auto& s : out_.sel_inputs) h = HashCombine(h, HashString(s));
   out_.symbol = StrFormat("avm_trace_%016llx", (unsigned long long)h);
   out_.name = StrFormat("trace_%llx[", (unsigned long long)(h >> 40));
   for (uint32_t id : trace_.node_ids) {
     out_.name += graph_.nodes()[id].label + ";";
   }
+  if (sel_mode_) out_.name += "|sel";
   out_.name += "]";
 
   std::ostringstream src;
@@ -779,29 +1173,37 @@ Result<GeneratedTrace> TraceEmitter::Run() {
     src << "// trace: " << out_.name << "\n";
   }
   src << "extern \"C\" int32_t " << out_.symbol
-      << "(const void* const* in, void* const* out, const int64_t* ci,\n"
-      << "    const double* cf, uint32_t n, const uint32_t* sel,\n"
-      << "    uint32_t sel_n, uint32_t* out_counts) {\n"
-      << "  (void)in; (void)out; (void)ci; (void)cf; (void)out_counts;\n"
+      << "(const TraceCallArgs* args) {\n"
+      << "  const void* const* in = args->in; (void)in;\n"
+      << "  void* const* out = args->out; (void)out;\n"
+      << "  const int64_t* ci = args->ci; (void)ci;\n"
+      << "  const double* cf = args->cf; (void)cf;\n"
+      << "  const uint64_t* in_lens = args->in_lens; (void)in_lens;\n"
+      << "  const uint64_t* out_lens = args->out_lens; (void)out_lens;\n"
+      << "  const uint32_t n = args->n; (void)n;\n"
+      << "  const uint32_t sel_n = args->sel_n; (void)sel_n;\n"
+      << "  uint32_t* out_counts = args->out_counts; (void)out_counts;\n"
+      << "  int64_t* scalars = args->scalars; (void)scalars;\n"
       << decls_.str();
-  const std::string body = pre_.str() + guard_.str() + post_.str();
-  src << "  if (sel != nullptr) {\n"
-      << "    for (uint32_t j = 0; j < sel_n; ++j) {\n"
-      << "      const uint32_t i = sel[j]; (void)i;\n"
-      << body
-      << "    }\n"
-      << "  } else {\n"
-      << "    for (uint32_t i = 0; i < n; ++i) {\n"
-      << body
-      << "    }\n"
-      << "  }\n";
-  // Aligned output counts.
-  for (size_t k = 0; k < out_.outputs.size(); ++k) {
-    const auto& o = out_.outputs[k];
-    if (o.kind == TraceOutputSpec::Kind::kFoldScalar) continue;
-    src << StrFormat("  out_counts[%zu] = %s;\n", k,
-                     o.condensed ? "cnt" : "n");
+  if (!sel_mode_) {
+    // Positional variant: one fused loop over every chunk row.
+    src << "  for (uint32_t i = 0; i < n; ++i) {\n"
+        << pre_.str() << guard_.str() << post_.str()
+        << "  }\n";
+  } else {
+    // Selection-carrying variant: a positional pass over all rows for
+    // selection-independent work, then the selected pass `i = sel[j]`.
+    if (!posloop_.str().empty()) {
+      src << "  for (uint32_t i = 0; i < n; ++i) {\n"
+          << posloop_.str()
+          << "  }\n";
+    }
+    src << "  for (uint32_t j = 0; j < sel_n; ++j) {\n"
+        << "    const uint32_t i = args->sel[j]; (void)i;\n"
+        << pre_.str() << guard_.str() << post_.str()
+        << "  }\n";
   }
+  src << counts_.str();
   src << tail_.str();
   src << "  return 0;\n}\n";
   out_.source = src.str();

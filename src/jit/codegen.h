@@ -10,29 +10,17 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "dsl/ast.h"
 #include "ir/depgraph.h"
+#include "jit/trace_abi.h"
 #include "storage/compression.h"
 #include "util/status.h"
 
 namespace avm::jit {
-
-/// C ABI of every generated trace function.
-///
-/// in        : one pointer per input (chunk vectors, data-read windows, ...)
-/// out       : one pointer per output buffer
-/// caps_i/f  : captured scalars (integers widened to int64, floats to double)
-/// n         : physical chunk length
-/// sel/sel_n : optional incoming selection vector
-/// out_counts: produced tuple count per output
-/// Returns 0 on success.
-using TraceFn = int32_t (*)(const void* const* in, void* const* out,
-                            const int64_t* caps_i, const double* caps_f,
-                            uint32_t n, const uint32_t* sel, uint32_t sel_n,
-                            uint32_t* out_counts);
 
 /// Self-contained read/write position: a scalar variable of the environment
 /// or a constant. Deliberately NOT a pointer into the program AST — compiled
@@ -71,15 +59,26 @@ struct TraceInputSpec {
 /// How an output buffer must be interpreted after the call.
 struct TraceOutputSpec {
   enum class Kind : uint8_t {
-    kArrayVar,    ///< escaping chunk value: bind `name` to the buffer
-    kDataWrite,   ///< window of a writable data array at a position
-    kFoldScalar,  ///< 8-byte scalar accumulator: bind `name`
+    kArrayVar,     ///< escaping chunk value: bind `name` to the buffer
+    kDataWrite,    ///< window of a writable data array at a position
+    kDataScatter,  ///< whole writable data array, scattered into by index
+    kFoldScalar,   ///< 8-byte scalar accumulator: bind `name`
   };
   Kind kind = Kind::kArrayVar;
   std::string name;                      ///< produced variable / data array
   TypeId type = TypeId::kI64;
   bool condensed = false;                ///< count comes from out_counts
   PosRef pos;                            ///< kDataWrite position
+  /// True when the producing node depends (transitively) on a
+  /// selection-carrying chunk input: the harness republishes the incoming
+  /// selection onto this output (non-condensed array outputs only), exactly
+  /// as vectorized interpretation would.
+  bool sel_dependent = false;
+  /// Let-bound scalar result name (kDataWrite/kDataScatter): the written /
+  /// processed tuple count the program binds (condensing-output cursors).
+  /// The harness publishes `scalars[k]` into the environment under this
+  /// name after a successful call. Empty = the count is not consumed.
+  std::string result_var;
 };
 
 struct GeneratedTrace {
@@ -92,6 +91,13 @@ struct GeneratedTrace {
   std::vector<std::pair<std::string, TypeId>> captures_f;
   /// FOR-specialized reads: data name -> expected scheme (applicability).
   std::map<std::string, Scheme> scheme_requirements;
+  /// Chunk-variable inputs this trace was specialized to receive WITH a
+  /// selection vector (sorted). Non-empty = the selection-carrying variant:
+  /// the harness must pass the (shared) selection of these inputs as
+  /// sel/sel_n, and applicability requires exactly these inputs (and no
+  /// others) to carry one. Empty = the positional variant: applicability
+  /// requires every chunk input to be selection-free.
+  std::vector<std::string> sel_inputs;
   /// Statement ids of the loop body this trace covers.
   std::vector<uint32_t> covered_stmt_ids;
   uint32_t anchor_stmt_id = 0;
@@ -103,13 +109,21 @@ struct CodegenOptions {
   /// (currently kFor: operate on narrow deltas + reference; paper §III-C
   /// compressed execution). Missing entries decode to plain values.
   std::map<std::string, Scheme> scheme_specialization;
+  /// Specialize these chunk-variable inputs as selection-carrying (the
+  /// VM observes which trace inputs hold a selection vector and makes it
+  /// part of the situation, like compression schemes). Names that are not
+  /// chunk inputs of the trace are ignored.
+  std::set<std::string> sel_inputs;
   /// Emit a bounds comment header with the trace's dependency info.
   bool emit_debug_comments = true;
 };
 
 /// Validate that `trace` is compilable (statement-aligned, ≤ 1 filter,
-/// condense only over an in-trace filter, no merge/gen/scatter) and
-/// generate its source. The program must be type-checked.
+/// condense over an in-trace filter or a selection-carrying value, no
+/// merge/gen) and generate its source. Gathers and scatters compile with
+/// generated bounds checks reporting through TraceFault; let-bound write
+/// counts publish through the scalar-state slots. The program must be
+/// type-checked.
 Result<GeneratedTrace> GenerateTrace(const dsl::Program& program,
                                      const ir::DepGraph& graph,
                                      const ir::Trace& trace,

@@ -28,6 +28,10 @@ uint64_t Situation::Key() const {
     h = HashCombine(h, HashString(name));
     h = HashCombine(h, static_cast<uint64_t>(scheme));
   }
+  for (const auto& name : sel_inputs) {
+    h = HashCombine(h, HashString(name));
+    h = HashCombine(h, uint64_t{0x5e1});
+  }
   h = HashCombine(h, static_cast<uint64_t>(selectivity));
   return h;
 }
@@ -37,6 +41,9 @@ std::string Situation::ToString() const {
   os << "situation{fp=" << trace_fingerprint;
   for (const auto& [name, scheme] : schemes) {
     os << " " << name << "=" << SchemeName(scheme);
+  }
+  for (const auto& name : sel_inputs) {
+    os << " sel:" << name;
   }
   os << " sel=" << BucketName(selectivity) << "}";
   return os.str();

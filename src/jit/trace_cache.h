@@ -6,7 +6,8 @@
 // learned about that situation, or falls back to interpretation."
 //
 // A situation is: the trace's node set, the compression schemes its reads
-// are specialized for, and a coarse selectivity bucket.
+// are specialized for, which chunk inputs carry a selection vector, and a
+// coarse selectivity bucket.
 #pragma once
 
 #include <functional>
@@ -16,6 +17,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "jit/trace_compiler.h"
 #include "storage/compression.h"
@@ -38,6 +40,12 @@ const char* BucketName(SelectivityBucket b);
 struct Situation {
   uint64_t trace_fingerprint = 0;  ///< hash of node ids/labels
   std::map<std::string, Scheme> schemes;  ///< per read data array
+  /// Chunk-variable inputs observed to carry a selection vector (sorted).
+  /// Part of the situation like compression schemes: the positional and
+  /// the selection-carrying variants of one trace are distinct cache
+  /// entries, each applicable only when the runtime selection pattern
+  /// matches its specialization.
+  std::vector<std::string> sel_inputs;
   SelectivityBucket selectivity = SelectivityBucket::kAny;
 
   uint64_t Key() const;

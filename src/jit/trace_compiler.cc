@@ -37,18 +37,31 @@ Result<int64_t> EvalPos(Interpreter& in, const PosRef& pos) {
 // Mutable per-injection state shared by `run`/`applicable` closures.
 struct RunState {
   std::vector<const void*> in_ptrs;
+  std::vector<uint64_t> in_lens;
   std::vector<void*> out_ptrs;
+  std::vector<uint64_t> out_lens;
   std::vector<int64_t> caps_i;
   std::vector<double> caps_f;
   std::vector<uint32_t> out_counts;
+  std::vector<int64_t> out_scalars;
   // Scratch buffers for decompressed read windows / delta windows.
   std::vector<std::vector<uint8_t>> scratch;
+  // Scratch buffers data writes land in before the bounds-checked publish
+  // (so a failed call never leaves a partial destination write).
+  std::vector<std::vector<uint8_t>> write_bufs;
+  // Destination position per kDataWrite output (evaluated before the call).
+  std::vector<int64_t> write_pos;
   // FOR references discovered while preparing inputs (by data name).
   std::unordered_map<std::string, int64_t> for_refs;
   // Output arrays pending publication.
   std::vector<ArrayPtr> out_arrays;
   std::vector<std::array<uint8_t, 8>> fold_bufs;
 };
+
+bool IsSelInput(const GeneratedTrace& meta, const std::string& name) {
+  return std::find(meta.sel_inputs.begin(), meta.sel_inputs.end(), name) !=
+         meta.sel_inputs.end();
+}
 
 }  // namespace
 
@@ -78,6 +91,10 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
                               meta.covered_stmt_ids.end());
 
   inj.applicable = [meta](Interpreter& in) -> bool {
+    // Selection situation check: the trace was specialized for a specific
+    // set of selection-carrying chunk inputs, and every carrier must share
+    // ONE selection (the interpreter's CommonSelection rule).
+    const ArrayValue* sel_carrier = nullptr;
     for (const auto& spec : meta.inputs) {
       switch (spec.kind) {
         case TraceInputSpec::Kind::kChunkVar: {
@@ -85,15 +102,20 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
           // missing the trace cannot run.
           Result<Value> v = in.GetVar(spec.name);
           if (!v.ok() || !v.value().is_array()) return false;
-          // The compiled loop models ONE positional iteration: filters and
-          // their selections live INSIDE a trace (condensed outputs), never
-          // across its boundary. Multi-stage pipelines (joins, chained
-          // filters, threaded projections) can reach the anchor with a
-          // chunk value that already carries a selection — running the
-          // trace there would compute at the wrong positions and republish
-          // the selection onto values interpretation leaves positional
-          // (e.g. reads), so such iterations fall back to interpretation.
-          if (v.value().array->has_sel()) return false;
+          const ArrayValue& a = *v.value().array;
+          const bool expect_sel = IsSelInput(meta, spec.name);
+          if (a.has_sel() != expect_sel) return false;
+          if (expect_sel) {
+            if (sel_carrier == nullptr) {
+              sel_carrier = &a;
+            } else if (sel_carrier->sel.Data() != a.sel.Data()) {
+              if (sel_carrier->sel.count() != a.sel.count() ||
+                  std::memcmp(sel_carrier->sel.Data(), a.sel.Data(),
+                              sizeof(sel_t) * a.sel.count()) != 0) {
+                return false;
+              }
+            }
+          }
           break;
         }
         case TraceInputSpec::Kind::kDataRead:
@@ -128,6 +150,9 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
         if (b == nullptr || b->raw == nullptr || !b->writable) return false;
         auto pos = EvalPos(in, spec.pos);
         if (!pos.ok() || pos.value() < 0) return false;
+      } else if (spec.kind == TraceOutputSpec::Kind::kDataScatter) {
+        DataBinding* b = in.FindBinding(spec.name);
+        if (b == nullptr || b->raw == nullptr || !b->writable) return false;
       }
     }
     return true;
@@ -136,14 +161,22 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
   inj.run = [meta, fn, state, chunk_size](Interpreter& in) -> Status {
     RunState& st = *state;
     st.in_ptrs.assign(meta.inputs.size(), nullptr);
+    st.in_lens.assign(meta.inputs.size(), 0);
     st.out_ptrs.assign(meta.outputs.size(), nullptr);
+    st.out_lens.assign(meta.outputs.size(), 0);
     st.out_counts.assign(meta.outputs.size(), 0);
+    st.out_scalars.assign(meta.outputs.size(), 0);
     st.scratch.resize(meta.inputs.size());
+    st.write_bufs.resize(meta.outputs.size());
+    st.write_pos.assign(meta.outputs.size(), 0);
     st.for_refs.clear();
     st.out_arrays.assign(meta.outputs.size(), nullptr);
     st.fold_bufs.resize(meta.outputs.size());
 
-    // Pass 1: determine n (and the incoming selection).
+    // Pass 1: determine n and the incoming selection. Everything up to the
+    // compiled call must stay free of side effects: a kUnavailable return
+    // here makes the interpreter fall back to vectorized interpretation of
+    // this iteration (paper §III-C) instead of failing the query.
     uint32_t n = chunk_size;
     const sel_t* sel = nullptr;
     uint32_t sel_n = 0;
@@ -156,7 +189,7 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
             return Status::TypeError(spec.name + " is not an array");
           }
           n = std::min(n, v.array->len);
-          if (v.array->has_sel()) {
+          if (v.array->has_sel() && IsSelInput(meta, spec.name)) {
             sel = v.array->sel.Data();
             sel_n = v.array->sel.count();
             sel_owner = v.array;
@@ -191,14 +224,28 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
           break;
       }
     }
+    if (!meta.sel_inputs.empty() && sel == nullptr) {
+      return Status::Unavailable("expected selection is missing");
+    }
+    // Selection validity: every selected position must fall inside the
+    // clamped window, or the compiled loops would read/write past it. An
+    // out-of-window selection is not a miscompile — the iteration simply
+    // falls back to interpretation (which then surfaces whatever length
+    // mismatch the program has).
+    for (uint32_t j = 0; j < sel_n; ++j) {
+      if (sel[j] >= n) {
+        return Status::Unavailable("selection exceeds the chunk window");
+      }
+    }
 
-    // Pass 2: input pointers.
+    // Pass 2: input pointers + element counts.
     for (size_t k = 0; k < meta.inputs.size(); ++k) {
       const auto& spec = meta.inputs[k];
       switch (spec.kind) {
         case TraceInputSpec::Kind::kChunkVar: {
           AVM_ASSIGN_OR_RETURN(Value v, in.GetVar(spec.name));
           st.in_ptrs[k] = v.array->vec.RawData();
+          st.in_lens[k] = v.array->len;
           break;
         }
         case TraceInputSpec::Kind::kDataRead: {
@@ -215,6 +262,7 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
                 st.scratch[k].data()));
             st.in_ptrs[k] = st.scratch[k].data();
           }
+          st.in_lens[k] = n;
           break;
         }
         case TraceInputSpec::Kind::kForDeltas: {
@@ -229,11 +277,13 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
               reinterpret_cast<uint32_t*>(st.scratch[k].data())));
           st.for_refs["__for_ref_" + spec.name] = blk.first->for_ref;
           st.in_ptrs[k] = st.scratch[k].data();
+          st.in_lens[k] = n;
           break;
         }
         case TraceInputSpec::Kind::kDataWhole: {
           DataBinding* b = in.FindBinding(spec.name);
           st.in_ptrs[k] = b->raw;
+          st.in_lens[k] = b->len;  // gather bounds checks test against this
           break;
         }
       }
@@ -264,32 +314,69 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
           ArrayPtr arr = in.NewArray(spec.type, std::max(n, chunk_size));
           st.out_arrays[k] = arr;
           st.out_ptrs[k] = arr->vec.RawData();
+          st.out_lens[k] = std::max(n, chunk_size);
           break;
         }
         case TraceOutputSpec::Kind::kDataWrite: {
+          // Land in scratch; published after the call once the produced
+          // count is known and bounds-checked (the count of a condensed
+          // write only exists after the loop ran).
           DataBinding* b = in.FindBinding(spec.name);
           AVM_ASSIGN_OR_RETURN(int64_t pos, EvalPos(in, spec.pos));
-          if (static_cast<uint64_t>(pos) + n > b->len) {
-            return Status::OutOfRange(
-                StrFormat("compiled write past end of %s", spec.name.c_str()));
-          }
-          st.out_ptrs[k] = static_cast<uint8_t*>(b->raw) +
-                           static_cast<uint64_t>(pos) * TypeWidth(b->type);
+          st.write_pos[k] = pos;
+          st.write_bufs[k].resize(static_cast<size_t>(n) *
+                                  TypeWidth(b->type));
+          st.out_ptrs[k] = st.write_bufs[k].data();
+          st.out_lens[k] = b->len;
+          break;
+        }
+        case TraceOutputSpec::Kind::kDataScatter: {
+          DataBinding* b = in.FindBinding(spec.name);
+          st.out_ptrs[k] = b->raw;
+          st.out_lens[k] = b->len;  // scatter bounds checks test this
           break;
         }
         case TraceOutputSpec::Kind::kFoldScalar:
           std::memset(st.fold_bufs[k].data(), 0, 8);
           st.out_ptrs[k] = st.fold_bufs[k].data();
+          st.out_lens[k] = 1;
           break;
       }
     }
 
-    const int32_t rc =
-        fn(st.in_ptrs.data(), st.out_ptrs.data(), st.caps_i.data(),
-           st.caps_f.data(), n, sel, sel_n, st.out_counts.data());
-    if (rc != 0) {
-      return Status::RuntimeError(
-          StrFormat("compiled trace returned %d", rc));
+    TraceFault fault;
+    TraceCallArgs args;
+    args.in = st.in_ptrs.data();
+    args.in_lens = st.in_lens.data();
+    args.out = st.out_ptrs.data();
+    args.out_lens = st.out_lens.data();
+    args.ci = st.caps_i.data();
+    args.cf = st.caps_f.data();
+    args.n = n;
+    args.sel = sel;
+    args.sel_n = sel_n;
+    args.out_counts = st.out_counts.data();
+    args.scalars = st.out_scalars.data();
+    args.fault = &fault;
+    const int32_t rc = fn(&args);
+    switch (rc) {
+      case kTraceOk:
+        break;
+      case kTraceGatherOutOfBounds:
+        // Identical message to Interpreter::EvalGather's bounds check.
+        return Status::OutOfRange(
+            StrFormat("gather index %lld out of [0, %llu)",
+                      (long long)fault.index,
+                      (unsigned long long)fault.bound));
+      case kTraceScatterOutOfBounds:
+        // Identical message to Interpreter::EvalScatter's bounds check.
+        return Status::OutOfRange(
+            StrFormat("scatter index %lld out of [0, %llu)",
+                      (long long)fault.index,
+                      (unsigned long long)fault.bound));
+      default:
+        return Status::RuntimeError(
+            StrFormat("compiled trace returned %d", rc));
     }
 
     // Publish results.
@@ -302,7 +389,10 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
             arr->len = st.out_counts[k];
           } else {
             arr->len = n;
-            if (sel != nullptr && sel_owner != nullptr) {
+            if (spec.sel_dependent && sel != nullptr) {
+              // Selection-dependent values republish the incoming
+              // selection; positional values stay selection-free, exactly
+              // as interpretation leaves them.
               arr->sel.Reset(std::max(sel_n, uint32_t{1}));
               std::memcpy(arr->sel.Data(), sel, sizeof(sel_t) * sel_n);
               arr->sel.set_count(sel_n);
@@ -312,12 +402,36 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
           in.SetVar(spec.name, Value::A(arr));
           break;
         }
+        case TraceOutputSpec::Kind::kDataWrite: {
+          DataBinding* b = in.FindBinding(spec.name);
+          const uint64_t pos = static_cast<uint64_t>(st.write_pos[k]);
+          const uint64_t count = st.out_counts[k];
+          if (pos + count > b->len) {
+            // Identical message to Interpreter::EvalWrite's bounds check.
+            return Status::OutOfRange(StrFormat(
+                "write [%llu, %llu) past end of %s (%llu)",
+                (unsigned long long)pos, (unsigned long long)(pos + count),
+                spec.name.c_str(), (unsigned long long)b->len));
+          }
+          const size_t w = TypeWidth(b->type);
+          std::memcpy(static_cast<uint8_t*>(b->raw) + pos * w,
+                      st.write_bufs[k].data(), static_cast<size_t>(count) * w);
+          if (!spec.result_var.empty()) {
+            in.SetVar(spec.result_var,
+                      Value::S(ScalarValue::I(st.out_scalars[k])));
+          }
+          break;
+        }
+        case TraceOutputSpec::Kind::kDataScatter:
+          if (!spec.result_var.empty()) {
+            in.SetVar(spec.result_var,
+                      Value::S(ScalarValue::I(st.out_scalars[k])));
+          }
+          break;
         case TraceOutputSpec::Kind::kFoldScalar:
           in.SetVar(spec.name,
                     Value::S(ScalarValue::Load(spec.type,
                                                st.fold_bufs[k].data())));
-          break;
-        case TraceOutputSpec::Kind::kDataWrite:
           break;
       }
     }

@@ -22,14 +22,22 @@ Result<CompiledTrace> CompileTrace(const dsl::Program& program,
                                    const CodegenOptions& options = {});
 
 /// Build the interpreter injection for a compiled trace. The injection:
-///  - gathers input pointers (chunk variables, data-read windows,
+///  - gathers input pointers + lengths (chunk variables, data-read windows,
 ///    FOR-compressed delta windows, whole-array gather bases),
 ///  - resolves captured scalars from the environment,
-///  - allocates output buffers and calls the compiled function,
-///  - publishes escaping values / fold scalars back into the environment.
-/// Its `applicable` check verifies positions are in range and compression
-/// scheme requirements hold; when it fails the interpreter transparently
-/// falls back to vectorized interpretation (paper §III-C).
+///  - passes the shared selection of the trace's selection-carrying inputs
+///    as TraceCallArgs::sel (selection-specialized variants only),
+///  - allocates output buffers (data writes land in scratch and publish
+///    after a bounds check) and calls the compiled function,
+///  - translates a returned TraceFault into the exact OutOfRange status
+///    the interpreter's own gather/scatter/write bounds checks raise,
+///  - publishes escaping values, fold scalars, and the scalar state of
+///    let-bound writes/scatters (cursor advances) into the environment.
+/// Its `applicable` check verifies positions are in range, compression
+/// scheme requirements hold, and the runtime selection pattern matches the
+/// variant's specialization; when it fails the interpreter transparently
+/// falls back to vectorized interpretation (paper §III-C). See
+/// docs/TRACE_ABI.md for the full contract.
 interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
                                     uint32_t chunk_size);
 

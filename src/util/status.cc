@@ -31,6 +31,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Resource exhausted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal error";
   }

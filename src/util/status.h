@@ -24,6 +24,10 @@ enum class StatusCode : uint8_t {
   kRuntimeError,
   kResourceExhausted,
   kCancelled,
+  /// A facility is (transiently) not usable for this call — e.g. a compiled
+  /// trace whose preconditions do not hold this iteration; callers fall
+  /// back to another path instead of failing.
+  kUnavailable,
   kInternal,
 };
 
@@ -67,6 +71,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -83,6 +90,7 @@ class Status {
   bool IsCompilationError() const { return code() == StatusCode::kCompilationError; }
   bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
 
   /// "OK" or "<code name>: <message>".

@@ -70,18 +70,26 @@ std::map<std::string, Scheme> AdaptiveVm::ObserveSchemes(
   return schemes;
 }
 
+std::set<std::string> AdaptiveVm::ObserveSelections(
+    Interpreter& in, const ir::Trace& trace) const {
+  std::set<std::string> sel_inputs;
+  for (const std::string& name : trace.ChunkVarInputs(*program_)) {
+    Result<interp::Value> v = in.GetVar(name);
+    if (v.ok() && v.value().is_array() && v.value().array->has_sel()) {
+      sel_inputs.insert(name);
+    }
+  }
+  return sel_inputs;
+}
+
 namespace {
 
 /// Quantize a node's profiled cost share into a coarse power-of-two bucket
 /// (1, 2, 4, ..., 1024 ≙ the whole loop). The greedy partitioner only needs
-/// the cost *ordering*, and raw cycle counts wobble a few percent run to
-/// run — enough to reseed the partition, change the extracted trace sets,
-/// and miss the cross-run TraceCache on every execution of the same query.
-/// Log-bucketed shares are noise-immune (a flip needs a ~41% swing), so the
-/// partition — and with it every trace fingerprint — is stable run-to-run.
-double BucketCostShare(uint64_t cycles, uint64_t total_cycles) {
-  const double share =
-      static_cast<double>(cycles) / static_cast<double>(total_cycles);
+/// the cost *ordering*; bucketing keeps the magnitudes tame and makes the
+/// min-cost-share gate insensitive to tiny share differences.
+double BucketCostShare(double units, double total_units) {
+  const double share = units / total_units;
   const double q = std::clamp(share * 1024.0, 1.0, 1024.0);
   return std::exp2(std::round(std::log2(q)));
 }
@@ -93,20 +101,33 @@ Status AdaptiveVm::OptimizePass(Interpreter& in, uint64_t iteration) {
   if (!graph_built_) {
     AVM_ASSIGN_OR_RETURN(graph_, ir::DepGraph::Build(*program_));
     graph_built_ = true;
+    static_cost_.reserve(graph_.size());
+    for (const auto& node : graph_.nodes()) {
+      static_cost_.push_back(node.cost);  // per-tuple cost from BaseCost
+    }
   }
-  // Refresh node costs from the profile (hot-path identification), with
-  // cycle counts normalized + bucketed so the partition is deterministic
-  // across runs of the same program shape.
-  uint64_t total_cycles = 0;
-  for (auto& node : graph_.nodes()) {
+  // Refresh node costs from the profile (hot-path identification). The
+  // unit is DETERMINISTIC work: the node's static per-tuple cost weighted
+  // by its profiled tuple count. Tuple counts depend only on the data and
+  // the iteration the pass runs at — unlike cycle counts, which wobble
+  // with machine load by more than the log2 bucket width and would reseed
+  // the partition (and miss the cross-run TraceCache) on a loaded host.
+  // Selectivity still steers the partition: post-filter operators see
+  // fewer tuples and weigh less.
+  double total_units = 0;
+  std::vector<double> units(graph_.size(), 0);
+  for (const auto& node : graph_.nodes()) {
     const interp::OpStats* s = in.profiler().Find(node.expr->id);
-    if (s != nullptr && s->cycles > 0) total_cycles += s->cycles;
+    if (s != nullptr && s->calls > 0) {
+      units[node.id] = static_cost_[node.id] *
+                       static_cast<double>(std::max<uint64_t>(s->tuples, 1));
+    }
+    total_units += units[node.id];
   }
   double total_cost = 0;
   for (auto& node : graph_.nodes()) {
-    const interp::OpStats* s = in.profiler().Find(node.expr->id);
-    if (s != nullptr && s->cycles > 0 && total_cycles > 0) {
-      node.cost = BucketCostShare(s->cycles, total_cycles);
+    if (units[node.id] > 0 && total_units > 0) {
+      node.cost = BucketCostShare(units[node.id], total_units);
     }
     total_cost += node.cost;
   }
@@ -152,6 +173,12 @@ Status AdaptiveVm::InstallTrace(Interpreter& in, const ir::Trace& trace,
   jit::Situation situation;
   situation.trace_fingerprint = jit::TraceFingerprint(graph_, trace);
   situation.schemes = ObserveSchemes(in, trace);
+  // The selection pattern of the trace's chunk inputs is part of the
+  // situation, like compression schemes: post-filter iterations compile a
+  // selection-carrying variant, pre-filter shapes a positional one, and
+  // both can coexist for the same fingerprint.
+  std::set<std::string> sel_inputs = ObserveSelections(in, trace);
+  situation.sel_inputs.assign(sel_inputs.begin(), sel_inputs.end());
 
   const uint64_t key = situation.Key();
   if (installed_.contains(key)) {
@@ -169,6 +196,7 @@ Status AdaptiveVm::InstallTrace(Interpreter& in, const ir::Trace& trace,
           [&]() -> Result<jit::CompiledTrace> {
             jit::CodegenOptions cg;
             cg.scheme_specialization = situation.schemes;
+            cg.sel_inputs = sel_inputs;
             Stopwatch sw;
             Result<jit::CompiledTrace> fresh = jit::CompileTrace(
                 *program_, graph_, trace, jit::SourceJit::Global(), cg);

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "interp/interpreter.h"
 #include "ir/depgraph.h"
@@ -20,6 +22,9 @@
 
 namespace avm::vm {
 
+/// Tuning knobs of one AdaptiveVm: the embedded interpreter's options,
+/// the Fig. 1 state-machine cadence (warmup, recheck interval), and the
+/// partitioning/compilation policy.
 struct VmOptions {
   interp::InterpreterOptions interp;
   /// Loop iterations interpreted (with profiling) before the first Optimize.
@@ -38,6 +43,7 @@ struct VmOptions {
   double min_cost_share = 0.05;
 };
 
+/// Counters and diagnostics of one adaptive-VM run.
 struct VmReport {
   uint64_t iterations = 0;
   uint64_t traces_compiled = 0;
@@ -45,13 +51,22 @@ struct VmReport {
   uint64_t injection_runs = 0;
   uint64_t injection_fallbacks = 0;
   double compile_seconds = 0;
-  /// First reason a candidate trace was declined (not compiled) this run,
-  /// e.g. unsupported skeletons; empty when every considered trace compiled.
+  /// First reason a candidate trace was declined (not compiled) this run;
+  /// empty when every considered trace compiled. Since the trace ABI
+  /// carries selections, scalar state, and bounds faults, declines are
+  /// limited to the genuinely-unsupported shapes enumerated in
+  /// docs/TRACE_ABI.md (merge/gen skeletons, chunk-array gather bases,
+  /// multi-filter traces, non-add/min/max scatter conflict functions, ...).
   std::string jit_declined;
   std::string state_timeline;
   std::string profile;
 };
 
+/// The adaptive virtual machine (file comment above): a vectorized
+/// interpreter plus the Optimize/GenerateCode/InjectFunctions loop that
+/// JIT-compiles hot traces specialized for the current situation
+/// (compression schemes + selection-carrying inputs, docs/TRACE_ABI.md)
+/// and falls back to interpretation when a situation stops matching.
 class AdaptiveVm {
  public:
   /// `program` must be type-checked and outlive the VM. When `shared_cache`
@@ -79,12 +94,22 @@ class AdaptiveVm {
   /// Current compression situation of the data arrays a trace reads.
   std::map<std::string, Scheme> ObserveSchemes(interp::Interpreter& in,
                                                const ir::Trace& trace) const;
+  /// Chunk-variable trace inputs currently carrying a selection vector —
+  /// the selection part of the situation. Each morsel worker observes its
+  /// own environment; since workers of one query run the same program
+  /// shape, they observe the same pattern and share the compiled variant
+  /// through the (shared) TraceCache.
+  std::set<std::string> ObserveSelections(interp::Interpreter& in,
+                                          const ir::Trace& trace) const;
 
   const dsl::Program* program_;
   VmOptions options_;
   std::unique_ptr<interp::Interpreter> interp_;
   ir::DepGraph graph_;
   bool graph_built_ = false;
+  /// Static per-tuple node costs captured at graph build, the weight the
+  /// deterministic (tuple-count-based) profile refresh applies.
+  std::vector<double> static_cost_;
   StateMachine sm_;
   jit::TraceCache own_cache_;
   jit::TraceCache* cache_ = &own_cache_;  ///< points at own_cache_ or shared

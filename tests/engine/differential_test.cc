@@ -333,6 +333,78 @@ void CompareQueries(Query& base, Query& other, const PlanInfo& info,
   }
 }
 
+/// Runs one seeded plan under all three configs and compares. Increments
+/// *built / *skipped accordingly; used by the random sweep and by the
+/// pinned regression seeds.
+void RunSeed(uint64_t seed, Tables& t, Session& parallel_session, int* built,
+             int* skipped) {
+  const std::string repro =
+      StrFormat("[plan seed %llu: rerun with AVM_DIFF_SEED=%llu] ",
+                (unsigned long long)seed, (unsigned long long)seed);
+
+  PlanInfo info;
+  Result<Query> base_q = GeneratePlan(seed, t, &info);
+  const bool verbose = std::getenv("AVM_DIFF_VERBOSE") != nullptr;
+  if (verbose) SetLogLevel(LogLevel::kDebug);
+  if (verbose) {
+    std::fprintf(stderr, "plan %llu: %s -> %s\n", (unsigned long long)seed,
+                 info.desc.c_str(),
+                 base_q.ok() ? "built" : base_q.status().ToString().c_str());
+  }
+  if (!base_q.ok()) {
+    // A generated plan the builder rejects (e.g. residual selection
+    // conflicts) must be rejected IDENTICALLY on every config.
+    PlanInfo i2, i3;
+    Result<Query> q2 = GeneratePlan(seed, t, &i2);
+    Result<Query> q3 = GeneratePlan(seed, t, &i3);
+    ASSERT_FALSE(q2.ok()) << repro << info.desc;
+    ASSERT_FALSE(q3.ok()) << repro << info.desc;
+    ASSERT_EQ(base_q.status().ToString(), q2.status().ToString())
+        << repro << info.desc;
+    ++*skipped;
+    return;
+  }
+  ++*built;
+  Query base = std::move(base_q.value());
+
+  // Baseline: serial vectorized interpretation.
+  {
+    EngineOptions eo;
+    eo.strategy = ExecutionStrategy::kInterpret;
+    eo.num_workers = 1;
+    auto r = ExecEngine::Execute(base.context(), eo);
+    ASSERT_TRUE(r.ok()) << repro << info.desc << ": " << r.status().ToString();
+    if (verbose) std::fprintf(stderr, "  interp-serial ok\n");
+  }
+
+  // Serial adaptive JIT (falls back to interpretation without a host
+  // compiler — the comparison holds either way).
+  {
+    PlanInfo i2;
+    Query q = GeneratePlan(seed, t, &i2).ValueOrDie();
+    EngineOptions eo;
+    eo.strategy = ExecutionStrategy::kAdaptiveJit;
+    eo.num_workers = 1;
+    eo.vm.optimize_after_iterations = 2;
+    auto r = ExecEngine::Execute(q.context(), eo);
+    ASSERT_TRUE(r.ok()) << repro << info.desc << ": " << r.status().ToString();
+    CompareQueries(base, q, info, repro + info.desc + " [jit-serial]");
+    if (verbose) std::fprintf(stderr, "  jit-serial ok\n");
+  }
+
+  // 4-worker session, morsel-parallel adaptive JIT.
+  {
+    PlanInfo i3;
+    Query q = GeneratePlan(seed, t, &i3).ValueOrDie();
+    QueryOptions qo;
+    qo.strategy = ExecutionStrategy::kAdaptiveJit;
+    qo.vm.optimize_after_iterations = 2;
+    auto r = parallel_session.Submit(q.context(), qo).Wait();
+    ASSERT_TRUE(r.ok()) << repro << info.desc << ": " << r.status().ToString();
+    CompareQueries(base, q, info, repro + info.desc + " [session-4w]");
+  }
+}
+
 TEST(DifferentialTest, RandomPlansAgreeAcrossStrategiesAndWorkers) {
   Tables t;
 
@@ -355,72 +427,9 @@ TEST(DifferentialTest, RandomPlansAgreeAcrossStrategiesAndWorkers) {
 
   int built = 0, skipped = 0;
   for (int p = 0; p < plans; ++p) {
-    const uint64_t seed = first_seed + static_cast<uint64_t>(p);
-    const std::string repro =
-        StrFormat("[plan seed %llu: rerun with AVM_DIFF_SEED=%llu] ",
-                  (unsigned long long)seed, (unsigned long long)seed);
-
-    PlanInfo info;
-    Result<Query> base_q = GeneratePlan(seed, t, &info);
-    const bool verbose = std::getenv("AVM_DIFF_VERBOSE") != nullptr;
-    if (verbose) SetLogLevel(LogLevel::kDebug);
-    if (verbose) {
-      std::fprintf(stderr, "plan %llu: %s -> %s\n", (unsigned long long)seed,
-                   info.desc.c_str(),
-                   base_q.ok() ? "built" : base_q.status().ToString().c_str());
-    }
-    if (!base_q.ok()) {
-      // A generated plan the builder rejects (e.g. residual selection
-      // conflicts) must be rejected IDENTICALLY on every config.
-      PlanInfo i2, i3;
-      Result<Query> q2 = GeneratePlan(seed, t, &i2);
-      Result<Query> q3 = GeneratePlan(seed, t, &i3);
-      ASSERT_FALSE(q2.ok()) << repro << info.desc;
-      ASSERT_FALSE(q3.ok()) << repro << info.desc;
-      ASSERT_EQ(base_q.status().ToString(), q2.status().ToString())
-          << repro << info.desc;
-      ++skipped;
-      continue;
-    }
-    ++built;
-    Query base = std::move(base_q.value());
-
-    // Baseline: serial vectorized interpretation.
-    {
-      EngineOptions eo;
-      eo.strategy = ExecutionStrategy::kInterpret;
-      eo.num_workers = 1;
-      auto r = ExecEngine::Execute(base.context(), eo);
-      ASSERT_TRUE(r.ok()) << repro << info.desc << ": " << r.status().ToString();
-      if (verbose) std::fprintf(stderr, "  interp-serial ok\n");
-    }
-
-    // Serial adaptive JIT (falls back to interpretation without a host
-    // compiler — the comparison holds either way).
-    {
-      PlanInfo i2;
-      Query q = GeneratePlan(seed, t, &i2).ValueOrDie();
-      EngineOptions eo;
-      eo.strategy = ExecutionStrategy::kAdaptiveJit;
-      eo.num_workers = 1;
-      eo.vm.optimize_after_iterations = 2;
-      auto r = ExecEngine::Execute(q.context(), eo);
-      ASSERT_TRUE(r.ok()) << repro << info.desc << ": " << r.status().ToString();
-      CompareQueries(base, q, info, repro + info.desc + " [jit-serial]");
-      if (verbose) std::fprintf(stderr, "  jit-serial ok\n");
-    }
-
-    // 4-worker session, morsel-parallel adaptive JIT.
-    {
-      PlanInfo i3;
-      Query q = GeneratePlan(seed, t, &i3).ValueOrDie();
-      QueryOptions qo;
-      qo.strategy = ExecutionStrategy::kAdaptiveJit;
-      qo.vm.optimize_after_iterations = 2;
-      auto r = parallel_session.Submit(q.context(), qo).Wait();
-      ASSERT_TRUE(r.ok()) << repro << info.desc << ": " << r.status().ToString();
-      CompareQueries(base, q, info, repro + info.desc + " [session-4w]");
-    }
+    RunSeed(first_seed + static_cast<uint64_t>(p), t, parallel_session,
+            &built, &skipped);
+    if (::testing::Test::HasFatalFailure()) return;
   }
   // The generator is tuned to produce mostly-buildable plans; if that
   // drifts, the differential coverage silently evaporates — fail loudly
@@ -429,6 +438,37 @@ TEST(DifferentialTest, RandomPlansAgreeAcrossStrategiesAndWorkers) {
       << "generator built only " << built << "/" << plans << " plans";
   std::printf("differential: %d plans built, %d rejected identically\n",
               built, skipped);
+}
+
+// Pinned seeds for the shape families the JIT used to decline (and, before
+// the declines, MIScompile): these plans compose the stale-cursor shape
+// (Filter → Output/OrderBy: a condensing write whose let-bound count
+// advances the cursor) and the selection-republish shape (post-filter
+// projections/joins whose chunk inputs carry a selection, gathered join
+// payloads under that selection). The random sweep above rotates seeds
+// only when its generator changes; these never rotate, so the
+// selection-aware trace ABI keeps being exercised even if the sweep's
+// distribution drifts.
+TEST(DifferentialTest, PinnedSeedsForPreviouslyDeclinedShapes) {
+  Tables t;
+  SessionOptions so;
+  so.num_workers = 4;
+  Session parallel_session(so);
+
+  // 6:  Filter Project Join Filter Output OrderBy  (selection-composed
+  //     join probe + payload re-gather + condensing output cursor)
+  // 9:  SemiJoin Join Project Filter Aggregate Sum/Count/SumF64 OrderBy
+  //     (selection-carrying scatter aggregation behind two probes)
+  // 12: Filter Output OrderBy                      (minimal stale-cursor)
+  // 20: Filter SemiJoin Join Project Output×3 OrderBy (everything at once)
+  int built = 0, skipped = 0;
+  for (uint64_t seed : {6ull, 9ull, 12ull, 20ull}) {
+    RunSeed(seed, t, parallel_session, &built, &skipped);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // All four seeds must BUILD — a generator change that invalidates one
+  // must re-pin an equivalent plan, not silently skip the family.
+  EXPECT_EQ(built, 4) << "pinned differential seeds no longer build";
 }
 
 }  // namespace

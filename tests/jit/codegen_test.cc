@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dsl/builder.h"
 #include "dsl/typecheck.h"
 
@@ -138,14 +140,73 @@ TEST(CodegenTest, SchemeSpecializationEmitsDeltaPath) {
   EXPECT_TRUE(delta_input);
 }
 
-TEST(CodegenTest, SelLoopAndDenseLoopBothEmitted) {
+TEST(CodegenTest, PositionalVariantEmitsSingleDenseLoop) {
+  // Without selection specialization the trace is the positional variant:
+  // one fused loop over all rows, no selected pass.
   Fixture fx = MakeFig2Fixture(false);
   auto gen = GenerateTrace(fx.program, fx.graph, fx.traces[0]);
   ASSERT_TRUE(gen.ok());
   const std::string& src = gen.value().source;
-  EXPECT_NE(src.find("if (sel != nullptr)"), std::string::npos);
-  EXPECT_NE(src.find("i = sel[j]"), std::string::npos);
   EXPECT_NE(src.find("for (uint32_t i = 0; i < n; ++i)"), std::string::npos);
+  EXPECT_EQ(src.find("args->sel[j]"), std::string::npos);
+  EXPECT_TRUE(gen.value().sel_inputs.empty());
+}
+
+TEST(CodegenTest, SelSpecializedVariantEmitsSelectedPass) {
+  // Specializing a chunk input as selection-carrying emits the selected
+  // pass (i = sel[j]) and a distinct symbol; the consuming map's output is
+  // flagged selection-dependent so the harness republishes the selection.
+  using namespace dsl;
+  Program p;
+  p.data = {{"src", TypeId::kI64, false}};
+  std::vector<StmtPtr> body;
+  body.push_back(Let("input", Skeleton(SkeletonKind::kRead,
+                                       {Var("i"), Var("src")})));
+  body.push_back(Let(
+      "t", Skeleton(SkeletonKind::kFilter,
+                    {Lambda({"x"}, Call(ScalarOp::kGt,
+                                        {Var("x"), ConstI(0)})),
+                     Var("input")})));
+  body.push_back(Let("y", Skeleton(SkeletonKind::kMap,
+                                   {Lambda({"x"}, Var("x") * ConstI(3)),
+                                    Var("t")})));
+  body.push_back(Assign(
+      "i", Var("i") + Skeleton(SkeletonKind::kLen, {Var("input")})));
+  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(4096)}),
+                    {Break()}));
+  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
+  p.AssignIds();
+  ASSERT_TRUE(TypeCheck(&p).ok());
+  auto g = ir::DepGraph::Build(p);
+  ASSERT_TRUE(g.ok());
+  int map_node = -1;
+  for (const auto& n : g.value().nodes()) {
+    if (n.kind == SkeletonKind::kMap) map_node = static_cast<int>(n.id);
+  }
+  ASSERT_GE(map_node, 0);
+  ir::Trace tr;
+  tr.node_ids = {static_cast<uint32_t>(map_node)};
+  tr.inputs = {"t"};
+  tr.outputs = {"y"};
+
+  auto gen_pos = GenerateTrace(p, g.value(), tr);
+  ASSERT_TRUE(gen_pos.ok()) << gen_pos.status().ToString();
+  CodegenOptions opts;
+  opts.sel_inputs.insert("t");
+  auto gen_sel = GenerateTrace(p, g.value(), tr, opts);
+  ASSERT_TRUE(gen_sel.ok()) << gen_sel.status().ToString();
+  const std::string& src = gen_sel.value().source;
+  EXPECT_NE(src.find("args->sel[j]"), std::string::npos);
+  EXPECT_NE(gen_sel.value().symbol, gen_pos.value().symbol);
+  ASSERT_EQ(gen_sel.value().sel_inputs.size(), 1u);
+  EXPECT_EQ(gen_sel.value().sel_inputs[0], "t");
+  bool sel_dep_out = false;
+  for (const auto& o : gen_sel.value().outputs) {
+    if (o.kind == TraceOutputSpec::Kind::kArrayVar && o.name == "y") {
+      sel_dep_out = o.sel_dependent;
+    }
+  }
+  EXPECT_TRUE(sel_dep_out);
 }
 
 TEST(CodegenTest, SymbolsAreContentDeterministic) {
@@ -164,6 +225,216 @@ TEST(CodegenTest, SymbolsAreContentDeterministic) {
   ASSERT_TRUE(c.ok());
   EXPECT_NE(a.value().symbol, c.value().symbol);
 }
+
+TEST(CodegenTest, StaleInTraceCaptureDeclined) {
+  // A map capturing the let-bound count of a write in the SAME trace: the
+  // capture resolves before the call (previous iteration's value), while
+  // interpretation uses the fresh count — the shape must decline.
+  using namespace dsl;
+  Program p;
+  p.data = {{"src", TypeId::kI64, false},
+            {"out", TypeId::kI64, true},
+            {"out2", TypeId::kI64, true}};
+  std::vector<StmtPtr> body;
+  body.push_back(Let("v", Skeleton(SkeletonKind::kRead,
+                                   {Var("i"), Var("src")})));
+  body.push_back(Let("w", Skeleton(SkeletonKind::kWrite,
+                                   {Var("out"), Var("i"), Var("v")})));
+  body.push_back(Let("y", Skeleton(SkeletonKind::kMap,
+                                   {Lambda({"x"}, Var("x") * Var("w")),
+                                    Var("v")})));
+  body.push_back(ExprStmt(Skeleton(SkeletonKind::kWrite,
+                                   {Var("out2"), Var("i"), Var("y")})));
+  body.push_back(Assign("i", Var("i") + Skeleton(SkeletonKind::kLen,
+                                                 {Var("v")})));
+  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(4096)}),
+                    {Break()}));
+  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
+  p.AssignIds();
+  ASSERT_TRUE(TypeCheck(&p).ok());
+  auto g = ir::DepGraph::Build(p);
+  ASSERT_TRUE(g.ok());
+  ir::PartitionConstraints c;
+  auto traces = ir::GreedyPartition(g.value(), c);
+  // However the partitioner cuts it, no generated trace may contain both
+  // the write producing 'w' and the map capturing it.
+  for (const auto& tr : traces) {
+    bool has_w_write = false, has_capture_map = false;
+    for (uint32_t id : tr.node_ids) {
+      const ir::DepNode& n = g.value().nodes()[id];
+      if (n.kind == dsl::SkeletonKind::kWrite &&
+          g.value().OutputNameOf(id) == "w") {
+        has_w_write = true;
+      }
+      if (n.kind == dsl::SkeletonKind::kMap &&
+          g.value().OutputNameOf(id) == "y") {
+        has_capture_map = true;
+      }
+    }
+    if (has_w_write && has_capture_map) {
+      auto gen = GenerateTrace(p, g.value(), tr);
+      ASSERT_FALSE(gen.ok()) << gen.value().source;
+      EXPECT_NE(gen.status().ToString().find("stale"), std::string::npos)
+          << gen.status().ToString();
+    }
+  }
+  // And the explicit co-resident trace declines regardless of partition.
+  int write_w = -1, map_y = -1;
+  for (const auto& n : g.value().nodes()) {
+    if (n.kind == dsl::SkeletonKind::kWrite &&
+        g.value().OutputNameOf(n.id) == "w") {
+      write_w = static_cast<int>(n.id);
+    }
+    if (n.kind == dsl::SkeletonKind::kMap) map_y = static_cast<int>(n.id);
+  }
+  ASSERT_GE(write_w, 0);
+  ASSERT_GE(map_y, 0);
+  ir::Trace tr;
+  tr.node_ids = {static_cast<uint32_t>(std::min(write_w, map_y)),
+                 static_cast<uint32_t>(std::max(write_w, map_y))};
+  tr.inputs = {"v"};
+  tr.outputs = {"y"};
+  auto gen = GenerateTrace(p, g.value(), tr);
+  ASSERT_FALSE(gen.ok());
+  EXPECT_NE(gen.status().ToString().find("stale"), std::string::npos)
+      << gen.status().ToString();
+}
+
+
+TEST(CodegenTest, ArrayConflictAcrossStatementSpanDeclined) {
+  // stmt0: idx map; stmt1: scatter into X (interpreted — outside the
+  // trace); stmt2: gather from X. A trace {stmt0, stmt2} hoisted to its
+  // anchor would gather from X BEFORE the interpreted scatter ran — the
+  // data-array flavor of the stale-value hazard. Both the shared
+  // convexity helper and GenerateTrace must reject it.
+  using namespace dsl;
+  Program p;
+  p.data = {{"src", TypeId::kI64, false},
+            {"X", TypeId::kI64, true},
+            {"out", TypeId::kI64, true}};
+  std::vector<StmtPtr> body;
+  body.push_back(Let("v", Skeleton(SkeletonKind::kRead,
+                                   {Var("i"), Var("src")})));
+  body.push_back(Let("idx", Skeleton(SkeletonKind::kMap,
+                                     {Lambda({"x"}, Call(ScalarOp::kMod,
+                                                         {Call(ScalarOp::kAbs,
+                                                               {Var("x")}),
+                                                          ConstI(64)})),
+                                      Var("v")})));
+  body.push_back(ExprStmt(Skeleton(
+      SkeletonKind::kScatter,
+      {Var("X"), Var("idx"), Var("v"),
+       Lambda({"o", "n"}, Var("o") + Var("n"))})));
+  body.push_back(Let("g", Skeleton(SkeletonKind::kGather,
+                                   {Var("X"), Var("idx")})));
+  body.push_back(ExprStmt(Skeleton(SkeletonKind::kWrite,
+                                   {Var("out"), Var("i"), Var("g")})));
+  body.push_back(Assign("i", Var("i") + Skeleton(SkeletonKind::kLen,
+                                                 {Var("v")})));
+  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(4096)}),
+                    {Break()}));
+  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
+  p.AssignIds();
+  ASSERT_TRUE(TypeCheck(&p).ok());
+  auto g = ir::DepGraph::Build(p);
+  ASSERT_TRUE(g.ok());
+  int map_idx = -1, gather_g = -1, scatter_x = -1;
+  for (const auto& n : g.value().nodes()) {
+    if (n.kind == dsl::SkeletonKind::kMap) map_idx = static_cast<int>(n.id);
+    if (n.kind == dsl::SkeletonKind::kGather) gather_g = static_cast<int>(n.id);
+    if (n.kind == dsl::SkeletonKind::kScatter) scatter_x = static_cast<int>(n.id);
+  }
+  ASSERT_GE(map_idx, 0);
+  ASSERT_GE(gather_g, 0);
+  ASSERT_GE(scatter_x, 0);
+
+  // Outside writer inside the span.
+  ir::Trace across;
+  across.node_ids = {static_cast<uint32_t>(map_idx),
+                     static_cast<uint32_t>(gather_g)};
+  across.inputs = {"v"};
+  across.outputs = {"g"};
+  EXPECT_GE(ir::StmtConvexityViolation(g.value(), across.node_ids), 0);
+  auto gen = GenerateTrace(p, g.value(), across);
+  ASSERT_FALSE(gen.ok());
+  EXPECT_NE(gen.status().ToString().find("statement-convex"),
+            std::string::npos)
+      << gen.status().ToString();
+
+  // Fused read-after-write of one array inside one trace.
+  ir::Trace rw;
+  rw.node_ids = {static_cast<uint32_t>(scatter_x),
+                 static_cast<uint32_t>(gather_g)};
+  std::sort(rw.node_ids.begin(), rw.node_ids.end());
+  rw.inputs = {"v", "idx"};
+  rw.outputs = {"g", "X"};
+  EXPECT_GE(ir::StmtConvexityViolation(g.value(), rw.node_ids), 0);
+  EXPECT_FALSE(GenerateTrace(p, g.value(), rw).ok());
+
+  // The partitioner never emits a region spanning the scatter.
+  ir::PartitionConstraints c;
+  for (const auto& tr : ir::GreedyPartition(g.value(), c)) {
+    EXPECT_LT(ir::StmtConvexityViolation(g.value(), tr.node_ids), 0);
+  }
+}
+
+
+TEST(CodegenTest, BoundaryCondenseOverSelInputCompiles) {
+  // condense over a selection-carrying BOUNDARY input (its producer stays
+  // outside the trace): emission must resolve through the chunk-var slot,
+  // not walk the graph edge out of the trace (which used to throw).
+  using namespace dsl;
+  Program p;
+  p.data = {{"src", TypeId::kI64, false}};
+  std::vector<StmtPtr> body;
+  body.push_back(Let("v", Skeleton(SkeletonKind::kRead,
+                                   {Var("i"), Var("src")})));
+  body.push_back(Let(
+      "a", Skeleton(SkeletonKind::kFilter,
+                    {Lambda({"x"}, Call(ScalarOp::kGt,
+                                        {Var("x"), ConstI(0)})),
+                     Var("v")})));
+  body.push_back(Let("b", Skeleton(SkeletonKind::kMap,
+                                   {Lambda({"x"}, Var("x") * ConstI(2)),
+                                    Var("a")})));
+  body.push_back(Let("c", Skeleton(SkeletonKind::kCondense, {Var("b")})));
+  body.push_back(Assign("i", Var("i") + Skeleton(SkeletonKind::kLen,
+                                                 {Var("v")})));
+  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(4096)}),
+                    {Break()}));
+  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
+  p.AssignIds();
+  ASSERT_TRUE(TypeCheck(&p).ok());
+  auto g = ir::DepGraph::Build(p);
+  ASSERT_TRUE(g.ok());
+  int condense_c = -1;
+  for (const auto& n : g.value().nodes()) {
+    if (n.kind == dsl::SkeletonKind::kCondense) {
+      condense_c = static_cast<int>(n.id);
+    }
+  }
+  ASSERT_GE(condense_c, 0);
+  ir::Trace tr;
+  tr.node_ids = {static_cast<uint32_t>(condense_c)};
+  tr.inputs = {"b"};
+  tr.outputs = {"c"};
+  CodegenOptions opts;
+  opts.sel_inputs.insert("b");
+  auto gen = GenerateTrace(p, g.value(), tr, opts);
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  bool condensed_out = false;
+  for (const auto& o : gen.value().outputs) {
+    if (o.kind == TraceOutputSpec::Kind::kArrayVar && o.name == "c") {
+      condensed_out = o.condensed;
+    }
+  }
+  EXPECT_TRUE(condensed_out);
+  // Without the selection specialization the same trace must DECLINE
+  // (condense needs a selection context), not crash.
+  auto gen_pos = GenerateTrace(p, g.value(), tr);
+  EXPECT_FALSE(gen_pos.ok());
+}
+
 
 }  // namespace
 }  // namespace avm::jit

@@ -2,6 +2,7 @@
 // must produce byte-identical results to pure vectorized interpretation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "dsl/builder.h"
@@ -276,6 +277,380 @@ TEST(JitExecTest, FilterPipelineCompiledWithCondense) {
   for (const auto& tr : in.injections()) runs += tr.invocations;
   EXPECT_GT(runs, 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Trace-ABI shapes: gather/scatter, let-bound write counts, selection-in
+// (docs/TRACE_ABI.md). These compile the exact fragments the JIT used to
+// decline and hold them byte-equal to interpretation.
+// ---------------------------------------------------------------------------
+
+namespace abi {
+
+using namespace dsl;
+
+/// gather(base, clamp(idx)) -> write: the join-probe shape.
+Program MakeGatherPipeline(int64_t limit, int64_t base_len,
+                           bool clamp_indices) {
+  Program p;
+  p.data = {{"idx", TypeId::kI64, false},
+            {"base", TypeId::kI64, false},
+            {"out", TypeId::kI64, true}};
+  ExprPtr index = Var("k");
+  if (clamp_indices) {
+    ExprPtr inb = Cast(TypeId::kI64, Var("k") >= ConstI(0)) *
+                  Cast(TypeId::kI64, Var("k") < ConstI(base_len));
+    index = std::move(inb) * Var("k");
+  }
+  std::vector<StmtPtr> body;
+  body.push_back(Let("iv", Skeleton(SkeletonKind::kRead,
+                                    {Var("i"), Var("idx")})));
+  body.push_back(Let("ci", Skeleton(SkeletonKind::kMap,
+                                    {Lambda({"k"}, std::move(index)),
+                                     Var("iv")})));
+  body.push_back(Let("g", Skeleton(SkeletonKind::kGather,
+                                   {Var("base"), Var("ci")})));
+  body.push_back(ExprStmt(Skeleton(SkeletonKind::kWrite,
+                                   {Var("out"), Var("i"), Var("g")})));
+  body.push_back(Assign("i", Var("i") + Skeleton(SkeletonKind::kLen,
+                                                 {Var("iv")})));
+  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(limit)}),
+                    {Break()}));
+  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
+  p.AssignIds();
+  return p;
+}
+
+/// scatter(acc, idx % groups, vals, +): the grouped-aggregation shape.
+Program MakeScatterPipeline(int64_t limit, int64_t groups) {
+  Program p;
+  p.data = {{"src", TypeId::kI64, false}, {"acc", TypeId::kI64, true}};
+  std::vector<StmtPtr> body;
+  body.push_back(Let("v", Skeleton(SkeletonKind::kRead,
+                                   {Var("i"), Var("src")})));
+  ExprPtr grp = Call(ScalarOp::kMod,
+                     {Call(ScalarOp::kAbs, {Var("x")}), ConstI(groups)});
+  body.push_back(Let("g", Skeleton(SkeletonKind::kMap,
+                                   {Lambda({"x"}, std::move(grp)),
+                                    Var("v")})));
+  body.push_back(ExprStmt(Skeleton(
+      SkeletonKind::kScatter,
+      {Var("acc"), Var("g"), Var("v"),
+       Lambda({"o", "n"}, Var("o") + Var("n"))})));
+  body.push_back(Assign("i", Var("i") + Skeleton(SkeletonKind::kLen,
+                                                 {Var("v")})));
+  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(limit)}),
+                    {Break()}));
+  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
+  p.AssignIds();
+  return p;
+}
+
+/// filter -> map -> condensing write at a let-bound cursor: the ORDER
+/// BY/condense hot loop (stale-cursor shape).
+Program MakeCondensingCursorPipeline(int64_t limit) {
+  Program p;
+  p.data = {{"src", TypeId::kI64, false}, {"out", TypeId::kI64, true}};
+  std::vector<StmtPtr> body;
+  body.push_back(Let("v", Skeleton(SkeletonKind::kRead,
+                                   {Var("i"), Var("src")})));
+  body.push_back(Let(
+      "t", Skeleton(SkeletonKind::kFilter,
+                    {Lambda({"x"}, Call(ScalarOp::kGt,
+                                        {Var("x"), ConstI(0)})),
+                     Var("v")})));
+  body.push_back(Let("y", Skeleton(SkeletonKind::kMap,
+                                   {Lambda({"x"}, Var("x") * ConstI(5)),
+                                    Var("t")})));
+  body.push_back(Let("w", Skeleton(SkeletonKind::kWrite,
+                                   {Var("out"), Var("onum"), Var("y")})));
+  body.push_back(Assign("onum", Var("onum") + Var("w")));
+  body.push_back(Assign("i", Var("i") + Skeleton(SkeletonKind::kLen,
+                                                 {Var("v")})));
+  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(limit)}),
+                    {Break()}));
+  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), MutDef("onum"),
+             Assign("onum", ConstI(0)), Loop(std::move(body))};
+  p.AssignIds();
+  return p;
+}
+
+}  // namespace abi
+
+TEST(JitExecTest, GatherTraceCompiledMatchesInterpreted) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  const int64_t kN = 8192, kBase = 512;
+  auto fx = Compile(abi::MakeGatherPipeline(kN, kBase, true), false);
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+  ASSERT_FALSE(fx.value().compiled.empty());
+
+  std::vector<int64_t> idx(kN), base(kBase);
+  Rng rng(77);
+  for (int64_t i = 0; i < kN; ++i) {
+    idx[i] = rng.NextInRange(-50, kBase + 49);  // some out of domain
+  }
+  for (int64_t i = 0; i < kBase; ++i) base[i] = i * 3 + 1;
+
+  auto run = [&](bool inject, std::vector<int64_t>* out) -> uint64_t {
+    Interpreter in(&fx.value().program);
+    EXPECT_TRUE(in.BindData("idx", DataBinding::Raw(TypeId::kI64, idx.data(),
+                                                    kN)).ok());
+    EXPECT_TRUE(in.BindData("base", DataBinding::Raw(TypeId::kI64,
+                                                     base.data(), kBase))
+                    .ok());
+    EXPECT_TRUE(in.BindData("out", DataBinding::Raw(TypeId::kI64, out->data(),
+                                                    kN, true))
+                    .ok());
+    if (inject) {
+      for (const auto& ct : fx.value().compiled) {
+        in.AddInjection(MakeInjection(ct, in.chunk_size()));
+      }
+    }
+    EXPECT_TRUE(in.Run().ok());
+    uint64_t runs = 0;
+    for (const auto& tr : in.injections()) runs += tr.invocations;
+    return runs;
+  };
+  std::vector<int64_t> o1(kN, -1), o2(kN, -1);
+  run(false, &o1);
+  EXPECT_GT(run(true, &o2), 0u);
+  EXPECT_EQ(o1, o2);
+}
+
+TEST(JitExecTest, GatherFaultRaisesInterpreterIdenticalError) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  const int64_t kN = 4096, kBase = 128;
+  // UNclamped indices: both paths must fail with the SAME OutOfRange.
+  auto fx = Compile(abi::MakeGatherPipeline(kN, kBase, false), false);
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+  ASSERT_FALSE(fx.value().compiled.empty());
+
+  std::vector<int64_t> idx(kN, 5);
+  idx[700] = kBase + 9;  // first stray index
+  std::vector<int64_t> base(kBase, 0), out(kN, 0);
+
+  auto run = [&](bool inject) -> Status {
+    Interpreter in(&fx.value().program);
+    EXPECT_TRUE(in.BindData("idx", DataBinding::Raw(TypeId::kI64, idx.data(),
+                                                    kN)).ok());
+    EXPECT_TRUE(in.BindData("base", DataBinding::Raw(TypeId::kI64,
+                                                     base.data(), kBase))
+                    .ok());
+    EXPECT_TRUE(in.BindData("out", DataBinding::Raw(TypeId::kI64, out.data(),
+                                                    kN, true))
+                    .ok());
+    if (inject) {
+      for (const auto& ct : fx.value().compiled) {
+        in.AddInjection(MakeInjection(ct, in.chunk_size()));
+      }
+    }
+    return in.Run();
+  };
+  Status interp = run(false);
+  Status jit = run(true);
+  ASSERT_FALSE(interp.ok());
+  ASSERT_FALSE(jit.ok());
+  EXPECT_EQ(jit.ToString(), interp.ToString());
+}
+
+TEST(JitExecTest, ScatterTraceCompiledMatchesInterpreted) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  const int64_t kN = 8192, kGroups = 16;
+  auto fx = Compile(abi::MakeScatterPipeline(kN, kGroups), false);
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+  ASSERT_FALSE(fx.value().compiled.empty());
+
+  std::vector<int64_t> data(kN);
+  Rng rng(88);
+  for (auto& x : data) x = rng.NextInRange(-999, 999);
+
+  auto run = [&](bool inject, std::vector<int64_t>* acc) -> uint64_t {
+    Interpreter in(&fx.value().program);
+    EXPECT_TRUE(in.BindData("src", DataBinding::Raw(TypeId::kI64, data.data(),
+                                                    kN)).ok());
+    EXPECT_TRUE(in.BindData("acc", DataBinding::Raw(TypeId::kI64, acc->data(),
+                                                    kGroups, true))
+                    .ok());
+    if (inject) {
+      for (const auto& ct : fx.value().compiled) {
+        in.AddInjection(MakeInjection(ct, in.chunk_size()));
+      }
+    }
+    EXPECT_TRUE(in.Run().ok());
+    uint64_t runs = 0;
+    for (const auto& tr : in.injections()) runs += tr.invocations;
+    return runs;
+  };
+  std::vector<int64_t> a1(kGroups, 0), a2(kGroups, 0);
+  run(false, &a1);
+  EXPECT_GT(run(true, &a2), 0u);
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(JitExecTest, LetBoundWriteCountPublishesCursorAdvance) {
+  if (!SourceJit::Available()) GTEST_SKIP();
+  const int64_t kN = 8192;
+  auto fx = Compile(abi::MakeCondensingCursorPipeline(kN),
+                    /*allow_filter=*/true);
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+  ASSERT_FALSE(fx.value().compiled.empty());
+
+  std::vector<int64_t> data(kN);
+  Rng rng(101);
+  for (auto& x : data) x = rng.NextInRange(-300, 700);
+
+  auto run = [&](bool inject, std::vector<int64_t>* out) -> uint64_t {
+    Interpreter in(&fx.value().program);
+    EXPECT_TRUE(in.BindData("src", DataBinding::Raw(TypeId::kI64, data.data(),
+                                                    kN)).ok());
+    EXPECT_TRUE(in.BindData("out", DataBinding::Raw(TypeId::kI64, out->data(),
+                                                    kN, true))
+                    .ok());
+    if (inject) {
+      for (const auto& ct : fx.value().compiled) {
+        in.AddInjection(MakeInjection(ct, in.chunk_size()));
+      }
+    }
+    EXPECT_TRUE(in.Run().ok());
+    uint64_t runs = 0;
+    for (const auto& tr : in.injections()) runs += tr.invocations;
+    return runs;
+  };
+  std::vector<int64_t> o1(kN, -1), o2(kN, -1);
+  run(false, &o1);
+  // A stale cursor would shear the condensed output: every chunk after the
+  // first would overwrite the previous chunk's rows.
+  EXPECT_GT(run(true, &o2), 0u);
+  EXPECT_EQ(o1, o2);
+}
+
+
+TEST(JitExecTest, FilterDependentScatterTraceCompiles) {
+  // A scatter consuming the filtered value: the generated code must
+  // declare/advance the guard-survivor counter `cnt` even though no
+  // condensed buffer output exists (out_counts/scalars report it).
+  if (!SourceJit::Available()) GTEST_SKIP();
+  using namespace dsl;
+  const int64_t kN = 8192, kGroups = 8;
+  Program p;
+  p.data = {{"src", TypeId::kI64, false}, {"acc", TypeId::kI64, true}};
+  std::vector<StmtPtr> body;
+  body.push_back(Let("v", Skeleton(SkeletonKind::kRead,
+                                   {Var("i"), Var("src")})));
+  body.push_back(Let(
+      "t", Skeleton(SkeletonKind::kFilter,
+                    {Lambda({"x"}, Call(ScalarOp::kGt,
+                                        {Var("x"), ConstI(0)})),
+                     Var("v")})));
+  body.push_back(Let("g", Skeleton(SkeletonKind::kMap,
+                                   {Lambda({"x"}, Call(ScalarOp::kMod,
+                                                       {Var("x"),
+                                                        ConstI(kGroups)})),
+                                    Var("t")})));
+  body.push_back(ExprStmt(Skeleton(
+      SkeletonKind::kScatter,
+      {Var("acc"), Var("g"), Var("t"),
+       Lambda({"o", "n"}, Var("o") + Var("n"))})));
+  body.push_back(Assign("i", Var("i") + Skeleton(SkeletonKind::kLen,
+                                                 {Var("v")})));
+  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(kN)}),
+                    {Break()}));
+  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
+  p.AssignIds();
+
+  auto fx = Compile(std::move(p), /*allow_filter=*/true);
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+  ASSERT_FALSE(fx.value().compiled.empty());
+
+  std::vector<int64_t> data(kN);
+  Rng rng(202);
+  for (auto& x : data) x = rng.NextInRange(-500, 500);
+
+  auto run = [&](bool inject, std::vector<int64_t>* acc) -> uint64_t {
+    Interpreter in(&fx.value().program);
+    EXPECT_TRUE(in.BindData("src", DataBinding::Raw(TypeId::kI64, data.data(),
+                                                    kN)).ok());
+    EXPECT_TRUE(in.BindData("acc", DataBinding::Raw(TypeId::kI64, acc->data(),
+                                                    kGroups, true))
+                    .ok());
+    if (inject) {
+      for (const auto& ct : fx.value().compiled) {
+        in.AddInjection(MakeInjection(ct, in.chunk_size()));
+      }
+    }
+    EXPECT_TRUE(in.Run().ok());
+    uint64_t runs = 0;
+    for (const auto& tr : in.injections()) runs += tr.invocations;
+    return runs;
+  };
+  std::vector<int64_t> a1(kGroups, 0), a2(kGroups, 0);
+  run(false, &a1);
+  EXPECT_GT(run(true, &a2), 0u);
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(JitExecTest, SelWriteBypassingInTraceFilterDeclined) {
+  // Selection-specialized trace containing a filter AND a write of a
+  // selection-carrying value that does not flow through that filter:
+  // condensed stores would share the guard and drop filter-rejected rows,
+  // so the shape must DECLINE (stay interpreted), not compile.
+  using namespace dsl;
+  Program p;
+  p.data = {{"src", TypeId::kI64, false}, {"dst", TypeId::kI64, true}};
+  std::vector<StmtPtr> body;
+  body.push_back(Let("v", Skeleton(SkeletonKind::kRead,
+                                   {Var("i"), Var("src")})));
+  body.push_back(Let(
+      "a", Skeleton(SkeletonKind::kFilter,
+                    {Lambda({"x"}, Call(ScalarOp::kGt,
+                                        {Var("x"), ConstI(0)})),
+                     Var("v")})));
+  body.push_back(Let("b", Skeleton(SkeletonKind::kMap,
+                                   {Lambda({"x"}, Var("x") * ConstI(2)),
+                                    Var("a")})));
+  // In-trace filter over the sel-carrying b, plus a write of b itself.
+  body.push_back(Let(
+      "c", Skeleton(SkeletonKind::kFilter,
+                    {Lambda({"x"}, Call(ScalarOp::kLt,
+                                        {Var("x"), ConstI(100)})),
+                     Var("b")})));
+  body.push_back(Let("d", Skeleton(SkeletonKind::kCondense, {Var("c")})));
+  body.push_back(Let("w", Skeleton(SkeletonKind::kWrite,
+                                   {Var("dst"), Var("onum"), Var("b")})));
+  body.push_back(Assign("onum", Var("onum") + Var("w")));
+  body.push_back(Assign("i", Var("i") + Skeleton(SkeletonKind::kLen,
+                                                 {Var("v")})));
+  body.push_back(If(Call(ScalarOp::kGe, {Var("i"), ConstI(4096)}),
+                    {Break()}));
+  p.stmts = {MutDef("i"), Assign("i", ConstI(0)), MutDef("onum"),
+             Assign("onum", ConstI(0)), Loop(std::move(body))};
+  p.AssignIds();
+  ASSERT_TRUE(dsl::TypeCheck(&p).ok());
+  auto g = ir::DepGraph::Build(p);
+  ASSERT_TRUE(g.ok());
+  int filter_c = -1, write_w = -1, condense_d = -1;
+  for (const auto& n : g.value().nodes()) {
+    if (n.kind == dsl::SkeletonKind::kFilter) filter_c = std::max(filter_c, static_cast<int>(n.id));
+    if (n.kind == dsl::SkeletonKind::kWrite) write_w = static_cast<int>(n.id);
+    if (n.kind == dsl::SkeletonKind::kCondense) condense_d = static_cast<int>(n.id);
+  }
+  ASSERT_GE(filter_c, 0);
+  ASSERT_GE(write_w, 0);
+  ASSERT_GE(condense_d, 0);
+  ir::Trace tr;
+  tr.node_ids = {static_cast<uint32_t>(filter_c),
+                 static_cast<uint32_t>(condense_d),
+                 static_cast<uint32_t>(write_w)};
+  std::sort(tr.node_ids.begin(), tr.node_ids.end());
+  tr.inputs = {"b"};
+  tr.outputs = {"d", "dst"};
+  CodegenOptions opts;
+  opts.sel_inputs.insert("b");
+  auto gen = GenerateTrace(p, g.value(), tr, opts);
+  ASSERT_FALSE(gen.ok());
+  EXPECT_NE(gen.status().ToString().find("bypasses"), std::string::npos)
+      << gen.status().ToString();
+}
+
 
 }  // namespace
 }  // namespace avm::jit
