@@ -138,6 +138,18 @@ BENCHMARK(BM_Q1_EngineInterpreted)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+void BM_Q1_EngineInterpretedScalarKernels(benchmark::State& state) {
+  // Same interpreted engine path with the kernel registry pinned to the
+  // scalar tier — the delta against engine-interpret is the SIMD lift.
+  engine::EngineOptions opts;
+  opts.strategy = engine::ExecutionStrategy::kInterpret;
+  opts.vm.interp.kernel_tier = interp::KernelTier::kScalar;
+  RunEngineBench(state, opts, "engine-interpret-scalar-kernels");
+}
+BENCHMARK(BM_Q1_EngineInterpretedScalarKernels)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_Q1_EngineInterpretedParallel4(benchmark::State& state) {
   engine::EngineOptions opts;
   opts.strategy = engine::ExecutionStrategy::kInterpret;

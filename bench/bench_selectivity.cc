@@ -134,4 +134,83 @@ BENCHMARK(BM_Filter_Branching)->SELECTIVITY_SWEEP();
 BENCHMARK(BM_Filter_FullCompute)->SELECTIVITY_SWEEP();
 BENCHMARK(BM_Filter_MicroAdaptive)->SELECTIVITY_SWEEP();
 
+// --- per-kernel-tier rows (scalar vs sse2 vs avx2 on the same host) --------
+//
+// range(0) = selectivity permille, range(1) = KernelTier. Unsupported tiers
+// (e.g. avx2 on a non-AVX2 host) skip instead of silently re-measuring a
+// clamped tier. The JSON strategy label carries the tier name so BENCH
+// results keep one row per (selectivity, tier).
+
+void RunFilterTier(benchmark::State& state, FilterVariant variant) {
+  const auto tier = static_cast<interp::KernelTier>(state.range(1));
+  if (interp::ResolveKernelTier(tier) != tier) {
+    state.SkipWithError("kernel tier unsupported on this host/build");
+    return;
+  }
+  const auto& data = Data();
+  const int32_t cutoff = CutoffFor(state.range(0));
+  std::vector<sel_t> sel(kN);
+  auto fn = KernelRegistry::ForTier(tier).Filter(dsl::ScalarOp::kLt,
+                                                 TypeId::kI32, true, false,
+                                                 variant);
+  uint32_t count = 0;
+  for (auto _ : state) {
+    count = fn(data.data(), &cutoff, nullptr, kN, sel.data());
+    benchmark::DoNotOptimize(sel.data());
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["selectivity"] = static_cast<double>(count) / kN;
+  benchutil::ReportTuples(state, kN, interp::TierName(tier));
+}
+
+void BM_FilterTier_Branchless(benchmark::State& state) {
+  RunFilterTier(state, FilterVariant::kBranchless);
+}
+void BM_FilterTier_Branching(benchmark::State& state) {
+  RunFilterTier(state, FilterVariant::kBranching);
+}
+
+#define TIER_SWEEP()                                      \
+  ArgsProduct({{10, 100, 500, 900, 990}, {0, 1, 2}})
+
+BENCHMARK(BM_FilterTier_Branchless)->TIER_SWEEP();
+BENCHMARK(BM_FilterTier_Branching)->TIER_SWEEP();
+
+// Fold (aggregate) throughput per tier: sum over i64 and f64 columns.
+
+template <typename T>
+void RunFoldTier(benchmark::State& state) {
+  const auto tier = static_cast<interp::KernelTier>(state.range(0));
+  if (interp::ResolveKernelTier(tier) != tier) {
+    state.SkipWithError("kernel tier unsupported on this host/build");
+    return;
+  }
+  static auto* data = [] {
+    DataGen gen(13);
+    auto v = new std::vector<T>(kN);
+    for (auto& x : *v) {
+      x = static_cast<T>(gen.rng().NextBounded(1000));
+    }
+    return v;
+  }();
+  auto fn =
+      KernelRegistry::ForTier(tier).Fold(dsl::ScalarOp::kAdd, TypeIdOf<T>::value);
+  for (auto _ : state) {
+    T acc = T(0);
+    fn(data->data(), nullptr, kN, &acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  benchutil::ReportTuples(state, kN, interp::TierName(tier));
+}
+
+void BM_FoldTier_SumI64(benchmark::State& state) {
+  RunFoldTier<int64_t>(state);
+}
+void BM_FoldTier_SumF64(benchmark::State& state) {
+  RunFoldTier<double>(state);
+}
+
+BENCHMARK(BM_FoldTier_SumI64)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_FoldTier_SumF64)->Arg(0)->Arg(1)->Arg(2);
+
 }  // namespace

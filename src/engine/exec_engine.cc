@@ -16,10 +16,10 @@ const char* StrategyName(ExecutionStrategy s) {
 
 std::string ExecReport::ToString() const {
   std::string out = StrFormat(
-      "strategy=%s device=%s workers=%zu morsels=%zu rows=%llu "
-      "wall=%.2fms\n",
-      StrategyName(strategy), device.c_str(), workers, morsels,
-      (unsigned long long)rows, wall_seconds * 1e3);
+      "strategy=%s device=%s kernel_tier=%s workers=%zu morsels=%zu "
+      "rows=%llu wall=%.2fms\n",
+      StrategyName(strategy), device.c_str(), kernel_tier.c_str(), workers,
+      morsels, (unsigned long long)rows, wall_seconds * 1e3);
   out += StrFormat(
       "iterations=%llu traces: compiled=%llu reused=%llu "
       "injected_runs=%llu fallbacks=%llu compile=%.1fms",

@@ -84,6 +84,10 @@ struct EngineOptions {
 struct ExecReport {
   ExecutionStrategy strategy = ExecutionStrategy::kAdaptiveJit;
   std::string device = "cpu";  ///< "cpu" or "gpu-sim"
+  /// SIMD kernel tier the query's interpreters dispatched to ("scalar",
+  /// "sse2", "avx2"): the detected-best tier unless overridden per query
+  /// (VmOptions) or process-wide (AVM_KERNEL_TIER).
+  std::string kernel_tier = "scalar";
   size_t workers = 1;
   size_t morsels = 1;
   uint64_t rows = 0;

@@ -365,6 +365,8 @@ void Session::RunTask(const std::shared_ptr<QueryState>& q, size_t index) {
 void Session::FinalizeLocked(QueryState& q) {
   ExecReport& r = q.report;
   r.strategy = q.qo.strategy;
+  r.kernel_tier =
+      interp::TierName(interp::ResolveKernelTier(q.qo.vm.interp.kernel_tier));
   if (!q.single_task) {
     r.workers = std::min(sched_->workers, q.morsels.size());
     r.morsels = q.morsels.size();

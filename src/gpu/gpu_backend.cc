@@ -96,7 +96,7 @@ Result<SimGpuDevice::BufferId> GpuBackend::RunMap(
     struct Op {
       const uint8_t* ptr = nullptr;
       bool vec = false;
-      uint8_t buf[8] = {0};
+      alignas(8) uint8_t buf[8] = {0};  // kernels read it as typed scalar
       size_t width = 8;
     };
     Op ops[2];

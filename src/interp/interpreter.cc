@@ -20,7 +20,11 @@ using dsl::StmtKind;
 
 Interpreter::Interpreter(const dsl::Program* program,
                          InterpreterOptions options)
-    : program_(program), options_(options) {}
+    : program_(program),
+      options_(options),
+      kernels_(&KernelRegistry::ForTier(options.kernel_tier)) {
+  prim_exec_.set_registry(kernels_);
+}
 
 Status Interpreter::BindData(const std::string& name, DataBinding binding) {
   const dsl::DataDecl* decl = program_->FindData(name);
@@ -358,9 +362,8 @@ Result<Value> Interpreter::EvalWrite(const Expr& e) {
   uint8_t* dst = static_cast<uint8_t*>(b->raw) + pos * w;
   if (a.has_sel()) {
     // Condense on the fly into the destination.
-    const KernelRegistry& reg = KernelRegistry::Get();
-    reg.Condense(a.type())(a.vec.RawData(), nullptr, dst, a.sel.Data(),
-                           a.sel.count());
+    kernels_->Condense(a.type())(a.vec.RawData(), nullptr, dst, a.sel.Data(),
+                                 a.sel.count());
   } else {
     std::memcpy(dst, a.vec.RawData(), static_cast<size_t>(count) * w);
   }
@@ -445,10 +448,37 @@ Result<Value> Interpreter::EvalMap(const Expr& e) {
   return Value::A(out);
 }
 
+namespace {
+
+// Adaptive-filter arm layout. Arms 0..2 mirror FilterFlavor on the
+// interpreter's own tier; on a SIMD tier two extra arms run the scalar
+// tier's filter kernels, letting the chooser discover call sites where
+// scalar beats SIMD (e.g. branching scalar at near-zero selectivity).
+constexpr size_t kArmFullCompute = 2;
+constexpr size_t kFirstScalarArm = 3;
+constexpr size_t kNumBaseArms = 3;
+constexpr size_t kNumTieredArms = 5;
+
+FilterFlavor ArmFlavor(size_t arm) {
+  return arm < kFirstScalarArm
+             ? static_cast<FilterFlavor>(arm)
+             : static_cast<FilterFlavor>(arm - kFirstScalarArm);
+}
+
+}  // namespace
+
 FilterFlavor Interpreter::PreferredFilterFlavor(uint32_t filter_expr_id) const {
   auto it = filter_choosers_.find(filter_expr_id);
   if (it == filter_choosers_.end()) return options_.filter_flavor;
-  return static_cast<FilterFlavor>(it->second.Best());
+  return ArmFlavor(it->second.Best());
+}
+
+KernelTier Interpreter::PreferredFilterTier(uint32_t filter_expr_id) const {
+  auto it = filter_choosers_.find(filter_expr_id);
+  if (it == filter_choosers_.end() || it->second.Best() < kFirstScalarArm) {
+    return kernels_->tier();
+  }
+  return KernelTier::kScalar;
 }
 
 Result<Value> Interpreter::EvalFilter(const Expr& e) {
@@ -458,7 +488,7 @@ Result<Value> Interpreter::EvalFilter(const Expr& e) {
   AVM_ASSIGN_OR_RETURN(const ir::PrimProgram* prog,
                        PreparedLambda(*e.args[0], {in.type()}));
 
-  const KernelRegistry& reg = KernelRegistry::Get();
+  const KernelRegistry* reg = kernels_;
   auto out = std::make_shared<ArrayValue>();
   // Share the underlying data; attach a fresh selection.
   out->vec = Vector(in.type(), in.vec.capacity());
@@ -470,15 +500,23 @@ Result<Value> Interpreter::EvalFilter(const Expr& e) {
   const sel_t* in_sel = in.has_sel() ? in.sel.Data() : nullptr;
   const uint32_t in_n = in.has_sel() ? in.sel.count() : in.len;
 
-  // Resolve the micro-adaptive flavor (one chooser per filter node).
+  // Resolve the micro-adaptive flavor (one chooser per filter node). On a
+  // SIMD tier the chooser also carries scalar-kernel arms so it can select
+  // scalar-vs-SIMD per call site.
   FilterFlavor flavor = options_.filter_flavor;
   MicroAdaptiveChooser* chooser = nullptr;
   size_t arm = 0;
   if (flavor == FilterFlavor::kAdaptive) {
-    auto [it, _] = filter_choosers_.try_emplace(e.id, 3);
+    const size_t num_arms = kernels_->tier() != KernelTier::kScalar
+                                ? kNumTieredArms
+                                : kNumBaseArms;
+    auto [it, _] = filter_choosers_.try_emplace(e.id, num_arms);
     chooser = &it->second;
     arm = chooser->Choose();
-    flavor = static_cast<FilterFlavor>(arm);
+    flavor = ArmFlavor(arm);
+    if (arm >= kFirstScalarArm) {
+      reg = &KernelRegistry::ForTier(KernelTier::kScalar);
+    }
   }
   const uint64_t t0 = chooser != nullptr ? ReadCycleCounter() : 0;
 
@@ -492,7 +530,7 @@ Result<Value> Interpreter::EvalFilter(const Expr& e) {
     const ir::PrimArg& lhs = instr.args[0];
     const ir::PrimArg& rhs = instr.args[1];
     if (lhs.kind == ir::ArgKind::kInput) {
-      uint8_t rhs_buf[8] = {0};
+      alignas(8) uint8_t rhs_buf[8] = {0};  // kernels read it as typed scalar
       const void* rhs_ptr = nullptr;
       switch (rhs.kind) {
         case ir::ArgKind::kConstI:
@@ -516,9 +554,9 @@ Result<Value> Interpreter::EvalFilter(const Expr& e) {
         FilterVariant variant = flavor == FilterFlavor::kBranching
                                     ? FilterVariant::kBranching
                                     : FilterVariant::kBranchless;
-        FilterKernelFn fn = reg.Filter(instr.op, in.type(),
-                                       /*rhs_scalar=*/true, in_sel != nullptr,
-                                       variant);
+        FilterKernelFn fn = reg->Filter(instr.op, in.type(),
+                                        /*rhs_scalar=*/true, in_sel != nullptr,
+                                        variant);
         if (fn != nullptr) {
           count = fn(in.vec.RawData(), rhs_ptr, in_sel, in_n, out->sel.Data());
           done = true;
@@ -534,8 +572,8 @@ Result<Value> Interpreter::EvalFilter(const Expr& e) {
     std::vector<Value> inputs{in_v};
     AVM_RETURN_NOT_OK(prim_exec_.Run(*prog, inputs, in_sel, in_n, in.len,
                                      &bools, MakeCaptureResolver()));
-    count = reg.BoolToSel(in_sel != nullptr)(bools.RawData(), nullptr, in_sel,
-                                             in_n, out->sel.Data());
+    count = reg->BoolToSel(in_sel != nullptr)(bools.RawData(), nullptr, in_sel,
+                                              in_n, out->sel.Data());
   }
   if (chooser != nullptr && in_n > 0) {
     const uint64_t dt = ReadCycleCounter() - t0;
@@ -567,9 +605,9 @@ Result<Value> Interpreter::EvalFold(const Expr& e) {
         instr.args[0].kind == ir::ArgKind::kInput &&
         instr.args[1].kind == ir::ArgKind::kInput &&
         instr.args[0].index != instr.args[1].index;
-    if (inputs_only && KernelRegistry::Get().Fold(instr.op, acc_t) != nullptr) {
-      FoldKernelFn fn = KernelRegistry::Get().Fold(instr.op, acc_t);
-      uint8_t acc_buf[8];
+    if (inputs_only && kernels_->Fold(instr.op, acc_t) != nullptr) {
+      FoldKernelFn fn = kernels_->Fold(instr.op, acc_t);
+      alignas(8) uint8_t acc_buf[8];  // fold kernels read it as typed scalar
       init.CastTo(acc_t).Store(acc_buf);
       if (in.type() == acc_t) {
         fn(in.vec.RawData(), sel, n, acc_buf);
@@ -577,7 +615,7 @@ Result<Value> Interpreter::EvalFold(const Expr& e) {
         // Widen input to acc type first.
         Vector widened(acc_t, in.len);
         PrimKernelFn cast =
-            KernelRegistry::Get().Cast(in.type(), acc_t, sel != nullptr);
+            kernels_->Cast(in.type(), acc_t, sel != nullptr);
         cast(in.vec.RawData(), nullptr, widened.RawData(), sel, n);
         fn(widened.RawData(), sel, n, acc_buf);
       }
@@ -604,7 +642,7 @@ Result<Value> Interpreter::EvalCondense(const Expr& e) {
   const ArrayValue& in = *in_v.array;
   if (!in.has_sel()) return in_v;  // nothing to do
   ArrayPtr out = NewArray(in.type(), std::max(in.len, uint32_t{1}));
-  KernelRegistry::Get().Condense(in.type())(
+  kernels_->Condense(in.type())(
       in.vec.RawData(), nullptr, out->vec.RawData(), in.sel.Data(),
       in.sel.count());
   out->len = in.sel.count();
@@ -649,7 +687,7 @@ Result<Value> Interpreter::EvalGather(const Expr& e) {
   const void* idx_ptr = idx.vec.RawData();
   if (idx.type() != TypeId::kI64) {
     idx64.Reset(TypeId::kI64, idx.len);
-    KernelRegistry::Get().Cast(idx.type(), TypeId::kI64, sel != nullptr)(
+    kernels_->Cast(idx.type(), TypeId::kI64, sel != nullptr)(
         idx.vec.RawData(), nullptr, idx64.RawData(), sel, n);
     idx_ptr = idx64.RawData();
   }
@@ -667,7 +705,7 @@ Result<Value> Interpreter::EvalGather(const Expr& e) {
     }
   }
   ArrayPtr out = NewArray(base_t, std::max(idx.len, uint32_t{1}));
-  KernelRegistry::Get().GatherI64Idx(base_t, sel != nullptr)(
+  kernels_->GatherI64Idx(base_t, sel != nullptr)(
       base, idx_ptr, out->vec.RawData(), sel, n);
   out->len = idx.len;
   if (idx.has_sel()) {
@@ -702,7 +740,7 @@ Result<Value> Interpreter::EvalScatter(const Expr& e) {
     AVM_ASSIGN_OR_RETURN(const ir::PrimProgram* prog,
                          PreparedLambda(*e.args[3], {b->type, vals.type()}));
     if (prog->instrs.size() != 1 ||
-        KernelRegistry::Get().Scatter(prog->instrs[0].op, b->type) ==
+        kernels_->Scatter(prog->instrs[0].op, b->type) ==
             nullptr) {
       return Status::NotImplemented(
           "scatter conflict function must be a single add/min/max primitive");
@@ -719,7 +757,7 @@ Result<Value> Interpreter::EvalScatter(const Expr& e) {
     Vector idx64;
     if (idx.type() != TypeId::kI64) {
       idx64.Reset(TypeId::kI64, idx.len);
-      KernelRegistry::Get().Cast(idx.type(), TypeId::kI64, sel != nullptr)(
+      kernels_->Cast(idx.type(), TypeId::kI64, sel != nullptr)(
           idx.vec.RawData(), nullptr, idx64.RawData(), sel, n);
       pi = idx64.Data<int64_t>();
     }
@@ -736,11 +774,11 @@ Result<Value> Interpreter::EvalScatter(const Expr& e) {
     const void* vptr = vals.vec.RawData();
     if (vals.type() != b->type) {
       widened.Reset(b->type, vals.len);
-      KernelRegistry::Get().Cast(vals.type(), b->type, sel != nullptr)(
+      kernels_->Cast(vals.type(), b->type, sel != nullptr)(
           vals.vec.RawData(), nullptr, widened.RawData(), sel, n);
       vptr = widened.RawData();
     }
-    KernelRegistry::Get().Scatter(combine, b->type)(pi, vptr, b->raw, sel, n);
+    kernels_->Scatter(combine, b->type)(pi, vptr, b->raw, sel, n);
   }
   return Value::S(ScalarValue::I(n));
 }

@@ -107,6 +107,10 @@ struct InterpreterOptions {
   uint32_t chunk_size = kDefaultChunkSize;
   bool enable_profiling = true;
   FilterFlavor filter_flavor = FilterFlavor::kAdaptive;
+  /// Kernel tier this interpreter dispatches to. kAuto resolves to the
+  /// process-wide active tier (AVM_KERNEL_TIER override, else best
+  /// supported); explicit requests clamp to what host + build can run.
+  KernelTier kernel_tier = KernelTier::kAuto;
   /// Safety valve for the infinite `loop` construct.
   uint64_t max_loop_iterations = 1ull << 32;
 };
@@ -157,6 +161,14 @@ class Interpreter {
   /// (observability for tests/benchmarks).
   FilterFlavor PreferredFilterFlavor(uint32_t filter_expr_id) const;
 
+  /// Kernel tier the adaptive chooser currently prefers for a filter node:
+  /// the interpreter's tier, or kScalar when a scalar fallback arm is
+  /// winning (branching scalar can beat SIMD at very low selectivity).
+  KernelTier PreferredFilterTier(uint32_t filter_expr_id) const;
+
+  /// The kernel registry this interpreter dispatches to (resolved tier).
+  const KernelRegistry& kernels() const { return *kernels_; }
+
  private:
   enum class Control : uint8_t { kNext, kBreak };
 
@@ -187,6 +199,7 @@ class Interpreter {
   std::unordered_map<uint32_t, ir::PrimProgram> lambda_cache_;
   std::vector<InjectedTrace> injections_;
   std::unordered_map<uint32_t, MicroAdaptiveChooser> filter_choosers_;
+  const KernelRegistry* kernels_;
   PrimExecutor prim_exec_;
   Profiler profiler_;
   uint64_t loop_iterations_ = 0;

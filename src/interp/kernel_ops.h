@@ -1,0 +1,120 @@
+// Scalar operation functors shared by every kernel tier.
+//
+// The scalar kernel templates (kernels.cc) and the SIMD tier's scalar tail
+// loops (kernels_simd.inc) must agree bit-for-bit on edge semantics —
+// integer wrap-around, division by zero, INT_MIN / -1, -0.0 — so the
+// definitions live here once instead of drifting apart per tier.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "util/hash.h"
+
+namespace avm::interp::ops {
+
+// Integer arithmetic wraps (performed unsigned) so kernels never exhibit UB;
+// integer division by zero yields 0 by convention.
+
+template <typename T>
+T WrapAdd(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+  } else {
+    return a + b;
+  }
+}
+template <typename T>
+T WrapSub(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) - static_cast<U>(b));
+  } else {
+    return a - b;
+  }
+}
+template <typename T>
+T WrapMul(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
+  } else {
+    return a * b;
+  }
+}
+
+struct OpAdd { template <typename T> static T Apply(T a, T b) { return WrapAdd(a, b); } };
+struct OpSub { template <typename T> static T Apply(T a, T b) { return WrapSub(a, b); } };
+struct OpMul { template <typename T> static T Apply(T a, T b) { return WrapMul(a, b); } };
+struct OpDiv {
+  template <typename T> static T Apply(T a, T b) {
+    if constexpr (std::is_integral_v<T>) {
+      if (b == 0) return 0;
+      if constexpr (std::is_signed_v<T>) {
+        // INT_MIN / -1 overflows; define it as INT_MIN.
+        if (b == T(-1) && a == std::numeric_limits<T>::min()) return a;
+      }
+      return static_cast<T>(a / b);
+    } else {
+      return a / b;
+    }
+  }
+};
+struct OpMod {
+  template <typename T> static T Apply(T a, T b) {
+    if constexpr (std::is_integral_v<T>) {
+      if (b == 0) return 0;
+      if constexpr (std::is_signed_v<T>) {
+        if (b == T(-1)) return 0;
+      }
+      return static_cast<T>(a % b);
+    } else {
+      return std::fmod(a, b);
+    }
+  }
+};
+struct OpMin { template <typename T> static T Apply(T a, T b) { return a < b ? a : b; } };
+struct OpMax { template <typename T> static T Apply(T a, T b) { return a > b ? a : b; } };
+struct OpAnd { template <typename T> static T Apply(T a, T b) { return a && b; } };
+struct OpOr  { template <typename T> static T Apply(T a, T b) { return a || b; } };
+
+struct CmpEq { template <typename T> static bool Apply(T a, T b) { return a == b; } };
+struct CmpNe { template <typename T> static bool Apply(T a, T b) { return a != b; } };
+struct CmpLt { template <typename T> static bool Apply(T a, T b) { return a < b; } };
+struct CmpLe { template <typename T> static bool Apply(T a, T b) { return a <= b; } };
+struct CmpGt { template <typename T> static bool Apply(T a, T b) { return a > b; } };
+struct CmpGe { template <typename T> static bool Apply(T a, T b) { return a >= b; } };
+
+struct UnNeg  { template <typename T> static T Apply(T a) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(U(0) - static_cast<U>(a));
+  } else { return -a; }
+} };
+struct UnAbs  { template <typename T> static T Apply(T a) {
+  if constexpr (std::is_integral_v<T>) {
+    return a < 0 ? UnNeg::Apply(a) : a;
+  } else { return std::abs(a); }
+} };
+struct UnNot  { template <typename T> static T Apply(T a) { return !a; } };
+struct UnSqrt {
+  template <typename T> static auto Apply(T a) {
+    if constexpr (std::is_same_v<T, float>) { return std::sqrt(a); }
+    else { return std::sqrt(static_cast<double>(a)); }
+  }
+};
+struct UnHash {
+  template <typename T> static int64_t Apply(T a) {
+    return static_cast<int64_t>(HashInt64(static_cast<uint64_t>(
+        static_cast<int64_t>(a))));
+  }
+};
+
+struct CombineOverwrite {
+  template <typename T> static T Apply(T /*old_v*/, T new_v) { return new_v; }
+};
+
+}  // namespace avm::interp::ops

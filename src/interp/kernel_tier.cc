@@ -1,0 +1,72 @@
+#include "interp/kernel_tier.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "interp/kernels_simd.h"
+#include "util/cpu_info.h"
+
+namespace avm::interp {
+
+const char* TierName(KernelTier t) {
+  switch (t) {
+    case KernelTier::kScalar: return "scalar";
+    case KernelTier::kSse2: return "sse2";
+    case KernelTier::kAvx2: return "avx2";
+    case KernelTier::kAuto: return "auto";
+  }
+  return "?";
+}
+
+KernelTier ParseKernelTier(const char* s) {
+  if (s == nullptr) return KernelTier::kAuto;
+  if (std::strcmp(s, "scalar") == 0) return KernelTier::kScalar;
+  if (std::strcmp(s, "sse2") == 0) return KernelTier::kSse2;
+  if (std::strcmp(s, "avx2") == 0) return KernelTier::kAvx2;
+  return KernelTier::kAuto;
+}
+
+KernelTier BestSupportedTier() {
+  const CpuInfo& cpu = CpuInfo::Host();
+  if (cpu.has_avx2 && Avx2Kernels().available) return KernelTier::kAvx2;
+  if ((cpu.has_sse2 || cpu.has_neon) && Sse2Kernels().available) {
+    return KernelTier::kSse2;
+  }
+  return KernelTier::kScalar;
+}
+
+std::vector<KernelTier> SupportedTiers() {
+  const auto best = static_cast<uint8_t>(BestSupportedTier());
+  std::vector<KernelTier> tiers;
+  for (uint8_t t = 0; t <= best; ++t) {
+    tiers.push_back(static_cast<KernelTier>(t));
+  }
+  return tiers;
+}
+
+KernelTier ActiveKernelTier() {
+  static const KernelTier tier = [] {
+    const KernelTier best = BestSupportedTier();
+    const char* env = std::getenv("AVM_KERNEL_TIER");
+    if (env != nullptr && *env != '\0') {
+      const KernelTier req = ParseKernelTier(env);
+      if (req != KernelTier::kAuto &&
+          static_cast<uint8_t>(req) <= static_cast<uint8_t>(best)) {
+        return req;
+      }
+      // Unknown or unsupported override: fall through to the best tier
+      // rather than silently running a tier the host cannot execute.
+    }
+    return best;
+  }();
+  return tier;
+}
+
+KernelTier ResolveKernelTier(KernelTier request) {
+  if (request == KernelTier::kAuto) return ActiveKernelTier();
+  const KernelTier best = BestSupportedTier();
+  return static_cast<uint8_t>(request) <= static_cast<uint8_t>(best) ? request
+                                                                     : best;
+}
+
+}  // namespace avm::interp

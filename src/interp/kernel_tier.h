@@ -1,0 +1,53 @@
+// SIMD kernel tiers and runtime ISA dispatch.
+//
+// The kernel registry (kernels.h) exists per tier: the scalar tier is the
+// portable baseline every other tier is parity-tested against, the 128-bit
+// tier ("sse2" after its x86 encoding; built from GNU vector extensions so
+// it also serves NEON-class hosts) is the portable SIMD baseline, and the
+// AVX2 tier is compiled in a dedicated translation unit with -mavx2 and only
+// selected when the host actually reports AVX2 (cpuid / HWCAP probe in
+// util/cpu_info.cc). The AVM_KERNEL_TIER environment variable forces a tier
+// for tests and benchmarks; requests above what host + build support clamp
+// down to the best available tier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace avm::interp {
+
+/// SIMD instruction tier a kernel implementation targets. Tiers are ordered:
+/// a host that runs tier N also runs every tier below it.
+enum class KernelTier : uint8_t {
+  kScalar = 0,  ///< portable scalar loops — always available
+  kSse2 = 1,    ///< 128-bit vectors (x86 SSE2 encoding; portable baseline)
+  kAvx2 = 2,    ///< 256-bit vectors (x86 AVX2, separate -mavx2 TU)
+  /// Request-only value: resolve to the process-wide active tier
+  /// (AVM_KERNEL_TIER override, else the best supported tier).
+  kAuto = 255,
+};
+
+/// Human-readable tier name: "scalar", "sse2", "avx2" ("auto" for kAuto).
+const char* TierName(KernelTier t);
+
+/// Parse "scalar" | "sse2" | "avx2" (the AVM_KERNEL_TIER values); any other
+/// string yields kAuto.
+KernelTier ParseKernelTier(const char* s);
+
+/// Best tier this build AND this host can run: the runtime CPU probe
+/// (CpuInfo::Host()) intersected with which SIMD translation units the build
+/// actually compiled.
+KernelTier BestSupportedTier();
+
+/// Every tier runnable on this host, ascending; always contains kScalar.
+std::vector<KernelTier> SupportedTiers();
+
+/// The process-wide active tier: the AVM_KERNEL_TIER override if set and
+/// supported, else BestSupportedTier(). Read once and cached.
+KernelTier ActiveKernelTier();
+
+/// Resolve a tier request: kAuto becomes ActiveKernelTier(); an explicit
+/// request clamps to BestSupportedTier().
+KernelTier ResolveKernelTier(KernelTier request);
+
+}  // namespace avm::interp

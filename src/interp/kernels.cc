@@ -4,6 +4,8 @@
 #include <limits>
 #include <type_traits>
 
+#include "interp/kernel_ops.h"
+#include "interp/kernels_simd.h"
 #include "util/hash.h"
 #include "util/macros.h"
 
@@ -13,80 +15,9 @@ namespace {
 
 using dsl::ScalarOp;
 
-// ---------------------------------------------------------------------------
-// Scalar operation functors. Integer arithmetic wraps (performed unsigned) so
-// kernels never exhibit UB; integer division by zero yields 0 by convention.
-// ---------------------------------------------------------------------------
-
-template <typename T>
-T WrapAdd(T a, T b) {
-  if constexpr (std::is_integral_v<T>) {
-    using U = std::make_unsigned_t<T>;
-    return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
-  } else {
-    return a + b;
-  }
-}
-template <typename T>
-T WrapSub(T a, T b) {
-  if constexpr (std::is_integral_v<T>) {
-    using U = std::make_unsigned_t<T>;
-    return static_cast<T>(static_cast<U>(a) - static_cast<U>(b));
-  } else {
-    return a - b;
-  }
-}
-template <typename T>
-T WrapMul(T a, T b) {
-  if constexpr (std::is_integral_v<T>) {
-    using U = std::make_unsigned_t<T>;
-    return static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
-  } else {
-    return a * b;
-  }
-}
-
-struct OpAdd { template <typename T> static T Apply(T a, T b) { return WrapAdd(a, b); } };
-struct OpSub { template <typename T> static T Apply(T a, T b) { return WrapSub(a, b); } };
-struct OpMul { template <typename T> static T Apply(T a, T b) { return WrapMul(a, b); } };
-struct OpDiv {
-  template <typename T> static T Apply(T a, T b) {
-    if constexpr (std::is_integral_v<T>) {
-      if (b == 0) return 0;
-      if constexpr (std::is_signed_v<T>) {
-        // INT_MIN / -1 overflows; define it as INT_MIN.
-        if (b == T(-1) && a == std::numeric_limits<T>::min()) return a;
-      }
-      return static_cast<T>(a / b);
-    } else {
-      return a / b;
-    }
-  }
-};
-struct OpMod {
-  template <typename T> static T Apply(T a, T b) {
-    if constexpr (std::is_integral_v<T>) {
-      if (b == 0) return 0;
-      if constexpr (std::is_signed_v<T>) {
-        if (b == T(-1)) return 0;
-      }
-      return static_cast<T>(a % b);
-    } else {
-      return std::fmod(a, b);
-    }
-  }
-};
-struct OpMin { template <typename T> static T Apply(T a, T b) { return a < b ? a : b; } };
-struct OpMax { template <typename T> static T Apply(T a, T b) { return a > b ? a : b; } };
-struct OpAnd { template <typename T> static T Apply(T a, T b) { return a && b; } };
-struct OpOr  { template <typename T> static T Apply(T a, T b) { return a || b; } };
-
-struct CmpEq { template <typename T> static bool Apply(T a, T b) { return a == b; } };
-struct CmpNe { template <typename T> static bool Apply(T a, T b) { return a != b; } };
-struct CmpLt { template <typename T> static bool Apply(T a, T b) { return a < b; } };
-struct CmpLe { template <typename T> static bool Apply(T a, T b) { return a <= b; } };
-struct CmpGt { template <typename T> static bool Apply(T a, T b) { return a > b; } };
-struct CmpGe { template <typename T> static bool Apply(T a, T b) { return a >= b; } };
+// Scalar operation functors live in kernel_ops.h, shared with the SIMD
+// tiers' scalar tail loops so edge semantics can't drift apart per tier.
+using namespace ops;
 
 // ---------------------------------------------------------------------------
 // Kernel templates
@@ -115,31 +46,6 @@ void BinaryKernel(const void* a, const void* b, void* out, const sel_t* sel,
     }
   }
 }
-
-struct UnNeg  { template <typename T> static T Apply(T a) {
-  if constexpr (std::is_integral_v<T>) {
-    using U = std::make_unsigned_t<T>;
-    return static_cast<T>(U(0) - static_cast<U>(a));
-  } else { return -a; }
-} };
-struct UnAbs  { template <typename T> static T Apply(T a) {
-  if constexpr (std::is_integral_v<T>) {
-    return a < 0 ? UnNeg::Apply(a) : a;
-  } else { return std::abs(a); }
-} };
-struct UnNot  { template <typename T> static T Apply(T a) { return !a; } };
-struct UnSqrt {
-  template <typename T> static auto Apply(T a) {
-    if constexpr (std::is_same_v<T, float>) { return std::sqrt(a); }
-    else { return std::sqrt(static_cast<double>(a)); }
-  }
-};
-struct UnHash {
-  template <typename T> static int64_t Apply(T a) {
-    return static_cast<int64_t>(HashInt64(static_cast<uint64_t>(
-        static_cast<int64_t>(a))));
-  }
-};
 
 template <typename T, typename OUT, typename OP, bool SEL>
 void UnaryKernel(const void* a, const void* /*b*/, void* out, const sel_t* sel,
@@ -254,10 +160,6 @@ void GatherKernel(const void* base, const void* idx, void* out,
   }
 }
 
-struct CombineOverwrite {
-  template <typename T> static T Apply(T /*old_v*/, T new_v) { return new_v; }
-};
-
 template <typename T, typename COMBINE>
 void ScatterKernel(const void* idx, const void* values, void* base,
                    const sel_t* sel, uint32_t n) {
@@ -291,8 +193,26 @@ void CondenseKernel(const void* v, const void* /*b*/, void* out,
 // ---------------------------------------------------------------------------
 
 const KernelRegistry& KernelRegistry::Get() {
-  static KernelRegistry registry;
-  return registry;
+  return ForTier(KernelTier::kAuto);
+}
+
+const KernelRegistry& KernelRegistry::ForTier(KernelTier tier) {
+  // One lazily-built registry per tier (Meyers statics) so parity tests and
+  // per-query tier forcing can hold several tiers in one process.
+  switch (ResolveKernelTier(tier)) {
+    case KernelTier::kAvx2: {
+      static const KernelRegistry registry(KernelTier::kAvx2);
+      return registry;
+    }
+    case KernelTier::kSse2: {
+      static const KernelRegistry registry(KernelTier::kSse2);
+      return registry;
+    }
+    default: {
+      static const KernelRegistry registry(KernelTier::kScalar);
+      return registry;
+    }
+  }
 }
 
 namespace {
@@ -303,7 +223,7 @@ template <typename T>
 using Stored = std::conditional_t<kIsBool<T>, uint8_t, T>;
 }  // namespace
 
-KernelRegistry::KernelRegistry() {
+KernelRegistry::KernelRegistry(KernelTier tier) : tier_(tier) {
   auto op_i = [](ScalarOp op) { return static_cast<size_t>(op); };
   auto ty_i = [](TypeId t) { return static_cast<size_t>(t); };
 
@@ -461,6 +381,40 @@ KernelRegistry::KernelRegistry() {
         &ScatterKernel<T, CombineOverwrite>;
     num_registered_ += 1;
   });
+
+  // --- SIMD tier overlay -----------------------------------------------------
+  // Tiers are cumulative: the AVX2 registry first takes the 128-bit tier's
+  // kernels, then the AVX2 set replaces the slots it covers, so any slot the
+  // top tier doesn't provide falls back to the next tier down.
+  if (tier_ >= KernelTier::kSse2) Overlay(Sse2Kernels());
+  if (tier_ >= KernelTier::kAvx2) Overlay(Avx2Kernels());
+}
+
+void KernelRegistry::Overlay(const SimdKernelSet& simd) {
+  if (!simd.available) return;
+  for (size_t op = 0; op < kOps; ++op) {
+    for (size_t t = 0; t < kTypes; ++t) {
+      for (size_t m = 0; m < 3; ++m) {
+        if (simd.binary[op][t][m] != nullptr) {
+          binary_[op][t][m][0] = simd.binary[op][t][m];
+        }
+      }
+      if (simd.unary[op][t] != nullptr) unary_[op][t][0] = simd.unary[op][t];
+      for (size_t rs = 0; rs < 2; ++rs) {
+        for (size_t v = 0; v < 2; ++v) {
+          if (simd.filter[op][t][rs][v] != nullptr) {
+            filter_[op][t][rs][0][v] = simd.filter[op][t][rs][v];
+          }
+        }
+      }
+      if (simd.fold[op][t] != nullptr) fold_[op][t] = simd.fold[op][t];
+    }
+  }
+  for (size_t t = 0; t < kTypes; ++t) {
+    if (simd.gather[t] != nullptr) gather_[t][0] = simd.gather[t];
+    if (simd.condense[t] != nullptr) condense_[t] = simd.condense[t];
+  }
+  if (simd.bool_to_sel != nullptr) bool_to_sel_[0] = simd.bool_to_sel;
 }
 
 PrimKernelFn KernelRegistry::Binary(dsl::ScalarOp op, TypeId in_type,

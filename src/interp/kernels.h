@@ -13,10 +13,16 @@
 #include <cstdint>
 
 #include "dsl/ast.h"
+#include "interp/kernel_tier.h"
 #include "storage/types.h"
 #include "util/status.h"
 
 namespace avm::interp {
+
+struct SimdKernelSet;
+
+/// Cardinality of dsl::ScalarOp — the op axis of every kernel table.
+inline constexpr size_t kNumKernelOps = 21;
 
 /// Uniform kernel ABI. `a`, `b` point to vector data or a single scalar
 /// (broadcast), `out` to the destination vector. If `sel` is non-null, only
@@ -55,7 +61,19 @@ enum class FilterVariant : uint8_t {
 /// lookups (flat arrays indexed by enums).
 class KernelRegistry {
  public:
+  /// Registry for the process-wide active tier (AVM_KERNEL_TIER override,
+  /// else the best tier host + build support).
   static const KernelRegistry& Get();
+
+  /// Registry for a specific tier (kAuto = active tier; unsupported requests
+  /// clamp down). Each tier's registry is built once on first use: scalar
+  /// kernels fill every slot, then the tier's SIMD kernel set overlays the
+  /// non-selective slots it provides. Used by parity tests and per-query
+  /// tier forcing (InterpreterOptions::kernel_tier).
+  static const KernelRegistry& ForTier(KernelTier tier);
+
+  /// The tier this registry was built for.
+  KernelTier tier() const { return tier_; }
 
   /// Element-wise kernel for op over in_type operands.
   /// Comparisons write uint8 (bool) outputs. Null if unsupported combo.
@@ -89,10 +107,17 @@ class KernelRegistry {
   size_t NumRegistered() const { return num_registered_; }
 
  private:
-  KernelRegistry();
+  explicit KernelRegistry(KernelTier tier);
 
-  static constexpr size_t kOps = 21;     // ScalarOp cardinality
+  /// Replace non-selective slots with the tier's SIMD kernels (null SIMD
+  /// slots keep the scalar implementation). num_registered_ is unchanged:
+  /// it counts distinct kernel slots, not implementations.
+  void Overlay(const SimdKernelSet& simd);
+
+  static constexpr size_t kOps = kNumKernelOps;
   static constexpr size_t kTypes = kNumTypes;
+
+  KernelTier tier_ = KernelTier::kScalar;
 
   PrimKernelFn binary_[kOps][kTypes][3][2] = {};
   PrimKernelFn unary_[kOps][kTypes][2] = {};

@@ -1,0 +1,52 @@
+// 256-bit SIMD kernel tier (AVX2). This TU is compiled with -mavx2 when the
+// compiler supports it (CMake per-file COMPILE_OPTIONS); the dispatcher only
+// selects the tier when the *host* reports AVX2 at runtime, so the binary
+// stays runnable on older x86. On builds without AVX2 support the tier
+// reports available=false and the dispatcher clamps to the 128-bit tier.
+#include "interp/kernels_simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "interp/kernel_ops.h"
+
+#define AVM_SIMD_X86 1
+#define AVM_SIMD_BYTES 32
+#define AVM_SIMD_IS_AVX2 1
+
+namespace avm::interp {
+
+namespace simd_avx2 {
+#include "interp/kernels_simd.inc"
+}  // namespace simd_avx2
+
+const SimdKernelSet& Avx2Kernels() {
+  static const SimdKernelSet set = [] {
+    SimdKernelSet s;
+    simd_avx2::Fill(&s);
+    s.available = true;
+    return s;
+  }();
+  return set;
+}
+
+}  // namespace avm::interp
+
+#else  // !defined(__AVX2__)
+
+namespace avm::interp {
+
+const SimdKernelSet& Avx2Kernels() {
+  static const SimdKernelSet set;  // available = false
+  return set;
+}
+
+}  // namespace avm::interp
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,49 @@
+// Internal seam between the per-ISA SIMD kernel translation units and the
+// KernelRegistry.
+//
+// Each SIMD tier TU (kernels_sse2.cc, kernels_avx2.cc) expands the single
+// kernel template in kernels_simd.inc at its vector width and fills a
+// SimdKernelSet with the slots it covers; the registry constructor overlays
+// the non-null slots onto the scalar tables. A tier only overlays the
+// *non-selective* kernel slots — selection-vector driven execution is a
+// scatter/gather access pattern the scalar kernels already serve well, so
+// selective slots stay bit-identical scalar under every tier.
+#pragma once
+
+#include "interp/kernels.h"
+
+namespace avm::interp {
+
+/// Kernel slots one SIMD tier may provide. Null entries fall back to the
+/// scalar implementation during registry overlay. Indexing mirrors the
+/// registry tables: [op][type] plus per-family axes, minus the `selective`
+/// axis (SIMD covers the dense, no-input-selection slots only).
+struct SimdKernelSet {
+  /// False when this build could not compile the tier (e.g. no -mavx2
+  /// support); the dispatcher then never selects it.
+  bool available = false;
+  /// op × type × operand-mode (kVecVec/kVecScalar/kScalarVec).
+  PrimKernelFn binary[kNumKernelOps][kNumTypes][3] = {};
+  PrimKernelFn unary[kNumKernelOps][kNumTypes] = {};
+  /// cmp × type × rhs_scalar × FilterVariant (branchless movemask-compress,
+  /// branching mask-skip).
+  FilterKernelFn filter[kNumKernelOps][kNumTypes][2][2] = {};
+  FilterKernelFn bool_to_sel = nullptr;
+  /// Folds reduce through per-lane accumulators with a fixed lane-reduction
+  /// order: bit-stable run-to-run within a tier, but f64/f32 kAdd folds may
+  /// differ from the scalar tier by FP associativity (see ARCHITECTURE.md
+  /// "Kernel tiers").
+  FoldKernelFn fold[kNumKernelOps][kNumTypes] = {};
+  PrimKernelFn gather[kNumTypes] = {};
+  PrimKernelFn condense[kNumTypes] = {};
+};
+
+/// The 128-bit portable tier's kernel set (built from GNU vector
+/// extensions; empty set with available=false on compilers without them).
+const SimdKernelSet& Sse2Kernels();
+
+/// The AVX2 tier's kernel set (empty set with available=false when the
+/// build lacks -mavx2 support or targets a non-x86 architecture).
+const SimdKernelSet& Avx2Kernels();
+
+}  // namespace avm::interp

@@ -1,0 +1,39 @@
+// 128-bit SIMD kernel tier ("sse2"). Built from GNU vector extensions so the
+// same expansion serves SSE2-class x86 and NEON-class ARM hosts; compiled
+// without extra ISA flags (128-bit vectors are baseline on both).
+#include "interp/kernels_simd.h"
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "interp/kernel_ops.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define AVM_SIMD_X86 1
+#else
+#define AVM_SIMD_X86 0
+#endif
+
+#define AVM_SIMD_BYTES 16
+#define AVM_SIMD_IS_AVX2 0
+
+namespace avm::interp {
+
+namespace simd_sse2 {
+#include "interp/kernels_simd.inc"
+}  // namespace simd_sse2
+
+const SimdKernelSet& Sse2Kernels() {
+  static const SimdKernelSet set = [] {
+    SimdKernelSet s;
+    simd_sse2::Fill(&s);
+    s.available = true;
+    return s;
+  }();
+  return set;
+}
+
+}  // namespace avm::interp

@@ -127,7 +127,8 @@ Status PrimExecutor::Run(const ir::PrimProgram& prog,
                          const std::vector<Value>& inputs, const sel_t* sel,
                          uint32_t sel_n, uint32_t n, Vector* out,
                          const CaptureResolver& captures) {
-  const KernelRegistry& reg = KernelRegistry::Get();
+  const KernelRegistry& reg =
+      registry_ != nullptr ? *registry_ : KernelRegistry::Get();
   if (regs_.size() < static_cast<size_t>(prog.num_regs)) {
     regs_.resize(static_cast<size_t>(prog.num_regs));
   }

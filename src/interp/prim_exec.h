@@ -21,6 +21,10 @@ using CaptureResolver =
 /// does not allocate.
 class PrimExecutor {
  public:
+  /// Dispatch kernels from `registry` (per-tier; see KernelRegistry::ForTier)
+  /// instead of the process-wide active registry. `registry` must outlive
+  /// the executor (tier registries are process-lifetime singletons).
+  void set_registry(const KernelRegistry* registry) { registry_ = registry; }
   /// Execute `prog` over `inputs` (one Value per lambda parameter; scalar
   /// inputs broadcast). `n` is the physical chunk length; if `sel` is
   /// non-null only the `sel_n` selected positions are computed (X100-style
@@ -39,7 +43,9 @@ class PrimExecutor {
   struct Operand {
     const void* data = nullptr;
     bool is_vector = false;
-    uint8_t scalar_buf[8] = {0};
+    // Kernels read this through typed pointers (e.g. const int64_t*), so it
+    // must be aligned for the widest scalar type.
+    alignas(8) uint8_t scalar_buf[8] = {0};
   };
 
   // Fills `*out` in place: `out->data` may alias `out->scalar_buf`, so the
@@ -55,6 +61,7 @@ class PrimExecutor {
     bool valid = false;
   };
   std::vector<Reg> regs_;
+  const KernelRegistry* registry_ = nullptr;  // null = active-tier registry
 };
 
 }  // namespace avm::interp

@@ -5,6 +5,13 @@
 #include <string>
 #include <thread>
 
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#endif
+
 namespace avm {
 
 namespace {
@@ -34,13 +41,30 @@ CpuInfo Probe() {
       "/sys/devices/system/cpu/cpu0/cache/index2/size", info.l2_bytes);
   info.l3_bytes = ReadSysfsBytes(
       "/sys/devices/system/cpu/cpu0/cache/index3/size", info.l3_bytes);
-#if defined(__AVX512F__)
-  info.simd_width_bytes = 64;
-#elif defined(__AVX2__)
-  info.simd_width_bytes = 32;
-#elif defined(__SSE2__)
-  info.simd_width_bytes = 16;
+  // Runtime ISA probe — what the host executes, independent of the flags
+  // this TU was compiled with. x86 __builtin_cpu_supports reads cpuid (and
+  // on AVX checks OS xsave support); ARM reads the kernel's HWCAP bits.
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  info.has_sse2 = __builtin_cpu_supports("sse2") != 0;
+  info.has_avx2 = __builtin_cpu_supports("avx2") != 0;
+  info.has_avx512f = __builtin_cpu_supports("avx512f") != 0;
+#elif defined(__aarch64__)
+#if defined(__linux__)
+  info.has_neon = (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+  info.has_neon = true;  // AdvSIMD is architecturally mandatory on AArch64.
 #endif
+#endif
+  if (info.has_avx512f) {
+    info.simd_width_bytes = 64;
+  } else if (info.has_avx2) {
+    info.simd_width_bytes = 32;
+  } else if (info.has_sse2 || info.has_neon) {
+    info.simd_width_bytes = 16;
+  } else {
+    info.simd_width_bytes = 8;  // scalar-only host: word width
+  }
   return info;
 }
 

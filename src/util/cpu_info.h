@@ -14,10 +14,20 @@ struct CpuInfo {
   /// L1 dTLB entries for 4K pages; the paper caps fused-function fan-in by it.
   size_t l1_dtlb_entries = 64;
   size_t cache_line_bytes = 64;
-  size_t simd_width_bytes = 32;  // AVX2 default
+  /// Widest SIMD register the *host* executes (runtime probe, not the
+  /// compile target): 64 for AVX-512, 32 for AVX2, 16 for SSE2/NEON.
+  size_t simd_width_bytes = 16;
   unsigned num_cores = 1;
 
-  /// Probe the host (sysfs/sysconf); falls back to the defaults above.
+  /// Runtime ISA capability (cpuid-backed __builtin_cpu_supports on x86,
+  /// getauxval HWCAP on ARM). Drives kernel-tier dispatch
+  /// (interp/kernel_tier.h); false on other architectures.
+  bool has_sse2 = false;
+  bool has_avx2 = false;
+  bool has_avx512f = false;
+  bool has_neon = false;
+
+  /// Probe the host (sysfs/sysconf/cpuid); falls back to the defaults above.
   static const CpuInfo& Host();
 
   /// Paper heuristic: maximum inputs+intermediates per fused function.

@@ -56,6 +56,33 @@ TEST(ExecEngineTest, SerialInterpretedMapPipeline) {
   }
 }
 
+TEST(ExecEngineTest, ReportRecordsResolvedKernelTier) {
+  const int64_t n = 4'096;
+  DataGen gen(5);
+  auto data = gen.UniformI64(n, -100, 100);
+  std::vector<int64_t> out(n);
+
+  auto run_with_tier = [&](interp::KernelTier tier) -> std::string {
+    ExecContext ctx(TripleMapFactory(), n);
+    ctx.BindInput("src",
+                  interp::DataBinding::Raw(TypeId::kI64, data.data(), n));
+    ctx.BindOutput(
+        "out", interp::DataBinding::Raw(TypeId::kI64, out.data(), n, true));
+    EngineOptions opts;
+    opts.strategy = ExecutionStrategy::kInterpret;
+    opts.vm.interp.kernel_tier = tier;
+    auto report = ExecEngine::Execute(ctx, opts);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? report.value().kernel_tier : "";
+  };
+
+  // kAuto resolves to whatever the host supports; the report must name it.
+  EXPECT_EQ(run_with_tier(interp::KernelTier::kAuto),
+            interp::TierName(interp::ResolveKernelTier(interp::KernelTier::kAuto)));
+  // Forcing scalar always sticks — every host supports it.
+  EXPECT_EQ(run_with_tier(interp::KernelTier::kScalar), "scalar");
+}
+
 TEST(ExecEngineTest, ParallelMapPipelineMatchesSerial) {
   const int64_t n = 500'000;
   DataGen gen(7);
