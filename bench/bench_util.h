@@ -17,10 +17,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace avm::benchutil {
@@ -34,6 +36,33 @@ inline void ReportTuples(benchmark::State& state, uint64_t tuples_per_iter,
   if (!strategy.empty()) state.SetLabel(strategy);
 }
 
+/// Attach the JIT observability block of an ExecReport/VmReport-shaped
+/// struct to a run. Counters prefixed "jit_" or "disk_" are serialized into
+/// the run's BENCH_results.json row (per-tier compile latency, disk-cache
+/// traffic, tier upgrades), so cached-vs-compiled runs are distinguishable
+/// in the tracked results. Templated to keep this header engine-agnostic.
+template <typename Report>
+inline void ReportJit(benchmark::State& state, const Report& r) {
+  state.counters["jit_fast_compiles"] =
+      benchmark::Counter(static_cast<double>(r.fast_compiles));
+  state.counters["jit_opt_compiles"] =
+      benchmark::Counter(static_cast<double>(r.opt_compiles));
+  state.counters["jit_fast_compile_ms"] =
+      benchmark::Counter(r.fast_compile_seconds * 1e3);
+  state.counters["jit_opt_compile_ms"] =
+      benchmark::Counter(r.opt_compile_seconds * 1e3);
+  state.counters["jit_upgrades_requested"] =
+      benchmark::Counter(static_cast<double>(r.tier_upgrades_requested));
+  state.counters["jit_upgrades"] =
+      benchmark::Counter(static_cast<double>(r.tier_upgrades));
+  state.counters["disk_hits"] =
+      benchmark::Counter(static_cast<double>(r.disk_cache_hits));
+  state.counters["disk_misses"] =
+      benchmark::Counter(static_cast<double>(r.disk_cache_misses));
+  state.counters["disk_corrupt"] =
+      benchmark::Counter(static_cast<double>(r.disk_cache_corrupt));
+}
+
 namespace internal {
 
 struct RunRecord {
@@ -41,6 +70,8 @@ struct RunRecord {
   std::string strategy;
   double tuples_per_sec = -1;  // <0 = absent
   double ms_per_iter = 0;
+  // JIT/disk-cache counters attached via ReportJit, serialized verbatim.
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 /// Console reporter that also collects per-run records for the JSON sink.
@@ -60,6 +91,12 @@ class CollectingReporter : public benchmark::ConsoleReporter {
       auto it = run.counters.find("tuples/s");
       if (it == run.counters.end()) it = run.counters.find("rows/s");
       if (it != run.counters.end()) rec.tuples_per_sec = it->second.value;
+      for (const auto& [cname, counter] : run.counters) {
+        if (cname.rfind("jit_", 0) == 0 || cname.rfind("disk_", 0) == 0) {
+          rec.extras.emplace_back(cname, counter.value);
+        }
+      }
+      std::sort(rec.extras.begin(), rec.extras.end());
       records.push_back(std::move(rec));
     }
   }
@@ -151,6 +188,9 @@ inline void WriteRecords(const char* binary_name,
     } else {
       std::fprintf(f, "\"tuples_per_sec\":null,\"ns_per_tuple\":null,");
     }
+    for (const auto& [cname, value] : r.extras) {
+      std::fprintf(f, "\"%s\":%.3f,", JsonEscape(cname).c_str(), value);
+    }
     std::fprintf(f, "\"ms_per_iter\":%.4f}\n", r.ms_per_iter);
   }
   std::fclose(f);
@@ -168,7 +208,18 @@ inline const char* Basename(const char* argv0) {
 }  // namespace internal
 }  // namespace avm::benchutil
 
+/// Optional subprocess hook: a bench binary that defines this strong symbol
+/// can re-execute itself (via /proc/self/exe) with AVM_BENCH_CHILD set; the
+/// child then runs this function with the variable's value instead of the
+/// benchmark harness. bench_warm_restart uses it to measure true
+/// cold-process vs warm-process first-query latency.
+extern "C" int avm_bench_child_main(const char* task) __attribute__((weak));
+
 int main(int argc, char** argv) {
+  if (const char* task = std::getenv("AVM_BENCH_CHILD");
+      task != nullptr && avm_bench_child_main != nullptr) {
+    return avm_bench_child_main(task);
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   avm::benchutil::internal::CollectingReporter reporter;

@@ -6,9 +6,11 @@
 #
 #   scripts/check_doc_comments.sh [header...]
 #
-# With no arguments it checks the headers the Trace-ABI PR committed to
-# keeping documented (docs/TRACE_ABI.md satellite): exec_engine.h,
-# adaptive_vm.h, trace_abi.h. CI fails the build on any finding.
+# With no arguments it checks the headers the Trace-ABI and trace-cache
+# PRs committed to keeping documented (docs/TRACE_ABI.md and
+# docs/TRACE_CACHE.md satellites): exec_engine.h, adaptive_vm.h,
+# trace_abi.h, jit_backend.h, backend_cc.h, disk_cache.h. CI fails the
+# build on any finding.
 set -u
 
 headers=("$@")
@@ -17,6 +19,9 @@ if [ ${#headers[@]} -eq 0 ]; then
     src/engine/exec_engine.h
     src/vm/adaptive_vm.h
     src/jit/trace_abi.h
+    src/jit/jit_backend.h
+    src/jit/backend_cc.h
+    src/jit/disk_cache.h
   )
 fi
 

@@ -107,6 +107,29 @@ struct ExecReport {
   uint64_t injection_fallbacks = 0;
   double compile_seconds = 0;
 
+  /// JIT tier policy the query's VMs compiled under ("tiered", "fast",
+  /// "opt"): AVM_JIT_TIER / VmOptions::jit_tier_policy resolved.
+  std::string jit_tier;
+  /// Per-tier split of traces_compiled with backend wall time: fast (-O0)
+  /// first-execution compiles vs optimized (-O2) compiles.
+  uint64_t fast_compiles = 0;
+  uint64_t opt_compiles = 0;
+  double fast_compile_seconds = 0;
+  double opt_compile_seconds = 0;
+  /// Persistent trace-cache traffic (AVM_TRACE_CACHE_DIR): situations whose
+  /// machine code loaded from disk instead of compiling — disk hits do NOT
+  /// count into traces_compiled, which is exactly the warm-restart
+  /// guarantee (`traces_compiled == 0 && disk_cache_hits > 0` after a
+  /// restart) — plus probed-but-absent misses and corrupt entries detected,
+  /// deleted and recompiled.
+  uint64_t disk_cache_hits = 0;
+  uint64_t disk_cache_misses = 0;
+  uint64_t disk_cache_corrupt = 0;
+  /// Hotness-triggered background fast→optimized tier upgrades: requested
+  /// by this query's injections; completed = re-published by report time.
+  uint64_t tier_upgrades_requested = 0;
+  uint64_t tier_upgrades = 0;
+
   /// Non-empty when the adaptive VM considered a hot trace but declined to
   /// compile it (first reason observed). The trace ABI passes selections
   /// in, scalar state out, and a bounds status (docs/TRACE_ABI.md), so

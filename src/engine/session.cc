@@ -444,6 +444,16 @@ void MergeVmReport(const vm::VmReport& in, ExecReport* out) {
   out->injection_fallbacks += in.injection_fallbacks;
   out->compile_seconds += in.compile_seconds;
   if (out->jit_declined.empty()) out->jit_declined = in.jit_declined;
+  if (out->jit_tier.empty()) out->jit_tier = in.jit_tier;
+  out->fast_compiles += in.fast_compiles;
+  out->opt_compiles += in.opt_compiles;
+  out->fast_compile_seconds += in.fast_compile_seconds;
+  out->opt_compile_seconds += in.opt_compile_seconds;
+  out->disk_cache_hits += in.disk_cache_hits;
+  out->disk_cache_misses += in.disk_cache_misses;
+  out->disk_cache_corrupt += in.disk_cache_corrupt;
+  out->tier_upgrades_requested += in.tier_upgrades_requested;
+  out->tier_upgrades += in.tier_upgrades;
 }
 
 /// Row-partitioning is only sound when every data access tracks the input

@@ -1,0 +1,66 @@
+// Shared driver for the host-C++-compiler JIT backends.
+//
+// Both concrete backends (backend_cc_o0.cc, backend_cc_o2.cc) are the same
+// pipeline — write the TU to a temp file, invoke the host compiler, read the
+// produced shared object back as artifact bytes — differing only in name,
+// tier, and flag set. CcBackend carries that shape once; the per-tier
+// translation units just instantiate it.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "jit/jit_backend.h"
+
+namespace avm::jit {
+
+/// Path of the host C++ compiler: AVM_CXX if set, else the first of
+/// c++/g++/clang++ on PATH; empty string when none is found. Leaked static —
+/// safe to call from detached tier-upgrade threads during shutdown.
+const std::string& HostCompilerPath();
+
+/// Identity line of the host compiler (`<path> --version`, first line).
+/// Folded into every backend's version_hash so artifacts produced by a
+/// different compiler (or version) never load from the disk cache.
+const std::string& HostCompilerIdentity();
+
+/// Invoke the host compiler on `source` with `flags` and return the bytes
+/// of the produced shared object. `compile_seconds`, when non-null,
+/// receives the wall time of the compiler invocation.
+Result<std::vector<uint8_t>> CcCompileToBytes(const std::string& source,
+                                              const std::string& flags,
+                                              double* compile_seconds);
+
+/// A JitBackend that shells out to the host C++ compiler with a fixed flag
+/// set. Thread-safe; memoizes produced artifacts by (source, symbol).
+class CcBackend : public JitBackend {
+ public:
+  CcBackend(const char* name, JitTier tier, std::string flags);
+
+  const char* name() const override { return name_; }
+  JitTier tier() const override { return tier_; }
+  uint64_t version_hash() const override { return version_hash_; }
+  bool Available() const override;
+  Result<JitArtifact> Compile(const std::string& source,
+                              const std::string& symbol,
+                              double* compile_seconds) override;
+
+ private:
+  const char* name_;
+  JitTier tier_;
+  std::string flags_;
+  uint64_t version_hash_;
+  std::mutex mu_;
+  std::unordered_map<uint64_t, JitArtifact> memo_;
+};
+
+/// The fast tier: host compiler at -O0 (backend_cc_o0.cc).
+JitBackend& CcBackendO0();
+
+/// The optimized tier: host compiler at -O2 -march=native
+/// (backend_cc_o2.cc).
+JitBackend& CcBackendO2();
+
+}  // namespace avm::jit

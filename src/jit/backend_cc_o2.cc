@@ -1,0 +1,16 @@
+// The optimized tier (JitTier::kOptimized): host compiler at -O2
+// -march=native — the steady-state code quality the engine ran at before
+// tiering, now reached either directly (TierPolicy::kOptimizedOnly) or via
+// an asynchronous upgrade once a fast-tier trace crosses the hotness
+// threshold.
+#include "jit/backend_cc.h"
+
+namespace avm::jit {
+
+JitBackend& CcBackendO2() {
+  static CcBackend* backend =
+      new CcBackend("cc-o2", JitTier::kOptimized, "-O2 -march=native");
+  return *backend;
+}
+
+}  // namespace avm::jit

@@ -1,0 +1,239 @@
+#include "jit/jit_backend.h"
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "jit/backend_cc.h"
+#include "jit/trace_abi.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace avm::jit {
+
+namespace {
+
+// Process-wide scratch directory for compiler invocations and artifact
+// loads. Leaked (like every static in this TU) so detached tier-upgrade
+// threads can still compile while the process is shutting down.
+const std::string& ScratchDir() {
+  static const std::string* dir = [] {
+    char tmpl[] = "/tmp/avm_jit_XXXXXX";
+    char* d = mkdtemp(tmpl);
+    return new std::string(d != nullptr ? d : "/tmp");
+  }();
+  return *dir;
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::CompilationError("cannot read " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                             std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+}  // namespace
+
+const char* TierName(JitTier t) {
+  return t == JitTier::kFast ? "fast" : "opt";
+}
+
+const char* TierPolicyName(TierPolicy p) {
+  switch (p) {
+    case TierPolicy::kFastOnly:
+      return "fast";
+    case TierPolicy::kOptimizedOnly:
+      return "opt";
+    default:
+      return "tiered";
+  }
+}
+
+TierPolicy ResolveTierPolicy(TierPolicy p) {
+  if (p != TierPolicy::kDefault) return p;
+  const char* env = std::getenv("AVM_JIT_TIER");
+  if (env != nullptr) {
+    const std::string v(env);
+    if (v == "fast") return TierPolicy::kFastOnly;
+    if (v == "opt") return TierPolicy::kOptimizedOnly;
+  }
+  return TierPolicy::kTiered;
+}
+
+JitBackend& BackendForTier(JitTier tier) {
+  return tier == JitTier::kFast ? CcBackendO0() : CcBackendO2();
+}
+
+const std::string& HostCompilerPath() {
+  static const std::string* compiler = [] {
+    const char* env = std::getenv("AVM_CXX");
+    if (env != nullptr && *env != '\0') return new std::string(env);
+    for (const char* c : {"c++", "g++", "clang++"}) {
+      std::string cmd = StrFormat("command -v %s > /dev/null 2>&1", c);
+      if (std::system(cmd.c_str()) == 0) return new std::string(c);
+    }
+    return new std::string();
+  }();
+  return *compiler;
+}
+
+const std::string& HostCompilerIdentity() {
+  static const std::string* identity = [] {
+    const std::string& cc = HostCompilerPath();
+    if (cc.empty()) return new std::string("<none>");
+    std::string line = cc;
+    const std::string cmd = StrFormat("%s --version 2> /dev/null", cc.c_str());
+    if (FILE* pipe = popen(cmd.c_str(), "r")) {
+      char buf[256];
+      if (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+        line += " ";
+        line += buf;
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+          line.pop_back();
+        }
+      }
+      pclose(pipe);
+    }
+    return new std::string(std::move(line));
+  }();
+  return *identity;
+}
+
+Result<std::vector<uint8_t>> CcCompileToBytes(const std::string& source,
+                                              const std::string& flags,
+                                              double* compile_seconds) {
+  const std::string& cc = HostCompilerPath();
+  if (cc.empty()) {
+    return Status::CompilationError("no host compiler available");
+  }
+  Stopwatch sw;
+  // The content hash makes scratch names readable in the scratch dir; the
+  // sequence number makes them unique. Hashing alone is not enough: two
+  // threads compiling the SAME source concurrently (upgrade threads of two
+  // engines sharing one process) would share paths, and whoever finishes
+  // first would delete the .so out from under the other.
+  static std::atomic<uint64_t> invocation_seq{0};
+  const uint64_t key = HashCombine(HashString(source), HashString(flags));
+  const std::string base =
+      StrFormat("%s/t%016llx_%llu", ScratchDir().c_str(),
+                (unsigned long long)key,
+                (unsigned long long)invocation_seq.fetch_add(1));
+  const std::string src_path = base + ".cc";
+  const std::string so_path = base + ".so";
+  const std::string log_path = base + ".log";
+  {
+    std::ofstream f(src_path);
+    if (!f) return Status::CompilationError("cannot write " + src_path);
+    f << source;
+  }
+  const std::string cmd = StrFormat(
+      "%s %s -std=c++17 -shared -fPIC %s -o %s > %s 2>&1", cc.c_str(),
+      flags.c_str(), src_path.c_str(), so_path.c_str(), log_path.c_str());
+  if (std::system(cmd.c_str()) != 0) {
+    std::string log;
+    std::ifstream lf(log_path);
+    std::string line;
+    while (std::getline(lf, line) && log.size() < 4000) log += line + "\n";
+    return Status::CompilationError("compile failed:\n" + log);
+  }
+  AVM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(so_path));
+  std::remove(so_path.c_str());
+  std::remove(src_path.c_str());
+  std::remove(log_path.c_str());
+  if (compile_seconds != nullptr) *compile_seconds = sw.ElapsedSeconds();
+  return bytes;
+}
+
+CcBackend::CcBackend(const char* name, JitTier tier, std::string flags)
+    : name_(name), tier_(tier), flags_(std::move(flags)) {
+  version_hash_ = HashCombine(
+      HashCombine(HashInt64(kTraceAbiVersion), HashString(flags_)),
+      HashString(HostCompilerIdentity()));
+}
+
+bool CcBackend::Available() const { return !HostCompilerPath().empty(); }
+
+Result<JitArtifact> CcBackend::Compile(const std::string& source,
+                                       const std::string& symbol,
+                                       double* compile_seconds) {
+  if (compile_seconds != nullptr) *compile_seconds = 0;
+  const uint64_t key = HashCombine(HashString(source), HashString(symbol));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
+  AVM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                       CcCompileToBytes(source, flags_, compile_seconds));
+  JitArtifact artifact{std::move(bytes), tier_};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    memo_[key] = artifact;
+  }
+  AVM_LOG(kDebug) << name_ << " compiled " << symbol << " ("
+                  << artifact.bytes.size() << " bytes)";
+  return artifact;
+}
+
+ArtifactLoader::ArtifactLoader() : dir_(ScratchDir()) {}
+
+ArtifactLoader& ArtifactLoader::Global() {
+  static ArtifactLoader* loader = new ArtifactLoader();
+  return *loader;
+}
+
+Result<void*> ArtifactLoader::Load(const JitArtifact& artifact,
+                                   const std::string& symbol) {
+  if (artifact.bytes.empty()) {
+    return Status::CompilationError("empty artifact for " + symbol);
+  }
+  const uint64_t key =
+      HashCombine(HashBytes(artifact.bytes.data(), artifact.bytes.size()),
+                  HashString(symbol));
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    seq = seq_++;
+  }
+  // dlopen needs a file path; materialize the bytes in the private scratch
+  // dir. The sequence number keeps concurrent loads of the same artifact
+  // from racing on one path (both land in cache_; one handle is redundant
+  // but harmless for the process lifetime).
+  const std::string so_path =
+      StrFormat("%s/l%016llx_%llu.so", dir_.c_str(), (unsigned long long)key,
+                (unsigned long long)seq);
+  {
+    std::ofstream f(so_path, std::ios::binary);
+    if (!f) return Status::CompilationError("cannot write " + so_path);
+    f.write(reinterpret_cast<const char*>(artifact.bytes.data()),
+            static_cast<std::streamsize>(artifact.bytes.size()));
+  }
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  std::remove(so_path.c_str());
+  if (handle == nullptr) {
+    return Status::CompilationError(StrFormat("dlopen: %s", dlerror()));
+  }
+  void* sym = dlsym(handle, symbol.c_str());
+  if (sym == nullptr) {
+    dlclose(handle);
+    return Status::CompilationError("symbol not found: " + symbol);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handles_.push_back(handle);
+    cache_[key] = sym;
+  }
+  return sym;
+}
+
+}  // namespace avm::jit

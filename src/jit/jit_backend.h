@@ -1,0 +1,161 @@
+// Pluggable JIT backend seam (ROADMAP direction 2).
+//
+// The source JIT used to be one hard-wired "generate C++, shell out to the
+// host compiler at -O3, dlopen" pipeline. This header splits that into the
+// three orthogonal pieces a tiered JIT needs:
+//
+//  - JitBackend: compile source -> loadable artifact BYTES. Backends are
+//    interchangeable (the miniexpr dsl_jit_backend_{cc,libtcc,wasm32}
+//    architecture); today both concrete backends drive the host C++
+//    compiler, at different optimization tiers:
+//      cc-o0 (JitTier::kFast)      cheap compiles for first executions
+//      cc-o2 (JitTier::kOptimized) the steady-state tier, swapped in
+//                                  asynchronously once a trace is hot
+//  - ArtifactLoader: artifact bytes -> executable entry point (dlopen +
+//    dlsym), process-global so compiled traces stay mapped for the process
+//    lifetime wherever their bytes came from (a fresh compile or the
+//    persistent disk cache).
+//  - JitStats: the merged observability counters of the whole JIT stack
+//    (per-tier compiles and latency, disk-cache traffic, tier upgrades).
+//
+// Artifact bytes are the currency between the pieces: because a backend
+// returns relocatable bytes instead of a live function pointer, the bytes
+// can be persisted (jit::DiskTraceCache) and reloaded by a later process,
+// which is what makes a restarted server warm from its first query.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avm::jit {
+
+/// Optimization tier of a compiled-trace artifact.
+enum class JitTier : uint8_t {
+  kFast = 0,       ///< cheap compile (-O0): minimal latency to first run
+  kOptimized = 1,  ///< full optimization (-O2): steady-state code quality
+};
+
+/// Human-readable tier name ("fast", "opt").
+const char* TierName(JitTier t);
+
+/// Which tiers a query's traces may use (VmOptions::jit_tier_policy).
+enum class TierPolicy : uint8_t {
+  /// Resolve from AVM_JIT_TIER ("tiered" | "fast" | "opt"); kTiered when
+  /// the variable is unset or unrecognized.
+  kDefault = 0,
+  /// Compile kFast first so the first execution pays minimal JIT latency;
+  /// asynchronously upgrade hot traces to kOptimized (tiered_jit.h).
+  kTiered,
+  /// Only the fast tier, never upgraded (latency benchmarks, tests).
+  kFastOnly,
+  /// Compile at kOptimized immediately (the pre-tiering behavior).
+  kOptimizedOnly,
+};
+
+/// Resolve kDefault against AVM_JIT_TIER; other values pass through.
+TierPolicy ResolveTierPolicy(TierPolicy p);
+
+/// Human-readable policy name ("tiered", "fast", "opt").
+const char* TierPolicyName(TierPolicy p);
+
+/// A compiled, relocatable artifact: the bytes of a shared object exporting
+/// one extern "C" symbol. Load with ArtifactLoader; persist with
+/// DiskTraceCache. `tier` records the optimization level the bytes were
+/// produced at (the tier-upgrade state machine and the disk cache both key
+/// on it).
+struct JitArtifact {
+  std::vector<uint8_t> bytes;
+  JitTier tier = JitTier::kFast;
+};
+
+/// Compiles a C++ translation unit into loadable artifact bytes.
+/// Implementations are thread-safe and memoize by (source, symbol), so
+/// concurrent identical compiles collapse into one backend invocation.
+class JitBackend {
+ public:
+  virtual ~JitBackend() = default;
+
+  /// Short backend identity ("cc-o0", "cc-o2").
+  virtual const char* name() const = 0;
+
+  /// Optimization tier of the artifacts this backend produces.
+  virtual JitTier tier() const = 0;
+
+  /// Hash of everything that affects the produced machine code: compiler
+  /// identity+version, flags, and the trace ABI version. Part of the
+  /// on-disk cache key, so artifacts from a different compiler, flag set,
+  /// or ABI revision silently miss (and recompile) instead of loading.
+  virtual uint64_t version_hash() const = 0;
+
+  /// Whether this backend can compile on this host.
+  virtual bool Available() const = 0;
+
+  /// Compile `source` (a complete TU exporting extern "C" `symbol`) into
+  /// artifact bytes. `compile_seconds`, when non-null, receives the wall
+  /// time of the backend invocation (0 on a memo hit).
+  virtual Result<JitArtifact> Compile(const std::string& source,
+                                      const std::string& symbol,
+                                      double* compile_seconds = nullptr) = 0;
+};
+
+/// The process-wide backend instance for a tier.
+JitBackend& BackendForTier(JitTier tier);
+
+/// Merged observability counters of the JIT stack. SourceJit fills the
+/// first block; TieredJit::stats() additionally reports the per-tier,
+/// disk-cache, and tier-upgrade blocks (bench_util serializes them into
+/// BENCH_results.json rows).
+struct JitStats {
+  uint64_t compilations = 0;         ///< backend invocations (all tiers)
+  uint64_t cache_hits = 0;           ///< in-memory memo hits
+  double total_compile_seconds = 0;  ///< summed backend wall time
+
+  // Per-tier compile counts and latency (TieredJit).
+  uint64_t fast_compilations = 0;
+  uint64_t opt_compilations = 0;
+  double fast_compile_seconds = 0;
+  double opt_compile_seconds = 0;
+
+  // Persistent disk-cache traffic (TieredJit + DiskTraceCache).
+  uint64_t disk_hits = 0;
+  uint64_t disk_misses = 0;
+  uint64_t disk_corrupt_dropped = 0;  ///< checksum/load failures, recompiled
+  uint64_t disk_stores = 0;
+  uint64_t disk_evictions = 0;
+
+  // Hotness-triggered tier upgrades (fast -> optimized).
+  uint64_t upgrades_requested = 0;
+  uint64_t upgrades_completed = 0;
+  uint64_t upgrades_failed = 0;
+};
+
+/// Loads artifact bytes into the process and resolves the entry symbol.
+/// Thread-safe; memoizes by (bytes hash, symbol) so one artifact loaded
+/// through any number of paths maps once. Handles stay open for the process
+/// lifetime — compiled function pointers outlive every cache that hands
+/// them out.
+class ArtifactLoader {
+ public:
+  ArtifactLoader();
+
+  /// dlopen the artifact bytes and resolve `symbol`.
+  Result<void*> Load(const JitArtifact& artifact, const std::string& symbol);
+
+  /// Process-wide instance.
+  static ArtifactLoader& Global();
+
+ private:
+  std::mutex mu_;
+  std::string dir_;
+  std::unordered_map<uint64_t, void*> cache_;
+  std::vector<void*> handles_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace avm::jit

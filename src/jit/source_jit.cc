@@ -1,50 +1,18 @@
 #include "jit/source_jit.h"
 
-#include <dlfcn.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
-
+#include "jit/backend_cc.h"
 #include "util/hash.h"
 #include "util/logging.h"
-#include "util/string_util.h"
-#include "util/timer.h"
 
 namespace avm::jit {
 
-namespace {
+bool SourceJit::Available() { return !HostCompilerPath().empty(); }
 
-const char* CompilerPath() {
-  static std::string compiler = [] {
-    const char* env = std::getenv("AVM_CXX");
-    if (env != nullptr && *env != '\0') return std::string(env);
-    for (const char* c : {"c++", "g++", "clang++"}) {
-      std::string cmd = StrFormat("command -v %s > /dev/null 2>&1", c);
-      if (std::system(cmd.c_str()) == 0) return std::string(c);
-    }
-    return std::string();
-  }();
-  return compiler.c_str();
-}
-
-}  // namespace
-
-bool SourceJit::Available() { return CompilerPath()[0] != '\0'; }
-
-SourceJit::SourceJit() {
-  char tmpl[] = "/tmp/avm_jit_XXXXXX";
-  char* dir = mkdtemp(tmpl);
-  dir_ = dir != nullptr ? dir : "/tmp";
-}
+SourceJit::SourceJit() = default;
 
 SourceJit::~SourceJit() {
-  // Keep dlopen handles alive for the process lifetime: compiled function
-  // pointers may still be referenced by cached traces. The temp directory
-  // is left for the OS tmp reaper; unlinking the .so while mapped is legal
-  // on Linux but gratuitous here.
+  // Loaded artifacts stay mapped for the process lifetime (ArtifactLoader):
+  // compiled function pointers may still be referenced by cached traces.
 }
 
 SourceJit& SourceJit::Global() {
@@ -57,8 +25,7 @@ Result<void*> SourceJit::CompileAndLoad(const std::string& source,
   if (!Available()) {
     return Status::CompilationError("no host compiler available");
   }
-  const uint64_t key =
-      HashCombine(HashString(source), HashString(symbol));
+  const uint64_t key = HashCombine(HashString(source), HashString(symbol));
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
@@ -68,46 +35,22 @@ Result<void*> SourceJit::CompileAndLoad(const std::string& source,
     }
   }
 
-  Stopwatch sw;
-  const std::string base = StrFormat("%s/t%016llx", dir_.c_str(),
-                                     (unsigned long long)key);
-  const std::string src_path = base + ".cc";
-  const std::string so_path = base + ".so";
-  const std::string log_path = base + ".log";
-  {
-    std::ofstream f(src_path);
-    if (!f) return Status::CompilationError("cannot write " + src_path);
-    f << source;
-  }
-  const std::string cmd = StrFormat(
-      "%s -O3 -march=native -std=c++17 -shared -fPIC %s -o %s %s > %s 2>&1",
-      CompilerPath(), src_path.c_str(), so_path.c_str(), extra_flags_.c_str(),
-      log_path.c_str());
-  if (std::system(cmd.c_str()) != 0) {
-    std::string log;
-    std::ifstream lf(log_path);
-    std::string line;
-    while (std::getline(lf, line) && log.size() < 4000) log += line + "\n";
-    return Status::CompilationError("compile failed:\n" + log);
-  }
-  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (handle == nullptr) {
-    return Status::CompilationError(StrFormat("dlopen: %s", dlerror()));
-  }
-  void* sym = dlsym(handle, symbol.c_str());
-  if (sym == nullptr) {
-    dlclose(handle);
-    return Status::CompilationError("symbol not found: " + symbol);
-  }
+  std::string flags = "-O3 -march=native";
+  if (!extra_flags_.empty()) flags += " " + extra_flags_;
+  double seconds = 0;
+  AVM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                       CcCompileToBytes(source, flags, &seconds));
+  JitArtifact artifact{std::move(bytes), JitTier::kOptimized};
+  AVM_ASSIGN_OR_RETURN(void* sym,
+                       ArtifactLoader::Global().Load(artifact, symbol));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    handles_.push_back(handle);
     cache_[key] = sym;
     ++stats_.compilations;
-    stats_.total_compile_seconds += sw.ElapsedSeconds();
+    stats_.total_compile_seconds += seconds;
   }
-  AVM_LOG(kDebug) << "jit-compiled " << symbol << " in "
-                  << sw.ElapsedMillis() << " ms";
+  AVM_LOG(kDebug) << "jit-compiled " << symbol << " in " << seconds * 1e3
+                  << " ms";
   return sym;
 }
 

@@ -6,23 +6,22 @@
 // (PostgreSQL pre-LLVM, and several engines' fallback paths) and produces
 // genuinely specialized machine code with realistic compile latencies,
 // which is exactly the interpret-vs-compile tension the paper studies.
+//
+// SourceJit is the one-shot convenience facade over the backend seam
+// (jit_backend.h): compile at full optimization and hand back a live
+// function pointer. The tiered/persistent path (TieredJit) talks to the
+// backends and the artifact loader directly.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
+#include "jit/jit_backend.h"
 #include "util/status.h"
 
 namespace avm::jit {
-
-struct JitStats {
-  uint64_t compilations = 0;
-  uint64_t cache_hits = 0;
-  double total_compile_seconds = 0;
-};
 
 /// Compiles C++ translation units to shared objects and resolves symbols.
 /// Thread-safe; results are cached by source hash.
@@ -39,6 +38,7 @@ class SourceJit {
   Result<void*> CompileAndLoad(const std::string& source,
                                const std::string& symbol);
 
+  /// Counters of this instance's compile traffic.
   const JitStats& stats() const { return stats_; }
 
   /// Extra flags appended to the compile command (tests use -O0 for speed).
@@ -50,8 +50,6 @@ class SourceJit {
  private:
   std::mutex mu_;
   std::unordered_map<uint64_t, void*> cache_;
-  std::vector<void*> handles_;
-  std::string dir_;
   std::string extra_flags_;
   JitStats stats_;
 };

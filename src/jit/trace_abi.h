@@ -17,6 +17,13 @@
 
 namespace avm::jit {
 
+/// Version of the trace ABI. Part of the on-disk artifact version key
+/// (jit::DiskTraceCache): bump it whenever the TraceCallArgs layout, the
+/// TraceStatus contract, or the generated preamble changes shape, and every
+/// persisted artifact compiled against the old contract silently invalidates
+/// (is recompiled) instead of being called through a stale frame layout.
+inline constexpr uint32_t kTraceAbiVersion = 1;
+
 /// Status codes a compiled trace can return. Anything non-zero aborts the
 /// call; the injection harness translates the fault into the exact Status
 /// the vectorized interpreter would have produced for the same input.

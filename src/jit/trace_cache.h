@@ -57,26 +57,30 @@ uint64_t TraceFingerprint(const ir::DepGraph& graph, const ir::Trace& trace);
 
 /// Thread-safe: a single cache is shared by all workers of a parallel
 /// (morsel-driven) run, so one worker's compiled trace serves every clone.
-/// Entries are immutable once inserted and handed out as shared_ptr so a
-/// reader is never invalidated by a concurrent insert.
+/// Entries are handed out as shared_ptr<TraceEntry> so a reader is never
+/// invalidated by a concurrent insert; an entry's metadata is immutable,
+/// while its machine code may be re-published in place by the asynchronous
+/// tier upgrade (TraceEntry) — which is exactly how upgraded code reaches
+/// both running injections and future cache hits without re-insertion.
 class TraceCache {
  public:
-  /// Find a trace compiled for exactly this situation.
-  std::shared_ptr<const CompiledTrace> Find(const Situation& s) const;
+  /// Find the entry compiled for exactly this situation.
+  std::shared_ptr<TraceEntry> Find(const Situation& s) const;
 
   /// Insert (overwrites an existing entry for the same situation).
   /// Returns the inserted entry.
-  std::shared_ptr<const CompiledTrace> Insert(const Situation& s,
-                                              CompiledTrace trace);
+  std::shared_ptr<TraceEntry> Insert(const Situation& s, CompiledTrace trace);
 
-  /// Single-flight lookup-or-compile: returns the cached trace for `s`, or
+  /// Single-flight lookup-or-compile: returns the cached entry for `s`, or
   /// runs `compile` and inserts its result. Compilation is serialized *per
   /// situation*, so concurrent morsel workers that miss on the same
   /// situation don't launch duplicate host-compiler invocations (late
   /// arrivals re-check the cache under the per-key lock and reuse the
   /// winner's trace), while distinct situations compile concurrently.
-  /// `*compiled_fresh` reports whether this call did the compile.
-  Result<std::shared_ptr<const CompiledTrace>> GetOrCompile(
+  /// `*compiled_fresh` reports whether this call ran `compile` (which may
+  /// itself have loaded the artifact from the persistent disk cache rather
+  /// than invoking a backend — CompileTraceTiered reports which).
+  Result<std::shared_ptr<TraceEntry>> GetOrCompile(
       const Situation& s,
       const std::function<Result<CompiledTrace>()>& compile,
       bool* compiled_fresh);
@@ -87,12 +91,12 @@ class TraceCache {
 
  private:
   /// Find without touching the hit/miss counters (internal re-checks).
-  std::shared_ptr<const CompiledTrace> Lookup(uint64_t key) const;
+  std::shared_ptr<TraceEntry> Lookup(uint64_t key) const;
 
   /// Per-situation in-flight compile locks (single-flight).
   std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> compiling_;
   mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<const CompiledTrace>> entries_;
+  std::unordered_map<uint64_t, std::shared_ptr<TraceEntry>> entries_;
   mutable uint64_t hits_ = 0;
   mutable uint64_t misses_ = 0;
 };

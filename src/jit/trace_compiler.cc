@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 
+#include "util/hash.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace avm::jit {
@@ -63,7 +67,67 @@ bool IsSelInput(const GeneratedTrace& meta, const std::string& name) {
          meta.sel_inputs.end();
 }
 
+// The one-shot fast→optimized upgrade, on a detached thread so no worker
+// ever blocks on the optimized compile. Probes the persistent cache first
+// (a previous process may have upgraded this trace already), compiles on
+// miss, publishes the new fn into the entry in place, and stores a freshly
+// compiled artifact back to disk. Everything captured is shared_ptr-owned
+// or process-leaked, so the thread may outlive the VM, the Session, and
+// even main().
+void StartTierUpgrade(std::shared_ptr<TraceEntry> entry,
+                      TraceTierOptions opts) {
+  if (opts.counters != nullptr) {
+    opts.counters->requested.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::thread([entry = std::move(entry), opts = std::move(opts)] {
+    JitBackend& backend = BackendForTier(JitTier::kOptimized);
+    const uint64_t version = backend.version_hash();
+    Result<JitArtifact> artifact = Status::NotFound("no persistent cache");
+    if (opts.disk != nullptr) {
+      artifact = opts.disk->TryLoad(entry->situation_key(),
+                                    entry->source_hash(),
+                                    JitTier::kOptimized, version);
+    }
+    bool fresh = false;
+    if (!artifact.ok()) {
+      artifact = backend.Compile(entry->meta().source, entry->meta().symbol,
+                                 nullptr);
+      fresh = artifact.ok();
+    }
+    Result<void*> sym = artifact.ok()
+                            ? ArtifactLoader::Global().Load(
+                                  artifact.value(), entry->meta().symbol)
+                            : Result<void*>(artifact.status());
+    if (!sym.ok()) {
+      if (opts.counters != nullptr) {
+        opts.counters->failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      AVM_LOG(kWarning) << "tier upgrade of " << entry->meta().name
+                        << " failed: " << sym.status().ToString();
+      return;
+    }
+    entry->Publish(reinterpret_cast<TraceFn>(sym.value()),
+                   JitTier::kOptimized);
+    if (fresh && opts.disk != nullptr) {
+      (void)opts.disk->Store(entry->situation_key(), entry->source_hash(),
+                             version, artifact.value());
+    }
+    if (opts.counters != nullptr) {
+      opts.counters->completed.fetch_add(1, std::memory_order_relaxed);
+    }
+    AVM_LOG(kDebug) << "tier upgrade of " << entry->meta().name
+                    << " published";
+  }).detach();
+}
+
 }  // namespace
+
+TraceEntry::TraceEntry(CompiledTrace trace, uint64_t situation_key)
+    : trace_(std::move(trace)),
+      situation_key_(situation_key),
+      source_hash_(HashString(trace_.meta.source)),
+      fn_(trace_.fn),
+      tier_(static_cast<uint8_t>(trace_.tier)) {}
 
 Result<CompiledTrace> CompileTrace(const dsl::Program& program,
                                    const ir::DepGraph& graph,
@@ -78,11 +142,91 @@ Result<CompiledTrace> CompileTrace(const dsl::Program& program,
   return out;
 }
 
+Result<TieredCompileOutcome> CompileTraceTiered(
+    const dsl::Program& program, const ir::DepGraph& graph,
+    const ir::Trace& trace, const CodegenOptions& options, TierPolicy policy,
+    const std::shared_ptr<DiskTraceCache>& disk, uint64_t situation_key) {
+  TieredCompileOutcome out;
+  AVM_ASSIGN_OR_RETURN(GeneratedTrace gen,
+                       GenerateTrace(program, graph, trace, options));
+  const uint64_t source_hash = HashString(gen.source);
+  policy = ResolveTierPolicy(policy);
+  const JitTier initial = policy == TierPolicy::kOptimizedOnly
+                              ? JitTier::kOptimized
+                              : JitTier::kFast;
+  if (disk != nullptr) {
+    out.disk_probed = true;
+    // Best tier the policy allows first: a warm restart of a tiered engine
+    // resumes at whatever tier the previous process reached.
+    std::vector<TierVersion> candidates;
+    if (policy != TierPolicy::kFastOnly) {
+      candidates.emplace_back(JitTier::kOptimized,
+                              BackendForTier(JitTier::kOptimized)
+                                  .version_hash());
+    }
+    if (policy != TierPolicy::kOptimizedOnly) {
+      candidates.emplace_back(JitTier::kFast,
+                              BackendForTier(JitTier::kFast).version_hash());
+    }
+    Result<JitArtifact> art = disk->LoadBest(situation_key, source_hash,
+                                             candidates, &out.disk_corrupt);
+    if (art.ok()) {
+      Result<void*> sym =
+          ArtifactLoader::Global().Load(art.value(), gen.symbol);
+      if (sym.ok()) {
+        out.trace.fn = reinterpret_cast<TraceFn>(sym.value());
+        out.trace.tier = art.value().tier;
+        out.trace.meta = std::move(gen);
+        out.from_disk = true;
+        return out;
+      }
+      // Checksum passed but the bytes are not loadable into this process
+      // (e.g. stored by an incompatibly-built binary with a colliding
+      // version hash). Drop the entry and recompile.
+      ++out.disk_corrupt;
+      std::remove(disk->EntryPath(situation_key, art.value().tier,
+                                  BackendForTier(art.value().tier)
+                                      .version_hash())
+                      .c_str());
+      AVM_LOG(kWarning) << "trace cache: unloadable entry for " << gen.name
+                        << " dropped: " << sym.status().ToString();
+    }
+  }
+  JitBackend& backend = BackendForTier(initial);
+  if (!backend.Available()) {
+    return Status::CompilationError("no host compiler available");
+  }
+  AVM_ASSIGN_OR_RETURN(
+      JitArtifact artifact,
+      backend.Compile(gen.source, gen.symbol, &out.compile_seconds));
+  AVM_ASSIGN_OR_RETURN(void* sym,
+                       ArtifactLoader::Global().Load(artifact, gen.symbol));
+  if (disk != nullptr) {
+    // Best-effort: a full disk or unwritable directory must not fail the
+    // query; the artifact simply is not persisted.
+    Status st =
+        disk->Store(situation_key, source_hash, backend.version_hash(),
+                    artifact);
+    if (!st.ok()) {
+      AVM_LOG(kWarning) << "trace cache store failed: " << st.ToString();
+    }
+  }
+  out.trace.fn = reinterpret_cast<TraceFn>(sym);
+  out.trace.tier = initial;
+  out.trace.meta = std::move(gen);
+  return out;
+}
+
 interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
                                     uint32_t chunk_size) {
+  return MakeInjection(std::make_shared<TraceEntry>(trace, 0), chunk_size);
+}
+
+interp::InjectedTrace MakeInjection(std::shared_ptr<TraceEntry> entry,
+                                    uint32_t chunk_size,
+                                    TraceTierOptions tier) {
   auto state = std::make_shared<RunState>();
-  const GeneratedTrace& meta = trace.meta;
-  TraceFn fn = trace.fn;
+  const GeneratedTrace& meta = entry->meta();
 
   InjectedTrace inj;
   inj.name = meta.name;
@@ -90,7 +234,8 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
   inj.covered_stmt_ids.insert(meta.covered_stmt_ids.begin(),
                               meta.covered_stmt_ids.end());
 
-  inj.applicable = [meta](Interpreter& in) -> bool {
+  inj.applicable = [entry](Interpreter& in) -> bool {
+    const GeneratedTrace& meta = entry->meta();
     // Selection situation check: the trace was specialized for a specific
     // set of selection-carrying chunk inputs, and every carrier must share
     // ONE selection (the interpreter's CommonSelection rule).
@@ -158,7 +303,16 @@ interp::InjectedTrace MakeInjection(const CompiledTrace& trace,
     return true;
   };
 
-  inj.run = [meta, fn, state, chunk_size](Interpreter& in) -> Status {
+  inj.run = [entry, tier, state, chunk_size](Interpreter& in) -> Status {
+    const GeneratedTrace& meta = entry->meta();
+    // Load the entry point per call (acquire): an asynchronous tier upgrade
+    // publishing mid-query takes effect on the very next chunk.
+    const TraceFn fn = entry->fn();
+    const uint64_t invocation = entry->OnInvocation();
+    if (tier.upgrade_enabled && invocation >= tier.upgrade_after &&
+        entry->tier() == JitTier::kFast && entry->TryClaimUpgrade()) {
+      StartTierUpgrade(entry, tier);
+    }
     RunState& st = *state;
     st.in_ptrs.assign(meta.inputs.size(), nullptr);
     st.in_lens.assign(meta.inputs.size(), 0);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "jit/source_jit.h"
 #include "util/logging.h"
@@ -11,6 +12,19 @@ namespace avm::vm {
 
 using interp::Interpreter;
 
+namespace {
+
+uint64_t UpgradeAfterFromEnv() {
+  const char* env = std::getenv("AVM_JIT_UPGRADE_AFTER");
+  if (env != nullptr && *env != '\0') {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<uint64_t>(v);
+  }
+  return 32;
+}
+
+}  // namespace
+
 AdaptiveVm::AdaptiveVm(const dsl::Program* program, VmOptions options,
                        jit::TraceCache* shared_cache)
     : program_(program), options_(std::move(options)) {
@@ -19,6 +33,18 @@ AdaptiveVm::AdaptiveVm(const dsl::Program* program, VmOptions options,
   interp_->iteration_hook = [this](Interpreter& in, uint64_t iteration) {
     return OnIteration(in, iteration);
   };
+  tier_policy_ = jit::ResolveTierPolicy(options_.jit_tier_policy);
+  upgrade_after_ = options_.jit_upgrade_after != 0
+                       ? options_.jit_upgrade_after
+                       : UpgradeAfterFromEnv();
+  if (options_.enable_disk_cache) {
+    disk_ = options_.disk_cache != nullptr ? options_.disk_cache
+                                           : jit::DiskTraceCache::FromEnv();
+  }
+  tier_counters_ = std::make_shared<jit::TierCounters>();
+  if (options_.enable_jit) {
+    report_.jit_tier = jit::TierPolicyName(tier_policy_);
+  }
 }
 
 Status AdaptiveVm::Run() {
@@ -35,7 +61,14 @@ Status AdaptiveVm::Run() {
   return st;
 }
 
-VmReport AdaptiveVm::Report() const { return report_; }
+VmReport AdaptiveVm::Report() const {
+  VmReport r = report_;
+  // Upgrade threads run detached; snapshot whatever they finished by now.
+  r.tier_upgrades_requested =
+      tier_counters_->requested.load(std::memory_order_relaxed);
+  r.tier_upgrades = tier_counters_->completed.load(std::memory_order_relaxed);
+  return r;
+}
 
 Status AdaptiveVm::OnIteration(Interpreter& in, uint64_t iteration) {
   if (!options_.enable_jit) return Status::OK();
@@ -186,33 +219,54 @@ Status AdaptiveVm::InstallTrace(Interpreter& in, const ir::Trace& trace,
   }
 
   bool compiled_fresh = false;
-  double compile_seconds = 0;
+  jit::TieredCompileOutcome outcome;
   AVM_ASSIGN_OR_RETURN(
-      std::shared_ptr<const jit::CompiledTrace> compiled,
+      std::shared_ptr<jit::TraceEntry> entry,
       cache_->GetOrCompile(
           situation,
-          // Timed inside the callback so waiting on the cache's compile
-          // lock is not charged as compilation time.
+          // The callback loads from the persistent disk cache when one is
+          // configured, and only invokes a backend on a true cold miss;
+          // `outcome` reports which happened (timed inside the callback so
+          // waiting on the cache's compile lock is not charged).
           [&]() -> Result<jit::CompiledTrace> {
             jit::CodegenOptions cg;
             cg.scheme_specialization = situation.schemes;
             cg.sel_inputs = sel_inputs;
-            Stopwatch sw;
-            Result<jit::CompiledTrace> fresh = jit::CompileTrace(
-                *program_, graph_, trace, jit::SourceJit::Global(), cg);
-            compile_seconds = sw.ElapsedSeconds();
-            return fresh;
+            AVM_ASSIGN_OR_RETURN(
+                outcome, jit::CompileTraceTiered(*program_, graph_, trace, cg,
+                                                 tier_policy_, disk_, key));
+            return std::move(outcome.trace);
           },
           &compiled_fresh));
   if (compiled_fresh) {
-    report_.compile_seconds += compile_seconds;
-    ++report_.traces_compiled;
+    report_.disk_cache_corrupt += outcome.disk_corrupt;
+    if (outcome.from_disk) {
+      // Machine code came from AVM_TRACE_CACHE_DIR: the warm-restart path.
+      // Deliberately NOT a traces_compiled — no backend ran.
+      ++report_.disk_cache_hits;
+    } else {
+      if (outcome.disk_probed) ++report_.disk_cache_misses;
+      report_.compile_seconds += outcome.compile_seconds;
+      ++report_.traces_compiled;
+      if (entry->tier() == jit::JitTier::kFast) {
+        ++report_.fast_compiles;
+        report_.fast_compile_seconds += outcome.compile_seconds;
+      } else {
+        ++report_.opt_compiles;
+        report_.opt_compile_seconds += outcome.compile_seconds;
+      }
+    }
   } else {
     ++report_.traces_reused;
   }
 
-  interp::InjectedTrace inj =
-      jit::MakeInjection(*compiled, options_.interp.chunk_size);
+  jit::TraceTierOptions tier;
+  tier.upgrade_enabled = tier_policy_ == jit::TierPolicy::kTiered;
+  tier.upgrade_after = upgrade_after_;
+  tier.disk = disk_;
+  tier.counters = tier_counters_;
+  interp::InjectedTrace inj = jit::MakeInjection(
+      std::move(entry), options_.interp.chunk_size, std::move(tier));
   AVM_LOG(kDebug) << "inject " << inj.name << " at iter " << iteration << " "
                   << situation.ToString();
   in.AddInjection(std::move(inj));

@@ -181,7 +181,9 @@ TEST(ExecEngineTest, ParallelQ1WithSharedJitCache) {
   // The shared TraceCache means later workers reuse what the first worker
   // compiled instead of compiling their own copies: far fewer compilations
   // than workers * traces, and at least one cache reuse.
-  EXPECT_GT(run.value().report.traces_compiled, 0u);
+  EXPECT_GT(run.value().report.traces_compiled +
+                run.value().report.disk_cache_hits,
+            0u);
   EXPECT_GT(run.value().report.traces_reused, 0u);
 }
 
@@ -214,7 +216,8 @@ TEST(ExecEngineTest, RepeatedRunsReuseEngineTraceCache) {
 
   auto first = run_once();
   ASSERT_TRUE(first.ok()) << first.status().ToString();
-  EXPECT_EQ(first.value().traces_compiled, 1u);
+  // Warm persistent caches satisfy the first compile from disk instead.
+  EXPECT_EQ(first.value().traces_compiled + first.value().disk_cache_hits, 1u);
   auto second = run_once();
   ASSERT_TRUE(second.ok()) << second.status().ToString();
   // Second run of the same query shape: the trace comes from the engine's

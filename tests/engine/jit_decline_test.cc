@@ -86,7 +86,9 @@ Query RunJitNoDecline(MakeFn make, const char* shape) {
     EXPECT_TRUE(r.value().jit_declined.empty())
         << shape << " declined: " << r.value().jit_declined;
     if (jit::SourceJit::Available()) {
-      EXPECT_GT(r.value().traces_compiled + r.value().traces_reused, 0u)
+      EXPECT_GT(r.value().traces_compiled + r.value().traces_reused +
+                    r.value().disk_cache_hits,
+                0u)
           << shape << ": nothing compiled";
       EXPECT_GT(r.value().injection_runs, 0u)
           << shape << ": compiled traces never ran";

@@ -1,0 +1,168 @@
+// Unit tests for the pluggable JIT backend seam: tier resolution, artifact
+// compilation/memoization, version hashing, and the process-global
+// ArtifactLoader.
+#include "jit/jit_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "jit/backend_cc.h"
+
+namespace avm::jit {
+namespace {
+
+/// RAII guard that sets an environment variable for one test and restores
+/// the previous value (or unsets) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(JitBackendTest, TierAndPolicyNames) {
+  EXPECT_STREQ(TierName(JitTier::kFast), "fast");
+  EXPECT_STREQ(TierName(JitTier::kOptimized), "opt");
+  EXPECT_STREQ(TierPolicyName(TierPolicy::kTiered), "tiered");
+  EXPECT_STREQ(TierPolicyName(TierPolicy::kFastOnly), "fast");
+  EXPECT_STREQ(TierPolicyName(TierPolicy::kOptimizedOnly), "opt");
+}
+
+TEST(JitBackendTest, ResolveTierPolicyReadsEnv) {
+  {
+    ScopedEnv env("AVM_JIT_TIER", nullptr);
+    EXPECT_EQ(ResolveTierPolicy(TierPolicy::kDefault), TierPolicy::kTiered);
+  }
+  {
+    ScopedEnv env("AVM_JIT_TIER", "fast");
+    EXPECT_EQ(ResolveTierPolicy(TierPolicy::kDefault), TierPolicy::kFastOnly);
+  }
+  {
+    ScopedEnv env("AVM_JIT_TIER", "opt");
+    EXPECT_EQ(ResolveTierPolicy(TierPolicy::kDefault),
+              TierPolicy::kOptimizedOnly);
+  }
+  {
+    ScopedEnv env("AVM_JIT_TIER", "tiered");
+    EXPECT_EQ(ResolveTierPolicy(TierPolicy::kDefault), TierPolicy::kTiered);
+  }
+  // Explicit policies pass through untouched regardless of the env.
+  {
+    ScopedEnv env("AVM_JIT_TIER", "fast");
+    EXPECT_EQ(ResolveTierPolicy(TierPolicy::kOptimizedOnly),
+              TierPolicy::kOptimizedOnly);
+    EXPECT_EQ(ResolveTierPolicy(TierPolicy::kTiered), TierPolicy::kTiered);
+  }
+}
+
+TEST(JitBackendTest, BackendForTierDispatch) {
+  EXPECT_EQ(BackendForTier(JitTier::kFast).tier(), JitTier::kFast);
+  EXPECT_EQ(BackendForTier(JitTier::kOptimized).tier(), JitTier::kOptimized);
+  EXPECT_STREQ(BackendForTier(JitTier::kFast).name(), "cc-o0");
+  EXPECT_STREQ(BackendForTier(JitTier::kOptimized).name(), "cc-o2");
+}
+
+TEST(JitBackendTest, VersionHashDistinguishesTiers) {
+  // The two tiers compile with different flag sets, so their artifacts must
+  // never satisfy each other's disk-cache lookups.
+  EXPECT_NE(CcBackendO0().version_hash(), CcBackendO2().version_hash());
+  // Stable within a process: the hash is part of on-disk filenames.
+  EXPECT_EQ(CcBackendO0().version_hash(), CcBackendO0().version_hash());
+}
+
+TEST(JitBackendTest, CompileProducesLoadableArtifact) {
+  JitBackend& backend = CcBackendO0();
+  if (!backend.Available()) GTEST_SKIP() << "no host compiler";
+  const std::string source =
+      "extern \"C\" long long avm_backend_probe(long long x) {"
+      " return x * 3 + 7; }";
+  double seconds = -1;
+  auto artifact = backend.Compile(source, "avm_backend_probe", &seconds);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_FALSE(artifact.value().bytes.empty());
+  EXPECT_EQ(artifact.value().tier, JitTier::kFast);
+  EXPECT_GT(seconds, 0.0);
+
+  auto sym =
+      ArtifactLoader::Global().Load(artifact.value(), "avm_backend_probe");
+  ASSERT_TRUE(sym.ok()) << sym.status().ToString();
+  auto fn = reinterpret_cast<long long (*)(long long)>(sym.value());
+  EXPECT_EQ(fn(5), 22);
+  EXPECT_EQ(fn(-1), 4);
+}
+
+TEST(JitBackendTest, CompileMemoizesIdenticalSources) {
+  JitBackend& backend = CcBackendO2();
+  if (!backend.Available()) GTEST_SKIP() << "no host compiler";
+  const std::string source =
+      "extern \"C\" long long avm_backend_memo(long long x) {"
+      " return x - 9; }";
+  auto first = backend.Compile(source, "avm_backend_memo", nullptr);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  double seconds = -1;
+  auto second = backend.Compile(source, "avm_backend_memo", &seconds);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // Memo hit: identical bytes, no compiler invocation charged.
+  EXPECT_EQ(second.value().bytes, first.value().bytes);
+  EXPECT_EQ(seconds, 0.0);
+  EXPECT_EQ(second.value().tier, JitTier::kOptimized);
+}
+
+TEST(JitBackendTest, CompileFailureCarriesCompilerLog) {
+  JitBackend& backend = CcBackendO0();
+  if (!backend.Available()) GTEST_SKIP() << "no host compiler";
+  auto artifact =
+      backend.Compile("this is not C++ at all;", "nope", nullptr);
+  ASSERT_FALSE(artifact.ok());
+  // The status must carry the compiler's diagnostics, not just "failed".
+  EXPECT_NE(artifact.status().ToString().find("error"), std::string::npos)
+      << artifact.status().ToString();
+}
+
+TEST(JitBackendTest, LoaderRejectsEmptyArtifact) {
+  JitArtifact empty;
+  auto sym = ArtifactLoader::Global().Load(empty, "whatever");
+  EXPECT_FALSE(sym.ok());
+}
+
+TEST(JitBackendTest, LoaderMemoizesByBytesAndSymbol) {
+  JitBackend& backend = CcBackendO0();
+  if (!backend.Available()) GTEST_SKIP() << "no host compiler";
+  const std::string source =
+      "extern \"C\" long long avm_loader_memo(long long x) {"
+      " return x + 1; }";
+  auto artifact = backend.Compile(source, "avm_loader_memo", nullptr);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  auto a = ArtifactLoader::Global().Load(artifact.value(), "avm_loader_memo");
+  auto b = ArtifactLoader::Global().Load(artifact.value(), "avm_loader_memo");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same bytes + same symbol map to one loaded instance.
+  EXPECT_EQ(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace avm::jit

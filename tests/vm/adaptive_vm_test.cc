@@ -74,9 +74,13 @@ TEST(AdaptiveVmTest, CompilesAndInjectsMidRun) {
     }
   }
   VmReport report = vm.Report();
-  EXPECT_GT(report.traces_compiled, 0u);
+  EXPECT_GT(report.traces_compiled + report.disk_cache_hits, 0u);
   EXPECT_GT(report.injection_runs, 0u);
-  EXPECT_GT(report.compile_seconds, 0.0);
+  // A warm persistent cache loads machine code without invoking a backend,
+  // in which case zero compile wall time is the expected reading.
+  if (report.disk_cache_hits == 0) {
+    EXPECT_GT(report.compile_seconds, 0.0);
+  }
 
   // The Fig. 1 cycle appears in the timeline.
   EXPECT_NE(report.state_timeline.find("Interpret -> Optimize"),
@@ -132,7 +136,7 @@ TEST(AdaptiveVmTest, SchemeChangeTriggersFallbackAndRespecialization) {
   }
   VmReport report = vm.Report();
   // Two situations compiled: FOR-specialized and plain.
-  EXPECT_GE(report.traces_compiled, 2u);
+  EXPECT_GE(report.traces_compiled + report.disk_cache_hits, 2u);
   EXPECT_GT(report.injection_fallbacks, 0u);
   EXPECT_GT(report.injection_runs, 0u);
 }
