@@ -1,7 +1,11 @@
 // Hash-join probe strategies through the engine facade: the same
 // star-schema join (fact probe against a densified dimension, SUM + COUNT
 // over the matches) under vectorized interpretation, the adaptive JIT, and
-// a 4-worker Session, plus a 4-client × 4-worker concurrent variant.
+// a 4-worker Session, plus a 4-client × 4-worker concurrent variant; then
+// the build-side families the dense fast path cannot serve — duplicate-
+// heavy keys (avg fan-out 4, many-to-many pairs) and sparse/negative
+// 64-bit keys — probed through the CSR hash table, with a dense-vs-forced-
+// hash pairing on identical unique-key data to isolate the probe cost.
 // Results land in BENCH_results.json via bench_util's row-replacing sink.
 #include <benchmark/benchmark.h>
 
@@ -22,9 +26,16 @@ using namespace avm;
 constexpr uint64_t kProbeRows = 1'000'000;
 constexpr int64_t kDimRows = 50'000;  // ~5% of probe rows, 80% hit rate
 
+// Sparse 64-bit key for index i: spread over a huge, partly negative
+// domain (far beyond the ~16M dense cap) while staying collision-free.
+int64_t SparseKey(int64_t i) { return i * 2'000'003 - 50'000'000'000LL; }
+
 struct JoinFixture {
   std::unique_ptr<Table> probe;
   std::unique_ptr<Table> dim;
+  std::unique_ptr<Table> dim_dup;       ///< same key domain, 1..7 copies each
+  std::unique_ptr<Table> probe_sparse;  ///< SparseKey-mapped probe keys
+  std::unique_ptr<Table> dim_sparse;    ///< SparseKey(0..kDimRows), unique
 
   JoinFixture() {
     Schema ps({{"f_key", TypeId::kI64}, {"f_val", TypeId::kI64}});
@@ -54,6 +65,50 @@ struct JoinFixture {
         .AppendValues(dk.data(), static_cast<uint32_t>(kDimRows))
         .Abort("append");
     dim->column(1)
+        .AppendValues(dw.data(), static_cast<uint32_t>(kDimRows))
+        .Abort("append");
+
+    // Duplicate-heavy dimension: every key in [0, kDimRows) appears 1..7
+    // times (avg fan-out 4 on a probe hit) — the many-to-many CSR path.
+    dim_dup = std::make_unique<Table>(ds);
+    std::vector<int64_t> ddk, ddw;
+    for (int64_t i = 0; i < kDimRows; ++i) {
+      const int64_t copies = rng.NextInRange(1, 7);
+      for (int64_t c = 0; c < copies; ++c) {
+        ddk.push_back(i);
+        ddw.push_back(rng.NextInRange(1, 99));
+      }
+    }
+    dim_dup->column(0)
+        .AppendValues(ddk.data(), static_cast<uint32_t>(ddk.size()))
+        .Abort("append");
+    dim_dup->column(1)
+        .AppendValues(ddw.data(), static_cast<uint32_t>(ddw.size()))
+        .Abort("append");
+
+    // Sparse-key pair: the same 80% hit rate and unique build keys as the
+    // dense fixture, but keys spread (negative, >2^24) so only the hash
+    // table can serve them.
+    probe_sparse = std::make_unique<Table>(ps);
+    std::vector<int64_t> sk(kProbeRows);
+    for (uint64_t i = 0; i < kProbeRows; ++i) {
+      sk[i] = SparseKey(rng.NextInRange(0, (kDimRows * 5) / 4 - 1));
+    }
+    probe_sparse->column(0)
+        .AppendValues(sk.data(), static_cast<uint32_t>(kProbeRows))
+        .Abort("append");
+    probe_sparse->column(1)
+        .AppendValues(fv.data(), static_cast<uint32_t>(kProbeRows))
+        .Abort("append");
+    dim_sparse = std::make_unique<Table>(ds);
+    std::vector<int64_t> sdk(kDimRows);
+    for (int64_t i = 0; i < kDimRows; ++i) {
+      sdk[static_cast<size_t>(i)] = SparseKey(i);
+    }
+    dim_sparse->column(0)
+        .AppendValues(sdk.data(), static_cast<uint32_t>(kDimRows))
+        .Abort("append");
+    dim_sparse->column(1)
         .AppendValues(dw.data(), static_cast<uint32_t>(kDimRows))
         .Abort("append");
   }
@@ -142,6 +197,80 @@ void BM_JoinProbe_Session4Clients(benchmark::State& state) {
                                "session-4w-4clients");
 }
 BENCHMARK(BM_JoinProbe_Session4Clients)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Build-side families through the QueryBuilder knob: probe `probe_table`
+/// against `dim_table` with the given JoinStrategy and worker count. The
+/// dense fixture under kAuto takes the key-indexed fast path; the same
+/// data under kHash — and the duplicate/sparse fixtures under any
+/// strategy — goes through the CSR hash table.
+void RunBuilderJoin(benchmark::State& state, const Table& probe_table,
+                    const Table& dim_table, engine::JoinStrategy strategy,
+                    size_t workers, const char* label) {
+  engine::EngineOptions eo;
+  eo.strategy = engine::ExecutionStrategy::kInterpret;
+  eo.num_workers = workers;
+  engine::ExecEngine engine(eo);
+  engine::QueryBuilder qb(probe_table);
+  qb.SetJoinStrategy(strategy)
+      .Join(dim_table, "f_key", "d_key", {"d_weight"})
+      .Sum("revenue", dsl::Var("f_val") * dsl::Var("d_weight"))
+      .Count("matches");
+  engine::Query q = qb.Build().ValueOrDie();
+  {
+    auto r = engine.Run(q.context());
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  for (auto _ : state) {
+    q.ResetAggregates();
+    auto r = engine.Run(q.context());
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(q.aggregate("matches")[0]);
+  }
+  avm::benchutil::ReportTuples(state, kProbeRows, label);
+}
+
+void BM_JoinBuild_DensePath(benchmark::State& state) {
+  JoinFixture& f = Fixture();
+  RunBuilderJoin(state, *f.probe, *f.dim, engine::JoinStrategy::kAuto, 1,
+                 "interp-dense");
+}
+BENCHMARK(BM_JoinBuild_DensePath)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_JoinBuild_HashForced(benchmark::State& state) {
+  // Identical data to BM_JoinBuild_DensePath — the delta is pure CSR
+  // bucket-walk overhead versus the key-indexed gather.
+  JoinFixture& f = Fixture();
+  RunBuilderJoin(state, *f.probe, *f.dim, engine::JoinStrategy::kHash, 1,
+                 "interp-hash-forced");
+}
+BENCHMARK(BM_JoinBuild_HashForced)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_JoinBuild_DupFanOut4(benchmark::State& state) {
+  JoinFixture& f = Fixture();
+  RunBuilderJoin(state, *f.probe, *f.dim_dup, engine::JoinStrategy::kAuto, 1,
+                 "interp-dup-fanout4");
+}
+BENCHMARK(BM_JoinBuild_DupFanOut4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_JoinBuild_DupFanOut4Parallel4(benchmark::State& state) {
+  JoinFixture& f = Fixture();
+  RunBuilderJoin(state, *f.probe, *f.dim_dup, engine::JoinStrategy::kAuto, 4,
+                 "interp-4w-dup-fanout4");
+}
+BENCHMARK(BM_JoinBuild_DupFanOut4Parallel4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_JoinBuild_SparseKeys(benchmark::State& state) {
+  JoinFixture& f = Fixture();
+  RunBuilderJoin(state, *f.probe_sparse, *f.dim_sparse,
+                 engine::JoinStrategy::kAuto, 1, "interp-sparse-hash");
+}
+BENCHMARK(BM_JoinBuild_SparseKeys)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -36,6 +36,7 @@ int ScalarOpArity(ScalarOp op) {
     case ScalarOp::kAbs:
     case ScalarOp::kSqrt:
     case ScalarOp::kCast:
+    case ScalarOp::kHash:
       return 1;
     default:
       return 2;
@@ -67,6 +68,7 @@ const char* SkeletonName(SkeletonKind k) {
     case SkeletonKind::kScatter: return "scatter";
     case SkeletonKind::kGen: return "gen";
     case SkeletonKind::kCondense: return "condense";
+    case SkeletonKind::kExpand: return "expand";
     case SkeletonKind::kMerge: return "merge";
     case SkeletonKind::kLen: return "len";
   }

@@ -30,7 +30,7 @@ enum class ScalarOp : uint8_t {
   kNot, kNeg, kAbs, kSqrt,
   // unary with type parameter
   kCast,
-  // hashing (binary: value, seed) — used by hash join/aggregation pipelines
+  // hashing (unary) — used by hash join/aggregation pipelines
   kHash,
 };
 
@@ -51,6 +51,8 @@ enum class SkeletonKind : uint8_t {
   kScatter,   ///< write to positions ~i, with conflict-handling fn
   kGen,       ///< fill array with f(index)
   kCondense,  ///< materialize selection away
+  kExpand,    ///< fan out: counts[i] copies per selected row (offsets, or a
+              ///< second argument's values replicated) — hash-join probe
   kMerge,     ///< abstract merge (join/union/diff of sorted inputs)
   kLen,       ///< scalar length of a vector (flow control helper, Fig. 2)
 };

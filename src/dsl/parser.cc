@@ -220,6 +220,7 @@ const std::unordered_map<std::string, SkeletonKind>& SkeletonNames() {
       {"write", SkeletonKind::kWrite},     {"gather", SkeletonKind::kGather},
       {"scatter", SkeletonKind::kScatter}, {"gen", SkeletonKind::kGen},
       {"condense", SkeletonKind::kCondense}, {"len", SkeletonKind::kLen},
+      {"expand", SkeletonKind::kExpand},
   };
   return *m;
 }

@@ -406,6 +406,32 @@ class Checker {
         e->type = args[0]->type;
         return Status::OK();
       }
+      case SkeletonKind::kExpand: {
+        // expand counts [values]: fan each selected row of `counts` out into
+        // counts[i] output rows — within-run offsets 0..counts[i]-1 without
+        // `values`, or values[i] replicated counts[i] times with it. The
+        // output lives in a fresh (fan-out) row domain and carries no
+        // selection.
+        if (args.size() != 1 && args.size() != 2) {
+          return Status::TypeError("expand expects 1 or 2 arguments");
+        }
+        AVM_RETURN_NOT_OK(CheckExpr(args[0]));
+        if (args[0]->shape != Shape::kArray ||
+            !IsIntegerType(args[0]->type)) {
+          return Status::TypeError("expand counts must be an integer array");
+        }
+        if (args.size() == 2) {
+          AVM_RETURN_NOT_OK(CheckExpr(args[1]));
+          if (args[1]->shape != Shape::kArray) {
+            return Status::TypeError("expand values must be an array");
+          }
+          e->type = args[1]->type;
+        } else {
+          e->type = TypeId::kI64;
+        }
+        e->shape = Shape::kArray;
+        return Status::OK();
+      }
       case SkeletonKind::kMerge: {
         AVM_RETURN_NOT_OK(expect_args(2));
         AVM_RETURN_NOT_OK(CheckExpr(args[0]));

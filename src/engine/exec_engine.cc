@@ -130,9 +130,11 @@ ExecContext& ExecContext::BindOutput(const std::string& name,
 }
 
 ExecContext& ExecContext::BindPartialOutput(const std::string& name,
-                                            interp::DataBinding b) {
+                                            interp::DataBinding b,
+                                            uint64_t row_scale) {
   b.writable = true;
-  bound_.push_back({name, BindRole::kPartialOutput, b, nullptr});
+  bound_.push_back(
+      {name, BindRole::kPartialOutput, b, nullptr, std::max<uint64_t>(row_scale, 1)});
   return *this;
 }
 

@@ -136,8 +136,9 @@ struct ExecReport {
   /// gather/scatter traces, let-bound write counts, and selection-carrying
   /// inputs all compile; what remains declined are the genuinely
   /// unsupported shapes the ABI spec enumerates (merge/gen skeletons,
-  /// chunk-array gather bases, multi-filter traces, exotic scatter
-  /// conflict functions, non-affine positions). The query still completes
+  /// expand fan-outs with data-dependent output lengths, chunk-array
+  /// gather bases, multi-filter traces, exotic scatter conflict
+  /// functions, non-affine positions). The query still completes
   /// — uncompiled fragments run vectorized-interpreted — but the decline
   /// is reported instead of silently looking like "nothing was hot".
   std::string jit_declined;
@@ -221,8 +222,15 @@ class ExecContext {
   /// Writable per-morsel window (see BindRole::kPartialOutput): worker w
   /// writes a data-dependent prefix of its row slice. Pair with a task hook
   /// that reads the written count and a finalize hook that merges the runs.
+  ///
+  /// `row_scale` widens the window per input row: a morsel over input rows
+  /// [begin, end) owns window rows [begin*row_scale, end*row_scale). Queries
+  /// whose pipelines fan out (many-to-many hash joins) size their windows at
+  /// input_rows x worst-case fan-out and pass that factor here so morsel
+  /// slicing and validation stay consistent.
   ExecContext& BindPartialOutput(const std::string& name,
-                                 interp::DataBinding b);
+                                 interp::DataBinding b,
+                                 uint64_t row_scale = 1);
 
   /// Optional observability hook: called (serially) with each worker's
   /// interpreter after it finishes, before accumulator merge. Tests and
@@ -271,6 +279,8 @@ class ExecContext {
     BindRole role;
     interp::DataBinding binding;  ///< full-extent binding
     MergeFn merge;                ///< kAccumulator only
+    /// kPartialOutput only: window rows per input row (fan-out factor).
+    uint64_t row_scale = 1;
   };
 
   ProgramFactory make_program_;         // null for fixed-program contexts

@@ -9,6 +9,7 @@
 #include <set>
 
 #include "dsl/typecheck.h"
+#include "util/hash.h"
 #include "util/string_util.h"
 
 namespace avm::engine {
@@ -130,20 +131,35 @@ struct internal::QuerySpec {
     AggKind kind = AggKind::kSum;
     ExprPtr expr;  // null for Count
   };
-  /// One hash equi-join: the build side densified into key-indexed lookup
-  /// arrays (identity-hashed open table: slot == key, plus one guard slot
-  /// that never matches) so the probe is a plain shared-array gather.
+  /// One hash equi-join. Build() materializes the build side one of two
+  /// ways, chosen automatically (bit-identical results either way):
+  ///  - dense fast path (keys unique, non-negative, below kMaxJoinDomain):
+  ///    key-indexed lookup arrays (identity-hashed open table: slot == key,
+  ///    plus one guard slot that never matches) so the probe is a plain
+  ///    shared-array gather;
+  ///  - CSR hash table (duplicate / negative / sparse keys): a power-of-two
+  ///    bucket offset array plus bucket-major key/row entry lists, stable
+  ///    by build row, so duplicate keys fan out one output row per match.
   struct JoinDim {
     const Table* build = nullptr;
     std::string build_key;
     std::vector<std::string> payload;  ///< requested; empty = all non-key
     // Derived by Resolve():
     std::vector<std::string> cols;     ///< resolved payload column names
+    bool dense = true;                 ///< dense fast path vs CSR hash table
+    // Dense fast path:
     int64_t max_key = -1;              ///< guard slot = max_key + 1
     std::vector<int64_t> match;        ///< 1 where a build key exists
+    // CSR hash table:
+    uint64_t num_buckets = 0;          ///< power of two
+    std::vector<int64_t> bkt_start;    ///< num_buckets + 1 offsets
+    std::vector<int64_t> ent_key;      ///< bucket-major build keys
+    std::vector<int64_t> ent_row;      ///< bucket-major build row ids
+    uint64_t dup_max = 1;              ///< max build rows sharing one key
     struct Pay {
       TypeId type = TypeId::kI64;
-      std::vector<uint8_t> data;       ///< (max_key + 2) values
+      std::vector<uint8_t> data;  ///< dense: (max_key + 2) slots; hash:
+                                  ///< build-row-major copies
     };
     std::vector<Pay> pays;             ///< parallel to cols
   };
@@ -152,6 +168,7 @@ struct internal::QuerySpec {
   std::vector<Step> steps;
   std::vector<std::vector<int64_t>> dims;  ///< shared membership arrays
   std::vector<JoinDim> joins;
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
   ExprPtr group_expr;                      ///< null = single group
   size_t num_groups = 1;
   std::vector<Agg> aggs;
@@ -167,9 +184,16 @@ struct internal::QuerySpec {
   std::vector<std::string> out_cols; ///< final output list (order key incl.)
   std::vector<TypeId> out_types;     ///< parallel; from the probe lowering
   size_t order_key_index = 0;        ///< row mode: order_by's out_cols slot
+  /// Worst-case output rows per probe row: the product of dup_max over the
+  /// hash-table joins (1 with only dense joins). Row-mode output windows
+  /// are sized input_rows x fan_out and partitioned with this row scale.
+  uint64_t fan_out = 1;
 
   std::string DimName(size_t i) const { return StrFormat("sj%zu", i); }
   std::string JoinMatchName(size_t i) const { return StrFormat("jm_%zu", i); }
+  std::string JoinBucketName(size_t i) const { return StrFormat("jb_%zu", i); }
+  std::string JoinEntKeyName(size_t i) const { return StrFormat("jk_%zu", i); }
+  std::string JoinEntRowName(size_t i) const { return StrFormat("jr_%zu", i); }
   std::string JoinPayName(size_t i, size_t j) const {
     return StrFormat("jp_%zu_%zu", i, j);
   }
@@ -188,20 +212,23 @@ struct internal::QuerySpec {
 namespace {
 
 // Names the lowering generates itself: numbered okayN/predN/memN/keyN/sjN/
-// jidxN/jpiN/pvN/ovN/owN, the col_/acc_/avn_/cnt_/sv_/out_/jv_/jm_/jp_
-// prefixes, and the static loop counter / group / output-count / pass-
-// through names.
+// jidxN/jpiN/pvN/ovN/owN (plus the hash-join probe's jhN/jcsN/jceN/jcnN/
+// jfoN/jcaN/jckN/jcrN/jpkN/jrbN), the col_/acc_/avn_/cnt_/sv_/out_/jv_/
+// jm_/jp_/jb_/jk_/jr_ prefixes, and the static loop counter / group /
+// output-count / pass-through names.
 bool IsReservedName(const std::string& n) {
   if (n.empty() || n == "i" || n == "grp" || n == "_sel" || n == "onum" ||
       n == "group") {
     return true;
   }
   for (const char* p :
-       {"col_", "acc_", "avn_", "cnt_", "sv_", "out_", "jv_", "jm_", "jp_"}) {
+       {"col_", "acc_", "avn_", "cnt_", "sv_", "out_", "jv_", "jm_", "jp_",
+        "jb_", "jk_", "jr_"}) {
     if (n.rfind(p, 0) == 0) return true;
   }
   for (const char* p :
-       {"okay", "pred", "mem", "key", "sj", "jidx", "jpi", "pv", "ov", "ow"}) {
+       {"okay", "pred", "mem", "key", "sj", "jidx", "jpi", "pv", "ov", "ow",
+        "jh", "jcs", "jce", "jcn", "jfo", "jca", "jck", "jcr", "jpk", "jrb"}) {
     const size_t l = std::strlen(p);
     if (n.size() > l && n.compare(0, l, p) == 0 &&
         std::all_of(n.begin() + static_cast<ptrdiff_t>(l), n.end(),
@@ -224,9 +251,9 @@ Status internal::QuerySpec::BuildJoinDim(JoinDim& jd) const {
   const uint64_t rows = jd.build->num_rows();
   constexpr uint32_t kChunk = 4096;
 
-  // Pass 1: key domain. The probe gather clamps into [0, max_key + 1], so
-  // only the BUILD keys must fit the dense domain.
+  // Pass 1: read every build key and size up the domain.
   std::vector<int64_t> keys(rows);
+  int64_t min_key = 0;
   jd.max_key = -1;
   for (uint64_t pos = 0; pos < rows; pos += kChunk) {
     const uint32_t n =
@@ -234,28 +261,78 @@ Status internal::QuerySpec::BuildJoinDim(JoinDim& jd) const {
     AVM_RETURN_NOT_OK(key_col->Read(pos, n, keys.data() + pos));
     for (uint32_t i = 0; i < n; ++i) {
       const int64_t k = keys[pos + i];
-      if (k < 0) {
-        return Status::InvalidArgument(
-            "Join requires non-negative build keys (column " + jd.build_key +
-            ")");
-      }
+      min_key = std::min(min_key, k);
       jd.max_key = std::max(jd.max_key, k);
     }
   }
-  if (jd.max_key + 1 >= kMaxJoinDomain) {
-    return Status::ResourceExhausted(
-        "Join key domain too large for dense lookup arrays (column " +
-        jd.build_key + ")");
+
+  // Dense fast path iff every key fits the dense domain AND is unique (the
+  // duplicate check piggybacks on filling the match array). Everything
+  // else — duplicates, negative keys, sparse/huge domains — goes through
+  // the CSR hash table; both paths are bit-identical on any workload the
+  // dense path accepts.
+  jd.dense = join_strategy == JoinStrategy::kAuto && min_key >= 0 &&
+             jd.max_key + 1 < kMaxJoinDomain;
+  if (jd.dense) {
+    // Densify: slot == key (identity hash, collision-free by construction);
+    // the extra guard slot max_key + 1 stays unmatched and absorbs every
+    // clamped out-of-domain probe key.
+    const size_t size = static_cast<size_t>(jd.max_key + 2);
+    jd.match.assign(size, 0);
+    for (uint64_t r = 0; r < rows && jd.dense; ++r) {
+      if (jd.match[keys[r]] != 0) jd.dense = false;  // duplicate key
+      jd.match[keys[r]] = 1;
+    }
+    if (!jd.dense) jd.match = {};
+  }
+  jd.num_buckets = 0;
+  jd.bkt_start = {};
+  jd.ent_key = {};
+  jd.ent_row = {};
+  jd.dup_max = 1;
+  if (!jd.dense) {
+    // CSR hash table. Bucket count: power of two >= 2x rows; the bucket
+    // formula ((h % B) + B) % B is total for every i64 (B > 0, so the DSL
+    // mod's b==0/b==-1 guards never fire) and must match the lowered
+    // probe's map EXACTLY — interpreter, compiled trace, and this build
+    // loop all reduce the same HashInt64 the same way.
+    uint64_t bkts = 1;
+    while (bkts < rows * 2) bkts <<= 1;
+    jd.num_buckets = bkts;
+    const int64_t b64 = static_cast<int64_t>(bkts);
+    auto bucket_of = [&](int64_t k) -> size_t {
+      const int64_t h = static_cast<int64_t>(
+          HashInt64(static_cast<uint64_t>(k)));
+      return static_cast<size_t>(((h % b64) + b64) % b64);
+    };
+    jd.bkt_start.assign(bkts + 1, 0);
+    for (uint64_t r = 0; r < rows; ++r) {
+      ++jd.bkt_start[bucket_of(keys[r]) + 1];
+    }
+    for (size_t b = 1; b <= bkts; ++b) jd.bkt_start[b] += jd.bkt_start[b - 1];
+    // Counting sort, stable by build row: duplicate keys land in their
+    // bucket in build-row order, which is what makes the probe's pair
+    // order (probe-row major, build-row ascending) deterministic.
+    // Entry arrays are padded to one slot so empty build sides still bind
+    // a valid gather base (never addressed: every bucket is empty).
+    jd.ent_key.assign(std::max<uint64_t>(rows, 1), 0);
+    jd.ent_row.assign(std::max<uint64_t>(rows, 1), 0);
+    std::vector<int64_t> cursor(jd.bkt_start.begin(), jd.bkt_start.end() - 1);
+    std::map<int64_t, uint64_t> key_count;
+    for (uint64_t r = 0; r < rows; ++r) {
+      const size_t b = bucket_of(keys[r]);
+      jd.ent_key[static_cast<size_t>(cursor[b])] = keys[r];
+      jd.ent_row[static_cast<size_t>(cursor[b])] = static_cast<int64_t>(r);
+      ++cursor[b];
+      jd.dup_max = std::max(jd.dup_max, ++key_count[keys[r]]);
+    }
   }
 
-  // Pass 2: densify. slot == key (identity hash, collision-free by
-  // construction); the extra guard slot max_key + 1 stays unmatched and
-  // absorbs every clamped out-of-domain probe key. Duplicate build keys:
-  // last build row wins (dimension-table semantics).
-  const size_t size = static_cast<size_t>(jd.max_key + 2);
-  jd.match.assign(size, 0);
-  for (uint64_t r = 0; r < rows; ++r) jd.match[keys[r]] = 1;
-
+  // Payload arrays: dense -> key-indexed slots; hash -> build-row-major
+  // copies (the probe gathers them at the matching entry's build row).
+  const size_t size = jd.dense ? static_cast<size_t>(jd.max_key + 2)
+                               : static_cast<size_t>(
+                                     std::max<uint64_t>(rows, 1));
   jd.pays.resize(jd.cols.size());
   std::vector<uint8_t> buf;
   for (size_t c = 0; c < jd.cols.size(); ++c) {
@@ -271,8 +348,9 @@ Status internal::QuerySpec::BuildJoinDim(JoinDim& jd) const {
           static_cast<uint32_t>(std::min<uint64_t>(kChunk, rows - pos));
       AVM_RETURN_NOT_OK(col->Read(pos, n, buf.data()));
       for (uint32_t i = 0; i < n; ++i) {
-        std::memcpy(&pay.data[static_cast<size_t>(keys[pos + i]) * w],
-                    &buf[static_cast<size_t>(i) * w], w);
+        const size_t slot = jd.dense ? static_cast<size_t>(keys[pos + i])
+                                     : static_cast<size_t>(pos + i);
+        std::memcpy(&pay.data[slot * w], &buf[static_cast<size_t>(i) * w], w);
       }
     }
   }
@@ -301,6 +379,7 @@ Status internal::QuerySpec::Resolve() {
   column_ptrs.clear();
   out_cols.clear();
   out_types.clear();
+  fan_out = 1;
   const Schema& schema = table->schema();
 
   // Accept a referenced table column, rejecting reserved-named columns
@@ -407,9 +486,19 @@ Status internal::QuerySpec::Resolve() {
           AVM_RETURN_NOT_OK(check_fresh_name(c, "Join payload"));
           projections.insert(c);
         }
-        // Densify the build side now so Build-time errors (negative keys,
-        // oversized domains) surface before anything is submitted.
+        // Materialize the build side now so Build-time errors surface
+        // before anything is submitted, and so the dense-vs-hash choice
+        // (and with it the query's worst-case fan-out) is known.
         AVM_RETURN_NOT_OK(BuildJoinDim(jd));
+        if (!jd.dense) {
+          if (jd.dup_max != 0 &&
+              fan_out > (uint64_t{1} << 40) / jd.dup_max) {
+            return Status::ResourceExhausted(
+                "Join fan-out too large to size output windows (column " +
+                jd.build_key + ")");
+          }
+          fan_out *= jd.dup_max;
+        }
         break;
       }
     }
@@ -533,6 +622,11 @@ struct Lowering {
   std::map<std::string, std::string> pos_cache;
   std::string cur_sel;  // selection-carrying value, "" before any filter
   int gen = 0;          // generated-name counter
+  /// True after a hash-table join switched the loop to the (probe row,
+  /// build row) pair domain: chunk positions no longer line up with the
+  /// scanned columns, so PosName must serve schema columns from the
+  /// rebased pair-domain values instead of the raw col_ reads.
+  bool rebased = false;
 
   explicit Lowering(const Spec& s) : spec(s) {}
 
@@ -578,11 +672,11 @@ struct Lowering {
   /// re-computed over all rows (safe: every scalar op, including div/mod by
   /// zero, is total and deterministic).
   Result<std::string> PosName(const std::string& name) {
-    if (spec.table->schema().FieldIndex(name) >= 0) {
-      return Spec::ColValue(name);
-    }
     auto hit = pos_cache.find(name);
     if (hit != pos_cache.end()) return hit->second;
+    if (!rebased && spec.table->schema().FieldIndex(name) >= 0) {
+      return Spec::ColValue(name);
+    }
     using namespace dsl;
     auto ps = payload_src.find(name);
     if (ps != payload_src.end()) {
@@ -698,7 +792,13 @@ Result<dsl::Program> internal::QuerySpec::Lower(int64_t rows) const {
     p.data.push_back({DimName(i), TypeId::kI64, false});
   }
   for (size_t i = 0; i < joins.size(); ++i) {
-    p.data.push_back({JoinMatchName(i), TypeId::kI64, false});
+    if (joins[i].dense) {
+      p.data.push_back({JoinMatchName(i), TypeId::kI64, false});
+    } else {
+      p.data.push_back({JoinBucketName(i), TypeId::kI64, false});
+      p.data.push_back({JoinEntKeyName(i), TypeId::kI64, false});
+      p.data.push_back({JoinEntRowName(i), TypeId::kI64, false});
+    }
     for (size_t j = 0; j < joins[i].pays.size(); ++j) {
       p.data.push_back({JoinPayName(i, j), joins[i].pays[j].type, false});
     }
@@ -725,7 +825,8 @@ Result<dsl::Program> internal::QuerySpec::Lower(int64_t rows) const {
     lo.value_sel[ColValue(c)] = "";
   }
 
-  for (const Step& s : steps) {
+  for (size_t si = 0; si < steps.size(); ++si) {
+    const Step& s = steps[si];
     switch (s.kind) {
       case Step::Kind::kFilter: {
         std::vector<std::string> refs;
@@ -810,13 +911,162 @@ Result<dsl::Program> internal::QuerySpec::Lower(int64_t rows) const {
       }
       case Step::Kind::kJoin: {
         const JoinDim& jd = joins[s.dim];
+        AVM_ASSIGN_OR_RETURN(std::string pos_key, lo.PosName(s.name));
+        if (!jd.dense) {
+          // ---- CSR hash-table probe: fans out many-to-many. ----
+          // Bucket per probe row (positional). ((h % B) + B) % B is total
+          // for every i64 key — B is a positive power of two, so the DSL
+          // mod's b==0/b==-1 guards never fire — and matches the
+          // build-side bucket loop bit for bit.
+          const int64_t b64 = static_cast<int64_t>(jd.num_buckets);
+          ExprPtr bucket = Call(
+              dsl::ScalarOp::kMod,
+              {Call(dsl::ScalarOp::kMod,
+                    {Call(dsl::ScalarOp::kHash, {Var("k")}), ConstI(b64)}) +
+                   ConstI(b64),
+               ConstI(b64)});
+          const std::string jh = StrFormat("jh%d", lo.gen++);
+          lo.Emit(Let(jh, Skeleton(SkeletonKind::kMap,
+                                   {Lambda({"k"}, std::move(bucket)),
+                                    Var(pos_key)})));
+          lo.value_sel[jh] = "";
+          // Thread the current selection so only surviving probe rows fan
+          // out (expand iterates its counts' selection).
+          std::string jhs = jh;
+          if (!lo.cur_sel.empty()) {
+            const std::string keyed = StrFormat("key%d", lo.gen++);
+            lo.Emit(Let(keyed, Skeleton(SkeletonKind::kMap,
+                                        {Lambda({"b", "_sel"}, Var("b")),
+                                         Var(jh), Var(lo.cur_sel)})));
+            lo.value_sel[keyed] = lo.cur_sel;
+            jhs = keyed;
+          }
+          // Candidate count per probe row: bucket end - bucket start.
+          const std::string jcs = StrFormat("jcs%d", lo.gen++);
+          lo.Emit(Let(jcs, Skeleton(SkeletonKind::kGather,
+                                    {Var(JoinBucketName(s.dim)), Var(jhs)})));
+          const std::string jb1 = StrFormat("jh%d", lo.gen++);
+          lo.Emit(Let(jb1, Skeleton(SkeletonKind::kMap,
+                                    {Lambda({"b"}, Var("b") + ConstI(1)),
+                                     Var(jhs)})));
+          const std::string jce = StrFormat("jce%d", lo.gen++);
+          lo.Emit(Let(jce, Skeleton(SkeletonKind::kGather,
+                                    {Var(JoinBucketName(s.dim)), Var(jb1)})));
+          const std::string jcn = StrFormat("jcn%d", lo.gen++);
+          lo.Emit(Let(jcn, Skeleton(SkeletonKind::kMap,
+                                    {Lambda({"e", "c"}, Var("e") - Var("c")),
+                                     Var(jce), Var(jcs)})));
+          lo.value_sel[jcn] = lo.cur_sel;
+
+          // Every name any LATER step (or the aggregation/output stage)
+          // still needs is rebased into the pair domain now: expand emits
+          // cnt[i] copies of the positional probe-domain value, so pair j
+          // sees exactly its probe row's value. The probe key doubles as
+          // the match operand.
+          std::set<std::string> needed;
+          auto add_refs = [&needed](const dsl::Expr* e) {
+            if (e == nullptr) return;
+            std::vector<std::string> r;
+            CollectRefs(*e, &r);
+            needed.insert(r.begin(), r.end());
+          };
+          for (size_t t = si + 1; t < steps.size(); ++t) {
+            add_refs(steps[t].expr.get());
+            if (steps[t].kind == Step::Kind::kSemiJoin ||
+                steps[t].kind == Step::Kind::kJoin) {
+              needed.insert(steps[t].name);
+            }
+          }
+          add_refs(group_expr.get());
+          for (const Agg& a : aggs) add_refs(a.expr.get());
+          needed.insert(out_cols.begin(), out_cols.end());
+
+          const std::string jpk = StrFormat("jpk%d", lo.gen++);
+          lo.Emit(Let(jpk, Skeleton(SkeletonKind::kExpand,
+                                    {Var(jcn), Var(pos_key)})));
+          std::vector<std::pair<std::string, std::string>> moved;
+          moved.emplace_back(s.name, jpk);
+          for (const std::string& nm : needed) {
+            if (nm == s.name) continue;
+            if (lo.value_of.find(nm) == lo.value_of.end() &&
+                lo.payload_src.find(nm) == lo.payload_src.end()) {
+              continue;  // defined by a later step; nothing to rebase yet
+            }
+            AVM_ASSIGN_OR_RETURN(std::string pv, lo.PosName(nm));
+            const std::string rb = StrFormat("jrb%d", lo.gen++);
+            lo.Emit(Let(rb, Skeleton(SkeletonKind::kExpand,
+                                     {Var(jcn), Var(pv)})));
+            moved.emplace_back(nm, rb);
+          }
+
+          // Candidate entry index per pair: bucket start + within-bucket
+          // fan-out offset; its key and build row via bounds-checked
+          // gathers (every candidate index lies inside the entry lists).
+          const std::string jfo = StrFormat("jfo%d", lo.gen++);
+          lo.Emit(Let(jfo, Skeleton(SkeletonKind::kExpand, {Var(jcn)})));
+          const std::string jcsr = StrFormat("jcs%d", lo.gen++);
+          lo.Emit(Let(jcsr, Skeleton(SkeletonKind::kExpand,
+                                     {Var(jcn), Var(jcs)})));
+          const std::string jca = StrFormat("jca%d", lo.gen++);
+          lo.Emit(Let(jca, Skeleton(SkeletonKind::kMap,
+                                    {Lambda({"c", "o"}, Var("c") + Var("o")),
+                                     Var(jcsr), Var(jfo)})));
+          const std::string jck = StrFormat("jck%d", lo.gen++);
+          lo.Emit(Let(jck, Skeleton(SkeletonKind::kGather,
+                                    {Var(JoinEntKeyName(s.dim)), Var(jca)})));
+          const std::string jcr = StrFormat("jcr%d", lo.gen++);
+          lo.Emit(Let(jcr, Skeleton(SkeletonKind::kGather,
+                                    {Var(JoinEntRowName(s.dim)), Var(jca)})));
+
+          // Domain switch: the loop now runs over (probe row, candidate)
+          // pairs. Rebased values are positional in the new domain; the
+          // caches of the old domain no longer apply.
+          for (const auto& [nm, rb] : moved) {
+            lo.value_of[nm] = rb;
+            lo.value_sel[rb] = "";
+            lo.payload_src.erase(nm);
+          }
+          lo.pos_cache.clear();
+          lo.pay_cache.clear();
+          for (const auto& [nm, rb] : moved) lo.pos_cache[nm] = rb;
+          lo.value_sel[jfo] = "";
+          lo.value_sel[jca] = "";
+          lo.value_sel[jck] = "";
+          lo.value_sel[jcr] = "";
+          lo.rebased = true;
+          lo.cur_sel.clear();
+
+          // Keep the pairs whose candidate really matches the probe key
+          // (bucket collisions carry other keys).
+          const std::string mem = StrFormat("mem%d", lo.gen);
+          const std::string okay = StrFormat("okay%d", lo.gen);
+          lo.Emit(Let(
+              mem, Skeleton(SkeletonKind::kMap,
+                            {Lambda({"a", "b"},
+                                    Cast(TypeId::kI64,
+                                         Eq(Var("a"), Var("b")))),
+                             Var(jck), Var(jpk)})));
+          lo.Emit(Let(
+              okay, Skeleton(SkeletonKind::kFilter,
+                             {Lambda({"x"}, Ne(Var("x"), ConstI(0))),
+                              Var(mem)})));
+          lo.cur_sel = okay;
+          ++lo.gen;
+
+          // This join's payloads gather lazily from the build-row-major
+          // arrays through the candidate-row index.
+          for (size_t j = 0; j < jd.cols.size(); ++j) {
+            lo.payload_src[jd.cols[j]] = {jcr, JoinPayName(s.dim, j)};
+          }
+          break;
+        }
+        // ---- Dense fast path (unique in-domain keys; at most one match).
         // Clamp the probe key into the dense domain POSITIONALLY (every
         // chunk row, independent of any selection): out-of-domain and
         // negative keys map to the guard slot, whose match flag is 0, so
         // absent keys drop rows instead of failing the bounds-checked
         // gather. The positional index vector is reused for every payload
         // gather, under whatever selection is current at use time.
-        AVM_ASSIGN_OR_RETURN(std::string pos_key, lo.PosName(s.name));
         const int64_t guard = jd.max_key + 1;
         // guard + inb*(k - guard): the in-domain predicate is evaluated
         // once per row (this is the hottest expression a join adds).
@@ -1023,14 +1273,17 @@ Status Query::Impl::OnTask(const interp::Interpreter& in, const Morsel& m) {
   if (!spec->row_mode) return Status::OK();
   AVM_ASSIGN_OR_RETURN(interp::ScalarValue n, in.GetScalar("onum"));
   const int64_t count = n.AsI64();
-  if (count < 0 || static_cast<uint64_t>(count) > m.rows()) {
+  // This morsel's window spans [begin, end) x fan_out rows.
+  const uint64_t limit = m.rows() * spec->fan_out;
+  if (count < 0 || static_cast<uint64_t>(count) > limit) {
     return Status::Internal(
         StrFormat("morsel output count %lld out of range [0, %llu]",
-                  (long long)count, (unsigned long long)m.rows()));
+                  (long long)count, (unsigned long long)limit));
   }
-  runs.push_back({m.begin, static_cast<uint64_t>(count), m.index});
+  runs.push_back(
+      {m.begin * spec->fan_out, static_cast<uint64_t>(count), m.index});
   if (spec->has_order && count > 1) {
-    SortWindow(m.begin, static_cast<uint64_t>(count));
+    SortWindow(m.begin * spec->fan_out, static_cast<uint64_t>(count));
   }
   return Status::OK();
 }
@@ -1375,6 +1628,9 @@ internal::QuerySpec& QueryBuilder::MutableSpec() {
     for (Spec::JoinDim& jd : spec_->joins) {
       jd.match = {};
       jd.pays = {};
+      jd.bkt_start = {};
+      jd.ent_key = {};
+      jd.ent_row = {};
     }
   }
   return *spec_;
@@ -1422,6 +1678,11 @@ QueryBuilder& QueryBuilder::Join(const Table& build,
   spec.joins.push_back(std::move(jd));
   spec.steps.push_back(
       {Spec::Step::Kind::kJoin, probe_key, nullptr, spec.joins.size() - 1});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::SetJoinStrategy(JoinStrategy strategy) {
+  MutableSpec().join_strategy = strategy;
   return *this;
 }
 
@@ -1520,11 +1781,29 @@ Result<Query> QueryBuilder::Build() {
   }
   for (size_t i = 0; i < spec.joins.size(); ++i) {
     const Spec::JoinDim& jd = spec.joins[i];
-    impl->ctx.BindShared(
-        spec.JoinMatchName(i),
-        interp::DataBinding::Raw(TypeId::kI64,
-                                 const_cast<int64_t*>(jd.match.data()),
-                                 jd.match.size()));
+    if (jd.dense) {
+      impl->ctx.BindShared(
+          spec.JoinMatchName(i),
+          interp::DataBinding::Raw(TypeId::kI64,
+                                   const_cast<int64_t*>(jd.match.data()),
+                                   jd.match.size()));
+    } else {
+      impl->ctx.BindShared(
+          spec.JoinBucketName(i),
+          interp::DataBinding::Raw(TypeId::kI64,
+                                   const_cast<int64_t*>(jd.bkt_start.data()),
+                                   jd.bkt_start.size()));
+      impl->ctx.BindShared(
+          spec.JoinEntKeyName(i),
+          interp::DataBinding::Raw(TypeId::kI64,
+                                   const_cast<int64_t*>(jd.ent_key.data()),
+                                   jd.ent_key.size()));
+      impl->ctx.BindShared(
+          spec.JoinEntRowName(i),
+          interp::DataBinding::Raw(TypeId::kI64,
+                                   const_cast<int64_t*>(jd.ent_row.data()),
+                                   jd.ent_row.size()));
+    }
     for (size_t j = 0; j < jd.pays.size(); ++j) {
       impl->ctx.BindShared(
           spec.JoinPayName(i, j),
@@ -1561,7 +1840,10 @@ Result<Query> QueryBuilder::Build() {
     }
   }
   if (spec.row_mode) {
-    const uint64_t rows = spec.table->num_rows();
+    // Windows hold the worst case of every probe row matching the most
+    // duplicated build key: input rows x fan_out, morsel-partitioned at
+    // that same row scale (fan_out == 1 without hash-table joins).
+    const uint64_t rows = spec.table->num_rows() * spec.fan_out;
     impl->outs.resize(spec.out_cols.size());
     for (size_t i = 0; i < spec.out_cols.size(); ++i) {
       Query::Impl::OutCol& oc = impl->outs[i];
@@ -1571,7 +1853,8 @@ Result<Query> QueryBuilder::Build() {
       oc.window.assign(std::max<uint64_t>(rows, 1) * TypeWidth(oc.type), 0);
       impl->ctx.BindPartialOutput(
           Spec::OutName(spec.out_cols[i]),
-          interp::DataBinding::Raw(oc.type, oc.window.data(), rows, true));
+          interp::DataBinding::Raw(oc.type, oc.window.data(), rows, true),
+          spec.fan_out);
     }
   }
 

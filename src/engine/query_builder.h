@@ -57,6 +57,14 @@ struct QuerySpec;
 /// Sort direction of QueryBuilder::OrderBy.
 enum class SortDir : uint8_t { kAscending = 0, kDescending };
 
+/// How QueryBuilder::Join materializes the build side.
+///  - kAuto: dense key-indexed lookup arrays when the build keys are
+///    provably unique, non-negative and below the dense-domain cap
+///    (~16M); a CSR-layout hash table otherwise. Both paths produce
+///    bit-identical results; kAuto just picks the cheaper probe.
+///  - kHash: always the CSR hash table (testing/benchmarking knob).
+enum class JoinStrategy : uint8_t { kAuto = 0, kHash };
+
 /// A built query: the lowered program factory, its ExecContext with every
 /// binding attached, and owned result storage for aggregates and
 /// materialized rows. Move-only; must outlive any in-flight submission of
@@ -153,22 +161,29 @@ class QueryBuilder {
   QueryBuilder& SemiJoin(const std::string& key,
                          std::vector<int64_t> membership);
 
-  /// Hash equi-join against `build` (the dimension side): keep probe rows
-  /// whose integer `probe_key` (column or projection) matches a value of
-  /// `build.build_key`, and bring the named `payload` columns of the
-  /// matching build row into scope for later expressions (all non-key
-  /// build columns when `payload` is empty).
+  /// Hash equi-join against `build`: emit one output row per (probe row,
+  /// matching build row) PAIR — duplicate build keys fan out many-to-many —
+  /// and bring the named `payload` columns of the matching build row into
+  /// scope for later expressions (all non-key build columns when `payload`
+  /// is empty). Probe keys absent from the build side simply drop the row.
   ///
-  /// Build() scans the build side once through a hash table into dense
-  /// key-indexed lookup arrays (bound shared, so the morsel-parallel probe
-  /// is a bounds-safe gather; build keys must be non-negative and below
-  /// ~16M). Duplicate build keys keep the LAST build row (dimension-table
-  /// semantics); probe keys absent from the build side — including
-  /// negative or out-of-domain keys — simply drop the row. `build` must
+  /// Build() materializes the build side at Build() time. When the build
+  /// keys are unique, non-negative and below ~16M, it densifies them into
+  /// key-indexed lookup arrays (identity hash; the fast path). Otherwise —
+  /// duplicate, negative, or sparse/huge keys, all of which are legal — it
+  /// builds a CSR-layout hash table (bucket offset array + bucket-major
+  /// key/row entry lists) and the probe fans out through bounds-checked
+  /// gathers. Both paths are bit-identical: pairs appear in probe-row
+  /// order, ties in build-row order, for any worker count. `build` must
   /// outlive the built Query.
   QueryBuilder& Join(const Table& build, const std::string& probe_key,
                      const std::string& build_key,
                      std::vector<std::string> payload = {});
+
+  /// Override the automatic dense-vs-hash build-side selection for every
+  /// Join of this query (see JoinStrategy). Tests use kHash to pin the
+  /// CSR path against the dense fast path on the same data.
+  QueryBuilder& SetJoinStrategy(JoinStrategy strategy);
 
   /// Group rows by `group_expr` (integer expression; values must lie in
   /// [0, num_groups)). Without this call, aggregates use a single group.

@@ -558,7 +558,7 @@ Status Session::ClassifyCpu(QueryState& q) {
     if (b.role == BindRole::kInput || b.role == BindRole::kOutput ||
         b.role == BindRole::kPartialOutput) {
       AVM_RETURN_NOT_OK(ValidatePartitioned(b.name, b.binding,
-                                            ctx.total_rows_));
+                                            ctx.total_rows_ * b.row_scale));
     }
   }
 
@@ -619,8 +619,8 @@ Status Session::RunSerialQuery(QueryState& q, ExecReport* report) {
     for (const ExecContext::Bound& b : ctx.bound_) {
       if (b.role == BindRole::kInput || b.role == BindRole::kOutput ||
           b.role == BindRole::kPartialOutput) {
-        AVM_RETURN_NOT_OK(
-            ValidatePartitioned(b.name, b.binding, ctx.total_rows_));
+        AVM_RETURN_NOT_OK(ValidatePartitioned(b.name, b.binding,
+                                              ctx.total_rows_ * b.row_scale));
       }
     }
     if (q.gpu_program != nullptr) {
@@ -669,9 +669,15 @@ Status Session::RunMorselTask(QueryState& q, const Morsel& m) {
     switch (b.role) {
       case BindRole::kInput:
       case BindRole::kOutput:
-      case BindRole::kPartialOutput:
         AVM_RETURN_NOT_OK(
             in.BindData(b.name, SliceBinding(b.binding, m.begin, m.rows())));
+        break;
+      case BindRole::kPartialOutput:
+        // Windows scale with the query's fan-out factor: this morsel owns
+        // [begin*scale, end*scale) of the full window.
+        AVM_RETURN_NOT_OK(in.BindData(
+            b.name, SliceBinding(b.binding, m.begin * b.row_scale,
+                                 m.rows() * b.row_scale)));
         break;
       case BindRole::kShared:
         AVM_RETURN_NOT_OK(in.BindData(b.name, b.binding));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "dsl/typecheck.h"
 #include "util/string_util.h"
@@ -300,6 +301,7 @@ Result<Value> Interpreter::EvalSkeleton(const Expr& e) {
     case SkeletonKind::kGather: return EvalGather(e);
     case SkeletonKind::kScatter: return EvalScatter(e);
     case SkeletonKind::kGen: return EvalGen(e);
+    case SkeletonKind::kExpand: return EvalExpand(e);
     case SkeletonKind::kMerge: return EvalMerge(e);
     case SkeletonKind::kLen: {
       AVM_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0]));
@@ -806,6 +808,85 @@ Result<Value> Interpreter::EvalGen(const Expr& e) {
   AVM_RETURN_NOT_OK(prim_exec_.Run(*prog, inputs, nullptr, 0, n, &out->vec,
                                    MakeCaptureResolver()));
   out->len = n;
+  return Value::A(out);
+}
+
+Result<Value> Interpreter::EvalExpand(const Expr& e) {
+  // expand counts [values]: each SELECTED row i of `counts` fans out into
+  // counts[i] output rows — within-run offsets 0..counts[i]-1 without
+  // `values`, or values[i] replicated counts[i] times with it. Output rows
+  // are emitted in selection order, densely packed, and carry NO selection:
+  // the result lives in a fresh fan-out row domain (the hash-join pair
+  // domain), not the input chunk's. Its length may exceed the chunk size.
+  AVM_ASSIGN_OR_RETURN(Value cnt_v, EvalExpr(*e.args[0]));
+  if (!cnt_v.is_array()) {
+    return Status::TypeError("expand counts must be an array");
+  }
+  const bool have_values = e.args.size() == 2;
+  Value val_v;
+  if (have_values) {
+    AVM_ASSIGN_OR_RETURN(val_v, EvalExpr(*e.args[1]));
+    if (!val_v.is_array()) {
+      return Status::TypeError("expand values must be an array");
+    }
+  }
+  std::vector<Value> ins{cnt_v};
+  if (have_values) ins.push_back(val_v);
+  AVM_ASSIGN_OR_RETURN(SelContext ctx, CommonSelection(ins));
+  const ArrayValue& cnt = *cnt_v.array;
+
+  // Widen counts to i64 (the type checker guarantees an integer type).
+  Vector cnt64;
+  const int64_t* pc = cnt.vec.Data<int64_t>();
+  const uint32_t m = ctx.sel != nullptr ? ctx.sel_n : ctx.n;
+  if (cnt.type() != TypeId::kI64) {
+    cnt64.Reset(TypeId::kI64, std::max(cnt.len, uint32_t{1}));
+    kernels_->Cast(cnt.type(), TypeId::kI64, ctx.sel != nullptr)(
+        cnt.vec.RawData(), nullptr, cnt64.RawData(), ctx.sel, m);
+    pc = cnt64.Data<int64_t>();
+  }
+
+  // Pass 1: validate counts and size the output.
+  uint64_t total = 0;
+  for (uint32_t j = 0; j < m; ++j) {
+    const uint32_t i = ctx.sel != nullptr ? ctx.sel[j] : j;
+    const int64_t c = pc[i];
+    if (c < 0) {
+      return Status::InvalidArgument(
+          StrFormat("expand count %lld < 0", (long long)c));
+    }
+    total += static_cast<uint64_t>(c);
+  }
+  if (total > std::numeric_limits<uint32_t>::max()) {
+    return Status::ResourceExhausted(
+        StrFormat("expand output of %llu rows exceeds the vector limit",
+                  (unsigned long long)total));
+  }
+
+  const TypeId out_t = have_values ? val_v.array->type() : TypeId::kI64;
+  ArrayPtr out =
+      NewArray(out_t, std::max<uint32_t>(static_cast<uint32_t>(total), 1));
+  if (!have_values) {
+    int64_t* po = out->vec.Data<int64_t>();
+    uint64_t o = 0;
+    for (uint32_t j = 0; j < m; ++j) {
+      const uint32_t i = ctx.sel != nullptr ? ctx.sel[j] : j;
+      for (int64_t k = 0; k < pc[i]; ++k) po[o++] = k;
+    }
+  } else {
+    const size_t w = TypeWidth(out_t);
+    const uint8_t* pv =
+        static_cast<const uint8_t*>(val_v.array->vec.RawData());
+    uint8_t* po = static_cast<uint8_t*>(out->vec.RawData());
+    uint64_t o = 0;
+    for (uint32_t j = 0; j < m; ++j) {
+      const uint32_t i = ctx.sel != nullptr ? ctx.sel[j] : j;
+      for (int64_t k = 0; k < pc[i]; ++k, ++o) {
+        std::memcpy(po + o * w, pv + static_cast<size_t>(i) * w, w);
+      }
+    }
+  }
+  out->len = static_cast<uint32_t>(total);
   return Value::A(out);
 }
 

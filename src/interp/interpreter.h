@@ -187,6 +187,7 @@ class Interpreter {
   Result<Value> EvalGather(const dsl::Expr& e);
   Result<Value> EvalScatter(const dsl::Expr& e);
   Result<Value> EvalGen(const dsl::Expr& e);
+  Result<Value> EvalExpand(const dsl::Expr& e);
   Result<Value> EvalMerge(const dsl::Expr& e);
 
   CaptureResolver MakeCaptureResolver();

@@ -33,6 +33,7 @@ double BaseCost(SkeletonKind k, uint32_t num_prims) {
     case SkeletonKind::kGather: return 2.5;
     case SkeletonKind::kScatter: return 3.0;
     case SkeletonKind::kGen: return 1.0;
+    case SkeletonKind::kExpand: return 2.5;
     case SkeletonKind::kMerge: return 4.0;
     case SkeletonKind::kLen: return 0.0;
   }
@@ -262,6 +263,14 @@ bool NodeEligible(const DepNode& n, const PartitionConstraints& c) {
       return c.allow_scatter_gather;
     case SkeletonKind::kMerge:
       return false;  // complex op; hinders vectorization (paper §III-B)
+    case SkeletonKind::kExpand:
+      // Expand crosses row domains: its output length is data-dependent
+      // (the hash-join fan-out), so it can never share a fixed-n trace
+      // with its chunk-domain inputs. Keeping it out of traces also keeps
+      // every domain-crossing edge out of compiled code — pair-domain
+      // consumers connect to the probe domain only through expand or
+      // through chunk-base gathers, which codegen declines.
+      return false;
     default:
       return true;
   }

@@ -7,6 +7,7 @@
 // translation units just instantiate it.
 #pragma once
 
+#include <deque>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -35,9 +36,19 @@ Result<std::vector<uint8_t>> CcCompileToBytes(const std::string& source,
 
 /// A JitBackend that shells out to the host C++ compiler with a fixed flag
 /// set. Thread-safe; memoizes produced artifacts by (source, symbol).
+///
+/// The memo holds full artifact bytes, so it is bounded both by entry
+/// count and by total byte size (FIFO eviction). An evicted (source,
+/// symbol) pair simply recompiles on its next request — the memo is a
+/// latency optimization, never a correctness dependency.
 class CcBackend : public JitBackend {
  public:
-  CcBackend(const char* name, JitTier tier, std::string flags);
+  static constexpr size_t kDefaultMemoEntries = 256;
+  static constexpr size_t kDefaultMemoBytes = size_t{64} << 20;  // 64 MiB
+
+  CcBackend(const char* name, JitTier tier, std::string flags,
+            size_t memo_max_entries = kDefaultMemoEntries,
+            size_t memo_max_bytes = kDefaultMemoBytes);
 
   const char* name() const override { return name_; }
   JitTier tier() const override { return tier_; }
@@ -47,13 +58,22 @@ class CcBackend : public JitBackend {
                               const std::string& symbol,
                               double* compile_seconds) override;
 
+  /// Current memo occupancy (entries / summed artifact bytes), bounded by
+  /// the construction limits.
+  size_t memo_entries();
+  size_t memo_bytes();
+
  private:
   const char* name_;
   JitTier tier_;
   std::string flags_;
   uint64_t version_hash_;
+  size_t memo_max_entries_;
+  size_t memo_max_bytes_;
   std::mutex mu_;
   std::unordered_map<uint64_t, JitArtifact> memo_;
+  std::deque<uint64_t> fifo_;  ///< memo_ keys in insertion order
+  size_t memo_bytes_ = 0;
 };
 
 /// The fast tier: host compiler at -O0 (backend_cc_o0.cc).

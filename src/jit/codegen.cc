@@ -552,6 +552,14 @@ Status TraceEmitter::Validate() {
         }
         break;
       }
+      case SkeletonKind::kExpand:
+        // A fan-out's output length is data-dependent (sum of counts) and
+        // can exceed the chunk window, so the fixed-width trace ABI cannot
+        // carry it. The depgraph already marks expand ineligible; this case
+        // keeps the decline explicit should a trace ever reach codegen.
+        return Status::NotImplemented(
+            "expand fan-out has a data-dependent output length (hash-join "
+            "probe stays interpreted)");
       default:
         return Status::NotImplemented(
             StrFormat("skeleton %s not supported in compiled traces",

@@ -21,13 +21,17 @@ namespace avm::jit {
 namespace {
 
 // Process-wide scratch directory for compiler invocations and artifact
-// loads. Leaked (like every static in this TU) so detached tier-upgrade
-// threads can still compile while the process is shutting down.
+// loads, created under $TMPDIR (fallback /tmp). Leaked (like every static
+// in this TU) so detached tier-upgrade threads can still compile while the
+// process is shutting down.
 const std::string& ScratchDir() {
   static const std::string* dir = [] {
-    char tmpl[] = "/tmp/avm_jit_XXXXXX";
-    char* d = mkdtemp(tmpl);
-    return new std::string(d != nullptr ? d : "/tmp");
+    const char* env = std::getenv("TMPDIR");
+    std::string base = env != nullptr && *env != '\0' ? env : "/tmp";
+    while (base.size() > 1 && base.back() == '/') base.pop_back();
+    std::string tmpl = base + "/avm_jit_XXXXXX";
+    char* d = mkdtemp(tmpl.data());
+    return new std::string(d != nullptr ? d : base);
   }();
   return *dir;
 }
@@ -41,6 +45,8 @@ Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
 }
 
 }  // namespace
+
+const std::string& JitScratchDir() { return ScratchDir(); }
 
 const char* TierName(JitTier t) {
   return t == JitTier::kFast ? "fast" : "opt";
@@ -152,11 +158,26 @@ Result<std::vector<uint8_t>> CcCompileToBytes(const std::string& source,
   return bytes;
 }
 
-CcBackend::CcBackend(const char* name, JitTier tier, std::string flags)
-    : name_(name), tier_(tier), flags_(std::move(flags)) {
+CcBackend::CcBackend(const char* name, JitTier tier, std::string flags,
+                     size_t memo_max_entries, size_t memo_max_bytes)
+    : name_(name),
+      tier_(tier),
+      flags_(std::move(flags)),
+      memo_max_entries_(std::max<size_t>(memo_max_entries, 1)),
+      memo_max_bytes_(memo_max_bytes) {
   version_hash_ = HashCombine(
       HashCombine(HashInt64(kTraceAbiVersion), HashString(flags_)),
       HashString(HostCompilerIdentity()));
+}
+
+size_t CcBackend::memo_entries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_.size();
+}
+
+size_t CcBackend::memo_bytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_bytes_;
 }
 
 bool CcBackend::Available() const { return !HostCompilerPath().empty(); }
@@ -176,14 +197,36 @@ Result<JitArtifact> CcBackend::Compile(const std::string& source,
   JitArtifact artifact{std::move(bytes), tier_};
   {
     std::lock_guard<std::mutex> lock(mu_);
-    memo_[key] = artifact;
+    if (memo_.emplace(key, artifact).second) {
+      fifo_.push_back(key);
+      memo_bytes_ += artifact.bytes.size();
+      // Bounded memo: evict oldest-first until both the entry-count and
+      // total-bytes caps hold again. An artifact larger than the byte cap
+      // drains the memo entirely, itself included — it is simply never
+      // cached.
+      while (!fifo_.empty() && (memo_.size() > memo_max_entries_ ||
+                                memo_bytes_ > memo_max_bytes_)) {
+        auto victim = memo_.find(fifo_.front());
+        fifo_.pop_front();
+        if (victim != memo_.end()) {
+          memo_bytes_ -= victim->second.bytes.size();
+          memo_.erase(victim);
+        }
+      }
+    }
   }
   AVM_LOG(kDebug) << name_ << " compiled " << symbol << " ("
                   << artifact.bytes.size() << " bytes)";
   return artifact;
 }
 
-ArtifactLoader::ArtifactLoader() : dir_(ScratchDir()) {}
+ArtifactLoader::ArtifactLoader(size_t memo_limit)
+    : dir_(ScratchDir()), memo_limit_(std::max<size_t>(memo_limit, 1)) {}
+
+size_t ArtifactLoader::memo_entries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
 
 ArtifactLoader& ArtifactLoader::Global() {
   static ArtifactLoader* loader = new ArtifactLoader();
@@ -231,7 +274,16 @@ Result<void*> ArtifactLoader::Load(const JitArtifact& artifact,
   {
     std::lock_guard<std::mutex> lock(mu_);
     handles_.push_back(handle);
-    cache_[key] = sym;
+    if (cache_.emplace(key, sym).second) {
+      fifo_.push_back(key);
+      // Bounded memo: drop the oldest entries. Their handles stay mapped
+      // (pointers already handed out must survive); re-loading an evicted
+      // artifact just dlopens a fresh copy.
+      while (cache_.size() > memo_limit_ && !fifo_.empty()) {
+        cache_.erase(fifo_.front());
+        fifo_.pop_front();
+      }
+    }
   }
   return sym;
 }

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +35,12 @@
 #include "util/status.h"
 
 namespace avm::jit {
+
+/// The process-wide scratch directory for compiler invocations and
+/// artifact loads: a fresh mkdtemp directory under $TMPDIR (fallback
+/// /tmp), created lazily on first use and reused — the TMPDIR value at
+/// first use wins — for the process lifetime.
+const std::string& JitScratchDir();
 
 /// Optimization tier of a compiled-trace artifact.
 enum class JitTier : uint8_t {
@@ -140,12 +147,23 @@ struct JitStats {
 /// through any number of paths maps once. Handles stay open for the process
 /// lifetime — compiled function pointers outlive every cache that hands
 /// them out.
+///
+/// The memo is bounded (`memo_limit` entries, FIFO): a session churning
+/// through an unbounded stream of distinct traces cannot grow the lookup
+/// table without limit. Evicting a memo entry does NOT unmap its artifact —
+/// handed-out function pointers must never dangle — it only means a later
+/// Load of the same bytes pays a redundant dlopen (correct, just slower).
 class ArtifactLoader {
  public:
-  ArtifactLoader();
+  static constexpr size_t kDefaultMemoLimit = 1024;
+
+  explicit ArtifactLoader(size_t memo_limit = kDefaultMemoLimit);
 
   /// dlopen the artifact bytes and resolve `symbol`.
   Result<void*> Load(const JitArtifact& artifact, const std::string& symbol);
+
+  /// Current memo entry count (bounded by the construction limit).
+  size_t memo_entries();
 
   /// Process-wide instance.
   static ArtifactLoader& Global();
@@ -153,7 +171,9 @@ class ArtifactLoader {
  private:
   std::mutex mu_;
   std::string dir_;
+  size_t memo_limit_;
   std::unordered_map<uint64_t, void*> cache_;
+  std::deque<uint64_t> fifo_;  ///< cache_ keys in insertion order
   std::vector<void*> handles_;
   uint64_t seq_ = 0;
 };

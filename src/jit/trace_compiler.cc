@@ -342,6 +342,14 @@ interp::InjectedTrace MakeInjection(std::shared_ptr<TraceEntry> entry,
           if (!v.is_array()) {
             return Status::TypeError(spec.name + " is not an array");
           }
+          // A chunk input longer than the chunk window (e.g. a fan-out
+          // vector from an expand in another domain) would be silently
+          // truncated by the min below — fall back to interpretation
+          // instead. Shorter inputs still clamp n (last partial chunk).
+          if (v.array->len > chunk_size) {
+            return Status::Unavailable(
+                "chunk input exceeds the chunk window");
+          }
           n = std::min(n, v.array->len);
           if (v.array->has_sel() && IsSelInput(meta, spec.name)) {
             sel = v.array->sel.Data();

@@ -80,33 +80,39 @@ uint32_t HashSetI64::ProbeSel(const int64_t* keys, const sel_t* in_sel,
 
 HashJoinI64::HashJoinI64(size_t expected) {
   size_t cap = bits::NextPow2(std::max<size_t>(16, expected * 2));
-  slots_.assign(cap, Slot{0, 0, 0});
+  slots_.assign(cap, Slot{0, kNil, kNil, 0});
   mask_ = cap - 1;
 }
 
 void HashJoinI64::Grow() {
+  // Re-bucket the slots only: the entry chains in rows_ are stable.
   std::vector<Slot> old = std::move(slots_);
   const size_t cap = old.size() * 2;
-  slots_.assign(cap, Slot{0, 0, 0});
+  slots_.assign(cap, Slot{0, kNil, kNil, 0});
   mask_ = cap - 1;
-  entries_ = 0;
   for (const auto& s : old) {
-    if (s.used) Insert(s.key, s.row);
+    if (!s.used) continue;
+    size_t idx = HashInt64(static_cast<uint64_t>(s.key)) & mask_;
+    while (slots_[idx].used) idx = (idx + 1) & mask_;
+    slots_[idx] = s;
   }
 }
 
 void HashJoinI64::Insert(int64_t key, uint32_t row) {
-  if (entries_ * 2 >= slots_.size()) Grow();
+  if (distinct_ * 2 >= slots_.size()) Grow();
+  const uint32_t e = static_cast<uint32_t>(rows_.size());
+  rows_.push_back({row, kNil});
   size_t idx = HashInt64(static_cast<uint64_t>(key)) & mask_;
   while (slots_[idx].used) {
-    if (slots_[idx].key == key) {
-      slots_[idx].row = row;  // unique-key join: last write wins
+    if (slots_[idx].key == key) {  // duplicate: append to the chain
+      rows_[slots_[idx].tail].next = e;
+      slots_[idx].tail = e;
       return;
     }
     idx = (idx + 1) & mask_;
   }
-  slots_[idx] = {key, row, 1};
-  ++entries_;
+  slots_[idx] = {key, e, e, 1};
+  ++distinct_;
 }
 
 uint32_t HashJoinI64::Probe(const int64_t* keys, const sel_t* in_sel,
@@ -117,9 +123,11 @@ uint32_t HashJoinI64::Probe(const int64_t* keys, const sel_t* in_sel,
     size_t idx = HashInt64(static_cast<uint64_t>(keys[i])) & mask_;
     while (slots_[idx].used) {
       if (slots_[idx].key == keys[i]) {
-        out_positions[count] = i;
-        out_rows[count] = slots_[idx].row;
-        ++count;
+        for (uint32_t e = slots_[idx].head; e != kNil; e = rows_[e].next) {
+          out_positions[count] = i;
+          out_rows[count] = rows_[e].row;
+          ++count;
+        }
         return;
       }
       idx = (idx + 1) & mask_;

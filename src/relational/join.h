@@ -46,27 +46,41 @@ class HashSetI64 {
   size_t mask_ = 0;
 };
 
-/// Full hash join (build: key -> payload row id; probe returns matches).
+/// Full hash join (build: key -> payload row ids; probe returns matches).
+/// Duplicate build keys are kept: each key chains every inserted row in
+/// insertion order, so a probe fans out many-to-many. This is the scalar
+/// reference oracle for the engine's QueryBuilder::Join hash path.
 class HashJoinI64 {
  public:
   explicit HashJoinI64(size_t expected = 16);
+  /// Append (key, row). Duplicate keys accumulate — nothing is replaced.
   void Insert(int64_t key, uint32_t row);
-  /// Probe a chunk of keys; for each qualifying position appends
-  /// (probe position, build row) to the outputs. Returns match count
-  /// (first match per key only — unique build keys assumed).
+  /// Probe a chunk of keys; for each (probe position, matching build row)
+  /// PAIR appends the pair to the outputs — one output per duplicate build
+  /// row, build rows in insertion order. Returns the pair count. The
+  /// output buffers must hold the worst case: n times the largest
+  /// duplicate count on the build side.
   uint32_t Probe(const int64_t* keys, const sel_t* in_sel, uint32_t n,
                  sel_t* out_positions, uint32_t* out_rows) const;
-  size_t size() const { return entries_; }
+  /// Number of build rows inserted (not distinct keys).
+  size_t size() const { return rows_.size(); }
 
  private:
+  static constexpr uint32_t kNil = 0xffffffffu;
   void Grow();
   struct Slot {
     int64_t key;
-    uint32_t row;
+    uint32_t head;  ///< first entry in rows_ (insertion order)
+    uint32_t tail;  ///< last entry, for O(1) append
     uint8_t used;
   };
+  struct Entry {
+    uint32_t row;
+    uint32_t next;  ///< next duplicate of the same key, or kNil
+  };
   std::vector<Slot> slots_;
-  size_t entries_ = 0;
+  std::vector<Entry> rows_;
+  size_t distinct_ = 0;
   size_t mask_ = 0;
 };
 
@@ -140,16 +154,16 @@ struct SemijoinEngineRun {
 
 /// The star-schema probe workload as a QueryBuilder query: hash-join
 /// `probe` against the `build` dimension on
-/// `probe[probe_key] == build[build_key]` (unique-key/dimension semantics —
-/// duplicate build keys keep the last row), then aggregate over the
-/// matches:
+/// `probe[probe_key] == build[build_key]` — one output PAIR per (probe
+/// row, matching build row), so duplicate build keys fan out many-to-many,
+/// exactly like a chained HashJoinI64 probe — then aggregate:
 ///   "revenue"  = SUM(probe[probe_value] * build[build_value])   (i64)
-///   "matches"  = COUNT(*)
+///   "matches"  = COUNT(*)   (pairs, not probe rows)
 /// grouped by `probe[probe_value] % num_groups` when `num_groups > 1`.
-/// The build side is densified through a hash pass at Build() time into
-/// shared lookup arrays, so the probe is a morsel-parallel gather that
-/// interleaves with other queries on a Session. Both tables must outlive
-/// the Query.
+/// The build side materializes at Build() time into shared lookup arrays
+/// (dense key-indexed when keys are unique and in-domain, a CSR hash table
+/// otherwise), so the probe is a morsel-parallel gather that interleaves
+/// with other queries on a Session. Both tables must outlive the Query.
 Result<engine::Query> MakeJoinQuery(const Table& probe,
                                     const std::string& probe_key,
                                     const std::string& probe_value,

@@ -5,6 +5,11 @@
 // materialized rows; tight-tolerance for f64 SUM/AVG accumulators, whose
 // addition order legitimately differs across morsel merges.
 //
+// Joins rotate through three build-side families: the near-dense original,
+// a duplicate-heavy table (avg fan-out ~4, exercises the many-to-many CSR
+// hash path and fan-out row windows), and a sparse table whose keys are
+// negative / huge (> 2^24) probed via the probe's own sparse key column.
+//
 // Every failure message leads with the plan seed and the plan description:
 //   AVM_DIFF_SEED=<seed> ./engine_differential_test   reruns just that plan.
 //   AVM_DIFF_PLANS=<n>                                overrides the count.
@@ -37,17 +42,51 @@ constexpr uint64_t kProbeRows = 6'000;
 constexpr int64_t kKeyDomain = 600;  // probe keys in [0, 600]
 constexpr int64_t kBuildKeys = 500;  // build side covers [0, 500)
 
-/// Shared fixture tables: a probe side (i64 key/a/b plus an f64 w) and a
-/// dimension side (dense keys with a duplicated tail, i64 + f64 payloads).
+/// Join keys the dense fast path cannot represent: negative, sparse, and
+/// far beyond the ~16M dense-domain cap. Shared by the probe's k2 column
+/// and the sparse build table so roughly half the probes match.
+const std::vector<int64_t>& SparseKeyDomain() {
+  static const std::vector<int64_t> domain = {
+      -(int64_t{1} << 41), -123'456'789LL, -600, -17, -2, -1, 0, 1,
+      5,  599, 4'000'000LL, (int64_t{1} << 24) + 3, (int64_t{1} << 33)};
+  return domain;
+}
+
+/// Shared fixture tables: a probe side (i64 key/a/b, a sparse/negative key
+/// k2, an f64 w) and three dimension sides sharing one schema — the
+/// near-dense original (dense keys + a small duplicated tail), a
+/// duplicate-heavy one (every key 1..7 times, avg fan-out ~4), and a
+/// sparse one keyed on SparseKeyDomain() values.
 struct Tables {
   std::unique_ptr<Table> probe;
   std::unique_ptr<Table> build;
+  std::unique_ptr<Table> build_dup;
+  std::unique_ptr<Table> build_sparse;
+
+  void MakeBuild(std::unique_ptr<Table>* out, const std::vector<int64_t>& dk,
+                 Rng& rng) {
+    Schema bs({{"d_key", TypeId::kI64},
+               {"d_val", TypeId::kI64},
+               {"d_rate", TypeId::kF64}});
+    *out = std::make_unique<Table>(bs);
+    const auto n = static_cast<uint32_t>(dk.size());
+    std::vector<int64_t> dv(n);
+    std::vector<double> dr(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      dv[i] = rng.NextInRange(1, 400);
+      dr[i] = static_cast<double>(rng.NextInRange(1, 999)) / 32.0;
+    }
+    EXPECT_TRUE((*out)->column(0).AppendValues(dk.data(), n).ok());
+    EXPECT_TRUE((*out)->column(1).AppendValues(dv.data(), n).ok());
+    EXPECT_TRUE((*out)->column(2).AppendValues(dr.data(), n).ok());
+  }
 
   Tables() {
     Schema ps({{"k", TypeId::kI64},
                {"a", TypeId::kI64},
                {"b", TypeId::kI64},
-               {"w", TypeId::kF64}});
+               {"w", TypeId::kF64},
+               {"k2", TypeId::kI64}});
     probe = std::make_unique<Table>(ps);
     Rng rng(2024);
     std::vector<int64_t> k(kProbeRows), a(kProbeRows), b(kProbeRows);
@@ -63,26 +102,44 @@ struct Tables {
     EXPECT_TRUE(probe->column(2).AppendValues(b.data(), kProbeRows).ok());
     EXPECT_TRUE(probe->column(3).AppendValues(w.data(), kProbeRows).ok());
 
-    Schema bs({{"d_key", TypeId::kI64},
-               {"d_val", TypeId::kI64},
-               {"d_rate", TypeId::kF64}});
-    build = std::make_unique<Table>(bs);
-    const size_t n = static_cast<size_t>(kBuildKeys) + 50;  // 50 duplicates
-    std::vector<int64_t> dk(n), dv(n);
-    std::vector<double> dr(n);
-    for (size_t i = 0; i < n; ++i) {
+    std::vector<int64_t> dk(static_cast<size_t>(kBuildKeys) + 50);
+    for (size_t i = 0; i < dk.size(); ++i) {
       dk[i] = i < static_cast<size_t>(kBuildKeys)
                   ? static_cast<int64_t>(i)
-                  : rng.NextInRange(0, kBuildKeys - 1);
-      dv[i] = rng.NextInRange(1, 400);
-      dr[i] = static_cast<double>(rng.NextInRange(1, 999)) / 32.0;
+                  : rng.NextInRange(0, kBuildKeys - 1);  // 50 duplicates
     }
-    EXPECT_TRUE(
-        build->column(0).AppendValues(dk.data(), static_cast<uint32_t>(n)).ok());
-    EXPECT_TRUE(
-        build->column(1).AppendValues(dv.data(), static_cast<uint32_t>(n)).ok());
-    EXPECT_TRUE(
-        build->column(2).AppendValues(dr.data(), static_cast<uint32_t>(n)).ok());
+    MakeBuild(&build, dk, rng);
+
+    // The new columns/tables draw from a second stream so the original
+    // probe/build contents (and thus historical seed behavior) are stable.
+    Rng rng2(2025);
+    const std::vector<int64_t>& domain = SparseKeyDomain();
+    const auto dmax = static_cast<int64_t>(domain.size()) - 1;
+    std::vector<int64_t> k2(kProbeRows);
+    for (uint64_t i = 0; i < kProbeRows; ++i) {
+      // ~60% of probes draw from the sparse domain; the rest miss.
+      k2[i] = rng2.NextInRange(0, 99) < 60
+                  ? domain[static_cast<size_t>(rng2.NextInRange(0, dmax))]
+                  : rng2.NextInRange(1'000'000, 2'000'000);
+    }
+    EXPECT_TRUE(probe->column(4).AppendValues(k2.data(), kProbeRows).ok());
+
+    std::vector<int64_t> dup_dk;
+    for (int64_t key = 0; key <= kKeyDomain; ++key) {
+      const int64_t copies = rng2.NextInRange(1, 7);  // avg fan-out 4
+      for (int64_t c = 0; c < copies; ++c) dup_dk.push_back(key);
+    }
+    MakeBuild(&build_dup, dup_dk, rng2);
+
+    std::vector<int64_t> sparse_dk;
+    for (int64_t key : domain) {
+      const int64_t copies = rng2.NextInRange(1, 3);
+      for (int64_t c = 0; c < copies; ++c) sparse_dk.push_back(key);
+    }
+    for (int64_t i = 0; i < 8; ++i) {  // never probed
+      sparse_dk.push_back(3'000'000 + i);
+    }
+    MakeBuild(&build_sparse, sparse_dk, rng2);
   }
 };
 
@@ -198,8 +255,24 @@ Result<Query> GeneratePlan(uint64_t seed, const Tables& t, PlanInfo* info) {
           break;
         }
         joined = true;
-        info->desc += "Join ";
-        qb.Join(*t.build, "k", "d_key", {"d_val", "d_rate"});
+        // The build-side family comes from a side stream (seeded from the
+        // plan seed, not the main rng) so adding families did not shift
+        // the step sequence of historical/pinned seeds.
+        Rng jrng(seed * 0xD1B54A32D192ED03ull + 2);
+        switch (jrng.NextInRange(0, 2)) {
+          case 0:
+            info->desc += "Join ";
+            qb.Join(*t.build, "k", "d_key", {"d_val", "d_rate"});
+            break;
+          case 1:  // duplicate-heavy: many-to-many fan-out (avg ~4)
+            info->desc += "JoinDup ";
+            qb.Join(*t.build_dup, "k", "d_key", {"d_val", "d_rate"});
+            break;
+          default:  // sparse / negative / >2^24 keys via the k2 column
+            info->desc += "JoinSparse ";
+            qb.Join(*t.build_sparse, "k2", "d_key", {"d_val", "d_rate"});
+            break;
+        }
         invalidate_projections();
         i64_fresh.push_back("d_val");
         f64_names.push_back("d_rate");
@@ -455,20 +528,25 @@ TEST(DifferentialTest, PinnedSeedsForPreviouslyDeclinedShapes) {
   so.num_workers = 4;
   Session parallel_session(so);
 
-  // 6:  Filter Project Join Filter Output OrderBy  (selection-composed
-  //     join probe + payload re-gather + condensing output cursor)
-  // 9:  SemiJoin Join Project Filter Aggregate Sum/Count/SumF64 OrderBy
-  //     (selection-carrying scatter aggregation behind two probes)
+  // 6:  Filter Project JoinSparse Filter Output OrderBy
+  //     (selection-composed join probe over negative/huge keys + payload
+  //     re-gather + condensing output cursor)
+  // 9:  SemiJoin JoinDup Project Filter Aggregate Sum/Count/SumF64 OrderBy
+  //     (selection-carrying scatter aggregation behind two probes, with
+  //     duplicate fan-out)
   // 12: Filter Output OrderBy                      (minimal stale-cursor)
   // 20: Filter SemiJoin Join Project Output×3 OrderBy (everything at once)
+  // 24: Project JoinDup SemiJoin Filter Output OrderBy (duplicate
+  //     fan-out feeding a post-join selection and an ordered, condensing
+  //     row materialization — the many-to-many pair-domain shape)
   int built = 0, skipped = 0;
-  for (uint64_t seed : {6ull, 9ull, 12ull, 20ull}) {
+  for (uint64_t seed : {6ull, 9ull, 12ull, 20ull, 24ull}) {
     RunSeed(seed, t, parallel_session, &built, &skipped);
     if (::testing::Test::HasFatalFailure()) return;
   }
-  // All four seeds must BUILD — a generator change that invalidates one
+  // All five seeds must BUILD — a generator change that invalidates one
   // must re-pin an equivalent plan, not silently skip the family.
-  EXPECT_EQ(built, 4) << "pinned differential seeds no longer build";
+  EXPECT_EQ(built, 5) << "pinned differential seeds no longer build";
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 // First-class hash joins + ORDER BY / row materialization on
-// engine::QueryBuilder: edge cases (empty build side, all-duplicate keys,
-// absent/out-of-domain probe keys, selection-composed probe input), f64
-// aggregates, and ordered materialized output — each checked against scalar
-// oracles, serially and morsel-parallel.
+// engine::QueryBuilder: edge cases (empty build side, duplicate-key
+// many-to-many fan-out, negative/sparse/huge key domains, absent probe
+// keys, selection-composed probe input), dense-vs-hash path equivalence,
+// f64 aggregates, and ordered materialized output — each checked against
+// scalar oracles, serially and morsel-parallel.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -96,7 +97,8 @@ struct BuildTable {
     }
   }
 
-  /// Last-build-row-wins lookup, mirroring the documented join semantics.
+  /// Unique-key lookup (the tests using it have unique build keys; with
+  /// duplicates use MatchRows for the many-to-many pair semantics).
   bool Lookup(int64_t k, int64_t* out_val, double* out_rate) const {
     for (size_t i = key.size(); i-- > 0;) {
       if (key[i] == k) {
@@ -106,6 +108,15 @@ struct BuildTable {
       }
     }
     return false;
+  }
+
+  /// All build rows matching `k`, ascending — one output pair per entry.
+  std::vector<size_t> MatchRows(int64_t k) const {
+    std::vector<size_t> rows;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (key[i] == k) rows.push_back(i);
+    }
+    return rows;
   }
 };
 
@@ -184,20 +195,207 @@ TEST(JoinBuilderTest, EmptyProbeSideProducesEmptyResults) {
   }
 }
 
-TEST(JoinBuilderTest, AllDuplicateBuildKeysKeepLastRow) {
+TEST(JoinBuilderTest, AllDuplicateBuildKeysFanOutPerBuildRow) {
   ProbeTable probe(5'000, /*key_lo=*/0, /*key_hi=*/10);
   BuildTable build(std::vector<int64_t>(64, 7));  // 64 rows, all key 7
-  QueryBuilder qb(*probe.table);
-  qb.Join(*build.table, "f_key", "d_key", {"d_val"})
-      .Sum("sum_v", Var("d_val"))
-      .Count("n");
-  Query q = qb.Build().ValueOrDie();
-  ASSERT_TRUE(ExecEngine::Execute(q.context(), Interp()).ok());
-  int64_t matches = 0;
-  for (int64_t k : probe.key) matches += k == 7 ? 1 : 0;
-  EXPECT_EQ(q.aggregate("n")[0], matches);
-  // Deterministic duplicate semantics: the LAST build row's payload.
-  EXPECT_EQ(q.aggregate("sum_v")[0], matches * build.val.back());
+  int64_t hits = 0;
+  for (int64_t k : probe.key) hits += k == 7 ? 1 : 0;
+  const int64_t val_sum =
+      std::accumulate(build.val.begin(), build.val.end(), int64_t{0});
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    QueryBuilder qb(*probe.table);
+    qb.Join(*build.table, "f_key", "d_key", {"d_val"})
+        .Sum("sum_v", Var("d_val"))
+        .Count("n");
+    Query q = qb.Build().ValueOrDie();
+    ASSERT_TRUE(ExecEngine::Execute(q.context(), Interp(workers)).ok());
+    // One output pair per (probe row, matching build row): every probe hit
+    // fans out across all 64 duplicate build rows.
+    EXPECT_EQ(q.aggregate("n")[0], hits * 64) << "workers=" << workers;
+    EXPECT_EQ(q.aggregate("sum_v")[0], hits * val_sum)
+        << "workers=" << workers;
+  }
+}
+
+TEST(JoinBuilderTest, DuplicateFanOutMatchesScalarOracle) {
+  // Mixed duplicate counts (1..6 per key) against a scalar many-to-many
+  // oracle, with a pre-join filter so the probe runs under a selection.
+  ProbeTable probe(30'000, /*key_lo=*/-3, /*key_hi=*/120);
+  Rng rng(23);
+  std::vector<int64_t> keys;
+  for (int64_t k = 0; k <= 100; ++k) {
+    const int64_t copies = rng.NextInRange(1, 6);
+    for (int64_t c = 0; c < copies; ++c) keys.push_back(k);
+  }
+  BuildTable build(std::move(keys));
+
+  int64_t expect_n = 0, expect_sum = 0;
+  for (size_t i = 0; i < probe.key.size(); ++i) {
+    if (probe.a[i] >= 600) continue;
+    for (size_t r : build.MatchRows(probe.key[i])) {
+      ++expect_n;
+      expect_sum += probe.b[i] * build.val[r];
+    }
+  }
+  ASSERT_GT(expect_n, 0);
+
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    QueryBuilder qb(*probe.table);
+    qb.Filter(Var("f_a") < ConstI(600))
+        .Join(*build.table, "f_key", "d_key", {"d_val"})
+        .Sum("s", Var("f_b") * Var("d_val"))
+        .Count("n");
+    Query q = qb.Build().ValueOrDie();
+    auto rep = ExecEngine::Execute(q.context(), Interp(workers));
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    if (workers > 1) {
+      EXPECT_GT(rep.value().morsels, 1u);
+      EXPECT_TRUE(rep.value().ran_serial_reason.empty())
+          << rep.value().ran_serial_reason;
+    }
+    EXPECT_EQ(q.aggregate("n")[0], expect_n) << "workers=" << workers;
+    EXPECT_EQ(q.aggregate("s")[0], expect_sum) << "workers=" << workers;
+  }
+}
+
+TEST(JoinBuilderTest, NegativeSparseAndHugeBuildKeysJoinViaHashTable) {
+  // Keys that the dense path cannot represent — negative, sparse, and far
+  // beyond the ~16M dense-domain cap — must Build() and probe correctly.
+  const uint64_t n = 8'000;
+  Schema ps({{"f_key", TypeId::kI64}, {"f_b", TypeId::kI64}});
+  Table probe(ps);
+  Rng rng(41);
+  std::vector<int64_t> fk(n), fb(n);
+  const std::vector<int64_t> domain = {
+      -9'000'000'000'000LL, -17, -1, 0, 3, (int64_t{1} << 24) + 5,
+      (int64_t{1} << 40),   907, 908};
+  for (uint64_t i = 0; i < n; ++i) {
+    // Half the probes hit the domain, half miss.
+    fk[i] = rng.NextInRange(0, 1) != 0
+                ? domain[static_cast<size_t>(
+                      rng.NextInRange(0, static_cast<int64_t>(domain.size()) - 1))]
+                : rng.NextInRange(100'000, 200'000);
+    fb[i] = rng.NextInRange(1, 99);
+  }
+  ASSERT_TRUE(
+      probe.column(0).AppendValues(fk.data(), static_cast<uint32_t>(n)).ok());
+  ASSERT_TRUE(
+      probe.column(1).AppendValues(fb.data(), static_cast<uint32_t>(n)).ok());
+
+  // Build side: each domain key once, plus a duplicate of the negatives.
+  std::vector<int64_t> bk = domain;
+  bk.push_back(-17);
+  bk.push_back(-1);
+  BuildTable build(bk);
+
+  int64_t expect_n = 0, expect_sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    for (size_t r : build.MatchRows(fk[i])) {
+      ++expect_n;
+      expect_sum += fb[i] * build.val[r];
+    }
+  }
+  ASSERT_GT(expect_n, 0);
+
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    QueryBuilder qb(probe);
+    qb.Join(*build.table, "f_key", "d_key", {"d_val"})
+        .Sum("s", Var("f_b") * Var("d_val"))
+        .Count("n");
+    Query q = qb.Build().ValueOrDie();
+    auto rep = ExecEngine::Execute(q.context(), Interp(workers));
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    EXPECT_EQ(q.aggregate("n")[0], expect_n) << "workers=" << workers;
+    EXPECT_EQ(q.aggregate("s")[0], expect_sum) << "workers=" << workers;
+  }
+}
+
+TEST(JoinBuilderTest, DenseAndHashPathsBitIdentical) {
+  // Unique in-domain keys qualify for the dense fast path; forcing the CSR
+  // hash table on the same data must give bit-identical aggregates AND
+  // bit-identical ordered materialized rows.
+  ProbeTable probe(20'000);
+  BuildTable build(DenseKeys(1'000));
+
+  auto run = [&](JoinStrategy strategy, size_t workers) {
+    QueryBuilder qb(*probe.table);
+    qb.SetJoinStrategy(strategy)
+        .Filter(Var("f_a") < ConstI(700))
+        .Join(*build.table, "f_key", "d_key", {"d_val"})
+        .Output("f_b")
+        .Output("d_val")
+        .OrderBy("f_key");
+    Query q = qb.Build().ValueOrDie();
+    auto rep = ExecEngine::Execute(q.context(), Interp(workers));
+    EXPECT_TRUE(rep.ok()) << rep.status().ToString();
+    return q;
+  };
+
+  Query dense = run(JoinStrategy::kAuto, 1);
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    Query hash = run(JoinStrategy::kHash, workers);
+    ASSERT_EQ(hash.num_result_rows(), dense.num_result_rows())
+        << "workers=" << workers;
+    for (const char* col : {"f_key", "f_b", "d_val"}) {
+      EXPECT_EQ(hash.result_column(col).data, dense.result_column(col).data)
+          << col << " workers=" << workers;
+    }
+  }
+}
+
+TEST(JoinBuilderTest, DuplicateFanOutOrderedRowsBitIdenticalSerialVsParallel) {
+  // Row materialization through a fanning-out join: pairs appear in
+  // probe-row order with build-row-ascending ties, for any worker count.
+  ProbeTable probe(12'000, /*key_lo=*/-2, /*key_hi=*/60);
+  std::vector<int64_t> keys;
+  for (int64_t k = 0; k <= 50; ++k) {
+    for (int64_t c = 0; c <= k % 4; ++c) keys.push_back(k);
+  }
+  BuildTable build(std::move(keys));
+
+  auto run = [&](size_t workers) {
+    QueryBuilder qb(*probe.table);
+    qb.Join(*build.table, "f_key", "d_key", {"d_val"})
+        .Output("f_b")
+        .Output("d_val")
+        .OrderBy("f_key");
+    Query q = qb.Build().ValueOrDie();
+    auto rep = ExecEngine::Execute(q.context(), Interp(workers));
+    EXPECT_TRUE(rep.ok()) << rep.status().ToString();
+    return q;
+  };
+
+  // Scalar oracle: stable sort by key of the probe-row-major pair list.
+  struct Pair {
+    int64_t key, b, val;
+  };
+  std::vector<Pair> oracle;
+  for (size_t i = 0; i < probe.key.size(); ++i) {
+    for (size_t r : build.MatchRows(probe.key[i])) {
+      oracle.push_back({probe.key[i], probe.b[i], build.val[r]});
+    }
+  }
+  std::stable_sort(oracle.begin(), oracle.end(),
+                   [](const Pair& x, const Pair& y) { return x.key < y.key; });
+  ASSERT_GT(oracle.size(), probe.key.size() / 4);
+
+  Query serial = run(1);
+  ASSERT_EQ(serial.num_result_rows(), oracle.size());
+  const int64_t* keys_out = serial.result_column("f_key").As<int64_t>();
+  const int64_t* b_out = serial.result_column("f_b").As<int64_t>();
+  const int64_t* val_out = serial.result_column("d_val").As<int64_t>();
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    ASSERT_EQ(keys_out[i], oracle[i].key) << i;
+    ASSERT_EQ(b_out[i], oracle[i].b) << i;
+    ASSERT_EQ(val_out[i], oracle[i].val) << i;
+  }
+
+  Query parallel = run(4);
+  ASSERT_EQ(parallel.num_result_rows(), serial.num_result_rows());
+  for (const char* col : {"f_key", "f_b", "d_val"}) {
+    EXPECT_EQ(parallel.result_column(col).data, serial.result_column(col).data)
+        << col;
+  }
 }
 
 TEST(JoinBuilderTest, AbsentNegativeAndOutOfDomainProbeKeysAreDropped) {
@@ -339,13 +537,18 @@ TEST(JoinBuilderTest, ValuesAcrossDifferentFiltersStillRejected) {
 TEST(JoinBuilderTest, BuildSideErrorsSurfaceAtBuild) {
   ProbeTable probe(1'000);
   {
-    // Negative build keys.
+    // Negative build keys are legal now (hash-table path): Build succeeds
+    // and the join matches them.
     BuildTable build({3, -2, 5});
     QueryBuilder qb(*probe.table);
     qb.Join(*build.table, "f_key", "d_key").Count("n");
-    auto r = qb.Build();
-    ASSERT_FALSE(r.ok());
-    EXPECT_NE(r.status().ToString().find("non-negative"), std::string::npos);
+    Query q = qb.Build().ValueOrDie();
+    ASSERT_TRUE(ExecEngine::Execute(q.context(), Interp()).ok());
+    int64_t expect = 0;
+    for (int64_t k : probe.key) {
+      expect += (k == 3 || k == -2 || k == 5) ? 1 : 0;
+    }
+    EXPECT_EQ(q.aggregate("n")[0], expect);
   }
   {
     // Unknown payload column.

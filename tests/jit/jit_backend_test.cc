@@ -7,8 +7,10 @@
 
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "jit/backend_cc.h"
+#include "util/string_util.h"
 
 namespace avm::jit {
 namespace {
@@ -146,6 +148,87 @@ TEST(JitBackendTest, LoaderRejectsEmptyArtifact) {
   JitArtifact empty;
   auto sym = ArtifactLoader::Global().Load(empty, "whatever");
   EXPECT_FALSE(sym.ok());
+}
+
+TEST(JitBackendTest, BackendMemoBoundedByEntryCountWithEviction) {
+  if (!CcBackendO0().Available()) GTEST_SKIP() << "no host compiler";
+  // Private backend with a tiny memo: churning distinct traces past the
+  // cap must evict oldest-first and keep compiling correctly.
+  CcBackend backend("cc-test", JitTier::kFast, "-O0",
+                    /*memo_max_entries=*/3);
+  auto source_for = [](int i) {
+    return StrFormat(
+        "extern \"C\" long long avm_churn_%d(long long x) {"
+        " return x + %d; }",
+        i, i);
+  };
+  for (int i = 0; i < 8; ++i) {
+    auto a = backend.Compile(source_for(i), StrFormat("avm_churn_%d", i),
+                             nullptr);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    EXPECT_LE(backend.memo_entries(), 3u) << "after compile " << i;
+  }
+  EXPECT_EQ(backend.memo_entries(), 3u);
+
+  // The oldest source was evicted: recompiling it invokes the compiler
+  // again (nonzero wall time) and still yields a working artifact.
+  double seconds = -1;
+  auto again = backend.Compile(source_for(0), "avm_churn_0", &seconds);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_GT(seconds, 0.0) << "evicted entry should have recompiled";
+  auto sym = ArtifactLoader::Global().Load(again.value(), "avm_churn_0");
+  ASSERT_TRUE(sym.ok()) << sym.status().ToString();
+  EXPECT_EQ(reinterpret_cast<long long (*)(long long)>(sym.value())(10), 10);
+
+  // The newest survivor is still a memo hit (zero compile time).
+  seconds = -1;
+  ASSERT_TRUE(backend.Compile(source_for(7), "avm_churn_7", &seconds).ok());
+  EXPECT_EQ(seconds, 0.0);
+}
+
+TEST(JitBackendTest, BackendMemoBoundedByTotalBytes) {
+  if (!CcBackendO0().Available()) GTEST_SKIP() << "no host compiler";
+  // A 1-byte cap means no artifact is ever retained — every compile evicts
+  // itself — yet compilation keeps working.
+  CcBackend backend("cc-test-bytes", JitTier::kFast, "-O0",
+                    /*memo_max_entries=*/64, /*memo_max_bytes=*/1);
+  const std::string source =
+      "extern \"C\" long long avm_bytecap(long long x) { return x; }";
+  for (int rep = 0; rep < 2; ++rep) {
+    double seconds = -1;
+    auto a = backend.Compile(source, "avm_bytecap", &seconds);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    EXPECT_GT(seconds, 0.0) << "rep " << rep;  // never a memo hit
+    EXPECT_EQ(backend.memo_entries(), 0u);
+    EXPECT_EQ(backend.memo_bytes(), 0u);
+  }
+}
+
+TEST(JitBackendTest, LoaderMemoBoundedWithReloadAfterEviction) {
+  JitBackend& backend = CcBackendO0();
+  if (!backend.Available()) GTEST_SKIP() << "no host compiler";
+  ArtifactLoader loader(/*memo_limit=*/2);
+  std::vector<JitArtifact> artifacts;
+  std::vector<std::string> symbols;
+  for (int i = 0; i < 4; ++i) {
+    symbols.push_back(StrFormat("avm_loader_churn_%d", i));
+    auto a = backend.Compile(
+        StrFormat("extern \"C\" long long %s(long long x) {"
+                  " return x * %d; }",
+                  symbols.back().c_str(), i + 2),
+        symbols.back(), nullptr);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    artifacts.push_back(std::move(a.value()));
+    auto sym = loader.Load(artifacts.back(), symbols.back());
+    ASSERT_TRUE(sym.ok()) << sym.status().ToString();
+    EXPECT_LE(loader.memo_entries(), 2u) << "after load " << i;
+  }
+  EXPECT_EQ(loader.memo_entries(), 2u);
+  // Artifact 0 was evicted from the memo; re-loading dlopens a fresh copy
+  // that must still resolve and run.
+  auto sym = loader.Load(artifacts[0], symbols[0]);
+  ASSERT_TRUE(sym.ok()) << sym.status().ToString();
+  EXPECT_EQ(reinterpret_cast<long long (*)(long long)>(sym.value())(21), 42);
 }
 
 TEST(JitBackendTest, LoaderMemoizesByBytesAndSymbol) {

@@ -67,6 +67,26 @@ TEST(HashJoinTest, ProbeReturnsPayloadRows) {
   EXPECT_EQ(rows[1], 7u);
 }
 
+TEST(HashJoinTest, DuplicateKeysFanOutInInsertionOrder) {
+  HashJoinI64 join;
+  join.Insert(100, 1);
+  join.Insert(200, 2);
+  join.Insert(100, 3);
+  join.Insert(100, 5);
+  EXPECT_EQ(join.size(), 4u);  // build rows, not distinct keys
+  int64_t keys[3] = {100, 300, 100};
+  sel_t pos[8];
+  uint32_t rows[8];
+  uint32_t n = join.Probe(keys, nullptr, 3, pos, rows);
+  ASSERT_EQ(n, 6u);  // 3 build rows per matching probe position
+  const sel_t want_pos[6] = {0, 0, 0, 2, 2, 2};
+  const uint32_t want_rows[6] = {1, 3, 5, 1, 3, 5};
+  for (uint32_t j = 0; j < n; ++j) {
+    EXPECT_EQ(pos[j], want_pos[j]) << j;
+    EXPECT_EQ(rows[j], want_rows[j]) << j;
+  }
+}
+
 TEST(HashJoinTest, GrowKeepsEntries) {
   HashJoinI64 join(2);
   for (uint32_t i = 0; i < 5000; ++i) {
@@ -185,8 +205,8 @@ TEST(SemijoinScanTest, ParallelScanMatchesSerial) {
 }
 
 TEST(JoinQueryTest, MakeJoinQueryMatchesHashJoinOracle) {
-  // The engine-side dense-gather join must agree with the classic
-  // HashJoinI64 probe (same last-build-row-wins duplicate semantics).
+  // The engine-side join must agree with the chained HashJoinI64 probe:
+  // one pair per (probe row, matching build row), duplicates fan out.
   const uint64_t n = 80'000;
   Schema ps({{"f_key", TypeId::kI64}, {"f_val", TypeId::kI64}});
   Table probe(ps);
@@ -214,17 +234,16 @@ TEST(JoinQueryTest, MakeJoinQueryMatchesHashJoinOracle) {
 
   HashJoinI64 ht;
   for (uint32_t i = 0; i < dn; ++i) {
-    ht.Insert(dk[i], i);  // last insert wins, as in the dense build
+    ht.Insert(dk[i], i);  // duplicates chain — every build row matches
   }
   int64_t expect_rev = 0;
   uint64_t expect_matches = 0;
+  std::vector<sel_t> pos(dn);
+  std::vector<uint32_t> row(dn);
   for (uint64_t i = 0; i < n; ++i) {
-    std::vector<sel_t> pos(1);
-    std::vector<uint32_t> row(1);
-    if (ht.Probe(&fk[i], nullptr, 1, pos.data(), row.data()) == 1) {
-      ++expect_matches;
-      expect_rev += fv[i] * dw[row[0]];
-    }
+    const uint32_t hits = ht.Probe(&fk[i], nullptr, 1, pos.data(), row.data());
+    expect_matches += hits;
+    for (uint32_t h = 0; h < hits; ++h) expect_rev += fv[i] * dw[row[h]];
   }
 
   for (size_t workers : {size_t{1}, size_t{4}}) {
@@ -252,10 +271,9 @@ TEST(JoinQueryTest, MakeJoinQueryMatchesHashJoinOracle) {
   ASSERT_TRUE(engine::ExecEngine::Execute(grouped.context(), eo).ok());
   std::vector<int64_t> expect_g(4, 0);
   for (uint64_t i = 0; i < n; ++i) {
-    std::vector<sel_t> pos(1);
-    std::vector<uint32_t> row(1);
-    if (ht.Probe(&fk[i], nullptr, 1, pos.data(), row.data()) == 1) {
-      expect_g[static_cast<size_t>(fv[i] % 4)] += fv[i] * dw[row[0]];
+    const uint32_t hits = ht.Probe(&fk[i], nullptr, 1, pos.data(), row.data());
+    for (uint32_t h = 0; h < hits; ++h) {
+      expect_g[static_cast<size_t>(fv[i] % 4)] += fv[i] * dw[row[h]];
     }
   }
   for (size_t g = 0; g < 4; ++g) {
