@@ -13,8 +13,12 @@
 // engine::ExecEngine.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "bench/bench_util.h"
 
+#include "analysis/verify_program.h"
 #include "dsl/ast.h"
 #include "dsl/typecheck.h"
 #include "ir/depgraph.h"
@@ -60,6 +64,13 @@ Program MakeWideProgram() {
   p.stmts = {MutDef("i"), Assign("i", ConstI(0)), Loop(std::move(body))};
   p.AssignIds();
   TypeCheck(&p).Abort();
+  // Below-facade construction: give it the same gate QueryBuilder-built
+  // programs get (docs/VERIFIER.md).
+  const analysis::VerifyResult vr = analysis::VerifyProgram(p);
+  if (!vr.clean()) {
+    std::fprintf(stderr, "verifier: %s\n", vr.ToString().c_str());
+    std::abort();
+  }
   return p;
 }
 

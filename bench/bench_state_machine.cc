@@ -13,7 +13,9 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "analysis/verify_program.h"
 #include "dsl/builder.h"
 #include "dsl/typecheck.h"
 #include "jit/source_jit.h"
@@ -32,6 +34,13 @@ struct Fig2Fixture {
   std::vector<int64_t> data, v, w;
   Fig2Fixture() {
     dsl::TypeCheck(&program).Abort();
+    // Below-facade construction: give it the same gate QueryBuilder-built
+    // programs get (docs/VERIFIER.md).
+    const analysis::VerifyResult vr = analysis::VerifyProgram(program);
+    if (!vr.clean()) {
+      std::fprintf(stderr, "verifier: %s\n", vr.ToString().c_str());
+      std::abort();
+    }
     DataGen gen(51);
     data = gen.UniformI64(kN, -100, 100);
     v.assign(kN, 0);

@@ -22,6 +22,9 @@ if [ ${#headers[@]} -eq 0 ]; then
     src/jit/jit_backend.h
     src/jit/backend_cc.h
     src/jit/disk_cache.h
+    src/analysis/diagnostic.h
+    src/analysis/verify_program.h
+    src/analysis/verify_trace.h
   )
 fi
 

@@ -1,0 +1,449 @@
+#include "analysis/verify_program.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "ir/depgraph.h"
+#include "ir/prim.h"
+#include "util/string_util.h"
+
+namespace avm::analysis {
+namespace {
+
+using dsl::Expr;
+using dsl::ExprKind;
+using dsl::SkeletonKind;
+using dsl::Stmt;
+using dsl::StmtKind;
+using dsl::StmtPtr;
+
+void Add(VerifyResult* out, std::string rule, std::string message,
+         std::string hint, int stmt_index = -1, int node_id = -1) {
+  Diagnostic d;
+  d.rule_id = std::move(rule);
+  d.message = std::move(message);
+  d.fix_hint = std::move(hint);
+  d.stmt_index = stmt_index;
+  d.node_id = node_id;
+  out->diagnostics.push_back(std::move(d));
+}
+
+// ---------------------------------------------------------------------------
+// Scope discipline: def-before-use, Assign-only-to-MutDef, Let-never-shadows.
+// ---------------------------------------------------------------------------
+
+class ScopeChecker {
+ public:
+  ScopeChecker(const dsl::Program& program, VerifyResult* out)
+      : program_(program), out_(out) {}
+
+  void Run() {
+    for (const auto& d : program_.data) defined_.insert(d.name);
+    Walk(program_.stmts, /*stmt_ordinal=*/nullptr);
+  }
+
+ private:
+  // The interpreter's environment is flat and persists across iterations,
+  // so definitions stay visible after their loop/if; within a statement
+  // list the first iteration still executes top-to-bottom, which makes the
+  // sequential walk the right def-before-use model.
+  void Walk(const std::vector<StmtPtr>& stmts, const int* stmt_ordinal) {
+    int ord = 0;
+    for (const auto& s : stmts) {
+      const int at = stmt_ordinal ? *stmt_ordinal : ord;
+      switch (s->kind) {
+        case StmtKind::kLet:
+          if (s->expr) CheckExpr(*s->expr, at);
+          if (defined_.contains(s->var)) {
+            Add(out_, "program-let-shadow",
+                StrFormat("let '%s' shadows an existing definition",
+                          s->var.c_str()),
+                "use a fresh name; the flat environment has no inner scopes",
+                at);
+          }
+          defined_.insert(s->var);
+          break;
+        case StmtKind::kMutDef:
+          if (s->expr) CheckExpr(*s->expr, at);
+          defined_.insert(s->var);
+          mutable_.insert(s->var);
+          break;
+        case StmtKind::kAssign:
+          if (s->expr) CheckExpr(*s->expr, at);
+          if (!defined_.contains(s->var)) {
+            Add(out_, "program-def-before-use",
+                StrFormat("assignment to undefined variable '%s'",
+                          s->var.c_str()),
+                "declare the variable with mut before the loop", at);
+          } else if (!mutable_.contains(s->var)) {
+            Add(out_, "program-immutable-reassign",
+                StrFormat("assignment to immutable (let-bound) '%s'",
+                          s->var.c_str()),
+                "declare it with mut if it must be reassigned", at);
+          }
+          break;
+        case StmtKind::kLoop:
+        case StmtKind::kIf:
+          if (s->expr) CheckExpr(*s->expr, at);
+          // Flat environment: branch/body definitions persist afterwards.
+          Walk(s->body, &at);
+          Walk(s->else_body, &at);
+          break;
+        case StmtKind::kBreak:
+        case StmtKind::kExpr:
+          if (s->expr) CheckExpr(*s->expr, at);
+          break;
+      }
+      ++ord;
+    }
+  }
+
+  void CheckExpr(const Expr& e, int stmt_index) {
+    std::set<std::string> no_bound;
+    CheckExprBound(e, stmt_index, no_bound);
+  }
+
+  void CheckExprBound(const Expr& e, int stmt_index,
+                      const std::set<std::string>& bound) {
+    if (e.kind == ExprKind::kVarRef) {
+      if (!bound.contains(e.var) && !defined_.contains(e.var)) {
+        Add(out_, "program-def-before-use",
+            StrFormat("use of undefined variable '%s'", e.var.c_str()),
+            "define the name (let/mut/data) before this statement",
+            stmt_index);
+      }
+      return;
+    }
+    if (e.kind == ExprKind::kLambda) {
+      std::set<std::string> inner = bound;
+      for (const auto& p : e.params) inner.insert(p);
+      if (e.body) CheckExprBound(*e.body, stmt_index, inner);
+      return;
+    }
+    for (const auto& a : e.args) CheckExprBound(*a, stmt_index, bound);
+    if (e.body) CheckExprBound(*e.body, stmt_index, bound);
+  }
+
+  const dsl::Program& program_;
+  VerifyResult* out_;
+  std::set<std::string> defined_;
+  std::set<std::string> mutable_;
+};
+
+// ---------------------------------------------------------------------------
+// Prim discipline: every skeleton lambda must normalize, and a map's
+// normalized result type must agree with the node's annotated type.
+// ---------------------------------------------------------------------------
+
+void CheckPrims(const dsl::Program& program, VerifyResult* out) {
+  int ord = -1;
+  std::function<void(const Expr&, int)> walk = [&](const Expr& e, int at) {
+    for (const auto& a : e.args) walk(*a, at);
+    if (e.body) walk(*e.body, at);
+    if (e.kind != ExprKind::kSkeleton) return;
+
+    auto normalize = [&](const Expr& lambda, std::vector<TypeId> in_types,
+                         const char* what) -> std::optional<ir::PrimProgram> {
+      if (lambda.kind != ExprKind::kLambda) return std::nullopt;
+      auto r = ir::Normalize(lambda, in_types);
+      if (!r.ok()) {
+        Add(out, "prim-normalize",
+            StrFormat("%s lambda does not normalize: %s", what,
+                      r.status().message().c_str()),
+            "restrict the lambda to the supported scalar-op forms", at);
+        return std::nullopt;
+      }
+      return std::move(r).ValueOrDie();
+    };
+
+    switch (e.skeleton) {
+      case SkeletonKind::kMap: {
+        if (e.args.empty()) break;
+        std::vector<TypeId> in_types;
+        for (size_t i = 1; i < e.args.size(); ++i) {
+          in_types.push_back(e.args[i]->type);
+        }
+        auto p = normalize(*e.args[0], in_types, "map");
+        if (p.has_value() && p->result_type != e.type) {
+          Add(out, "prim-result-type",
+              StrFormat("map result type %s disagrees with annotated %s",
+                        TypeCName(p->result_type), TypeCName(e.type)),
+              "re-run TypeCheck or fix the lambda's result cast", at);
+        }
+        break;
+      }
+      case SkeletonKind::kFilter:
+        if (e.args.size() >= 2) {
+          normalize(*e.args[0], {e.args[1]->type}, "filter");
+        }
+        break;
+      case SkeletonKind::kFold:
+        if (e.args.size() >= 3) {
+          normalize(*e.args[0], {e.type, e.args[2]->type}, "fold");
+        }
+        break;
+      case SkeletonKind::kScatter:
+        if (e.args.size() == 4 && e.args[0]->kind == ExprKind::kVarRef) {
+          const dsl::DataDecl* d = program.FindData(e.args[0]->var);
+          if (d != nullptr) {
+            normalize(*e.args[3], {d->type, e.args[2]->type},
+                      "scatter conflict");
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  };
+  for (const auto& s : program.stmts) {
+    ++ord;
+    std::function<void(const Stmt&)> scan = [&](const Stmt& st) {
+      if (st.expr) walk(*st.expr, ord);
+      for (const auto& c : st.body) scan(*c);
+      for (const auto& c : st.else_body) scan(*c);
+    };
+    scan(*s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bind-role consistency (engine binding table supplied).
+// ---------------------------------------------------------------------------
+
+void CheckBindings(const dsl::Program& program,
+                   const std::vector<BindingInfo>& bindings,
+                   VerifyResult* out) {
+  std::map<std::string, const BindingInfo*> by_name;
+  for (const auto& b : bindings) {
+    if (program.FindData(b.name) == nullptr) {
+      Add(out, "bind-unknown-name",
+          StrFormat("binding '%s' has no data declaration in the program",
+                    b.name.c_str()),
+          "bind only names the lowered program declares");
+      continue;
+    }
+    by_name[b.name] = &b;
+  }
+
+  // Writes/scatters must target writable roles; reads/gathers must not
+  // consume privatized accumulators (each worker sees a zeroed private
+  // copy, so a read would observe merge-order-dependent partial state).
+  std::function<void(const Expr&)> walk = [&](const Expr& e) {
+    for (const auto& a : e.args) walk(*a);
+    if (e.body) walk(*e.body);
+    if (e.kind != ExprKind::kSkeleton) return;
+    auto role_of = [&](const Expr& a) -> const BindingInfo* {
+      if (a.kind != ExprKind::kVarRef) return nullptr;
+      auto it = by_name.find(a.var);
+      return it == by_name.end() ? nullptr : it->second;
+    };
+    if (e.skeleton == SkeletonKind::kWrite ||
+        e.skeleton == SkeletonKind::kScatter) {
+      const BindingInfo* b = e.args.empty() ? nullptr : role_of(*e.args[0]);
+      if (b != nullptr && (b->role == BindingRole::kInput ||
+                           b->role == BindingRole::kShared)) {
+        Add(out, "bind-write-to-readonly",
+            StrFormat("program writes array '%s' bound read-only",
+                      b->name.c_str()),
+            "bind the array as an output or accumulator");
+      }
+    }
+    if (e.skeleton == SkeletonKind::kRead && e.args.size() >= 2) {
+      const BindingInfo* b = role_of(*e.args[1]);
+      if (b != nullptr && b->role == BindingRole::kAccumulator) {
+        Add(out, "bind-accumulator-read",
+            StrFormat("program reads accumulator '%s' (workers see "
+                      "private zeroed copies)",
+                      b->name.c_str()),
+            "accumulators are write-only inside the loop; merge after");
+      }
+    }
+    if (e.skeleton == SkeletonKind::kGather && !e.args.empty()) {
+      const BindingInfo* b = role_of(*e.args[0]);
+      if (b != nullptr && b->role == BindingRole::kAccumulator) {
+        Add(out, "bind-accumulator-read",
+            StrFormat("program gathers from accumulator '%s' (workers see "
+                      "private zeroed copies)",
+                      b->name.c_str()),
+            "accumulators are write-only inside the loop; merge after");
+      }
+    }
+  };
+  for (const auto& s : program.stmts) {
+    std::function<void(const Stmt&)> scan = [&](const Stmt& st) {
+      if (st.expr) walk(*st.expr);
+      for (const auto& c : st.body) scan(*c);
+      for (const auto& c : st.else_body) scan(*c);
+    };
+    scan(*s);
+  }
+
+  // Row-window scaling under join fan-out: every morsel-sliced output
+  // window must scale by the same factor, and a factor > 1 only makes
+  // sense when the program actually fans rows out (expand).
+  bool has_expand = false;
+  dsl::VisitExprs(program, [&](const dsl::ExprPtr& e) {
+    if (e->kind == ExprKind::kSkeleton &&
+        e->skeleton == SkeletonKind::kExpand) {
+      has_expand = true;
+    }
+  });
+  uint64_t scale = 0;
+  bool scale_set = false;
+  for (const auto& b : bindings) {
+    if (b.role != BindingRole::kPartialOutput) continue;
+    if (b.row_scale == 0) {
+      Add(out, "fanout-row-scale",
+          StrFormat("partial output '%s' has row_scale 0", b.name.c_str()),
+          "row_scale must be >= 1 (the join fan-out product)");
+      continue;
+    }
+    if (!scale_set) {
+      scale = b.row_scale;
+      scale_set = true;
+    } else if (b.row_scale != scale) {
+      Add(out, "fanout-row-scale",
+          StrFormat("partial output '%s' row_scale %llu disagrees with "
+                    "sibling outputs' %llu",
+                    b.name.c_str(), (unsigned long long)b.row_scale,
+                    (unsigned long long)scale),
+          "all output columns of one result set share one fan-out");
+    }
+  }
+  if (scale_set && scale > 1 && !has_expand) {
+    Add(out, "fanout-row-scale",
+        StrFormat("outputs scale their row window by %llu but the program "
+                  "has no expand fan-out",
+                  (unsigned long long)scale),
+        "row_scale must match the program's expand fan-out product");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Iteration-domain discipline: expand switches the loop to a new (pair)
+// domain; positionally combining values from different domains reads
+// unrelated rows against each other (the hash-join probe rebases every
+// still-needed value through expand before mixing — this rule enforces
+// that discipline). Gather re-indexes, so a gather's domain comes from its
+// index argument, never its whole-array base.
+// ---------------------------------------------------------------------------
+
+void CheckDomains(const dsl::Program& program, VerifyResult* out) {
+  auto built = ir::DepGraph::Build(program);
+  if (!built.ok()) return;  // the VM reports unbuildable programs itself
+  const ir::DepGraph graph = std::move(built).ValueOrDie();
+
+  constexpr int kNoDomain = -1;  // scalar / whole-array / unconstrained
+  constexpr int kRowDomain = 0;
+  std::vector<int> domain(graph.nodes().size(), kNoDomain);
+  std::map<int, int> expand_domain;  // counts-producer node -> domain id
+  int next_domain = 1;
+
+  auto value_node = [&](const Expr& a) -> int {
+    if (a.kind == ExprKind::kVarRef) return graph.ProducerOf(a.var);
+    if (a.kind == ExprKind::kSkeleton) {
+      for (const auto& n : graph.nodes()) {
+        if (n.expr == &a) return static_cast<int>(n.id);
+      }
+    }
+    return -1;
+  };
+  auto arg_domain = [&](const Expr& a) -> int {
+    if (a.kind == ExprKind::kConst) return kNoDomain;
+    if (a.kind == ExprKind::kVarRef && a.shape == dsl::Shape::kScalar) {
+      return kNoDomain;
+    }
+    const int n = value_node(a);
+    return n < 0 ? kNoDomain : domain[static_cast<size_t>(n)];
+  };
+
+  for (uint32_t id : graph.TopoOrder()) {
+    const ir::DepNode& n = graph.nodes()[id];
+    const Expr& e = *n.expr;
+    switch (n.kind) {
+      case SkeletonKind::kRead:
+        domain[id] = kRowDomain;
+        break;
+      case SkeletonKind::kExpand: {
+        const int counts = e.args.empty() ? -1 : value_node(*e.args[0]);
+        auto it = expand_domain.find(counts);
+        if (it == expand_domain.end()) {
+          it = expand_domain.emplace(counts, next_domain++).first;
+        }
+        domain[id] = it->second;
+        break;
+      }
+      case SkeletonKind::kGather:
+        domain[id] = e.args.size() >= 2 ? arg_domain(*e.args[1]) : kNoDomain;
+        break;
+      case SkeletonKind::kFilter:
+        domain[id] = e.args.size() >= 2 ? arg_domain(*e.args[1]) : kNoDomain;
+        break;
+      case SkeletonKind::kCondense:
+        domain[id] = e.args.empty() ? kNoDomain : arg_domain(*e.args[0]);
+        break;
+      case SkeletonKind::kMap: {
+        int seen = kNoDomain;
+        for (size_t i = 1; i < e.args.size(); ++i) {
+          const int d = arg_domain(*e.args[i]);
+          if (d == kNoDomain) continue;
+          if (seen == kNoDomain) {
+            seen = d;
+          } else if (d != seen) {
+            Add(out, "domain-mix",
+                StrFormat("map '%s' positionally combines values from "
+                          "different iteration domains",
+                          n.label.c_str()),
+                "rebase pre-expand values through the same expand counts "
+                "before mixing (gather re-indexes and is exempt)",
+                static_cast<int>(n.stmt_index), static_cast<int>(id));
+            break;
+          }
+        }
+        domain[id] = seen;
+        break;
+      }
+      case SkeletonKind::kScatter: {
+        if (e.args.size() >= 3) {
+          const int di = arg_domain(*e.args[1]);
+          const int dv = arg_domain(*e.args[2]);
+          if (di != kNoDomain && dv != kNoDomain && di != dv) {
+            Add(out, "domain-mix",
+                StrFormat("scatter '%s' pairs an index and a value from "
+                          "different iteration domains",
+                          n.label.c_str()),
+                "index and value must iterate the same domain",
+                static_cast<int>(n.stmt_index), static_cast<int>(id));
+          }
+        }
+        domain[id] = kNoDomain;
+        break;
+      }
+      default:
+        domain[id] = kNoDomain;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+VerifyResult VerifyProgram(const dsl::Program& program) {
+  VerifyResult result;
+  ScopeChecker(program, &result).Run();
+  CheckPrims(program, &result);
+  CheckDomains(program, &result);
+  return result;
+}
+
+VerifyResult VerifyProgram(const dsl::Program& program,
+                           const std::vector<BindingInfo>& bindings) {
+  VerifyResult result = VerifyProgram(program);
+  CheckBindings(program, bindings, &result);
+  return result;
+}
+
+}  // namespace avm::analysis

@@ -1,0 +1,48 @@
+// Level-2 static verifier: trace compilability (docs/VERIFIER.md).
+//
+// VerifyTrace encodes the docs/TRACE_ABI.md §6 decline taxonomy as
+// machine-checked predicates over a candidate trace region: statement
+// convexity (via ir::StmtConvexityViolation), capture staleness, the
+// single-filter/condense selection discipline, scatter index-domain and
+// conflict-function restrictions, affine read/write positions, gather and
+// scatter base shapes, and value-argument resolvability. Each predicate
+// carries a stable rule id; the catalog maps every id to the codegen
+// decline message it mirrors.
+//
+// The enforced contract: jit::GenerateTrace declines a trace IFF
+// VerifyTrace reports at least one diagnostic for it (codegen stops at its
+// first error; the verifier collects all). AdaptiveVm::InstallTrace checks
+// both sides on every compile and counts any disagreement in
+// VmReport::verifier_disagreements — the differential harness asserts that
+// counter stays zero across all 200 seeded plans.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "dsl/ast.h"
+#include "ir/depgraph.h"
+#include "storage/compression.h"
+
+namespace avm::analysis {
+
+/// The situation the trace would be specialized for — the subset of
+/// jit::CodegenOptions that affects accept/decline (compression schemes
+/// only change input kinds, never declines; selection-carrying inputs
+/// change the variant rules).
+struct TraceContext {
+  /// Data arrays specialized for a compression scheme.
+  std::map<std::string, Scheme> schemes;
+  /// Chunk-variable inputs observed to carry a selection vector.
+  std::set<std::string> sel_inputs;
+};
+
+/// Verify that `trace` (a region of `graph`, built from `program`) is
+/// compilable under `ctx`. Clean result == GenerateTrace accepts.
+VerifyResult VerifyTrace(const dsl::Program& program,
+                         const ir::DepGraph& graph, const ir::Trace& trace,
+                         const TraceContext& ctx = {});
+
+}  // namespace avm::analysis

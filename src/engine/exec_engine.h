@@ -143,6 +143,18 @@ struct ExecReport {
   /// is reported instead of silently looking like "nothing was hot".
   std::string jit_declined;
 
+  /// Static-verifier activity, summed across workers (docs/VERIFIER.md):
+  /// candidate traces analysis::VerifyTrace checked ahead of codegen,
+  /// traces it rejected, and decline-contract disagreements (codegen
+  /// accepted a verifier-dirty trace or declined a clean one) — the
+  /// differential harness asserts the disagreement counter stays zero.
+  /// verifier_diagnostic is the first diagnostic observed (program- or
+  /// trace-level), empty when everything verified clean.
+  uint64_t verifier_checked = 0;
+  uint64_t verifier_rejects = 0;
+  uint64_t verifier_disagreements = 0;
+  std::string verifier_diagnostic;
+
   /// Fig. 1 state-machine timeline and profiler dump of the worker that
   /// executed the first morsel (representative; per-worker dumps would be
   /// near-identical).

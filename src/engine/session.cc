@@ -58,13 +58,14 @@ struct QueryState {
   // ----- result (guarded by mu) ------------------------------------------
   std::mutex mu;
   std::condition_variable cv;
-  bool started = false;
-  bool finished = false;
-  size_t completed = 0;  ///< tasks that ran
-  size_t skipped = 0;    ///< tasks dropped by cancellation/failure
-  Status status;
-  ExecReport report;
-  Stopwatch wall;  ///< restarted when the first task starts
+  bool started AVM_GUARDED_BY(mu) = false;
+  bool finished AVM_GUARDED_BY(mu) = false;
+  size_t completed AVM_GUARDED_BY(mu) = 0;  ///< tasks that ran
+  size_t skipped AVM_GUARDED_BY(mu) = 0;  ///< dropped by cancel/failure
+  Status status AVM_GUARDED_BY(mu);
+  ExecReport report AVM_GUARDED_BY(mu);
+  /// Restarted when the first task starts.
+  Stopwatch wall AVM_GUARDED_BY(mu);
 };
 
 }  // namespace internal
@@ -79,14 +80,19 @@ using internal::QueryState;
 struct internal::Scheduler {
   std::mutex mu;
   std::condition_variable drained;
-  std::deque<std::shared_ptr<QueryState>> run_queue;
-  std::deque<std::shared_ptr<QueryState>> admission;
-  size_t active = 0;       ///< admitted, not yet finalized
-  size_t outstanding = 0;  ///< unclaimed tasks across the run queue
-  size_t pumps = 0;        ///< worker loops currently scheduled
-  uint64_t submitted = 0;
-  uint64_t completed = 0;
-  uint64_t cancelled = 0;
+  std::deque<std::shared_ptr<QueryState>> run_queue AVM_GUARDED_BY(mu);
+  std::deque<std::shared_ptr<QueryState>> admission AVM_GUARDED_BY(mu);
+  /// Admitted, not yet finalized.
+  size_t active AVM_GUARDED_BY(mu) = 0;
+  /// Unclaimed tasks across the run queue.
+  size_t outstanding AVM_GUARDED_BY(mu) = 0;
+  /// Worker loops currently scheduled.
+  size_t pumps AVM_GUARDED_BY(mu) = 0;
+  uint64_t submitted AVM_GUARDED_BY(mu) = 0;
+  uint64_t completed AVM_GUARDED_BY(mu) = 0;
+  uint64_t cancelled AVM_GUARDED_BY(mu) = 0;
+  // workers / max_active / pool are set in the Session constructor before
+  // any worker exists and are immutable afterwards.
   size_t workers = 1;
   size_t max_active = 1;
   std::unique_ptr<ThreadPool> pool;
@@ -454,6 +460,12 @@ void MergeVmReport(const vm::VmReport& in, ExecReport* out) {
   out->disk_cache_corrupt += in.disk_cache_corrupt;
   out->tier_upgrades_requested += in.tier_upgrades_requested;
   out->tier_upgrades += in.tier_upgrades;
+  out->verifier_checked += in.verifier_checked;
+  out->verifier_rejects += in.verifier_rejects;
+  out->verifier_disagreements += in.verifier_disagreements;
+  if (out->verifier_diagnostic.empty()) {
+    out->verifier_diagnostic = in.verifier_diagnostic;
+  }
 }
 
 /// Row-partitioning is only sound when every data access tracks the input

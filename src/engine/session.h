@@ -38,6 +38,7 @@
 #include <optional>
 
 #include "engine/exec_engine.h"
+#include "util/thread_annotations.h"
 
 namespace avm::gpu {
 class SimGpuDevice;
@@ -79,8 +80,9 @@ class QueryHandle {
   bool valid() const { return state_ != nullptr; }
 
   /// Block until the query completes; returns its report (or error).
-  /// Repeated calls return the same result.
-  Result<ExecReport> Wait();
+  /// Repeated calls return the same result. (Condition-variable wait via
+  /// std::unique_lock, which the thread-safety analysis does not model.)
+  Result<ExecReport> Wait() AVM_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Non-blocking probe: the result if the query already completed.
   std::optional<Result<ExecReport>> TryGetReport();
@@ -107,7 +109,9 @@ class QueryHandle {
 class Session {
  public:
   explicit Session(SessionOptions options = {});
-  ~Session();  // drains: blocks until every submitted query completed
+  // Drains: blocks until every submitted query completed (condition-variable
+  // wait via std::unique_lock, unmodeled by the thread-safety analysis).
+  ~Session() AVM_NO_THREAD_SAFETY_ANALYSIS;
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
@@ -141,13 +145,17 @@ class Session {
   Status ClassifyCpu(internal::QueryState& q);
   Status ProbeGpuOffload(internal::QueryState& q, bool* offload);
   void PumpLoop();
-  void SpawnPumpsLocked();
+  // The *Locked helpers run with a mutex of the (here-incomplete)
+  // internal::Scheduler / internal::QueryState already held by the caller;
+  // an AVM_REQUIRES expression cannot name a member of an incomplete type,
+  // so they opt out of the analysis instead.
+  void SpawnPumpsLocked() AVM_NO_THREAD_SAFETY_ANALYSIS;
   void MarkSkipped(const std::shared_ptr<internal::QueryState>& q, size_t n);
   void RunTask(const std::shared_ptr<internal::QueryState>& q, size_t index);
   Status RunSerialQuery(internal::QueryState& q, ExecReport* report);
   Status RunGpuTask(internal::QueryState& q, ExecReport* report);
   Status RunMorselTask(internal::QueryState& q, const Morsel& m);
-  void FinalizeLocked(internal::QueryState& q);
+  void FinalizeLocked(internal::QueryState& q) AVM_NO_THREAD_SAFETY_ANALYSIS;
   void OnQueryDone(const std::shared_ptr<internal::QueryState>& q);
   ThreadPool& DevicePool() const;
 
@@ -163,9 +171,14 @@ class Session {
   // all concurrent queries) and is never held on the Submit path.
   std::mutex gpu_mu_;
   std::mutex gpu_device_mu_;
+  /// gpu_device_ / gpu_backend_ are created once under gpu_mu_ (Submit
+  /// path) and afterwards only dereferenced under gpu_device_mu_ — a
+  /// handoff protocol the static analysis cannot express with a single
+  /// GUARDED_BY, so the pointers stay unannotated; the placer is touched
+  /// exclusively under gpu_mu_ and is annotated.
   std::unique_ptr<gpu::SimGpuDevice> gpu_device_;
   std::unique_ptr<gpu::GpuBackend> gpu_backend_;
-  std::unique_ptr<gpu::AdaptivePlacer> gpu_placer_;
+  std::unique_ptr<gpu::AdaptivePlacer> gpu_placer_ AVM_GUARDED_BY(gpu_mu_);
 };
 
 }  // namespace avm::engine

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "jit/jit_backend.h"
+#include "util/thread_annotations.h"
 
 namespace avm::jit {
 
@@ -71,9 +72,10 @@ class CcBackend : public JitBackend {
   size_t memo_max_entries_;
   size_t memo_max_bytes_;
   std::mutex mu_;
-  std::unordered_map<uint64_t, JitArtifact> memo_;
-  std::deque<uint64_t> fifo_;  ///< memo_ keys in insertion order
-  size_t memo_bytes_ = 0;
+  std::unordered_map<uint64_t, JitArtifact> memo_ AVM_GUARDED_BY(mu_);
+  /// memo_ keys in insertion order.
+  std::deque<uint64_t> fifo_ AVM_GUARDED_BY(mu_);
+  size_t memo_bytes_ AVM_GUARDED_BY(mu_) = 0;
 };
 
 /// The fast tier: host compiler at -O0 (backend_cc_o0.cc).

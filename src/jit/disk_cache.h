@@ -38,6 +38,7 @@
 
 #include "jit/jit_backend.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace avm::jit {
 
@@ -113,11 +114,14 @@ class DiskTraceCache {
   Result<JitArtifact> LoadEntry(uint64_t situation_key, uint64_t source_hash,
                                 JitTier tier, uint64_t version_hash,
                                 uint64_t* corrupt_dropped);
-  void EvictOverBudget();
+  void EvictOverBudget() AVM_EXCLUDES(mu_);
 
   std::string dir_;
   uint64_t budget_bytes_;
-  std::mutex mu_;  // serializes store+evict directory scans
+  /// Serializes store+evict directory scans; all other state is atomic or
+  /// immutable after construction (file contents are made consistent by
+  /// atomic-rename publication, not by this lock).
+  std::mutex mu_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> corrupt_dropped_{0};

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace avm::jit {
 
@@ -170,12 +171,13 @@ class ArtifactLoader {
 
  private:
   std::mutex mu_;
-  std::string dir_;
+  std::string dir_;  ///< set in the constructor, immutable afterwards
   size_t memo_limit_;
-  std::unordered_map<uint64_t, void*> cache_;
-  std::deque<uint64_t> fifo_;  ///< cache_ keys in insertion order
-  std::vector<void*> handles_;
-  uint64_t seq_ = 0;
+  std::unordered_map<uint64_t, void*> cache_ AVM_GUARDED_BY(mu_);
+  /// cache_ keys in insertion order.
+  std::deque<uint64_t> fifo_ AVM_GUARDED_BY(mu_);
+  std::vector<void*> handles_ AVM_GUARDED_BY(mu_);
+  uint64_t seq_ AVM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace avm::jit

@@ -20,6 +20,7 @@
 
 #include "jit/jit_backend.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace avm::jit {
 
@@ -49,8 +50,11 @@ class SourceJit {
 
  private:
   std::mutex mu_;
-  std::unordered_map<uint64_t, void*> cache_;
+  std::unordered_map<uint64_t, void*> cache_ AVM_GUARDED_BY(mu_);
   std::string extra_flags_;
+  // stats_ is deliberately unannotated: stats() hands out a const reference
+  // that callers read between compiles (counters are updated under mu_ but
+  // observed racily by design — they are diagnostics, not control flow).
   JitStats stats_;
 };
 

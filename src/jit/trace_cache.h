@@ -21,6 +21,7 @@
 
 #include "jit/trace_compiler.h"
 #include "storage/compression.h"
+#include "util/thread_annotations.h"
 
 namespace avm::jit {
 
@@ -93,12 +94,16 @@ class TraceCache {
   /// Find without touching the hit/miss counters (internal re-checks).
   std::shared_ptr<TraceEntry> Lookup(uint64_t key) const;
 
-  /// Per-situation in-flight compile locks (single-flight).
-  std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> compiling_;
   mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<TraceEntry>> entries_;
-  mutable uint64_t hits_ = 0;
-  mutable uint64_t misses_ = 0;
+  /// Per-situation in-flight compile locks (single-flight). The map itself
+  /// is guarded by mu_; the per-key mutexes are taken *after* releasing
+  /// mu_, never while holding it.
+  std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> compiling_
+      AVM_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::shared_ptr<TraceEntry>> entries_
+      AVM_GUARDED_BY(mu_);
+  mutable uint64_t hits_ AVM_GUARDED_BY(mu_) = 0;
+  mutable uint64_t misses_ AVM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace avm::jit

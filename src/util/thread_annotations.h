@@ -1,0 +1,49 @@
+// Portable clang thread-safety-analysis annotations.
+//
+// Wraps the clang `-Wthread-safety` attribute set (guarded_by, requires,
+// excludes, ...) in AVM_* macros that expand to nothing on compilers
+// without the attributes (gcc builds them as plain declarations). The CI
+// `thread-safety` lane compiles the tree with clang and
+// `-Werror=thread-safety`, turning every lock-discipline violation the
+// annotations describe into a build error; see docs/VERIFIER.md for the
+// annotated types and their lock invariants.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define AVM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef AVM_THREAD_ANNOTATION
+#define AVM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability (mutex wrappers).
+#define AVM_CAPABILITY(x) AVM_THREAD_ANNOTATION(capability(x))
+
+/// The member is protected by the given mutex: every read/write must hold it.
+#define AVM_GUARDED_BY(x) AVM_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointed-to data is protected by the given mutex.
+#define AVM_PT_GUARDED_BY(x) AVM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function must be called with the given mutex held.
+#define AVM_REQUIRES(...) \
+  AVM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function must be called WITHOUT the given mutex held (it acquires it).
+#define AVM_EXCLUDES(...) AVM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the given mutex and does not release it.
+#define AVM_ACQUIRE(...) AVM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the given mutex.
+#define AVM_RELEASE(...) AVM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function's result grants access guarded by the given mutex.
+#define AVM_RETURN_CAPABILITY(x) AVM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis (init-once or test-only paths whose
+/// safety argument lives outside the lock discipline).
+#define AVM_NO_THREAD_SAFETY_ANALYSIS \
+  AVM_THREAD_ANNOTATION(no_thread_safety_analysis)

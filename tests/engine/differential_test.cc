@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verify_program.h"
+#include "dsl/typecheck.h"
 #include "engine/query_builder.h"
 #include "engine/session.h"
 #include "util/logging.h"
@@ -440,6 +442,19 @@ void RunSeed(uint64_t seed, Tables& t, Session& parallel_session, int* built,
   ++*built;
   Query base = std::move(base_q.value());
 
+  // Every generated plan's lowered program must be verifier-clean
+  // (docs/VERIFIER.md level 1). Build() already enforces this — the direct
+  // check keeps the assertion visible even if the facade wiring regresses.
+  {
+    Result<dsl::Program> prog = base.MakeProgram(4096);
+    ASSERT_TRUE(prog.ok()) << repro << info.desc;
+    dsl::Program p = std::move(prog).ValueOrDie();
+    ASSERT_TRUE(dsl::TypeCheck(&p).ok()) << repro << info.desc;
+    const analysis::VerifyResult vr = analysis::VerifyProgram(p);
+    ASSERT_TRUE(vr.clean())
+        << repro << info.desc << " program verifier: " << vr.ToString();
+  }
+
   // Baseline: serial vectorized interpretation.
   {
     EngineOptions eo;
@@ -461,6 +476,12 @@ void RunSeed(uint64_t seed, Tables& t, Session& parallel_session, int* built,
     eo.vm.optimize_after_iterations = 2;
     auto r = ExecEngine::Execute(q.context(), eo);
     ASSERT_TRUE(r.ok()) << repro << info.desc << ": " << r.status().ToString();
+    // Accept ⇔ verifier-clean on every candidate trace this run compiled
+    // or declined (the decline-taxonomy contract, docs/VERIFIER.md).
+    ASSERT_EQ(r.ValueOrDie().verifier_disagreements, 0u)
+        << repro << info.desc
+        << " verifier: " << r.ValueOrDie().verifier_diagnostic
+        << " jit_declined: " << r.ValueOrDie().jit_declined;
     CompareQueries(base, q, info, repro + info.desc + " [jit-serial]");
     if (verbose) std::fprintf(stderr, "  jit-serial ok\n");
   }
@@ -474,6 +495,9 @@ void RunSeed(uint64_t seed, Tables& t, Session& parallel_session, int* built,
     qo.vm.optimize_after_iterations = 2;
     auto r = parallel_session.Submit(q.context(), qo).Wait();
     ASSERT_TRUE(r.ok()) << repro << info.desc << ": " << r.status().ToString();
+    ASSERT_EQ(r.ValueOrDie().verifier_disagreements, 0u)
+        << repro << info.desc
+        << " verifier: " << r.ValueOrDie().verifier_diagnostic;
     CompareQueries(base, q, info, repro + info.desc + " [session-4w]");
   }
 }
