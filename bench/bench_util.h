@@ -63,6 +63,23 @@ inline void ReportJit(benchmark::State& state, const Report& r) {
       benchmark::Counter(static_cast<double>(r.disk_cache_corrupt));
 }
 
+/// Attach the out-of-core block of an ExecReport-shaped struct to a run.
+/// Counters prefixed "spill_" or "mem_" are serialized into the run's
+/// BENCH_results.json row (bytes spilled to disk, sorted-run count, tracked
+/// high-water mark), so budgeted-vs-resident runs are distinguishable in
+/// the tracked results. Templated to keep this header engine-agnostic.
+template <typename Report>
+inline void ReportSpill(benchmark::State& state, const Report& r) {
+  state.counters["spill_bytes"] =
+      benchmark::Counter(static_cast<double>(r.bytes_spilled));
+  state.counters["spill_runs"] =
+      benchmark::Counter(static_cast<double>(r.spill_runs));
+  state.counters["spill_chunks_streamed"] =
+      benchmark::Counter(static_cast<double>(r.chunks_streamed));
+  state.counters["mem_peak_tracked_bytes"] =
+      benchmark::Counter(static_cast<double>(r.peak_tracked_bytes));
+}
+
 namespace internal {
 
 struct RunRecord {
@@ -70,7 +87,8 @@ struct RunRecord {
   std::string strategy;
   double tuples_per_sec = -1;  // <0 = absent
   double ms_per_iter = 0;
-  // JIT/disk-cache counters attached via ReportJit, serialized verbatim.
+  // JIT/disk-cache/spill counters attached via ReportJit / ReportSpill,
+  // serialized verbatim.
   std::vector<std::pair<std::string, double>> extras;
 };
 
@@ -92,7 +110,8 @@ class CollectingReporter : public benchmark::ConsoleReporter {
       if (it == run.counters.end()) it = run.counters.find("rows/s");
       if (it != run.counters.end()) rec.tuples_per_sec = it->second.value;
       for (const auto& [cname, counter] : run.counters) {
-        if (cname.rfind("jit_", 0) == 0 || cname.rfind("disk_", 0) == 0) {
+        if (cname.rfind("jit_", 0) == 0 || cname.rfind("disk_", 0) == 0 ||
+            cname.rfind("spill_", 0) == 0 || cname.rfind("mem_", 0) == 0) {
           rec.extras.emplace_back(cname, counter.value);
         }
       }

@@ -6,10 +6,11 @@
 #
 #   scripts/check_doc_comments.sh [header...]
 #
-# With no arguments it checks the headers the Trace-ABI and trace-cache
-# PRs committed to keeping documented (docs/TRACE_ABI.md and
-# docs/TRACE_CACHE.md satellites): exec_engine.h, adaptive_vm.h,
-# trace_abi.h, jit_backend.h, backend_cc.h, disk_cache.h. CI fails the
+# With no arguments it checks the headers the Trace-ABI, trace-cache and
+# out-of-core PRs committed to keeping documented (docs/TRACE_ABI.md,
+# docs/TRACE_CACHE.md and docs/SPILL.md satellites): exec_engine.h,
+# adaptive_vm.h, trace_abi.h, jit_backend.h, backend_cc.h, disk_cache.h,
+# the analysis headers, memory_tracker.h and spill_file.h. CI fails the
 # build on any finding.
 set -u
 
@@ -25,6 +26,8 @@ if [ ${#headers[@]} -eq 0 ]; then
     src/analysis/diagnostic.h
     src/analysis/verify_program.h
     src/analysis/verify_trace.h
+    src/engine/memory_tracker.h
+    src/storage/spill_file.h
   )
 fi
 

@@ -45,6 +45,14 @@ std::string ExecReport::ToString() const {
   if (gpu_sim_seconds > 0) {
     out += StrFormat(" gpu_sim=%.2fms", gpu_sim_seconds * 1e3);
   }
+  if (bytes_spilled + spill_runs + peak_tracked_bytes + chunks_streamed > 0) {
+    out += StrFormat(
+        "\nout-of-core: spilled=%llu bytes in %llu runs peak_tracked=%llu "
+        "chunks_streamed=%llu",
+        (unsigned long long)bytes_spilled, (unsigned long long)spill_runs,
+        (unsigned long long)peak_tracked_bytes,
+        (unsigned long long)chunks_streamed);
+  }
   if (!jit_declined.empty()) {
     out += "\njit declined: " + jit_declined;
   }
@@ -133,8 +141,34 @@ ExecContext& ExecContext::BindPartialOutput(const std::string& name,
                                             interp::DataBinding b,
                                             uint64_t row_scale) {
   b.writable = true;
-  bound_.push_back(
-      {name, BindRole::kPartialOutput, b, nullptr, std::max<uint64_t>(row_scale, 1)});
+  Bound nb{name, BindRole::kPartialOutput, b, nullptr,
+           std::max<uint64_t>(row_scale, 1), false};
+  // Upsert: the prepare hook re-decides in-memory vs scratch windows per
+  // submission, replacing the previous binding of the same name.
+  for (auto& existing : bound_) {
+    if (existing.role == BindRole::kPartialOutput && existing.name == name) {
+      existing = std::move(nb);
+      return *this;
+    }
+  }
+  bound_.push_back(std::move(nb));
+  return *this;
+}
+
+ExecContext& ExecContext::BindPartialOutputScratch(const std::string& name,
+                                                   TypeId type,
+                                                   uint64_t row_scale) {
+  // Shape-only binding: no storage; the engine allocates a window per task.
+  interp::DataBinding b = interp::DataBinding::Raw(type, nullptr, 0, true);
+  Bound nb{name, BindRole::kPartialOutput, b, nullptr,
+           std::max<uint64_t>(row_scale, 1), true};
+  for (auto& existing : bound_) {
+    if (existing.role == BindRole::kPartialOutput && existing.name == name) {
+      existing = std::move(nb);
+      return *this;
+    }
+  }
+  bound_.push_back(std::move(nb));
   return *this;
 }
 
@@ -155,6 +189,7 @@ ExecEngine::ExecEngine(EngineOptions options) : options_(std::move(options)) {
   so.defaults.strategy = options_.strategy;
   so.defaults.vm = options_.vm;
   so.defaults.morsel_rows = options_.morsel_rows;
+  so.defaults.memory_budget = options_.memory_budget;
   so.device_pool = options_.device_pool;
   session_ = std::make_unique<Session>(so);
 }

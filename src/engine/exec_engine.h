@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/memory_tracker.h"
 #include "engine/morsel.h"
 #include "jit/trace_cache.h"
 #include "util/status.h"
@@ -55,6 +56,12 @@ struct QueryOptions {
   vm::VmOptions vm;
   /// Rows per morsel; 0 = auto (~4 morsels per worker, chunk-aligned).
   uint64_t morsel_rows = 0;
+  /// Per-query memory budget in bytes, accounted by engine::MemoryTracker
+  /// (docs/SPILL.md): join build tables, ORDER BY output windows, and
+  /// per-task scratch charge against it; ORDER BY spills sorted runs to
+  /// disk when the budget trips. 0 = use the session-wide AVM_MEMORY_BUDGET
+  /// tracker if set, else unlimited.
+  uint64_t memory_budget = 0;
 };
 
 /// Options of the compatibility facade: per-query knobs plus the session
@@ -77,6 +84,9 @@ struct EngineOptions {
   /// was renamed so pre-Session code that routed morsel work through it
   /// fails to compile instead of silently changing thread placement.
   ThreadPool* device_pool = nullptr;
+  /// Per-query memory budget in bytes (mirrors QueryOptions::memory_budget;
+  /// 0 = AVM_MEMORY_BUDGET if set, else unlimited).
+  uint64_t memory_budget = 0;
 };
 
 /// Unified result of one engine run — the merger of the old ad-hoc
@@ -164,6 +174,17 @@ struct ExecReport {
   /// Simulated device seconds consumed (kGpuOffload only).
   double gpu_sim_seconds = 0;
 
+  /// Out-of-core counters (docs/SPILL.md). bytes_spilled / spill_runs:
+  /// sorted-run payload the query wrote to its storage::SpillFile (0 when
+  /// everything fit in budget). peak_tracked_bytes: high-water mark of the
+  /// query's MemoryTracker — may exceed the budget by the documented
+  /// transient-scratch overshoot. chunks_streamed: compressed column blocks
+  /// decoded one super-chunk at a time by streaming scan cursors.
+  uint64_t bytes_spilled = 0;
+  uint64_t spill_runs = 0;
+  uint64_t peak_tracked_bytes = 0;
+  uint64_t chunks_streamed = 0;
+
   std::string ToString() const;
 };
 
@@ -189,6 +210,32 @@ using MergeFn = std::function<void(TypeId type, void* master,
 /// Element-wise sum — correct for additive aggregates (sums, counts), which
 /// is what kScatter/kFold accumulator programs produce.
 void SumMerge(TypeId type, void* master, const void* partial, uint64_t len);
+
+/// Memory context the engine hands a query's prepare hook: the tracker its
+/// persistent charges go to, how many workers may run tasks concurrently
+/// (bounds the transient overshoot), and the chunk size morsel boundaries
+/// align to (spill-mode morsel caps must stay chunk-aligned).
+struct MemoryPlan {
+  /// Never null when the hook runs; shared so query-owned state (which can
+  /// outlive the engine-side QueryState) releases charges safely.
+  std::shared_ptr<MemoryTracker> tracker;
+  size_t workers = 1;
+  uint32_t chunk_size = 1;
+};
+
+/// What a prepare hook decided; the engine folds it into scheduling.
+struct PrepareOutcome {
+  /// >0 = spill mode: cap morsels to this many rows (already chunk-aligned
+  /// by the hook) and run morsel-wise — per-task scratch windows — even on
+  /// a single worker, so sealed runs stay budget-sized.
+  uint64_t max_morsel_rows = 0;
+};
+
+/// Spill activity a query's hooks accumulate for the ExecReport.
+struct SpillStats {
+  uint64_t bytes_spilled = 0;
+  uint64_t spill_runs = 0;
+};
 
 /// A program shape plus data bindings, ready for the engine.
 ///
@@ -240,9 +287,19 @@ class ExecContext {
   /// whose pipelines fan out (many-to-many hash joins) size their windows at
   /// input_rows x worst-case fan-out and pass that factor here so morsel
   /// slicing and validation stay consistent.
+  ///
+  /// Rebinding an existing kPartialOutput name replaces it in place (the
+  /// prepare hook re-decides in-memory vs scratch windows per submission).
   ExecContext& BindPartialOutput(const std::string& name,
                                  interp::DataBinding b,
                                  uint64_t row_scale = 1);
+  /// Like BindPartialOutput, but bound by name and shape only: the engine
+  /// allocates a fresh `rows x row_scale x width` window per TASK instead
+  /// of slicing one query-lifetime array — the spill-mode form, where each
+  /// morsel's sorted run is sealed to disk by the task hook and the window
+  /// is discarded. Replaces any existing binding of the same name.
+  ExecContext& BindPartialOutputScratch(const std::string& name, TypeId type,
+                                        uint64_t row_scale = 1);
 
   /// Optional observability hook: called (serially) with each worker's
   /// interpreter after it finishes, before accumulator merge. Tests and
@@ -280,6 +337,34 @@ class ExecContext {
     return *this;
   }
 
+  /// Memory-plan hook: called once per submission, before partitioning,
+  /// with the query's MemoryPlan. The hook charges its persistent
+  /// allocations (join build tables, output windows) against plan.tracker
+  /// and either keeps in-memory windows or switches to scratch windows +
+  /// spilling, reporting a morsel cap through PrepareOutcome. An error
+  /// (e.g. kResourceExhausted when even one morsel cannot fit) fails the
+  /// query cleanly. Contexts without the hook run exactly as before.
+  ExecContext& set_prepare_hook(
+      std::function<Status(const MemoryPlan&, PrepareOutcome*)> fn) {
+    prepare_hook_ = std::move(fn);
+    return *this;
+  }
+
+  /// Terminal hook: called exactly once per submission after the query
+  /// reaches ANY terminal state — success, failure, cancellation, skip —
+  /// never under engine locks. Queries use it to release persistent
+  /// tracker charges and close (unlink) spill files. Must be idempotent:
+  /// defensive paths may invoke it again.
+  ExecContext& set_cleanup_hook(std::function<void()> fn) {
+    cleanup_hook_ = std::move(fn);
+    return *this;
+  }
+
+  /// Spill counters the query's hooks accumulate (task hooks run under the
+  /// query's merge serialization); the engine copies them into the
+  /// ExecReport at finalize.
+  SpillStats& spill_stats() { return spill_stats_; }
+
   uint64_t total_rows() const { return total_rows_; }
   bool parallelizable() const { return make_program_ != nullptr; }
 
@@ -293,6 +378,9 @@ class ExecContext {
     MergeFn merge;                ///< kAccumulator only
     /// kPartialOutput only: window rows per input row (fan-out factor).
     uint64_t row_scale = 1;
+    /// kPartialOutput only: engine-allocated per-task scratch window
+    /// (binding carries type/shape, not storage) — the spill-mode form.
+    bool scratch = false;
   };
 
   ProgramFactory make_program_;         // null for fixed-program contexts
@@ -302,6 +390,9 @@ class ExecContext {
   std::function<void(const interp::Interpreter&)> inspector_;
   std::function<Status(const interp::Interpreter&, const Morsel&)> task_hook_;
   std::function<Status()> finalize_hook_;
+  std::function<Status(const MemoryPlan&, PrepareOutcome*)> prepare_hook_;
+  std::function<void()> cleanup_hook_;
+  SpillStats spill_stats_;
 };
 
 /// The blocking compatibility facade over engine::Session. One engine

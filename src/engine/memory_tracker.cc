@@ -1,0 +1,60 @@
+#include "engine/memory_tracker.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace avm::engine {
+
+Status MemoryTracker::TryCharge(uint64_t bytes, const char* what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_ > 0 && (bytes > budget_ || used_ > budget_ - bytes)) {
+    return Status::ResourceExhausted(StrFormat(
+        "%s needs %llu bytes but only %llu of the %llu-byte memory budget "
+        "remain",
+        what, (unsigned long long)bytes,
+        (unsigned long long)(budget_ > used_ ? budget_ - used_ : 0),
+        (unsigned long long)budget_));
+  }
+  used_ += bytes;
+  if (used_ > peak_) peak_ = used_;
+  return Status::OK();
+}
+
+void MemoryTracker::ChargeTransient(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  used_ += bytes;
+  if (used_ > peak_) peak_ = used_;
+}
+
+void MemoryTracker::Release(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  used_ = bytes > used_ ? 0 : used_ - bytes;
+}
+
+uint64_t MemoryTracker::used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+uint64_t MemoryTracker::peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+uint64_t MemoryTracker::available() const {
+  if (budget_ == 0) return UINT64_MAX;
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_ > used_ ? budget_ - used_ : 0;
+}
+
+uint64_t MemoryTracker::EnvBudget() {
+  const char* env = std::getenv("AVM_MEMORY_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env) return 0;
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace avm::engine

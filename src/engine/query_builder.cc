@@ -10,6 +10,7 @@
 
 #include "analysis/verify_program.h"
 #include "dsl/typecheck.h"
+#include "storage/spill_file.h"
 #include "util/hash.h"
 #include "util/string_util.h"
 
@@ -108,6 +109,34 @@ bool LessAt(TypeId t, const uint8_t* base, uint64_t a, uint64_t b) {
     case TypeId::kF64:
       return FloatLess(reinterpret_cast<const double*>(base)[a],
                        reinterpret_cast<const double*>(base)[b]);
+  }
+  return false;
+}
+
+/// Single-value comparison across two buffers (k-way spilled-run merge,
+/// where each run streams through its own chunk buffer — LessAt above only
+/// compares indices within ONE base array).
+bool ValueLess(TypeId t, const uint8_t* a, const uint8_t* b) {
+  switch (t) {
+    case TypeId::kBool:
+    case TypeId::kI8:
+      return *reinterpret_cast<const int8_t*>(a) <
+             *reinterpret_cast<const int8_t*>(b);
+    case TypeId::kI16:
+      return *reinterpret_cast<const int16_t*>(a) <
+             *reinterpret_cast<const int16_t*>(b);
+    case TypeId::kI32:
+      return *reinterpret_cast<const int32_t*>(a) <
+             *reinterpret_cast<const int32_t*>(b);
+    case TypeId::kI64:
+      return *reinterpret_cast<const int64_t*>(a) <
+             *reinterpret_cast<const int64_t*>(b);
+    case TypeId::kF32:
+      return FloatLess(*reinterpret_cast<const float*>(a),
+                       *reinterpret_cast<const float*>(b));
+    case TypeId::kF64:
+      return FloatLess(*reinterpret_cast<const double*>(a),
+                       *reinterpret_cast<const double*>(b));
   }
   return false;
 }
@@ -1249,6 +1278,9 @@ struct Query::Impl {
     uint64_t begin = 0;
     uint64_t rows = 0;
     size_t morsel = 0;
+    /// Spill mode: run index inside the SpillFile (begin is unused there —
+    /// the rows live on disk, not in a window).
+    uint64_t spill_run = UINT64_MAX;
   };
   std::vector<Run> runs;
 
@@ -1258,15 +1290,33 @@ struct Query::Impl {
 
   ExecContext ctx;
 
+  // --- out-of-core state (docs/SPILL.md) ---------------------------------
+  /// Tracker of the current submission; set by OnPrepare, never null after.
+  std::shared_ptr<MemoryTracker> tracker;
+  /// Persistent bytes OnPrepare charged (side tables + resident windows);
+  /// released by OnCleanup.
+  uint64_t persistent_charge = 0;
+  /// Whether the current submission runs with per-task scratch windows
+  /// whose sorted runs are sealed to disk.
+  bool spill_mode = false;
+  /// Lazily created by the first spilled run; closed (unlinked) by
+  /// OnCleanup.
+  std::unique_ptr<storage::SpillFile> spill;
+
   Impl(std::shared_ptr<const internal::QuerySpec> s, uint64_t total_rows)
       : spec(std::move(s)),
         ctx([spec = spec](int64_t rows) { return spec->Lower(rows); },
             total_rows) {}
+  ~Impl() { OnCleanup(); }
 
+  Status OnPrepare(const MemoryPlan& plan, PrepareOutcome* out);
+  void OnCleanup();
   Status OnTask(const interp::Interpreter& in, const Morsel& m);
   void SortWindow(uint64_t begin, uint64_t rows);
+  void SortBases(const std::vector<uint8_t*>& bases, uint64_t rows);
   Status Finalize();
   void FinalizeRowMode();
+  Status FinalizeSpilled();
   void FinalizeAggMode();
 };
 
@@ -1281,6 +1331,37 @@ Status Query::Impl::OnTask(const interp::Interpreter& in, const Morsel& m) {
         StrFormat("morsel output count %lld out of range [0, %llu]",
                   (long long)count, (unsigned long long)limit));
   }
+  if (spill_mode) {
+    // Spill path: sort this task's scratch window and seal it to disk as
+    // one run. Task hooks are engine-serialized (merge mutex), so the
+    // SpillFile and the context's spill counters need no extra locking.
+    if (count == 0) return Status::OK();
+    std::vector<uint8_t*> bases(outs.size());
+    for (size_t c = 0; c < outs.size(); ++c) {
+      const interp::DataBinding* b =
+          in.FindBinding(Spec::OutName(spec->out_cols[c]));
+      if (b == nullptr || b->raw == nullptr) {
+        return Status::Internal("scratch window missing for output column " +
+                                spec->out_cols[c]);
+      }
+      bases[c] = static_cast<uint8_t*>(b->raw);
+    }
+    if (spec->has_order && count > 1) {
+      SortBases(bases, static_cast<uint64_t>(count));
+    }
+    if (spill == nullptr) {
+      AVM_ASSIGN_OR_RETURN(spill,
+                           storage::SpillFile::Create(spec->out_types));
+    }
+    const std::vector<const uint8_t*> cols(bases.begin(), bases.end());
+    AVM_ASSIGN_OR_RETURN(
+        const uint64_t run_id,
+        spill->AppendRun(m.index, static_cast<uint64_t>(count), cols));
+    runs.push_back({0, static_cast<uint64_t>(count), m.index, run_id});
+    ctx.spill_stats().spill_runs += 1;
+    ctx.spill_stats().bytes_spilled = spill->bytes_written();
+    return Status::OK();
+  }
   runs.push_back(
       {m.begin * spec->fan_out, static_cast<uint64_t>(count), m.index});
   if (spec->has_order && count > 1) {
@@ -1290,8 +1371,17 @@ Status Query::Impl::OnTask(const interp::Interpreter& in, const Morsel& m) {
 }
 
 void Query::Impl::SortWindow(uint64_t begin, uint64_t rows) {
-  const OutCol& kc = outs[spec->order_key_index];
-  const uint8_t* kbase = kc.window.data() + begin * TypeWidth(kc.type);
+  std::vector<uint8_t*> bases(outs.size());
+  for (size_t c = 0; c < outs.size(); ++c) {
+    bases[c] = outs[c].window.data() + begin * TypeWidth(outs[c].type);
+  }
+  SortBases(bases, rows);
+}
+
+void Query::Impl::SortBases(const std::vector<uint8_t*>& bases,
+                            uint64_t rows) {
+  const TypeId kt = outs[spec->order_key_index].type;
+  const uint8_t* kbase = bases[spec->order_key_index];
   std::vector<uint64_t> perm(rows);
   std::iota(perm.begin(), perm.end(), uint64_t{0});
   const bool asc = spec->order_dir == SortDir::kAscending;
@@ -1299,12 +1389,12 @@ void Query::Impl::SortWindow(uint64_t begin, uint64_t rows) {
   // merged result identical to a global stable sort regardless of how the
   // input was cut into morsels.
   std::stable_sort(perm.begin(), perm.end(), [&](uint64_t a, uint64_t b) {
-    return asc ? LessAt(kc.type, kbase, a, b) : LessAt(kc.type, kbase, b, a);
+    return asc ? LessAt(kt, kbase, a, b) : LessAt(kt, kbase, b, a);
   });
   std::vector<uint8_t> tmp;
-  for (OutCol& oc : outs) {
-    const size_t w = TypeWidth(oc.type);
-    uint8_t* base = oc.window.data() + begin * w;
+  for (size_t c = 0; c < outs.size(); ++c) {
+    const size_t w = TypeWidth(outs[c].type);
+    uint8_t* base = bases[c];
     tmp.resize(rows * w);
     for (uint64_t r = 0; r < rows; ++r) {
       std::memcpy(&tmp[r * w], base + static_cast<size_t>(perm[r]) * w, w);
@@ -1315,6 +1405,7 @@ void Query::Impl::SortWindow(uint64_t begin, uint64_t rows) {
 
 Status Query::Impl::Finalize() {
   if (spec->row_mode) {
+    if (spill_mode) return FinalizeSpilled();
     FinalizeRowMode();
   } else {
     FinalizeAggMode();
@@ -1398,6 +1489,221 @@ void Query::Impl::FinalizeRowMode() {
     }
   }
   runs.clear();
+}
+
+Status Query::Impl::FinalizeSpilled() {
+  // Morsel order for the same determinism argument as FinalizeRowMode: the
+  // k-way argmin below replaces its candidate only on STRICTLY better keys,
+  // so the earliest run wins ties and the merge equals a global stable
+  // sort — bit-identical to the in-memory path at any worker count.
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& a, const Run& b) { return a.morsel < b.morsel; });
+  uint64_t total = 0;
+  for (const Run& r : runs) total += r.rows;
+
+  result.clear();
+  result.reserve(outs.size());
+  for (size_t i = 0; i < outs.size(); ++i) {
+    result.push_back({spec->out_cols[i], outs[i].type,
+                      std::vector<uint8_t>(total * TypeWidth(outs[i].type))});
+  }
+  result_rows = total;
+  if (total == 0) {
+    runs.clear();
+    return Status::OK();
+  }
+  if (spill == nullptr) {
+    return Status::Internal("spilled query finalized without a spill file");
+  }
+  AVM_RETURN_NOT_OK(spill->Seal());
+  AVM_RETURN_NOT_OK(spill->ValidateChecksums());
+
+  const size_t ncols = outs.size();
+  // Per-run streaming cursor: one merge-chunk buffer per column, refilled
+  // from the spill file as the merge consumes rows.
+  struct RunCursor {
+    uint64_t run_id = 0;
+    uint64_t rows = 0;
+    uint64_t next = 0;       // next run-relative row to consume
+    uint64_t buf_begin = 0;  // first run row currently buffered
+    uint64_t buf_len = 0;
+    std::vector<std::vector<uint8_t>> cols;
+  };
+  const uint64_t kMergeChunkRows = 4096;
+  std::vector<RunCursor> cur(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    cur[i].run_id = runs[i].spill_run;
+    cur[i].rows = runs[i].rows;
+    cur[i].cols.resize(ncols);
+  }
+  // The merge working set (runs x columns x chunk) is bounded task-style
+  // scratch: account it transiently so peak_tracked_bytes reflects it.
+  uint64_t row_bytes = 0;
+  for (size_t c = 0; c < ncols; ++c) row_bytes += TypeWidth(outs[c].type);
+  ScopedTransientCharge merge_charge(
+      tracker.get(), kMergeChunkRows * row_bytes * cur.size());
+
+  auto fill = [&](RunCursor& rc) -> Status {
+    rc.buf_begin = rc.next;
+    rc.buf_len = std::min(kMergeChunkRows, rc.rows - rc.next);
+    for (size_t c = 0; c < ncols; ++c) {
+      const size_t w = TypeWidth(outs[c].type);
+      rc.cols[c].resize(rc.buf_len * w);
+      AVM_RETURN_NOT_OK(spill->ReadRunChunk(rc.run_id, c, rc.buf_begin,
+                                            rc.buf_len, rc.cols[c].data()));
+    }
+    return Status::OK();
+  };
+
+  if (!spec->has_order) {
+    // Unordered: concatenate the runs in morsel order, chunk by chunk.
+    uint64_t dst = 0;
+    for (RunCursor& rc : cur) {
+      while (rc.next < rc.rows) {
+        AVM_RETURN_NOT_OK(fill(rc));
+        for (size_t c = 0; c < ncols; ++c) {
+          const size_t w = TypeWidth(outs[c].type);
+          std::memcpy(&result[c].data[dst * w], rc.cols[c].data(),
+                      rc.buf_len * w);
+        }
+        dst += rc.buf_len;
+        rc.next += rc.buf_len;
+      }
+    }
+  } else {
+    const TypeId kt = outs[spec->order_key_index].type;
+    const size_t kw = TypeWidth(kt);
+    const bool asc = spec->order_dir == SortDir::kAscending;
+    for (RunCursor& rc : cur) {
+      if (rc.rows > 0) AVM_RETURN_NOT_OK(fill(rc));
+    }
+    for (uint64_t dst = 0; dst < total; ++dst) {
+      size_t best = cur.size();
+      const uint8_t* best_key = nullptr;
+      for (size_t i = 0; i < cur.size(); ++i) {
+        RunCursor& rc = cur[i];
+        if (rc.next >= rc.rows) continue;
+        if (rc.next >= rc.buf_begin + rc.buf_len) {
+          AVM_RETURN_NOT_OK(fill(rc));
+        }
+        const uint8_t* k =
+            rc.cols[spec->order_key_index].data() + (rc.next - rc.buf_begin) * kw;
+        const bool better =
+            best == cur.size() ||
+            (asc ? ValueLess(kt, k, best_key) : ValueLess(kt, best_key, k));
+        if (better) {
+          best = i;
+          best_key = k;
+        }
+      }
+      RunCursor& rc = cur[best];
+      const uint64_t off = rc.next - rc.buf_begin;
+      for (size_t c = 0; c < ncols; ++c) {
+        const size_t w = TypeWidth(outs[c].type);
+        std::memcpy(&result[c].data[dst * w], &rc.cols[c][off * w], w);
+      }
+      ++rc.next;
+    }
+  }
+  runs.clear();
+  return Status::OK();
+}
+
+Status Query::Impl::OnPrepare(const MemoryPlan& plan, PrepareOutcome* out) {
+  OnCleanup();  // re-submission: drop the previous run's charges/spill file
+  tracker = plan.tracker;
+  spill_mode = false;
+
+  const Spec& s = *spec;
+  // Persistent side tables: semijoin dims, join lookup structures and
+  // payload copies, aggregate slots — resident for the whole query.
+  uint64_t side = 0;
+  for (const auto& d : s.dims) side += d.size() * sizeof(int64_t);
+  for (const Spec::JoinDim& jd : s.joins) {
+    side += (jd.match.size() + jd.bkt_start.size() + jd.ent_key.size() +
+             jd.ent_row.size()) *
+            sizeof(int64_t);
+    for (const auto& p : jd.pays) side += p.data.size();
+  }
+  for (const AggSlot& a : aggs) {
+    side += (a.i64.size() + a.cnt.size()) * sizeof(int64_t) +
+            (a.f64.size() + a.fin.size()) * sizeof(double);
+  }
+  if (side > 0) {
+    AVM_RETURN_NOT_OK(tracker->TryCharge(side, "query side tables"));
+    persistent_charge += side;
+  }
+  if (!s.row_mode) return Status::OK();
+
+  // Row mode: prefer keeping the full output windows resident.
+  uint64_t width_sum = 0;
+  for (TypeId t : s.out_types) width_sum += TypeWidth(t);
+  const uint64_t wrows = s.table->num_rows() * s.fan_out;
+  const uint64_t window_bytes = std::max<uint64_t>(wrows, 1) * width_sum;
+  Status st = tracker->TryCharge(window_bytes, "ORDER BY output windows");
+  if (st.ok()) {
+    persistent_charge += window_bytes;
+    outs.resize(s.out_cols.size());
+    for (size_t i = 0; i < s.out_cols.size(); ++i) {
+      OutCol& oc = outs[i];
+      oc.type = s.out_types[i];
+      // At least one element: an empty table still binds a non-null window
+      // (zero-count writes are no-ops, but need a valid writable array).
+      oc.window.assign(std::max<uint64_t>(wrows, 1) * TypeWidth(oc.type), 0);
+      ctx.BindPartialOutput(
+          Spec::OutName(s.out_cols[i]),
+          interp::DataBinding::Raw(oc.type, oc.window.data(), wrows, true),
+          s.fan_out);
+    }
+    return Status::OK();
+  }
+  if (st.code() != StatusCode::kResourceExhausted) return st;
+
+  // Spill mode: per-task scratch windows, sorted runs sealed to disk. Cap
+  // morsels so the concurrent workers' scratch fits in what remains of the
+  // budget, floor-aligned to the chunk size (PartitionRows rounds morsels
+  // UP to chunk alignment, so a floor-aligned cap stays within budget).
+  const uint64_t per_input_row = std::max<uint64_t>(width_sum * s.fan_out, 1);
+  const uint64_t workers = std::max<size_t>(plan.workers, 1);
+  const uint32_t chunk = std::max<uint32_t>(plan.chunk_size, 1);
+  // The viability check is against the BUDGET, not currently-available
+  // bytes: a budget that cannot hold even one chunk-sized morsel window is
+  // a deterministic, client-visible configuration error, while transient
+  // pressure from concurrent queries merely degrades the morsel size below
+  // (scratch is a transient charge with documented bounded overshoot, so
+  // it must never turn into a spurious failure).
+  if (static_cast<uint64_t>(chunk) * per_input_row > tracker->budget()) {
+    return Status::ResourceExhausted(StrFormat(
+        "memory budget %llu too small for out-of-core ORDER BY: one "
+        "%u-row morsel window needs %llu bytes",
+        (unsigned long long)tracker->budget(), (unsigned)chunk,
+        (unsigned long long)(static_cast<uint64_t>(chunk) * per_input_row)));
+  }
+  uint64_t cap = tracker->available() / workers / per_input_row;
+  cap -= cap % chunk;
+  if (cap == 0) cap = chunk;
+  outs.resize(s.out_cols.size());
+  for (size_t i = 0; i < s.out_cols.size(); ++i) {
+    outs[i].type = s.out_types[i];
+    // Drop any resident window a previous in-memory submission left.
+    outs[i].window = std::vector<uint8_t>();
+    ctx.BindPartialOutputScratch(Spec::OutName(s.out_cols[i]),
+                                 s.out_types[i], s.fan_out);
+  }
+  spill_mode = true;
+  out->max_morsel_rows = cap;
+  return Status::OK();
+}
+
+void Query::Impl::OnCleanup() {
+  if (spill != nullptr) {
+    spill->Close();
+    spill.reset();
+  }
+  if (tracker != nullptr && persistent_charge > 0) {
+    tracker->Release(persistent_charge);
+  }
+  persistent_charge = 0;
 }
 
 void Query::Impl::FinalizeAggMode() {
@@ -1889,29 +2195,28 @@ Result<Query> QueryBuilder::Build() {
     }
   }
   if (spec.row_mode) {
-    // Windows hold the worst case of every probe row matching the most
-    // duplicated build key: input rows x fan_out, morsel-partitioned at
-    // that same row scale (fan_out == 1 without hash-table joins).
-    const uint64_t rows = spec.table->num_rows() * spec.fan_out;
+    // Shape-only placeholders; the prepare hook below allocates and binds
+    // the actual windows per submission. Windows hold the worst case of
+    // every probe row matching the most duplicated build key: input rows x
+    // fan_out, morsel-partitioned at that same row scale (fan_out == 1
+    // without hash-table joins).
     impl->outs.resize(spec.out_cols.size());
     for (size_t i = 0; i < spec.out_cols.size(); ++i) {
-      Query::Impl::OutCol& oc = impl->outs[i];
-      oc.type = spec.out_types[i];
-      // At least one element: an empty table still binds a non-null window
-      // (zero-count writes are no-ops, but need a valid writable array).
-      oc.window.assign(std::max<uint64_t>(rows, 1) * TypeWidth(oc.type), 0);
-      impl->ctx.BindPartialOutput(
-          Spec::OutName(spec.out_cols[i]),
-          interp::DataBinding::Raw(oc.type, oc.window.data(), rows, true),
-          spec.fan_out);
+      impl->outs[i].type = spec.out_types[i];
     }
   }
 
-  // Task + barrier hooks give the query its materialization: per-morsel
-  // output counts and partial sorts, and the run merge / average division
-  // at the Session barrier. The Impl outlives the ctx embedded in it, so a
-  // raw pointer capture is safe.
+  // Task + barrier + memory hooks give the query its materialization:
+  // per-morsel output counts and partial sorts, the run merge / average
+  // division at the Session barrier, and the budget decision (resident
+  // windows vs spill-to-disk) at classification. The Impl outlives the ctx
+  // embedded in it, so a raw pointer capture is safe.
   Query::Impl* self = impl.get();
+  impl->ctx.set_prepare_hook(
+      [self](const MemoryPlan& plan, PrepareOutcome* out) {
+        return self->OnPrepare(plan, out);
+      });
+  impl->ctx.set_cleanup_hook([self] { self->OnCleanup(); });
   if (spec.row_mode) {
     impl->ctx.set_task_hook(
         [self](const interp::Interpreter& in, const Morsel& m) {

@@ -47,6 +47,18 @@ struct QueryState {
 
   std::atomic<bool> cancel{false};
 
+  /// Memory accounting for this query: per-query (QueryOptions), the
+  /// session-wide AVM_MEMORY_BUDGET tracker, or a private unlimited one.
+  /// Never null after Classify. Shared so query-owned state that releases
+  /// charges can outlive this QueryState.
+  std::shared_ptr<MemoryTracker> tracker;
+
+  /// Copy of the context's cleanup hook plus its exactly-once guard. Copied
+  /// out at Submit because QueryHandle::Cancel must reach it without access
+  /// to ExecContext's privates; every terminal path funnels through it.
+  std::function<void()> cleanup;
+  std::atomic<bool> cleanup_done{false};
+
   /// Set at Submit; lets QueryHandle::Cancel() reach the admission queue.
   std::weak_ptr<Scheduler> sched;
 
@@ -71,6 +83,19 @@ struct QueryState {
 }  // namespace internal
 
 using internal::QueryState;
+
+namespace {
+
+/// Run the query's cleanup hook exactly once (release tracker charges,
+/// close/unlink spill files). Callers must not hold engine locks — the hook
+/// is user code — and must run it before the handle reports completion,
+/// while the ExecContext is still guaranteed alive.
+void RunCleanup(QueryState& q) {
+  if (q.cleanup_done.exchange(true, std::memory_order_acq_rel)) return;
+  if (q.cleanup) q.cleanup();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- scheduler
 
@@ -106,6 +131,10 @@ Session::Session(SessionOptions options)
   sched_->max_active =
       options_.max_active_queries > 0 ? options_.max_active_queries : 2 * n;
   sched_->pool = std::make_unique<ThreadPool>(n);
+  const uint64_t env_budget = MemoryTracker::EnvBudget();
+  if (env_budget > 0) {
+    env_tracker_ = std::make_shared<MemoryTracker>(env_budget);
+  }
 }
 
 Session::~Session() {
@@ -173,13 +202,19 @@ void QueryHandle::Cancel() {
   // pending until an active slot frees; pull it out and finalize now.
   std::shared_ptr<internal::Scheduler> sched = state_->sched.lock();
   if (sched == nullptr) return;
-  std::lock_guard<std::mutex> lock(sched->mu);
-  auto it =
-      std::find(sched->admission.begin(), sched->admission.end(), state_);
-  if (it == sched->admission.end()) return;
-  sched->admission.erase(it);
-  ++sched->completed;
-  ++sched->cancelled;
+  {
+    std::lock_guard<std::mutex> lock(sched->mu);
+    auto it =
+        std::find(sched->admission.begin(), sched->admission.end(), state_);
+    if (it == sched->admission.end()) return;
+    sched->admission.erase(it);
+    ++sched->completed;
+    ++sched->cancelled;
+  }
+  // The cleanup hook is user code: run it after dropping the scheduler
+  // lock, and before the handle reports completion (the context is still
+  // guaranteed alive here).
+  RunCleanup(*state_);
   {
     std::lock_guard<std::mutex> qlock(state_->mu);
     state_->status = Status::Cancelled("query cancelled");
@@ -187,6 +222,7 @@ void QueryHandle::Cancel() {
     state_->finished = true;
     state_->cv.notify_all();
   }
+  std::lock_guard<std::mutex> lock(sched->mu);
   if (sched->active == 0 && sched->admission.empty()) {
     sched->drained.notify_all();
   }
@@ -202,10 +238,17 @@ QueryHandle Session::Submit(ExecContext& ctx, const QueryOptions& options) {
   auto q = std::make_shared<QueryState>();
   q->ctx = &ctx;
   q->qo = options;
+  q->cleanup = ctx.cleanup_hook_;
+  // Spill counters describe ONE submission; a context re-submitted after a
+  // spilled run must not report the previous run's bytes.
+  ctx.spill_stats_ = SpillStats{};
   Status st = Classify(*q);
 
   if (!st.ok()) {
-    // Never admitted: complete the handle right away with the error.
+    // Never admitted: complete the handle right away with the error. The
+    // prepare hook may already have charged the tracker or opened a spill
+    // file — release that before the handle reports completion.
+    RunCleanup(*q);
     {
       std::lock_guard<std::mutex> lock(q->mu);
       q->status = st;
@@ -302,11 +345,17 @@ void Session::MarkSkipped(const std::shared_ptr<internal::QueryState>& q,
     q->skipped += n;
     if (q->completed + q->skipped == q->total_tasks && !q->finished) {
       if (q->status.ok()) q->status = Status::Cancelled("query cancelled");
-      FinalizeLocked(*q);
       done = true;
     }
   }
-  if (done) OnQueryDone(q);
+  if (!done) return;
+  // User-code cleanup hook: outside q->mu, before the handle completes.
+  RunCleanup(*q);
+  {
+    std::lock_guard<std::mutex> lock(q->mu);
+    FinalizeLocked(*q);
+  }
+  OnQueryDone(q);
 }
 
 void Session::RunTask(const std::shared_ptr<QueryState>& q, size_t index) {
@@ -361,6 +410,9 @@ void Session::RunTask(const std::shared_ptr<QueryState>& q, size_t index) {
       if (q->status.ok()) q->status = fst;
     }
   }
+  // Cleanup after the finalize hook (which still reads spilled runs) and
+  // before FinalizeLocked (which only copies monotonic counters).
+  RunCleanup(*q);
   {
     std::lock_guard<std::mutex> lock(q->mu);
     FinalizeLocked(*q);
@@ -379,6 +431,9 @@ void Session::FinalizeLocked(QueryState& q) {
     r.rows = q.ctx->total_rows_;
   }
   r.ran_serial_reason = q.serial_reason;
+  r.bytes_spilled = q.ctx->spill_stats_.bytes_spilled;
+  r.spill_runs = q.ctx->spill_stats_.spill_runs;
+  if (q.tracker != nullptr) r.peak_tracked_bytes = q.tracker->peak();
   if (q.started) r.wall_seconds = q.wall.ElapsedSeconds();
   if (q.calibrate_cpu && q.status.ok()) {
     std::lock_guard<std::mutex> lock(gpu_mu_);
@@ -444,6 +499,7 @@ Status ValidatePartitioned(const std::string& name,
 
 void MergeVmReport(const vm::VmReport& in, ExecReport* out) {
   out->iterations += in.iterations;
+  out->chunks_streamed += in.chunks_streamed;
   out->traces_compiled += in.traces_compiled;
   out->traces_reused += in.traces_reused;
   out->injection_runs += in.injection_runs;
@@ -532,6 +588,17 @@ Status Session::Classify(QueryState& q) {
   }
   q.vmo = EffectiveVmOptions(q.qo);
 
+  // Resolve the query's memory tracker: per-query budget, the session-wide
+  // AVM_MEMORY_BUDGET tracker, or a private unlimited one (still tracks
+  // peak for observability).
+  if (q.qo.memory_budget > 0) {
+    q.tracker = std::make_shared<MemoryTracker>(q.qo.memory_budget);
+  } else if (env_tracker_ != nullptr) {
+    q.tracker = env_tracker_;
+  } else {
+    q.tracker = std::make_shared<MemoryTracker>(0);
+  }
+
   if (q.qo.strategy == ExecutionStrategy::kGpuOffload) {
     bool offload = false;
     Status st = ProbeGpuOffload(q, &offload);
@@ -560,13 +627,35 @@ Status Session::ClassifyCpu(QueryState& q) {
     return Status::OK();
   };
 
+  // The memory-plan hook runs on EVERY submission path (serial included):
+  // it is where budget-aware queries charge their persistent allocations
+  // and (re)bind their output windows — in-memory or per-task scratch.
+  uint64_t spill_cap = 0;
+  if (ctx.prepare_hook_ != nullptr) {
+    MemoryPlan plan;
+    plan.tracker = q.tracker;
+    plan.workers = std::max<size_t>(1, workers);
+    plan.chunk_size = q.vmo.interp.chunk_size;
+    PrepareOutcome outcome;
+    AVM_RETURN_NOT_OK(ctx.prepare_hook_(plan, &outcome));
+    spill_cap = outcome.max_morsel_rows;
+  }
+  const bool spill = spill_cap > 0;
+
   if (!ctx.parallelizable()) {
+    if (spill) {
+      return Status::InvalidArgument(
+          "spill-mode query requires a per-morsel program factory");
+    }
     return serial("fixed-program context (no per-morsel program factory)");
   }
   if (ctx.total_rows_ == 0) return serial("no input rows");
-  if (!want_parallel) return serial("");
+  // Spill mode forces morsel-wise execution even on one worker: each task
+  // gets a budget-sized scratch window whose sorted run seals to disk.
+  if (!want_parallel && !spill) return serial("");
 
   for (const ExecContext::Bound& b : ctx.bound_) {
+    if (b.scratch) continue;  // engine-allocated per task; no extent yet
     if (b.role == BindRole::kInput || b.role == BindRole::kOutput ||
         b.role == BindRole::kPartialOutput) {
       AVM_RETURN_NOT_OK(ValidatePartitioned(b.name, b.binding,
@@ -574,9 +663,16 @@ Status Session::ClassifyCpu(QueryState& q) {
     }
   }
 
-  q.morsels = PartitionRows(ctx.total_rows_, workers, q.qo.morsel_rows,
+  uint64_t morsel_rows = q.qo.morsel_rows;
+  if (spill) {
+    // spill_cap is already chunk-aligned (floored) by the hook, so
+    // PartitionRows' round-UP to chunk alignment cannot exceed it.
+    morsel_rows =
+        morsel_rows == 0 ? spill_cap : std::min(morsel_rows, spill_cap);
+  }
+  q.morsels = PartitionRows(ctx.total_rows_, workers, morsel_rows,
                             q.vmo.interp.chunk_size);
-  if (q.morsels.size() <= 1) {
+  if (q.morsels.size() <= 1 && !spill) {
     q.morsels.clear();
     return serial("input fits a single morsel");
   }
@@ -608,6 +704,13 @@ Status Session::ClassifyCpu(QueryState& q) {
     if (!blocker.empty()) {
       q.morsels.clear();
       q.programs.clear();
+      if (spill) {
+        // A serial fallback would need the whole output window resident,
+        // which is exactly what the budget disallowed.
+        return Status::InvalidArgument(
+            "memory budget requires a row-partitionable program, but: " +
+            blocker);
+      }
       return serial("program not row-partitionable: " + blocker);
     }
     q.programs.emplace(m.rows(), std::move(program));
@@ -629,6 +732,7 @@ Status Session::RunSerialQuery(QueryState& q, ExecReport* report) {
     // — reject them up front. (Fixed programs own their loop bound; the
     // engine cannot second-guess their binding lengths.)
     for (const ExecContext::Bound& b : ctx.bound_) {
+      if (b.scratch) continue;  // never reached serially; no extent to check
       if (b.role == BindRole::kInput || b.role == BindRole::kOutput ||
           b.role == BindRole::kPartialOutput) {
         AVM_RETURN_NOT_OK(ValidatePartitioned(b.name, b.binding,
@@ -677,25 +781,51 @@ Status Session::RunMorselTask(QueryState& q, const Morsel& m) {
   // Private accumulator copies, merged into the master at the barrier.
   std::vector<std::vector<uint8_t>> privates;
   privates.reserve(ctx.bound_.size());
+  // Spill-mode scratch windows: allocated per task, sealed to disk by the
+  // task hook, discarded here. Charged transiently — the overshoot is
+  // bounded by workers x one morsel's scratch (see MemoryTracker).
+  std::vector<std::vector<uint8_t>> scratch_windows;
+  uint64_t transient_bytes = 0;
   for (const ExecContext::Bound& b : ctx.bound_) {
     switch (b.role) {
       case BindRole::kInput:
       case BindRole::kOutput:
         AVM_RETURN_NOT_OK(
             in.BindData(b.name, SliceBinding(b.binding, m.begin, m.rows())));
+        // Column-backed inputs stream block-at-a-time through a decode
+        // cache the interpreter owns; account one block of scratch.
+        if (b.binding.column != nullptr) {
+          transient_bytes += static_cast<uint64_t>(
+                                 b.binding.column->block_size()) *
+                             TypeWidth(b.binding.type);
+        }
         break;
       case BindRole::kPartialOutput:
-        // Windows scale with the query's fan-out factor: this morsel owns
-        // [begin*scale, end*scale) of the full window.
-        AVM_RETURN_NOT_OK(in.BindData(
-            b.name, SliceBinding(b.binding, m.begin * b.row_scale,
-                                 m.rows() * b.row_scale)));
+        if (b.scratch) {
+          const uint64_t wrows = m.rows() * b.row_scale;
+          const size_t bytes =
+              static_cast<size_t>(wrows) * TypeWidth(b.binding.type);
+          scratch_windows.emplace_back(bytes);
+          transient_bytes += bytes;
+          AVM_RETURN_NOT_OK(in.BindData(
+              b.name,
+              interp::DataBinding::Raw(b.binding.type,
+                                       scratch_windows.back().data(), wrows,
+                                       true)));
+        } else {
+          // Windows scale with the query's fan-out factor: this morsel
+          // owns [begin*scale, end*scale) of the full window.
+          AVM_RETURN_NOT_OK(in.BindData(
+              b.name, SliceBinding(b.binding, m.begin * b.row_scale,
+                                   m.rows() * b.row_scale)));
+        }
         break;
       case BindRole::kShared:
         AVM_RETURN_NOT_OK(in.BindData(b.name, b.binding));
         break;
       case BindRole::kAccumulator: {
         privates.emplace_back(b.binding.len * TypeWidth(b.binding.type), 0);
+        transient_bytes += privates.back().size();
         AVM_RETURN_NOT_OK(in.BindData(
             b.name, interp::DataBinding::Raw(b.binding.type,
                                              privates.back().data(),
@@ -705,6 +835,7 @@ Status Session::RunMorselTask(QueryState& q, const Morsel& m) {
     }
   }
 
+  ScopedTransientCharge task_charge(q.tracker.get(), transient_bytes);
   AVM_RETURN_NOT_OK(vmach.Run());
 
   std::lock_guard<std::mutex> merge_lock(q.merge_mu);
@@ -790,6 +921,11 @@ Status Session::ProbeGpuOffload(QueryState& q, bool* offload) {
   // map fragment), so check the context first.
   if (ctx.task_hook_ != nullptr) {
     return Status::NotFound("query has a per-task hook: not offloadable");
+  }
+  if (ctx.prepare_hook_ != nullptr) {
+    // Budget-aware queries charge/bind through the CPU prepare protocol,
+    // which the device path does not drive.
+    return Status::NotFound("query has a memory-plan hook: not offloadable");
   }
   for (const ExecContext::Bound& b : ctx.bound_) {
     if (b.role == BindRole::kPartialOutput) {

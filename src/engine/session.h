@@ -161,6 +161,11 @@ class Session {
 
   SessionOptions options_;
   jit::TraceCache cache_;
+  /// Session-wide memory budget from AVM_MEMORY_BUDGET (docs/SPILL.md):
+  /// shared by every query submitted without its own
+  /// QueryOptions::memory_budget. Null when the variable is unset — those
+  /// queries get a private unlimited tracker instead.
+  std::shared_ptr<MemoryTracker> env_tracker_;
   /// Shared (not unique): handles hold a weak_ptr so Cancel() can pull a
   /// still-parked query out of the admission queue promptly.
   std::shared_ptr<internal::Scheduler> sched_;

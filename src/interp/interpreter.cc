@@ -42,6 +42,8 @@ Status Interpreter::BindData(const std::string& name, DataBinding binding) {
                                    " but binding is read-only");
   }
   bindings_[name] = binding;
+  // A rebind may point at different storage; drop any stale scan cursor.
+  column_cursors_.erase(name);
   return Status::OK();
 }
 
@@ -78,6 +80,19 @@ Result<ScalarValue> Interpreter::GetScalar(const std::string& name) const {
 DataBinding* Interpreter::FindBinding(const std::string& name) {
   auto it = bindings_.find(name);
   return it == bindings_.end() ? nullptr : &it->second;
+}
+
+const DataBinding* Interpreter::FindBinding(const std::string& name) const {
+  auto it = bindings_.find(name);
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+uint64_t Interpreter::chunks_streamed() const {
+  uint64_t n = 0;
+  for (const auto& [name, cursor] : column_cursors_) {
+    n += cursor.blocks_decoded();
+  }
+  return n;
 }
 
 ArrayPtr Interpreter::NewArray(TypeId type, uint32_t capacity) {
@@ -326,9 +341,13 @@ Result<Value> Interpreter::EvalRead(const Expr& e) {
   const uint32_t take = static_cast<uint32_t>(
       std::min<uint64_t>(options_.chunk_size, b->len - pos));
   if (b->column != nullptr) {
+    // Stream through the per-binding cursor: one compressed block decoded
+    // at a time, cached across the sequential chunk reads of a scan.
+    ColumnChunkCursor& cursor = column_cursors_[name];
+    if (cursor.column() != b->column) cursor = ColumnChunkCursor(b->column);
+    Scheme s = Scheme::kPlain;
     AVM_RETURN_NOT_OK(
-        b->column->Read(b->col_offset + pos, take, out->vec.RawData()));
-    AVM_ASSIGN_OR_RETURN(Scheme s, b->column->SchemeAt(b->col_offset + pos));
+        cursor.ReadAt(b->col_offset + pos, take, out->vec.RawData(), &s));
     last_scheme_[name] = s;
   } else {
     const size_t w = TypeWidth(b->type);

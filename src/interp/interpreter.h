@@ -131,6 +131,9 @@ class Interpreter {
   void SetVar(const std::string& name, Value v);
   Result<ScalarValue> GetScalar(const std::string& name) const;
   DataBinding* FindBinding(const std::string& name);
+  /// Const view of a binding (engine task hooks read per-task scratch
+  /// windows through the interpreter after it finished).
+  const DataBinding* FindBinding(const std::string& name) const;
 
   /// Allocate a chunk-sized array of `type` (len set by caller).
   ArrayPtr NewArray(TypeId type, uint32_t capacity = 0);
@@ -144,6 +147,13 @@ class Interpreter {
   /// Compression scheme observed by the most recent `read` of `name`
   /// (kPlain for raw bindings).
   Scheme LastSchemeOf(const std::string& name) const;
+
+  /// Compressed column blocks decoded by this interpreter's streaming scan
+  /// cursors — each `read` of a column binding goes through a per-binding
+  /// ColumnChunkCursor that decodes one super-chunk at a time (scheme
+  /// changes still flow through LastSchemeOf re-specialization). Summed
+  /// into ExecReport::chunks_streamed.
+  uint64_t chunks_streamed() const;
 
   // --- adaptivity hooks -----------------------------------------------------
   void AddInjection(InjectedTrace trace);
@@ -196,6 +206,9 @@ class Interpreter {
   InterpreterOptions options_;
   std::unordered_map<std::string, Value> env_;
   std::unordered_map<std::string, DataBinding> bindings_;
+  /// Streaming decode cursors for column bindings, keyed by binding name;
+  /// (re)created lazily by EvalRead, invalidated by BindData.
+  std::unordered_map<std::string, ColumnChunkCursor> column_cursors_;
   std::unordered_map<std::string, Scheme> last_scheme_;
   std::unordered_map<uint32_t, ir::PrimProgram> lambda_cache_;
   std::vector<InjectedTrace> injections_;

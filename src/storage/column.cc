@@ -146,4 +146,64 @@ Result<uint32_t> ColumnScanner::Next(uint32_t len, void* out, Scheme* scheme) {
   return produced;
 }
 
+Status ColumnChunkCursor::EnsureBlockDecoded(size_t block_idx,
+                                             uint64_t block_start) {
+  if (cached_block_ == block_idx) return Status::OK();
+  const Block& b = column_->block(block_idx);
+  cache_.resize(static_cast<size_t>(b.count) * TypeWidth(b.type));
+  AVM_RETURN_NOT_OK(DecodeBlock(b, cache_.data()));
+  cached_block_ = block_idx;
+  cached_start_ = block_start;
+  ++blocks_decoded_;
+  return Status::OK();
+}
+
+Status ColumnChunkCursor::ReadAt(uint64_t row, uint32_t len, void* out,
+                                 Scheme* scheme) {
+  if (column_ == nullptr) return Status::Internal("cursor has no column");
+  if (row + len > column_->num_rows()) {
+    return Status::OutOfRange(StrFormat("cursor read [%llu, %llu) of %llu rows",
+                                        (unsigned long long)row,
+                                        (unsigned long long)(row + len),
+                                        (unsigned long long)column_->num_rows()));
+  }
+  const size_t w = TypeWidth(column_->type());
+  auto* dst = static_cast<uint8_t*>(out);
+  // Walk blocks by cumulative count (counts can be heterogeneous), starting
+  // from the cached block when the read is at or past it — the sequential
+  // morsel pattern then skips the walk entirely.
+  uint64_t pos = 0;
+  size_t bi = 0;
+  if (cached_block_ != SIZE_MAX && row >= cached_start_) {
+    pos = cached_start_;
+    bi = cached_block_;
+  }
+  while (bi < column_->num_blocks() && pos + column_->block(bi).count <= row) {
+    pos += column_->block(bi).count;
+    ++bi;
+  }
+  bool first = true;
+  uint32_t remaining = len;
+  uint64_t cur = row;
+  while (remaining > 0) {
+    if (bi >= column_->num_blocks()) {
+      return Status::Internal("cursor row walk out of blocks");
+    }
+    const Block& b = column_->block(bi);
+    if (first && scheme != nullptr) *scheme = b.scheme;
+    first = false;
+    AVM_RETURN_NOT_OK(EnsureBlockDecoded(bi, pos));
+    uint32_t off = static_cast<uint32_t>(cur - pos);
+    uint32_t take = std::min(remaining, b.count - off);
+    std::memcpy(dst, cache_.data() + static_cast<size_t>(off) * w,
+                static_cast<size_t>(take) * w);
+    dst += static_cast<size_t>(take) * w;
+    cur += take;
+    remaining -= take;
+    pos += b.count;
+    ++bi;
+  }
+  return Status::OK();
+}
+
 }  // namespace avm

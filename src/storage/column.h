@@ -85,4 +85,42 @@ class ColumnScanner {
   std::vector<uint8_t> cache_;  // decoded current block
 };
 
+/// Seekable block-at-a-time decoder for the streamed-scan path: decodes one
+/// compressed block ("super-chunk") into an internal cache and serves
+/// arbitrary [row, row+len) reads from it, re-decoding only on block
+/// changes. Unlike Column::Read — which re-decodes the containing range on
+/// every call — morsel-sized reads walking forward decode each block exactly
+/// once; blocks_decoded() exposes the streaming cost (surfaced as
+/// ExecReport::chunks_streamed).
+class ColumnChunkCursor {
+ public:
+  /// Default-constructed cursors stream nothing until assigned.
+  ColumnChunkCursor() = default;
+  /// Stream from `column` (not owned; must outlive the cursor).
+  explicit ColumnChunkCursor(const Column* column) : column_(column) {}
+
+  /// Column this cursor streams from (null when default-constructed).
+  const Column* column() const { return column_; }
+
+  /// Decode `len` values starting at global row `row` into `out`, reporting
+  /// the scheme of the block the read started in (so the VM can detect
+  /// situation changes). Crossing a block boundary decodes the next block
+  /// into the cache.
+  Status ReadAt(uint64_t row, uint32_t len, void* out,
+                Scheme* scheme = nullptr);
+
+  /// Block decodes performed (cache misses) over the cursor's lifetime —
+  /// one compressed super-chunk streamed per decode.
+  uint64_t blocks_decoded() const { return blocks_decoded_; }
+
+ private:
+  Status EnsureBlockDecoded(size_t block_idx, uint64_t block_start);
+
+  const Column* column_ = nullptr;
+  size_t cached_block_ = SIZE_MAX;
+  uint64_t cached_start_ = 0;   // global row of the cached block's first value
+  std::vector<uint8_t> cache_;  // decoded current block
+  uint64_t blocks_decoded_ = 0;
+};
+
 }  // namespace avm

@@ -71,6 +71,7 @@ AdaptiveVm::AdaptiveVm(const dsl::Program* program, VmOptions options,
 Status AdaptiveVm::Run() {
   Status st = interp_->Run();
   report_.iterations = interp_->loop_iterations();
+  report_.chunks_streamed = interp_->chunks_streamed();
   report_.state_timeline = sm_.Timeline();
   report_.profile = interp_->profiler().ToString();
   report_.injection_runs = 0;

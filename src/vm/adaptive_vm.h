@@ -77,6 +77,9 @@ struct VmOptions {
 /// Counters and diagnostics of one adaptive-VM run.
 struct VmReport {
   uint64_t iterations = 0;
+  /// Compressed column blocks the interpreter's streaming scan cursors
+  /// decoded (one super-chunk per decode); see ExecReport::chunks_streamed.
+  uint64_t chunks_streamed = 0;
   uint64_t traces_compiled = 0;
   uint64_t traces_reused = 0;     ///< trace-cache hits on recompile checks
   uint64_t injection_runs = 0;

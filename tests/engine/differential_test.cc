@@ -408,11 +408,22 @@ void CompareQueries(Query& base, Query& other, const PlanInfo& info,
   }
 }
 
-/// Runs one seeded plan under all three configs and compares. Increments
-/// *built / *skipped accordingly; used by the random sweep and by the
-/// pinned regression seeds.
+/// Smallest memory budget EVERY generated plan can run under: one chunk
+/// (1024 rows) of the widest possible scratch window — up to 4 output
+/// columns (3 chosen + an appended OrderBy key) x 8 bytes x the
+/// duplicate-heavy build side's maximum fan-out of 7. Budgets below a
+/// plan's single-morsel window are a deterministic kResourceExhausted
+/// (see MemoryBudgetTest), which is not what the differential family
+/// exercises.
+constexpr uint64_t kViableBudget = 1024ull * 4 * 8 * 7;
+
+/// Runs one seeded plan under all three configs, plus the out-of-core
+/// family (the same plan under a side-stream-chosen memory budget), and
+/// compares. Increments *built / *skipped accordingly; accumulates spilled
+/// bytes into *spilled. Used by the random sweep and by the pinned
+/// regression seeds.
 void RunSeed(uint64_t seed, Tables& t, Session& parallel_session, int* built,
-             int* skipped) {
+             int* skipped, uint64_t* spilled) {
   const std::string repro =
       StrFormat("[plan seed %llu: rerun with AVM_DIFF_SEED=%llu] ",
                 (unsigned long long)seed, (unsigned long long)seed);
@@ -500,6 +511,54 @@ void RunSeed(uint64_t seed, Tables& t, Session& parallel_session, int* built,
         << " verifier: " << r.ValueOrDie().verifier_diagnostic;
     CompareQueries(base, q, info, repro + info.desc + " [session-4w]");
   }
+
+  // Out-of-core family: the same plan under a memory budget, serial and on
+  // the 4-worker session. The budget tier comes from a SIDE stream (like
+  // the join-family choice above) so historical/pinned seeds keep their
+  // plans; it rotates through just-viable (many small spilled runs for
+  // plans with large windows), mid (one/few runs), and huge (fits — zero
+  // runs). Row results must stay BIT-identical either way.
+  {
+    Rng srng(seed * 0x9E3779B97F4A7C15ull + 3);
+    const uint64_t budgets[] = {kViableBudget, 3 * kViableBudget,
+                                64ull << 20};
+    const uint64_t budget =
+        budgets[static_cast<size_t>(srng.NextInRange(0, 2))];
+    const std::string blabel =
+        StrFormat(" budget=%llu", (unsigned long long)budget);
+    {
+      PlanInfo i4;
+      Query q = GeneratePlan(seed, t, &i4).ValueOrDie();
+      EngineOptions eo;
+      eo.strategy = ExecutionStrategy::kInterpret;
+      eo.num_workers = 1;
+      eo.memory_budget = budget;
+      auto r = ExecEngine::Execute(q.context(), eo);
+      ASSERT_TRUE(r.ok()) << repro << info.desc << blabel << ": "
+                          << r.status().ToString();
+      *spilled += r.ValueOrDie().bytes_spilled;
+      CompareQueries(base, q, info,
+                     repro + info.desc + " [spill-serial" + blabel + "]");
+      if (verbose) {
+        std::fprintf(stderr, "  spill-serial ok (%llu bytes spilled)\n",
+                     (unsigned long long)r.ValueOrDie().bytes_spilled);
+      }
+    }
+    {
+      PlanInfo i5;
+      Query q = GeneratePlan(seed, t, &i5).ValueOrDie();
+      QueryOptions qo;
+      qo.strategy = ExecutionStrategy::kAdaptiveJit;
+      qo.vm.optimize_after_iterations = 2;
+      qo.memory_budget = budget;
+      auto r = parallel_session.Submit(q.context(), qo).Wait();
+      ASSERT_TRUE(r.ok()) << repro << info.desc << blabel << ": "
+                          << r.status().ToString();
+      *spilled += r.ValueOrDie().bytes_spilled;
+      CompareQueries(base, q, info,
+                     repro + info.desc + " [spill-session-4w" + blabel + "]");
+    }
+  }
 }
 
 TEST(DifferentialTest, RandomPlansAgreeAcrossStrategiesAndWorkers) {
@@ -523,9 +582,10 @@ TEST(DifferentialTest, RandomPlansAgreeAcrossStrategiesAndWorkers) {
   Session parallel_session(so);
 
   int built = 0, skipped = 0;
+  uint64_t spilled = 0;
   for (int p = 0; p < plans; ++p) {
     RunSeed(first_seed + static_cast<uint64_t>(p), t, parallel_session,
-            &built, &skipped);
+            &built, &skipped, &spilled);
     if (::testing::Test::HasFatalFailure()) return;
   }
   // The generator is tuned to produce mostly-buildable plans; if that
@@ -533,8 +593,16 @@ TEST(DifferentialTest, RandomPlansAgreeAcrossStrategiesAndWorkers) {
   // instead.
   EXPECT_GE(built, plans * 3 / 4)
       << "generator built only " << built << "/" << plans << " plans";
-  std::printf("differential: %d plans built, %d rejected identically\n",
-              built, skipped);
+  // Same guard for the out-of-core family: across a full sweep some plans
+  // must actually have taken the spill path, or the budget knob has
+  // silently stopped biting.
+  if (plans >= 50) {
+    EXPECT_GT(spilled, 0u) << "no plan in the sweep spilled a single byte";
+  }
+  std::printf(
+      "differential: %d plans built, %d rejected identically, "
+      "%llu bytes spilled\n",
+      built, skipped, (unsigned long long)spilled);
 }
 
 // Pinned seeds for the shape families the JIT used to decline (and, before
@@ -564,13 +632,78 @@ TEST(DifferentialTest, PinnedSeedsForPreviouslyDeclinedShapes) {
   //     fan-out feeding a post-join selection and an ordered, condensing
   //     row materialization — the many-to-many pair-domain shape)
   int built = 0, skipped = 0;
+  uint64_t spilled = 0;
   for (uint64_t seed : {6ull, 9ull, 12ull, 20ull, 24ull}) {
-    RunSeed(seed, t, parallel_session, &built, &skipped);
+    RunSeed(seed, t, parallel_session, &built, &skipped, &spilled);
     if (::testing::Test::HasFatalFailure()) return;
   }
   // All five seeds must BUILD — a generator change that invalidates one
   // must re-pin an equivalent plan, not silently skip the family.
   EXPECT_EQ(built, 5) << "pinned differential seeds no longer build";
+}
+
+// Pinned out-of-core seed: a duplicate-fan-out (many-to-many) join feeding
+// an ordered row materialization whose windows cannot fit the just-viable
+// budget — the canonical spill shape (docs/SPILL.md). Unlike the sweep,
+// this seed's spilling is asserted, not sampled: it must write runs to
+// disk and still match the unbudgeted baseline byte for byte, serial and
+// on the 4-worker session. Pinned independently so the historical seeds
+// above keep their plans.
+TEST(DifferentialTest, PinnedSpilledManyToManyJoinOrderBy) {
+  Tables t;
+  // Seed 57: Project(p0) Project(p1) JoinDup Project(p2)
+  //          Output(b) Output(d_rate) Output(p2) OrderBy(w,desc)
+  // — 4 output columns (OrderBy key appended) x dup fan-out, so the
+  // windows are ~32B x fan_out per input row and the just-viable budget
+  // always trips.
+  constexpr uint64_t kSeed = 57;
+  PlanInfo info;
+  Query base = GeneratePlan(kSeed, t, &info).ValueOrDie();
+  ASSERT_TRUE(info.row_mode) << info.desc;
+  ASSERT_NE(info.desc.find("JoinDup"), std::string::npos) << info.desc;
+  ASSERT_NE(info.desc.find("OrderBy"), std::string::npos) << info.desc;
+  {
+    EngineOptions eo;
+    eo.strategy = ExecutionStrategy::kInterpret;
+    eo.num_workers = 1;
+    // Explicitly huge budget (not 0, which would fall back to a CI-forced
+    // AVM_MEMORY_BUDGET): the baseline must stay resident even in the
+    // spill-stress lane.
+    eo.memory_budget = uint64_t{1} << 40;
+    auto r = ExecEngine::Execute(base.context(), eo);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r.ValueOrDie().bytes_spilled, 0u);
+    ASSERT_GT(base.num_result_rows(), 0u) << info.desc;
+  }
+
+  {
+    PlanInfo i2;
+    Query q = GeneratePlan(kSeed, t, &i2).ValueOrDie();
+    EngineOptions eo;
+    eo.strategy = ExecutionStrategy::kInterpret;
+    eo.num_workers = 1;
+    eo.memory_budget = kViableBudget;
+    auto r = ExecEngine::Execute(q.context(), eo);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(r.ValueOrDie().bytes_spilled, 0u) << info.desc;
+    EXPECT_GE(r.ValueOrDie().spill_runs, 2u) << info.desc;
+    CompareQueries(base, q, info, info.desc + " [pinned-spill-serial]");
+  }
+  {
+    SessionOptions so;
+    so.num_workers = 4;
+    Session parallel_session(so);
+    PlanInfo i3;
+    Query q = GeneratePlan(kSeed, t, &i3).ValueOrDie();
+    QueryOptions qo;
+    qo.strategy = ExecutionStrategy::kAdaptiveJit;
+    qo.vm.optimize_after_iterations = 2;
+    qo.memory_budget = kViableBudget;
+    auto r = parallel_session.Submit(q.context(), qo).Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(r.ValueOrDie().bytes_spilled, 0u) << info.desc;
+    CompareQueries(base, q, info, info.desc + " [pinned-spill-session-4w]");
+  }
 }
 
 }  // namespace
